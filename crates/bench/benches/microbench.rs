@@ -1,0 +1,145 @@
+//! Criterion micro-benchmarks of the core mechanisms: tree balancing,
+//! LRU bookkeeping, the PCI-e cost model, and end-to-end fault
+//! servicing through the GMMU.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use uvm_core::{AllocTree, EvictPolicy, Gmmu, HierarchicalLru, LruQueue, PrefetchPolicy, UvmConfig};
+use uvm_interconnect::PcieModel;
+use uvm_types::{BasicBlockId, Bytes, Cycle, PageId, TreeExtent};
+
+fn bench_tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree");
+    let extent = TreeExtent {
+        first_block: BasicBlockId::new(0),
+        num_blocks: 32,
+    };
+
+    g.bench_function("plan_prefetch_half_full_2mb", |b| {
+        let mut tree = AllocTree::new(extent);
+        for i in 0..16 {
+            tree.fill_block(BasicBlockId::new(i));
+        }
+        b.iter(|| black_box(&tree).plan_prefetch(black_box(BasicBlockId::new(16))));
+    });
+
+    g.bench_function("plan_eviction_half_full_2mb", |b| {
+        let mut tree = AllocTree::new(extent);
+        for i in 0..16 {
+            tree.fill_block(BasicBlockId::new(i));
+        }
+        b.iter(|| black_box(&tree).plan_eviction(black_box(BasicBlockId::new(0))));
+    });
+
+    g.bench_function("fill_clear_block", |b| {
+        let mut tree = AllocTree::new(extent);
+        b.iter(|| {
+            tree.fill_block(BasicBlockId::new(7));
+            tree.clear_block(BasicBlockId::new(7));
+        });
+    });
+    g.finish();
+}
+
+fn bench_lru(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lru");
+
+    g.bench_function("queue_touch_10k", |b| {
+        let mut q = LruQueue::new();
+        for i in 0..10_000u64 {
+            q.touch(PageId::new(i));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            q.touch(PageId::new(i % 10_000));
+            i += 1;
+        });
+    });
+
+    g.bench_function("hier_validate_access_candidate", |b| {
+        b.iter_batched(
+            HierarchicalLru::new,
+            |mut h| {
+                for i in 0..512u64 {
+                    h.on_validate(PageId::new(i));
+                }
+                h.on_access(PageId::new(5));
+                black_box(h.candidate(0, |_| true))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_pcie(c: &mut Criterion) {
+    let model = PcieModel::pascal_x16();
+    c.bench_function("pcie_transfer_time", |b| {
+        b.iter(|| {
+            for kb in [4u64, 16, 64, 256, 1024] {
+                black_box(model.transfer_time(Bytes::kib(kb)));
+            }
+        });
+    });
+}
+
+fn bench_gmmu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gmmu");
+    g.bench_function("fault_tbnp_no_budget", |b| {
+        b.iter_batched(
+            || {
+                let mut gmmu = Gmmu::new(
+                    UvmConfig::default().with_prefetch(PrefetchPolicy::TreeBasedNeighborhood),
+                );
+                let base = gmmu.malloc_managed(Bytes::mib(8));
+                (gmmu, base)
+            },
+            |(mut gmmu, base)| {
+                let mut now = Cycle::ZERO;
+                for block in 0..64u64 {
+                    let page = base.page().add(block * 16);
+                    if !gmmu.is_resident(page) {
+                        let res = gmmu.handle_fault(page, now);
+                        now = res.fault_page_ready();
+                    }
+                    gmmu.record_access(page, false);
+                }
+                black_box(gmmu.stats().pages_migrated)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("fault_with_tbne_eviction", |b| {
+        b.iter_batched(
+            || {
+                let mut gmmu = Gmmu::new(
+                    UvmConfig::default()
+                        .with_capacity(Bytes::mib(2))
+                        .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
+                        .with_evict(EvictPolicy::TreeBasedNeighborhood),
+                );
+                let base = gmmu.malloc_managed(Bytes::mib(4));
+                (gmmu, base)
+            },
+            |(mut gmmu, base)| {
+                let mut now = Cycle::ZERO;
+                for block in 0..64u64 {
+                    let page = base.page().add(block * 16);
+                    if !gmmu.is_resident(page) {
+                        let res = gmmu.handle_fault(page, now);
+                        now = res.fault_page_ready();
+                    }
+                    gmmu.record_access(page, false);
+                }
+                black_box(gmmu.stats().pages_evicted)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tree, bench_lru, bench_pcie, bench_gmmu);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Ablation: prefetch accuracy under over-subscription — how many
+//! prefetched pages are actually used before eviction (Sec. 5's
+//! "unused prefetched pages"), and the clean-page write-back overhead
+//! of bulk eviction (Sec. 5.1).
+fn main() {
+    let t = uvm_sim::experiments::prefetch_accuracy_ablation(uvm_bench::scale_from_args());
+    uvm_bench::emit("ablation_prefetch_accuracy", &t);
+}

@@ -1,0 +1,7 @@
+//! Ablation: SLp (64 KB block-aligned) vs the Zheng et al. 512 KB
+//! sequential prefetcher vs TBNp, with no memory budget (Sec. 3.2's
+//! design-choice discussion).
+fn main() {
+    let t = uvm_sim::experiments::prefetch_granularity_ablation(uvm_bench::scale_from_args());
+    uvm_bench::emit("ablation_prefetch_granularity", &t);
+}

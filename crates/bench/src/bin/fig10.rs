@@ -1,0 +1,5 @@
+//! Regenerates Fig. 10: total pages evicted for the Fig. 9 runs.
+fn main() {
+    let iso = uvm_sim::experiments::eviction_isolation(uvm_bench::scale_from_args());
+    uvm_bench::emit("fig10", &iso.evicted);
+}

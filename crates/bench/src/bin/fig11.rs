@@ -1,0 +1,5 @@
+//! Regenerates Fig. 11: the four prefetcher x pre-eviction combos (110%).
+fn main() {
+    let t = uvm_sim::experiments::policy_combinations(uvm_bench::scale_from_args());
+    uvm_bench::emit("fig11", &t);
+}

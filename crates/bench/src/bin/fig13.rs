@@ -1,0 +1,5 @@
+//! Regenerates Fig. 13: TBNe+TBNp sensitivity to over-subscription %.
+fn main() {
+    let t = uvm_sim::experiments::tbn_oversubscription_sensitivity(uvm_bench::scale_from_args());
+    uvm_bench::emit("fig13", &t);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 14: reserving 0/10/20% of the LRU list from eviction.
+fn main() {
+    let t = uvm_sim::experiments::lru_reservation(uvm_bench::scale_from_args());
+    uvm_bench::emit("fig14", &t);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 15: TBNe vs static 2 MB LRU eviction (110%).
+fn main() {
+    let cmp = uvm_sim::experiments::tbne_vs_2mb(uvm_bench::scale_from_args());
+    uvm_bench::emit("fig15", &cmp.time);
+}

@@ -1,0 +1,4 @@
+//! Replays the paper's Fig. 2 TBNp worked examples step by step.
+fn main() {
+    print!("{}", uvm_sim::experiments::fig2_walkthrough());
+}

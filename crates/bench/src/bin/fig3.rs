@@ -1,0 +1,5 @@
+//! Regenerates Fig. 3: kernel time per prefetcher, no over-subscription.
+fn main() {
+    let sweep = uvm_sim::experiments::prefetcher_sweep(uvm_bench::scale_from_args());
+    uvm_bench::emit("fig3", &sweep.time);
+}

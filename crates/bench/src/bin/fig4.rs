@@ -1,0 +1,5 @@
+//! Regenerates Fig. 4: average PCI-e read bandwidth per prefetcher.
+fn main() {
+    let sweep = uvm_sim::experiments::prefetcher_sweep(uvm_bench::scale_from_args());
+    uvm_bench::emit("fig4", &sweep.bandwidth);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 5: total far-faults per prefetcher.
+fn main() {
+    let sweep = uvm_sim::experiments::prefetcher_sweep(uvm_bench::scale_from_args());
+    uvm_bench::emit("fig5", &sweep.faults);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 6: sensitivity to over-subscription % and
+//! free-page buffer (TBNp until capacity, then 4 KB on-demand; LRU-4KB).
+fn main() {
+    let sweep = uvm_sim::experiments::oversubscription_sweep(uvm_bench::scale_from_args());
+    uvm_bench::emit("fig6", &sweep.time);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 7: number of 4 KB page transfers for the Fig. 6 sweep.
+fn main() {
+    let sweep = uvm_sim::experiments::oversubscription_sweep(uvm_bench::scale_from_args());
+    uvm_bench::emit("fig7", &sweep.transfers_4k);
+}

@@ -1,0 +1,4 @@
+//! Replays the paper's Fig. 8 TBNe worked example step by step.
+fn main() {
+    print!("{}", uvm_sim::experiments::fig8_walkthrough());
+}

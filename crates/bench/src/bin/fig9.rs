@@ -1,0 +1,5 @@
+//! Regenerates Fig. 9: LRU vs Random 4 KB eviction in isolation (110%).
+fn main() {
+    let iso = uvm_sim::experiments::eviction_isolation(uvm_bench::scale_from_args());
+    uvm_bench::emit("fig9", &iso.time);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Sec. 7 access-pattern characterisation:
+//! per-benchmark footprint, reuse, sequentiality, and pattern class.
+fn main() {
+    let t = uvm_sim::experiments::pattern_analysis(uvm_bench::scale_from_args());
+    uvm_bench::emit("pattern_report", &t);
+}

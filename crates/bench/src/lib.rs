@@ -1,0 +1,73 @@
+//! Shared plumbing for the table/figure regenerator binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper: it runs the corresponding experiment from
+//! [`uvm_sim::experiments`], prints the series to stdout, and writes a
+//! CSV under `results/`. Run any of them as
+//!
+//! ```sh
+//! cargo run --release -p uvm-bench --bin fig11            # paper scale
+//! cargo run --release -p uvm-bench --bin fig11 -- --smoke # tiny smoke run
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use uvm_sim::experiments::Scale;
+use uvm_sim::Table;
+
+/// Parses the common binary arguments: `--smoke` selects the shrunken
+/// suite, anything else is rejected with a usage message.
+pub fn scale_from_args() -> Scale {
+    let mut scale = Scale::Paper;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => scale = Scale::Smoke,
+            "--paper" => scale = Scale::Paper,
+            other => {
+                eprintln!("unknown argument {other:?}; use --smoke or --paper");
+                std::process::exit(2);
+            }
+        }
+    }
+    scale
+}
+
+/// Prints `table` to stdout and writes `results/<name>.csv`.
+pub fn emit(name: &str, table: &Table) {
+    println!("{table}");
+    write_csv(name, table);
+}
+
+/// Writes `results/<name>.csv` without printing the rows (for large
+/// scatter series like Fig. 12).
+pub fn write_csv(name: &str, table: &Table) {
+    let dir = PathBuf::from("results");
+    if fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{name}.csv"));
+        if let Err(e) = fs::write(&path, table.to_csv()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_writes_csv() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(&["1"]);
+        let tmp = std::env::temp_dir().join("uvm-bench-test");
+        let _ = std::fs::create_dir_all(&tmp);
+        let old = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&tmp).unwrap();
+        emit("emit_test", &t);
+        let written = std::fs::read_to_string("results/emit_test.csv").unwrap();
+        std::env::set_current_dir(old).unwrap();
+        assert_eq!(written, "a\n1\n");
+    }
+}

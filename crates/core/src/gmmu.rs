@@ -1,0 +1,1443 @@
+//! The GMMU / UVM driver model: far-fault servicing, hardware
+//! prefetching, and page (pre-)eviction under a strict memory budget.
+//!
+//! This is the component the whole paper studies. The GPU engine calls
+//! [`Gmmu::handle_fault`] for every distinct far-fault (duplicates are
+//! merged in the MSHRs before reaching the driver); the driver
+//!
+//! 1. pays the far-fault handling latency (45 µs, serialized across
+//!    faults — the host runtime handles one fault at a time),
+//! 2. asks the configured [`PrefetchPolicy`] what to migrate along
+//!    with the faulty page,
+//! 3. evicts pages per the configured [`EvictPolicy`] if the device
+//!    memory budget would be exceeded (demand eviction stalls the
+//!    migration behind the write-back; bulk pre-eviction does not),
+//! 4. schedules the migration as transfer groups on the PCI-e read
+//!    channel — the faulty page first as its own 4 KB transfer, then
+//!    the prefetch groups (Sec. 3.2/3.3 fault-group/prefetch-group
+//!    split),
+//! 5. validates the pages and reports per-page data-ready times.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use uvm_interconnect::{ChannelStats, PcieChannel, PcieModel};
+use uvm_mem::{FrameAllocator, FrameId, PageTable};
+use uvm_types::{BasicBlockId, Bytes, Cycle, Duration, PageId, VirtAddr, PAGE_SIZE, PAGES_PER_LARGE_PAGE};
+
+use crate::alloc::{AllocId, Allocations};
+use crate::config::UvmConfig;
+use crate::hier::HierarchicalLru;
+use crate::indexed::IndexedPageSet;
+use crate::lru::LruQueue;
+use crate::policy::{EvictPolicy, PrefetchPolicy};
+use crate::stats::UvmStats;
+use crate::tree::group_contiguous;
+
+/// The result of servicing one far-fault.
+#[derive(Clone, Debug)]
+pub struct FaultResolution {
+    /// Every page migrated for this fault (the faulty page first) with
+    /// the cycle at which its data is present in device memory.
+    pub ready: Vec<(PageId, Cycle)>,
+    /// Pages evicted to make room (the engine shoots down their TLB
+    /// entries).
+    pub evicted: Vec<PageId>,
+    /// Cycle at which the driver finished handling this fault (the
+    /// fault-handling window, before transfers complete).
+    pub handled: Cycle,
+}
+
+impl FaultResolution {
+    /// Data-ready time of the faulty page itself.
+    pub fn fault_page_ready(&self) -> Cycle {
+        self.ready.first().expect("fault page always migrated").1
+    }
+}
+
+/// The GMMU and UVM software-runtime model.
+///
+/// # Examples
+///
+/// ```
+/// use uvm_core::{Gmmu, UvmConfig};
+/// use uvm_types::{Bytes, Cycle};
+///
+/// let mut gmmu = Gmmu::new(UvmConfig::default());
+/// let base = gmmu.malloc_managed(Bytes::mib(2));
+/// let res = gmmu.handle_fault(base.page(), Cycle::ZERO);
+/// assert!(gmmu.is_resident(base.page()));
+/// assert!(res.fault_page_ready() > Cycle::ZERO);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Gmmu {
+    cfg: UvmConfig,
+    rng: SmallRng,
+    allocs: Allocations,
+    page_table: PageTable,
+    frames: FrameAllocator,
+    frame_of: HashMap<PageId, FrameId>,
+    /// Traditional LRU list of *accessed* pages (LRU-4KB baseline).
+    page_lru: LruQueue<PageId>,
+    /// Hierarchical list of *valid* pages (pre-eviction policies).
+    hier: HierarchicalLru,
+    /// All resident pages, for random eviction and fallbacks.
+    resident: IndexedPageSet,
+    read_chan: PcieChannel,
+    write_chan: PcieChannel,
+    /// Next-free instants of the host runtime's fault-handling lanes
+    /// (`cfg.fault_lanes` of them); a fault occupies the earliest lane.
+    lanes: Vec<Cycle>,
+    /// Sticky prefetcher kill-switch (over-subscription rule).
+    prefetch_disabled: bool,
+    /// Data-arrival times of in-flight (validated, still transferring)
+    /// pages.
+    ready_at: HashMap<PageId, Cycle>,
+    /// Prefetched pages not yet accessed (for accuracy accounting).
+    unaccessed_prefetch: HashSet<PageId>,
+    /// Demand-migrated pages whose faulting warp has not yet replayed:
+    /// hard-pinned from eviction so every far-fault is guaranteed to
+    /// complete at least one access (bounding faults by accesses and
+    /// making eviction/refault livelock impossible).
+    unaccessed_demand: HashSet<PageId>,
+    /// Pages that have been evicted at least once (thrash detection).
+    evicted_once: HashSet<PageId>,
+    stats: UvmStats,
+}
+
+impl Gmmu {
+    /// Creates a driver with the given configuration and an idle PCI-e
+    /// link calibrated to the paper's Table 1.
+    pub fn new(cfg: UvmConfig) -> Self {
+        let capacity = cfg.capacity.unwrap_or(Bytes::gib(1024));
+        Gmmu {
+            rng: SmallRng::seed_from_u64(cfg.rng_seed),
+            allocs: Allocations::new(),
+            page_table: PageTable::new(),
+            frames: FrameAllocator::new(capacity),
+            frame_of: HashMap::new(),
+            page_lru: LruQueue::new(),
+            hier: HierarchicalLru::new(),
+            resident: IndexedPageSet::new(),
+            read_chan: PcieChannel::new(PcieModel::pascal_x16()),
+            write_chan: PcieChannel::new(PcieModel::pascal_x16()),
+            lanes: vec![Cycle::ZERO; cfg.fault_lanes.max(1)],
+            prefetch_disabled: false,
+            unaccessed_prefetch: HashSet::new(),
+            unaccessed_demand: HashSet::new(),
+            ready_at: HashMap::new(),
+            evicted_once: HashSet::new(),
+            stats: UvmStats::new(),
+            cfg,
+        }
+    }
+
+    /// Registers a managed allocation (the `cudaMallocManaged`
+    /// analogue) and returns its base virtual address.
+    pub fn malloc_managed(&mut self, size: Bytes) -> VirtAddr {
+        let id = self.allocs.allocate(size);
+        self.allocs.get(id).base()
+    }
+
+    /// Registers a managed allocation and returns its id.
+    pub fn malloc_managed_id(&mut self, size: Bytes) -> AllocId {
+        self.allocs.allocate(size)
+    }
+
+    /// The allocation registry.
+    pub fn allocations(&self) -> &Allocations {
+        &self.allocs
+    }
+
+    /// `true` if `page` has a valid PTE (its data may still be in
+    /// flight; see [`ready_time`](Self::ready_time)).
+    pub fn is_resident(&self, page: PageId) -> bool {
+        self.page_table.is_valid(page)
+    }
+
+    /// If `page`'s migration is still in flight at `now`, the cycle at
+    /// which its data arrives.
+    pub fn ready_time(&mut self, page: PageId, now: Cycle) -> Option<Cycle> {
+        match self.ready_at.get(&page) {
+            Some(&t) if t > now => Some(t),
+            Some(_) => {
+                self.ready_at.remove(&page);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Records a warp access to a resident page: sets PTE flags and
+    /// refreshes every LRU structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is not resident (the engine must fault first).
+    pub fn record_access(&mut self, page: PageId, write: bool) {
+        self.page_table.mark_access(page, write);
+        self.page_lru.touch(page);
+        self.hier.on_access(page);
+        self.unaccessed_demand.remove(&page);
+        if self.unaccessed_prefetch.remove(&page) {
+            self.stats.prefetched_used += 1;
+        }
+    }
+
+    /// Services one distinct far-fault on `page` raised at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is already resident, lies outside every managed
+    /// allocation, or the device memory budget cannot accommodate the
+    /// migration even after eviction.
+    pub fn handle_fault(&mut self, page: PageId, now: Cycle) -> FaultResolution {
+        assert!(
+            !self.page_table.is_valid(page),
+            "far-fault on already-resident {page}"
+        );
+        let alloc_id = self
+            .allocs
+            .find_by_page(page)
+            .unwrap_or_else(|| panic!("far-fault on unmanaged {page}"))
+            .id();
+
+        self.stats.far_faults += 1;
+        let lane = self
+            .lanes
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .map(|(i, _)| i)
+            .expect("at least one lane");
+        let handled = self.lanes[lane].max(now) + self.cfg.fault_latency;
+        self.lanes[lane] = handled;
+
+        // Drop expired in-flight pins before eviction decisions.
+        self.ready_at.retain(|_, r| *r + Self::PIN_GRACE > now);
+
+        // Make room for the faulty page. Only the *demand* page forces
+        // eviction; demand eviction (LRU/Random 4 KB) stalls the
+        // migration behind the write-back, pre-eviction does not.
+        // Victim pinning is evaluated at the fault's *arrival* time:
+        // state mutates now, so a page whose waiter has not yet been
+        // able to replay (its data lands later) must stay protected.
+        let (evicted, wb_barrier) = self.ensure_frames(1, handled, now);
+
+        // The prefetcher fills only frames that are free after demand
+        // eviction — aggressive prefetching that displaces resident
+        // pages is counterproductive (Sec. 4.2). Bulk pre-eviction is
+        // exactly what re-enables prefetching under over-subscription
+        // (Sec. 5): evicting 64 KB–1 MB for one demand page leaves
+        // room for the matching prefetch.
+        // Prefetch is throttled when the read channel is congested:
+        // a backlog beyond the configured cap means prefetch traffic
+        // is already outpacing the link.
+        let backlog = self.read_chan.next_free().since(handled);
+        let mut prefetch = if backlog > self.cfg.prefetch_congestion_cap {
+            Vec::new()
+        } else {
+            self.plan_prefetch(page, alloc_id)
+        };
+        let mut room = self.frames.free_frames().saturating_sub(1);
+        for group in &mut prefetch {
+            let keep = (room as usize).min(group.len());
+            group.truncate(keep);
+            room -= keep as u64;
+        }
+        prefetch.retain(|g| !g.is_empty());
+        let prefetch_pages: usize = prefetch.iter().map(Vec::len).sum();
+        let needed = 1 + prefetch_pages as u64;
+        debug_assert!(needed <= self.frames.free_frames());
+
+        let mut migrate_from = handled;
+        if let Some(barrier) = wb_barrier {
+            migrate_from = migrate_from.max(barrier);
+        }
+
+        // Fault group first (4 KB), then the prefetch groups.
+        let mut ready = Vec::with_capacity(needed as usize);
+        let t = self
+            .read_chan
+            .schedule(migrate_from, PAGE_SIZE)
+            .finish;
+        self.admit_page(page, t, false);
+        ready.push((page, t));
+        let mut last_finish = t;
+        for group in prefetch {
+            let size = PAGE_SIZE * group.len() as u64;
+            let t = self.read_chan.schedule(migrate_from, size).finish;
+            last_finish = last_finish.max(t);
+            for p in group {
+                self.admit_page(p, t, true);
+                ready.push((p, t));
+            }
+        }
+        // The fault is retired only once its migration completes: the
+        // host runtime's lane stays occupied until the copy lands, so
+        // fault admission throttles to PCI-e throughput instead of
+        // racing unboundedly ahead of data arrival.
+        self.lanes[lane] = self.lanes[lane].max(last_finish);
+
+        self.update_prefetch_kill_switch();
+        FaultResolution {
+            ready,
+            evicted,
+            handled,
+        }
+    }
+
+    /// The `cudaMemPrefetchAsync` analogue (Sec. 3): asynchronously
+    /// migrates every non-resident page of `[start, start+size)` to the
+    /// device, overlapping kernel execution. Contiguous invalid runs
+    /// are grouped into transfers of up to 2 MB. Unlike a far-fault
+    /// there is no 45 µs handling window — the host initiated the copy.
+    ///
+    /// Returns the `(page, data-ready cycle)` pairs of the migrated
+    /// pages. Pages outside any managed allocation are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if making room requires evicting when every resident page
+    /// is hard-pinned (budget far too small).
+    pub fn mem_prefetch_async(
+        &mut self,
+        start: VirtAddr,
+        size: Bytes,
+        now: Cycle,
+    ) -> Vec<(PageId, Cycle)> {
+        let first = start.page().index();
+        let last = if size == Bytes::ZERO {
+            first
+        } else {
+            start.offset(size - Bytes::new(1)).page().index() + 1
+        };
+        let mut ready = Vec::new();
+        let mut run: Vec<PageId> = Vec::new();
+        let flush =
+            |gmmu: &mut Self, run: &mut Vec<PageId>, ready: &mut Vec<(PageId, Cycle)>| {
+                if run.is_empty() {
+                    return;
+                }
+                for chunk in run.chunks(PAGES_PER_LARGE_PAGE as usize) {
+                    let (_, barrier) = gmmu.ensure_frames(chunk.len() as u64, now, now);
+                    let at = barrier.map_or(now, |b| b.max(now));
+                    let t = gmmu
+                        .read_chan
+                        .schedule(at, PAGE_SIZE * chunk.len() as u64)
+                        .finish;
+                    for &p in chunk {
+                        gmmu.admit_page(p, t, true);
+                        ready.push((p, t));
+                    }
+                }
+                run.clear();
+            };
+        for idx in first..last {
+            let page = PageId::new(idx);
+            let in_alloc = self.allocs.find_by_page(page).is_some();
+            if in_alloc && !self.page_table.is_valid(page) {
+                run.push(page);
+            } else {
+                flush(self, &mut run, &mut ready);
+            }
+        }
+        flush(self, &mut run, &mut ready);
+        self.update_prefetch_kill_switch();
+        ready
+    }
+
+    /// Driver-side statistics.
+    pub fn stats(&self) -> &UvmStats {
+        &self.stats
+    }
+
+    /// Host→device (migration) channel statistics.
+    pub fn read_stats(&self) -> &ChannelStats {
+        self.read_chan.stats()
+    }
+
+    /// Device→host (write-back) channel statistics.
+    pub fn write_stats(&self) -> &ChannelStats {
+        self.write_chan.stats()
+    }
+
+    /// Resident page count.
+    pub fn resident_pages(&self) -> u64 {
+        self.page_table.valid_pages()
+    }
+
+    /// Device memory frame budget.
+    pub fn capacity_frames(&self) -> u64 {
+        self.frames.capacity_frames()
+    }
+
+    /// `true` once the over-subscription rule has disabled the
+    /// prefetcher.
+    pub fn prefetch_disabled(&self) -> bool {
+        self.prefetch_disabled
+    }
+
+    /// The earliest instant a fault-handling lane becomes free.
+    pub fn driver_free(&self) -> Cycle {
+        self.lanes.iter().copied().min().unwrap_or(Cycle::ZERO)
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &UvmConfig {
+        &self.cfg
+    }
+
+    // ------------------------------------------------------------------
+    // Prefetch planning
+    // ------------------------------------------------------------------
+
+    /// Returns the prefetch transfer groups for a fault on `page`:
+    /// each group is a set of pages moved as one PCI-e transfer (the
+    /// faulty page itself is *not* included — it travels as its own
+    /// 4 KB fault-group transfer).
+    fn plan_prefetch(&mut self, page: PageId, alloc_id: AllocId) -> Vec<Vec<PageId>> {
+        if self.prefetch_disabled {
+            return Vec::new();
+        }
+        match self.cfg.prefetch {
+            PrefetchPolicy::None => Vec::new(),
+            PrefetchPolicy::Random => self.plan_random_prefetch(page, alloc_id),
+            PrefetchPolicy::SequentialLocal => self.plan_sl_prefetch(page),
+            PrefetchPolicy::Sequential512K => self.plan_sz_prefetch(page, alloc_id),
+            PrefetchPolicy::TreeBasedNeighborhood => self.plan_tbn_prefetch(page, alloc_id),
+        }
+    }
+
+    /// Rp: one random invalid 4 KB page from the faulty page's 2 MB
+    /// large page, clipped to the allocation extent (Sec. 3.1).
+    fn plan_random_prefetch(&mut self, page: PageId, alloc_id: AllocId) -> Vec<Vec<PageId>> {
+        let alloc = self.allocs.get(alloc_id);
+        let lp_first = page.large_page().first_page();
+        let start = lp_first.index().max(alloc.first_page().index());
+        let end = (lp_first.index() + PAGES_PER_LARGE_PAGE).min(alloc.end_page().index());
+        let candidates: Vec<PageId> = (start..end)
+            .map(PageId::new)
+            .filter(|&p| p != page && !self.page_table.is_valid(p))
+            .collect();
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        use rand::Rng;
+        let pick = candidates[self.rng.gen_range(0..candidates.len())];
+        vec![vec![pick]]
+    }
+
+    /// SLp: the remaining invalid pages of the faulty page's 64 KB
+    /// basic block, as one prefetch-group transfer (Sec. 3.2).
+    fn plan_sl_prefetch(&self, page: PageId) -> Vec<Vec<PageId>> {
+        let group: Vec<PageId> = page
+            .basic_block()
+            .pages()
+            .filter(|&p| p != page && !self.page_table.is_valid(p))
+            .collect();
+        if group.is_empty() {
+            Vec::new()
+        } else {
+            vec![group]
+        }
+    }
+
+    /// The Zheng et al. locality-aware prefetcher: 128 consecutive
+    /// 4 KB pages starting from the faulty page, clipped to the
+    /// allocation extent, moved as one transfer.
+    fn plan_sz_prefetch(&self, page: PageId, alloc_id: AllocId) -> Vec<Vec<PageId>> {
+        let alloc = self.allocs.get(alloc_id);
+        let end = alloc.end_page().index();
+        let group: Vec<PageId> = (page.index() + 1..(page.index() + 128).min(end))
+            .map(PageId::new)
+            .filter(|&p| !self.page_table.is_valid(p))
+            .collect();
+        if group.is_empty() {
+            Vec::new()
+        } else {
+            vec![group]
+        }
+    }
+
+    /// TBNp: tree-balancing prefetch (Sec. 3.3). Contiguous candidate
+    /// blocks are grouped into single transfers; the run containing the
+    /// faulty page contributes its remaining pages as one group.
+    fn plan_tbn_prefetch(&mut self, page: PageId, alloc_id: AllocId) -> Vec<Vec<PageId>> {
+        let fault_block = page.basic_block();
+        let alloc = self.allocs.get(alloc_id);
+        let tree = alloc
+            .tree_for_block(fault_block)
+            .expect("fault block inside allocation has a tree");
+        let planned = tree.plan_prefetch(fault_block);
+
+        let mut blocks = planned;
+        blocks.push(fault_block);
+        blocks.sort_unstable_by_key(|b| b.index());
+        let runs = group_contiguous(&blocks);
+
+        let mut groups = Vec::new();
+        for (start, len) in runs {
+            let pages: Vec<PageId> = (0..len)
+                .flat_map(|i| start.add(i).pages())
+                .filter(|&p| p != page && !self.page_table.is_valid(p))
+                .collect();
+            if !pages.is_empty() {
+                groups.push(pages);
+            }
+        }
+        groups
+    }
+
+    // ------------------------------------------------------------------
+    // Eviction
+    // ------------------------------------------------------------------
+
+    /// Frees frames until `needed` are available at driver time `t`.
+    /// Returns the evicted pages and, for demand-eviction policies, the
+    /// write-back completion barrier the migration must wait for.
+    fn ensure_frames(
+        &mut self,
+        needed: u64,
+        wb_time: Cycle,
+        pin_time: Cycle,
+    ) -> (Vec<PageId>, Option<Cycle>) {
+        assert!(
+            needed <= self.frames.capacity_frames(),
+            "migration of {needed} pages exceeds total device memory"
+        );
+        let mut evicted = Vec::new();
+        let mut barrier: Option<Cycle> = None;
+        // Memory-threshold pre-eviction: keep the free-page buffer
+        // topped up before anything else (Sec. 4.2). Buffer top-up is
+        // asynchronous: it never stalls the migration.
+        if self.cfg.free_buffer_frac > 0.0 {
+            let buffer =
+                (self.cfg.free_buffer_frac * self.frames.capacity_frames() as f64).ceil() as u64;
+            while self.frames.free_frames() < buffer.max(needed) {
+                let Some((pages, _)) = self.evict_once(wb_time, pin_time) else {
+                    break;
+                };
+                evicted.extend(pages);
+            }
+        }
+        while self.frames.free_frames() < needed {
+            let Some((pages, wb_finish)) = self.evict_once(wb_time, pin_time) else {
+                panic!(
+                    "cannot evict: every resident page is a demand page \
+                     awaiting its faulting warp ({} resident, {} free, \
+                     {needed} needed) — the device budget is too small \
+                     for the configured concurrency",
+                    self.resident.len(),
+                    self.frames.free_frames()
+                );
+            };
+            if !self.cfg.evict.is_pre_eviction() {
+                barrier = Some(barrier.map_or(wb_finish, |b| b.max(wb_finish)));
+            }
+            evicted.extend(pages);
+        }
+        (evicted, barrier)
+    }
+
+    /// Runs one eviction operation: selects victims per the configured
+    /// policy, schedules their write-back, and invalidates them.
+    /// Returns the evicted pages and the write-back finish time, or
+    /// `None` if no victim is eligible.
+    fn evict_once(&mut self, wb_time: Cycle, pin_time: Cycle) -> Option<(Vec<PageId>, Cycle)> {
+        // Prefer fully unpinned victims; fall back to soft-pinned
+        // (in-flight prefetched) pages. Hard-pinned demand pages are
+        // never victims.
+        let groups = self
+            .select_victims(pin_time, Self::PIN_NONE)
+            .or_else(|| self.select_victims(pin_time, Self::PIN_SOFT))?;
+        let mut all = Vec::new();
+        let mut finish = wb_time;
+        for group in groups {
+            if self.cfg.writeback_dirty_only {
+                // Ablation: transfer only the dirty pages, one transfer
+                // per contiguous dirty run — less write traffic, worse
+                // per-transfer bandwidth.
+                let mut run = 0u64;
+                for &p in &group {
+                    if self.page_table.flags(p).dirty {
+                        run += 1;
+                    } else if run > 0 {
+                        let wb = self.write_chan.schedule(wb_time, PAGE_SIZE * run);
+                        finish = finish.max(wb.finish);
+                        run = 0;
+                    }
+                }
+                if run > 0 {
+                    let wb = self.write_chan.schedule(wb_time, PAGE_SIZE * run);
+                    finish = finish.max(wb.finish);
+                }
+            } else {
+                // The paper's design choice: the whole group is written
+                // back as a single unit irrespective of clean/dirty
+                // pages (Sec. 5.1).
+                let size = PAGE_SIZE * group.len() as u64;
+                let wb = self.write_chan.schedule(wb_time, size);
+                finish = finish.max(wb.finish);
+            }
+            for &p in &group {
+                self.expel_page(p);
+            }
+            all.extend(group);
+        }
+        if all.is_empty() {
+            None
+        } else {
+            self.stats.evictions += 1;
+            Some((all, finish))
+        }
+    }
+
+    /// Chooses the victim page groups (each group = one write-back
+    /// transfer) per the configured policy, honouring the LRU-top
+    /// reservation and skipping in-flight pages.
+    fn select_victims(&mut self, t: Cycle, max_pin: u8) -> Option<Vec<Vec<PageId>>> {
+        match self.cfg.evict {
+            EvictPolicy::LruPage => self.select_lru_page(t, max_pin).map(|p| vec![vec![p]]),
+            EvictPolicy::RandomPage => self.select_random_page(t, max_pin).map(|p| vec![vec![p]]),
+            EvictPolicy::SequentialLocal => self.select_sl_block(t, max_pin),
+            EvictPolicy::TreeBasedNeighborhood => self.select_tbn_blocks(t, max_pin),
+            EvictPolicy::LruLargePage => self.select_large_page(t, max_pin),
+        }
+    }
+
+    /// Grace window (core cycles) during which a just-arrived page is
+    /// still protected from eviction: it covers the faulting warp's
+    /// replay (TLB miss + page walk + memory access), preventing the
+    /// pathological migrate→evict→refault livelock.
+    const PIN_GRACE: Duration = Duration::from_cycles(2_000);
+
+    /// No pin: freely evictable.
+    const PIN_NONE: u8 = 0;
+    /// Soft pin: the page's migration is still in flight (or just
+    /// landed); evictable only when nothing unpinned exists.
+    const PIN_SOFT: u8 = 1;
+    /// Hard pin: a demand page whose faulting warp has not replayed
+    /// yet. Never evictable — this bounds far-faults by accesses.
+    const PIN_HARD: u8 = 2;
+
+    fn pin_level(&self, page: PageId, t: Cycle) -> u8 {
+        if self.unaccessed_demand.contains(&page) {
+            return Self::PIN_HARD;
+        }
+        if self
+            .ready_at
+            .get(&page)
+            .is_some_and(|&r| r + Self::PIN_GRACE > t)
+        {
+            return Self::PIN_SOFT;
+        }
+        Self::PIN_NONE
+    }
+
+    /// `true` if `block` holds at least one resident page with pin
+    /// level at most `max_pin` — eviction takes that subset.
+    fn block_evictable(&self, block: BasicBlockId, t: Cycle, max_pin: u8) -> bool {
+        block
+            .pages()
+            .any(|p| self.page_table.is_valid(p) && self.pin_level(p, t) <= max_pin)
+    }
+
+    /// The resident pages of `block` with pin level at most `max_pin`.
+    fn evictable_pages_of_block(&self, block: BasicBlockId, t: Cycle, max_pin: u8) -> Vec<PageId> {
+        block
+            .pages()
+            .filter(|&p| self.page_table.is_valid(p) && self.pin_level(p, t) <= max_pin)
+            .collect()
+    }
+
+    /// LRU-4KB: the oldest *accessed* page past the reserved prefix.
+    fn select_lru_page(&mut self, t: Cycle, max_pin: u8) -> Option<PageId> {
+        let reserved = (self.cfg.reserve_frac * self.page_lru.len() as f64).floor() as usize;
+        self.page_lru
+            .iter()
+            .skip(reserved)
+            .find(|&&p| self.pin_level(p, t) <= max_pin)
+            .copied()
+            // If everything past the reservation is pinned, fall back
+            // to reserved entries, then to any resident page
+            // (unaccessed prefetched pages are invisible to the
+            // traditional LRU list).
+            .or_else(|| {
+                self.page_lru
+                    .iter()
+                    .find(|&&p| self.pin_level(p, t) <= max_pin)
+                    .copied()
+            })
+            .or_else(|| {
+                self.resident
+                    .iter()
+                    .find(|&p| self.pin_level(p, t) <= max_pin)
+            })
+    }
+
+    /// Re: a uniformly random resident page.
+    fn select_random_page(&mut self, t: Cycle, max_pin: u8) -> Option<PageId> {
+        for _ in 0..32 {
+            let p = self.resident.sample(&mut self.rng)?;
+            if self.pin_level(p, t) <= max_pin {
+                return Some(p);
+            }
+        }
+        self.resident
+            .iter()
+            .find(|&p| self.pin_level(p, t) <= max_pin)
+    }
+
+    fn reserve_pages(&self) -> u64 {
+        (self.cfg.reserve_frac * self.hier.total_pages() as f64).floor() as u64
+    }
+
+    /// SLe: the LRU basic block, written back whole (Sec. 5.1).
+    fn select_sl_block(&mut self, t: Cycle, max_pin: u8) -> Option<Vec<Vec<PageId>>> {
+        let reserve = self.reserve_pages();
+        let hier = &self.hier;
+        let block = hier
+            .candidate(reserve, |b| self.block_evictable(b, t, max_pin))
+            .or_else(|| hier.candidate(0, |b| self.block_evictable(b, t, max_pin)))?;
+        Some(vec![self.evictable_pages_of_block(block, t, max_pin)])
+    }
+
+    /// TBNe: the LRU basic block plus the tree's cascade, grouped into
+    /// contiguous write-back transfers (Sec. 5.2).
+    fn select_tbn_blocks(&mut self, t: Cycle, max_pin: u8) -> Option<Vec<Vec<PageId>>> {
+        let reserve = self.reserve_pages();
+        let hier = &self.hier;
+        let victim = hier
+            .candidate(reserve, |b| self.block_evictable(b, t, max_pin))
+            .or_else(|| hier.candidate(0, |b| self.block_evictable(b, t, max_pin)))?;
+        let planned = self
+            .allocs
+            .find_by_page(victim.first_page())
+            .and_then(|a| a.tree_for_block(victim))
+            .map(|tree| tree.plan_eviction(victim))
+            .unwrap_or_default();
+
+        let mut blocks = vec![victim];
+        blocks.extend(
+            planned
+                .into_iter()
+                .filter(|&b| self.block_evictable(b, t, max_pin) && self.hier.block_pages(b) > 0),
+        );
+        blocks.sort_unstable_by_key(|b| b.index());
+        blocks.dedup();
+        let runs = group_contiguous(&blocks);
+        let groups: Vec<Vec<PageId>> = runs
+            .into_iter()
+            .map(|(start, len)| {
+                (0..len)
+                    .flat_map(|i| self.evictable_pages_of_block(start.add(i), t, max_pin))
+                    .collect::<Vec<_>>()
+            })
+            .filter(|g| !g.is_empty())
+            .collect();
+        if groups.is_empty() {
+            None
+        } else {
+            Some(groups)
+        }
+    }
+
+    /// LRU-2MB: evict the whole least-recently-used large page as one
+    /// transfer (Sec. 7.5).
+    fn select_large_page(&mut self, t: Cycle, max_pin: u8) -> Option<Vec<Vec<PageId>>> {
+        let reserve = self.reserve_pages();
+        let hier = &self.hier;
+        let mut evictable = |lp| {
+            hier.blocks_of(lp)
+                .any(|b| self.block_evictable(b, t, max_pin))
+        };
+        let lp = hier
+            .candidate_large_page(reserve, &mut evictable)
+            .or_else(|| hier.candidate_large_page(0, &mut evictable))?;
+        let blocks: Vec<BasicBlockId> = self.hier.blocks_of(lp).collect();
+        let pages: Vec<PageId> = blocks
+            .into_iter()
+            .flat_map(|b| self.evictable_pages_of_block(b, t, max_pin))
+            .collect();
+        if pages.is_empty() {
+            None
+        } else {
+            Some(vec![pages])
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Page state transitions
+    // ------------------------------------------------------------------
+
+    /// Makes `page` resident: allocates a frame, validates the PTE,
+    /// and registers it in every tracking structure.
+    fn admit_page(&mut self, page: PageId, ready: Cycle, prefetched: bool) {
+        let frame = self
+            .frames
+            .allocate()
+            .expect("ensure_frames guaranteed capacity");
+        self.frame_of.insert(page, frame);
+        self.page_table.validate(page);
+        self.resident.insert(page);
+        self.hier.on_validate(page);
+        self.ready_at.insert(page, ready);
+        if prefetched {
+            self.unaccessed_prefetch.insert(page);
+        } else {
+            self.unaccessed_demand.insert(page);
+        }
+        if let Some(alloc) = self.allocs.find_by_block_mut(page.basic_block()) {
+            if let Some(tree) = alloc.tree_for_block_mut(page.basic_block()) {
+                tree.add_pages(page.basic_block(), 1);
+            }
+        }
+        self.stats.pages_migrated += 1;
+        if prefetched {
+            self.stats.pages_prefetched += 1;
+        }
+        if self.evicted_once.contains(&page) {
+            self.stats.pages_thrashed += 1;
+        }
+    }
+
+    /// Removes `page` from residency and every tracking structure.
+    fn expel_page(&mut self, page: PageId) {
+        let flags = self.page_table.invalidate(page);
+        assert!(flags.valid, "expel of non-resident {page}");
+        if !flags.dirty {
+            self.stats.clean_pages_written_back += 1;
+        }
+        if self.unaccessed_prefetch.remove(&page) {
+            self.stats.prefetched_wasted += 1;
+        }
+        let frame = self
+            .frame_of
+            .remove(&page)
+            .expect("resident page has a frame");
+        self.frames.free(frame);
+        self.resident.remove(page);
+        self.page_lru.remove(&page);
+        self.hier.on_invalidate_page(page);
+        self.ready_at.remove(&page);
+        self.unaccessed_demand.remove(&page);
+        if let Some(alloc) = self.allocs.find_by_block_mut(page.basic_block()) {
+            if let Some(tree) = alloc.tree_for_block_mut(page.basic_block()) {
+                tree.remove_pages(page.basic_block(), 1);
+            }
+        }
+        self.evicted_once.insert(page);
+        self.stats.pages_evicted += 1;
+    }
+
+    /// Applies the sticky prefetcher-disable rule after a migration.
+    fn update_prefetch_kill_switch(&mut self) {
+        if self.prefetch_disabled {
+            return;
+        }
+        if self.cfg.free_buffer_frac > 0.0 {
+            let threshold = ((1.0 - self.cfg.free_buffer_frac)
+                * self.frames.capacity_frames() as f64)
+                .floor() as u64;
+            if self.frames.used_frames() >= threshold {
+                self.prefetch_disabled = true;
+            }
+        }
+        if self.cfg.disable_prefetch_on_oversubscription && self.frames.is_full() {
+            self.prefetch_disabled = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+
+    fn first_page_of_block(base: VirtAddr, block: u64) -> PageId {
+        base.page().add(block * 16)
+    }
+
+    /// Touch (fault if needed, then access) a page, returning the time
+    /// the access could proceed.
+    fn touch(gmmu: &mut Gmmu, page: PageId, now: Cycle) -> Cycle {
+        let t = if gmmu.is_resident(page) {
+            gmmu.ready_time(page, now).unwrap_or(now)
+        } else {
+            gmmu.handle_fault(page, now).fault_page_ready()
+        };
+        gmmu.record_access(page, false);
+        t
+    }
+
+    #[test]
+    fn no_prefetch_migrates_single_pages() {
+        let mut g = Gmmu::new(UvmConfig::default().with_prefetch(PrefetchPolicy::None));
+        let base = g.malloc_managed(Bytes::mib(2));
+        let mut now = Cycle::ZERO;
+        for i in 0..10 {
+            now = touch(&mut g, base.page().add(i), now);
+        }
+        assert_eq!(g.stats().far_faults, 10);
+        assert_eq!(g.stats().pages_migrated, 10);
+        assert_eq!(g.stats().pages_prefetched, 0);
+        assert_eq!(g.read_stats().histogram.count_4kib(), 10);
+    }
+
+    #[test]
+    fn faults_serialize_through_a_single_lane_driver() {
+        let mut g = Gmmu::new(
+            UvmConfig::default()
+                .with_prefetch(PrefetchPolicy::None)
+                .with_fault_lanes(1),
+        );
+        let base = g.malloc_managed(Bytes::mib(2));
+        let r1 = g.handle_fault(base.page(), Cycle::ZERO);
+        let r2 = g.handle_fault(base.page().add(1), Cycle::ZERO);
+        // Second fault's handling starts only after the first fault is
+        // fully retired (handling window + migration landed).
+        assert_eq!(
+            r2.handled,
+            r1.fault_page_ready() + g.config().fault_latency
+        );
+        assert!(r2.fault_page_ready() > r1.fault_page_ready());
+    }
+
+    #[test]
+    fn fault_lanes_overlap_handling_windows() {
+        let mut g = Gmmu::new(
+            UvmConfig::default()
+                .with_prefetch(PrefetchPolicy::None)
+                .with_fault_lanes(4),
+        );
+        let base = g.malloc_managed(Bytes::mib(2));
+        let mut handled = Vec::new();
+        for i in 0..4 {
+            handled.push(g.handle_fault(base.page().add(i), Cycle::ZERO).handled);
+        }
+        // All four faults finish handling in the same 45us window.
+        assert!(handled.iter().all(|&h| h == handled[0]));
+        // The fifth queues behind the earliest lane, which is occupied
+        // until its fault's 4 KB migration lands.
+        let fifth = g.handle_fault(base.page().add(4), Cycle::ZERO);
+        let transfer = PcieModel::pascal_x16().transfer_time(PAGE_SIZE);
+        assert_eq!(
+            fifth.handled,
+            handled[0] + transfer + g.config().fault_latency
+        );
+    }
+
+    #[test]
+    fn random_prefetch_stays_in_large_page() {
+        let mut g = Gmmu::new(UvmConfig::default().with_prefetch(PrefetchPolicy::Random));
+        let base = g.malloc_managed(Bytes::mib(4));
+        let fault = base.page().add(600); // second large page
+        let res = g.handle_fault(fault, Cycle::ZERO);
+        assert_eq!(res.ready.len(), 2);
+        let extra = res.ready[1].0;
+        assert_eq!(extra.large_page(), fault.large_page());
+        assert_ne!(extra, fault);
+        assert_eq!(g.stats().pages_prefetched, 1);
+        // Both travel as separate 4 KB transfers.
+        assert_eq!(g.read_stats().histogram.count_4kib(), 2);
+    }
+
+    #[test]
+    fn sequential_local_prefetch_migrates_the_block() {
+        let mut g = Gmmu::new(UvmConfig::default().with_prefetch(PrefetchPolicy::SequentialLocal));
+        let base = g.malloc_managed(Bytes::mib(2));
+        let fault = base.page().add(5); // middle of block 0
+        let res = g.handle_fault(fault, Cycle::ZERO);
+        assert_eq!(res.ready.len(), 16);
+        for i in 0..16 {
+            assert!(g.is_resident(base.page().add(i)));
+        }
+        // Fault group 4 KB + prefetch group 60 KB.
+        assert_eq!(g.read_stats().histogram.count(PAGE_SIZE), 1);
+        assert_eq!(g.read_stats().histogram.count(Bytes::kib(60)), 1);
+        // A second fault in the same block never happens (all valid);
+        // fault in the next block migrates that block.
+        let res2 = g.handle_fault(base.page().add(16), Cycle::ZERO);
+        assert_eq!(res2.ready.len(), 16);
+    }
+
+    #[test]
+    fn mem_prefetch_async_migrates_a_range_in_bulk() {
+        let mut g = Gmmu::new(UvmConfig::default().with_prefetch(PrefetchPolicy::None));
+        let base = g.malloc_managed(Bytes::mib(4));
+        let ready = g.mem_prefetch_async(base, Bytes::mib(4), Cycle::ZERO);
+        assert_eq!(ready.len(), 1024);
+        assert_eq!(g.stats().pages_migrated, 1024);
+        assert_eq!(g.stats().pages_prefetched, 1024);
+        assert_eq!(g.stats().far_faults, 0);
+        // Two 2 MB transfers, no 4 KB piecemeal traffic.
+        assert_eq!(g.read_stats().histogram.count(Bytes::mib(2)), 2);
+        assert_eq!(g.read_stats().histogram.count_4kib(), 0);
+        // Subsequent accesses never fault.
+        for i in 0..1024 {
+            assert!(g.is_resident(base.page().add(i)));
+        }
+    }
+
+    #[test]
+    fn mem_prefetch_async_skips_resident_pages_and_foreign_ranges() {
+        let mut g = Gmmu::new(UvmConfig::default().with_prefetch(PrefetchPolicy::None));
+        let base = g.malloc_managed(Bytes::kib(128));
+        g.handle_fault(base.page().add(3), Cycle::ZERO);
+        let ready = g.mem_prefetch_async(base, Bytes::mib(64), Cycle::ZERO);
+        // 32 pages requested... allocation covers 32 pages, one already
+        // resident; the huge range clips to the allocation.
+        assert_eq!(ready.len(), 31);
+        // The resident page split the run into two transfers.
+        assert_eq!(g.read_stats().histogram.count(Bytes::kib(12)), 1);
+        assert_eq!(g.read_stats().histogram.count(Bytes::kib(112)), 1);
+    }
+
+    #[test]
+    fn mem_prefetch_async_respects_the_memory_budget() {
+        let mut g = Gmmu::new(
+            UvmConfig::default()
+                .with_capacity(Bytes::mib(1))
+                .with_prefetch(PrefetchPolicy::None)
+                .with_evict(EvictPolicy::SequentialLocal),
+        );
+        let base = g.malloc_managed(Bytes::mib(2));
+        let mut now = Cycle::ZERO;
+        // Touch the first 128 pages so there is something evictable.
+        for i in 0..128 {
+            let res = g.handle_fault(base.page().add(i), now);
+            now = res.fault_page_ready();
+            g.record_access(base.page().add(i), false);
+        }
+        let ready = g.mem_prefetch_async(
+            base.offset(Bytes::mib(1)),
+            Bytes::mib(1),
+            now + Duration::from_cycles(10_000),
+        );
+        assert_eq!(ready.len(), 256);
+        assert!(g.resident_pages() <= g.capacity_frames());
+        assert!(g.stats().pages_evicted > 0);
+    }
+
+    #[test]
+    fn mem_prefetch_async_empty_and_partial_ranges() {
+        let mut g = Gmmu::new(UvmConfig::default());
+        let base = g.malloc_managed(Bytes::mib(1));
+        assert!(g.mem_prefetch_async(base, Bytes::ZERO, Cycle::ZERO).is_empty());
+        // A 1-byte range covers exactly one page.
+        let ready = g.mem_prefetch_async(base, Bytes::new(1), Cycle::ZERO);
+        assert_eq!(ready.len(), 1);
+        // A range straddling a page boundary covers both pages.
+        let ready = g.mem_prefetch_async(
+            base.offset(Bytes::new(4095)),
+            Bytes::new(2),
+            Cycle::ZERO,
+        );
+        assert_eq!(ready.len(), 1, "page 0 already resident, page 1 migrates");
+    }
+
+    #[test]
+    fn zheng_512k_prefetches_128_consecutive_pages() {
+        let mut g = Gmmu::new(UvmConfig::default().with_prefetch(PrefetchPolicy::Sequential512K));
+        let base = g.malloc_managed(Bytes::mib(2));
+        let res = g.handle_fault(base.page(), Cycle::ZERO);
+        // Fault page + 127 consecutive prefetched pages, crossing 64 KB
+        // block boundaries (unlike SLp).
+        assert_eq!(res.ready.len(), 128);
+        assert!(g.is_resident(base.page().add(127)));
+        assert!(!g.is_resident(base.page().add(128)));
+        // One 4 KB fault group + one 508 KB prefetch group.
+        assert_eq!(g.read_stats().histogram.count(PAGE_SIZE), 1);
+        assert_eq!(g.read_stats().histogram.count(Bytes::kib(508)), 1);
+        // Near the allocation end, the plan clips.
+        let tail = base.page().add(511);
+        let res = g.handle_fault(tail, Cycle::ZERO);
+        assert_eq!(res.ready.len(), 1);
+    }
+
+    #[test]
+    fn tbnp_fig2a_through_the_driver() {
+        let mut g = Gmmu::new(
+            UvmConfig::default().with_prefetch(PrefetchPolicy::TreeBasedNeighborhood),
+        );
+        let base = g.malloc_managed(Bytes::kib(512));
+        let mut now = Cycle::ZERO;
+        for b in [1u64, 3, 5, 7] {
+            now = touch(&mut g, first_page_of_block(base, b), now);
+        }
+        assert_eq!(g.stats().pages_migrated, 4 * 16);
+        // Fifth fault on block 0 cascades: blocks 0, 2, 4, 6 migrate.
+        let res = g.handle_fault(first_page_of_block(base, 0), now);
+        assert_eq!(res.ready.len(), 4 * 16);
+        assert_eq!(g.resident_pages(), 128);
+        assert_eq!(g.stats().far_faults, 5);
+    }
+
+    #[test]
+    fn tbnp_contiguous_blocks_group_into_one_transfer() {
+        // Fig. 2b: after blocks 1,3 then 0 (+2 prefetched), the fault on
+        // block 4 migrates blocks 4..8 as 4 KB + 252 KB transfers.
+        let mut g = Gmmu::new(
+            UvmConfig::default().with_prefetch(PrefetchPolicy::TreeBasedNeighborhood),
+        );
+        let base = g.malloc_managed(Bytes::kib(512));
+        let mut now = Cycle::ZERO;
+        for b in [1u64, 3, 0] {
+            now = touch(&mut g, first_page_of_block(base, b), now);
+        }
+        let _ = g.handle_fault(first_page_of_block(base, 4), now);
+        assert_eq!(g.read_stats().histogram.count(Bytes::kib(252)), 1);
+        assert_eq!(g.resident_pages(), 128);
+    }
+
+    fn oversub_config(evict: EvictPolicy) -> UvmConfig {
+        // 1 MB budget (256 frames), 2 MB working set.
+        UvmConfig::default()
+            .with_capacity(Bytes::mib(1))
+            .with_prefetch(PrefetchPolicy::None)
+            .with_evict(evict)
+    }
+
+    #[test]
+    fn lru_eviction_picks_oldest_accessed_page() {
+        let mut g = Gmmu::new(oversub_config(EvictPolicy::LruPage));
+        let base = g.malloc_managed(Bytes::mib(2));
+        let mut now = Cycle::ZERO;
+        for i in 0..256 {
+            now = touch(&mut g, base.page().add(i), now);
+        }
+        assert_eq!(g.stats().pages_evicted, 0);
+        // Next fault evicts page 0, the LRU.
+        let res = g.handle_fault(base.page().add(256), now);
+        assert_eq!(res.evicted, vec![base.page()]);
+        assert!(!g.is_resident(base.page()));
+        assert_eq!(g.stats().pages_evicted, 1);
+    }
+
+    #[test]
+    fn demand_eviction_stalls_behind_writeback() {
+        let mut g = Gmmu::new(oversub_config(EvictPolicy::LruPage));
+        let base = g.malloc_managed(Bytes::mib(2));
+        let mut now = Cycle::ZERO;
+        for i in 0..256 {
+            now = touch(&mut g, base.page().add(i), now);
+        }
+        let res = g.handle_fault(base.page().add(256), now);
+        // The migration waited for the 4 KB write-back after handling.
+        let wb = PcieModel::pascal_x16().transfer_time(PAGE_SIZE);
+        let read = PcieModel::pascal_x16().transfer_time(PAGE_SIZE);
+        assert_eq!(res.fault_page_ready(), res.handled + wb + read);
+    }
+
+    #[test]
+    fn pre_eviction_does_not_stall_migration() {
+        let mut g = Gmmu::new(oversub_config(EvictPolicy::SequentialLocal));
+        let base = g.malloc_managed(Bytes::mib(2));
+        let mut now = Cycle::ZERO;
+        for i in 0..256 {
+            now = touch(&mut g, base.page().add(i), now);
+        }
+        let res = g.handle_fault(base.page().add(256), now);
+        let read = PcieModel::pascal_x16().transfer_time(PAGE_SIZE);
+        assert_eq!(res.fault_page_ready(), res.handled + read);
+        // And a whole 64 KB block was written back as one unit.
+        assert_eq!(g.write_stats().histogram.count(Bytes::kib(64)), 1);
+        assert_eq!(g.stats().pages_evicted, 16);
+    }
+
+    #[test]
+    fn tbne_cascade_groups_writebacks() {
+        // Reproduce Fig. 8 through the driver: fill 512 KB, evict via
+        // TBNe with LRU order blocks 1, 3, 4, 0.
+        let mut g = Gmmu::new(
+            UvmConfig::default()
+                .with_capacity(Bytes::kib(512))
+                .with_prefetch(PrefetchPolicy::None)
+                .with_evict(EvictPolicy::TreeBasedNeighborhood),
+        );
+        let base = g.malloc_managed(Bytes::kib(512));
+        let other = g.malloc_managed(Bytes::kib(512));
+        let mut now = Cycle::ZERO;
+        // Fill all 8 blocks of the first allocation's tree.
+        for b in 0..8 {
+            for p in 0..16 {
+                now = touch(&mut g, base.page().add(b * 16 + p), now);
+            }
+        }
+        // Access order for LRU: make blocks 1, 3, 4, 0 the LRU order,
+        // then 2, 5, 6, 7 more recent.
+        for b in [1u64, 3, 4, 0, 2, 5, 6, 7] {
+            now = touch(&mut g, first_page_of_block(base, b), now);
+        }
+        // One fault in the second allocation forces eviction: victim
+        // is block 1 of the first tree.
+        let res = g.handle_fault(other.page(), now);
+        // Block 1 evicted alone (no cascade at 7/8 valid).
+        assert_eq!(res.evicted.len(), 16);
+        assert_eq!(res.evicted[0].basic_block().index(), 1);
+    }
+
+    #[test]
+    fn large_page_eviction_moves_2mb_as_one_transfer() {
+        let mut g = Gmmu::new(
+            UvmConfig::default()
+                .with_capacity(Bytes::mib(2))
+                .with_prefetch(PrefetchPolicy::None)
+                .with_evict(EvictPolicy::LruLargePage),
+        );
+        let base = g.malloc_managed(Bytes::mib(4));
+        let mut now = Cycle::ZERO;
+        for i in 0..512 {
+            now = touch(&mut g, base.page().add(i), now);
+        }
+        // Let the grace pin on the most recent migration expire.
+        now = now + Duration::from_cycles(10_000);
+        let res = g.handle_fault(base.page().add(512), now);
+        assert_eq!(res.evicted.len(), 512);
+        assert_eq!(g.write_stats().histogram.count(Bytes::mib(2)), 1);
+    }
+
+    #[test]
+    fn prefetch_kill_switch_on_oversubscription() {
+        let mut g = Gmmu::new(
+            UvmConfig::default()
+                .with_capacity(Bytes::mib(1))
+                .with_prefetch(PrefetchPolicy::SequentialLocal)
+                .with_evict(EvictPolicy::LruPage)
+                .with_disable_prefetch_on_oversubscription(true),
+        );
+        let base = g.malloc_managed(Bytes::mib(2));
+        let mut now = Cycle::ZERO;
+        // 16 block faults fill the 256-frame budget exactly.
+        for b in 0..16 {
+            now = touch(&mut g, first_page_of_block(base, b), now);
+        }
+        assert!(g.prefetch_disabled());
+        let before = g.stats().pages_prefetched;
+        let _ = touch(&mut g, first_page_of_block(base, 16), now);
+        assert_eq!(g.stats().pages_prefetched, before, "no prefetch after full");
+        assert_eq!(g.stats().pages_evicted, 1, "single 4 KB demand eviction");
+    }
+
+    #[test]
+    fn free_page_buffer_disables_prefetch_early_and_keeps_frames_free() {
+        let mut g = Gmmu::new(
+            UvmConfig::default()
+                .with_capacity(Bytes::mib(1))
+                .with_prefetch(PrefetchPolicy::SequentialLocal)
+                .with_evict(EvictPolicy::LruPage)
+                .with_free_buffer_frac(0.10),
+        );
+        let base = g.malloc_managed(Bytes::mib(2));
+        let mut now = Cycle::ZERO;
+        for b in 0..32 {
+            now = touch(&mut g, first_page_of_block(base, b), now);
+        }
+        assert!(g.prefetch_disabled());
+        // The buffer keeps ~10% of 256 frames free at fault time.
+        assert!(g.capacity_frames() - g.resident_pages() >= 25);
+        assert!(g.stats().pages_evicted > 0);
+    }
+
+    #[test]
+    fn reservation_protects_top_of_lru() {
+        let mut g = Gmmu::new(
+            UvmConfig::default()
+                .with_capacity(Bytes::mib(1))
+                .with_prefetch(PrefetchPolicy::None)
+                .with_evict(EvictPolicy::LruPage)
+                .with_reserve_frac(0.10),
+        );
+        let base = g.malloc_managed(Bytes::mib(2));
+        let mut now = Cycle::ZERO;
+        for i in 0..256 {
+            now = touch(&mut g, base.page().add(i), now);
+        }
+        // 10% of 256 = 25 pages reserved; the victim is page 25.
+        let res = g.handle_fault(base.page().add(256), now);
+        assert_eq!(res.evicted, vec![base.page().add(25)]);
+        assert!(g.is_resident(base.page()));
+    }
+
+    #[test]
+    fn thrashing_counts_re_migrations() {
+        let mut g = Gmmu::new(oversub_config(EvictPolicy::LruPage));
+        let base = g.malloc_managed(Bytes::mib(2));
+        let mut now = Cycle::ZERO;
+        // Two linear sweeps over 512 pages with a 256-frame budget:
+        // the second sweep re-migrates evicted pages.
+        for _ in 0..2 {
+            for i in 0..512 {
+                now = touch(&mut g, base.page().add(i), now);
+            }
+        }
+        assert!(g.stats().pages_thrashed > 0);
+        assert!(g.stats().pages_thrashed <= g.stats().pages_evicted);
+    }
+
+    #[test]
+    fn random_eviction_is_seeded_and_reproducible() {
+        let run = |seed| {
+            let mut g = Gmmu::new(oversub_config(EvictPolicy::RandomPage).with_rng_seed(seed));
+            let base = g.malloc_managed(Bytes::mib(2));
+            let mut now = Cycle::ZERO;
+            for i in 0..300 {
+                now = touch(&mut g, base.page().add(i), now);
+            }
+            g.stats().clone()
+        };
+        assert_eq!(run(7), run(7));
+        assert_eq!(run(7).pages_evicted, 300 - 256);
+    }
+
+    #[test]
+    fn ready_time_reports_in_flight_pages() {
+        let mut g = Gmmu::new(
+            UvmConfig::default().with_prefetch(PrefetchPolicy::SequentialLocal),
+        );
+        let base = g.malloc_managed(Bytes::mib(2));
+        let res = g.handle_fault(base.page(), Cycle::ZERO);
+        let (last_page, last_ready) = *res.ready.last().unwrap();
+        // Immediately after the fault, the prefetched tail is in flight.
+        assert_eq!(g.ready_time(last_page, Cycle::ZERO), Some(last_ready));
+        // Once its transfer completes it is no longer in flight.
+        assert_eq!(g.ready_time(last_page, last_ready), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-resident")]
+    fn fault_on_resident_page_panics() {
+        let mut g = Gmmu::new(UvmConfig::default());
+        let base = g.malloc_managed(Bytes::mib(2));
+        g.handle_fault(base.page(), Cycle::ZERO);
+        g.handle_fault(base.page(), Cycle::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "unmanaged")]
+    fn fault_outside_allocations_panics() {
+        let mut g = Gmmu::new(UvmConfig::default());
+        g.handle_fault(PageId::new(1_000_000), Cycle::ZERO);
+    }
+
+    #[test]
+    fn prefetch_trimmed_to_budget() {
+        // A 1 MB budget with a 2 MB allocation: TBNp would love to pull
+        // large chunks, but migrations never exceed the budget.
+        let mut g = Gmmu::new(
+            UvmConfig::default()
+                .with_capacity(Bytes::mib(1))
+                .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
+                .with_evict(EvictPolicy::TreeBasedNeighborhood),
+        );
+        let base = g.malloc_managed(Bytes::mib(2));
+        let mut now = Cycle::ZERO;
+        for b in 0..32 {
+            now = touch(&mut g, first_page_of_block(base, b), now);
+            assert!(g.resident_pages() <= g.capacity_frames());
+        }
+        assert!(g.stats().pages_evicted > 0);
+    }
+
+    #[test]
+    fn congested_read_channel_suppresses_prefetch() {
+        // Saturate the read channel with a user-directed bulk copy,
+        // then fault: the prefetcher must stand down (demand-only)
+        // until the backlog drains below the congestion cap.
+        let mut g = Gmmu::new(
+            UvmConfig::default()
+                .with_prefetch(PrefetchPolicy::SequentialLocal)
+                .with_prefetch_congestion_cap(Duration::from_micros(50.0)),
+        );
+        let big = g.malloc_managed(Bytes::mib(8));
+        let other = g.malloc_managed(Bytes::mib(2));
+        // ~8 MiB of transfers = ~730us of backlog at peak bandwidth.
+        g.mem_prefetch_async(big, Bytes::mib(8), Cycle::ZERO);
+        let res = g.handle_fault(other.page(), Cycle::ZERO);
+        assert_eq!(res.ready.len(), 1, "no prefetch while congested");
+        // Far in the future the backlog has drained: prefetch resumes.
+        let later = Cycle::ZERO + Duration::from_micros(5_000.0);
+        let res = g.handle_fault(other.page().add(16), later);
+        assert_eq!(res.ready.len(), 16, "prefetch resumes when idle");
+    }
+
+    #[test]
+    fn prefetch_accuracy_accounting_through_the_driver() {
+        let mut g = Gmmu::new(
+            UvmConfig::default()
+                .with_capacity(Bytes::kib(128)) // 32 frames
+                .with_prefetch(PrefetchPolicy::SequentialLocal)
+                .with_evict(EvictPolicy::SequentialLocal),
+        );
+        let base = g.malloc_managed(Bytes::mib(1));
+        let mut now = Cycle::ZERO;
+        // Touch two pages per block (the fault page plus one
+        // prefetched neighbour): 14 of 16 prefetched pages per block
+        // are never accessed.
+        for b in 0..4 {
+            now = touch(&mut g, first_page_of_block(base, b), now);
+            now = touch(&mut g, first_page_of_block(base, b).add(1), now);
+        }
+        now = now + Duration::from_cycles(10_000);
+        // Force evictions of the untouched prefetched pages.
+        for b in 4..6 {
+            now = touch(&mut g, first_page_of_block(base, b), now);
+            now = now + Duration::from_cycles(10_000);
+        }
+        let s = g.stats();
+        assert!(s.prefetched_wasted > 0, "unused prefetched pages evicted");
+        assert!(s.prefetched_used > 0, "accessed pages counted as used");
+        assert!(s.prefetch_accuracy() < 1.0);
+        // Clean write-backs: nothing was written, so every evicted page
+        // was clean.
+        assert_eq!(s.clean_pages_written_back, s.pages_evicted);
+    }
+
+    #[test]
+    fn dirty_only_writeback_moves_fewer_bytes() {
+        let run = |dirty_only: bool| {
+            let mut g = Gmmu::new(
+                UvmConfig::default()
+                    .with_capacity(Bytes::kib(256))
+                    .with_prefetch(PrefetchPolicy::SequentialLocal)
+                    .with_evict(EvictPolicy::SequentialLocal)
+                    .with_writeback_dirty_only(dirty_only),
+            );
+            let base = g.malloc_managed(Bytes::mib(1));
+            let mut now = Cycle::ZERO;
+            // Sweep 128 pages writing every fourth page, through a
+            // 64-frame budget.
+            for i in 0..128u64 {
+                let p = base.page().add(i);
+                if !g.is_resident(p) {
+                    let res = g.handle_fault(p, now);
+                    now = res.fault_page_ready() + Duration::from_cycles(3_000);
+                }
+                g.record_access(p, i % 4 == 0);
+            }
+            (g.write_stats().bytes, g.stats().pages_evicted)
+        };
+        let (bulk_bytes, bulk_evicted) = run(false);
+        let (dirty_bytes, dirty_evicted) = run(true);
+        assert_eq!(bulk_evicted, dirty_evicted, "same eviction decisions");
+        assert_eq!(bulk_bytes, PAGE_SIZE * bulk_evicted, "bulk writes everything");
+        assert!(
+            dirty_bytes.bytes() < bulk_bytes.bytes() / 2,
+            "dirty-only writes ~1/4 of the pages ({dirty_bytes} vs {bulk_bytes})"
+        );
+    }
+
+    #[test]
+    fn driver_latency_is_45us() {
+        let mut g = Gmmu::new(UvmConfig::default());
+        let base = g.malloc_managed(Bytes::mib(2));
+        let res = g.handle_fault(base.page(), Cycle::new(1000));
+        assert_eq!(
+            res.handled,
+            Cycle::new(1000) + Duration::from_micros(45.0)
+        );
+    }
+}

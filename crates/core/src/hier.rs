@@ -1,0 +1,308 @@
+//! The hierarchical LRU ordering used by the pre-eviction policies.
+//!
+//! Paper Sec. 5.3: pages enter the list as soon as their valid flag is
+//! set (not on first access, as a traditional LRU would), so unused
+//! prefetched pages are evictable alongside their neighbours. Ordering
+//! is hierarchical: 2 MB large pages are ordered by the access
+//! timestamp of the whole chunk, and the 64 KB basic blocks within a
+//! large page are ordered by their own access timestamps. Eviction
+//! candidates are therefore *basic blocks*: the LRU block of the LRU
+//! large page.
+
+use std::collections::HashMap;
+
+use uvm_types::{BasicBlockId, LargePageId, PageId};
+
+use crate::lru::LruQueue;
+
+/// Hierarchically ordered residency list at (large page, basic block)
+/// granularity.
+///
+/// # Examples
+///
+/// ```
+/// use uvm_core::HierarchicalLru;
+/// use uvm_types::PageId;
+///
+/// let mut h = HierarchicalLru::new();
+/// h.on_validate(PageId::new(0));
+/// h.on_validate(PageId::new(512)); // second large page
+/// h.on_access(PageId::new(0));     // first large page becomes MRU
+/// let victim = h.candidate(0, |_| true).unwrap();
+/// assert_eq!(victim, PageId::new(512).basic_block());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct HierarchicalLru {
+    /// Large pages, LRU-ordered by chunk access time.
+    large_pages: LruQueue<LargePageId>,
+    /// Per large page: its resident basic blocks, LRU-ordered.
+    blocks: HashMap<LargePageId, LruQueue<BasicBlockId>>,
+    /// Resident pages per basic block.
+    pages_per_block: HashMap<BasicBlockId, u32>,
+    /// Total resident pages tracked.
+    total_pages: u64,
+}
+
+impl HierarchicalLru {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `page` as newly valid (migrated). Sec. 5.3: pages are
+    /// *placed at the back of the LRU list* when their valid flag is
+    /// set, so migration refreshes the block's and large page's
+    /// position just as an access would — a freshly migrated block is
+    /// never the immediate next victim.
+    pub fn on_validate(&mut self, page: PageId) {
+        let bb = page.basic_block();
+        let lp = page.large_page();
+        self.large_pages.touch(lp);
+        self.blocks.entry(lp).or_default().touch(bb);
+        *self.pages_per_block.entry(bb).or_insert(0) += 1;
+        self.total_pages += 1;
+    }
+
+    /// Records an access to `page`: its large page and basic block move
+    /// to the MRU end of their respective orders.
+    pub fn on_access(&mut self, page: PageId) {
+        let bb = page.basic_block();
+        let lp = page.large_page();
+        self.large_pages.touch(lp);
+        self.blocks.entry(lp).or_default().touch(bb);
+    }
+
+    /// Removes one page of `block` from the accounting (the page was
+    /// individually invalidated). Removes the block/large page entries
+    /// once empty.
+    pub fn on_invalidate_page(&mut self, page: PageId) {
+        let bb = page.basic_block();
+        let count = self
+            .pages_per_block
+            .get_mut(&bb)
+            .expect("invalidate of untracked page");
+        *count -= 1;
+        self.total_pages -= 1;
+        if *count == 0 {
+            self.pages_per_block.remove(&bb);
+            let lp = bb.large_page();
+            if let Some(q) = self.blocks.get_mut(&lp) {
+                q.remove(&bb);
+                if q.is_empty() {
+                    self.blocks.remove(&lp);
+                    self.large_pages.remove(&lp);
+                }
+            }
+        }
+    }
+
+    /// Resident pages currently tracked.
+    pub fn total_pages(&self) -> u64 {
+        self.total_pages
+    }
+
+    /// Resident pages of `block`.
+    pub fn block_pages(&self, block: BasicBlockId) -> u32 {
+        self.pages_per_block.get(&block).copied().unwrap_or(0)
+    }
+
+    /// Picks the eviction-candidate basic block: the least-recently
+    /// used block of the least-recently used large page, after skipping
+    /// the `reserve_pages` least-recent pages (the Sec. 5.3 reservation
+    /// optimisation) and any block rejected by `eligible`.
+    pub fn candidate(
+        &self,
+        reserve_pages: u64,
+        mut eligible: impl FnMut(BasicBlockId) -> bool,
+    ) -> Option<BasicBlockId> {
+        let mut skipped = 0u64;
+        for lp in self.large_pages.iter() {
+            let Some(blocks) = self.blocks.get(lp) else {
+                continue;
+            };
+            for &bb in blocks.iter() {
+                let pages = u64::from(self.block_pages(bb));
+                if skipped < reserve_pages {
+                    skipped += pages;
+                    continue;
+                }
+                if eligible(bb) {
+                    return Some(bb);
+                }
+            }
+        }
+        None
+    }
+
+    /// Picks the eviction-candidate *large page* for 2 MB LRU eviction,
+    /// after skipping `reserve_pages` least-recent pages.
+    pub fn candidate_large_page(
+        &self,
+        reserve_pages: u64,
+        mut eligible: impl FnMut(LargePageId) -> bool,
+    ) -> Option<LargePageId> {
+        let mut skipped = 0u64;
+        for &lp in self.large_pages.iter() {
+            let pages: u64 = self
+                .blocks
+                .get(&lp)
+                .map(|q| q.iter().map(|&b| u64::from(self.block_pages(b))).sum())
+                .unwrap_or(0);
+            if skipped < reserve_pages {
+                skipped += pages;
+                continue;
+            }
+            if eligible(lp) {
+                return Some(lp);
+            }
+        }
+        None
+    }
+
+    /// Resident basic blocks of `lp` in LRU order.
+    pub fn blocks_of(&self, lp: LargePageId) -> impl Iterator<Item = BasicBlockId> + '_ {
+        self.blocks.get(&lp).into_iter().flat_map(|q| q.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(i: u64) -> PageId {
+        PageId::new(i)
+    }
+
+    #[test]
+    fn validate_tracks_counts() {
+        let mut h = HierarchicalLru::new();
+        for i in 0..16 {
+            h.on_validate(page(i));
+        }
+        assert_eq!(h.total_pages(), 16);
+        assert_eq!(h.block_pages(BasicBlockId::new(0)), 16);
+        assert_eq!(h.block_pages(BasicBlockId::new(1)), 0);
+    }
+
+    #[test]
+    fn candidate_is_lru_block_of_lru_large_page() {
+        let mut h = HierarchicalLru::new();
+        // Two large pages; validate one block in each.
+        h.on_validate(page(0)); // lp0, bb0
+        h.on_validate(page(512)); // lp1, bb32
+        // Access lp0 -> lp1 is LRU.
+        h.on_access(page(0));
+        let c = h.candidate(0, |_| true).unwrap();
+        assert_eq!(c, BasicBlockId::new(32));
+        // Now access lp1; lp0 becomes LRU.
+        h.on_access(page(512));
+        let c = h.candidate(0, |_| true).unwrap();
+        assert_eq!(c, BasicBlockId::new(0));
+    }
+
+    #[test]
+    fn within_large_page_blocks_ordered_by_access() {
+        let mut h = HierarchicalLru::new();
+        h.on_validate(page(0)); // bb0
+        h.on_validate(page(16)); // bb1
+        h.on_validate(page(32)); // bb2
+        h.on_access(page(0));
+        h.on_access(page(32));
+        // bb1 was validated but never accessed; insert order makes it
+        // older than the touched ones.
+        let c = h.candidate(0, |_| true).unwrap();
+        assert_eq!(c, BasicBlockId::new(1));
+    }
+
+    #[test]
+    fn unaccessed_prefetched_blocks_are_evictable() {
+        // The whole point of the Sec. 5.3 design choice: valid-but-
+        // never-accessed blocks appear in the list.
+        let mut h = HierarchicalLru::new();
+        for i in 0..16 {
+            h.on_validate(page(i)); // bb0, never accessed
+        }
+        assert!(h.candidate(0, |_| true).is_some());
+    }
+
+    #[test]
+    fn reservation_skips_top_of_list() {
+        let mut h = HierarchicalLru::new();
+        // Three blocks of 16 pages each in one large page.
+        for b in 0..3u64 {
+            for i in 0..16 {
+                h.on_validate(page(b * 16 + i));
+            }
+            h.on_access(page(b * 16)); // access order: bb0, bb1, bb2
+        }
+        // No reservation: bb0.
+        assert_eq!(h.candidate(0, |_| true).unwrap(), BasicBlockId::new(0));
+        // Reserving 16 pages skips bb0.
+        assert_eq!(h.candidate(16, |_| true).unwrap(), BasicBlockId::new(1));
+        // Reserving 17..32 pages also skips bb1.
+        assert_eq!(h.candidate(20, |_| true).unwrap(), BasicBlockId::new(2));
+        // Reserving everything: no candidate.
+        assert_eq!(h.candidate(48, |_| true), None);
+    }
+
+    #[test]
+    fn eligibility_filter_respected() {
+        let mut h = HierarchicalLru::new();
+        h.on_validate(page(0)); // bb0
+        h.on_validate(page(16)); // bb1
+        let c = h.candidate(0, |bb| bb != BasicBlockId::new(0)).unwrap();
+        assert_eq!(c, BasicBlockId::new(1));
+        assert_eq!(h.candidate(0, |_| false), None);
+    }
+
+    #[test]
+    fn invalidate_page_removes_empty_structures() {
+        let mut h = HierarchicalLru::new();
+        h.on_validate(page(0));
+        h.on_validate(page(1));
+        h.on_invalidate_page(page(0));
+        assert_eq!(h.total_pages(), 1);
+        assert_eq!(h.block_pages(BasicBlockId::new(0)), 1);
+        h.on_invalidate_page(page(1));
+        assert_eq!(h.total_pages(), 0);
+        assert!(h.candidate(0, |_| true).is_none());
+    }
+
+    #[test]
+    fn candidate_large_page_order() {
+        let mut h = HierarchicalLru::new();
+        h.on_validate(page(0)); // lp0
+        h.on_validate(page(512)); // lp1
+        h.on_validate(page(1024)); // lp2
+        h.on_access(page(0));
+        h.on_access(page(1024));
+        // LRU large page is lp1 (validated, never accessed, but lp0 and
+        // lp2 were touched after).
+        assert_eq!(
+            h.candidate_large_page(0, |_| true).unwrap(),
+            LargePageId::new(1)
+        );
+        // Reservation skipping one page's worth skips lp1.
+        assert_eq!(
+            h.candidate_large_page(1, |_| true).unwrap(),
+            LargePageId::new(0)
+        );
+    }
+
+    #[test]
+    fn blocks_of_iterates_lru_order() {
+        let mut h = HierarchicalLru::new();
+        h.on_validate(page(0));
+        h.on_validate(page(16));
+        h.on_access(page(0)); // bb0 newer than bb1
+        let order: Vec<_> = h.blocks_of(LargePageId::new(0)).collect();
+        assert_eq!(order, vec![BasicBlockId::new(1), BasicBlockId::new(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "untracked")]
+    fn invalidate_untracked_page_panics() {
+        let mut h = HierarchicalLru::new();
+        h.on_invalidate_page(page(0));
+    }
+}

@@ -1,0 +1,157 @@
+//! An O(1) indexable page set, used by the random eviction policy to
+//! pick a uniformly random resident page.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use uvm_types::PageId;
+
+/// A set of pages supporting O(1) insert, remove, membership, and
+/// uniform random sampling.
+///
+/// # Examples
+///
+/// ```
+/// use uvm_core::IndexedPageSet;
+/// use uvm_types::PageId;
+///
+/// let mut set = IndexedPageSet::new();
+/// set.insert(PageId::new(7));
+/// assert!(set.contains(PageId::new(7)));
+/// assert_eq!(set.len(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct IndexedPageSet {
+    items: Vec<PageId>,
+    index: HashMap<PageId, usize>,
+}
+
+impl IndexedPageSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `page`; returns `true` if it was newly added.
+    pub fn insert(&mut self, page: PageId) -> bool {
+        if self.index.contains_key(&page) {
+            return false;
+        }
+        self.index.insert(page, self.items.len());
+        self.items.push(page);
+        true
+    }
+
+    /// Removes `page` (swap-remove); returns `true` if it was present.
+    pub fn remove(&mut self, page: PageId) -> bool {
+        let Some(pos) = self.index.remove(&page) else {
+            return false;
+        };
+        let last = self.items.pop().expect("index implies non-empty");
+        if pos < self.items.len() {
+            self.items[pos] = last;
+            self.index.insert(last, pos);
+        }
+        true
+    }
+
+    /// `true` if `page` is in the set.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.index.contains_key(&page)
+    }
+
+    /// Number of pages in the set.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// A uniformly random member, or `None` if empty.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Option<PageId> {
+        if self.items.is_empty() {
+            None
+        } else {
+            Some(self.items[rng.gen_range(0..self.items.len())])
+        }
+    }
+
+    /// Iterates over members in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.items.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = IndexedPageSet::new();
+        assert!(s.insert(PageId::new(1)));
+        assert!(!s.insert(PageId::new(1)), "duplicate insert rejected");
+        assert!(s.contains(PageId::new(1)));
+        assert!(s.remove(PageId::new(1)));
+        assert!(!s.remove(PageId::new(1)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn swap_remove_keeps_index_consistent() {
+        let mut s = IndexedPageSet::new();
+        for i in 0..10 {
+            s.insert(PageId::new(i));
+        }
+        s.remove(PageId::new(0)); // forces a swap with the last element
+        for i in 1..10 {
+            assert!(s.contains(PageId::new(i)), "page {i} lost after swap");
+        }
+        assert_eq!(s.len(), 9);
+        // Remove everything; the set must empty cleanly.
+        for i in 1..10 {
+            assert!(s.remove(PageId::new(i)));
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn sample_is_uniformish_and_member() {
+        let mut s = IndexedPageSet::new();
+        for i in 0..100 {
+            s.insert(PageId::new(i));
+        }
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let p = s.sample(&mut rng).unwrap();
+            assert!(s.contains(p));
+            seen.insert(p.index());
+        }
+        // With 1000 draws over 100 items, nearly all items appear.
+        assert!(seen.len() > 90, "only {} distinct samples", seen.len());
+    }
+
+    #[test]
+    fn sample_empty_is_none() {
+        let s = IndexedPageSet::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(s.sample(&mut rng), None);
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut s = IndexedPageSet::new();
+        for i in [3u64, 1, 4] {
+            s.insert(PageId::new(i));
+        }
+        let mut got: Vec<_> = s.iter().map(|p| p.index()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 3, 4]);
+    }
+}

@@ -1,0 +1,180 @@
+//! LRU bookkeeping: a generic recency queue plus the hierarchical
+//! (large-page → basic-block) ordering used by the pre-eviction
+//! policies (paper Sec. 5.3).
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// A recency-ordered set with O(log n) touch/insert/remove and ordered
+/// traversal from least- to most-recently used.
+///
+/// # Examples
+///
+/// ```
+/// use uvm_core::LruQueue;
+///
+/// let mut lru = LruQueue::new();
+/// lru.touch("a");
+/// lru.touch("b");
+/// lru.touch("a"); // refresh
+/// assert_eq!(lru.peek_lru(), Some(&"b"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LruQueue<K> {
+    /// Monotonic access stamp, incremented on every touch.
+    clock: u64,
+    /// stamp -> key, ordered; the smallest stamp is the LRU element.
+    by_stamp: BTreeMap<u64, K>,
+    /// key -> its current stamp.
+    stamps: HashMap<K, u64>,
+}
+
+impl<K: Clone + Eq + Hash> Default for LruQueue<K> {
+    fn default() -> Self {
+        LruQueue {
+            clock: 0,
+            by_stamp: BTreeMap::new(),
+            stamps: HashMap::new(),
+        }
+    }
+}
+
+impl<K: Clone + Eq + Hash> LruQueue<K> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `key` at the MRU end, or refreshes it if present.
+    pub fn touch(&mut self, key: K) {
+        if let Some(old) = self.stamps.get(&key) {
+            self.by_stamp.remove(old);
+        }
+        self.clock += 1;
+        self.by_stamp.insert(self.clock, key.clone());
+        self.stamps.insert(key, self.clock);
+    }
+
+    /// Inserts `key` at the MRU end only if absent (used for pages that
+    /// become valid without being accessed — Sec. 5.3's design choice).
+    pub fn insert_if_absent(&mut self, key: K) {
+        if !self.stamps.contains_key(&key) {
+            self.touch(key);
+        }
+    }
+
+    /// Removes `key`, returning `true` if it was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        match self.stamps.remove(key) {
+            Some(stamp) => {
+                self.by_stamp.remove(&stamp);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// `true` if `key` is in the queue.
+    pub fn contains(&self, key: &K) -> bool {
+        self.stamps.contains_key(key)
+    }
+
+    /// The least-recently-used element.
+    pub fn peek_lru(&self) -> Option<&K> {
+        self.by_stamp.values().next()
+    }
+
+    /// Removes and returns the least-recently-used element.
+    pub fn pop_lru(&mut self) -> Option<K> {
+        let (&stamp, _) = self.by_stamp.iter().next()?;
+        let key = self.by_stamp.remove(&stamp).expect("stamp exists");
+        self.stamps.remove(&key);
+        Some(key)
+    }
+
+    /// Iterates from least- to most-recently used.
+    pub fn iter(&self) -> impl Iterator<Item = &K> {
+        self.by_stamp.values()
+    }
+
+    /// The `skip`-th least-recently-used element (0 = the LRU), used to
+    /// implement reservation of the top of the LRU list.
+    pub fn peek_nth(&self, skip: usize) -> Option<&K> {
+        self.by_stamp.values().nth(skip)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.by_stamp.len()
+    }
+
+    /// `true` if the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_stamp.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touch_orders_by_recency() {
+        let mut q = LruQueue::new();
+        q.touch(1);
+        q.touch(2);
+        q.touch(3);
+        assert_eq!(q.peek_lru(), Some(&1));
+        q.touch(1);
+        assert_eq!(q.peek_lru(), Some(&2));
+        assert_eq!(q.pop_lru(), Some(2));
+        assert_eq!(q.pop_lru(), Some(3));
+        assert_eq!(q.pop_lru(), Some(1));
+        assert_eq!(q.pop_lru(), None);
+    }
+
+    #[test]
+    fn insert_if_absent_preserves_position() {
+        let mut q = LruQueue::new();
+        q.touch("x");
+        q.touch("y");
+        q.insert_if_absent("x"); // must NOT refresh x
+        assert_eq!(q.peek_lru(), Some(&"x"));
+        q.insert_if_absent("z");
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut q = LruQueue::new();
+        q.touch(10);
+        q.touch(20);
+        assert!(q.contains(&10));
+        assert!(q.remove(&10));
+        assert!(!q.contains(&10));
+        assert!(!q.remove(&10));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn iteration_order_lru_to_mru() {
+        let mut q = LruQueue::new();
+        for i in [5, 3, 9, 3] {
+            q.touch(i);
+        }
+        let order: Vec<_> = q.iter().copied().collect();
+        assert_eq!(order, vec![5, 9, 3]);
+    }
+
+    #[test]
+    fn peek_nth_skips_reserved_prefix() {
+        let mut q = LruQueue::new();
+        for i in 0..10 {
+            q.touch(i);
+        }
+        assert_eq!(q.peek_nth(0), Some(&0));
+        assert_eq!(q.peek_nth(3), Some(&3));
+        assert_eq!(q.peek_nth(10), None);
+    }
+}

@@ -1,0 +1,197 @@
+//! Policy selectors: which hardware prefetcher and which eviction
+//! policy the GMMU runs.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The hardware prefetcher in force (paper Sec. 3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PrefetchPolicy {
+    /// No prefetching: pure 4 KB on-demand migration.
+    #[default]
+    None,
+    /// Rp: one random 4 KB page from the faulty page's 2 MB large page
+    /// is migrated alongside the faulty page (Sec. 3.1).
+    Random,
+    /// SLp: the faulty page's whole 64 KB basic block is migrated,
+    /// split into a page-fault group and a prefetch group (Sec. 3.2).
+    SequentialLocal,
+    /// The locality-aware prefetcher of Zheng et al. [26], which the
+    /// paper contrasts with SLp: 128 consecutive 4 KB pages (512 KB)
+    /// starting from the faulty page, crossing 64 KB block boundaries
+    /// (and potentially 2 MB boundaries, requiring the cross-large-page
+    /// coordination the paper's SLp avoids).
+    Sequential512K,
+    /// TBNp: the tree-based neighborhood prefetcher reverse-engineered
+    /// from the NVIDIA driver (Sec. 3.3).
+    TreeBasedNeighborhood,
+}
+
+impl PrefetchPolicy {
+    /// The prefetchers the paper's figures compare, in figure order
+    /// (the Zheng et al. 512 KB variant is an ablation, not a figure
+    /// series).
+    pub const ALL: [PrefetchPolicy; 4] = [
+        PrefetchPolicy::None,
+        PrefetchPolicy::Random,
+        PrefetchPolicy::SequentialLocal,
+        PrefetchPolicy::TreeBasedNeighborhood,
+    ];
+
+    /// Every implemented prefetcher, including ablation variants.
+    pub const ALL_WITH_ABLATIONS: [PrefetchPolicy; 5] = [
+        PrefetchPolicy::None,
+        PrefetchPolicy::Random,
+        PrefetchPolicy::SequentialLocal,
+        PrefetchPolicy::Sequential512K,
+        PrefetchPolicy::TreeBasedNeighborhood,
+    ];
+}
+
+impl fmt::Display for PrefetchPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PrefetchPolicy::None => "none",
+            PrefetchPolicy::Random => "Rp",
+            PrefetchPolicy::SequentialLocal => "SLp",
+            PrefetchPolicy::Sequential512K => "SZp",
+            PrefetchPolicy::TreeBasedNeighborhood => "TBNp",
+        })
+    }
+}
+
+impl FromStr for PrefetchPolicy {
+    type Err = ParsePolicyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" => Ok(PrefetchPolicy::None),
+            "Rp" | "random" => Ok(PrefetchPolicy::Random),
+            "SLp" | "sequential-local" => Ok(PrefetchPolicy::SequentialLocal),
+            "SZp" | "zheng" | "sequential-512k" => Ok(PrefetchPolicy::Sequential512K),
+            "TBNp" | "tree" => Ok(PrefetchPolicy::TreeBasedNeighborhood),
+            _ => Err(ParsePolicyError {
+                input: s.to_owned(),
+                kind: "prefetch policy",
+            }),
+        }
+    }
+}
+
+/// The eviction / pre-eviction policy in force (paper Secs. 4.2, 5).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EvictPolicy {
+    /// LRU 4 KB eviction — the CUDA-driver baseline (Sec. 4.2).
+    #[default]
+    LruPage,
+    /// Re: a uniformly random resident 4 KB page (Sec. 4.2).
+    RandomPage,
+    /// SLe: evict the whole 64 KB basic block of the LRU candidate as a
+    /// single write-back unit (Sec. 5.1).
+    SequentialLocal,
+    /// TBNe: tree-based neighborhood pre-eviction, the adaptive scheme
+    /// whose granularity floats between 64 KB and 1 MB (Sec. 5.2).
+    TreeBasedNeighborhood,
+    /// Static 2 MB large-page LRU eviction, as real NVIDIA hardware
+    /// does (Sec. 7.5).
+    LruLargePage,
+}
+
+impl EvictPolicy {
+    /// `true` for the bulk pre-eviction policies whose write-backs do
+    /// not stall the demand migration (Sec. 5: "the kernel execution is
+    /// not stalled for writing back pages anymore").
+    pub fn is_pre_eviction(self) -> bool {
+        matches!(
+            self,
+            EvictPolicy::SequentialLocal
+                | EvictPolicy::TreeBasedNeighborhood
+                | EvictPolicy::LruLargePage
+        )
+    }
+
+    /// All eviction policies, figure order.
+    pub const ALL: [EvictPolicy; 5] = [
+        EvictPolicy::LruPage,
+        EvictPolicy::RandomPage,
+        EvictPolicy::SequentialLocal,
+        EvictPolicy::TreeBasedNeighborhood,
+        EvictPolicy::LruLargePage,
+    ];
+}
+
+impl fmt::Display for EvictPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EvictPolicy::LruPage => "LRU-4KB",
+            EvictPolicy::RandomPage => "Re",
+            EvictPolicy::SequentialLocal => "SLe",
+            EvictPolicy::TreeBasedNeighborhood => "TBNe",
+            EvictPolicy::LruLargePage => "LRU-2MB",
+        })
+    }
+}
+
+impl FromStr for EvictPolicy {
+    type Err = ParsePolicyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "LRU-4KB" | "lru" => Ok(EvictPolicy::LruPage),
+            "Re" | "random" => Ok(EvictPolicy::RandomPage),
+            "SLe" | "sequential-local" => Ok(EvictPolicy::SequentialLocal),
+            "TBNe" | "tree" => Ok(EvictPolicy::TreeBasedNeighborhood),
+            "LRU-2MB" | "lru-2mb" => Ok(EvictPolicy::LruLargePage),
+            _ => Err(ParsePolicyError {
+                input: s.to_owned(),
+                kind: "eviction policy",
+            }),
+        }
+    }
+}
+
+/// Error parsing a policy name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsePolicyError {
+    input: String,
+    kind: &'static str,
+}
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown {}: {:?}", self.kind, self.input)
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        for p in PrefetchPolicy::ALL_WITH_ABLATIONS {
+            assert_eq!(p.to_string().parse::<PrefetchPolicy>().unwrap(), p);
+        }
+        for e in EvictPolicy::ALL {
+            assert_eq!(e.to_string().parse::<EvictPolicy>().unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let err = "bogus".parse::<PrefetchPolicy>().unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+        assert!("bogus".parse::<EvictPolicy>().is_err());
+    }
+
+    #[test]
+    fn pre_eviction_classification() {
+        assert!(!EvictPolicy::LruPage.is_pre_eviction());
+        assert!(!EvictPolicy::RandomPage.is_pre_eviction());
+        assert!(EvictPolicy::SequentialLocal.is_pre_eviction());
+        assert!(EvictPolicy::TreeBasedNeighborhood.is_pre_eviction());
+        assert!(EvictPolicy::LruLargePage.is_pre_eviction());
+    }
+}

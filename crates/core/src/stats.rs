@@ -1,0 +1,97 @@
+//! Driver-side statistics: the counters behind Figs. 5, 7, 10, 16.
+
+/// Counters maintained by the GMMU driver model.
+///
+/// Interconnect-side statistics (bytes, busy time, per-size transfer
+/// histogram — Figs. 4 and 7) live on the PCI-e channels; these are the
+/// page-level counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UvmStats {
+    /// Distinct far-faults serviced by the driver (Fig. 5). Duplicate
+    /// faults merged in the MSHRs do not count.
+    pub far_faults: u64,
+    /// Pages migrated host→device for any reason.
+    pub pages_migrated: u64,
+    /// Of those, pages brought in by the prefetcher rather than by the
+    /// faulting access itself.
+    pub pages_prefetched: u64,
+    /// Pages evicted device→host (Fig. 10).
+    pub pages_evicted: u64,
+    /// Eviction operations (one per victim selection, possibly bulk).
+    pub evictions: u64,
+    /// Pages migrated again after having been evicted at least once —
+    /// the thrashing measure of Fig. 16.
+    pub pages_thrashed: u64,
+    /// Prefetched pages that were accessed at least once while
+    /// resident — the prefetcher's useful work.
+    pub prefetched_used: u64,
+    /// Prefetched pages evicted without ever being accessed — the
+    /// "unused prefetched pages" of Sec. 5 that motivate pre-eviction.
+    pub prefetched_wasted: u64,
+    /// Evicted pages that were clean (never written); bulk write-back
+    /// moves them anyway, trading write traffic for bandwidth
+    /// (Sec. 5.1's design choice).
+    pub clean_pages_written_back: u64,
+}
+
+impl UvmStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fraction of migrated pages that were prefetched, in `0..=1`.
+    pub fn prefetch_fraction(&self) -> f64 {
+        if self.pages_migrated == 0 {
+            0.0
+        } else {
+            self.pages_prefetched as f64 / self.pages_migrated as f64
+        }
+    }
+
+    /// Prefetch accuracy: of the prefetched pages whose fate is known
+    /// (used, or evicted unused), the fraction that were used. Returns
+    /// 1.0 when nothing has been resolved yet.
+    pub fn prefetch_accuracy(&self) -> f64 {
+        let resolved = self.prefetched_used + self.prefetched_wasted;
+        if resolved == 0 {
+            1.0
+        } else {
+            self.prefetched_used as f64 / resolved as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_by_default() {
+        let s = UvmStats::new();
+        assert_eq!(s, UvmStats::default());
+        assert_eq!(s.far_faults, 0);
+        assert_eq!(s.prefetch_fraction(), 0.0);
+    }
+
+    #[test]
+    fn prefetch_fraction_computed() {
+        let s = UvmStats {
+            pages_migrated: 100,
+            pages_prefetched: 75,
+            ..UvmStats::default()
+        };
+        assert!((s.prefetch_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefetch_accuracy_computed() {
+        assert_eq!(UvmStats::default().prefetch_accuracy(), 1.0);
+        let s = UvmStats {
+            prefetched_used: 30,
+            prefetched_wasted: 10,
+            ..UvmStats::default()
+        };
+        assert!((s.prefetch_accuracy() - 0.75).abs() < 1e-12);
+    }
+}

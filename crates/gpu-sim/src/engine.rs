@@ -1,0 +1,501 @@
+//! The discrete-event engine: SMs, warp actors, TLBs, fault replay.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use uvm_core::Gmmu;
+use uvm_mem::{RadixWalkModel, Tlb, TlbLookup};
+use uvm_types::{Cycle, Duration, PageId};
+
+use crate::kernel::{Access, KernelSpec};
+
+/// One completed page access in a captured trace (the raw data of the
+/// paper's Fig. 12 scatter, with warp attribution for per-warp
+/// pattern analysis).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Completion cycle of the access.
+    pub cycle: Cycle,
+    /// Page touched.
+    pub page: PageId,
+    /// Index of the warp (thread block) that issued the access.
+    pub warp: usize,
+    /// `true` for a store.
+    pub write: bool,
+}
+
+/// GPU-side configuration (paper Table 2 defaults: 28 Pascal SMs).
+#[derive(Clone, Debug)]
+pub struct GpuConfig {
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Thread blocks resident per SM at a time.
+    pub blocks_per_sm: usize,
+    /// Entries in each SM's fully associative TLB.
+    pub tlb_entries: usize,
+    /// Device-memory access latency on a TLB hit.
+    pub mem_latency: Duration,
+    /// Compute delay between a warp's consecutive coalesced accesses.
+    pub compute_delay: Duration,
+    /// Watchdog: abort if a single kernel exceeds this many simulated
+    /// cycles (`None` = no limit). Guards against pathological
+    /// eviction/refault cycles in exploratory configurations.
+    pub max_kernel_cycles: Option<u64>,
+    /// Optional detailed page-walk model: `Some((per-level latency,
+    /// walk-cache entries))` replaces the flat Table 2 walk latency
+    /// with a 4-level radix walk ([`RadixWalkModel`]).
+    pub radix_walk: Option<(Duration, usize)>,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig {
+            num_sms: 28,
+            blocks_per_sm: 8,
+            tlb_entries: 64,
+            mem_latency: Duration::from_cycles(300),
+            compute_delay: Duration::from_cycles(20),
+            max_kernel_cycles: None,
+            radix_walk: None,
+        }
+    }
+}
+
+/// Outcome of one kernel launch.
+#[derive(Clone, Debug)]
+pub struct KernelResult {
+    /// Kernel name.
+    pub name: String,
+    /// Launch-to-completion time.
+    pub time: Duration,
+    /// Cycle at which the kernel completed.
+    pub end: Cycle,
+}
+
+/// State of one warp actor.
+struct WarpState {
+    accesses: Box<dyn Iterator<Item = Access> + Send>,
+    /// The access currently being attempted (replayed after a fault).
+    current: Option<Access>,
+    /// SM this warp's thread block runs on.
+    sm: usize,
+    done: bool,
+}
+
+/// The GPU engine: owns the [`Gmmu`] and executes kernels on it.
+///
+/// Kernels run to completion one after another, modelling the
+/// `cudaDeviceSynchronize` between iterative launches of the paper's
+/// benchmarks; device state (page table, LRU lists, statistics)
+/// persists across launches.
+pub struct Engine {
+    gmmu: Gmmu,
+    cfg: GpuConfig,
+    tlbs: Vec<Tlb>,
+    walker: Option<RadixWalkModel>,
+    now: Cycle,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl Engine {
+    /// Creates an engine over `gmmu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.num_sms` or `cfg.blocks_per_sm` is zero.
+    pub fn new(gmmu: Gmmu, cfg: GpuConfig) -> Self {
+        assert!(cfg.num_sms > 0, "need at least one SM");
+        assert!(cfg.blocks_per_sm > 0, "need at least one block per SM");
+        let tlbs = (0..cfg.num_sms).map(|_| Tlb::new(cfg.tlb_entries)).collect();
+        let walker = cfg
+            .radix_walk
+            .map(|(per_level, entries)| RadixWalkModel::new(per_level, entries));
+        Engine {
+            gmmu,
+            cfg,
+            tlbs,
+            walker,
+            now: Cycle::ZERO,
+            trace: None,
+        }
+    }
+
+    /// The driver model (shared, read-only).
+    pub fn gmmu(&self) -> &Gmmu {
+        &self.gmmu
+    }
+
+    /// The driver model (mutable, e.g. for additional allocations
+    /// between kernels).
+    pub fn gmmu_mut(&mut self) -> &mut Gmmu {
+        &mut self.gmmu
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Starts capturing a [`TraceEvent`] for every completed access
+    /// (the raw data of the paper's Fig. 12).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// Takes the captured access trace, leaving capture enabled.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Runs `kernel` to completion and returns its execution time.
+    /// The engine clock advances to the kernel's end.
+    pub fn run_kernel(&mut self, kernel: KernelSpec) -> Duration {
+        self.run_kernel_detailed(kernel).time
+    }
+
+    /// Runs `kernel` to completion with a detailed result.
+    pub fn run_kernel_detailed(&mut self, kernel: KernelSpec) -> KernelResult {
+        let name = kernel.name().to_owned();
+        let start = self.now;
+        let blocks = kernel.into_blocks();
+
+        // Dispatch: TBs are distributed round-robin; each SM runs at
+        // most `blocks_per_sm` concurrently, starting queued TBs as
+        // earlier ones finish.
+        let mut warps: Vec<WarpState> = Vec::with_capacity(blocks.len());
+        let mut sm_queues: Vec<Vec<usize>> = vec![Vec::new(); self.cfg.num_sms];
+        for (i, block) in blocks.into_iter().enumerate() {
+            let sm = i % self.cfg.num_sms;
+            warps.push(WarpState {
+                accesses: block.into_accesses(),
+                current: None,
+                sm,
+                done: false,
+            });
+            sm_queues[sm].push(i);
+        }
+        // Queues were filled in dispatch order; pop from the front.
+        for q in &mut sm_queues {
+            q.reverse();
+        }
+
+        let mut queue: BinaryHeap<Reverse<(Cycle, u64, usize)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let push = |queue: &mut BinaryHeap<_>, t: Cycle, w: usize, seq: &mut u64| {
+            queue.push(Reverse((t, *seq, w)));
+            *seq += 1;
+        };
+        let mut active_per_sm = vec![0usize; self.cfg.num_sms];
+        for sm in 0..self.cfg.num_sms {
+            while active_per_sm[sm] < self.cfg.blocks_per_sm {
+                let Some(w) = sm_queues[sm].pop() else { break };
+                active_per_sm[sm] += 1;
+                push(&mut queue, start, w, &mut seq);
+            }
+        }
+
+        let mut end = start;
+        while let Some(Reverse((t, _, w))) = queue.pop() {
+            debug_assert!(t >= end || t >= start, "events must not go backwards");
+            if let Some(cap) = self.cfg.max_kernel_cycles {
+                assert!(
+                    t.since(start).cycles() <= cap,
+                    "watchdog: kernel {name} exceeded {cap} cycles \
+                     (far-faults {}, evicted {}, thrashed {})",
+                    self.gmmu.stats().far_faults,
+                    self.gmmu.stats().pages_evicted,
+                    self.gmmu.stats().pages_thrashed,
+                );
+            }
+            let warp = &mut warps[w];
+            if warp.done {
+                continue;
+            }
+            if warp.current.is_none() {
+                warp.current = warp.accesses.next();
+            }
+            let Some(access) = warp.current else {
+                // Warp retired: start the next queued TB on its SM.
+                warp.done = true;
+                end = end.max(t);
+                let sm = warp.sm;
+                active_per_sm[sm] -= 1;
+                if let Some(next) = sm_queues[sm].pop() {
+                    active_per_sm[sm] += 1;
+                    push(&mut queue, t, next, &mut seq);
+                }
+                continue;
+            };
+
+            let page = access.page();
+            let sm = warp.sm;
+            match self.tlbs[sm].lookup(page) {
+                TlbLookup::Hit => {
+                    // 1-cycle lookup + device memory access.
+                    let done =
+                        t + Duration::from_cycles(1) + self.cfg.mem_latency;
+                    self.complete_access(access, done, w);
+                    warps[w].current = None;
+                    push(&mut queue, done + self.cfg.compute_delay, w, &mut seq);
+                }
+                TlbLookup::Miss => {
+                    let walk_latency = match &mut self.walker {
+                        Some(w) => w.walk(page),
+                        None => self.gmmu.config().walk_latency,
+                    };
+                    let walked = t + Duration::from_cycles(1) + walk_latency;
+                    if !self.gmmu.is_resident(page) {
+                        // Far-fault: the driver migrates (and possibly
+                        // prefetches / evicts); the access replays when
+                        // the faulty page's data arrives.
+                        let res = self.gmmu.handle_fault(page, walked);
+                        if std::env::var_os("UVM_DEBUG_FAULTS").is_some() {
+                            eprintln!("t={} w={w} fault pg{} ready={} evicted={}", t.index(), page.index(), res.fault_page_ready().index(), res.evicted.len());
+                        }
+                        for evicted in &res.evicted {
+                            for tlb in &mut self.tlbs {
+                                tlb.invalidate(*evicted);
+                            }
+                        }
+                        push(&mut queue, res.fault_page_ready(), w, &mut seq);
+                    } else if let Some(ready) = self.gmmu.ready_time(page, walked) {
+                        // In-flight prefetch: stall until the data lands
+                        // (the MSHR-merge path — the migration already
+                        // has an owner).
+                        push(&mut queue, ready, w, &mut seq);
+                    } else {
+                        self.tlbs[sm].fill(page);
+                        let done = walked + self.cfg.mem_latency;
+                        self.complete_access(access, done, w);
+                        warps[w].current = None;
+                        push(&mut queue, done + self.cfg.compute_delay, w, &mut seq);
+                    }
+                }
+            }
+        }
+
+        self.now = end;
+        KernelResult {
+            name,
+            time: end.since(start),
+            end,
+        }
+    }
+
+    fn complete_access(&mut self, access: Access, done: Cycle, warp: usize) {
+        self.gmmu.record_access(access.page(), access.write);
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent {
+                cycle: done,
+                page: access.page(),
+                warp,
+                write: access.write,
+            });
+        }
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("num_sms", &self.cfg.num_sms)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::ThreadBlockSpec;
+    use uvm_core::{EvictPolicy, PrefetchPolicy, UvmConfig};
+    use uvm_types::{Bytes, VirtAddr};
+
+    fn engine_with(cfg: UvmConfig, alloc: Bytes) -> (Engine, VirtAddr) {
+        let mut gmmu = Gmmu::new(cfg);
+        let base = gmmu.malloc_managed(alloc);
+        (Engine::new(gmmu, GpuConfig::default()), base)
+    }
+
+    fn seq_reads(base: VirtAddr, pages: u64) -> ThreadBlockSpec {
+        ThreadBlockSpec::from_accesses(
+            (0..pages).map(move |i| Access::read(base.offset(Bytes::kib(4) * i))),
+        )
+    }
+
+    #[test]
+    fn empty_kernel_takes_no_time() {
+        let (mut e, _) = engine_with(UvmConfig::default(), Bytes::mib(1));
+        let t = e.run_kernel(KernelSpec::new("empty"));
+        assert_eq!(t, Duration::ZERO);
+    }
+
+    #[test]
+    fn single_access_pays_fault_and_migration() {
+        let (mut e, base) = engine_with(
+            UvmConfig::default().with_prefetch(PrefetchPolicy::None),
+            Bytes::mib(1),
+        );
+        let t = e.run_kernel(
+            KernelSpec::new("one").with_block(seq_reads(base, 1)),
+        );
+        // 1 (TLB) + 100 (walk) + 45us + 4KB transfer + 300 (mem) + ...
+        assert!(t > Duration::from_micros(45.0));
+        assert!(t < Duration::from_micros(60.0));
+        assert_eq!(e.gmmu().stats().far_faults, 1);
+    }
+
+    #[test]
+    fn tlb_hits_after_first_touch() {
+        let (mut e, base) = engine_with(
+            UvmConfig::default().with_prefetch(PrefetchPolicy::None),
+            Bytes::mib(1),
+        );
+        // Access the same page 100 times.
+        let k = KernelSpec::new("hot").with_block(ThreadBlockSpec::from_accesses(
+            (0..100).map(move |_| Access::read(base)),
+        ));
+        e.run_kernel(k);
+        assert_eq!(e.gmmu().stats().far_faults, 1);
+        // Second launch touches it again: still no fault.
+        let k = KernelSpec::new("hot2").with_block(ThreadBlockSpec::from_accesses(
+            std::iter::once(Access::read(base)),
+        ));
+        e.run_kernel(k);
+        assert_eq!(e.gmmu().stats().far_faults, 1);
+    }
+
+    #[test]
+    fn prefetched_pages_do_not_refault() {
+        let (mut e, base) = engine_with(
+            UvmConfig::default().with_prefetch(PrefetchPolicy::SequentialLocal),
+            Bytes::mib(1),
+        );
+        e.run_kernel(KernelSpec::new("s").with_block(seq_reads(base, 64)));
+        // 64 pages = 4 basic blocks = 4 faults with SLp.
+        assert_eq!(e.gmmu().stats().far_faults, 4);
+        assert_eq!(e.gmmu().stats().pages_migrated, 64);
+    }
+
+    #[test]
+    fn kernels_serialize_and_clock_advances() {
+        let (mut e, base) = engine_with(UvmConfig::default(), Bytes::mib(1));
+        let r1 = e.run_kernel_detailed(KernelSpec::new("a").with_block(seq_reads(base, 8)));
+        assert_eq!(e.now(), r1.end);
+        let r2 = e.run_kernel_detailed(KernelSpec::new("b").with_block(seq_reads(base, 8)));
+        assert!(r2.end >= r1.end);
+        assert_eq!(r2.name, "b");
+    }
+
+    #[test]
+    fn multiple_blocks_share_the_machine() {
+        let (mut e, base) = engine_with(
+            UvmConfig::default().with_prefetch(PrefetchPolicy::None),
+            Bytes::mib(4),
+        );
+        let mut k = KernelSpec::new("par");
+        for b in 0..56 {
+            // Each block reads its own page: 56 faults, but they share
+            // the driver, so time is dominated by 56 serialized faults.
+            let page_base = base.offset(Bytes::kib(4) * b);
+            k.push_block(ThreadBlockSpec::from_accesses(std::iter::once(
+                Access::read(page_base),
+            )));
+        }
+        let t = e.run_kernel(k);
+        assert_eq!(e.gmmu().stats().far_faults, 56);
+        // All faults raised around t=0 drain through the default 8
+        // fault lanes: at least ceil(56/8) = 7 serialized windows.
+        assert!(t > Duration::from_micros(45.0 * 6.0));
+        assert!(t < Duration::from_micros(45.0 * 20.0));
+    }
+
+    #[test]
+    fn concurrent_faults_on_same_page_merge() {
+        let (mut e, base) = engine_with(
+            UvmConfig::default().with_prefetch(PrefetchPolicy::None),
+            Bytes::mib(1),
+        );
+        let mut k = KernelSpec::new("merge");
+        for _ in 0..10 {
+            k.push_block(ThreadBlockSpec::from_accesses(std::iter::once(
+                Access::read(base),
+            )));
+        }
+        e.run_kernel(k);
+        // Ten warps, one page: a single migration.
+        assert_eq!(e.gmmu().stats().far_faults, 1);
+        assert_eq!(e.gmmu().stats().pages_migrated, 1);
+    }
+
+    #[test]
+    fn eviction_shoots_down_tlbs_and_refaults() {
+        let cfg = UvmConfig::default()
+            .with_capacity(Bytes::kib(256)) // 64 frames
+            .with_prefetch(PrefetchPolicy::None)
+            .with_evict(EvictPolicy::LruPage);
+        let (mut e, base) = engine_with(cfg, Bytes::mib(1));
+        // Two sweeps over 128 pages with a 64-frame budget.
+        e.run_kernel(KernelSpec::new("sweep1").with_block(seq_reads(base, 128)));
+        let faults_after_first = e.gmmu().stats().far_faults;
+        assert_eq!(faults_after_first, 128);
+        e.run_kernel(KernelSpec::new("sweep2").with_block(seq_reads(base, 128)));
+        // LRU on a linear re-scan thrashes: every page refaults.
+        assert_eq!(e.gmmu().stats().far_faults, 256);
+        assert!(e.gmmu().stats().pages_thrashed >= 128);
+    }
+
+    #[test]
+    fn trace_captures_accesses() {
+        let (mut e, base) = engine_with(UvmConfig::default(), Bytes::mib(1));
+        e.enable_trace();
+        e.run_kernel(KernelSpec::new("t").with_block(seq_reads(base, 4)));
+        let trace = e.take_trace();
+        assert_eq!(trace.len(), 4);
+        let pages: Vec<u64> = trace.iter().map(|ev| ev.page.index()).collect();
+        assert_eq!(pages, vec![0, 1, 2, 3]);
+        assert!(trace.iter().all(|ev| ev.warp == 0 && !ev.write));
+        // Trace is consumed but capture stays on.
+        e.run_kernel(KernelSpec::new("t2").with_block(seq_reads(base, 2)));
+        assert_eq!(e.take_trace().len(), 2);
+    }
+
+    #[test]
+    fn radix_walk_model_shortens_warm_walks() {
+        // Same kernel, flat vs radix walks: the radix walker's warm
+        // walks (25 cycles) beat the flat 100-cycle walk for a
+        // sequential scan, so the run is strictly faster.
+        let run = |radix: Option<(Duration, usize)>| {
+            let mut gmmu = Gmmu::new(
+                UvmConfig::default().with_prefetch(PrefetchPolicy::SequentialLocal),
+            );
+            let base = gmmu.malloc_managed(Bytes::mib(1));
+            let mut e = Engine::new(
+                gmmu,
+                GpuConfig {
+                    radix_walk: radix,
+                    ..GpuConfig::default()
+                },
+            );
+            e.run_kernel(KernelSpec::new("scan").with_block(seq_reads(base, 256)))
+        };
+        let flat = run(None);
+        let radix = run(Some((Duration::from_cycles(25), 32)));
+        assert!(radix < flat, "radix {radix} vs flat {flat}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one SM")]
+    fn zero_sms_rejected() {
+        let gmmu = Gmmu::new(UvmConfig::default());
+        let _ = Engine::new(
+            gmmu,
+            GpuConfig {
+                num_sms: 0,
+                ..GpuConfig::default()
+            },
+        );
+    }
+}

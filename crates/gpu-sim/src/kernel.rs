@@ -1,0 +1,171 @@
+//! Kernel and thread-block descriptions consumed by the engine.
+
+use uvm_types::{PageId, VirtAddr};
+
+/// One coalesced memory access issued by a warp.
+///
+/// The load/store unit coalesces the per-lane addresses of a warp
+/// instruction into unique page-granular requests before they reach
+/// the TLB (paper Sec. 2.1); workloads emit accesses at that
+/// granularity, optionally via [`coalesce_pages`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// Target virtual address.
+    pub addr: VirtAddr,
+    /// `true` for a store (sets the PTE dirty flag).
+    pub write: bool,
+}
+
+impl Access {
+    /// A read access.
+    pub fn read(addr: VirtAddr) -> Self {
+        Access { addr, write: false }
+    }
+
+    /// A write access.
+    pub fn write(addr: VirtAddr) -> Self {
+        Access { addr, write: true }
+    }
+
+    /// The 4 KB page this access touches.
+    pub fn page(&self) -> PageId {
+        self.addr.page()
+    }
+}
+
+/// Coalesces the per-lane addresses of one warp instruction into
+/// unique page-granular accesses, preserving first-occurrence order.
+///
+/// # Examples
+///
+/// ```
+/// use uvm_gpu::coalesce_pages;
+/// use uvm_types::VirtAddr;
+///
+/// let lanes: Vec<VirtAddr> = (0..32).map(|i| VirtAddr::new(i * 128)).collect();
+/// let pages = coalesce_pages(&lanes);
+/// assert_eq!(pages.len(), 1); // 32 lanes x 128 B fit in one 4 KB page
+/// ```
+pub fn coalesce_pages(lane_addrs: &[VirtAddr]) -> Vec<PageId> {
+    let mut pages = Vec::new();
+    for addr in lane_addrs {
+        let p = addr.page();
+        if !pages.contains(&p) {
+            pages.push(p);
+        }
+    }
+    pages
+}
+
+/// The access stream of one thread block (executed as one warp-actor
+/// by the engine).
+pub struct ThreadBlockSpec {
+    accesses: Box<dyn Iterator<Item = Access> + Send>,
+}
+
+impl ThreadBlockSpec {
+    /// Builds a thread block from any access iterator.
+    pub fn from_accesses<I>(accesses: I) -> Self
+    where
+        I: IntoIterator<Item = Access>,
+        I::IntoIter: Send + 'static,
+    {
+        ThreadBlockSpec {
+            accesses: Box::new(accesses.into_iter()),
+        }
+    }
+
+    /// Consumes the spec, yielding its access iterator.
+    pub fn into_accesses(self) -> Box<dyn Iterator<Item = Access> + Send> {
+        self.accesses
+    }
+}
+
+impl std::fmt::Debug for ThreadBlockSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadBlockSpec").finish_non_exhaustive()
+    }
+}
+
+/// One kernel launch: a named grid of thread blocks.
+#[derive(Debug)]
+pub struct KernelSpec {
+    name: String,
+    blocks: Vec<ThreadBlockSpec>,
+}
+
+impl KernelSpec {
+    /// Creates an empty kernel named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelSpec {
+            name: name.into(),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Adds a thread block (builder style).
+    pub fn with_block(mut self, block: ThreadBlockSpec) -> Self {
+        self.blocks.push(block);
+        self
+    }
+
+    /// Adds a thread block.
+    pub fn push_block(&mut self, block: ThreadBlockSpec) {
+        self.blocks.push(block);
+    }
+
+    /// The kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of thread blocks in the grid.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Consumes the kernel, yielding its blocks.
+    pub fn into_blocks(self) -> Vec<ThreadBlockSpec> {
+        self.blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_constructors() {
+        let a = Access::read(VirtAddr::new(4096));
+        assert!(!a.write);
+        assert_eq!(a.page(), PageId::new(1));
+        let w = Access::write(VirtAddr::new(0));
+        assert!(w.write);
+    }
+
+    #[test]
+    fn coalesce_dedupes_and_preserves_order() {
+        let addrs = vec![
+            VirtAddr::new(8192),
+            VirtAddr::new(0),
+            VirtAddr::new(8200),
+            VirtAddr::new(100),
+        ];
+        let pages = coalesce_pages(&addrs);
+        assert_eq!(pages, vec![PageId::new(2), PageId::new(0)]);
+    }
+
+    #[test]
+    fn kernel_builder() {
+        let k = KernelSpec::new("k")
+            .with_block(ThreadBlockSpec::from_accesses(std::iter::empty()))
+            .with_block(ThreadBlockSpec::from_accesses(
+                vec![Access::read(VirtAddr::new(0))],
+            ));
+        assert_eq!(k.name(), "k");
+        assert_eq!(k.num_blocks(), 2);
+        let blocks = k.into_blocks();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks.into_iter().nth(1).unwrap().into_accesses().count(), 1);
+    }
+}

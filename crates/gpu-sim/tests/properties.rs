@@ -1,0 +1,142 @@
+//! Property-based tests for the execution engine: arbitrary access
+//! streams run to completion with consistent accounting, regardless of
+//! policies, budgets, and machine shapes.
+
+use proptest::prelude::*;
+
+use uvm_core::{EvictPolicy, Gmmu, PrefetchPolicy, UvmConfig};
+use uvm_gpu::{Access, Engine, GpuConfig, KernelSpec, ThreadBlockSpec};
+use uvm_types::{Bytes, Duration, PAGE_SIZE};
+
+fn policies() -> impl Strategy<Value = (PrefetchPolicy, EvictPolicy)> {
+    prop_oneof![
+        Just((PrefetchPolicy::None, EvictPolicy::LruPage)),
+        Just((PrefetchPolicy::SequentialLocal, EvictPolicy::SequentialLocal)),
+        Just((
+            PrefetchPolicy::TreeBasedNeighborhood,
+            EvictPolicy::TreeBasedNeighborhood
+        )),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Far-faults never exceed total accesses (liveness), every access
+    /// is eventually recorded (trace length), and kernel time grows
+    /// monotonically with the number of kernels.
+    #[test]
+    fn engine_liveness_and_accounting(
+        (prefetch, evict) in policies(),
+        page_lists in prop::collection::vec(
+            prop::collection::vec(0u64..256, 1..40),
+            1..5,
+        ),
+        sms in 1usize..8,
+        blocks_per_sm in 1usize..4,
+        capacity_blocks in 6u64..20,
+    ) {
+        let cfg = UvmConfig::default()
+            .with_capacity(Bytes::kib(64) * capacity_blocks)
+            .with_prefetch(prefetch)
+            .with_evict(evict);
+        let mut gmmu = Gmmu::new(cfg);
+        let base = gmmu.malloc_managed(Bytes::mib(1));
+        let mut engine = Engine::new(
+            gmmu,
+            GpuConfig {
+                num_sms: sms,
+                blocks_per_sm,
+                max_kernel_cycles: Some(2_000_000_000),
+                ..GpuConfig::default()
+            },
+        );
+        engine.enable_trace();
+
+        let mut total_accesses = 0u64;
+        let mut prev_end = engine.now();
+        for (i, pages) in page_lists.iter().enumerate() {
+            total_accesses += pages.len() as u64;
+            let mut k = KernelSpec::new(format!("k{i}"));
+            // Split the access list across a few thread blocks.
+            for chunk in pages.chunks(8) {
+                let accesses: Vec<Access> = chunk
+                    .iter()
+                    .map(|&p| Access::read(base.offset(PAGE_SIZE * p)))
+                    .collect();
+                k.push_block(ThreadBlockSpec::from_accesses(accesses));
+            }
+            let r = engine.run_kernel_detailed(k);
+            prop_assert!(r.end >= prev_end, "time flows forward");
+            prev_end = r.end;
+        }
+
+        let trace_len: usize = {
+            let t = engine.take_trace();
+            t.len()
+        };
+        prop_assert_eq!(trace_len as u64, total_accesses, "every access completes");
+        let stats = engine.gmmu().stats();
+        prop_assert!(stats.far_faults <= total_accesses, "liveness bound");
+        prop_assert!(engine.gmmu().resident_pages() <= engine.gmmu().capacity_frames());
+    }
+
+    /// The engine's timing is deterministic for a fixed configuration.
+    #[test]
+    fn engine_is_deterministic(
+        pages in prop::collection::vec(0u64..128, 1..60),
+        (prefetch, evict) in policies(),
+    ) {
+        let run = || {
+            let cfg = UvmConfig::default()
+                .with_capacity(Bytes::kib(256))
+                .with_prefetch(prefetch)
+                .with_evict(evict);
+            let mut gmmu = Gmmu::new(cfg);
+            let base = gmmu.malloc_managed(Bytes::kib(512));
+            let mut engine = Engine::new(gmmu, GpuConfig::default());
+            let accesses: Vec<Access> = pages
+                .iter()
+                .map(|&p| Access::read(base.offset(PAGE_SIZE * p)))
+                .collect();
+            let t = engine.run_kernel(
+                KernelSpec::new("k").with_block(ThreadBlockSpec::from_accesses(accesses)),
+            );
+            (t, engine.gmmu().stats().clone())
+        };
+        let (t1, s1) = run();
+        let (t2, s2) = run();
+        prop_assert_eq!(t1, t2);
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// Slower machines are never faster: increasing the compute delay
+    /// never reduces kernel time.
+    #[test]
+    fn compute_delay_is_monotone(
+        pages in prop::collection::vec(0u64..64, 1..40),
+        delay_a in 0u64..200,
+        delay_b in 0u64..200,
+    ) {
+        let run = |delay: u64| {
+            let mut gmmu = Gmmu::new(UvmConfig::default());
+            let base = gmmu.malloc_managed(Bytes::kib(512));
+            let mut engine = Engine::new(
+                gmmu,
+                GpuConfig {
+                    compute_delay: Duration::from_cycles(delay),
+                    ..GpuConfig::default()
+                },
+            );
+            let accesses: Vec<Access> = pages
+                .iter()
+                .map(|&p| Access::read(base.offset(PAGE_SIZE * p)))
+                .collect();
+            engine.run_kernel(
+                KernelSpec::new("k").with_block(ThreadBlockSpec::from_accesses(accesses)),
+            )
+        };
+        let (lo, hi) = (delay_a.min(delay_b), delay_a.max(delay_b));
+        prop_assert!(run(lo) <= run(hi));
+    }
+}

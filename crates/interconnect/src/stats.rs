@@ -1,0 +1,125 @@
+//! Per-channel traffic statistics — the raw material of Figs. 4 and 7.
+
+use std::collections::BTreeMap;
+
+use uvm_types::{Bytes, Duration, PAGE_SIZE};
+
+/// Histogram of transfer counts keyed by exact transfer size.
+///
+/// Fig. 7 of the paper counts 4 KB transfers specifically; the harness
+/// also uses the full histogram to explain bandwidth differences.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TransferSizeHistogram {
+    counts: BTreeMap<Bytes, u64>,
+}
+
+impl TransferSizeHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one transfer of `size`.
+    pub fn record(&mut self, size: Bytes) {
+        *self.counts.entry(size).or_insert(0) += 1;
+    }
+
+    /// Number of transfers of exactly `size`.
+    pub fn count(&self, size: Bytes) -> u64 {
+        self.counts.get(&size).copied().unwrap_or(0)
+    }
+
+    /// Number of transfers that were a single 4 KB page.
+    pub fn count_4kib(&self) -> u64 {
+        self.count(PAGE_SIZE)
+    }
+
+    /// Total number of transfers of any size.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Iterates over `(size, count)` pairs in increasing size order.
+    pub fn iter(&self) -> impl Iterator<Item = (Bytes, u64)> + '_ {
+        self.counts.iter().map(|(&s, &c)| (s, c))
+    }
+}
+
+/// Aggregate statistics for one direction of the PCI-e link.
+#[derive(Clone, Debug, Default)]
+pub struct ChannelStats {
+    /// Total payload bytes moved.
+    pub bytes: Bytes,
+    /// Cycles during which the channel was actively transferring.
+    pub busy: Duration,
+    /// Histogram of transfer sizes.
+    pub histogram: TransferSizeHistogram,
+}
+
+impl ChannelStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a completed transfer.
+    pub fn record(&mut self, size: Bytes, time: Duration) {
+        self.bytes += size;
+        self.busy += time;
+        self.histogram.record(size);
+    }
+
+    /// Average achieved bandwidth in GB/s over the channel's *busy*
+    /// time — the quantity Fig. 4 plots. Returns 0 for an idle channel.
+    pub fn average_bandwidth_gbps(&self) -> f64 {
+        if self.busy == Duration::ZERO {
+            0.0
+        } else {
+            self.bytes.as_gb() / self.busy.as_secs()
+        }
+    }
+
+    /// Total number of transfers.
+    pub fn transfers(&self) -> u64 {
+        self.histogram.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_by_size() {
+        let mut h = TransferSizeHistogram::new();
+        h.record(PAGE_SIZE);
+        h.record(PAGE_SIZE);
+        h.record(Bytes::kib(64));
+        assert_eq!(h.count_4kib(), 2);
+        assert_eq!(h.count(Bytes::kib(64)), 1);
+        assert_eq!(h.count(Bytes::kib(128)), 0);
+        assert_eq!(h.total(), 3);
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![(PAGE_SIZE, 2), (Bytes::kib(64), 1)]);
+    }
+
+    #[test]
+    fn average_bandwidth() {
+        let mut s = ChannelStats::new();
+        assert_eq!(s.average_bandwidth_gbps(), 0.0);
+        // 1e9 bytes in one second of busy time = 1 GB/s.
+        s.record(Bytes::new(1_000_000_000), Duration::from_secs(1.0));
+        assert!((s.average_bandwidth_gbps() - 1.0).abs() < 1e-9);
+        assert_eq!(s.transfers(), 1);
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = ChannelStats::new();
+        s.record(Bytes::kib(4), Duration::from_cycles(10));
+        s.record(Bytes::kib(60), Duration::from_cycles(20));
+        assert_eq!(s.bytes, Bytes::kib(64));
+        assert_eq!(s.busy, Duration::from_cycles(30));
+        assert_eq!(s.histogram.count_4kib(), 1);
+    }
+}

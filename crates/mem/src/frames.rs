@@ -1,0 +1,196 @@
+//! Device-memory frame allocator under a strict capacity budget.
+//!
+//! The paper's over-subscription experiments fix the working set and
+//! shrink the device-memory capacity parameter (Sec. 7.3); this
+//! allocator is where that budget is enforced. Frames are 4 KB, the
+//! page/migration granularity.
+
+use uvm_types::{Bytes, PAGE_SIZE};
+
+/// Identifier of a 4 KB physical frame in device memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FrameId(u64);
+
+impl FrameId {
+    /// The raw frame index.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+}
+
+/// A fixed-capacity allocator of 4 KB device-memory frames.
+///
+/// # Examples
+///
+/// ```
+/// use uvm_mem::FrameAllocator;
+/// use uvm_types::Bytes;
+///
+/// let mut frames = FrameAllocator::new(Bytes::kib(8)); // two frames
+/// let a = frames.allocate().unwrap();
+/// let _b = frames.allocate().unwrap();
+/// assert!(frames.allocate().is_none()); // budget exhausted
+/// frames.free(a);
+/// assert!(frames.allocate().is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct FrameAllocator {
+    capacity: u64,
+    free_list: Vec<FrameId>,
+    next_unused: u64,
+    in_use: u64,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator managing `capacity` bytes of device memory
+    /// (truncated down to whole 4 KB frames).
+    pub fn new(capacity: Bytes) -> Self {
+        FrameAllocator {
+            capacity: capacity.bytes() / PAGE_SIZE.bytes(),
+            free_list: Vec::new(),
+            next_unused: 0,
+            in_use: 0,
+        }
+    }
+
+    /// Creates an allocator managing exactly `frames` frames.
+    pub fn with_frames(frames: u64) -> Self {
+        FrameAllocator {
+            capacity: frames,
+            free_list: Vec::new(),
+            next_unused: 0,
+            in_use: 0,
+        }
+    }
+
+    /// Allocates one frame, or `None` if the budget is exhausted.
+    pub fn allocate(&mut self) -> Option<FrameId> {
+        let frame = if let Some(f) = self.free_list.pop() {
+            f
+        } else if self.next_unused < self.capacity {
+            let f = FrameId(self.next_unused);
+            self.next_unused += 1;
+            f
+        } else {
+            return None;
+        };
+        self.in_use += 1;
+        Some(frame)
+    }
+
+    /// Returns `frame` to the free pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frames are currently allocated (double-free of the
+    /// whole pool) or if `frame` was never handed out.
+    pub fn free(&mut self, frame: FrameId) {
+        assert!(self.in_use > 0, "free with no frames allocated");
+        assert!(frame.0 < self.next_unused, "free of a never-allocated frame");
+        self.in_use -= 1;
+        self.free_list.push(frame);
+    }
+
+    /// Total frame budget.
+    pub fn capacity_frames(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Frames currently allocated.
+    pub fn used_frames(&self) -> u64 {
+        self.in_use
+    }
+
+    /// Frames still available.
+    pub fn free_frames(&self) -> u64 {
+        self.capacity - self.in_use
+    }
+
+    /// `true` when no frame is available.
+    pub fn is_full(&self) -> bool {
+        self.in_use == self.capacity
+    }
+
+    /// Fraction of the budget in use, in `0.0..=1.0` (0 if budget is 0).
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.in_use as f64 / self.capacity as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_from_bytes_truncates() {
+        let a = FrameAllocator::new(Bytes::new(4096 * 3 + 100));
+        assert_eq!(a.capacity_frames(), 3);
+    }
+
+    #[test]
+    fn allocate_until_full() {
+        let mut a = FrameAllocator::with_frames(2);
+        assert!(a.allocate().is_some());
+        assert!(!a.is_full());
+        assert!(a.allocate().is_some());
+        assert!(a.is_full());
+        assert!(a.allocate().is_none());
+        assert_eq!(a.used_frames(), 2);
+        assert_eq!(a.free_frames(), 0);
+    }
+
+    #[test]
+    fn free_recycles_frames() {
+        let mut a = FrameAllocator::with_frames(1);
+        let f = a.allocate().unwrap();
+        a.free(f);
+        assert_eq!(a.used_frames(), 0);
+        let g = a.allocate().unwrap();
+        assert_eq!(f, g, "recycled frame is reused");
+    }
+
+    #[test]
+    fn distinct_frames_are_distinct() {
+        let mut a = FrameAllocator::with_frames(3);
+        let f1 = a.allocate().unwrap();
+        let f2 = a.allocate().unwrap();
+        let f3 = a.allocate().unwrap();
+        assert_ne!(f1, f2);
+        assert_ne!(f2, f3);
+        assert_ne!(f1, f3);
+    }
+
+    #[test]
+    fn occupancy_fraction() {
+        let mut a = FrameAllocator::with_frames(4);
+        assert_eq!(a.occupancy(), 0.0);
+        a.allocate();
+        a.allocate();
+        assert!((a.occupancy() - 0.5).abs() < 1e-12);
+        assert_eq!(FrameAllocator::with_frames(0).occupancy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no frames allocated")]
+    fn free_without_allocation_panics() {
+        let mut a = FrameAllocator::with_frames(1);
+        let f = {
+            let mut other = FrameAllocator::with_frames(1);
+            other.allocate().unwrap()
+        };
+        a.free(f);
+    }
+
+    #[test]
+    #[should_panic(expected = "never-allocated")]
+    fn free_of_unissued_frame_panics() {
+        let mut a = FrameAllocator::with_frames(8);
+        let _ = a.allocate().unwrap();
+        // Index 5 was never handed out.
+        a.free(FrameId(5));
+    }
+}

@@ -1,0 +1,171 @@
+//! Far-fault Miss Status Handling Registers.
+//!
+//! When the GMMU discovers a page with no valid PTE, the far-fault is
+//! registered in the MSHRs (step 3 of Fig. 1). Subsequent faults to the
+//! same page — from other warps or other SMs — merge into the existing
+//! entry instead of triggering a second migration. When the migration
+//! completes, every merged waiter is notified and its access replayed.
+
+use std::collections::HashMap;
+
+use uvm_types::PageId;
+
+/// Outcome of registering a far-fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegisterOutcome {
+    /// First fault on this page: a migration must be scheduled.
+    NewFault,
+    /// The page already has an outstanding fault; the waiter was merged.
+    Merged,
+}
+
+/// Far-fault MSHR file, generic over the waiter token `W` (the GPU
+/// engine uses warp identifiers).
+///
+/// # Examples
+///
+/// ```
+/// use uvm_mem::{Mshr, RegisterOutcome};
+/// use uvm_types::PageId;
+///
+/// let mut mshr: Mshr<&str> = Mshr::new();
+/// assert_eq!(mshr.register(PageId::new(0), "warp-a"), RegisterOutcome::NewFault);
+/// assert_eq!(mshr.register(PageId::new(0), "warp-b"), RegisterOutcome::Merged);
+/// assert_eq!(mshr.complete(PageId::new(0)), vec!["warp-a", "warp-b"]);
+/// assert!(mshr.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mshr<W> {
+    pending: HashMap<PageId, Vec<W>>,
+    total_faults: u64,
+    merged_faults: u64,
+}
+
+impl<W> Default for Mshr<W> {
+    fn default() -> Self {
+        Mshr {
+            pending: HashMap::new(),
+            total_faults: 0,
+            merged_faults: 0,
+        }
+    }
+}
+
+impl<W> Mshr<W> {
+    /// Creates an empty MSHR file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a far-fault on `page` by `waiter`.
+    pub fn register(&mut self, page: PageId, waiter: W) -> RegisterOutcome {
+        self.total_faults += 1;
+        match self.pending.entry(page) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().push(waiter);
+                self.merged_faults += 1;
+                RegisterOutcome::Merged
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(vec![waiter]);
+                RegisterOutcome::NewFault
+            }
+        }
+    }
+
+    /// `true` if `page` has an outstanding fault.
+    pub fn is_pending(&self, page: PageId) -> bool {
+        self.pending.contains_key(&page)
+    }
+
+    /// Completes the migration of `page`, returning all merged waiters
+    /// in registration order. Returns an empty vector if the page had
+    /// no outstanding fault.
+    pub fn complete(&mut self, page: PageId) -> Vec<W> {
+        self.pending.remove(&page).unwrap_or_default()
+    }
+
+    /// Pages with outstanding faults (arbitrary order).
+    pub fn pending_pages(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.pending.keys().copied()
+    }
+
+    /// Number of pages with outstanding faults.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` if no faults are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Lifetime fault counts: `(total registered, merged duplicates)`.
+    /// `total - merged` is the number of distinct migrations requested —
+    /// the far-fault count Fig. 5 plots.
+    pub fn fault_counts(&self) -> (u64, u64) {
+        (self.total_faults, self.merged_faults)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_fault_is_new() {
+        let mut m: Mshr<u32> = Mshr::new();
+        assert_eq!(m.register(PageId::new(1), 10), RegisterOutcome::NewFault);
+        assert!(m.is_pending(PageId::new(1)));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn duplicates_merge_and_wake_in_order() {
+        let mut m: Mshr<u32> = Mshr::new();
+        m.register(PageId::new(1), 10);
+        assert_eq!(m.register(PageId::new(1), 11), RegisterOutcome::Merged);
+        assert_eq!(m.register(PageId::new(1), 12), RegisterOutcome::Merged);
+        assert_eq!(m.complete(PageId::new(1)), vec![10, 11, 12]);
+        assert!(!m.is_pending(PageId::new(1)));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn complete_without_fault_is_empty() {
+        let mut m: Mshr<u32> = Mshr::new();
+        assert!(m.complete(PageId::new(9)).is_empty());
+    }
+
+    #[test]
+    fn independent_pages_tracked_separately() {
+        let mut m: Mshr<u32> = Mshr::new();
+        m.register(PageId::new(1), 10);
+        m.register(PageId::new(2), 20);
+        let mut pages: Vec<_> = m.pending_pages().map(|p| p.index()).collect();
+        pages.sort_unstable();
+        assert_eq!(pages, vec![1, 2]);
+        assert_eq!(m.complete(PageId::new(2)), vec![20]);
+        assert!(m.is_pending(PageId::new(1)));
+    }
+
+    #[test]
+    fn fault_counts_track_distinct_migrations() {
+        let mut m: Mshr<u32> = Mshr::new();
+        m.register(PageId::new(1), 10);
+        m.register(PageId::new(1), 11);
+        m.register(PageId::new(2), 12);
+        let (total, merged) = m.fault_counts();
+        assert_eq!(total, 3);
+        assert_eq!(merged, 1);
+        assert_eq!(total - merged, 2); // two distinct migrations
+    }
+
+    #[test]
+    fn refault_after_completion_is_new() {
+        let mut m: Mshr<u32> = Mshr::new();
+        m.register(PageId::new(1), 10);
+        m.complete(PageId::new(1));
+        assert_eq!(m.register(PageId::new(1), 11), RegisterOutcome::NewFault);
+    }
+}

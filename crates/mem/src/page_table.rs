@@ -1,0 +1,210 @@
+//! The GPU page table: per-4KB-page valid/dirty/accessed flags.
+
+use std::collections::HashMap;
+
+use uvm_types::PageId;
+
+/// Flags of one page-table entry.
+///
+/// `valid` means the page is resident in device memory. `accessed` and
+/// `dirty` are set by warp reads/writes; the pre-eviction design-choice
+/// discussion in Sec. 5.3 distinguishes pages that are merely valid
+/// (brought in by the prefetcher, never touched) from accessed ones.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct PteFlags {
+    /// Page is resident in device memory.
+    pub valid: bool,
+    /// Page has been read or written by a warp since migration.
+    pub accessed: bool,
+    /// Page has been written and must be written back on eviction.
+    pub dirty: bool,
+}
+
+/// The GPU page table.
+///
+/// Entries are created lazily: a page with no entry is simply invalid
+/// (the first touch of a `cudaMallocManaged` allocation has no PTE at
+/// all — paper Sec. 2.2). Validation and invalidation keep a running
+/// count of resident pages so capacity checks are O(1).
+///
+/// # Examples
+///
+/// ```
+/// use uvm_mem::PageTable;
+/// use uvm_types::PageId;
+///
+/// let mut pt = PageTable::new();
+/// let p = PageId::new(3);
+/// assert!(!pt.is_valid(p));
+/// pt.validate(p);
+/// pt.mark_access(p, true);
+/// assert!(pt.flags(p).dirty);
+/// assert_eq!(pt.valid_pages(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PageTable {
+    entries: HashMap<PageId, PteFlags>,
+    valid_count: u64,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` if `page` is resident (valid flag set).
+    pub fn is_valid(&self, page: PageId) -> bool {
+        self.entries.get(&page).is_some_and(|e| e.valid)
+    }
+
+    /// The flags of `page` (all-false if no PTE exists).
+    pub fn flags(&self, page: PageId) -> PteFlags {
+        self.entries.get(&page).copied().unwrap_or_default()
+    }
+
+    /// Marks `page` resident, creating the PTE if needed. Migration
+    /// clears the accessed/dirty history of any stale entry.
+    ///
+    /// Returns `true` if the page was previously invalid.
+    pub fn validate(&mut self, page: PageId) -> bool {
+        let entry = self.entries.entry(page).or_default();
+        let was_invalid = !entry.valid;
+        *entry = PteFlags {
+            valid: true,
+            accessed: false,
+            dirty: false,
+        };
+        if was_invalid {
+            self.valid_count += 1;
+        }
+        was_invalid
+    }
+
+    /// Marks `page` not resident, returning the flags it had.
+    ///
+    /// The entry is retained (invalid), mirroring a cleared valid bit.
+    pub fn invalidate(&mut self, page: PageId) -> PteFlags {
+        match self.entries.get_mut(&page) {
+            Some(entry) if entry.valid => {
+                let old = *entry;
+                *entry = PteFlags::default();
+                self.valid_count -= 1;
+                old
+            }
+            _ => PteFlags::default(),
+        }
+    }
+
+    /// Records a warp access to a resident page; `write` also sets the
+    /// dirty flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is not valid — the GMMU must fault first.
+    pub fn mark_access(&mut self, page: PageId, write: bool) {
+        let entry = self
+            .entries
+            .get_mut(&page)
+            .filter(|e| e.valid)
+            .expect("access to non-resident page must fault");
+        entry.accessed = true;
+        entry.dirty |= write;
+    }
+
+    /// Number of resident pages.
+    pub fn valid_pages(&self) -> u64 {
+        self.valid_count
+    }
+
+    /// Iterates over resident pages (arbitrary order).
+    pub fn iter_valid(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.valid)
+            .map(|(&p, _)| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_start_invalid() {
+        let pt = PageTable::new();
+        assert!(!pt.is_valid(PageId::new(0)));
+        assert_eq!(pt.flags(PageId::new(0)), PteFlags::default());
+        assert_eq!(pt.valid_pages(), 0);
+    }
+
+    #[test]
+    fn validate_sets_valid_and_counts() {
+        let mut pt = PageTable::new();
+        assert!(pt.validate(PageId::new(1)));
+        assert!(pt.is_valid(PageId::new(1)));
+        assert_eq!(pt.valid_pages(), 1);
+        // Re-validating a resident page is a no-op for the count.
+        assert!(!pt.validate(PageId::new(1)));
+        assert_eq!(pt.valid_pages(), 1);
+    }
+
+    #[test]
+    fn migration_clears_history() {
+        let mut pt = PageTable::new();
+        pt.validate(PageId::new(1));
+        pt.mark_access(PageId::new(1), true);
+        pt.invalidate(PageId::new(1));
+        pt.validate(PageId::new(1));
+        let f = pt.flags(PageId::new(1));
+        assert!(f.valid && !f.accessed && !f.dirty);
+    }
+
+    #[test]
+    fn access_sets_flags() {
+        let mut pt = PageTable::new();
+        pt.validate(PageId::new(2));
+        pt.mark_access(PageId::new(2), false);
+        assert!(pt.flags(PageId::new(2)).accessed);
+        assert!(!pt.flags(PageId::new(2)).dirty);
+        pt.mark_access(PageId::new(2), true);
+        assert!(pt.flags(PageId::new(2)).dirty);
+        // A later read does not clear dirtiness.
+        pt.mark_access(PageId::new(2), false);
+        assert!(pt.flags(PageId::new(2)).dirty);
+    }
+
+    #[test]
+    #[should_panic(expected = "must fault")]
+    fn access_to_invalid_page_panics() {
+        let mut pt = PageTable::new();
+        pt.mark_access(PageId::new(3), false);
+    }
+
+    #[test]
+    fn invalidate_returns_old_flags() {
+        let mut pt = PageTable::new();
+        pt.validate(PageId::new(4));
+        pt.mark_access(PageId::new(4), true);
+        let old = pt.invalidate(PageId::new(4));
+        assert!(old.valid && old.accessed && old.dirty);
+        assert!(!pt.is_valid(PageId::new(4)));
+        assert_eq!(pt.valid_pages(), 0);
+        // Invalidating an already-invalid page is a no-op.
+        let old = pt.invalidate(PageId::new(4));
+        assert_eq!(old, PteFlags::default());
+        assert_eq!(pt.valid_pages(), 0);
+    }
+
+    #[test]
+    fn iter_valid_lists_resident_pages() {
+        let mut pt = PageTable::new();
+        for i in 0..5 {
+            pt.validate(PageId::new(i));
+        }
+        pt.invalidate(PageId::new(2));
+        let mut pages: Vec<_> = pt.iter_valid().map(|p| p.index()).collect();
+        pages.sort_unstable();
+        assert_eq!(pages, vec![0, 1, 3, 4]);
+    }
+}

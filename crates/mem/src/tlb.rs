@@ -1,0 +1,161 @@
+//! Per-SM translation lookaside buffer.
+//!
+//! The paper models a fully associative TLB with single-cycle lookup
+//! (Sec. 6.1, after Pichai et al.); misses are relayed to the GMMU for
+//! a page-table walk. We keep an LRU-replaced fully associative array.
+
+use std::collections::VecDeque;
+
+use uvm_types::PageId;
+
+/// Result of a TLB lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TlbLookup {
+    /// Translation cached; access proceeds without a walk.
+    Hit,
+    /// Translation absent; the access is relayed to the GMMU.
+    Miss,
+}
+
+/// A fully associative, LRU-replaced TLB.
+///
+/// # Examples
+///
+/// ```
+/// use uvm_mem::{Tlb, TlbLookup};
+/// use uvm_types::PageId;
+///
+/// let mut tlb = Tlb::new(2);
+/// assert_eq!(tlb.lookup(PageId::new(1)), TlbLookup::Miss);
+/// tlb.fill(PageId::new(1));
+/// assert_eq!(tlb.lookup(PageId::new(1)), TlbLookup::Hit);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    /// Entries in LRU order: front = least recently used.
+    entries: VecDeque<PageId>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB holding at most `capacity` translations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB capacity must be non-zero");
+        Tlb {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `page`, updating recency on a hit.
+    pub fn lookup(&mut self, page: PageId) -> TlbLookup {
+        if let Some(pos) = self.entries.iter().position(|&p| p == page) {
+            let hit = self.entries.remove(pos).expect("position exists");
+            self.entries.push_back(hit);
+            self.hits += 1;
+            TlbLookup::Hit
+        } else {
+            self.misses += 1;
+            TlbLookup::Miss
+        }
+    }
+
+    /// Installs a translation for `page`, evicting the LRU entry if the
+    /// TLB is full. Filling an already-present page refreshes recency.
+    pub fn fill(&mut self, page: PageId) {
+        if let Some(pos) = self.entries.iter().position(|&p| p == page) {
+            self.entries.remove(pos);
+        } else if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(page);
+    }
+
+    /// Removes the translation for `page` if present (the shootdown a
+    /// page eviction performs on every SM's TLB).
+    pub fn invalidate(&mut self, page: PageId) {
+        if let Some(pos) = self.entries.iter().position(|&p| p == page) {
+            self.entries.remove(pos);
+        }
+    }
+
+    /// Current number of cached translations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no translations are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime (hit, miss) counts.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut tlb = Tlb::new(4);
+        assert_eq!(tlb.lookup(PageId::new(9)), TlbLookup::Miss);
+        tlb.fill(PageId::new(9));
+        assert_eq!(tlb.lookup(PageId::new(9)), TlbLookup::Hit);
+        assert_eq!(tlb.hit_miss(), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut tlb = Tlb::new(2);
+        tlb.fill(PageId::new(1));
+        tlb.fill(PageId::new(2));
+        // Touch 1 so 2 becomes LRU.
+        assert_eq!(tlb.lookup(PageId::new(1)), TlbLookup::Hit);
+        tlb.fill(PageId::new(3)); // evicts 2
+        assert_eq!(tlb.lookup(PageId::new(2)), TlbLookup::Miss);
+        assert_eq!(tlb.lookup(PageId::new(1)), TlbLookup::Hit);
+        assert_eq!(tlb.lookup(PageId::new(3)), TlbLookup::Hit);
+    }
+
+    #[test]
+    fn refill_refreshes_instead_of_duplicating() {
+        let mut tlb = Tlb::new(2);
+        tlb.fill(PageId::new(1));
+        tlb.fill(PageId::new(1));
+        assert_eq!(tlb.len(), 1);
+        tlb.fill(PageId::new(2));
+        tlb.fill(PageId::new(1)); // refresh, not insert
+        tlb.fill(PageId::new(3)); // evicts 2 (LRU), not 1
+        assert_eq!(tlb.lookup(PageId::new(1)), TlbLookup::Hit);
+        assert_eq!(tlb.lookup(PageId::new(2)), TlbLookup::Miss);
+    }
+
+    #[test]
+    fn invalidate_removes_entry() {
+        let mut tlb = Tlb::new(4);
+        tlb.fill(PageId::new(5));
+        tlb.invalidate(PageId::new(5));
+        assert_eq!(tlb.lookup(PageId::new(5)), TlbLookup::Miss);
+        assert!(tlb.is_empty());
+        // Invalidating an absent page is a no-op.
+        tlb.invalidate(PageId::new(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = Tlb::new(0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Multi-level radix page-table walk cost model.
+//!
+//! The paper charges a flat 100 cycles per walk (Table 2), following
+//! its references on GPU address translation (Gandhi et al.'s nested
+//! walks, Ausavarungnirun et al.'s multi-threaded walkers). This
+//! module provides the detailed alternative: a 4-level, 512-ary radix
+//! walk with a page-walk cache over the upper levels, so walks that
+//! stay within a cached subtree touch fewer levels. The engine uses
+//! the flat constant by default; the radix model is available for
+//! sensitivity studies.
+
+use std::collections::VecDeque;
+
+use uvm_types::{Duration, PageId};
+
+/// Bits of page index consumed per radix level (512-ary, as in x86-64
+/// long mode and NVIDIA's 49-bit UVM space).
+const BITS_PER_LEVEL: u32 = 9;
+
+/// A 4-level radix page-walk cost model with a page-walk cache.
+///
+/// # Examples
+///
+/// ```
+/// use uvm_mem::RadixWalkModel;
+/// use uvm_types::{Duration, PageId};
+///
+/// let mut walker = RadixWalkModel::new(Duration::from_cycles(25), 16);
+/// // Cold walk: all four levels.
+/// assert_eq!(walker.walk(PageId::new(0)).cycles(), 100);
+/// // A neighbouring page reuses the cached upper levels: one level.
+/// assert_eq!(walker.walk(PageId::new(1)).cycles(), 25);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RadixWalkModel {
+    per_level: Duration,
+    levels: u32,
+    /// Cached upper-level entries as `(level, index prefix)`, LRU
+    /// order (front = oldest). Level 0 is the leaf PTE level and is
+    /// never cached here (that is the TLB's job).
+    cache: VecDeque<(u32, u64)>,
+    capacity: usize,
+    walks: u64,
+    levels_touched: u64,
+}
+
+impl RadixWalkModel {
+    /// Creates a 4-level walker costing `per_level` per level touched,
+    /// with a page-walk cache of `cache_entries` upper-level entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache_entries` is zero.
+    pub fn new(per_level: Duration, cache_entries: usize) -> Self {
+        assert!(cache_entries > 0, "walk cache needs at least one entry");
+        RadixWalkModel {
+            per_level,
+            levels: 4,
+            cache: VecDeque::with_capacity(cache_entries),
+            capacity: cache_entries,
+            walks: 0,
+            levels_touched: 0,
+        }
+    }
+
+    /// Walks the table for `page`, returning the latency: one
+    /// `per_level` per level below the deepest cached upper-level
+    /// entry (minimum one — the leaf PTE is always read).
+    pub fn walk(&mut self, page: PageId) -> Duration {
+        self.walks += 1;
+        // Find the deepest cached ancestor. Level l (1..levels) covers
+        // the prefix page >> (l * BITS_PER_LEVEL).
+        let mut levels_to_walk = self.levels;
+        for level in 1..self.levels {
+            let prefix = page.index() >> (level * BITS_PER_LEVEL);
+            if self.lookup(level, prefix) {
+                levels_to_walk = level;
+                break;
+            }
+        }
+        // Install the upper-level entries touched by this walk.
+        for level in 1..self.levels {
+            self.insert(level, page.index() >> (level * BITS_PER_LEVEL));
+        }
+        self.levels_touched += u64::from(levels_to_walk);
+        Duration::from_cycles(self.per_level.cycles() * u64::from(levels_to_walk))
+    }
+
+    fn lookup(&mut self, level: u32, prefix: u64) -> bool {
+        if let Some(pos) = self.cache.iter().position(|&e| e == (level, prefix)) {
+            let hit = self.cache.remove(pos).expect("position exists");
+            self.cache.push_back(hit);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, level: u32, prefix: u64) {
+        if let Some(pos) = self.cache.iter().position(|&e| e == (level, prefix)) {
+            self.cache.remove(pos);
+        } else if self.cache.len() == self.capacity {
+            self.cache.pop_front();
+        }
+        self.cache.push_back((level, prefix));
+    }
+
+    /// Mean levels touched per walk over the model's lifetime
+    /// (4.0 = every walk cold, 1.0 = perfect upper-level caching).
+    pub fn mean_levels_per_walk(&self) -> f64 {
+        if self.walks == 0 {
+            0.0
+        } else {
+            self.levels_touched as f64 / self.walks as f64
+        }
+    }
+
+    /// Number of walks performed.
+    pub fn walks(&self) -> u64 {
+        self.walks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walker() -> RadixWalkModel {
+        RadixWalkModel::new(Duration::from_cycles(25), 8)
+    }
+
+    #[test]
+    fn cold_walk_touches_all_levels() {
+        let mut w = walker();
+        assert_eq!(w.walk(PageId::new(12345)).cycles(), 100);
+        assert_eq!(w.walks(), 1);
+        assert_eq!(w.mean_levels_per_walk(), 4.0);
+    }
+
+    #[test]
+    fn warm_walk_within_a_leaf_table_touches_one_level() {
+        let mut w = walker();
+        w.walk(PageId::new(0));
+        // Pages 0..512 share the level-1 table.
+        assert_eq!(w.walk(PageId::new(511)).cycles(), 25);
+        assert_eq!(w.walk(PageId::new(1)).cycles(), 25);
+    }
+
+    #[test]
+    fn crossing_a_leaf_table_walks_two_levels() {
+        let mut w = walker();
+        w.walk(PageId::new(0));
+        // Page 512 shares levels 2..3 but needs a new level-1 entry.
+        assert_eq!(w.walk(PageId::new(512)).cycles(), 50);
+    }
+
+    #[test]
+    fn crossing_the_whole_tree_recolds() {
+        let mut w = walker();
+        w.walk(PageId::new(0));
+        // A page beyond the level-3 span shares nothing.
+        let far = PageId::new(1 << 27);
+        assert_eq!(w.walk(far).cycles(), 100);
+    }
+
+    #[test]
+    fn cache_evicts_lru() {
+        let mut w = RadixWalkModel::new(Duration::from_cycles(25), 3);
+        w.walk(PageId::new(0)); // installs 3 entries (levels 1..3)
+        // A far page evicts all three (cache capacity 3).
+        w.walk(PageId::new(1 << 27));
+        // The original region is cold again.
+        assert_eq!(w.walk(PageId::new(0)).cycles(), 100);
+    }
+
+    #[test]
+    fn statistics_accumulate() {
+        let mut w = walker();
+        w.walk(PageId::new(0));
+        w.walk(PageId::new(1));
+        assert_eq!(w.walks(), 2);
+        assert!((w.mean_levels_per_walk() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_cache_rejected() {
+        let _ = RadixWalkModel::new(Duration::from_cycles(25), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the page table, TLB, MSHRs, and frame
+//! allocator.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use uvm_mem::{FrameAllocator, Mshr, PageTable, RegisterOutcome, Tlb, TlbLookup};
+use uvm_types::PageId;
+
+proptest! {
+    /// The page table's valid count always equals the number of
+    /// distinct valid pages after an arbitrary operation sequence.
+    #[test]
+    fn page_table_count_is_exact(ops in prop::collection::vec((0u64..64, any::<bool>()), 0..200)) {
+        let mut pt = PageTable::new();
+        let mut model: HashSet<u64> = HashSet::new();
+        for (page, validate) in ops {
+            let p = PageId::new(page);
+            if validate {
+                pt.validate(p);
+                model.insert(page);
+            } else {
+                pt.invalidate(p);
+                model.remove(&page);
+            }
+        }
+        prop_assert_eq!(pt.valid_pages(), model.len() as u64);
+        let mut listed: Vec<u64> = pt.iter_valid().map(|p| p.index()).collect();
+        listed.sort_unstable();
+        let mut expect: Vec<u64> = model.into_iter().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(listed, expect);
+    }
+
+    /// TLB capacity is never exceeded and a fill is always observable
+    /// until `capacity` distinct other pages are filled.
+    #[test]
+    fn tlb_respects_capacity(cap in 1usize..32, fills in prop::collection::vec(0u64..64, 0..200)) {
+        let mut tlb = Tlb::new(cap);
+        for f in &fills {
+            tlb.fill(PageId::new(*f));
+            prop_assert!(tlb.len() <= cap);
+        }
+        // The most recently filled page always hits.
+        if let Some(&last) = fills.last() {
+            prop_assert_eq!(tlb.lookup(PageId::new(last)), TlbLookup::Hit);
+        }
+    }
+
+    /// TLB hit/miss counters account for every lookup.
+    #[test]
+    fn tlb_counters_account_for_all_lookups(lookups in prop::collection::vec(0u64..16, 1..100)) {
+        let mut tlb = Tlb::new(4);
+        for &p in &lookups {
+            if tlb.lookup(PageId::new(p)) == TlbLookup::Miss {
+                tlb.fill(PageId::new(p));
+            }
+        }
+        let (hits, misses) = tlb.hit_miss();
+        prop_assert_eq!(hits + misses, lookups.len() as u64);
+    }
+
+    /// MSHR merge semantics: every waiter is returned exactly once, on
+    /// the completion of the page it registered for.
+    #[test]
+    fn mshr_returns_every_waiter_once(regs in prop::collection::vec((0u64..16, 0u32..1000), 0..100)) {
+        let mut mshr: Mshr<u32> = Mshr::new();
+        let mut expected: std::collections::HashMap<u64, Vec<u32>> = Default::default();
+        for (page, waiter) in regs {
+            let outcome = mshr.register(PageId::new(page), waiter);
+            let entry = expected.entry(page).or_default();
+            if entry.is_empty() {
+                prop_assert_eq!(outcome, RegisterOutcome::NewFault);
+            } else {
+                prop_assert_eq!(outcome, RegisterOutcome::Merged);
+            }
+            entry.push(waiter);
+        }
+        let (total, merged) = mshr.fault_counts();
+        prop_assert_eq!(total - merged, expected.len() as u64);
+        for (page, waiters) in expected {
+            prop_assert_eq!(mshr.complete(PageId::new(page)), waiters);
+        }
+        prop_assert!(mshr.is_empty());
+    }
+
+    /// Frame conservation: used + free == capacity at every step, and
+    /// no frame is handed out twice while allocated.
+    #[test]
+    fn frames_conserve(capacity in 1u64..64, ops in prop::collection::vec(any::<bool>(), 0..200)) {
+        let mut fa = FrameAllocator::with_frames(capacity);
+        let mut held = Vec::new();
+        let mut outstanding = HashSet::new();
+        for alloc in ops {
+            if alloc {
+                if let Some(f) = fa.allocate() {
+                    prop_assert!(outstanding.insert(f), "double allocation of {f:?}");
+                    held.push(f);
+                } else {
+                    prop_assert!(fa.is_full());
+                }
+            } else if let Some(f) = held.pop() {
+                outstanding.remove(&f);
+                fa.free(f);
+            }
+            prop_assert_eq!(fa.used_frames() + fa.free_frames(), capacity);
+            prop_assert_eq!(fa.used_frames(), held.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,762 @@
+//! One experiment runner per table/figure of the paper's evaluation.
+//!
+//! Every function returns [`Table`]s whose rows/series mirror what the
+//! paper plots; the `uvm-bench` crate wraps them as binaries (printing
+//! text + CSV) and Criterion benches. Each runner accepts a [`Scale`]:
+//! [`Scale::Paper`] uses the paper-scale workloads (4–38.5 MB
+//! footprints), [`Scale::Smoke`] uses shrunken versions for fast CI.
+
+use uvm_core::{AllocTree, EvictPolicy, PrefetchPolicy};
+use uvm_types::{BasicBlockId, Bytes, TreeExtent};
+use uvm_workloads::{
+    standard_suite, Backprop, Bfs, Gaussian, Hotspot, NeedlemanWunsch, Pathfinder, Srad, Workload,
+};
+
+use crate::run::{run_workload, RunOptions};
+use crate::table::Table;
+
+/// Experiment size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale workloads (Sec. 6.2 footprints).
+    Paper,
+    /// Shrunken workloads for fast tests.
+    Smoke,
+}
+
+/// The benchmark suite at the requested scale.
+pub fn suite(scale: Scale) -> Vec<Box<dyn Workload>> {
+    match scale {
+        Scale::Paper => standard_suite(),
+        // Smoke footprints stay >= 4 MiB so every benchmark spans
+        // multiple 2 MB large pages (the 2 MB-eviction experiments
+        // degenerate on a single large page).
+        Scale::Smoke => vec![
+            Box::new(Backprop {
+                input_pages: 128,
+                weights_in_pages: 512,
+                weights_out_pages: 512,
+                thread_blocks: 16,
+            }),
+            Box::new(Bfs {
+                node_pages: 256,
+                edge_pages: 512,
+                mask_pages: 64,
+                cost_pages: 256,
+                levels: 3,
+                thread_blocks: 8,
+                expansions_per_block: 32,
+                seed: 0xbf5,
+            }),
+            // Gaussian keeps three 2 MB large pages: with only two, a
+            // hot pivot plus static 2 MB eviction evicts half the
+            // active set on every fault.
+            Box::new(Gaussian {
+                rows: 1536,
+                rows_per_step: 128,
+                rows_per_block: 16,
+            }),
+            Box::new(Hotspot {
+                rows: 512,
+                iterations: 3,
+                rows_per_block: 16,
+            }),
+            Box::new(NeedlemanWunsch {
+                rows: 512,
+                tile: 16,
+            }),
+            Box::new(Pathfinder {
+                rows: 6,
+                row_pages: 128,
+                thread_blocks: 8,
+            }),
+            // srad arrays stay power-of-two sized (512 KB = one full
+            // 8-leaf tree each): a partially-used remainder tree makes
+            // TBNe cascade on the never-allocated tail. Note the
+            // smoke-scale srad remains adversarial for TBNe (tiny
+            // trees, whole-working-set cyclic sweeps); see
+            // EXPERIMENTS.md for the deviation discussion.
+            Box::new(Srad {
+                rows: 128,
+                iterations: 2,
+                rows_per_block: 16,
+            }),
+        ],
+    }
+}
+
+/// Formats a float with three significant decimals.
+fn fmt(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+// ---------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------
+
+/// Table 1: PCI-e read bandwidth as a function of transfer size,
+/// as produced by the calibrated interconnect model.
+pub fn table1() -> Table {
+    use uvm_interconnect::PcieModel;
+    let model = PcieModel::pascal_x16();
+    let mut t = Table::new(
+        "Table 1: PCI-e read bandwidth vs transfer size",
+        &["transfer_size_kb", "bandwidth_gbps"],
+    );
+    for kb in [4u64, 16, 64, 256, 1024] {
+        t.row_owned(vec![
+            kb.to_string(),
+            fmt(model.bandwidth_gbps(Bytes::kib(kb))),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figures 3-5: prefetchers, no over-subscription
+// ---------------------------------------------------------------------
+
+/// Results of the prefetcher sweep (Figs. 3, 4, 5 share the runs).
+#[derive(Clone, Debug)]
+pub struct PrefetcherSweep {
+    /// Fig. 3: kernel execution time (ms) per benchmark × prefetcher.
+    pub time: Table,
+    /// Fig. 4: average PCI-e read bandwidth (GB/s).
+    pub bandwidth: Table,
+    /// Fig. 5: total far-faults.
+    pub faults: Table,
+}
+
+/// Runs every benchmark under each prefetcher with no memory budget
+/// (Sec. 4.1's setup) and reports Figs. 3-5.
+pub fn prefetcher_sweep(scale: Scale) -> PrefetcherSweep {
+    let headers = ["benchmark", "none", "Rp", "SLp", "TBNp"];
+    let mut time = Table::new(
+        "Fig 3: kernel execution time (ms), no over-subscription",
+        &headers,
+    );
+    let mut bandwidth = Table::new("Fig 4: average PCI-e read bandwidth (GB/s)", &headers);
+    let mut faults = Table::new("Fig 5: total far-faults", &headers);
+    for w in suite(scale) {
+        let mut t_row = vec![w.name().to_string()];
+        let mut b_row = vec![w.name().to_string()];
+        let mut f_row = vec![w.name().to_string()];
+        for p in PrefetchPolicy::ALL {
+            let r = run_workload(w.as_ref(), RunOptions::default().with_prefetch(p));
+            t_row.push(fmt(r.total_ms()));
+            b_row.push(fmt(r.read_bandwidth_gbps));
+            f_row.push(r.far_faults.to_string());
+        }
+        time.row_owned(t_row);
+        bandwidth.row_owned(b_row);
+        faults.row_owned(f_row);
+    }
+    PrefetcherSweep {
+        time,
+        bandwidth,
+        faults,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figures 6-7: over-subscription sensitivity with LRU-4KB eviction
+// ---------------------------------------------------------------------
+
+/// Results of the over-subscription/free-page-buffer sweep.
+#[derive(Clone, Debug)]
+pub struct OversubscriptionSweep {
+    /// Fig. 6: kernel time (ms) per benchmark × setting.
+    pub time: Table,
+    /// Fig. 7: count of 4 KB page transfers (read channel).
+    pub transfers_4k: Table,
+}
+
+/// Figs. 6-7: TBNp active until device memory fills, then disabled;
+/// LRU-4KB eviction; over-subscription 105/110/125 % plus 5 %/10 %
+/// free-page buffers at 110 %.
+pub fn oversubscription_sweep(scale: Scale) -> OversubscriptionSweep {
+    let headers = [
+        "benchmark",
+        "100%",
+        "105%",
+        "110%",
+        "125%",
+        "110%+buf5",
+        "110%+buf10",
+    ];
+    let mut time = Table::new(
+        "Fig 6: kernel time (ms) vs over-subscription and free-page buffer",
+        &headers,
+    );
+    let mut transfers = Table::new("Fig 7: number of 4KB page transfers", &headers);
+
+    let settings: [(Option<f64>, f64); 6] = [
+        (None, 0.0),
+        (Some(1.05), 0.0),
+        (Some(1.10), 0.0),
+        (Some(1.25), 0.0),
+        (Some(1.10), 0.05),
+        (Some(1.10), 0.10),
+    ];
+    for w in suite(scale) {
+        let mut t_row = vec![w.name().to_string()];
+        let mut x_row = vec![w.name().to_string()];
+        for (frac, buffer) in settings {
+            let mut opts = RunOptions::default()
+                .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
+                .with_evict(EvictPolicy::LruPage);
+            opts.memory_frac = frac;
+            opts.disable_prefetch_on_oversubscription = frac.is_some();
+            opts.free_buffer_frac = buffer;
+            let r = run_workload(w.as_ref(), opts);
+            t_row.push(fmt(r.total_ms()));
+            x_row.push(r.read_transfers_4k.to_string());
+        }
+        time.row_owned(t_row);
+        transfers.row_owned(x_row);
+    }
+    OversubscriptionSweep {
+        time,
+        transfers_4k: transfers,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figures 9-10: eviction policies in isolation
+// ---------------------------------------------------------------------
+
+/// Results of the eviction-in-isolation comparison.
+#[derive(Clone, Debug)]
+pub struct EvictionIsolation {
+    /// Fig. 9: kernel time (ms), LRU vs Random 4 KB eviction.
+    pub time: Table,
+    /// Fig. 10: total 4 KB pages evicted.
+    pub evicted: Table,
+}
+
+/// Figs. 9-10: working set at 110 %, TBNp active until capacity then
+/// disabled (4 KB on-demand only), comparing LRU vs Random eviction.
+pub fn eviction_isolation(scale: Scale) -> EvictionIsolation {
+    let headers = ["benchmark", "LRU", "Random"];
+    let mut time = Table::new(
+        "Fig 9: kernel time (ms), eviction policies in isolation (110%)",
+        &headers,
+    );
+    let mut evicted = Table::new("Fig 10: total pages evicted", &headers);
+    for w in suite(scale) {
+        let mut t_row = vec![w.name().to_string()];
+        let mut e_row = vec![w.name().to_string()];
+        for evict in [EvictPolicy::LruPage, EvictPolicy::RandomPage] {
+            let mut opts = RunOptions::default()
+                .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
+                .with_evict(evict)
+                .with_memory_frac(1.10);
+            opts.disable_prefetch_on_oversubscription = true;
+            let r = run_workload(w.as_ref(), opts);
+            t_row.push(fmt(r.total_ms()));
+            e_row.push(r.pages_evicted.to_string());
+        }
+        time.row_owned(t_row);
+        evicted.row_owned(e_row);
+    }
+    EvictionIsolation { time, evicted }
+}
+
+// ---------------------------------------------------------------------
+// Figure 11: prefetcher + pre-eviction combinations
+// ---------------------------------------------------------------------
+
+/// The four policy combinations of Fig. 11.
+pub const COMBOS: [(&str, PrefetchPolicy, EvictPolicy, bool); 4] = [
+    // (label, prefetcher, evictor, disable-prefetch-on-oversubscription)
+    ("LRU4K+none", PrefetchPolicy::TreeBasedNeighborhood, EvictPolicy::LruPage, true),
+    ("Re+Rp", PrefetchPolicy::Random, EvictPolicy::RandomPage, false),
+    ("SLe+SLp", PrefetchPolicy::SequentialLocal, EvictPolicy::SequentialLocal, false),
+    (
+        "TBNe+TBNp",
+        PrefetchPolicy::TreeBasedNeighborhood,
+        EvictPolicy::TreeBasedNeighborhood,
+        false,
+    ),
+];
+
+/// Fig. 11: kernel time (ms) for the four prefetcher/eviction
+/// combinations at 110 % over-subscription. TBNp is active before
+/// capacity in every setting.
+pub fn policy_combinations(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Fig 11: kernel time (ms), prefetcher x pre-eviction combos (110%)",
+        &["benchmark", "LRU4K+none", "Re+Rp", "SLe+SLp", "TBNe+TBNp"],
+    );
+    for w in suite(scale) {
+        let mut row = vec![w.name().to_string()];
+        for (_, prefetch, evict, disable) in COMBOS {
+            let mut opts = RunOptions::default()
+                .with_prefetch(prefetch)
+                .with_evict(evict)
+                .with_memory_frac(1.10);
+            opts.disable_prefetch_on_oversubscription = disable;
+            let r = run_workload(w.as_ref(), opts);
+            row.push(fmt(r.total_ms()));
+        }
+        t.row_owned(row);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure 12: nw page-access pattern
+// ---------------------------------------------------------------------
+
+/// Fig. 12: the nw page-access scatter (cycle, virtual page) for the
+/// requested kernel launches (the paper shows launches 60 and 70),
+/// with no memory budget (no eviction).
+pub fn nw_trace(scale: Scale, launches: &[usize]) -> Vec<(usize, Table)> {
+    let nw = match scale {
+        Scale::Paper => NeedlemanWunsch::default(),
+        Scale::Smoke => NeedlemanWunsch {
+            rows: 128,
+            tile: 16,
+        },
+    };
+    let r = run_workload(
+        &nw,
+        RunOptions {
+            trace: true,
+            ..RunOptions::default()
+        },
+    );
+    launches
+        .iter()
+        .filter(|&&l| l < r.traces.len())
+        .map(|&l| {
+            let mut t = Table::new(
+                format!("Fig 12: nw page accesses, launch {l}"),
+                &["cycle", "page"],
+            );
+            for ev in &r.traces[l] {
+                t.row_owned(vec![ev.cycle.index().to_string(), ev.page.index().to_string()]);
+            }
+            (l, t)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 13: over-subscription sensitivity of TBNe + TBNp
+// ---------------------------------------------------------------------
+
+/// Fig. 13: kernel time (ms) of the TBNe+TBNp combination as the
+/// over-subscription percentage grows.
+pub fn tbn_oversubscription_sensitivity(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Fig 13: TBNe+TBNp sensitivity to over-subscription (time ms)",
+        &["benchmark", "100%", "105%", "110%", "125%", "150%"],
+    );
+    for w in suite(scale) {
+        let mut row = vec![w.name().to_string()];
+        for frac in [None, Some(1.05), Some(1.10), Some(1.25), Some(1.50)] {
+            let mut opts = RunOptions::default()
+                .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
+                .with_evict(EvictPolicy::TreeBasedNeighborhood);
+            opts.memory_frac = frac;
+            let r = run_workload(w.as_ref(), opts);
+            row.push(fmt(r.total_ms()));
+        }
+        t.row_owned(row);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure 14: reserving the top of the LRU list
+// ---------------------------------------------------------------------
+
+/// Fig. 14: kernel time (ms) with 0 / 10 / 20 % of the LRU list
+/// reserved from eviction; TBNe+TBNp at 110 %.
+pub fn lru_reservation(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Fig 14: effect of reserving the top of the LRU list (time ms)",
+        &["benchmark", "0%", "10%", "20%"],
+    );
+    for w in suite(scale) {
+        let mut row = vec![w.name().to_string()];
+        for reserve in [0.0, 0.10, 0.20] {
+            let mut opts = RunOptions::default()
+                .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
+                .with_evict(EvictPolicy::TreeBasedNeighborhood)
+                .with_memory_frac(1.10);
+            opts.reserve_frac = reserve;
+            let r = run_workload(w.as_ref(), opts);
+            row.push(fmt(r.total_ms()));
+        }
+        t.row_owned(row);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figures 15-16: TBNe vs static 2 MB eviction
+// ---------------------------------------------------------------------
+
+/// Results of the TBNe vs 2 MB LRU comparison.
+#[derive(Clone, Debug)]
+pub struct LargePageComparison {
+    /// Fig. 15: kernel time (ms) at 110 %.
+    pub time: Table,
+    /// Fig. 16: pages thrashed at 110 % and 125 %.
+    pub thrash: Table,
+}
+
+/// Figs. 15-16: TBNe against static 2 MB LRU eviction, both with TBNp
+/// prefetching.
+pub fn tbne_vs_2mb(scale: Scale) -> LargePageComparison {
+    let mut time = Table::new(
+        "Fig 15: TBNe vs 2MB LRU eviction (time ms, 110%)",
+        &["benchmark", "TBNe", "LRU-2MB"],
+    );
+    let mut thrash = Table::new(
+        "Fig 16: pages thrashed, TBNe vs 2MB eviction",
+        &[
+            "benchmark",
+            "TBNe@110%",
+            "2MB@110%",
+            "TBNe@125%",
+            "2MB@125%",
+        ],
+    );
+    for w in suite(scale) {
+        let mut t_row = vec![w.name().to_string()];
+        let mut h_row = vec![w.name().to_string()];
+        for frac in [1.10, 1.25] {
+            for evict in [EvictPolicy::TreeBasedNeighborhood, EvictPolicy::LruLargePage] {
+                let opts = RunOptions::default()
+                    .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
+                    .with_evict(evict)
+                    .with_memory_frac(frac);
+                let r = run_workload(w.as_ref(), opts);
+                if (frac - 1.10).abs() < 1e-9 {
+                    t_row.push(fmt(r.total_ms()));
+                }
+                h_row.push(r.pages_thrashed.to_string());
+            }
+        }
+        time.row_owned(t_row);
+        thrash.row_owned(h_row);
+    }
+    LargePageComparison { time, thrash }
+}
+
+// ---------------------------------------------------------------------
+// Sec. 7 access-pattern analysis (the paper's explanatory methodology)
+// ---------------------------------------------------------------------
+
+/// Characterises every benchmark's page-access pattern (the analysis
+/// the paper performs in Sec. 7 to explain its results): footprint,
+/// reuse, sequentiality, spread, and the classified pattern.
+pub fn pattern_analysis(scale: Scale) -> Table {
+    use crate::pattern::PatternSummary;
+    let mut t = Table::new(
+        "Sec 7: access-pattern characterisation",
+        &[
+            "benchmark",
+            "accesses",
+            "unique_pages",
+            "touches_per_page",
+            "sequentiality",
+            "reuse_fraction",
+            "class",
+        ],
+    );
+    for w in suite(scale) {
+        let r = run_workload(
+            w.as_ref(),
+            RunOptions {
+                trace: true,
+                ..RunOptions::default()
+            },
+        );
+        let s = PatternSummary::from_traces(&r.traces);
+        t.row_owned(vec![
+            w.name().to_string(),
+            s.accesses.to_string(),
+            s.unique_pages.to_string(),
+            fmt(s.mean_touches_per_page),
+            fmt(s.sequentiality),
+            fmt(s.reuse_fraction),
+            s.classify().to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Ablations (design-choice studies beyond the paper's figures)
+// ---------------------------------------------------------------------
+
+/// Ablation: the paper's SLp (64 KB, block-aligned) versus the Zheng
+/// et al. 512 KB sequential prefetcher it was designed to replace
+/// (Sec. 3.2 discussion), with no memory budget.
+pub fn prefetch_granularity_ablation(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Ablation: SLp (64KB block-aligned) vs Zheng 512K vs TBNp (time ms)",
+        &["benchmark", "SLp", "SZp", "TBNp"],
+    );
+    for w in suite(scale) {
+        let mut row = vec![w.name().to_string()];
+        for p in [
+            PrefetchPolicy::SequentialLocal,
+            PrefetchPolicy::Sequential512K,
+            PrefetchPolicy::TreeBasedNeighborhood,
+        ] {
+            let r = run_workload(w.as_ref(), RunOptions::default().with_prefetch(p));
+            row.push(fmt(r.total_ms()));
+        }
+        t.row_owned(row);
+    }
+    t
+}
+
+/// Ablation: sensitivity of the TBNe+TBNp combination (110 %) to the
+/// number of concurrent fault-handling lanes (DESIGN.md §4).
+pub fn fault_lanes_ablation(scale: Scale, lanes: &[usize]) -> Table {
+    let mut headers: Vec<String> = vec!["benchmark".into()];
+    headers.extend(lanes.iter().map(|l| format!("{l}lane")));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Ablation: fault-handling lanes (TBNe+TBNp, 110%, time ms)",
+        &headers_ref,
+    );
+    for w in suite(scale) {
+        let mut row = vec![w.name().to_string()];
+        for &l in lanes {
+            let mut opts = RunOptions::default()
+                .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
+                .with_evict(EvictPolicy::TreeBasedNeighborhood)
+                .with_memory_frac(1.10);
+            opts.fault_lanes = Some(l);
+            let r = run_workload(w.as_ref(), opts);
+            row.push(fmt(r.total_ms()));
+        }
+        t.row_owned(row);
+    }
+    t
+}
+
+/// Ablation: prefetch accuracy under over-subscription (110 %) — the
+/// fraction of prefetched pages that are used before eviction, and the
+/// clean pages the bulk write-backs move. This quantifies Sec. 5's
+/// "unused prefetched pages" argument.
+pub fn prefetch_accuracy_ablation(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Ablation: prefetch accuracy and clean write-backs (110%)",
+        &[
+            "benchmark",
+            "combo",
+            "prefetched",
+            "used",
+            "wasted",
+            "accuracy",
+            "clean_writebacks",
+        ],
+    );
+    let combos: [(&str, PrefetchPolicy, EvictPolicy); 2] = [
+        (
+            "SLe+SLp",
+            PrefetchPolicy::SequentialLocal,
+            EvictPolicy::SequentialLocal,
+        ),
+        (
+            "TBNe+TBNp",
+            PrefetchPolicy::TreeBasedNeighborhood,
+            EvictPolicy::TreeBasedNeighborhood,
+        ),
+    ];
+    for w in suite(scale) {
+        for (label, prefetch, evict) in combos {
+            let opts = RunOptions::default()
+                .with_prefetch(prefetch)
+                .with_evict(evict)
+                .with_memory_frac(1.10);
+            let r = run_workload(w.as_ref(), opts);
+            let resolved = r.prefetched_used + r.prefetched_wasted;
+            let accuracy = if resolved == 0 {
+                1.0
+            } else {
+                r.prefetched_used as f64 / resolved as f64
+            };
+            t.row_owned(vec![
+                w.name().to_string(),
+                label.to_string(),
+                r.pages_prefetched.to_string(),
+                r.prefetched_used.to_string(),
+                r.prefetched_wasted.to_string(),
+                fmt(accuracy),
+                r.clean_pages_written_back.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Ablation of the Sec. 5.1 design choice: write back whole victim
+/// groups as single units (the paper's choice) versus writing back
+/// only the dirty pages, under SLe+SLp at 110 %.
+pub fn writeback_ablation(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Ablation: bulk-unit vs dirty-only write-back (SLe+SLp, 110%)",
+        &[
+            "benchmark",
+            "bulk_ms",
+            "dirty_only_ms",
+            "bulk_write_mb",
+            "dirty_only_write_mb",
+            "bulk_write_bw",
+            "dirty_only_write_bw",
+        ],
+    );
+    for w in suite(scale) {
+        let run = |dirty_only: bool| {
+            let mut opts = RunOptions::default()
+                .with_prefetch(PrefetchPolicy::SequentialLocal)
+                .with_evict(EvictPolicy::SequentialLocal)
+                .with_memory_frac(1.10);
+            opts.writeback_dirty_only = dirty_only;
+            run_workload(w.as_ref(), opts)
+        };
+        let bulk = run(false);
+        let dirty = run(true);
+        let mb = |b: uvm_types::Bytes| b.bytes() as f64 / (1024.0 * 1024.0);
+        t.row_owned(vec![
+            w.name().to_string(),
+            fmt(bulk.total_ms()),
+            fmt(dirty.total_ms()),
+            fmt(mb(bulk.write_bytes)),
+            fmt(mb(dirty.write_bytes)),
+            fmt(bulk.write_bandwidth_gbps),
+            fmt(dirty.write_bandwidth_gbps),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figures 2 and 8: worked-example walkthroughs
+// ---------------------------------------------------------------------
+
+/// Fig. 2: replays both TBNp worked examples on a 512 KB chunk and
+/// renders each step's prefetch decision.
+pub fn fig2_walkthrough() -> String {
+    let mut out = String::new();
+    for (label, order) in [
+        ("Fig 2(a): faults on blocks 1,3,5,7,0", vec![1u64, 3, 5, 7, 0]),
+        ("Fig 2(b): faults on blocks 1,3,0,4", vec![1, 3, 0, 4]),
+    ] {
+        out.push_str(label);
+        out.push('\n');
+        let mut tree = AllocTree::new(TreeExtent {
+            first_block: BasicBlockId::new(0),
+            num_blocks: 8,
+        });
+        for (i, b) in order.iter().enumerate() {
+            let block = BasicBlockId::new(*b);
+            let plan = tree.plan_prefetch(block);
+            out.push_str(&format!(
+                "  fault {} on block {b}: prefetch {:?}\n",
+                i + 1,
+                plan.iter().map(|p| p.index()).collect::<Vec<_>>()
+            ));
+            tree.fill_block(block);
+            for p in plan {
+                tree.fill_block(p);
+            }
+        }
+        out.push_str(&format!(
+            "  resident: {} / {} pages\n",
+            tree.root_valid_pages(),
+            tree.capacity_pages()
+        ));
+    }
+    out
+}
+
+/// Fig. 8: replays the TBNe worked example (evictions of blocks
+/// 1, 3, 4, 0 on a fully valid 512 KB chunk).
+pub fn fig8_walkthrough() -> String {
+    let mut out = String::new();
+    out.push_str("Fig 8: TBNe pre-eviction on a full 512 KB chunk\n");
+    let mut tree = AllocTree::new(TreeExtent {
+        first_block: BasicBlockId::new(0),
+        num_blocks: 8,
+    });
+    for b in 0..8 {
+        tree.fill_block(BasicBlockId::new(b));
+    }
+    for (i, b) in [1u64, 3, 4, 0].iter().enumerate() {
+        let block = BasicBlockId::new(*b);
+        let plan = tree.plan_eviction(block);
+        out.push_str(&format!(
+            "  eviction {} of block {b}: pre-evict {:?}\n",
+            i + 1,
+            plan.iter().map(|p| p.index()).collect::<Vec<_>>()
+        ));
+        tree.clear_block(block);
+        for p in plan {
+            tree.clear_block(p);
+        }
+    }
+    out.push_str(&format!(
+        "  resident: {} / {} pages\n",
+        tree.root_valid_pages(),
+        tree.capacity_pages()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = table1();
+        assert_eq!(t.num_rows(), 5);
+        assert!((t.value("4", "bandwidth_gbps").unwrap() - 3.2219).abs() < 1e-3);
+        assert!((t.value("1024", "bandwidth_gbps").unwrap() - 11.223).abs() < 1e-3);
+    }
+
+    #[test]
+    fn smoke_suite_matches_paper_suite_names() {
+        let paper: Vec<_> = suite(Scale::Paper).iter().map(|w| w.name()).collect();
+        let smoke: Vec<_> = suite(Scale::Smoke).iter().map(|w| w.name()).collect();
+        let mut p = paper.clone();
+        let mut s = smoke.clone();
+        p.sort_unstable();
+        s.sort_unstable();
+        assert_eq!(p, s);
+    }
+
+    #[test]
+    fn fig2_walkthrough_reproduces_paper_decisions() {
+        let text = fig2_walkthrough();
+        assert!(text.contains("fault 5 on block 0: prefetch [2, 4, 6]"));
+        assert!(text.contains("fault 4 on block 4: prefetch [5, 6, 7]"));
+        assert!(text.contains("resident: 128 / 128 pages"));
+    }
+
+    #[test]
+    fn fig8_walkthrough_reproduces_paper_decisions() {
+        let text = fig8_walkthrough();
+        assert!(text.contains("eviction 4 of block 0: pre-evict [2, 5, 6, 7]"));
+        assert!(text.contains("resident: 0 / 128 pages"));
+    }
+
+    #[test]
+    fn nw_trace_produces_scatter_series() {
+        let traces = nw_trace(Scale::Smoke, &[3, 9999]);
+        assert_eq!(traces.len(), 1, "out-of-range launches are skipped");
+        let (launch, table) = &traces[0];
+        assert_eq!(*launch, 3);
+        assert!(table.num_rows() > 0);
+    }
+}

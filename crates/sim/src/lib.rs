@@ -1,0 +1,36 @@
+//! Experiment harness for the UVM-interplay reproduction.
+//!
+//! This crate glues the stack together: it instantiates a
+//! [`uvm_core::Gmmu`] and a [`uvm_gpu::Engine`], builds a
+//! [`uvm_workloads::Workload`] against them, runs every kernel launch,
+//! and collects a [`RunResult`] with the measurements the paper's
+//! figures report (kernel time, far-faults, PCI-e bandwidth, transfer
+//! histograms, evictions, thrashing).
+//!
+//! The [`experiments`] module contains one runner per table/figure of
+//! the paper's evaluation; the `uvm-bench` crate wraps them as
+//! binaries and Criterion benches.
+//!
+//! # Examples
+//!
+//! ```
+//! use uvm_sim::{run_workload, RunOptions};
+//! use uvm_workloads::LinearSweep;
+//!
+//! let result = run_workload(
+//!     &LinearSweep { pages: 64, repeats: 2, thread_blocks: 4 },
+//!     RunOptions::default(),
+//! );
+//! assert_eq!(result.kernel_times.len(), 2);
+//! assert!(result.far_faults > 0);
+//! ```
+
+mod pattern;
+mod run;
+mod table;
+
+pub mod experiments;
+
+pub use pattern::{PatternClass, PatternSummary};
+pub use run::{measure_footprint, run_workload, RunOptions, RunResult};
+pub use table::Table;

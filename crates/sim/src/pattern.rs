@@ -1,0 +1,287 @@
+//! Page-access-pattern analysis — the methodology of the paper's
+//! Sec. 7, which explains every performance result by classifying each
+//! workload's access pattern (streaming, random, iterative dense,
+//! sparse-but-localized).
+//!
+//! [`PatternSummary`] condenses a captured access trace (the engine's
+//! Fig. 12-style `(cycle, page)` stream) into the quantities the paper
+//! reasons with: footprint, reuse, sequentiality, and spatial spread;
+//! [`PatternSummary::classify`] maps them onto the paper's vocabulary.
+
+use std::collections::HashMap;
+
+use uvm_gpu::TraceEvent;
+
+/// The paper's access-pattern vocabulary (Secs. 6.2, 7.1, 7.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PatternClass {
+    /// Pages are visited once (or nearly once) in address order and
+    /// never revisited — backprop, pathfinder.
+    Streaming,
+    /// Heavy reuse with mostly-sequential scans repeated across
+    /// launches — hotspot, srad.
+    IterativeDense,
+    /// Reuse concentrated on pages spaced far apart in the virtual
+    /// address space — nw's diagonal wavefront.
+    SparseLocalized,
+    /// Low sequentiality with reuse spread over the footprint — bfs.
+    Random,
+}
+
+impl std::fmt::Display for PatternClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PatternClass::Streaming => "streaming",
+            PatternClass::IterativeDense => "iterative-dense",
+            PatternClass::SparseLocalized => "sparse-localized",
+            PatternClass::Random => "random",
+        })
+    }
+}
+
+/// Summary statistics of one page-access trace.
+///
+/// # Examples
+///
+/// ```
+/// use uvm_gpu::TraceEvent;
+/// use uvm_sim::{PatternClass, PatternSummary};
+/// use uvm_types::{Cycle, PageId};
+///
+/// // A pure stream: pages 0..100 once each, from one warp.
+/// let trace: Vec<TraceEvent> = (0..100)
+///     .map(|i| TraceEvent {
+///         cycle: Cycle::new(i * 10),
+///         page: PageId::new(i),
+///         warp: 0,
+///         write: false,
+///     })
+///     .collect();
+/// let s = PatternSummary::from_trace(&trace);
+/// assert_eq!(s.unique_pages, 100);
+/// assert!(s.sequentiality > 0.9);
+/// assert_eq!(s.classify(), PatternClass::Streaming);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct PatternSummary {
+    /// Total accesses in the trace.
+    pub accesses: u64,
+    /// Distinct pages touched.
+    pub unique_pages: u64,
+    /// Highest minus lowest page index touched (address spread).
+    pub page_span: u64,
+    /// Mean accesses per touched page (1.0 = pure streaming).
+    pub mean_touches_per_page: f64,
+    /// Fraction of accesses within one page of some access the same
+    /// warp made among its previous eight (per-warp windowed spatial
+    /// sequentiality — robust to cross-warp interleaving).
+    pub sequentiality: f64,
+    /// Fraction of accesses that revisit an already-touched page.
+    pub reuse_fraction: f64,
+    /// Mean distance (in pages) between consecutive accesses.
+    pub mean_stride: f64,
+}
+
+impl PatternSummary {
+    /// Computes the summary of `trace` (as captured by
+    /// [`uvm_gpu::Engine::take_trace`] or [`crate::RunResult::traces`]).
+    ///
+    /// An empty trace yields all-zero statistics.
+    pub fn from_trace(trace: &[TraceEvent]) -> Self {
+        if trace.is_empty() {
+            return PatternSummary {
+                accesses: 0,
+                unique_pages: 0,
+                page_span: 0,
+                mean_touches_per_page: 0.0,
+                sequentiality: 0.0,
+                reuse_fraction: 0.0,
+                mean_stride: 0.0,
+            };
+        }
+        let mut touches: HashMap<u64, u64> = HashMap::new();
+        let mut revisits = 0u64;
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for ev in trace {
+            let idx = ev.page.index();
+            lo = lo.min(idx);
+            hi = hi.max(idx);
+            let count = touches.entry(idx).or_insert(0);
+            if *count > 0 {
+                revisits += 1;
+            }
+            *count += 1;
+        }
+        // Per-warp windowed sequentiality and stride: each access is
+        // compared against the same warp's recent history, so the
+        // metric reflects the kernel's structure rather than the
+        // engine's cross-warp interleaving.
+        const WINDOW: usize = 8;
+        let mut history: HashMap<usize, Vec<u64>> = HashMap::new();
+        let mut near = 0u64;
+        let mut pairs = 0u64;
+        let mut stride_sum = 0u64;
+        for ev in trace {
+            let h = history.entry(ev.warp).or_default();
+            if let Some(&prev) = h.last() {
+                pairs += 1;
+                stride_sum += prev.abs_diff(ev.page.index());
+                if h.iter().rev().take(WINDOW).any(|&p| p.abs_diff(ev.page.index()) <= 1) {
+                    near += 1;
+                }
+            }
+            h.push(ev.page.index());
+        }
+        let pairs = pairs.max(1) as f64;
+        let accesses = trace.len() as u64;
+        let unique = touches.len() as u64;
+        PatternSummary {
+            accesses,
+            unique_pages: unique,
+            page_span: hi - lo,
+            mean_touches_per_page: accesses as f64 / unique as f64,
+            sequentiality: near as f64 / pairs,
+            reuse_fraction: revisits as f64 / accesses as f64,
+            mean_stride: stride_sum as f64 / pairs,
+        }
+    }
+
+    /// Merges per-launch traces into one whole-run summary.
+    pub fn from_traces(traces: &[Vec<TraceEvent>]) -> Self {
+        let merged: Vec<TraceEvent> = traces.iter().flatten().copied().collect();
+        Self::from_trace(&merged)
+    }
+
+    /// Classifies the trace into the paper's pattern vocabulary.
+    ///
+    /// Thresholds follow the paper's qualitative descriptions: little
+    /// reuse ⇒ streaming; reuse with dominant sequential scanning ⇒
+    /// iterative-dense; reuse that jumps across the address space
+    /// (large mean stride relative to the footprint) ⇒
+    /// sparse-localized; otherwise random.
+    pub fn classify(&self) -> PatternClass {
+        if self.reuse_fraction < 0.6 && self.mean_touches_per_page < 2.5 {
+            return PatternClass::Streaming;
+        }
+        if self.sequentiality > 0.7 {
+            return PatternClass::IterativeDense;
+        }
+        // Sparse-localized (nw): reuse jumps across the address space
+        // but lands on a small set of bands — the touched pages are a
+        // sparse subset of the spanned range. Random reuse fills the
+        // spanned range densely.
+        let density = self.unique_pages as f64 / (self.page_span + 1) as f64;
+        let relative_stride = if self.page_span == 0 {
+            0.0
+        } else {
+            self.mean_stride / self.page_span as f64
+        };
+        if relative_stride > 0.05 && density < 0.5 {
+            PatternClass::SparseLocalized
+        } else {
+            PatternClass::Random
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use uvm_types::{Cycle, PageId};
+
+    fn at(i: u64, page: u64) -> TraceEvent {
+        TraceEvent {
+            cycle: Cycle::new(i),
+            page: PageId::new(page),
+            warp: 0,
+            write: false,
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let s = PatternSummary::from_trace(&[]);
+        assert_eq!(s.accesses, 0);
+        assert_eq!(s.unique_pages, 0);
+        assert_eq!(s.mean_touches_per_page, 0.0);
+    }
+
+    #[test]
+    fn single_access() {
+        let s = PatternSummary::from_trace(&[at(0, 42)]);
+        assert_eq!(s.accesses, 1);
+        assert_eq!(s.unique_pages, 1);
+        assert_eq!(s.page_span, 0);
+        assert_eq!(s.reuse_fraction, 0.0);
+    }
+
+    #[test]
+    fn streaming_classification() {
+        let trace: Vec<_> = (0..200).map(|i| at(i, i)).collect();
+        let s = PatternSummary::from_trace(&trace);
+        assert_eq!(s.classify(), PatternClass::Streaming);
+        assert_eq!(s.mean_touches_per_page, 1.0);
+        assert!(s.sequentiality > 0.99);
+    }
+
+    #[test]
+    fn iterative_dense_classification() {
+        // Four sequential sweeps over the same 100 pages.
+        let mut trace = Vec::new();
+        for rep in 0..4 {
+            for p in 0..100 {
+                trace.push(at(rep * 100 + p, p));
+            }
+        }
+        let s = PatternSummary::from_trace(&trace);
+        assert_eq!(s.classify(), PatternClass::IterativeDense);
+        assert!((s.mean_touches_per_page - 4.0).abs() < 1e-9);
+        assert!(s.reuse_fraction > 0.7);
+    }
+
+    #[test]
+    fn sparse_localized_classification() {
+        // nw-like: pages spaced 64 apart, revisited every "diagonal".
+        let mut trace = Vec::new();
+        let mut t = 0;
+        for _diag in 0..8 {
+            for band in 0..16 {
+                trace.push(at(t, band * 64));
+                t += 1;
+            }
+        }
+        let s = PatternSummary::from_trace(&trace);
+        assert_eq!(s.classify(), PatternClass::SparseLocalized);
+        assert!(s.mean_stride > 32.0);
+    }
+
+    #[test]
+    fn random_classification() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(3);
+        // Random accesses over a big footprint with modest reuse:
+        // small strides relative to span are rare, reuse present.
+        let trace: Vec<_> = (0..2000)
+            .map(|i| at(i, rng.gen_range(0..500)))
+            .collect();
+        let s = PatternSummary::from_trace(&trace);
+        assert_eq!(s.classify(), PatternClass::Random);
+    }
+
+    #[test]
+    fn merged_traces_equal_concatenation() {
+        let a = vec![at(0, 1), at(1, 2)];
+        let b = vec![at(2, 3)];
+        let merged = PatternSummary::from_traces(&[a.clone(), b.clone()]);
+        let concat: Vec<_> = a.into_iter().chain(b).collect();
+        assert_eq!(merged, PatternSummary::from_trace(&concat));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PatternClass::Streaming.to_string(), "streaming");
+        assert_eq!(PatternClass::SparseLocalized.to_string(), "sparse-localized");
+    }
+}

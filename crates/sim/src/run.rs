@@ -1,0 +1,324 @@
+//! Single-run driver: one workload under one configuration.
+
+use uvm_core::{EvictPolicy, Gmmu, PrefetchPolicy, UvmConfig};
+use uvm_gpu::{Engine, GpuConfig, TraceEvent};
+use uvm_types::{Bytes, Duration};
+use uvm_workloads::Workload;
+
+/// Options for one simulation run.
+///
+/// `memory_frac` expresses the paper's over-subscription percentage:
+/// the working set is `memory_frac` × the device memory size. `None`
+/// disables the budget entirely (the "no over-subscription" setup of
+/// Sec. 4.1); `Some(1.10)` is the paper's usual "110 %".
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Hardware prefetcher.
+    pub prefetch: PrefetchPolicy,
+    /// Eviction policy.
+    pub evict: EvictPolicy,
+    /// Working set as a multiple of device memory (`None` = unlimited
+    /// memory).
+    pub memory_frac: Option<f64>,
+    /// Disable the prefetcher permanently once memory first fills
+    /// (the Fig. 6 / Fig. 9 rule).
+    pub disable_prefetch_on_oversubscription: bool,
+    /// Free-page-buffer fraction (0 = no memory-threshold
+    /// pre-eviction).
+    pub free_buffer_frac: f64,
+    /// LRU-top reservation fraction (Sec. 5.3 / Fig. 14).
+    pub reserve_frac: f64,
+    /// GPU-side configuration.
+    pub gpu: GpuConfig,
+    /// Capture the page-access trace per kernel (Fig. 12).
+    pub trace: bool,
+    /// Override the number of concurrent fault-handling lanes
+    /// (`None` = driver default; see DESIGN.md §4).
+    pub fault_lanes: Option<usize>,
+    /// Dirty-only write-back instead of the paper's bulk-unit
+    /// write-back (the Sec. 5.1 design-choice ablation).
+    pub writeback_dirty_only: bool,
+    /// RNG seed for random policies.
+    pub rng_seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            prefetch: PrefetchPolicy::TreeBasedNeighborhood,
+            evict: EvictPolicy::LruPage,
+            memory_frac: None,
+            disable_prefetch_on_oversubscription: false,
+            free_buffer_frac: 0.0,
+            reserve_frac: 0.0,
+            gpu: GpuConfig::default(),
+            trace: false,
+            fault_lanes: None,
+            writeback_dirty_only: false,
+            rng_seed: 0x5eed,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Sets the prefetcher (builder style).
+    pub fn with_prefetch(mut self, p: PrefetchPolicy) -> Self {
+        self.prefetch = p;
+        self
+    }
+
+    /// Sets the eviction policy.
+    pub fn with_evict(mut self, e: EvictPolicy) -> Self {
+        self.evict = e;
+        self
+    }
+
+    /// Sets the over-subscription fraction (1.10 = working set is
+    /// 110 % of device memory).
+    pub fn with_memory_frac(mut self, frac: f64) -> Self {
+        self.memory_frac = Some(frac);
+        self
+    }
+}
+
+/// Measurements from one simulation run — the raw material of every
+/// figure in the paper.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Workload name.
+    pub name: String,
+    /// Total execution time across all kernel launches.
+    pub total_time: Duration,
+    /// Per-launch execution times, in launch order.
+    pub kernel_times: Vec<Duration>,
+    /// Working-set footprint (requested bytes).
+    pub footprint: Bytes,
+    /// Device-memory budget in effect (`None` = unlimited).
+    pub capacity: Option<Bytes>,
+    /// Distinct far-faults serviced (Fig. 5).
+    pub far_faults: u64,
+    /// Pages migrated host→device.
+    pub pages_migrated: u64,
+    /// Pages brought in by the prefetcher.
+    pub pages_prefetched: u64,
+    /// Pages evicted (Fig. 10).
+    pub pages_evicted: u64,
+    /// Pages re-migrated after eviction (Fig. 16).
+    pub pages_thrashed: u64,
+    /// Prefetched pages accessed while resident (useful prefetches).
+    pub prefetched_used: u64,
+    /// Prefetched pages evicted without ever being accessed.
+    pub prefetched_wasted: u64,
+    /// Evicted pages that were clean but written back anyway
+    /// (the bulk write-back overhead of Sec. 5.1).
+    pub clean_pages_written_back: u64,
+    /// Average PCI-e read (host→device) bandwidth in GB/s (Fig. 4).
+    pub read_bandwidth_gbps: f64,
+    /// Average PCI-e write-back bandwidth in GB/s.
+    pub write_bandwidth_gbps: f64,
+    /// Count of 4 KB transfers on the read channel (Fig. 7).
+    pub read_transfers_4k: u64,
+    /// Total transfers on the read channel.
+    pub read_transfers: u64,
+    /// Total bytes moved host→device.
+    pub read_bytes: Bytes,
+    /// Total bytes moved device→host.
+    pub write_bytes: Bytes,
+    /// Per-kernel page-access traces, if requested.
+    pub traces: Vec<Vec<TraceEvent>>,
+}
+
+impl RunResult {
+    /// Total time in milliseconds of simulated time.
+    pub fn total_ms(&self) -> f64 {
+        self.total_time.as_secs() * 1e3
+    }
+
+    /// Speed-up of this run relative to `baseline` (>1 means faster).
+    pub fn speedup_vs(&self, baseline: &RunResult) -> f64 {
+        baseline.total_time.as_secs() / self.total_time.as_secs()
+    }
+}
+
+/// Measures a workload's working-set footprint (requested bytes across
+/// managed allocations) without running it. The device budget for the
+/// over-subscription experiments is derived from this, mirroring the
+/// paper's definition of the working set; the rounded-up tree tails
+/// remain migratable on top of it.
+pub fn measure_footprint(workload: &dyn Workload) -> Bytes {
+    let mut gmmu = Gmmu::new(UvmConfig::default());
+    let mut malloc = |size: Bytes| gmmu.malloc_managed(size);
+    let _ = workload.build(&mut malloc);
+    gmmu.allocations().total_requested()
+}
+
+/// Runs `workload` under `opts` and returns the measurements.
+///
+/// The device-memory budget is derived from the workload's footprint
+/// and `opts.memory_frac`, mirroring the paper's method of scaling the
+/// memory-size parameter rather than the working set (Sec. 7.3).
+pub fn run_workload(workload: &dyn Workload, opts: RunOptions) -> RunResult {
+    let footprint = measure_footprint(workload);
+    let capacity = opts.memory_frac.map(|frac| {
+        assert!(frac > 0.0, "memory fraction must be positive");
+        Bytes::new((footprint.bytes() as f64 / frac).ceil() as u64)
+    });
+
+    let mut cfg = UvmConfig::default()
+        .with_prefetch(opts.prefetch)
+        .with_evict(opts.evict)
+        .with_disable_prefetch_on_oversubscription(opts.disable_prefetch_on_oversubscription)
+        .with_rng_seed(opts.rng_seed);
+    if let Some(capacity) = capacity {
+        cfg = cfg.with_capacity(capacity);
+    }
+    if opts.free_buffer_frac > 0.0 {
+        cfg = cfg.with_free_buffer_frac(opts.free_buffer_frac);
+    }
+    if opts.reserve_frac > 0.0 {
+        cfg = cfg.with_reserve_frac(opts.reserve_frac);
+    }
+    if let Some(lanes) = opts.fault_lanes {
+        cfg = cfg.with_fault_lanes(lanes);
+    }
+    if opts.writeback_dirty_only {
+        cfg = cfg.with_writeback_dirty_only(true);
+    }
+
+    let mut gmmu = Gmmu::new(cfg);
+    let kernels = {
+        let mut malloc = |size: Bytes| gmmu.malloc_managed(size);
+        workload.build(&mut malloc)
+    };
+
+    let mut engine = Engine::new(gmmu, opts.gpu.clone());
+    if opts.trace {
+        engine.enable_trace();
+    }
+
+    let mut kernel_times = Vec::with_capacity(kernels.len());
+    let mut traces = Vec::new();
+    for kernel in kernels {
+        let time = engine.run_kernel(kernel);
+        kernel_times.push(time);
+        if opts.trace {
+            traces.push(engine.take_trace());
+        }
+    }
+
+    let gmmu = engine.gmmu();
+    let stats = gmmu.stats();
+    let read = gmmu.read_stats();
+    let write = gmmu.write_stats();
+    RunResult {
+        name: workload.name().to_owned(),
+        total_time: kernel_times
+            .iter()
+            .fold(Duration::ZERO, |acc, &t| acc + t),
+        kernel_times,
+        footprint,
+        capacity,
+        far_faults: stats.far_faults,
+        pages_migrated: stats.pages_migrated,
+        pages_prefetched: stats.pages_prefetched,
+        pages_evicted: stats.pages_evicted,
+        pages_thrashed: stats.pages_thrashed,
+        prefetched_used: stats.prefetched_used,
+        prefetched_wasted: stats.prefetched_wasted,
+        clean_pages_written_back: stats.clean_pages_written_back,
+        read_bandwidth_gbps: read.average_bandwidth_gbps(),
+        write_bandwidth_gbps: write.average_bandwidth_gbps(),
+        read_transfers_4k: read.histogram.count_4kib(),
+        read_transfers: read.transfers(),
+        read_bytes: read.bytes,
+        write_bytes: write.bytes,
+        traces,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvm_workloads::{LinearSweep, StridedTouch};
+
+    fn sweep() -> LinearSweep {
+        LinearSweep {
+            pages: 256,
+            repeats: 2,
+            thread_blocks: 8,
+        }
+    }
+
+    #[test]
+    fn footprint_measured_without_running() {
+        let fp = measure_footprint(&sweep());
+        assert_eq!(fp, Bytes::mib(1));
+    }
+
+    #[test]
+    fn unlimited_memory_never_evicts() {
+        let r = run_workload(&sweep(), RunOptions::default());
+        assert_eq!(r.capacity, None);
+        assert_eq!(r.pages_evicted, 0);
+        assert_eq!(r.pages_migrated, 256);
+        assert_eq!(r.kernel_times.len(), 2);
+        assert!(r.total_ms() > 0.0);
+    }
+
+    #[test]
+    fn oversubscription_budget_derived_from_footprint() {
+        let r = run_workload(
+            &sweep(),
+            RunOptions::default()
+                .with_memory_frac(1.10)
+                .with_prefetch(PrefetchPolicy::None),
+        );
+        // 1 MiB working set at 110% => ~0.909 MiB budget.
+        let cap = r.capacity.unwrap();
+        assert!(cap < Bytes::mib(1));
+        assert!(cap > Bytes::kib(900));
+        assert!(r.pages_evicted > 0);
+    }
+
+    #[test]
+    fn prefetcher_reduces_far_faults() {
+        let none = run_workload(
+            &sweep(),
+            RunOptions::default().with_prefetch(PrefetchPolicy::None),
+        );
+        let tbn = run_workload(
+            &sweep(),
+            RunOptions::default().with_prefetch(PrefetchPolicy::TreeBasedNeighborhood),
+        );
+        assert!(tbn.far_faults < none.far_faults / 4);
+        assert!(tbn.total_time < none.total_time);
+        assert!(tbn.speedup_vs(&none) > 1.0);
+        assert!(none.speedup_vs(&tbn) < 1.0);
+    }
+
+    #[test]
+    fn trace_capture_per_kernel() {
+        let r = run_workload(
+            &StridedTouch::default(),
+            RunOptions {
+                trace: true,
+                ..RunOptions::default()
+            },
+        );
+        assert_eq!(r.traces.len(), 1);
+        assert_eq!(r.traces[0].len(), 4);
+    }
+
+    #[test]
+    fn bandwidth_reflects_transfer_sizes() {
+        let none = run_workload(
+            &sweep(),
+            RunOptions::default().with_prefetch(PrefetchPolicy::None),
+        );
+        // All 4 KB transfers: average bandwidth equals Table 1's 4 KB row.
+        assert!((none.read_bandwidth_gbps - 3.2219).abs() < 0.01);
+        assert_eq!(none.read_transfers_4k, none.read_transfers);
+        let tbn = run_workload(&sweep(), RunOptions::default());
+        assert!(tbn.read_bandwidth_gbps > 6.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Plain-text result tables (figure/table regeneration output).
+
+use std::fmt;
+
+/// A simple aligned-column table with a title, printable as text or
+/// CSV. Used by every experiment runner to emit the rows/series the
+/// paper's figures plot.
+///
+/// # Examples
+///
+/// ```
+/// use uvm_sim::Table;
+///
+/// let mut t = Table::new("Table 1: PCI-e bandwidth", &["size", "GB/s"]);
+/// t.row(&["4KB", "3.22"]);
+/// let text = t.to_string();
+/// assert!(text.contains("4KB"));
+/// assert!(t.to_csv().starts_with("size,GB/s"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header's.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of already-owned cells.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Cell accessor (row, column), if present.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row)?.get(col).map(String::as_str)
+    }
+
+    /// Finds the first row whose first cell equals `key`.
+    pub fn find_row(&self, key: &str) -> Option<&[String]> {
+        self.rows
+            .iter()
+            .find(|r| r.first().map(String::as_str) == Some(key))
+            .map(Vec::as_slice)
+    }
+
+    /// Column index by header name.
+    pub fn col_index(&self, header: &str) -> Option<usize> {
+        self.headers.iter().position(|h| h == header)
+    }
+
+    /// Looks up a cell by row key (first column) and column header,
+    /// parsed as `f64`.
+    pub fn value(&self, row_key: &str, header: &str) -> Option<f64> {
+        let col = self.col_index(header)?;
+        self.find_row(row_key)?.get(col)?.parse().ok()
+    }
+
+    /// Renders as CSV (header line first).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "# {}", self.title)?;
+        let fmt_row = |row: &[String]| -> String {
+            row.iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("t", &["bench", "a", "b"]);
+        t.row(&["nw", "1.5", "2.5"]);
+        t.row(&["bfs", "3.0", "4.0"]);
+        t
+    }
+
+    #[test]
+    fn lookup_by_key_and_header() {
+        let t = sample();
+        assert_eq!(t.value("nw", "a"), Some(1.5));
+        assert_eq!(t.value("bfs", "b"), Some(4.0));
+        assert_eq!(t.value("nw", "zzz"), None);
+        assert_eq!(t.value("zzz", "a"), None);
+        assert_eq!(t.cell(0, 0), Some("nw"));
+        assert_eq!(t.cell(9, 0), None);
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let csv = sample().to_csv();
+        assert_eq!(csv, "bench,a,b\nnw,1.5,2.5\nbfs,3.0,4.0\n");
+    }
+
+    #[test]
+    fn display_alignment() {
+        let text = sample().to_string();
+        assert!(text.starts_with("# t\n"));
+        assert!(text.contains("bench"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["only-one"]);
+    }
+}

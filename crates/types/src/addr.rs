@@ -1,0 +1,262 @@
+//! Virtual addresses and the three page-granularity identifiers.
+
+use std::fmt;
+
+use crate::size::{PAGE_SIZE, PAGES_PER_BASIC_BLOCK, PAGES_PER_LARGE_PAGE};
+use crate::Bytes;
+
+/// A byte address in the unified virtual address space.
+///
+/// # Examples
+///
+/// ```
+/// use uvm_types::VirtAddr;
+///
+/// let a = VirtAddr::new(0x20_0000 + 5);
+/// assert_eq!(a.large_page().index(), 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// Creates a virtual address from a raw byte offset.
+    pub const fn new(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+
+    /// The raw byte offset.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The 4 KB page containing this address.
+    pub const fn page(self) -> PageId {
+        PageId(self.0 / PAGE_SIZE.bytes())
+    }
+
+    /// The 64 KB basic block containing this address.
+    pub const fn basic_block(self) -> BasicBlockId {
+        self.page().basic_block()
+    }
+
+    /// The 2 MB large page containing this address.
+    pub const fn large_page(self) -> LargePageId {
+        self.page().large_page()
+    }
+
+    /// The address `delta` bytes above this one.
+    pub const fn offset(self, delta: Bytes) -> VirtAddr {
+        VirtAddr(self.0 + delta.bytes())
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+}
+
+/// Index of a 4 KB page in the virtual address space.
+///
+/// This is the granularity of the GPU page table, of demand migration,
+/// and of the LRU-4KB / Random eviction policies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(u64);
+
+impl PageId {
+    /// Creates a page id from a raw page index.
+    pub const fn new(index: u64) -> Self {
+        PageId(index)
+    }
+
+    /// The raw page index.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The first byte of this page.
+    pub const fn base_addr(self) -> VirtAddr {
+        VirtAddr(self.0 * PAGE_SIZE.bytes())
+    }
+
+    /// The 64 KB basic block containing this page.
+    pub const fn basic_block(self) -> BasicBlockId {
+        BasicBlockId(self.0 / PAGES_PER_BASIC_BLOCK)
+    }
+
+    /// The 2 MB large page containing this page.
+    pub const fn large_page(self) -> LargePageId {
+        LargePageId(self.0 / PAGES_PER_LARGE_PAGE)
+    }
+
+    /// The page `n` places after this one.
+    pub const fn add(self, n: u64) -> PageId {
+        PageId(self.0 + n)
+    }
+
+    /// Position of this page within its basic block, in `0..16`.
+    pub const fn offset_in_basic_block(self) -> u64 {
+        self.0 % PAGES_PER_BASIC_BLOCK
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pg{}", self.0)
+    }
+}
+
+/// Index of a 64 KB basic block — the prefetch and pre-eviction unit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BasicBlockId(u64);
+
+impl BasicBlockId {
+    /// Creates a basic-block id from a raw index.
+    pub const fn new(index: u64) -> Self {
+        BasicBlockId(index)
+    }
+
+    /// The raw basic-block index.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The first 4 KB page of this basic block.
+    pub const fn first_page(self) -> PageId {
+        PageId(self.0 * PAGES_PER_BASIC_BLOCK)
+    }
+
+    /// Iterates over the 16 pages of this basic block.
+    pub fn pages(self) -> impl Iterator<Item = PageId> {
+        let first = self.first_page().index();
+        (first..first + PAGES_PER_BASIC_BLOCK).map(PageId)
+    }
+
+    /// The 2 MB large page containing this block.
+    pub const fn large_page(self) -> LargePageId {
+        LargePageId(self.0 / (PAGES_PER_LARGE_PAGE / PAGES_PER_BASIC_BLOCK))
+    }
+
+    /// Position of this block within its 2 MB large page, in `0..32`.
+    pub const fn offset_in_large_page(self) -> u64 {
+        self.0 % (PAGES_PER_LARGE_PAGE / PAGES_PER_BASIC_BLOCK)
+    }
+
+    /// The block `n` places after this one.
+    pub const fn add(self, n: u64) -> BasicBlockId {
+        BasicBlockId(self.0 + n)
+    }
+}
+
+impl fmt::Display for BasicBlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// Index of a 2 MB large page — the tree-prefetcher boundary and the
+/// granularity of NVIDIA's static eviction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LargePageId(u64);
+
+impl LargePageId {
+    /// Creates a large-page id from a raw index.
+    pub const fn new(index: u64) -> Self {
+        LargePageId(index)
+    }
+
+    /// The raw large-page index.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The first 4 KB page of this large page.
+    pub const fn first_page(self) -> PageId {
+        PageId(self.0 * PAGES_PER_LARGE_PAGE)
+    }
+
+    /// The first 64 KB basic block of this large page.
+    pub const fn first_basic_block(self) -> BasicBlockId {
+        BasicBlockId(self.0 * (PAGES_PER_LARGE_PAGE / PAGES_PER_BASIC_BLOCK))
+    }
+}
+
+impl fmt::Display for LargePageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lp{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_to_page_mapping() {
+        assert_eq!(VirtAddr::new(0).page(), PageId::new(0));
+        assert_eq!(VirtAddr::new(4095).page(), PageId::new(0));
+        assert_eq!(VirtAddr::new(4096).page(), PageId::new(1));
+        assert_eq!(VirtAddr::new(0x20_0000).large_page(), LargePageId::new(1));
+    }
+
+    #[test]
+    fn page_to_block_mapping() {
+        assert_eq!(PageId::new(15).basic_block(), BasicBlockId::new(0));
+        assert_eq!(PageId::new(16).basic_block(), BasicBlockId::new(1));
+        assert_eq!(PageId::new(511).large_page(), LargePageId::new(0));
+        assert_eq!(PageId::new(512).large_page(), LargePageId::new(1));
+        assert_eq!(PageId::new(37).offset_in_basic_block(), 5);
+    }
+
+    #[test]
+    fn block_geometry() {
+        let bb = BasicBlockId::new(3);
+        assert_eq!(bb.first_page(), PageId::new(48));
+        let pages: Vec<_> = bb.pages().collect();
+        assert_eq!(pages.len(), 16);
+        assert_eq!(pages[0], PageId::new(48));
+        assert_eq!(pages[15], PageId::new(63));
+        assert_eq!(BasicBlockId::new(31).large_page(), LargePageId::new(0));
+        assert_eq!(BasicBlockId::new(32).large_page(), LargePageId::new(1));
+        assert_eq!(BasicBlockId::new(33).offset_in_large_page(), 1);
+    }
+
+    #[test]
+    fn large_page_geometry() {
+        let lp = LargePageId::new(2);
+        assert_eq!(lp.first_page(), PageId::new(1024));
+        assert_eq!(lp.first_basic_block(), BasicBlockId::new(64));
+    }
+
+    #[test]
+    fn round_trips() {
+        let page = PageId::new(1234);
+        assert_eq!(page.base_addr().page(), page);
+        let bb = BasicBlockId::new(77);
+        assert_eq!(bb.first_page().basic_block(), bb);
+        let lp = LargePageId::new(9);
+        assert_eq!(lp.first_page().large_page(), lp);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(VirtAddr::new(255).to_string(), "0xff");
+        assert_eq!(PageId::new(2).to_string(), "pg2");
+        assert_eq!(BasicBlockId::new(2).to_string(), "bb2");
+        assert_eq!(LargePageId::new(2).to_string(), "lp2");
+    }
+
+    #[test]
+    fn offset_and_add() {
+        let a = VirtAddr::new(100).offset(crate::Bytes::kib(4));
+        assert_eq!(a.raw(), 100 + 4096);
+        assert_eq!(PageId::new(5).add(3), PageId::new(8));
+        assert_eq!(BasicBlockId::new(5).add(3), BasicBlockId::new(8));
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the address/size/geometry foundations.
+
+use proptest::prelude::*;
+
+use uvm_types::{
+    round_up_pow2_blocks, split_allocation, BasicBlockId, Bytes, Cycle, Duration, PageId,
+    VirtAddr, BASIC_BLOCK_SIZE, LARGE_PAGE_SIZE, PAGES_PER_BASIC_BLOCK, PAGES_PER_LARGE_PAGE,
+    PAGE_SIZE,
+};
+
+proptest! {
+    /// Address → page → block → large-page mappings are consistent
+    /// with integer division and with each other.
+    #[test]
+    fn address_hierarchy_is_consistent(raw in 0u64..(1 << 45)) {
+        let addr = VirtAddr::new(raw);
+        let page = addr.page();
+        prop_assert_eq!(page.index(), raw / PAGE_SIZE.bytes());
+        prop_assert_eq!(addr.basic_block(), page.basic_block());
+        prop_assert_eq!(addr.large_page(), page.large_page());
+        prop_assert_eq!(page.basic_block().large_page(), page.large_page());
+        // The base address of the page contains the page.
+        prop_assert_eq!(page.base_addr().page(), page);
+        prop_assert!(page.base_addr().raw() <= raw);
+    }
+
+    /// A block's pages all map back to the block, in order.
+    #[test]
+    fn block_pages_round_trip(idx in 0u64..(1 << 30)) {
+        let block = BasicBlockId::new(idx);
+        let pages: Vec<PageId> = block.pages().collect();
+        prop_assert_eq!(pages.len() as u64, PAGES_PER_BASIC_BLOCK);
+        for (i, p) in pages.iter().enumerate() {
+            prop_assert_eq!(p.basic_block(), block);
+            prop_assert_eq!(p.offset_in_basic_block(), i as u64);
+        }
+        prop_assert_eq!(block.first_page().index() % PAGES_PER_BASIC_BLOCK, 0);
+    }
+
+    /// Byte arithmetic is consistent: + then - is the identity, and
+    /// multiplication scales page counts.
+    #[test]
+    fn bytes_arithmetic(a in 0u64..(1 << 40), b in 0u64..(1 << 40)) {
+        let x = Bytes::new(a);
+        let y = Bytes::new(b);
+        prop_assert_eq!((x + y) - y, x);
+        prop_assert_eq!(x.saturating_sub(x + y), Bytes::ZERO);
+        prop_assert!((x + y) >= x);
+        // pages_ceil never undercounts.
+        prop_assert!(x.pages_ceil() * PAGE_SIZE.bytes() >= a);
+        prop_assert!(x.pages_ceil() * PAGE_SIZE.bytes() < a + PAGE_SIZE.bytes());
+    }
+
+    /// Rounding to power-of-two blocks is the smallest power-of-two
+    /// block count that covers the size.
+    #[test]
+    fn pow2_rounding_is_minimal(size in 1u64..(64 << 20)) {
+        let blocks = round_up_pow2_blocks(Bytes::new(size));
+        prop_assert!(blocks.is_power_of_two());
+        prop_assert!(blocks * BASIC_BLOCK_SIZE.bytes() >= size);
+        if blocks > 1 {
+            prop_assert!((blocks / 2) * BASIC_BLOCK_SIZE.bytes() < size);
+        }
+    }
+
+    /// Allocation splitting tiles the address range contiguously with
+    /// full 2 MB trees followed by at most one remainder tree.
+    #[test]
+    fn split_allocation_tiles(first in 0u64..(1 << 20), size in 1u64..(64 << 20)) {
+        let first_block = BasicBlockId::new(first * 32); // 2 MB aligned
+        let trees = split_allocation(first_block, Bytes::new(size));
+        prop_assert!(!trees.is_empty());
+        let mut cursor = first_block;
+        let blocks_per_lp = PAGES_PER_LARGE_PAGE / PAGES_PER_BASIC_BLOCK;
+        for (i, t) in trees.iter().enumerate() {
+            prop_assert_eq!(t.first_block, cursor, "contiguous tiling");
+            prop_assert!(t.num_blocks.is_power_of_two());
+            prop_assert!(t.num_blocks <= blocks_per_lp);
+            if i + 1 < trees.len() {
+                prop_assert_eq!(t.num_blocks, blocks_per_lp, "only the last tree may be small");
+            }
+            cursor = cursor.add(t.num_blocks);
+        }
+        let covered: u64 = trees.iter().map(|t| t.span().bytes()).sum();
+        prop_assert!(covered >= size);
+        // Coverage is not wasteful: dropping the last tree undershoots.
+        let without_last: u64 = trees[..trees.len() - 1]
+            .iter()
+            .map(|t| t.span().bytes())
+            .sum();
+        prop_assert!(without_last < size);
+    }
+
+    /// Time conversions round-trip within a cycle.
+    #[test]
+    fn time_round_trips(us in 0.0f64..1e6) {
+        let d = Duration::from_micros(us);
+        prop_assert!((d.as_micros() - us).abs() < 0.001);
+        let t = Cycle::ZERO + d;
+        prop_assert_eq!(t.since(Cycle::ZERO), d);
+    }
+
+    /// Cycle ordering is preserved by adding equal durations.
+    #[test]
+    fn cycle_ordering_is_translation_invariant(
+        a in 0u64..(1 << 50),
+        b in 0u64..(1 << 50),
+        d in 0u64..(1 << 30),
+    ) {
+        let (ca, cb) = (Cycle::new(a), Cycle::new(b));
+        let dur = Duration::from_cycles(d);
+        prop_assert_eq!((ca + dur) <= (cb + dur), ca <= cb);
+    }
+}
+
+#[test]
+fn geometry_constants_are_consistent() {
+    assert_eq!(PAGE_SIZE * PAGES_PER_BASIC_BLOCK, BASIC_BLOCK_SIZE);
+    assert_eq!(PAGE_SIZE * PAGES_PER_LARGE_PAGE, LARGE_PAGE_SIZE);
+    assert_eq!(
+        BASIC_BLOCK_SIZE * (PAGES_PER_LARGE_PAGE / PAGES_PER_BASIC_BLOCK),
+        LARGE_PAGE_SIZE
+    );
+}

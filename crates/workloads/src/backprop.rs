@@ -1,0 +1,134 @@
+//! `backprop` (Rodinia): neural-network training layer.
+//!
+//! The paper classifies backprop as a *streaming* benchmark: it scans
+//! large arrays in parts sequentially and does not reuse data across
+//! iterations (Sec. 7.1), which makes it insensitive to the choice of
+//! eviction policy and to the over-subscription percentage.
+//!
+//! Two kernel launches, as in Rodinia: `layerforward` streams the
+//! input units and the input→hidden weight matrix; `adjust_weights`
+//! streams a second (gradient) weight matrix. No page is visited by
+//! more than one kernel.
+
+use uvm_gpu::{Access, KernelSpec, ThreadBlockSpec};
+use uvm_types::{Bytes, VirtAddr, PAGE_SIZE};
+
+use crate::{page_addr, Workload};
+
+/// The backprop workload. Default footprint ≈ 18 MB.
+#[derive(Clone, Debug)]
+pub struct Backprop {
+    /// 4 KB pages of the input-unit vector.
+    pub input_pages: u64,
+    /// Pages of the input→hidden weight matrix (read by kernel 1).
+    pub weights_in_pages: u64,
+    /// Pages of the weight-gradient matrix (written by kernel 2).
+    pub weights_out_pages: u64,
+    /// Thread blocks per kernel.
+    pub thread_blocks: u64,
+}
+
+impl Default for Backprop {
+    fn default() -> Self {
+        Backprop {
+            input_pages: 512,        // 2 MB
+            weights_in_pages: 2048,  // 8 MB
+            weights_out_pages: 2048, // 8 MB
+            thread_blocks: 64,
+        }
+    }
+}
+
+impl Workload for Backprop {
+    fn name(&self) -> &'static str {
+        "backprop"
+    }
+
+    fn build(&self, malloc: &mut dyn FnMut(Bytes) -> VirtAddr) -> Vec<KernelSpec> {
+        let input = malloc(PAGE_SIZE * self.input_pages);
+        let w_in = malloc(PAGE_SIZE * self.weights_in_pages);
+        let w_out = malloc(PAGE_SIZE * self.weights_out_pages);
+
+        // Kernel 1: each thread block streams its slice of the input
+        // units and its rows of the weight matrix.
+        let mut k1 = KernelSpec::new("backprop_layerforward");
+        for tb in 0..self.thread_blocks {
+            let (in_lo, in_hi) = slice(self.input_pages, self.thread_blocks, tb);
+            let (w_lo, w_hi) = slice(self.weights_in_pages, self.thread_blocks, tb);
+            let reads = (in_lo..in_hi)
+                .map(move |p| Access::read(page_addr(input, p)))
+                .chain((w_lo..w_hi).map(move |p| Access::read(page_addr(w_in, p))));
+            k1.push_block(ThreadBlockSpec::from_accesses(reads));
+        }
+
+        // Kernel 2: stream-write the gradient matrix.
+        let mut k2 = KernelSpec::new("backprop_adjust_weights");
+        for tb in 0..self.thread_blocks {
+            let (lo, hi) = slice(self.weights_out_pages, self.thread_blocks, tb);
+            let writes = (lo..hi).map(move |p| Access::write(page_addr(w_out, p)));
+            k2.push_block(ThreadBlockSpec::from_accesses(writes));
+        }
+        vec![k1, k2]
+    }
+}
+
+/// Splits `total` items into `parts` contiguous slices; returns the
+/// `idx`-th slice as `(lo, hi)`.
+pub(crate) fn slice(total: u64, parts: u64, idx: u64) -> (u64, u64) {
+    let base = total / parts;
+    let rem = total % parts;
+    let lo = idx * base + idx.min(rem);
+    let len = base + u64::from(idx < rem);
+    (lo, lo + len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::build_dummy;
+    use std::collections::HashSet;
+
+    #[test]
+    fn slices_partition_exactly() {
+        for (total, parts) in [(100u64, 7u64), (64, 64), (10, 3), (5, 8)] {
+            let mut covered = 0;
+            let mut prev_hi = 0;
+            for i in 0..parts {
+                let (lo, hi) = slice(total, parts, i);
+                assert_eq!(lo, prev_hi, "slices must be contiguous");
+                covered += hi - lo;
+                prev_hi = hi;
+            }
+            assert_eq!(covered, total);
+        }
+    }
+
+    #[test]
+    fn two_streaming_kernels_no_page_reuse() {
+        let (kernels, fp) = build_dummy(&Backprop::default());
+        assert_eq!(kernels.len(), 2);
+        assert_eq!(fp, Bytes::mib(18));
+        // No page is accessed twice across the whole run.
+        let mut seen = HashSet::new();
+        for k in kernels {
+            for b in k.into_blocks() {
+                for a in b.into_accesses() {
+                    assert!(seen.insert(a.page()), "page {} reused", a.page());
+                }
+            }
+        }
+        // Every page of the 18 MB footprint is touched exactly once.
+        assert_eq!(seen.len() as u64, 512 + 2048 + 2048);
+    }
+
+    #[test]
+    fn kernel2_is_write_only() {
+        let (kernels, _) = build_dummy(&Backprop::default());
+        let k2 = kernels.into_iter().nth(1).unwrap();
+        for b in k2.into_blocks() {
+            for a in b.into_accesses() {
+                assert!(a.write);
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! `bfs` (Rodinia): breadth-first search over an irregular graph.
+//!
+//! The paper lists "random page access pattern" among the behaviours
+//! its suite covers; bfs is the canonical case. Each level kernel
+//! scans the frontier mask sequentially but chases edges at
+//! data-dependent (modelled: seeded-random) offsets in the adjacency
+//! arrays, revisiting pages across levels.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use uvm_gpu::{Access, KernelSpec, ThreadBlockSpec};
+use uvm_types::{Bytes, VirtAddr, PAGE_SIZE};
+
+use crate::backprop::slice;
+use crate::{page_addr, Workload};
+
+/// The bfs workload. Default footprint = 17 MB.
+#[derive(Clone, Debug)]
+pub struct Bfs {
+    /// Pages of the node (row-offset) array.
+    pub node_pages: u64,
+    /// Pages of the edge array.
+    pub edge_pages: u64,
+    /// Pages of the visited/frontier mask.
+    pub mask_pages: u64,
+    /// Pages of the cost (distance) array.
+    pub cost_pages: u64,
+    /// BFS levels (kernel launches).
+    pub levels: u64,
+    /// Thread blocks per level.
+    pub thread_blocks: u64,
+    /// Frontier nodes expanded per thread block per level.
+    pub expansions_per_block: u64,
+    /// Seed for the data-dependent edge offsets.
+    pub seed: u64,
+}
+
+impl Default for Bfs {
+    fn default() -> Self {
+        Bfs {
+            node_pages: 1024, // 4 MB
+            edge_pages: 2048, // 8 MB
+            mask_pages: 256,  // 1 MB
+            cost_pages: 1024, // 4 MB
+            levels: 8,
+            thread_blocks: 32,
+            expansions_per_block: 64,
+            seed: 0xbf5,
+        }
+    }
+}
+
+impl Workload for Bfs {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn build(&self, malloc: &mut dyn FnMut(Bytes) -> VirtAddr) -> Vec<KernelSpec> {
+        let nodes = malloc(PAGE_SIZE * self.node_pages);
+        let edges = malloc(PAGE_SIZE * self.edge_pages);
+        let mask = malloc(PAGE_SIZE * self.mask_pages);
+        let cost = malloc(PAGE_SIZE * self.cost_pages);
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+
+        let mut kernels = Vec::with_capacity(self.levels as usize);
+        for level in 0..self.levels {
+            let mut k = KernelSpec::new(format!("bfs_level{level}"));
+            for tb in 0..self.thread_blocks {
+                // One thread per node: every level densely scans this
+                // block's slice of the node array and frontier mask
+                // (Rodinia's kernel reads graph_nodes[tid] and
+                // frontier[tid] unconditionally).
+                let (nlo, nhi) = slice(self.node_pages, self.thread_blocks, tb);
+                let mut accesses: Vec<Access> = Vec::new();
+                for p in nlo..nhi {
+                    accesses.push(Access::read(page_addr(nodes, p)));
+                    accesses.push(Access::read(page_addr(
+                        mask,
+                        p * self.mask_pages / self.node_pages,
+                    )));
+                }
+                // Frontier expansion for active nodes of this slice: a
+                // node's CSR edge list is a short contiguous run at a
+                // data-dependent (modelled: random) offset; cost and
+                // mask updates land at the node's own index.
+                for _ in 0..self.expansions_per_block {
+                    let n = rng.gen_range(nlo..nhi);
+                    let e = rng.gen_range(0..self.edge_pages.saturating_sub(2).max(1));
+                    accesses.push(Access::read(page_addr(edges, e)));
+                    accesses.push(Access::read(page_addr(edges, (e + 1).min(self.edge_pages - 1))));
+                    accesses.push(Access::write(page_addr(
+                        cost,
+                        n * self.cost_pages / self.node_pages,
+                    )));
+                    accesses.push(Access::write(page_addr(
+                        mask,
+                        n * self.mask_pages / self.node_pages,
+                    )));
+                }
+                k.push_block(ThreadBlockSpec::from_accesses(accesses));
+            }
+            kernels.push(k);
+        }
+        kernels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::build_dummy;
+
+    #[test]
+    fn level_count_and_footprint() {
+        let (kernels, fp) = build_dummy(&Bfs::default());
+        assert_eq!(kernels.len(), 8);
+        assert_eq!(fp, Bytes::mib(17));
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let pages = |w: &Bfs| -> Vec<u64> {
+            let (kernels, _) = build_dummy(w);
+            kernels
+                .into_iter()
+                .flat_map(|k| k.into_blocks())
+                .flat_map(|b| b.into_accesses())
+                .map(|a| a.page().index())
+                .collect()
+        };
+        assert_eq!(pages(&Bfs::default()), pages(&Bfs::default()));
+        // A different seed gives a different edge-chase sequence.
+        let other = Bfs {
+            seed: 99,
+            ..Bfs::default()
+        };
+        assert_ne!(pages(&Bfs::default()), pages(&other));
+    }
+
+    #[test]
+    fn edge_accesses_are_spread_widely() {
+        let (kernels, _) = build_dummy(&Bfs::default());
+        let mut edge_pages = std::collections::HashSet::new();
+        // Edges allocation starts right after the 4 MB node array.
+        let edge_lo = 1024;
+        let edge_hi = edge_lo + 2048;
+        for k in kernels {
+            for b in k.into_blocks() {
+                for a in b.into_accesses() {
+                    let p = a.page().index();
+                    if (edge_lo..edge_hi).contains(&p) {
+                        edge_pages.insert(p);
+                    }
+                }
+            }
+        }
+        // 8 levels x 32 TBs x 64 expansions = 16384 draws over 2048
+        // pages: nearly all pages are hit at least once.
+        assert!(edge_pages.len() > 1800, "{} pages", edge_pages.len());
+    }
+}

@@ -1,0 +1,122 @@
+//! `gaussian` (Rodinia): Gaussian elimination.
+//!
+//! One kernel launch per elimination step. Step `k` reads the pivot
+//! row and reads/writes every remaining row below it, so the active
+//! region shrinks as elimination proceeds: early steps sweep almost
+//! the whole matrix (strong reuse between consecutive steps), late
+//! steps touch only the tail. Repeated sweeps over a shrinking region
+//! give gaussian its intermediate sensitivity to eviction policy.
+
+use uvm_gpu::{Access, KernelSpec, ThreadBlockSpec};
+use uvm_types::{Bytes, VirtAddr, PAGE_SIZE};
+
+use crate::{page_addr, Workload};
+
+/// The gaussian-elimination workload. Default footprint = 6 MB.
+#[derive(Clone, Debug)]
+pub struct Gaussian {
+    /// Matrix rows; one 4 KB page per row (1024 f32 columns).
+    pub rows: u64,
+    /// Rows eliminated per step (one kernel launch per step).
+    pub rows_per_step: u64,
+    /// Rows per thread block.
+    pub rows_per_block: u64,
+}
+
+impl Default for Gaussian {
+    fn default() -> Self {
+        Gaussian {
+            rows: 1536, // 6 MB
+            rows_per_step: 32,
+            rows_per_block: 16,
+        }
+    }
+}
+
+impl Workload for Gaussian {
+    fn name(&self) -> &'static str {
+        "gaussian"
+    }
+
+    fn build(&self, malloc: &mut dyn FnMut(Bytes) -> VirtAddr) -> Vec<KernelSpec> {
+        let matrix = malloc(PAGE_SIZE * self.rows);
+        let steps = self.rows / self.rows_per_step;
+
+        let mut kernels = Vec::with_capacity(steps as usize);
+        for step in 0..steps {
+            let pivot = step * self.rows_per_step;
+            let mut k = KernelSpec::new(format!("gaussian_step{step}"));
+            let mut row = pivot + 1;
+            while row < self.rows {
+                let hi = (row + self.rows_per_block).min(self.rows);
+                // The pivot row is staged into shared memory once per
+                // thread block (Rodinia's Fan2 tiling), then each row
+                // of the block's tile is read and updated in place.
+                let accesses = std::iter::once(Access::read(page_addr(matrix, pivot))).chain(
+                    (row..hi).flat_map(move |r| {
+                        [
+                            Access::read(page_addr(matrix, r)),
+                            Access::write(page_addr(matrix, r)),
+                        ]
+                    }),
+                );
+                k.push_block(ThreadBlockSpec::from_accesses(accesses));
+                row = hi;
+            }
+            kernels.push(k);
+        }
+        kernels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::build_dummy;
+
+    #[test]
+    fn one_kernel_per_step_and_footprint() {
+        let (kernels, fp) = build_dummy(&Gaussian::default());
+        assert_eq!(kernels.len(), 48);
+        assert_eq!(fp, Bytes::mib(6));
+    }
+
+    #[test]
+    fn active_region_shrinks() {
+        let g = Gaussian {
+            rows: 128,
+            rows_per_step: 32,
+            rows_per_block: 16,
+        };
+        let (kernels, _) = build_dummy(&g);
+        let counts: Vec<usize> = kernels
+            .into_iter()
+            .map(|k| {
+                k.into_blocks()
+                    .into_iter()
+                    .flat_map(|b| b.into_accesses())
+                    .count()
+            })
+            .collect();
+        assert_eq!(counts.len(), 4);
+        for w in counts.windows(2) {
+            assert!(w[1] < w[0], "later steps touch fewer rows");
+        }
+    }
+
+    #[test]
+    fn pivot_row_read_by_every_block_of_a_step() {
+        let g = Gaussian {
+            rows: 64,
+            rows_per_step: 32,
+            rows_per_block: 16,
+        };
+        let (kernels, _) = build_dummy(&g);
+        // Step 1: pivot is row 32.
+        let k = kernels.into_iter().nth(1).unwrap();
+        for b in k.into_blocks() {
+            let pages: Vec<u64> = b.into_accesses().map(|a| a.page().index()).collect();
+            assert!(pages.contains(&32), "block must read the pivot row");
+        }
+    }
+}

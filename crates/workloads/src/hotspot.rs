@@ -1,0 +1,141 @@
+//! `hotspot` (Rodinia): iterative thermal-simulation stencil.
+//!
+//! The paper characterises hotspot as an iterative kernel with dense
+//! sequential accesses and full data reuse across launches: every
+//! iteration re-reads the whole temperature and power grids. Under
+//! over-subscription with LRU this is the classic pathological
+//! repetitive-linear-scan pattern (Sec. 5.3), which is why hotspot
+//! benefits from random eviction (Fig. 9) and from LRU-top reservation
+//! (Fig. 14).
+
+use uvm_gpu::{Access, KernelSpec, ThreadBlockSpec};
+use uvm_types::{Bytes, VirtAddr, PAGE_SIZE};
+
+use crate::{page_addr, Workload};
+
+/// The hotspot workload. Default footprint = 12 MB.
+#[derive(Clone, Debug)]
+pub struct Hotspot {
+    /// Grid rows; one 4 KB page per row (1024 f32 columns).
+    pub rows: u64,
+    /// Stencil iterations (kernel launches).
+    pub iterations: u64,
+    /// Rows per thread block.
+    pub rows_per_block: u64,
+}
+
+impl Default for Hotspot {
+    fn default() -> Self {
+        Hotspot {
+            rows: 1024, // 4 MB per array
+            iterations: 10,
+            rows_per_block: 16,
+        }
+    }
+}
+
+impl Workload for Hotspot {
+    fn name(&self) -> &'static str {
+        "hotspot"
+    }
+
+    fn build(&self, malloc: &mut dyn FnMut(Bytes) -> VirtAddr) -> Vec<KernelSpec> {
+        let array = PAGE_SIZE * self.rows;
+        let temp_a = malloc(array);
+        let temp_b = malloc(array);
+        let power = malloc(array);
+
+        let rows = self.rows;
+        let mut kernels = Vec::with_capacity(self.iterations as usize);
+        for it in 0..self.iterations {
+            // Ping-pong temperature arrays between iterations.
+            let (src, dst) = if it % 2 == 0 {
+                (temp_a, temp_b)
+            } else {
+                (temp_b, temp_a)
+            };
+            let mut k = KernelSpec::new(format!("hotspot_iter{it}"));
+            let mut row = 0;
+            while row < rows {
+                let hi = (row + self.rows_per_block).min(rows);
+                let accesses = (row..hi).flat_map(move |r| {
+                    let up = r.saturating_sub(1);
+                    let down = (r + 1).min(rows - 1);
+                    [
+                        Access::read(page_addr(power, r)),
+                        Access::read(page_addr(src, up)),
+                        Access::read(page_addr(src, r)),
+                        Access::read(page_addr(src, down)),
+                        Access::write(page_addr(dst, r)),
+                    ]
+                });
+                k.push_block(ThreadBlockSpec::from_accesses(accesses));
+                row = hi;
+            }
+            kernels.push(k);
+        }
+        kernels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::build_dummy;
+    use std::collections::HashMap;
+
+    #[test]
+    fn iteration_count_and_footprint() {
+        let (kernels, fp) = build_dummy(&Hotspot::default());
+        assert_eq!(kernels.len(), 10);
+        assert_eq!(fp, Bytes::mib(12));
+    }
+
+    #[test]
+    fn whole_grid_reused_every_iteration() {
+        let h = Hotspot {
+            rows: 64,
+            iterations: 3,
+            rows_per_block: 16,
+        };
+        let (kernels, _) = build_dummy(&h);
+        let mut per_kernel_pages: Vec<std::collections::HashSet<u64>> = Vec::new();
+        for k in kernels {
+            let mut pages = std::collections::HashSet::new();
+            for b in k.into_blocks() {
+                for a in b.into_accesses() {
+                    pages.insert(a.page().index());
+                }
+            }
+            per_kernel_pages.push(pages);
+        }
+        // Power array pages appear in every iteration.
+        let power_first = 2 * (Bytes::mib(2).bytes() / PAGE_SIZE.bytes());
+        for pages in &per_kernel_pages {
+            assert!(pages.contains(&power_first));
+        }
+    }
+
+    #[test]
+    fn stencil_reads_neighbours() {
+        let h = Hotspot {
+            rows: 32,
+            iterations: 1,
+            rows_per_block: 32,
+        };
+        let (kernels, _) = build_dummy(&h);
+        let mut reads: HashMap<u64, u64> = HashMap::new();
+        for k in kernels {
+            for b in k.into_blocks() {
+                for a in b.into_accesses() {
+                    if !a.write {
+                        *reads.entry(a.page().index()).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        // An interior temperature row is read three times (as up,
+        // center, down of its neighbours). temp_a starts at page 0.
+        assert_eq!(reads.get(&5).copied(), Some(3));
+    }
+}

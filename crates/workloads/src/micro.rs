@@ -1,0 +1,135 @@
+//! Micro-benchmarks: the small directed access patterns used to probe
+//! prefetcher semantics (the paper reverse-engineered the NVIDIA
+//! prefetcher with exactly this kind of kernel, Sec. 3.3).
+
+use uvm_gpu::{Access, KernelSpec, ThreadBlockSpec};
+use uvm_types::{Bytes, VirtAddr, PAGE_SIZE};
+
+use crate::{page_addr, Workload};
+
+/// Touch every `stride_pages`-th page once, `count` times — the
+/// pattern of the paper's Fig. 2(a) micro-benchmark when
+/// `stride_pages = 32` (first page of every second 64 KB block).
+#[derive(Clone, Debug)]
+pub struct StridedTouch {
+    /// Total pages in the single allocation.
+    pub alloc_pages: u64,
+    /// Stride between touched pages.
+    pub stride_pages: u64,
+    /// Number of strided touches.
+    pub count: u64,
+    /// First touched page.
+    pub start_page: u64,
+}
+
+impl Default for StridedTouch {
+    fn default() -> Self {
+        StridedTouch {
+            alloc_pages: 128, // 512 KB, the Fig. 2 chunk
+            stride_pages: 32,
+            count: 4,
+            start_page: 16,
+        }
+    }
+}
+
+impl Workload for StridedTouch {
+    fn name(&self) -> &'static str {
+        "micro_strided_touch"
+    }
+
+    fn build(&self, malloc: &mut dyn FnMut(Bytes) -> VirtAddr) -> Vec<KernelSpec> {
+        let base = malloc(PAGE_SIZE * self.alloc_pages);
+        let (start, stride) = (self.start_page, self.stride_pages);
+        let accesses =
+            (0..self.count).map(move |i| Access::read(page_addr(base, start + i * stride)));
+        vec![KernelSpec::new("strided_touch").with_block(ThreadBlockSpec::from_accesses(accesses))]
+    }
+}
+
+/// Sweep `pages` pages sequentially, `repeats` times (one kernel per
+/// sweep) — the repetitive-linear pattern that breaks LRU (Sec. 5.3).
+#[derive(Clone, Debug)]
+pub struct LinearSweep {
+    /// Pages in the allocation.
+    pub pages: u64,
+    /// Number of full sweeps (kernel launches).
+    pub repeats: u64,
+    /// Thread blocks per sweep.
+    pub thread_blocks: u64,
+}
+
+impl Default for LinearSweep {
+    fn default() -> Self {
+        LinearSweep {
+            pages: 1024,
+            repeats: 4,
+            thread_blocks: 16,
+        }
+    }
+}
+
+impl Workload for LinearSweep {
+    fn name(&self) -> &'static str {
+        "micro_linear_sweep"
+    }
+
+    fn build(&self, malloc: &mut dyn FnMut(Bytes) -> VirtAddr) -> Vec<KernelSpec> {
+        let base = malloc(PAGE_SIZE * self.pages);
+        let per_tb = self.pages.div_ceil(self.thread_blocks);
+        (0..self.repeats)
+            .map(|rep| {
+                let mut k = KernelSpec::new(format!("sweep{rep}"));
+                let mut lo = 0;
+                while lo < self.pages {
+                    let hi = (lo + per_tb).min(self.pages);
+                    let accesses = (lo..hi).map(move |p| Access::read(page_addr(base, p)));
+                    k.push_block(ThreadBlockSpec::from_accesses(accesses));
+                    lo = hi;
+                }
+                k
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::build_dummy;
+
+    #[test]
+    fn strided_touch_emits_expected_pages() {
+        let (kernels, _) = build_dummy(&StridedTouch::default());
+        assert_eq!(kernels.len(), 1);
+        let pages: Vec<u64> = kernels
+            .into_iter()
+            .flat_map(|k| k.into_blocks())
+            .flat_map(|b| b.into_accesses())
+            .map(|a| a.page().index())
+            .collect();
+        // Default: first page of blocks 1, 3, 5, 7 (Fig. 2a's pattern).
+        assert_eq!(pages, vec![16, 48, 80, 112]);
+    }
+
+    #[test]
+    fn linear_sweep_covers_all_pages_each_repeat() {
+        let sweep = LinearSweep {
+            pages: 100,
+            repeats: 3,
+            thread_blocks: 7,
+        };
+        let (kernels, _) = build_dummy(&sweep);
+        assert_eq!(kernels.len(), 3);
+        for k in kernels {
+            let mut pages: Vec<u64> = k
+                .into_blocks()
+                .into_iter()
+                .flat_map(|b| b.into_accesses())
+                .map(|a| a.page().index())
+                .collect();
+            pages.sort_unstable();
+            assert_eq!(pages, (0..100).collect::<Vec<_>>());
+        }
+    }
+}

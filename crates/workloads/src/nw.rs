@@ -1,0 +1,153 @@
+//! `nw` (Rodinia): Needleman-Wunsch sequence alignment.
+//!
+//! The paper examines nw in detail (Fig. 12): it launches one kernel
+//! per anti-diagonal of 16x16 tiles — 127 launches for a 64x64 tile
+//! grid — and each launch touches a set of pages *spaced far apart in
+//! the virtual address space* (one page per matrix row, across both
+//! the score matrix and the reference matrix), with the same pages
+//! re-touched by neighbouring diagonals. This "sparse yet localized
+//! and repeated" pattern is why nw prefers the 64 KB granularity of
+//! SLe over the larger TBNe chunks (Sec. 7.2) and degrades
+//! super-linearly with over-subscription (Sec. 7.3).
+
+use uvm_gpu::{Access, KernelSpec, ThreadBlockSpec};
+use uvm_types::{Bytes, VirtAddr, PAGE_SIZE};
+
+use crate::{page_addr, Workload};
+
+/// The Needleman-Wunsch workload. Default footprint = 8 MB,
+/// 127 kernel launches.
+#[derive(Clone, Debug)]
+pub struct NeedlemanWunsch {
+    /// Matrix rows; one 4 KB page per row (1024 i32 columns).
+    pub rows: u64,
+    /// Tile edge in rows; the tile grid is `(rows/tile)^2`.
+    pub tile: u64,
+}
+
+impl Default for NeedlemanWunsch {
+    fn default() -> Self {
+        NeedlemanWunsch {
+            rows: 1024, // 4 MB per matrix (score + reference)
+            tile: 16,
+        }
+    }
+}
+
+impl NeedlemanWunsch {
+    /// Tiles per dimension.
+    fn grid(&self) -> u64 {
+        self.rows / self.tile
+    }
+
+    /// Total kernel launches: `2 * grid - 1` anti-diagonals
+    /// (127 for the default 64x64 grid, matching the paper).
+    pub fn launches(&self) -> u64 {
+        2 * self.grid() - 1
+    }
+}
+
+impl Workload for NeedlemanWunsch {
+    fn name(&self) -> &'static str {
+        "nw"
+    }
+
+    fn build(&self, malloc: &mut dyn FnMut(Bytes) -> VirtAddr) -> Vec<KernelSpec> {
+        let matrix = PAGE_SIZE * self.rows;
+        let score = malloc(matrix);
+        let reference = malloc(matrix);
+        let grid = self.grid();
+        let tile = self.tile;
+
+        let mut kernels = Vec::with_capacity(self.launches() as usize);
+        for diag in 0..self.launches() {
+            // Tile rows participating in this anti-diagonal: block
+            // (i, j) is active iff i + j == diag.
+            let i_lo = diag.saturating_sub(grid - 1);
+            let i_hi = diag.min(grid - 1);
+            let mut k = KernelSpec::new(format!("nw_diag{diag}"));
+            for i in i_lo..=i_hi {
+                let row_lo = i * tile;
+                let accesses = (row_lo..row_lo + tile).flat_map(move |r| {
+                    [
+                        Access::read(page_addr(reference, r)),
+                        Access::read(page_addr(score, r)),
+                        Access::write(page_addr(score, r)),
+                    ]
+                });
+                k.push_block(ThreadBlockSpec::from_accesses(accesses));
+            }
+            kernels.push(k);
+        }
+        kernels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::build_dummy;
+
+    #[test]
+    fn has_127_launches_at_default_size() {
+        let nw = NeedlemanWunsch::default();
+        assert_eq!(nw.launches(), 127);
+        let (kernels, fp) = build_dummy(&nw);
+        assert_eq!(kernels.len(), 127);
+        assert_eq!(fp, Bytes::mib(8));
+    }
+
+    #[test]
+    fn diagonal_width_grows_then_shrinks() {
+        let nw = NeedlemanWunsch {
+            rows: 64,
+            tile: 16,
+        }; // 4x4 grid, 7 diagonals
+        let (kernels, _) = build_dummy(&nw);
+        let widths: Vec<usize> = kernels.iter().map(|k| k.num_blocks()).collect();
+        assert_eq!(widths, vec![1, 2, 3, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn middle_diagonal_touches_pages_spaced_far_apart() {
+        let nw = NeedlemanWunsch::default();
+        let (kernels, _) = build_dummy(&nw);
+        // Diagonal 63 is the widest: 64 blocks, every 16th row band.
+        let k = kernels.into_iter().nth(63).unwrap();
+        let mut pages: Vec<u64> = k
+            .into_blocks()
+            .into_iter()
+            .flat_map(|b| b.into_accesses())
+            .map(|a| a.page().index())
+            .collect();
+        pages.sort_unstable();
+        pages.dedup();
+        // Touches the full 4 MB score matrix (1024 pages) and the
+        // reference matrix: pages span two 2 MB-aligned allocations.
+        assert!(pages.len() >= 2048);
+        let span = pages.last().unwrap() - pages.first().unwrap();
+        assert!(span > 1024, "pages must span far apart (span {span})");
+    }
+
+    #[test]
+    fn adjacent_diagonals_reuse_pages() {
+        let nw = NeedlemanWunsch::default();
+        let (kernels, _) = build_dummy(&nw);
+        let page_set = |k: KernelSpec| -> std::collections::HashSet<u64> {
+            k.into_blocks()
+                .into_iter()
+                .flat_map(|b| b.into_accesses())
+                .map(|a| a.page().index())
+                .collect()
+        };
+        let mut iter = kernels.into_iter().skip(60);
+        let d60 = page_set(iter.next().unwrap());
+        let d61 = page_set(iter.next().unwrap());
+        let overlap = d60.intersection(&d61).count();
+        assert!(
+            overlap * 10 >= d60.len() * 9,
+            "adjacent diagonals share almost all pages ({overlap}/{})",
+            d60.len()
+        );
+    }
+}

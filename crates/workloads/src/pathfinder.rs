@@ -1,0 +1,108 @@
+//! `pathfinder` (Rodinia): dynamic-programming grid traversal.
+//!
+//! The paper classifies pathfinder, like backprop, as *streaming*: the
+//! kernel walks the cost grid one row per iteration and never returns
+//! to a row (Sec. 7.1). Only the two small ping-pong result rows are
+//! reused, so the benchmark is insensitive to eviction policy and to
+//! over-subscription.
+
+use uvm_gpu::{Access, KernelSpec, ThreadBlockSpec};
+use uvm_types::{Bytes, VirtAddr, PAGE_SIZE};
+
+use crate::backprop::slice;
+use crate::{page_addr, Workload};
+
+/// The pathfinder workload. Default footprint ≈ 14 MB.
+#[derive(Clone, Debug)]
+pub struct Pathfinder {
+    /// Rows of the wall (cost) grid; one kernel launch per row.
+    pub rows: u64,
+    /// 4 KB pages per row (columns / 1024 ints).
+    pub row_pages: u64,
+    /// Thread blocks per kernel launch.
+    pub thread_blocks: u64,
+}
+
+impl Default for Pathfinder {
+    fn default() -> Self {
+        Pathfinder {
+            rows: 12,
+            row_pages: 256, // 1 MB per row
+            thread_blocks: 32,
+        }
+    }
+}
+
+impl Workload for Pathfinder {
+    fn name(&self) -> &'static str {
+        "pathfinder"
+    }
+
+    fn build(&self, malloc: &mut dyn FnMut(Bytes) -> VirtAddr) -> Vec<KernelSpec> {
+        let wall = malloc(PAGE_SIZE * self.rows * self.row_pages);
+        let result_a = malloc(PAGE_SIZE * self.row_pages);
+        let result_b = malloc(PAGE_SIZE * self.row_pages);
+
+        let mut kernels = Vec::with_capacity(self.rows as usize);
+        for row in 0..self.rows {
+            // Ping-pong the result rows across iterations.
+            let (src, dst) = if row % 2 == 0 {
+                (result_a, result_b)
+            } else {
+                (result_b, result_a)
+            };
+            let mut k = KernelSpec::new(format!("pathfinder_row{row}"));
+            for tb in 0..self.thread_blocks {
+                let (lo, hi) = slice(self.row_pages, self.thread_blocks, tb);
+                let row_base = row * self.row_pages;
+                let accesses = (lo..hi).flat_map(move |p| {
+                    [
+                        Access::read(page_addr(wall, row_base + p)),
+                        Access::read(page_addr(src, p)),
+                        Access::write(page_addr(dst, p)),
+                    ]
+                });
+                k.push_block(ThreadBlockSpec::from_accesses(accesses));
+            }
+            kernels.push(k);
+        }
+        kernels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::build_dummy;
+    use std::collections::HashMap;
+
+    #[test]
+    fn one_kernel_per_row() {
+        let (kernels, fp) = build_dummy(&Pathfinder::default());
+        assert_eq!(kernels.len(), 12);
+        assert_eq!(fp, Bytes::mib(12) + Bytes::mib(2));
+    }
+
+    #[test]
+    fn wall_pages_visited_once_results_reused() {
+        let p = Pathfinder::default();
+        let (kernels, _) = build_dummy(&p);
+        let mut visits: HashMap<u64, u64> = HashMap::new();
+        for k in kernels {
+            for b in k.into_blocks() {
+                for a in b.into_accesses() {
+                    *visits.entry(a.page().index()).or_insert(0) += 1;
+                }
+            }
+        }
+        // Wall pages (first allocation) are streamed exactly once.
+        let wall_pages = p.rows * p.row_pages;
+        for pg in 0..wall_pages {
+            assert_eq!(visits.get(&pg).copied(), Some(1), "wall page {pg}");
+        }
+        // Result rows are revisited across iterations (allocations are
+        // 2 MB-aligned in the dummy allocator: wall occupies 12 MB).
+        let result_a_first = (Bytes::mib(12).bytes()) / PAGE_SIZE.bytes();
+        assert!(visits.get(&result_a_first).copied().unwrap_or(0) >= 6);
+    }
+}

@@ -1,0 +1,146 @@
+//! `srad` (Rodinia): speckle-reducing anisotropic diffusion.
+//!
+//! An iterative two-kernel image filter over six equally sized arrays
+//! (image `J`, diffusion coefficient `c`, and the four directional
+//! derivatives). Every iteration touches the entire 24 MB working set,
+//! making srad strongly sensitive to eviction policy under
+//! over-subscription, like hotspot but with a larger footprint and two
+//! kernels per iteration.
+
+use uvm_gpu::{Access, KernelSpec, ThreadBlockSpec};
+use uvm_types::{Bytes, VirtAddr, PAGE_SIZE};
+
+use crate::{page_addr, Workload};
+
+/// The srad workload. Default footprint = 24 MB.
+#[derive(Clone, Debug)]
+pub struct Srad {
+    /// Image rows; one 4 KB page per row.
+    pub rows: u64,
+    /// Diffusion iterations (two kernel launches each).
+    pub iterations: u64,
+    /// Rows per thread block.
+    pub rows_per_block: u64,
+}
+
+impl Default for Srad {
+    fn default() -> Self {
+        Srad {
+            rows: 1024, // 4 MB per array, six arrays
+            iterations: 6,
+            rows_per_block: 16,
+        }
+    }
+}
+
+impl Workload for Srad {
+    fn name(&self) -> &'static str {
+        "srad"
+    }
+
+    fn build(&self, malloc: &mut dyn FnMut(Bytes) -> VirtAddr) -> Vec<KernelSpec> {
+        let array = PAGE_SIZE * self.rows;
+        let j = malloc(array);
+        let c = malloc(array);
+        let dn = malloc(array);
+        let ds = malloc(array);
+        let dw = malloc(array);
+        let de = malloc(array);
+
+        let rows = self.rows;
+        let mut kernels = Vec::with_capacity(2 * self.iterations as usize);
+        for it in 0..self.iterations {
+            // Kernel 1: derivatives + coefficient from the image.
+            let mut k1 = KernelSpec::new(format!("srad_k1_iter{it}"));
+            let mut row = 0;
+            while row < rows {
+                let hi = (row + self.rows_per_block).min(rows);
+                let accesses = (row..hi).flat_map(move |r| {
+                    let up = r.saturating_sub(1);
+                    let down = (r + 1).min(rows - 1);
+                    [
+                        Access::read(page_addr(j, up)),
+                        Access::read(page_addr(j, r)),
+                        Access::read(page_addr(j, down)),
+                        Access::write(page_addr(dn, r)),
+                        Access::write(page_addr(ds, r)),
+                        Access::write(page_addr(dw, r)),
+                        Access::write(page_addr(de, r)),
+                        Access::write(page_addr(c, r)),
+                    ]
+                });
+                k1.push_block(ThreadBlockSpec::from_accesses(accesses));
+                row = hi;
+            }
+            kernels.push(k1);
+
+            // Kernel 2: update the image from coefficient + derivatives.
+            let mut k2 = KernelSpec::new(format!("srad_k2_iter{it}"));
+            let mut row = 0;
+            while row < rows {
+                let hi = (row + self.rows_per_block).min(rows);
+                let accesses = (row..hi).flat_map(move |r| {
+                    let down = (r + 1).min(rows - 1);
+                    [
+                        Access::read(page_addr(c, r)),
+                        Access::read(page_addr(c, down)),
+                        Access::read(page_addr(dn, r)),
+                        Access::read(page_addr(ds, r)),
+                        Access::read(page_addr(dw, r)),
+                        Access::read(page_addr(de, r)),
+                        Access::write(page_addr(j, r)),
+                    ]
+                });
+                k2.push_block(ThreadBlockSpec::from_accesses(accesses));
+                row = hi;
+            }
+            kernels.push(k2);
+        }
+        kernels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::build_dummy;
+
+    #[test]
+    fn two_kernels_per_iteration() {
+        let (kernels, fp) = build_dummy(&Srad::default());
+        assert_eq!(kernels.len(), 12);
+        assert_eq!(fp, Bytes::mib(24));
+        assert!(kernels[0].name().starts_with("srad_k1"));
+        assert!(kernels[1].name().starts_with("srad_k2"));
+    }
+
+    #[test]
+    fn k1_writes_derivatives_k2_writes_image() {
+        let s = Srad {
+            rows: 32,
+            iterations: 1,
+            rows_per_block: 32,
+        };
+        let (kernels, _) = build_dummy(&s);
+        let mut iter = kernels.into_iter();
+        let k1 = iter.next().unwrap();
+        let writes_k1: std::collections::HashSet<u64> = k1
+            .into_blocks()
+            .into_iter()
+            .flat_map(|b| b.into_accesses())
+            .filter(|a| a.write)
+            .map(|a| a.page().index())
+            .collect();
+        // J occupies pages 0..32 (first 2 MB slot); k1 never writes it.
+        assert!(writes_k1.iter().all(|&p| p >= 512));
+        let k2 = iter.next().unwrap();
+        let writes_k2: std::collections::HashSet<u64> = k2
+            .into_blocks()
+            .into_iter()
+            .flat_map(|b| b.into_accesses())
+            .filter(|a| a.write)
+            .map(|a| a.page().index())
+            .collect();
+        assert!(writes_k2.iter().all(|&p| p < 32), "k2 writes only J");
+    }
+}

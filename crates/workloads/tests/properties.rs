@@ -1,0 +1,157 @@
+//! Property-based tests over the benchmark generators: for any
+//! parameterisation, the generated kernels only touch allocated pages,
+//! are deterministic, and preserve each benchmark's structural
+//! signature.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use uvm_gpu::KernelSpec;
+use uvm_types::{Bytes, VirtAddr};
+use uvm_workloads::{
+    Backprop, Bfs, Gaussian, Hotspot, LinearSweep, NeedlemanWunsch, Pathfinder, Srad, Workload,
+};
+
+/// Builds `w` against a dummy 2 MB-aligned bump allocator, returning
+/// the kernels and the set of allocated page ranges.
+fn build(w: &dyn Workload) -> (Vec<KernelSpec>, Vec<(u64, u64)>) {
+    let mut next = 0u64;
+    let mut ranges = Vec::new();
+    let mut malloc = |size: Bytes| {
+        let base = VirtAddr::new(next);
+        let first_page = next / 4096;
+        // Pages are migratable up to the rounded tree extent; for the
+        // purpose of this test the requested extent suffices because
+        // generators must only touch requested pages.
+        ranges.push((first_page, first_page + size.pages_ceil()));
+        next += size.bytes().div_ceil(2 << 20) * (2 << 20);
+        base
+    };
+    (w.build(&mut malloc), ranges)
+}
+
+fn all_pages(kernels: Vec<KernelSpec>) -> Vec<u64> {
+    kernels
+        .into_iter()
+        .flat_map(|k| k.into_blocks())
+        .flat_map(|b| b.into_accesses())
+        .map(|a| a.page().index())
+        .collect()
+}
+
+fn assert_within(pages: &[u64], ranges: &[(u64, u64)]) {
+    for &p in pages {
+        assert!(
+            ranges.iter().any(|&(lo, hi)| p >= lo && p < hi),
+            "page {p} outside every allocation"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn hotspot_touches_only_its_arrays(rows_pow in 4u32..9, iters in 1u64..4) {
+        let w = Hotspot { rows: 1 << rows_pow, iterations: iters, rows_per_block: 16 };
+        let (kernels, ranges) = build(&w);
+        prop_assert_eq!(kernels.len() as u64, iters);
+        let pages = all_pages(kernels);
+        assert_within(&pages, &ranges);
+        // Every iteration touches the whole grid.
+        let unique: HashSet<u64> = pages.iter().copied().collect();
+        prop_assert!(unique.len() as u64 >= 2 * (1 << rows_pow));
+    }
+
+    #[test]
+    fn nw_launch_count_and_bounds(rows_pow in 5u32..11) {
+        let rows = 1u64 << rows_pow;
+        let w = NeedlemanWunsch { rows, tile: 16 };
+        let (kernels, ranges) = build(&w);
+        prop_assert_eq!(kernels.len() as u64, 2 * (rows / 16) - 1);
+        // Widest diagonal has rows/16 blocks.
+        let widest = kernels.iter().map(KernelSpec::num_blocks).max().unwrap();
+        prop_assert_eq!(widest as u64, rows / 16);
+        assert_within(&all_pages(kernels), &ranges);
+    }
+
+    #[test]
+    fn bfs_is_deterministic_and_bounded(seed in any::<u64>(), levels in 1u64..4) {
+        let mk = || Bfs {
+            node_pages: 64,
+            edge_pages: 128,
+            mask_pages: 16,
+            cost_pages: 64,
+            levels,
+            thread_blocks: 4,
+            expansions_per_block: 8,
+            seed,
+        };
+        let (k1, ranges) = build(&mk());
+        let (k2, _) = build(&mk());
+        let p1 = all_pages(k1);
+        let p2 = all_pages(k2);
+        prop_assert_eq!(&p1, &p2, "same seed, same trace");
+        assert_within(&p1, &ranges);
+    }
+
+    #[test]
+    fn gaussian_steps_shrink(rows_pow in 7u32..11) {
+        let rows = 1u64 << rows_pow;
+        let w = Gaussian { rows, rows_per_step: 64, rows_per_block: 16 };
+        let (kernels, ranges) = build(&w);
+        let counts: Vec<usize> = kernels
+            .iter()
+            .map(|k| k.num_blocks())
+            .collect();
+        for pair in counts.windows(2) {
+            prop_assert!(pair[1] <= pair[0], "active region must shrink");
+        }
+        assert_within(&all_pages(kernels), &ranges);
+    }
+
+    #[test]
+    fn pathfinder_and_backprop_stream_within_bounds(
+        rows in 1u64..6,
+        row_pages in 16u64..128,
+    ) {
+        let w = Pathfinder { rows, row_pages, thread_blocks: 4 };
+        let (kernels, ranges) = build(&w);
+        prop_assert_eq!(kernels.len() as u64, rows);
+        assert_within(&all_pages(kernels), &ranges);
+
+        let w = Backprop {
+            input_pages: row_pages,
+            weights_in_pages: row_pages * 2,
+            weights_out_pages: row_pages * 2,
+            thread_blocks: 4,
+        };
+        let (kernels, ranges) = build(&w);
+        let pages = all_pages(kernels);
+        assert_within(&pages, &ranges);
+        // Streaming: no page repeats.
+        let unique: HashSet<u64> = pages.iter().copied().collect();
+        prop_assert_eq!(unique.len(), pages.len());
+    }
+
+    #[test]
+    fn srad_alternates_kernels(rows_pow in 5u32..9, iters in 1u64..4) {
+        let w = Srad { rows: 1 << rows_pow, iterations: iters, rows_per_block: 16 };
+        let (kernels, ranges) = build(&w);
+        prop_assert_eq!(kernels.len() as u64, 2 * iters);
+        for (i, k) in kernels.iter().enumerate() {
+            let expect = if i % 2 == 0 { "srad_k1" } else { "srad_k2" };
+            prop_assert!(k.name().starts_with(expect));
+        }
+        assert_within(&all_pages(kernels), &ranges);
+    }
+
+    #[test]
+    fn linear_sweep_covers_exactly(pages in 1u64..512, repeats in 1u64..4) {
+        let w = LinearSweep { pages, repeats, thread_blocks: 3 };
+        let (kernels, ranges) = build(&w);
+        let touched = all_pages(kernels);
+        prop_assert_eq!(touched.len() as u64, pages * repeats);
+        assert_within(&touched, &ranges);
+    }
+}

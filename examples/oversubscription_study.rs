@@ -1,0 +1,64 @@
+//! Capacity-planning study: how a workload degrades as the working
+//! set outgrows device memory, under the paper's best policy pair
+//! (TBNe + TBNp) versus the LRU-4KB baseline.
+//!
+//! This is the question a practitioner asks before buying GPUs: "how
+//! much over-subscription can I tolerate before UVM paging eats my
+//! speed-up?"
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release -p uvm-sim --example oversubscription_study
+//! ```
+
+use uvm_core::{EvictPolicy, PrefetchPolicy};
+use uvm_sim::{run_workload, RunOptions, Table};
+use uvm_workloads::{Srad, Workload};
+
+fn main() {
+    let workload = Srad::default();
+    let mut table = Table::new(
+        "srad: slowdown vs over-subscription (relative to in-memory run)",
+        &[
+            "working_set_%",
+            "LRU4K_ms",
+            "LRU4K_slowdown",
+            "TBNe+TBNp_ms",
+            "TBNe+TBNp_slowdown",
+        ],
+    );
+
+    let baseline = run_workload(&workload, RunOptions::default());
+    let base_ms = baseline.total_ms();
+
+    for frac in [1.0, 1.05, 1.10, 1.25, 1.50] {
+        let lru = run_one(&workload, frac, EvictPolicy::LruPage, true);
+        let tbn = run_one(&workload, frac, EvictPolicy::TreeBasedNeighborhood, false);
+        table.row_owned(vec![
+            format!("{:.0}", frac * 100.0),
+            format!("{:.3}", lru.total_ms()),
+            format!("{:.2}x", lru.total_ms() / base_ms),
+            format!("{:.3}", tbn.total_ms()),
+            format!("{:.2}x", tbn.total_ms() / base_ms),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "in-memory baseline: {base_ms:.3} ms ({} far-faults)",
+        baseline.far_faults
+    );
+}
+
+fn run_one(
+    workload: &dyn Workload,
+    frac: f64,
+    evict: EvictPolicy,
+    disable_prefetch: bool,
+) -> uvm_sim::RunResult {
+    let mut opts = RunOptions::default()
+        .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
+        .with_evict(evict)
+        .with_memory_frac(frac);
+    opts.disable_prefetch_on_oversubscription = disable_prefetch;
+    run_workload(workload, opts)
+}

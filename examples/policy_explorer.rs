@@ -1,0 +1,107 @@
+//! Interactive policy explorer: run any benchmark under any
+//! prefetcher/eviction pair and over-subscription level from the
+//! command line.
+//!
+//! ```sh
+//! cargo run --release -p uvm-sim --example policy_explorer -- \
+//!     nw --prefetch TBNp --evict SLe --oversub 110
+//! ```
+//!
+//! Benchmarks: backprop, bfs, gaussian, hotspot, nw, pathfinder, srad.
+//! Prefetchers: none, Rp, SLp, TBNp. Evictors: lru (LRU-4KB), random
+//! (Re), SLe, TBNe, lru-2mb. `--oversub` is the working set as a
+//! percentage of device memory (omit for unlimited memory).
+
+use std::process::exit;
+
+use uvm_core::{EvictPolicy, PrefetchPolicy};
+use uvm_sim::{run_workload, RunOptions};
+use uvm_workloads::standard_suite;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: policy_explorer <benchmark> [--prefetch none|Rp|SLp|TBNp] \
+         [--evict lru|random|SLe|TBNe|lru-2mb] [--oversub PCT] \
+         [--reserve PCT] [--buffer PCT]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let bench_name = args[0].clone();
+    let mut opts = RunOptions::default();
+    let mut i = 1;
+    while i < args.len() {
+        let value = |i: usize| -> &str { args.get(i + 1).map(String::as_str).unwrap_or("") };
+        match args[i].as_str() {
+            "--prefetch" => {
+                opts.prefetch = value(i).parse::<PrefetchPolicy>().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                });
+                i += 2;
+            }
+            "--evict" => {
+                opts.evict = value(i).parse::<EvictPolicy>().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                });
+                i += 2;
+            }
+            "--oversub" => {
+                let pct: f64 = value(i).parse().unwrap_or_else(|_| usage());
+                opts.memory_frac = Some(pct / 100.0);
+                i += 2;
+            }
+            "--reserve" => {
+                let pct: f64 = value(i).parse().unwrap_or_else(|_| usage());
+                opts.reserve_frac = pct / 100.0;
+                i += 2;
+            }
+            "--buffer" => {
+                let pct: f64 = value(i).parse().unwrap_or_else(|_| usage());
+                opts.free_buffer_frac = pct / 100.0;
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    let suite = standard_suite();
+    let Some(workload) = suite.iter().find(|w| w.name() == bench_name) else {
+        eprintln!(
+            "unknown benchmark {bench_name:?}; available: {}",
+            suite
+                .iter()
+                .map(|w| w.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        exit(2);
+    };
+
+    println!(
+        "running {bench_name} with prefetch={} evict={} memory={}",
+        opts.prefetch,
+        opts.evict,
+        opts.memory_frac
+            .map(|f| format!("{:.0}% over-subscribed", f * 100.0))
+            .unwrap_or_else(|| "unlimited".into()),
+    );
+    let r = run_workload(workload.as_ref(), opts);
+    println!("kernel launches    : {}", r.kernel_times.len());
+    println!("total kernel time  : {:.3} ms", r.total_ms());
+    println!("working set        : {}", r.footprint);
+    println!("far-faults         : {}", r.far_faults);
+    println!("pages migrated     : {}", r.pages_migrated);
+    println!("pages prefetched   : {}", r.pages_prefetched);
+    println!("pages evicted      : {}", r.pages_evicted);
+    println!("pages thrashed     : {}", r.pages_thrashed);
+    println!("PCI-e read bw      : {:.2} GB/s", r.read_bandwidth_gbps);
+    println!("PCI-e write bw     : {:.2} GB/s", r.write_bandwidth_gbps);
+    println!("4KB read transfers : {}", r.read_transfers_4k);
+}

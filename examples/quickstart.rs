@@ -1,0 +1,42 @@
+//! Quickstart: simulate one benchmark under two prefetchers and
+//! compare.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release -p uvm-sim --example quickstart
+//! ```
+
+use uvm_core::PrefetchPolicy;
+use uvm_sim::{run_workload, RunOptions};
+use uvm_workloads::Hotspot;
+
+fn main() {
+    let workload = Hotspot::default();
+
+    println!("hotspot, no prefetching (4 KB on-demand migration):");
+    let none = run_workload(
+        &workload,
+        RunOptions::default().with_prefetch(PrefetchPolicy::None),
+    );
+    report(&none);
+
+    println!("\nhotspot, tree-based neighborhood prefetcher (TBNp):");
+    let tbn = run_workload(
+        &workload,
+        RunOptions::default().with_prefetch(PrefetchPolicy::TreeBasedNeighborhood),
+    );
+    report(&tbn);
+
+    println!(
+        "\nTBNp speed-up over on-demand paging: {:.2}x",
+        tbn.speedup_vs(&none)
+    );
+}
+
+fn report(r: &uvm_sim::RunResult) {
+    println!("  kernel time       : {:.3} ms", r.total_ms());
+    println!("  far-faults        : {}", r.far_faults);
+    println!("  pages migrated    : {}", r.pages_migrated);
+    println!("  of them prefetched: {}", r.pages_prefetched);
+    println!("  PCI-e read bw     : {:.2} GB/s", r.read_bandwidth_gbps);
+}

@@ -1,0 +1,72 @@
+//! User-directed prefetching (`cudaMemPrefetchAsync`) versus the
+//! hardware prefetcher.
+//!
+//! The paper's Sec. 3 opens with CUDA's asynchronous user-directed
+//! prefetch: a programmer who knows the working set can migrate it
+//! ahead of the kernel and avoid far-faults entirely — at the cost of
+//! carrying that knowledge in application code. This example runs the
+//! same streaming kernel three ways:
+//!
+//!   1. pure on-demand paging,
+//!   2. the tree-based hardware prefetcher (TBNp),
+//!   3. `mem_prefetch_async` of the whole working set up front.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release -p uvm-sim --example user_directed_prefetch
+//! ```
+
+use uvm_core::{Gmmu, PrefetchPolicy, UvmConfig};
+use uvm_gpu::{Access, Engine, GpuConfig, KernelSpec, ThreadBlockSpec};
+use uvm_types::{Cycle, PAGE_SIZE};
+
+const PAGES: u64 = 4096; // 16 MiB working set
+
+fn kernel(base: uvm_types::VirtAddr) -> KernelSpec {
+    let mut k = KernelSpec::new("stream");
+    for tb in 0..32u64 {
+        let per_tb = PAGES / 32;
+        let lo = tb * per_tb;
+        k.push_block(ThreadBlockSpec::from_accesses(
+            (lo..lo + per_tb).map(move |p| Access::read(base.offset(PAGE_SIZE * p))),
+        ));
+    }
+    k
+}
+
+fn run(prefetch: PrefetchPolicy, user_directed: bool) -> (f64, u64, f64) {
+    let mut gmmu = Gmmu::new(UvmConfig::default().with_prefetch(prefetch));
+    let base = gmmu.malloc_managed(PAGE_SIZE * PAGES);
+    if user_directed {
+        gmmu.mem_prefetch_async(base, PAGE_SIZE * PAGES, Cycle::ZERO);
+    }
+    let mut engine = Engine::new(gmmu, GpuConfig::default());
+    let time = engine.run_kernel(kernel(base));
+    let stats = engine.gmmu().stats();
+    (
+        time.as_secs() * 1e3,
+        stats.far_faults,
+        engine.gmmu().read_stats().average_bandwidth_gbps(),
+    )
+}
+
+fn main() {
+    println!("16 MiB streaming kernel, three migration strategies:\n");
+    for (label, prefetch, user) in [
+        ("on-demand 4KB paging      ", PrefetchPolicy::None, false),
+        ("hardware prefetcher (TBNp)", PrefetchPolicy::TreeBasedNeighborhood, false),
+        ("cudaMemPrefetchAsync-style", PrefetchPolicy::None, true),
+    ] {
+        let (ms, faults, bw) = run(prefetch, user);
+        println!(
+            "{label}: {ms:>9.3} ms  far-faults {faults:>5}  PCI-e read {bw:>5.2} GB/s"
+        );
+    }
+    println!(
+        "\nUser-directed prefetch eliminates far-faults entirely and moves\n\
+         the data at peak bandwidth — but only because this kernel's\n\
+         working set is known up front; the hardware prefetcher gets\n\
+         most of the benefit with no programmer involvement (the paper's\n\
+         motivation for studying it)."
+    );
+}

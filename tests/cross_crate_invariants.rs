@@ -1,0 +1,189 @@
+//! Property-based integration tests: randomized workloads, policies,
+//! and memory budgets must never violate the simulator's conservation
+//! laws, and the fault count must stay bounded by the access count
+//! (the invariant that rules out eviction/refault livelock).
+
+use proptest::prelude::*;
+
+use uvm_core::{EvictPolicy, PrefetchPolicy};
+use uvm_gpu::{Access, Engine, GpuConfig, KernelSpec, ThreadBlockSpec};
+use uvm_sim::{run_workload, RunOptions};
+use uvm_types::{Bytes, VirtAddr, PAGE_SIZE};
+use uvm_workloads::Workload;
+
+/// A randomized synthetic workload: a few kernels of a few thread
+/// blocks, each touching pages drawn from a seeded pattern.
+#[derive(Clone, Debug)]
+struct RandomWorkload {
+    pages: u64,
+    kernels: usize,
+    blocks: usize,
+    accesses_per_block: usize,
+    seed: u64,
+}
+
+impl Workload for RandomWorkload {
+    fn name(&self) -> &'static str {
+        "random-workload"
+    }
+
+    fn build(&self, malloc: &mut dyn FnMut(Bytes) -> VirtAddr) -> Vec<KernelSpec> {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let base = malloc(PAGE_SIZE * self.pages);
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        (0..self.kernels)
+            .map(|k| {
+                let mut kernel = KernelSpec::new(format!("rand{k}"));
+                for _ in 0..self.blocks {
+                    let accesses: Vec<Access> = (0..self.accesses_per_block)
+                        .map(|_| {
+                            let page = rng.gen_range(0..self.pages);
+                            let addr = base.offset(PAGE_SIZE * page);
+                            if rng.gen_bool(0.3) {
+                                Access::write(addr)
+                            } else {
+                                Access::read(addr)
+                            }
+                        })
+                        .collect();
+                    kernel.push_block(ThreadBlockSpec::from_accesses(accesses));
+                }
+                kernel
+            })
+            .collect()
+    }
+}
+
+fn prefetch_strategy() -> impl Strategy<Value = PrefetchPolicy> {
+    prop_oneof![
+        Just(PrefetchPolicy::None),
+        Just(PrefetchPolicy::Random),
+        Just(PrefetchPolicy::SequentialLocal),
+        Just(PrefetchPolicy::TreeBasedNeighborhood),
+    ]
+}
+
+fn evict_strategy() -> impl Strategy<Value = EvictPolicy> {
+    prop_oneof![
+        Just(EvictPolicy::LruPage),
+        Just(EvictPolicy::RandomPage),
+        Just(EvictPolicy::SequentialLocal),
+        Just(EvictPolicy::TreeBasedNeighborhood),
+        Just(EvictPolicy::LruLargePage),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Any (workload, policy pair, budget) combination satisfies the
+    /// conservation laws and terminates with bounded faults.
+    #[test]
+    fn randomized_runs_conserve_pages(
+        pages in 64u64..1024,
+        kernels in 1usize..4,
+        blocks in 1usize..12,
+        accesses in 4usize..64,
+        seed in any::<u64>(),
+        prefetch in prefetch_strategy(),
+        evict in evict_strategy(),
+        frac in prop_oneof![Just(None), Just(Some(1.05)), Just(Some(1.25)), Just(Some(2.0))],
+        reserve in prop_oneof![Just(0.0), Just(0.1)],
+    ) {
+        let w = RandomWorkload { pages, kernels, blocks, accesses_per_block: accesses, seed };
+        let total_accesses = (kernels * blocks * accesses) as u64;
+        let mut opts = RunOptions::default()
+            .with_prefetch(prefetch)
+            .with_evict(evict);
+        opts.memory_frac = frac;
+        opts.reserve_frac = reserve;
+        let r = run_workload(&w, opts);
+
+        // Conservation: bytes moved match pages moved.
+        prop_assert_eq!(r.read_bytes, PAGE_SIZE * r.pages_migrated);
+        prop_assert_eq!(r.write_bytes, PAGE_SIZE * r.pages_evicted);
+        prop_assert!(r.pages_evicted <= r.pages_migrated);
+        prop_assert!(r.pages_prefetched <= r.pages_migrated);
+        prop_assert!(r.pages_thrashed <= r.pages_migrated);
+        // Residency never exceeds the budget.
+        if let Some(cap) = r.capacity {
+            let resident = r.pages_migrated - r.pages_evicted;
+            prop_assert!(resident * PAGE_SIZE.bytes() <= cap.bytes());
+        }
+        // Liveness: every distinct fault completes at least one access,
+        // so faults can never exceed the total access count.
+        prop_assert!(
+            r.far_faults <= total_accesses,
+            "faults {} must be bounded by accesses {}",
+            r.far_faults, total_accesses
+        );
+        // Time is positive and finite.
+        prop_assert!(r.total_ms() > 0.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        ..ProptestConfig::default()
+    })]
+
+    /// Determinism: identical configurations produce identical runs,
+    /// regardless of policy randomness (seeded RNG).
+    #[test]
+    fn randomized_runs_are_deterministic(
+        pages in 64u64..512,
+        seed in any::<u64>(),
+        prefetch in prefetch_strategy(),
+        evict in evict_strategy(),
+    ) {
+        let w = RandomWorkload { pages, kernels: 2, blocks: 4, accesses_per_block: 16, seed };
+        let opts = || {
+            let mut o = RunOptions::default().with_prefetch(prefetch).with_evict(evict);
+            o.memory_frac = Some(1.10);
+            o
+        };
+        let a = run_workload(&w, opts());
+        let b = run_workload(&w, opts());
+        prop_assert_eq!(a.total_time, b.total_time);
+        prop_assert_eq!(a.far_faults, b.far_faults);
+        prop_assert_eq!(a.pages_evicted, b.pages_evicted);
+        prop_assert_eq!(a.pages_thrashed, b.pages_thrashed);
+    }
+}
+
+/// Direct engine-level property: page residency reported by the GMMU
+/// always matches what a sweep of accesses observes (no phantom TLB
+/// state after evictions).
+#[test]
+fn tlb_shootdown_keeps_engine_and_gmmu_consistent() {
+    use uvm_core::{Gmmu, UvmConfig};
+    let cfg = UvmConfig::default()
+        .with_capacity(Bytes::kib(256)) // 64 frames
+        .with_prefetch(PrefetchPolicy::SequentialLocal)
+        .with_evict(EvictPolicy::SequentialLocal);
+    let mut gmmu = Gmmu::new(cfg);
+    let base = gmmu.malloc_managed(Bytes::mib(1));
+    let mut engine = Engine::new(gmmu, GpuConfig::default());
+    // Three sweeps over 256 pages through a 64-frame budget: massive
+    // eviction churn. The engine must never observe stale residency.
+    for sweep in 0..3 {
+        let k = KernelSpec::new(format!("sweep{sweep}")).with_block(
+            ThreadBlockSpec::from_accesses(
+                (0..256).map(move |i| Access::read(base.offset(PAGE_SIZE * i))),
+            ),
+        );
+        engine.run_kernel(k);
+    }
+    let stats = engine.gmmu().stats();
+    assert!(stats.pages_evicted > 0);
+    assert!(stats.far_faults <= 3 * 256);
+    assert_eq!(
+        engine.gmmu().resident_pages(),
+        engine.gmmu().capacity_frames()
+    );
+}

@@ -1,0 +1,207 @@
+//! End-to-end integration tests: every benchmark runs to completion
+//! through the full stack (workload → engine → GMMU → interconnect)
+//! under representative configurations, and the collected statistics
+//! are mutually consistent.
+
+use uvm_core::{EvictPolicy, PrefetchPolicy};
+use uvm_sim::experiments::{suite, Scale};
+use uvm_sim::{measure_footprint, run_workload, RunOptions, RunResult};
+use uvm_types::{Bytes, PAGE_SIZE};
+
+/// Statistics must obey conservation laws regardless of configuration.
+fn check_consistency(r: &RunResult) {
+    let name = &r.name;
+    assert!(r.total_ms() > 0.0, "{name}: zero kernel time");
+    assert!(!r.kernel_times.is_empty(), "{name}: no kernels ran");
+    assert!(r.far_faults > 0, "{name}: no far-faults at cold start");
+    assert!(
+        r.far_faults <= r.pages_migrated,
+        "{name}: each distinct fault migrates at least its own page"
+    );
+    assert!(
+        r.pages_prefetched <= r.pages_migrated,
+        "{name}: prefetched pages are a subset of migrations"
+    );
+    assert!(
+        r.pages_thrashed <= r.pages_migrated,
+        "{name}: thrashed pages are re-migrations"
+    );
+    // Byte conservation: every migrated page crossed the read channel
+    // exactly once, every evicted page the write channel once.
+    assert_eq!(
+        r.read_bytes,
+        PAGE_SIZE * r.pages_migrated,
+        "{name}: read bytes vs migrated pages"
+    );
+    assert_eq!(
+        r.write_bytes,
+        PAGE_SIZE * r.pages_evicted,
+        "{name}: write bytes vs evicted pages"
+    );
+    // Residency fits the budget.
+    if let Some(capacity) = r.capacity {
+        let resident = r.pages_migrated - r.pages_evicted;
+        assert!(
+            resident * PAGE_SIZE.bytes() <= capacity.bytes(),
+            "{name}: resident pages exceed the device budget"
+        );
+        assert!(r.pages_evicted > 0, "{name}: over-subscription must evict");
+    } else {
+        assert_eq!(r.pages_evicted, 0, "{name}: nothing evicts with no budget");
+    }
+    // Bandwidth is within the calibrated PCI-e envelope.
+    assert!(
+        r.read_bandwidth_gbps >= 3.2 && r.read_bandwidth_gbps <= 11.3,
+        "{name}: read bandwidth {} outside Table 1 envelope",
+        r.read_bandwidth_gbps
+    );
+}
+
+#[test]
+fn every_benchmark_runs_in_memory() {
+    for w in suite(Scale::Smoke) {
+        let r = run_workload(w.as_ref(), RunOptions::default());
+        check_consistency(&r);
+        // With unlimited memory the whole working set migrates exactly
+        // once; prefetch may additionally pull the rounded-up tree
+        // tails (< one 2 MB large page per allocation).
+        let requested_pages = r.footprint.pages_ceil();
+        assert!(
+            r.pages_migrated >= requested_pages,
+            "{}: every requested page migrates",
+            w.name()
+        );
+        assert!(
+            r.pages_migrated <= requested_pages + 8 * 512,
+            "{}: no page migrates twice in-memory",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn every_benchmark_runs_under_every_policy_combo() {
+    let combos = [
+        (PrefetchPolicy::None, EvictPolicy::LruPage, true),
+        (PrefetchPolicy::Random, EvictPolicy::RandomPage, false),
+        (PrefetchPolicy::SequentialLocal, EvictPolicy::SequentialLocal, false),
+        (
+            PrefetchPolicy::TreeBasedNeighborhood,
+            EvictPolicy::TreeBasedNeighborhood,
+            false,
+        ),
+        (
+            PrefetchPolicy::TreeBasedNeighborhood,
+            EvictPolicy::LruLargePage,
+            false,
+        ),
+    ];
+    for w in suite(Scale::Smoke) {
+        for (prefetch, evict, disable) in combos {
+            let mut opts = RunOptions::default()
+                .with_prefetch(prefetch)
+                .with_evict(evict)
+                .with_memory_frac(1.10);
+            opts.disable_prefetch_on_oversubscription = disable;
+            let r = run_workload(w.as_ref(), opts);
+            check_consistency(&r);
+        }
+    }
+}
+
+#[test]
+fn free_page_buffer_and_reservation_configs_run() {
+    for w in suite(Scale::Smoke) {
+        let mut opts = RunOptions::default()
+            .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
+            .with_evict(EvictPolicy::LruPage)
+            .with_memory_frac(1.10);
+        opts.free_buffer_frac = 0.10;
+        opts.disable_prefetch_on_oversubscription = true;
+        check_consistency(&run_workload(w.as_ref(), opts));
+
+        let mut opts = RunOptions::default()
+            .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
+            .with_evict(EvictPolicy::TreeBasedNeighborhood)
+            .with_memory_frac(1.10);
+        opts.reserve_frac = 0.10;
+        check_consistency(&run_workload(w.as_ref(), opts));
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    for w in suite(Scale::Smoke) {
+        let opts = || {
+            RunOptions::default()
+                .with_prefetch(PrefetchPolicy::Random)
+                .with_evict(EvictPolicy::RandomPage)
+                .with_memory_frac(1.10)
+        };
+        let a = run_workload(w.as_ref(), opts());
+        let b = run_workload(w.as_ref(), opts());
+        assert_eq!(a.total_time, b.total_time, "{}", w.name());
+        assert_eq!(a.far_faults, b.far_faults, "{}", w.name());
+        assert_eq!(a.pages_evicted, b.pages_evicted, "{}", w.name());
+    }
+}
+
+#[test]
+fn footprint_measurement_matches_run() {
+    for w in suite(Scale::Smoke) {
+        let fp = measure_footprint(w.as_ref());
+        let r = run_workload(w.as_ref(), RunOptions::default());
+        assert_eq!(fp, r.footprint, "{}", w.name());
+        assert!(fp > Bytes::ZERO);
+    }
+}
+
+#[test]
+fn deeper_oversubscription_is_never_faster_for_reuse_benchmarks() {
+    for w in suite(Scale::Smoke) {
+        // Streaming benchmarks are allowed to be flat; reuse benchmarks
+        // must degrade. Either way, time must not *improve* with less
+        // memory (beyond 2% tolerance for policy noise).
+        let t110 = run_workload(
+            w.as_ref(),
+            RunOptions::default()
+                .with_evict(EvictPolicy::TreeBasedNeighborhood)
+                .with_memory_frac(1.10),
+        );
+        let t150 = run_workload(
+            w.as_ref(),
+            RunOptions::default()
+                .with_evict(EvictPolicy::TreeBasedNeighborhood)
+                .with_memory_frac(1.50),
+        );
+        assert!(
+            t150.total_ms() >= 0.90 * t110.total_ms(),
+            "{}: 150% ({:.3} ms) much faster than 110% ({:.3} ms)",
+            w.name(),
+            t150.total_ms(),
+            t110.total_ms()
+        );
+    }
+}
+
+#[test]
+fn trace_capture_works_across_full_runs() {
+    let w = &suite(Scale::Smoke)[4]; // nw
+    assert_eq!(w.name(), "nw");
+    let r = run_workload(
+        w.as_ref(),
+        RunOptions {
+            trace: true,
+            ..RunOptions::default()
+        },
+    );
+    assert_eq!(r.traces.len(), r.kernel_times.len());
+    let total: usize = r.traces.iter().map(Vec::len).sum();
+    assert!(total > 0, "traces must contain accesses");
+    // Cycles within one kernel's trace never exceed the run end.
+    for trace in &r.traces {
+        for ev in trace {
+            assert!(ev.cycle.index() <= r.total_time.cycles() + 1_000_000);
+        }
+    }
+}
