@@ -1,118 +1,72 @@
-//! Criterion wrappers around the per-figure experiment runners.
+//! Wall-clock benchmarks of the per-figure experiment runners.
 //!
 //! Each bench regenerates one table/figure at [`Scale::Smoke`] so that
 //! `cargo bench` finishes in minutes; the `src/bin/figN` binaries run
 //! the same experiments at paper scale and emit the CSV series.
+//!
+//! Every iteration builds a *fresh* executor (no spill directory):
+//! the number measured is the full simulation cost of the runner, not
+//! a cache hit. The `dedup/fig3_fig4_fig5_...` case shares one
+//! executor across three figure projections — its time against three
+//! separate `prefetcher_sweep` runs is the dedup win.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use uvm_bench::harness::Bench;
 use uvm_sim::experiments::{self, Scale};
+use uvm_sim::Executor;
 
-fn cfg(c: &mut Criterion) -> &mut Criterion {
-    c
-}
+fn main() {
+    let b = Bench::from_args();
 
-fn bench_table1(c: &mut Criterion) {
-    cfg(c).bench_function("table1_pcie_bandwidth", |b| {
-        b.iter(|| black_box(experiments::table1()))
+    b.bench("table1_pcie_bandwidth", || {
+        black_box(experiments::table1());
+    });
+    b.bench("fig2_tbnp_walkthrough", || {
+        black_box(experiments::fig2_walkthrough());
+    });
+    b.bench("fig8_tbne_walkthrough", || {
+        black_box(experiments::fig8_walkthrough());
+    });
+
+    b.bench("prefetcher_sweep/fig3_fig4_fig5", || {
+        black_box(experiments::prefetcher_sweep(&Executor::new(1), Scale::Smoke));
+    });
+    b.bench("oversubscription/fig6_fig7", || {
+        black_box(experiments::oversubscription_sweep(
+            &Executor::new(1),
+            Scale::Smoke,
+        ));
+    });
+    b.bench("eviction_isolation/fig9_fig10", || {
+        black_box(experiments::eviction_isolation(&Executor::new(1), Scale::Smoke));
+    });
+    b.bench("policy_combos/fig11", || {
+        black_box(experiments::policy_combinations(&Executor::new(1), Scale::Smoke));
+    });
+    b.bench("nw_trace/fig12", || {
+        black_box(experiments::nw_trace(&Executor::new(1), Scale::Smoke, &[3, 7]));
+    });
+    b.bench("oversub_sensitivity/fig13", || {
+        black_box(experiments::tbn_oversubscription_sensitivity(
+            &Executor::new(1),
+            Scale::Smoke,
+        ));
+    });
+    b.bench("lru_reservation/fig14", || {
+        black_box(experiments::lru_reservation(&Executor::new(1), Scale::Smoke));
+    });
+    b.bench("tbne_vs_2mb/fig15_fig16", || {
+        black_box(experiments::tbne_vs_2mb(&Executor::new(1), Scale::Smoke));
+    });
+
+    // The multi-figure path: Figs. 3/4/5, 9/10, and 11 share runs
+    // through one executor. Compare against the sum of the individual
+    // cases above to see the deduplication win.
+    b.bench("dedup/fig3_fig4_fig5_fig9_fig10_fig11_shared", || {
+        let exec = Executor::new(1);
+        black_box(experiments::prefetcher_sweep(&exec, Scale::Smoke));
+        black_box(experiments::eviction_isolation(&exec, Scale::Smoke));
+        black_box(experiments::policy_combinations(&exec, Scale::Smoke));
     });
 }
-
-fn bench_fig2_fig8(c: &mut Criterion) {
-    c.bench_function("fig2_tbnp_walkthrough", |b| {
-        b.iter(|| black_box(experiments::fig2_walkthrough()))
-    });
-    c.bench_function("fig8_tbne_walkthrough", |b| {
-        b.iter(|| black_box(experiments::fig8_walkthrough()))
-    });
-}
-
-fn bench_fig3_4_5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("prefetcher_sweep");
-    g.sample_size(10);
-    g.bench_function("fig3_fig4_fig5", |b| {
-        b.iter(|| black_box(experiments::prefetcher_sweep(Scale::Smoke)))
-    });
-    g.finish();
-}
-
-fn bench_fig6_7(c: &mut Criterion) {
-    let mut g = c.benchmark_group("oversubscription");
-    g.sample_size(10);
-    g.bench_function("fig6_fig7", |b| {
-        b.iter(|| black_box(experiments::oversubscription_sweep(Scale::Smoke)))
-    });
-    g.finish();
-}
-
-fn bench_fig9_10(c: &mut Criterion) {
-    let mut g = c.benchmark_group("eviction_isolation");
-    g.sample_size(10);
-    g.bench_function("fig9_fig10", |b| {
-        b.iter(|| black_box(experiments::eviction_isolation(Scale::Smoke)))
-    });
-    g.finish();
-}
-
-fn bench_fig11(c: &mut Criterion) {
-    let mut g = c.benchmark_group("policy_combos");
-    g.sample_size(10);
-    g.bench_function("fig11", |b| {
-        b.iter(|| black_box(experiments::policy_combinations(Scale::Smoke)))
-    });
-    g.finish();
-}
-
-fn bench_fig12(c: &mut Criterion) {
-    let mut g = c.benchmark_group("nw_trace");
-    g.sample_size(10);
-    g.bench_function("fig12", |b| {
-        b.iter(|| black_box(experiments::nw_trace(Scale::Smoke, &[3, 7])))
-    });
-    g.finish();
-}
-
-fn bench_fig13(c: &mut Criterion) {
-    let mut g = c.benchmark_group("oversub_sensitivity");
-    g.sample_size(10);
-    g.bench_function("fig13", |b| {
-        b.iter(|| {
-            black_box(experiments::tbn_oversubscription_sensitivity(Scale::Smoke))
-        })
-    });
-    g.finish();
-}
-
-fn bench_fig14(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lru_reservation");
-    g.sample_size(10);
-    g.bench_function("fig14", |b| {
-        b.iter(|| black_box(experiments::lru_reservation(Scale::Smoke)))
-    });
-    g.finish();
-}
-
-fn bench_fig15_16(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tbne_vs_2mb");
-    g.sample_size(10);
-    g.bench_function("fig15_fig16", |b| {
-        b.iter(|| black_box(experiments::tbne_vs_2mb(Scale::Smoke)))
-    });
-    g.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_table1,
-    bench_fig2_fig8,
-    bench_fig3_4_5,
-    bench_fig6_7,
-    bench_fig9_10,
-    bench_fig11,
-    bench_fig12,
-    bench_fig13,
-    bench_fig14,
-    bench_fig15_16
-);
-criterion_main!(benches);

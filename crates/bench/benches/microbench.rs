@@ -1,145 +1,184 @@
-//! Criterion micro-benchmarks of the core mechanisms: tree balancing,
-//! LRU bookkeeping, the PCI-e cost model, and end-to-end fault
-//! servicing through the GMMU.
+//! Micro-benchmarks of the core mechanisms: tree balancing, LRU
+//! bookkeeping, the PCI-e cost model, the GMMU frame-lookup hot path,
+//! and end-to-end fault servicing through the GMMU.
+//!
+//! Run with `cargo bench -p uvm-bench --bench microbench`; an optional
+//! bare argument filters cases by substring.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use uvm_bench::harness::Bench;
 use uvm_core::{AllocTree, EvictPolicy, Gmmu, HierarchicalLru, LruQueue, PrefetchPolicy, UvmConfig};
 use uvm_interconnect::PcieModel;
-use uvm_types::{BasicBlockId, Bytes, Cycle, PageId, TreeExtent};
+use uvm_types::{BasicBlockId, Bytes, Cycle, PageId, TreeExtent, PAGE_SIZE};
 
-fn bench_tree(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tree");
+fn bench_tree(b: &Bench) {
     let extent = TreeExtent {
         first_block: BasicBlockId::new(0),
         num_blocks: 32,
     };
 
-    g.bench_function("plan_prefetch_half_full_2mb", |b| {
-        let mut tree = AllocTree::new(extent);
-        for i in 0..16 {
-            tree.fill_block(BasicBlockId::new(i));
-        }
-        b.iter(|| black_box(&tree).plan_prefetch(black_box(BasicBlockId::new(16))));
+    let mut tree = AllocTree::new(extent);
+    for i in 0..16 {
+        tree.fill_block(BasicBlockId::new(i));
+    }
+    b.bench("tree/plan_prefetch_half_full_2mb", || {
+        black_box(black_box(&tree).plan_prefetch(black_box(BasicBlockId::new(16))));
+    });
+    b.bench("tree/plan_eviction_half_full_2mb", || {
+        black_box(black_box(&tree).plan_eviction(black_box(BasicBlockId::new(0))));
     });
 
-    g.bench_function("plan_eviction_half_full_2mb", |b| {
-        let mut tree = AllocTree::new(extent);
-        for i in 0..16 {
-            tree.fill_block(BasicBlockId::new(i));
-        }
-        b.iter(|| black_box(&tree).plan_eviction(black_box(BasicBlockId::new(0))));
+    let mut tree = AllocTree::new(extent);
+    b.bench("tree/fill_clear_block", || {
+        tree.fill_block(BasicBlockId::new(7));
+        tree.clear_block(BasicBlockId::new(7));
     });
-
-    g.bench_function("fill_clear_block", |b| {
-        let mut tree = AllocTree::new(extent);
-        b.iter(|| {
-            tree.fill_block(BasicBlockId::new(7));
-            tree.clear_block(BasicBlockId::new(7));
-        });
-    });
-    g.finish();
 }
 
-fn bench_lru(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lru");
+fn bench_lru(b: &Bench) {
+    let mut q = LruQueue::new();
+    for i in 0..10_000u64 {
+        q.touch(PageId::new(i));
+    }
+    let mut i = 0u64;
+    b.bench("lru/queue_touch_10k", || {
+        q.touch(PageId::new(i % 10_000));
+        i += 1;
+    });
 
-    g.bench_function("queue_touch_10k", |b| {
-        let mut q = LruQueue::new();
-        for i in 0..10_000u64 {
-            q.touch(PageId::new(i));
+    b.bench("lru/hier_validate_access_candidate", || {
+        let mut h = HierarchicalLru::new();
+        for i in 0..512u64 {
+            h.on_validate(PageId::new(i));
         }
-        let mut i = 0u64;
-        b.iter(|| {
-            q.touch(PageId::new(i % 10_000));
-            i += 1;
-        });
+        h.on_access(PageId::new(5));
+        black_box(h.candidate(0, |_| true));
     });
-
-    g.bench_function("hier_validate_access_candidate", |b| {
-        b.iter_batched(
-            HierarchicalLru::new,
-            |mut h| {
-                for i in 0..512u64 {
-                    h.on_validate(PageId::new(i));
-                }
-                h.on_access(PageId::new(5));
-                black_box(h.candidate(0, |_| true))
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    g.finish();
 }
 
-fn bench_pcie(c: &mut Criterion) {
+fn bench_pcie(b: &Bench) {
     let model = PcieModel::pascal_x16();
-    c.bench_function("pcie_transfer_time", |b| {
-        b.iter(|| {
-            for kb in [4u64, 16, 64, 256, 1024] {
-                black_box(model.transfer_time(Bytes::kib(kb)));
+    b.bench("pcie_transfer_time", || {
+        for kb in [4u64, 16, 64, 256, 1024] {
+            black_box(model.transfer_time(Bytes::kib(kb)));
+        }
+    });
+}
+
+/// The per-access hot path the dense page-indexed tables optimise:
+/// every simulated GPU memory access funnels through `is_resident`
+/// (frame table probe) and `record_access` (ready-time + first-touch
+/// bookkeeping). All pages are resident, so this isolates the lookup
+/// cost from migration.
+fn bench_gmmu_lookup(b: &Bench) {
+    let mut gmmu =
+        Gmmu::new(UvmConfig::default().with_prefetch(PrefetchPolicy::TreeBasedNeighborhood));
+    let base = gmmu.malloc_managed(Bytes::mib(16));
+    let pages = Bytes::mib(16).pages_ceil();
+    let mut now = Cycle::ZERO;
+    for block in 0..pages / 16 {
+        let page = base.page().add(block * 16);
+        if !gmmu.is_resident(page) {
+            let res = gmmu.handle_fault(page, now);
+            now = res.fault_page_ready();
+        }
+    }
+    b.bench("gmmu/frame_lookup_4k_resident_pages", || {
+        let mut resident = 0u64;
+        for i in 0..pages {
+            let page = base.page().add(i);
+            if gmmu.is_resident(page) {
+                resident += 1;
             }
-        });
+            gmmu.record_access(page, false);
+        }
+        black_box(resident);
     });
 }
 
-fn bench_gmmu(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gmmu");
-    g.bench_function("fault_tbnp_no_budget", |b| {
-        b.iter_batched(
-            || {
-                let mut gmmu = Gmmu::new(
-                    UvmConfig::default().with_prefetch(PrefetchPolicy::TreeBasedNeighborhood),
-                );
-                let base = gmmu.malloc_managed(Bytes::mib(8));
-                (gmmu, base)
-            },
-            |(mut gmmu, base)| {
-                let mut now = Cycle::ZERO;
-                for block in 0..64u64 {
-                    let page = base.page().add(block * 16);
-                    if !gmmu.is_resident(page) {
-                        let res = gmmu.handle_fault(page, now);
-                        now = res.fault_page_ready();
-                    }
-                    gmmu.record_access(page, false);
-                }
-                black_box(gmmu.stats().pages_migrated)
-            },
-            BatchSize::SmallInput,
-        );
-    });
+/// Head-to-head of the two frame-table representations: the dense
+/// page-indexed `DensePageMap` now used by the GMMU versus the
+/// `HashMap` it replaced, probing the same 4096-page resident set in
+/// the same order.
+fn bench_frame_table_repr(b: &Bench) {
+    use std::collections::HashMap;
+    use uvm_core::DensePageMap;
+    use uvm_mem::{FrameAllocator, FrameId};
 
-    g.bench_function("fault_with_tbne_eviction", |b| {
-        b.iter_batched(
-            || {
-                let mut gmmu = Gmmu::new(
-                    UvmConfig::default()
-                        .with_capacity(Bytes::mib(2))
-                        .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
-                        .with_evict(EvictPolicy::TreeBasedNeighborhood),
-                );
-                let base = gmmu.malloc_managed(Bytes::mib(4));
-                (gmmu, base)
-            },
-            |(mut gmmu, base)| {
-                let mut now = Cycle::ZERO;
-                for block in 0..64u64 {
-                    let page = base.page().add(block * 16);
-                    if !gmmu.is_resident(page) {
-                        let res = gmmu.handle_fault(page, now);
-                        now = res.fault_page_ready();
-                    }
-                    gmmu.record_access(page, false);
-                }
-                black_box(gmmu.stats().pages_evicted)
-            },
-            BatchSize::SmallInput,
-        );
+    let pages = 4096u64;
+    let mut frames = FrameAllocator::new(PAGE_SIZE * pages);
+    let mut dense: DensePageMap<FrameId> = DensePageMap::new();
+    let mut map: HashMap<PageId, FrameId> = HashMap::new();
+    for i in 0..pages {
+        let f = frames.allocate().expect("within budget");
+        dense.insert(PageId::new(i), f);
+        map.insert(PageId::new(i), f);
+    }
+    b.bench("frame_table/dense_probe_4k", || {
+        let mut hits = 0u64;
+        for i in 0..2 * pages {
+            if dense.get(PageId::new(i)).is_some() {
+                hits += 1;
+            }
+        }
+        black_box(hits);
     });
-    g.finish();
+    b.bench("frame_table/hashmap_probe_4k", || {
+        let mut hits = 0u64;
+        for i in 0..2 * pages {
+            if map.get(&PageId::new(i)).is_some() {
+                hits += 1;
+            }
+        }
+        black_box(hits);
+    });
 }
 
-criterion_group!(benches, bench_tree, bench_lru, bench_pcie, bench_gmmu);
-criterion_main!(benches);
+fn bench_gmmu_faults(b: &Bench) {
+    b.bench("gmmu/fault_tbnp_no_budget", || {
+        let mut gmmu =
+            Gmmu::new(UvmConfig::default().with_prefetch(PrefetchPolicy::TreeBasedNeighborhood));
+        let base = gmmu.malloc_managed(Bytes::mib(8));
+        let mut now = Cycle::ZERO;
+        for block in 0..64u64 {
+            let page = base.page().add(block * 16);
+            if !gmmu.is_resident(page) {
+                let res = gmmu.handle_fault(page, now);
+                now = res.fault_page_ready();
+            }
+            gmmu.record_access(page, false);
+        }
+        black_box(gmmu.stats().pages_migrated);
+    });
+
+    b.bench("gmmu/fault_with_tbne_eviction", || {
+        let mut gmmu = Gmmu::new(
+            UvmConfig::default()
+                .with_capacity(Bytes::mib(2))
+                .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
+                .with_evict(EvictPolicy::TreeBasedNeighborhood),
+        );
+        let base = gmmu.malloc_managed(Bytes::mib(4));
+        let mut now = Cycle::ZERO;
+        for block in 0..64u64 {
+            let page = base.page().add(block * 16);
+            if !gmmu.is_resident(page) {
+                let res = gmmu.handle_fault(page, now);
+                now = res.fault_page_ready();
+            }
+            gmmu.record_access(page, false);
+        }
+        black_box(gmmu.stats().pages_evicted);
+    });
+}
+
+fn main() {
+    let b = Bench::from_args();
+    bench_tree(&b);
+    bench_lru(&b);
+    bench_pcie(&b);
+    bench_gmmu_lookup(&b);
+    bench_frame_table_repr(&b);
+    bench_gmmu_faults(&b);
+}

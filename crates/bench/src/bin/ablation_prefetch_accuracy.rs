@@ -3,6 +3,7 @@
 //! "unused prefetched pages"), and the clean-page write-back overhead
 //! of bulk eviction (Sec. 5.1).
 fn main() {
-    let t = uvm_sim::experiments::prefetch_accuracy_ablation(uvm_bench::scale_from_args());
+    let cfg = uvm_bench::config_from_args();
+    let t = uvm_sim::experiments::prefetch_accuracy_ablation(&cfg.executor(), cfg.scale);
     uvm_bench::emit("ablation_prefetch_accuracy", &t);
 }

@@ -2,6 +2,7 @@
 //! sequential prefetcher vs TBNp, with no memory budget (Sec. 3.2's
 //! design-choice discussion).
 fn main() {
-    let t = uvm_sim::experiments::prefetch_granularity_ablation(uvm_bench::scale_from_args());
+    let cfg = uvm_bench::config_from_args();
+    let t = uvm_sim::experiments::prefetch_granularity_ablation(&cfg.executor(), cfg.scale);
     uvm_bench::emit("ablation_prefetch_granularity", &t);
 }

@@ -1,53 +1,7 @@
 //! Runs every table/figure regenerator in sequence, writing all CSVs
-//! under `results/`. Equivalent to running table1 + fig2..fig16.
+//! under `results/`. Equivalent to running table1 + fig2..fig16, but
+//! with one shared executor: runs required by several figures are
+//! simulated once and spilled under `results/cache/` for resumption.
 fn main() {
-    use uvm_sim::experiments as exp;
-    let scale = uvm_bench::scale_from_args();
-
-    uvm_bench::emit("table1", &exp::table1());
-    print!("{}", exp::fig2_walkthrough());
-
-    let sweep = exp::prefetcher_sweep(scale);
-    uvm_bench::emit("fig3", &sweep.time);
-    uvm_bench::emit("fig4", &sweep.bandwidth);
-    uvm_bench::emit("fig5", &sweep.faults);
-
-    let os = exp::oversubscription_sweep(scale);
-    uvm_bench::emit("fig6", &os.time);
-    uvm_bench::emit("fig7", &os.transfers_4k);
-
-    print!("{}", exp::fig8_walkthrough());
-
-    let iso = exp::eviction_isolation(scale);
-    uvm_bench::emit("fig9", &iso.time);
-    uvm_bench::emit("fig10", &iso.evicted);
-
-    uvm_bench::emit("fig11", &exp::policy_combinations(scale));
-
-    for (launch, table) in exp::nw_trace(scale, &[60, 70]) {
-        uvm_bench::write_csv(&format!("fig12_launch{launch}"), &table);
-    }
-
-    uvm_bench::emit("fig13", &exp::tbn_oversubscription_sensitivity(scale));
-    uvm_bench::emit("fig14", &exp::lru_reservation(scale));
-
-    let cmp = exp::tbne_vs_2mb(scale);
-    uvm_bench::emit("fig15", &cmp.time);
-    uvm_bench::emit("fig16", &cmp.thrash);
-
-    // Sec. 7 analysis and the design-choice ablations.
-    uvm_bench::emit("pattern_report", &exp::pattern_analysis(scale));
-    uvm_bench::emit(
-        "ablation_prefetch_granularity",
-        &exp::prefetch_granularity_ablation(scale),
-    );
-    uvm_bench::emit(
-        "ablation_fault_lanes",
-        &exp::fault_lanes_ablation(scale, &[1, 2, 4, 8, 16]),
-    );
-    uvm_bench::emit(
-        "ablation_prefetch_accuracy",
-        &exp::prefetch_accuracy_ablation(scale),
-    );
-    uvm_bench::emit("ablation_writeback", &exp::writeback_ablation(scale));
+    uvm_bench::run_all(&uvm_bench::config_from_args());
 }

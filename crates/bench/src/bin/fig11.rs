@@ -1,5 +1,6 @@
 //! Regenerates Fig. 11: the four prefetcher x pre-eviction combos (110%).
 fn main() {
-    let t = uvm_sim::experiments::policy_combinations(uvm_bench::scale_from_args());
+    let cfg = uvm_bench::config_from_args();
+    let t = uvm_sim::experiments::policy_combinations(&cfg.executor(), cfg.scale);
     uvm_bench::emit("fig11", &t);
 }

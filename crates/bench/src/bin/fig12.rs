@@ -1,6 +1,7 @@
 //! Regenerates Fig. 12: nw page-access scatter at kernel launches 60 and 70.
 fn main() {
-    let traces = uvm_sim::experiments::nw_trace(uvm_bench::scale_from_args(), &[60, 70]);
+    let cfg = uvm_bench::config_from_args();
+    let traces = uvm_sim::experiments::nw_trace(&cfg.executor(), cfg.scale, &[60, 70]);
     for (launch, table) in traces {
         println!(
             "# launch {launch}: {} accesses (cycle, page) — plot as a scatter",

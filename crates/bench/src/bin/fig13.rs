@@ -1,5 +1,6 @@
 //! Regenerates Fig. 13: TBNe+TBNp sensitivity to over-subscription %.
 fn main() {
-    let t = uvm_sim::experiments::tbn_oversubscription_sensitivity(uvm_bench::scale_from_args());
+    let cfg = uvm_bench::config_from_args();
+    let t = uvm_sim::experiments::tbn_oversubscription_sensitivity(&cfg.executor(), cfg.scale);
     uvm_bench::emit("fig13", &t);
 }

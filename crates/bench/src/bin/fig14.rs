@@ -1,5 +1,6 @@
 //! Regenerates Fig. 14: reserving 0/10/20% of the LRU list from eviction.
 fn main() {
-    let t = uvm_sim::experiments::lru_reservation(uvm_bench::scale_from_args());
+    let cfg = uvm_bench::config_from_args();
+    let t = uvm_sim::experiments::lru_reservation(&cfg.executor(), cfg.scale);
     uvm_bench::emit("fig14", &t);
 }

@@ -1,5 +1,6 @@
 //! Regenerates Fig. 15: TBNe vs static 2 MB LRU eviction (110%).
 fn main() {
-    let cmp = uvm_sim::experiments::tbne_vs_2mb(uvm_bench::scale_from_args());
+    let cfg = uvm_bench::config_from_args();
+    let cmp = uvm_sim::experiments::tbne_vs_2mb(&cfg.executor(), cfg.scale);
     uvm_bench::emit("fig15", &cmp.time);
 }

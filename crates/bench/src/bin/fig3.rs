@@ -1,5 +1,6 @@
 //! Regenerates Fig. 3: kernel time per prefetcher, no over-subscription.
 fn main() {
-    let sweep = uvm_sim::experiments::prefetcher_sweep(uvm_bench::scale_from_args());
+    let cfg = uvm_bench::config_from_args();
+    let sweep = uvm_sim::experiments::prefetcher_sweep(&cfg.executor(), cfg.scale);
     uvm_bench::emit("fig3", &sweep.time);
 }

@@ -1,5 +1,6 @@
 //! Regenerates Fig. 5: total far-faults per prefetcher.
 fn main() {
-    let sweep = uvm_sim::experiments::prefetcher_sweep(uvm_bench::scale_from_args());
+    let cfg = uvm_bench::config_from_args();
+    let sweep = uvm_sim::experiments::prefetcher_sweep(&cfg.executor(), cfg.scale);
     uvm_bench::emit("fig5", &sweep.faults);
 }

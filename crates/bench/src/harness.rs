@@ -1,0 +1,125 @@
+//! Minimal benchmark harness for the `benches/` targets.
+//!
+//! The workspace builds fully offline, so there is no criterion; this
+//! harness covers what the bench targets need: warmup, auto-calibrated
+//! batch sizes, best-of-three sampling, ns/iter reporting, and
+//! substring filtering (`cargo bench -- <filter>`). Unlike criterion's
+//! `iter_batched`, per-iteration setup is timed along with the body —
+//! the bench closures here keep setup either hoisted or cheap.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time per timed batch.
+const BATCH_TARGET: Duration = Duration::from_millis(100);
+/// Functions slower than this are timed one call at a time.
+const HEAVY: Duration = Duration::from_millis(200);
+const SAMPLES: u32 = 3;
+
+/// A benchmark runner: construct once per bench target, call
+/// [`bench`](Self::bench) per case.
+pub struct Bench {
+    filter: Option<String>,
+}
+
+impl Bench {
+    /// Reads the name filter from the command line. Flags (anything
+    /// starting with `-`, e.g. the `--bench` cargo passes) are
+    /// ignored; the first bare argument filters cases by substring.
+    pub fn from_args() -> Self {
+        Bench {
+            filter: std::env::args().skip(1).find(|a| !a.starts_with('-')),
+        }
+    }
+
+    /// Times `f`, printing `<name>  <ns>/iter`. Returns the best
+    /// per-iteration time in nanoseconds (`None` if filtered out).
+    pub fn bench<F: FnMut()>(&self, name: &str, mut f: F) -> Option<f64> {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return None;
+            }
+        }
+
+        let t0 = Instant::now();
+        f();
+        let first = t0.elapsed();
+
+        let ns = if first >= HEAVY {
+            // Heavy case: best of single calls, warmup call included.
+            let mut best = first;
+            for _ in 0..SAMPLES - 1 {
+                let t = Instant::now();
+                f();
+                best = best.min(t.elapsed());
+            }
+            best.as_nanos() as f64
+        } else {
+            // Refine the per-iteration estimate, then time batches.
+            let mut iters = 1u64;
+            let warm = Instant::now();
+            while warm.elapsed() < Duration::from_millis(20) {
+                f();
+                iters += 1;
+            }
+            let per = (first + warm.elapsed()).as_nanos() as f64 / iters as f64;
+            let n = ((BATCH_TARGET.as_nanos() as f64 / per.max(1.0)) as u64)
+                .clamp(1, 10_000_000);
+            let mut best = f64::INFINITY;
+            for _ in 0..SAMPLES {
+                let t = Instant::now();
+                for _ in 0..n {
+                    f();
+                }
+                best = best.min(t.elapsed().as_nanos() as f64 / n as f64);
+            }
+            best
+        };
+
+        println!("{name:<48} {:>15} ns/iter", group_digits(ns.round() as u64));
+        Some(ns)
+    }
+}
+
+fn group_digits(v: u64) -> String {
+    let digits = v.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digits_are_grouped() {
+        assert_eq!(group_digits(0), "0");
+        assert_eq!(group_digits(999), "999");
+        assert_eq!(group_digits(1000), "1,000");
+        assert_eq!(group_digits(1234567), "1,234,567");
+    }
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let b = Bench { filter: None };
+        let mut count = 0u64;
+        let ns = b.bench("harness_selftest", || count += 1);
+        assert!(ns.is_some_and(|ns| ns >= 0.0));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let b = Bench {
+            filter: Some("nomatch".into()),
+        };
+        let mut ran = false;
+        assert!(b.bench("something_else", || ran = true).is_none());
+        assert!(!ran);
+    }
+}

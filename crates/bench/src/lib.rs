@@ -8,29 +8,80 @@
 //! ```sh
 //! cargo run --release -p uvm-bench --bin fig11            # paper scale
 //! cargo run --release -p uvm-bench --bin fig11 -- --smoke # tiny smoke run
+//! cargo run --release -p uvm-bench --bin all_experiments -- --jobs 4
 //! ```
+//!
+//! Every binary shares one [`Executor`] per invocation (built by
+//! [`Config::executor`]): identical runs required by several figures
+//! are simulated once, `--jobs N` sets the simulation worker-pool
+//! width, and completed results are spilled as JSON under
+//! `results/cache/` so re-invocations resume instead of re-simulating.
+//! Delete `results/cache/` to force fresh runs.
+
+pub mod harness;
 
 use std::fs;
 use std::path::PathBuf;
 
 use uvm_sim::experiments::Scale;
-use uvm_sim::Table;
+use uvm_sim::{Executor, Table};
 
-/// Parses the common binary arguments: `--smoke` selects the shrunken
-/// suite, anything else is rejected with a usage message.
-pub fn scale_from_args() -> Scale {
-    let mut scale = Scale::Paper;
-    for arg in std::env::args().skip(1) {
-        match arg.as_str() {
-            "--smoke" => scale = Scale::Smoke,
-            "--paper" => scale = Scale::Paper,
-            other => {
-                eprintln!("unknown argument {other:?}; use --smoke or --paper");
-                std::process::exit(2);
-            }
+/// Relative directory the executor spills completed run results into.
+pub const CACHE_DIR: &str = "results/cache";
+
+/// Common binary configuration parsed from the command line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Config {
+    /// Experiment scale (`--smoke` / `--paper`).
+    pub scale: Scale,
+    /// Worker-pool width (`--jobs N`); 0 means auto-detect.
+    pub jobs: usize,
+}
+
+impl Config {
+    /// Builds the shared executor for this invocation, spilling to
+    /// [`CACHE_DIR`].
+    pub fn executor(&self) -> Executor {
+        Executor::new(self.jobs).with_spill_dir(CACHE_DIR)
+    }
+}
+
+/// Parses the common binary arguments: `--smoke`/`--paper` select the
+/// scale, `--jobs N` (or `--jobs=N`) the worker-pool width; anything
+/// else is rejected with a usage message.
+pub fn config_from_args() -> Config {
+    match parse_args(std::env::args().skip(1)) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}; use --smoke, --paper, or --jobs N");
+            std::process::exit(2);
         }
     }
-    scale
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Config, String> {
+    let mut cfg = Config {
+        scale: Scale::Paper,
+        jobs: 0,
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => cfg.scale = Scale::Smoke,
+            "--paper" => cfg.scale = Scale::Paper,
+            "--jobs" => {
+                let n = args.next().ok_or("--jobs needs a value")?;
+                cfg.jobs = n.parse().map_err(|_| format!("bad --jobs value {n:?}"))?;
+            }
+            other => match other.strip_prefix("--jobs=") {
+                Some(n) => {
+                    cfg.jobs = n.parse().map_err(|_| format!("bad --jobs value {n:?}"))?;
+                }
+                None => return Err(format!("unknown argument {other:?}")),
+            },
+        }
+    }
+    Ok(cfg)
 }
 
 /// Prints `table` to stdout and writes `results/<name>.csv`.
@@ -53,6 +104,69 @@ pub fn write_csv(name: &str, table: &Table) {
     }
 }
 
+/// The full `all_experiments` sequence: every table/figure regenerator
+/// plus the ablations, sharing one deduplicating executor. Also the
+/// body of the smoke integration test.
+pub fn run_all(cfg: &Config) {
+    use uvm_sim::experiments as exp;
+    let exec = cfg.executor();
+    let scale = cfg.scale;
+
+    emit("table1", &exp::table1());
+    print!("{}", exp::fig2_walkthrough());
+
+    let sweep = exp::prefetcher_sweep(&exec, scale);
+    emit("fig3", &sweep.time);
+    emit("fig4", &sweep.bandwidth);
+    emit("fig5", &sweep.faults);
+
+    let os = exp::oversubscription_sweep(&exec, scale);
+    emit("fig6", &os.time);
+    emit("fig7", &os.transfers_4k);
+
+    print!("{}", exp::fig8_walkthrough());
+
+    let iso = exp::eviction_isolation(&exec, scale);
+    emit("fig9", &iso.time);
+    emit("fig10", &iso.evicted);
+
+    emit("fig11", &exp::policy_combinations(&exec, scale));
+
+    for (launch, table) in exp::nw_trace(&exec, scale, &[60, 70]) {
+        write_csv(&format!("fig12_launch{launch}"), &table);
+    }
+
+    emit("fig13", &exp::tbn_oversubscription_sensitivity(&exec, scale));
+    emit("fig14", &exp::lru_reservation(&exec, scale));
+
+    let cmp = exp::tbne_vs_2mb(&exec, scale);
+    emit("fig15", &cmp.time);
+    emit("fig16", &cmp.thrash);
+
+    // Sec. 7 analysis and the design-choice ablations.
+    emit("pattern_report", &exp::pattern_analysis(&exec, scale));
+    emit(
+        "ablation_prefetch_granularity",
+        &exp::prefetch_granularity_ablation(&exec, scale),
+    );
+    emit(
+        "ablation_fault_lanes",
+        &exp::fault_lanes_ablation(&exec, scale, &[1, 2, 4, 8, 16]),
+    );
+    emit(
+        "ablation_prefetch_accuracy",
+        &exp::prefetch_accuracy_ablation(&exec, scale),
+    );
+    emit("ablation_writeback", &exp::writeback_ablation(&exec, scale));
+
+    eprintln!(
+        "executor: {} simulations run, {} submissions served from cache ({} workers)",
+        exec.runs_executed(),
+        exec.cache_hits(),
+        exec.jobs(),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,5 +183,25 @@ mod tests {
         let written = std::fs::read_to_string("results/emit_test.csv").unwrap();
         std::env::set_current_dir(old).unwrap();
         assert_eq!(written, "a\n1\n");
+    }
+
+    #[test]
+    fn args_parse_scale_and_jobs() {
+        let p = |args: &[&str]| parse_args(args.iter().map(|s| s.to_string()));
+        assert_eq!(
+            p(&[]).unwrap(),
+            Config { scale: Scale::Paper, jobs: 0 }
+        );
+        assert_eq!(
+            p(&["--smoke", "--jobs", "4"]).unwrap(),
+            Config { scale: Scale::Smoke, jobs: 4 }
+        );
+        assert_eq!(
+            p(&["--jobs=8", "--paper"]).unwrap(),
+            Config { scale: Scale::Paper, jobs: 8 }
+        );
+        assert!(p(&["--jobs"]).is_err());
+        assert!(p(&["--jobs", "many"]).is_err());
+        assert!(p(&["--frobnicate"]).is_err());
     }
 }

@@ -1,0 +1,71 @@
+//! CI smoke test: the full `all_experiments --smoke --jobs 2` sequence
+//! runs end to end, writes every expected CSV, and a re-run resumes
+//! from the spill cache with byte-identical output.
+
+use uvm_bench::{run_all, Config};
+use uvm_sim::experiments::Scale;
+
+const EXPECTED_CSVS: [&str; 18] = [
+    "table1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "pattern_report",
+    "ablation_prefetch_granularity",
+    "ablation_fault_lanes",
+    "ablation_prefetch_accuracy",
+    "ablation_writeback",
+];
+
+#[test]
+fn all_experiments_smoke_runs_and_resumes() {
+    // `run_all` writes relative to the current directory; isolate in a
+    // temp dir (this is the only test in this binary, so the global
+    // chdir cannot race another test thread).
+    let tmp = std::env::temp_dir().join(format!("uvm-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).unwrap();
+    let old = std::env::current_dir().unwrap();
+    std::env::set_current_dir(&tmp).unwrap();
+
+    let cfg = Config {
+        scale: Scale::Smoke,
+        jobs: 2,
+    };
+    run_all(&cfg);
+
+    let read_all = || -> Vec<(String, String)> {
+        EXPECTED_CSVS
+            .iter()
+            .map(|name| {
+                let path = format!("results/{name}.csv");
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("missing {path}: {e}"));
+                assert!(text.lines().count() > 1, "{path} has no data rows");
+                (path, text)
+            })
+            .collect()
+    };
+    let first = read_all();
+    assert!(
+        std::fs::read_dir("results/cache").unwrap().count() > 0,
+        "spill cache must be populated"
+    );
+
+    // Second invocation: resumes from results/cache/, identical CSVs.
+    run_all(&cfg);
+    let second = read_all();
+    assert_eq!(first, second, "resumed run must be byte-identical");
+
+    std::env::set_current_dir(old).unwrap();
+    let _ = std::fs::remove_dir_all(&tmp);
+}

@@ -1,0 +1,225 @@
+//! Dense, page-index-keyed tables for the GMMU hot path.
+//!
+//! The virtual address space is handed out by a 2 MB-aligned bump
+//! allocator starting at address zero ([`crate::alloc::Allocations`]),
+//! so the page indices a simulation touches form a small dense range.
+//! That makes a plain `Vec` indexed by `PageId::index()` strictly
+//! better than a `HashMap<PageId, _>` for the per-access lookups:
+//! no hashing, no probing, one cache line per hit.
+//!
+//! # Examples
+//!
+//! ```
+//! use uvm_core::{DensePageMap, DensePageSet};
+//! use uvm_types::PageId;
+//!
+//! let mut map: DensePageMap<u32> = DensePageMap::new();
+//! map.insert(PageId::new(7), 42);
+//! assert_eq!(map.get(PageId::new(7)), Some(42));
+//!
+//! let mut set = DensePageSet::new();
+//! assert!(set.insert(PageId::new(3)));
+//! assert!(!set.insert(PageId::new(3)));
+//! assert!(set.contains(PageId::new(3)));
+//! ```
+
+use uvm_types::PageId;
+
+/// A `PageId → T` map backed by a dense `Vec<Option<T>>`.
+///
+/// Grows to the highest inserted page index; lookups outside the
+/// grown range are misses, never panics.
+#[derive(Clone, Debug, Default)]
+pub struct DensePageMap<T> {
+    slots: Vec<Option<T>>,
+    len: usize,
+}
+
+impl<T: Copy> DensePageMap<T> {
+    /// An empty map.
+    pub fn new() -> Self {
+        DensePageMap {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+
+    fn idx(page: PageId) -> usize {
+        page.index() as usize
+    }
+
+    /// The value for `page`, if present.
+    #[inline]
+    pub fn get(&self, page: PageId) -> Option<T> {
+        self.slots.get(Self::idx(page)).copied().flatten()
+    }
+
+    /// `true` if `page` has a value.
+    #[inline]
+    pub fn contains(&self, page: PageId) -> bool {
+        self.get(page).is_some()
+    }
+
+    /// Inserts or replaces the value for `page`, returning the old one.
+    pub fn insert(&mut self, page: PageId, value: T) -> Option<T> {
+        let i = Self::idx(page);
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, None);
+        }
+        let old = self.slots[i].replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes `page`'s value, returning it.
+    pub fn remove(&mut self, page: PageId) -> Option<T> {
+        let old = self.slots.get_mut(Self::idx(page))?.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Number of present entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no entry is present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A set of pages backed by a dense bitset.
+#[derive(Clone, Debug, Default)]
+pub struct DensePageSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl DensePageSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        DensePageSet {
+            words: Vec::new(),
+            len: 0,
+        }
+    }
+
+    fn split(page: PageId) -> (usize, u64) {
+        let i = page.index();
+        ((i / 64) as usize, 1u64 << (i % 64))
+    }
+
+    /// `true` if `page` is a member.
+    #[inline]
+    pub fn contains(&self, page: PageId) -> bool {
+        let (w, bit) = Self::split(page);
+        self.words.get(w).is_some_and(|&word| word & bit != 0)
+    }
+
+    /// Inserts `page`; returns `true` if it was newly added.
+    pub fn insert(&mut self, page: PageId) -> bool {
+        let (w, bit) = Self::split(page);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let fresh = self.words[w] & bit == 0;
+        self.words[w] |= bit;
+        if fresh {
+            self.len += 1;
+        }
+        fresh
+    }
+
+    /// Removes `page`; returns `true` if it was a member.
+    pub fn remove(&mut self, page: PageId) -> bool {
+        let (w, bit) = Self::split(page);
+        let Some(word) = self.words.get_mut(w) else {
+            return false;
+        };
+        let present = *word & bit != 0;
+        *word &= !bit;
+        if present {
+            self.len -= 1;
+        }
+        present
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_insert_get_remove() {
+        let mut m: DensePageMap<u64> = DensePageMap::new();
+        assert_eq!(m.get(PageId::new(1000)), None);
+        assert_eq!(m.insert(PageId::new(5), 50), None);
+        assert_eq!(m.insert(PageId::new(5), 51), Some(50));
+        assert_eq!(m.len(), 1);
+        assert!(m.contains(PageId::new(5)));
+        assert_eq!(m.remove(PageId::new(5)), Some(51));
+        assert_eq!(m.remove(PageId::new(5)), None);
+        assert!(m.is_empty());
+        // Removing beyond the grown range is a no-op.
+        assert_eq!(m.remove(PageId::new(1 << 20)), None);
+    }
+
+    #[test]
+    fn map_grows_sparsely() {
+        let mut m: DensePageMap<u8> = DensePageMap::new();
+        m.insert(PageId::new(0), 1);
+        m.insert(PageId::new(4096), 2);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(PageId::new(0)), Some(1));
+        assert_eq!(m.get(PageId::new(4096)), Some(2));
+        assert_eq!(m.get(PageId::new(2048)), None);
+    }
+
+    #[test]
+    fn set_insert_remove_contains() {
+        let mut s = DensePageSet::new();
+        assert!(!s.contains(PageId::new(63)));
+        assert!(s.insert(PageId::new(63)));
+        assert!(!s.insert(PageId::new(63)));
+        assert!(s.insert(PageId::new(64)));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(PageId::new(63)));
+        assert!(!s.remove(PageId::new(63)));
+        assert!(!s.remove(PageId::new(1 << 30)), "out of range is absent");
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(PageId::new(64)));
+    }
+
+    #[test]
+    fn set_matches_reference_model() {
+        use std::collections::HashSet;
+        use uvm_types::rng::{Rng, SmallRng};
+        let mut rng = SmallRng::seed_from_u64(0xd5e);
+        let mut s = DensePageSet::new();
+        let mut model: HashSet<u64> = HashSet::new();
+        for _ in 0..2000 {
+            let p = rng.gen_range(0u64..512);
+            if rng.gen_bool(0.5) {
+                assert_eq!(s.insert(PageId::new(p)), model.insert(p));
+            } else {
+                assert_eq!(s.remove(PageId::new(p)), model.remove(&p));
+            }
+            assert_eq!(s.len(), model.len());
+        }
+    }
+}

@@ -18,16 +18,13 @@
 //!    split),
 //! 5. validates the pages and reports per-page data-ready times.
 
-use std::collections::{HashMap, HashSet};
-
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
 use uvm_interconnect::{ChannelStats, PcieChannel, PcieModel};
 use uvm_mem::{FrameAllocator, FrameId, PageTable};
+use uvm_types::rng::{Rng, SmallRng};
 use uvm_types::{BasicBlockId, Bytes, Cycle, Duration, PageId, VirtAddr, PAGE_SIZE, PAGES_PER_LARGE_PAGE};
 
 use crate::alloc::{AllocId, Allocations};
+use crate::dense::{DensePageMap, DensePageSet};
 use crate::config::UvmConfig;
 use crate::hier::HierarchicalLru;
 use crate::indexed::IndexedPageSet;
@@ -78,7 +75,9 @@ pub struct Gmmu {
     allocs: Allocations,
     page_table: PageTable,
     frames: FrameAllocator,
-    frame_of: HashMap<PageId, FrameId>,
+    /// Dense page-indexed frame table: the allocator hands out a small
+    /// dense page range, so a `Vec` beats a `HashMap` on every access.
+    frame_of: DensePageMap<FrameId>,
     /// Traditional LRU list of *accessed* pages (LRU-4KB baseline).
     page_lru: LruQueue<PageId>,
     /// Hierarchical list of *valid* pages (pre-eviction policies).
@@ -93,17 +92,20 @@ pub struct Gmmu {
     /// Sticky prefetcher kill-switch (over-subscription rule).
     prefetch_disabled: bool,
     /// Data-arrival times of in-flight (validated, still transferring)
-    /// pages.
-    ready_at: HashMap<PageId, Cycle>,
+    /// pages. Entries whose pin grace has lapsed are left in place —
+    /// [`pin_level`](Self::pin_level) and
+    /// [`ready_time`](Self::ready_time) compare against the clock, so
+    /// stale entries behave exactly like absent ones.
+    ready_at: DensePageMap<Cycle>,
     /// Prefetched pages not yet accessed (for accuracy accounting).
-    unaccessed_prefetch: HashSet<PageId>,
+    unaccessed_prefetch: DensePageSet,
     /// Demand-migrated pages whose faulting warp has not yet replayed:
     /// hard-pinned from eviction so every far-fault is guaranteed to
     /// complete at least one access (bounding faults by accesses and
     /// making eviction/refault livelock impossible).
-    unaccessed_demand: HashSet<PageId>,
+    unaccessed_demand: DensePageSet,
     /// Pages that have been evicted at least once (thrash detection).
-    evicted_once: HashSet<PageId>,
+    evicted_once: DensePageSet,
     stats: UvmStats,
 }
 
@@ -117,7 +119,7 @@ impl Gmmu {
             allocs: Allocations::new(),
             page_table: PageTable::new(),
             frames: FrameAllocator::new(capacity),
-            frame_of: HashMap::new(),
+            frame_of: DensePageMap::new(),
             page_lru: LruQueue::new(),
             hier: HierarchicalLru::new(),
             resident: IndexedPageSet::new(),
@@ -125,10 +127,10 @@ impl Gmmu {
             write_chan: PcieChannel::new(PcieModel::pascal_x16()),
             lanes: vec![Cycle::ZERO; cfg.fault_lanes.max(1)],
             prefetch_disabled: false,
-            unaccessed_prefetch: HashSet::new(),
-            unaccessed_demand: HashSet::new(),
-            ready_at: HashMap::new(),
-            evicted_once: HashSet::new(),
+            unaccessed_prefetch: DensePageSet::new(),
+            unaccessed_demand: DensePageSet::new(),
+            ready_at: DensePageMap::new(),
+            evicted_once: DensePageSet::new(),
             stats: UvmStats::new(),
             cfg,
         }
@@ -160,10 +162,10 @@ impl Gmmu {
     /// If `page`'s migration is still in flight at `now`, the cycle at
     /// which its data arrives.
     pub fn ready_time(&mut self, page: PageId, now: Cycle) -> Option<Cycle> {
-        match self.ready_at.get(&page) {
-            Some(&t) if t > now => Some(t),
+        match self.ready_at.get(page) {
+            Some(t) if t > now => Some(t),
             Some(_) => {
-                self.ready_at.remove(&page);
+                self.ready_at.remove(page);
                 None
             }
             None => None,
@@ -180,8 +182,8 @@ impl Gmmu {
         self.page_table.mark_access(page, write);
         self.page_lru.touch(page);
         self.hier.on_access(page);
-        self.unaccessed_demand.remove(&page);
-        if self.unaccessed_prefetch.remove(&page) {
+        self.unaccessed_demand.remove(page);
+        if self.unaccessed_prefetch.remove(page) {
             self.stats.prefetched_used += 1;
         }
     }
@@ -214,9 +216,6 @@ impl Gmmu {
             .expect("at least one lane");
         let handled = self.lanes[lane].max(now) + self.cfg.fault_latency;
         self.lanes[lane] = handled;
-
-        // Drop expired in-flight pins before eviction decisions.
-        self.ready_at.retain(|_, r| *r + Self::PIN_GRACE > now);
 
         // Make room for the faulty page. Only the *demand* page forces
         // eviction; demand eviction (LRU/Random 4 KB) stalls the
@@ -418,14 +417,15 @@ impl Gmmu {
         let lp_first = page.large_page().first_page();
         let start = lp_first.index().max(alloc.first_page().index());
         let end = (lp_first.index() + PAGES_PER_LARGE_PAGE).min(alloc.end_page().index());
-        let candidates: Vec<PageId> = (start..end)
-            .map(PageId::new)
-            .filter(|&p| p != page && !self.page_table.is_valid(p))
-            .collect();
+        let mut candidates: Vec<PageId> = Vec::with_capacity((end.saturating_sub(start)) as usize);
+        candidates.extend(
+            (start..end)
+                .map(PageId::new)
+                .filter(|&p| p != page && !self.page_table.is_valid(p)),
+        );
         if candidates.is_empty() {
             return Vec::new();
         }
-        use rand::Rng;
         let pick = candidates[self.rng.gen_range(0..candidates.len())];
         vec![vec![pick]]
     }
@@ -433,11 +433,12 @@ impl Gmmu {
     /// SLp: the remaining invalid pages of the faulty page's 64 KB
     /// basic block, as one prefetch-group transfer (Sec. 3.2).
     fn plan_sl_prefetch(&self, page: PageId) -> Vec<Vec<PageId>> {
-        let group: Vec<PageId> = page
-            .basic_block()
-            .pages()
-            .filter(|&p| p != page && !self.page_table.is_valid(p))
-            .collect();
+        let mut group: Vec<PageId> = Vec::with_capacity(uvm_types::PAGES_PER_BASIC_BLOCK as usize);
+        group.extend(
+            page.basic_block()
+                .pages()
+                .filter(|&p| p != page && !self.page_table.is_valid(p)),
+        );
         if group.is_empty() {
             Vec::new()
         } else {
@@ -451,10 +452,12 @@ impl Gmmu {
     fn plan_sz_prefetch(&self, page: PageId, alloc_id: AllocId) -> Vec<Vec<PageId>> {
         let alloc = self.allocs.get(alloc_id);
         let end = alloc.end_page().index();
-        let group: Vec<PageId> = (page.index() + 1..(page.index() + 128).min(end))
-            .map(PageId::new)
-            .filter(|&p| !self.page_table.is_valid(p))
-            .collect();
+        let mut group: Vec<PageId> = Vec::with_capacity(128);
+        group.extend(
+            (page.index() + 1..(page.index() + 128).min(end))
+                .map(PageId::new)
+                .filter(|&p| !self.page_table.is_valid(p)),
+        );
         if group.is_empty() {
             Vec::new()
         } else {
@@ -478,12 +481,15 @@ impl Gmmu {
         blocks.sort_unstable_by_key(|b| b.index());
         let runs = group_contiguous(&blocks);
 
-        let mut groups = Vec::new();
+        let mut groups = Vec::with_capacity(runs.len());
         for (start, len) in runs {
-            let pages: Vec<PageId> = (0..len)
-                .flat_map(|i| start.add(i).pages())
-                .filter(|&p| p != page && !self.page_table.is_valid(p))
-                .collect();
+            let mut pages: Vec<PageId> =
+                Vec::with_capacity((len * uvm_types::PAGES_PER_BASIC_BLOCK) as usize);
+            pages.extend(
+                (0..len)
+                    .flat_map(|i| start.add(i).pages())
+                    .filter(|&p| p != page && !self.page_table.is_valid(p)),
+            );
             if !pages.is_empty() {
                 groups.push(pages);
             }
@@ -624,13 +630,13 @@ impl Gmmu {
     const PIN_HARD: u8 = 2;
 
     fn pin_level(&self, page: PageId, t: Cycle) -> u8 {
-        if self.unaccessed_demand.contains(&page) {
+        if self.unaccessed_demand.contains(page) {
             return Self::PIN_HARD;
         }
         if self
             .ready_at
-            .get(&page)
-            .is_some_and(|&r| r + Self::PIN_GRACE > t)
+            .get(page)
+            .is_some_and(|r| r + Self::PIN_GRACE > t)
         {
             return Self::PIN_SOFT;
         }
@@ -799,7 +805,7 @@ impl Gmmu {
         if prefetched {
             self.stats.pages_prefetched += 1;
         }
-        if self.evicted_once.contains(&page) {
+        if self.evicted_once.contains(page) {
             self.stats.pages_thrashed += 1;
         }
     }
@@ -811,19 +817,19 @@ impl Gmmu {
         if !flags.dirty {
             self.stats.clean_pages_written_back += 1;
         }
-        if self.unaccessed_prefetch.remove(&page) {
+        if self.unaccessed_prefetch.remove(page) {
             self.stats.prefetched_wasted += 1;
         }
         let frame = self
             .frame_of
-            .remove(&page)
+            .remove(page)
             .expect("resident page has a frame");
         self.frames.free(frame);
         self.resident.remove(page);
         self.page_lru.remove(&page);
         self.hier.on_invalidate_page(page);
-        self.ready_at.remove(&page);
-        self.unaccessed_demand.remove(&page);
+        self.ready_at.remove(page);
+        self.unaccessed_demand.remove(page);
         if let Some(alloc) = self.allocs.find_by_block_mut(page.basic_block()) {
             if let Some(tree) = alloc.tree_for_block_mut(page.basic_block()) {
                 tree.remove_pages(page.basic_block(), 1);

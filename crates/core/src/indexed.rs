@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use rand::Rng;
+use uvm_types::rng::Rng;
 use uvm_types::PageId;
 
 /// A set of pages supporting O(1) insert, remove, membership, and
@@ -88,8 +88,7 @@ impl IndexedPageSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use uvm_types::rng::SmallRng;
 
     #[test]
     fn insert_remove_contains() {

@@ -51,6 +51,7 @@
 
 mod alloc;
 mod config;
+mod dense;
 mod gmmu;
 mod hier;
 mod indexed;
@@ -61,6 +62,7 @@ mod tree;
 
 pub use alloc::{AllocId, Allocation, Allocations};
 pub use config::UvmConfig;
+pub use dense::{DensePageMap, DensePageSet};
 pub use gmmu::{FaultResolution, Gmmu};
 pub use hier::HierarchicalLru;
 pub use indexed::IndexedPageSet;

@@ -1,55 +1,56 @@
-//! Property-based tests for the paper's core mechanisms: the full
-//! binary tree (TBNp/TBNe), the LRU structures, and the GMMU driver.
+//! Randomized-property tests for the paper's core mechanisms: the
+//! full binary tree (TBNp/TBNe), the LRU structures, and the GMMU
+//! driver. Driven by seeded `SmallRng` case loops.
 
-use proptest::prelude::*;
 use std::collections::HashSet;
 
 use uvm_core::{
     AllocTree, Allocations, EvictPolicy, Gmmu, HierarchicalLru, LruQueue, PrefetchPolicy,
     UvmConfig,
 };
+use uvm_types::rng::{Rng, SmallRng};
 use uvm_types::{BasicBlockId, Bytes, Cycle, PageId, TreeExtent, PAGES_PER_BASIC_BLOCK};
 
-fn tree_strategy() -> impl Strategy<Value = AllocTree> {
-    (0u32..=5).prop_map(|h| {
-        AllocTree::new(TreeExtent {
-            first_block: BasicBlockId::new(0),
-            num_blocks: 1 << h,
-        })
+const CASES: usize = 256;
+
+fn random_tree(rng: &mut SmallRng) -> AllocTree {
+    let h = rng.gen_range(0u32..6);
+    AllocTree::new(TreeExtent {
+        first_block: BasicBlockId::new(0),
+        num_blocks: 1 << h,
     })
 }
 
-proptest! {
-    /// TBNp: prefetch plans only ever name blocks with free capacity,
-    /// never the fault block, and never duplicate; applying the plan
-    /// keeps the tree's internal sums consistent.
-    #[test]
-    fn prefetch_plan_is_sound(
-        mut tree in tree_strategy(),
-        filled in prop::collection::vec(0u64..32, 0..32),
-        fault in 0u64..32,
-    ) {
+/// TBNp: prefetch plans only ever name blocks with free capacity,
+/// never the fault block, and never duplicate; applying the plan
+/// keeps the tree's internal sums consistent.
+#[test]
+fn prefetch_plan_is_sound() {
+    let mut rng = SmallRng::seed_from_u64(0xc0e1);
+    for _ in 0..CASES {
+        let mut tree = random_tree(&mut rng);
         let n = tree.extent().num_blocks;
-        for b in filled {
-            let block = BasicBlockId::new(b % n);
+        let fills = rng.gen_range(0usize..32);
+        for _ in 0..fills {
+            let block = BasicBlockId::new(rng.gen_range(0u64..32) % n);
             if !tree.block_full(block) {
                 tree.fill_block(block);
             }
         }
-        let fault_block = BasicBlockId::new(fault % n);
+        let fault_block = BasicBlockId::new(rng.gen_range(0u64..32) % n);
         if tree.block_full(fault_block) {
-            return Ok(()); // a full block cannot fault
+            continue; // a full block cannot fault
         }
         let before = tree.root_valid_pages();
         let plan = tree.plan_prefetch(fault_block);
-        prop_assert_eq!(tree.root_valid_pages(), before, "plan must not mutate");
+        assert_eq!(tree.root_valid_pages(), before, "plan must not mutate");
 
         let mut seen = HashSet::new();
         for b in &plan {
-            prop_assert!(tree.extent().contains(*b), "plan inside the tree");
-            prop_assert!(*b != fault_block, "fault block not re-planned");
-            prop_assert!(seen.insert(*b), "no duplicates");
-            prop_assert!(!tree.block_full(*b), "only blocks with invalid pages");
+            assert!(tree.extent().contains(*b), "plan inside the tree");
+            assert!(*b != fault_block, "fault block not re-planned");
+            assert!(seen.insert(*b), "no duplicates");
+            assert!(!tree.block_full(*b), "only blocks with invalid pages");
         }
         // Applying the plan never overflows the tree.
         tree.fill_block(fault_block);
@@ -57,35 +58,36 @@ proptest! {
             tree.fill_block(b);
         }
         tree.check_invariants();
-        prop_assert!(tree.root_valid_pages() <= tree.capacity_pages());
+        assert!(tree.root_valid_pages() <= tree.capacity_pages());
     }
+}
 
-    /// TBNe mirrors TBNp: eviction plans name only valid blocks, never
-    /// the victim, and applying them never underflows.
-    #[test]
-    fn eviction_plan_is_sound(
-        mut tree in tree_strategy(),
-        filled in prop::collection::vec(0u64..32, 1..32),
-        victim in 0u64..32,
-    ) {
+/// TBNe mirrors TBNp: eviction plans name only valid blocks, never
+/// the victim, and applying them never underflows.
+#[test]
+fn eviction_plan_is_sound() {
+    let mut rng = SmallRng::seed_from_u64(0xc0e2);
+    for _ in 0..CASES {
+        let mut tree = random_tree(&mut rng);
         let n = tree.extent().num_blocks;
-        for b in filled {
-            let block = BasicBlockId::new(b % n);
+        let fills = rng.gen_range(1usize..32);
+        for _ in 0..fills {
+            let block = BasicBlockId::new(rng.gen_range(0u64..32) % n);
             if !tree.block_full(block) {
                 tree.fill_block(block);
             }
         }
-        let victim_block = BasicBlockId::new(victim % n);
+        let victim_block = BasicBlockId::new(rng.gen_range(0u64..32) % n);
         if tree.block_valid_pages(victim_block) == 0 {
-            return Ok(()); // nothing to evict there
+            continue; // nothing to evict there
         }
         let plan = tree.plan_eviction(victim_block);
         let mut seen = HashSet::new();
         for b in &plan {
-            prop_assert!(tree.extent().contains(*b));
-            prop_assert!(*b != victim_block);
-            prop_assert!(seen.insert(*b), "no duplicates");
-            prop_assert!(tree.block_valid_pages(*b) > 0, "only valid blocks evicted");
+            assert!(tree.extent().contains(*b));
+            assert!(*b != victim_block);
+            assert!(seen.insert(*b), "no duplicates");
+            assert!(tree.block_valid_pages(*b) > 0, "only valid blocks evicted");
         }
         tree.clear_block(victim_block);
         for b in plan {
@@ -93,36 +95,40 @@ proptest! {
         }
         tree.check_invariants();
     }
+}
 
-    /// The 50% rule: after any fault is serviced with its plan applied,
-    /// prefetching again for the same block yields nothing new (the
-    /// plan is a fixpoint).
-    #[test]
-    fn prefetch_plan_is_a_fixpoint(
-        mut tree in tree_strategy(),
-        fault in 0u64..32,
-    ) {
+/// The 50% rule: after any fault is serviced with its plan applied,
+/// prefetching again for the same block yields nothing new (the plan
+/// is a fixpoint).
+#[test]
+fn prefetch_plan_is_a_fixpoint() {
+    let mut rng = SmallRng::seed_from_u64(0xc0e3);
+    for _ in 0..CASES {
+        let mut tree = random_tree(&mut rng);
         let n = tree.extent().num_blocks;
-        let fault_block = BasicBlockId::new(fault % n);
+        let fault_block = BasicBlockId::new(rng.gen_range(0u64..32) % n);
         let plan = tree.plan_prefetch(fault_block);
         tree.fill_block(fault_block);
         for b in plan {
             tree.fill_block(b);
         }
-        // Any still-invalid block B: faulting on it must produce a plan
-        // consistent with the tree's state (soundness re-checked by the
-        // other property); here we check the serviced fault leaves no
-        // pending obligation for itself.
-        prop_assert!(tree.block_full(fault_block));
+        // The serviced fault leaves no pending obligation for itself
+        // (soundness is re-checked by the other property).
+        assert!(tree.block_full(fault_block));
     }
+}
 
-    /// LruQueue behaves exactly like a reference model.
-    #[test]
-    fn lru_queue_matches_reference_model(ops in prop::collection::vec((0u64..32, 0u8..3), 0..200)) {
+/// LruQueue behaves exactly like a reference model.
+#[test]
+fn lru_queue_matches_reference_model() {
+    let mut rng = SmallRng::seed_from_u64(0xc0e4);
+    for _ in 0..CASES {
         let mut q: LruQueue<u64> = LruQueue::new();
         let mut model: Vec<u64> = Vec::new(); // front = LRU
-        for (key, op) in ops {
-            match op {
+        let n = rng.gen_range(0usize..200);
+        for _ in 0..n {
+            let key = rng.gen_range(0u64..32);
+            match rng.gen_range(0u32..3) {
                 0 => {
                     q.touch(key);
                     model.retain(|&k| k != key);
@@ -136,26 +142,31 @@ proptest! {
                 }
                 _ => {
                     let was = q.remove(&key);
-                    prop_assert_eq!(was, model.contains(&key));
+                    assert_eq!(was, model.contains(&key));
                     model.retain(|&k| k != key);
                 }
             }
-            prop_assert_eq!(q.len(), model.len());
-            prop_assert_eq!(q.peek_lru(), model.first());
+            assert_eq!(q.len(), model.len());
+            assert_eq!(q.peek_lru(), model.first());
             let order: Vec<u64> = q.iter().copied().collect();
-            prop_assert_eq!(&order, &model);
+            assert_eq!(&order, &model);
         }
     }
+}
 
-    /// HierarchicalLru page accounting matches a reference count, and
-    /// the candidate (when one exists) is always a tracked block.
-    #[test]
-    fn hier_lru_accounting(ops in prop::collection::vec((0u64..256, 0u8..3), 0..300)) {
+/// HierarchicalLru page accounting matches a reference count, and the
+/// candidate (when one exists) is always a tracked block.
+#[test]
+fn hier_lru_accounting() {
+    let mut rng = SmallRng::seed_from_u64(0xc0e5);
+    for _ in 0..CASES {
         let mut h = HierarchicalLru::new();
         let mut resident: Vec<u64> = Vec::new();
-        for (page, op) in ops {
+        let n = rng.gen_range(0usize..300);
+        for _ in 0..n {
+            let page = rng.gen_range(0u64..256);
             let p = PageId::new(page);
-            match op {
+            match rng.gen_range(0u32..3) {
                 0 => {
                     h.on_validate(p);
                     resident.push(page);
@@ -172,44 +183,42 @@ proptest! {
                     }
                 }
             }
-            prop_assert_eq!(h.total_pages(), resident.len() as u64);
+            assert_eq!(h.total_pages(), resident.len() as u64);
             match h.candidate(0, |_| true) {
                 Some(bb) => {
-                    prop_assert!(h.block_pages(bb) > 0);
-                    prop_assert!(resident.iter().any(|&pg| PageId::new(pg).basic_block() == bb));
+                    assert!(h.block_pages(bb) > 0);
+                    assert!(resident.iter().any(|&pg| PageId::new(pg).basic_block() == bb));
                 }
-                None => prop_assert!(resident.is_empty()),
+                None => assert!(resident.is_empty()),
             }
         }
     }
 }
 
-fn policy_pairs() -> impl Strategy<Value = (PrefetchPolicy, EvictPolicy)> {
-    prop_oneof![
-        Just((PrefetchPolicy::None, EvictPolicy::LruPage)),
-        Just((PrefetchPolicy::Random, EvictPolicy::RandomPage)),
-        Just((PrefetchPolicy::SequentialLocal, EvictPolicy::SequentialLocal)),
-        Just((
+fn pick_policy_pair(rng: &mut SmallRng) -> (PrefetchPolicy, EvictPolicy) {
+    match rng.gen_range(0u32..5) {
+        0 => (PrefetchPolicy::None, EvictPolicy::LruPage),
+        1 => (PrefetchPolicy::Random, EvictPolicy::RandomPage),
+        2 => (PrefetchPolicy::SequentialLocal, EvictPolicy::SequentialLocal),
+        3 => (
             PrefetchPolicy::TreeBasedNeighborhood,
-            EvictPolicy::TreeBasedNeighborhood
-        )),
-        Just((PrefetchPolicy::TreeBasedNeighborhood, EvictPolicy::LruLargePage)),
-    ]
+            EvictPolicy::TreeBasedNeighborhood,
+        ),
+        _ => (PrefetchPolicy::TreeBasedNeighborhood, EvictPolicy::LruLargePage),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    /// Driver-level conservation under random fault/access sequences:
-    /// residency never exceeds the budget, trees and page table agree,
-    /// and statistics balance.
-    #[test]
-    fn gmmu_conserves_under_random_traffic(
-        (prefetch, evict) in policy_pairs(),
-        capacity_blocks in 4u64..24,
-        accesses in prop::collection::vec((0u64..512, any::<bool>()), 1..150),
-        seed in any::<u64>(),
-    ) {
+/// Driver-level conservation under random fault/access sequences:
+/// residency never exceeds the budget, trees and page table agree,
+/// and statistics balance.
+#[test]
+fn gmmu_conserves_under_random_traffic() {
+    let mut rng = SmallRng::seed_from_u64(0xc0e6);
+    for _ in 0..48 {
+        let (prefetch, evict) = pick_policy_pair(&mut rng);
+        let capacity_blocks = rng.gen_range(4u64..24);
+        let num_accesses = rng.gen_range(1usize..150);
+        let seed = rng.next_u64();
         let cfg = UvmConfig::default()
             .with_capacity(Bytes::kib(64) * capacity_blocks)
             .with_prefetch(prefetch)
@@ -218,24 +227,26 @@ proptest! {
         let mut g = Gmmu::new(cfg);
         let base = g.malloc_managed(Bytes::mib(2));
         let mut now = Cycle::ZERO;
-        for (page, write) in accesses {
+        for _ in 0..num_accesses {
+            let page = rng.gen_range(0u64..512);
+            let write = rng.gen_bool(0.5);
             let p = base.page().add(page);
             if !g.is_resident(p) {
                 let res = g.handle_fault(p, now);
                 now = res.fault_page_ready();
                 // Every page in the resolution is now resident.
                 for (rp, _) in &res.ready {
-                    prop_assert!(g.is_resident(*rp));
+                    assert!(g.is_resident(*rp));
                 }
             }
             g.record_access(p, write);
         }
         let stats = g.stats();
-        prop_assert!(g.resident_pages() <= g.capacity_frames());
-        prop_assert_eq!(stats.pages_migrated - stats.pages_evicted, g.resident_pages());
-        prop_assert!(stats.pages_prefetched <= stats.pages_migrated);
-        prop_assert!(stats.far_faults <= stats.pages_migrated);
-        prop_assert!(stats.pages_thrashed <= stats.pages_evicted);
+        assert!(g.resident_pages() <= g.capacity_frames());
+        assert_eq!(stats.pages_migrated - stats.pages_evicted, g.resident_pages());
+        assert!(stats.pages_prefetched <= stats.pages_migrated);
+        assert!(stats.far_faults <= stats.pages_migrated);
+        assert!(stats.pages_thrashed <= stats.pages_evicted);
     }
 }
 

@@ -1,41 +1,47 @@
-//! Property-based tests for the execution engine: arbitrary access
-//! streams run to completion with consistent accounting, regardless of
-//! policies, budgets, and machine shapes.
-
-use proptest::prelude::*;
+//! Randomized-property tests for the execution engine: arbitrary
+//! access streams run to completion with consistent accounting,
+//! regardless of policies, budgets, and machine shapes. Driven by
+//! seeded `SmallRng` case loops.
 
 use uvm_core::{EvictPolicy, Gmmu, PrefetchPolicy, UvmConfig};
 use uvm_gpu::{Access, Engine, GpuConfig, KernelSpec, ThreadBlockSpec};
+use uvm_types::rng::{Rng, SmallRng};
 use uvm_types::{Bytes, Duration, PAGE_SIZE};
 
-fn policies() -> impl Strategy<Value = (PrefetchPolicy, EvictPolicy)> {
-    prop_oneof![
-        Just((PrefetchPolicy::None, EvictPolicy::LruPage)),
-        Just((PrefetchPolicy::SequentialLocal, EvictPolicy::SequentialLocal)),
-        Just((
+const CASES: usize = 24;
+
+fn pick_policies(rng: &mut SmallRng) -> (PrefetchPolicy, EvictPolicy) {
+    match rng.gen_range(0u32..3) {
+        0 => (PrefetchPolicy::None, EvictPolicy::LruPage),
+        1 => (PrefetchPolicy::SequentialLocal, EvictPolicy::SequentialLocal),
+        _ => (
             PrefetchPolicy::TreeBasedNeighborhood,
-            EvictPolicy::TreeBasedNeighborhood
-        )),
-    ]
+            EvictPolicy::TreeBasedNeighborhood,
+        ),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+fn page_list(rng: &mut SmallRng, span: u64, max_len: usize) -> Vec<u64> {
+    let n = rng.gen_range(1usize..max_len);
+    (0..n).map(|_| rng.gen_range(0u64..span)).collect()
+}
 
-    /// Far-faults never exceed total accesses (liveness), every access
-    /// is eventually recorded (trace length), and kernel time grows
-    /// monotonically with the number of kernels.
-    #[test]
-    fn engine_liveness_and_accounting(
-        (prefetch, evict) in policies(),
-        page_lists in prop::collection::vec(
-            prop::collection::vec(0u64..256, 1..40),
-            1..5,
-        ),
-        sms in 1usize..8,
-        blocks_per_sm in 1usize..4,
-        capacity_blocks in 6u64..20,
-    ) {
+/// Far-faults never exceed total accesses (liveness), every access is
+/// eventually recorded (trace length), and time flows forward across
+/// kernels.
+#[test]
+fn engine_liveness_and_accounting() {
+    let mut rng = SmallRng::seed_from_u64(0x69b1);
+    for _ in 0..CASES {
+        let (prefetch, evict) = pick_policies(&mut rng);
+        let num_kernels = rng.gen_range(1usize..5);
+        let page_lists: Vec<Vec<u64>> = (0..num_kernels)
+            .map(|_| page_list(&mut rng, 256, 40))
+            .collect();
+        let sms = rng.gen_range(1usize..8);
+        let blocks_per_sm = rng.gen_range(1usize..4);
+        let capacity_blocks = rng.gen_range(6u64..20);
+
         let cfg = UvmConfig::default()
             .with_capacity(Bytes::kib(64) * capacity_blocks)
             .with_prefetch(prefetch)
@@ -67,7 +73,7 @@ proptest! {
                 k.push_block(ThreadBlockSpec::from_accesses(accesses));
             }
             let r = engine.run_kernel_detailed(k);
-            prop_assert!(r.end >= prev_end, "time flows forward");
+            assert!(r.end >= prev_end, "time flows forward");
             prev_end = r.end;
         }
 
@@ -75,18 +81,20 @@ proptest! {
             let t = engine.take_trace();
             t.len()
         };
-        prop_assert_eq!(trace_len as u64, total_accesses, "every access completes");
+        assert_eq!(trace_len as u64, total_accesses, "every access completes");
         let stats = engine.gmmu().stats();
-        prop_assert!(stats.far_faults <= total_accesses, "liveness bound");
-        prop_assert!(engine.gmmu().resident_pages() <= engine.gmmu().capacity_frames());
+        assert!(stats.far_faults <= total_accesses, "liveness bound");
+        assert!(engine.gmmu().resident_pages() <= engine.gmmu().capacity_frames());
     }
+}
 
-    /// The engine's timing is deterministic for a fixed configuration.
-    #[test]
-    fn engine_is_deterministic(
-        pages in prop::collection::vec(0u64..128, 1..60),
-        (prefetch, evict) in policies(),
-    ) {
+/// The engine's timing is deterministic for a fixed configuration.
+#[test]
+fn engine_is_deterministic() {
+    let mut rng = SmallRng::seed_from_u64(0x69b2);
+    for _ in 0..CASES {
+        let pages = page_list(&mut rng, 128, 60);
+        let (prefetch, evict) = pick_policies(&mut rng);
         let run = || {
             let cfg = UvmConfig::default()
                 .with_capacity(Bytes::kib(256))
@@ -106,18 +114,20 @@ proptest! {
         };
         let (t1, s1) = run();
         let (t2, s2) = run();
-        prop_assert_eq!(t1, t2);
-        prop_assert_eq!(s1, s2);
+        assert_eq!(t1, t2);
+        assert_eq!(s1, s2);
     }
+}
 
-    /// Slower machines are never faster: increasing the compute delay
-    /// never reduces kernel time.
-    #[test]
-    fn compute_delay_is_monotone(
-        pages in prop::collection::vec(0u64..64, 1..40),
-        delay_a in 0u64..200,
-        delay_b in 0u64..200,
-    ) {
+/// Slower machines are never faster: increasing the compute delay
+/// never reduces kernel time.
+#[test]
+fn compute_delay_is_monotone() {
+    let mut rng = SmallRng::seed_from_u64(0x69b3);
+    for _ in 0..CASES {
+        let pages = page_list(&mut rng, 64, 40);
+        let delay_a = rng.gen_range(0u64..200);
+        let delay_b = rng.gen_range(0u64..200);
         let run = |delay: u64| {
             let mut gmmu = Gmmu::new(UvmConfig::default());
             let base = gmmu.malloc_managed(Bytes::kib(512));
@@ -137,6 +147,6 @@ proptest! {
             )
         };
         let (lo, hi) = (delay_a.min(delay_b), delay_a.max(delay_b));
-        prop_assert!(run(lo) <= run(hi));
+        assert!(run(lo) <= run(hi));
     }
 }

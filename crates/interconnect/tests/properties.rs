@@ -1,63 +1,82 @@
-//! Property-based tests for the PCI-e model and channels.
-
-use proptest::prelude::*;
+//! Randomized-property tests for the PCI-e model and channels, driven
+//! by seeded `SmallRng` case loops.
 
 use uvm_interconnect::{PcieChannel, PcieModel};
+use uvm_types::rng::{Rng, SmallRng};
 use uvm_types::{Bytes, Cycle, Duration};
 
-proptest! {
-    /// Bandwidth and latency are monotone in transfer size, and
-    /// bandwidth stays within the calibrated envelope.
-    #[test]
-    fn model_is_monotone(a in 1u64..(4 << 20), b in 1u64..(4 << 20)) {
+const CASES: usize = 256;
+
+/// Bandwidth and latency are monotone in transfer size, and bandwidth
+/// stays within the calibrated envelope.
+#[test]
+fn model_is_monotone() {
+    let mut rng = SmallRng::seed_from_u64(0xbc1);
+    for _ in 0..CASES {
+        let a = rng.gen_range(1u64..(4 << 20));
+        let b = rng.gen_range(1u64..(4 << 20));
         let m = PcieModel::pascal_x16();
         let (lo, hi) = (a.min(b), a.max(b));
-        prop_assert!(m.bandwidth_gbps(Bytes::new(lo)) <= m.bandwidth_gbps(Bytes::new(hi)) + 1e-12);
-        prop_assert!(m.transfer_time(Bytes::new(lo)) <= m.transfer_time(Bytes::new(hi)));
+        assert!(m.bandwidth_gbps(Bytes::new(lo)) <= m.bandwidth_gbps(Bytes::new(hi)) + 1e-12);
+        assert!(m.transfer_time(Bytes::new(lo)) <= m.transfer_time(Bytes::new(hi)));
         let bw = m.bandwidth_gbps(Bytes::new(a));
-        prop_assert!((3.2219..=11.223).contains(&bw), "bw {bw}");
+        assert!((3.2219..=11.223).contains(&bw), "bw {bw}");
     }
+}
 
-    /// Batching never loses: one transfer of `n` pages is at most as
-    /// slow as `n` transfers of one page.
-    #[test]
-    fn batching_never_loses(pages in 1u64..512) {
+/// Batching never loses: one transfer of `n` pages is at most as slow
+/// as `n` transfers of one page.
+#[test]
+fn batching_never_loses() {
+    let mut rng = SmallRng::seed_from_u64(0xbc2);
+    for _ in 0..CASES {
+        let pages = rng.gen_range(1u64..512);
         let m = PcieModel::pascal_x16();
         let one = m.transfer_time(Bytes::kib(4)).cycles();
         let batched = m.transfer_time(Bytes::kib(4 * pages)).cycles();
-        prop_assert!(batched <= pages * one);
+        assert!(batched <= pages * one);
     }
+}
 
-    /// Channels serialize: transfers never overlap, bytes accumulate,
-    /// and the busy time equals the sum of transfer durations.
-    #[test]
-    fn channel_serializes(sizes in prop::collection::vec(1u64..2048, 1..40)) {
+/// Channels serialize: transfers never overlap, bytes accumulate, and
+/// the busy time equals the sum of transfer durations.
+#[test]
+fn channel_serializes() {
+    let mut rng = SmallRng::seed_from_u64(0xbc3);
+    for _ in 0..CASES {
         let mut ch = PcieChannel::new(PcieModel::pascal_x16());
         let mut prev_finish = Cycle::ZERO;
         let mut total = Bytes::ZERO;
         let mut busy = Duration::ZERO;
-        for kb in sizes {
+        let n = rng.gen_range(1usize..40);
+        for _ in 0..n {
+            let kb = rng.gen_range(1u64..2048);
             let t = ch.schedule(Cycle::ZERO, Bytes::kib(kb));
-            prop_assert!(t.start >= prev_finish, "no overlap");
-            prop_assert!(t.finish > t.start);
+            assert!(t.start >= prev_finish, "no overlap");
+            assert!(t.finish > t.start);
             prev_finish = t.finish;
             total += Bytes::kib(kb);
             busy += t.duration();
         }
-        prop_assert_eq!(ch.stats().bytes, total);
-        prop_assert_eq!(ch.stats().busy, busy);
-        prop_assert_eq!(ch.next_free(), prev_finish);
+        assert_eq!(ch.stats().bytes, total);
+        assert_eq!(ch.stats().busy, busy);
+        assert_eq!(ch.next_free(), prev_finish);
     }
+}
 
-    /// The average achieved bandwidth of any transfer mix lies between
-    /// the smallest and largest per-size bandwidths in the mix.
-    #[test]
-    fn average_bandwidth_is_bounded_by_the_mix(sizes in prop::collection::vec(1u64..2048, 1..40)) {
+/// The average achieved bandwidth of any transfer mix lies between the
+/// smallest and largest per-size bandwidths in the mix.
+#[test]
+fn average_bandwidth_is_bounded_by_the_mix() {
+    let mut rng = SmallRng::seed_from_u64(0xbc4);
+    for _ in 0..CASES {
         let m = PcieModel::pascal_x16();
         let mut ch = PcieChannel::new(m.clone());
         let mut min_bw = f64::INFINITY;
         let mut max_bw = 0.0f64;
-        for &kb in &sizes {
+        let n = rng.gen_range(1usize..40);
+        for _ in 0..n {
+            let kb = rng.gen_range(1u64..2048);
             ch.schedule(Cycle::ZERO, Bytes::kib(kb));
             let bw = m.bandwidth_gbps(Bytes::kib(kb));
             min_bw = min_bw.min(bw);
@@ -66,18 +85,23 @@ proptest! {
         // Transfer times are rounded to whole core cycles, so allow a
         // small relative tolerance for tiny transfers.
         let avg = ch.stats().average_bandwidth_gbps();
-        prop_assert!(avg >= min_bw * 0.99, "avg {avg} < min {min_bw}");
-        prop_assert!(avg <= max_bw * 1.01, "avg {avg} > max {max_bw}");
+        assert!(avg >= min_bw * 0.99, "avg {avg} < min {min_bw}");
+        assert!(avg <= max_bw * 1.01, "avg {avg} > max {max_bw}");
     }
+}
 
-    /// A later request never starts before its issue time, and an idle
-    /// channel starts it immediately.
-    #[test]
-    fn idle_channel_starts_immediately(gap in 0u64..(1 << 30), kb in 1u64..1024) {
+/// A later request never starts before its issue time, and an idle
+/// channel starts it immediately.
+#[test]
+fn idle_channel_starts_immediately() {
+    let mut rng = SmallRng::seed_from_u64(0xbc5);
+    for _ in 0..CASES {
+        let gap = rng.gen_range(0u64..(1 << 30));
+        let kb = rng.gen_range(1u64..1024);
         let mut ch = PcieChannel::new(PcieModel::pascal_x16());
         let first = ch.schedule(Cycle::ZERO, Bytes::kib(4));
         let at = first.finish + Duration::from_cycles(gap);
         let second = ch.schedule(at, Bytes::kib(kb));
-        prop_assert_eq!(second.start, at);
+        assert_eq!(second.start, at);
     }
 }

@@ -1,22 +1,27 @@
-//! Property-based tests for the page table, TLB, MSHRs, and frame
-//! allocator.
+//! Randomized-property tests for the page table, TLB, MSHRs, and
+//! frame allocator, driven by seeded `SmallRng` case loops.
 
-use proptest::prelude::*;
 use std::collections::HashSet;
 
 use uvm_mem::{FrameAllocator, Mshr, PageTable, RegisterOutcome, Tlb, TlbLookup};
+use uvm_types::rng::{Rng, SmallRng};
 use uvm_types::PageId;
 
-proptest! {
-    /// The page table's valid count always equals the number of
-    /// distinct valid pages after an arbitrary operation sequence.
-    #[test]
-    fn page_table_count_is_exact(ops in prop::collection::vec((0u64..64, any::<bool>()), 0..200)) {
+const CASES: usize = 128;
+
+/// The page table's valid count always equals the number of distinct
+/// valid pages after an arbitrary operation sequence.
+#[test]
+fn page_table_count_is_exact() {
+    let mut rng = SmallRng::seed_from_u64(0x3e31);
+    for _ in 0..CASES {
         let mut pt = PageTable::new();
         let mut model: HashSet<u64> = HashSet::new();
-        for (page, validate) in ops {
+        let n = rng.gen_range(0usize..200);
+        for _ in 0..n {
+            let page = rng.gen_range(0u64..64);
             let p = PageId::new(page);
-            if validate {
+            if rng.gen_bool(0.5) {
                 pt.validate(p);
                 model.insert(page);
             } else {
@@ -24,87 +29,111 @@ proptest! {
                 model.remove(&page);
             }
         }
-        prop_assert_eq!(pt.valid_pages(), model.len() as u64);
+        assert_eq!(pt.valid_pages(), model.len() as u64);
         let mut listed: Vec<u64> = pt.iter_valid().map(|p| p.index()).collect();
         listed.sort_unstable();
         let mut expect: Vec<u64> = model.into_iter().collect();
         expect.sort_unstable();
-        prop_assert_eq!(listed, expect);
+        assert_eq!(listed, expect);
     }
+}
 
-    /// TLB capacity is never exceeded and a fill is always observable
-    /// until `capacity` distinct other pages are filled.
-    #[test]
-    fn tlb_respects_capacity(cap in 1usize..32, fills in prop::collection::vec(0u64..64, 0..200)) {
+/// TLB capacity is never exceeded and a fill is always observable
+/// until `capacity` distinct other pages are filled.
+#[test]
+fn tlb_respects_capacity() {
+    let mut rng = SmallRng::seed_from_u64(0x3e32);
+    for _ in 0..CASES {
+        let cap = rng.gen_range(1usize..32);
         let mut tlb = Tlb::new(cap);
-        for f in &fills {
-            tlb.fill(PageId::new(*f));
-            prop_assert!(tlb.len() <= cap);
+        let n = rng.gen_range(0usize..200);
+        let mut last = None;
+        for _ in 0..n {
+            let f = rng.gen_range(0u64..64);
+            tlb.fill(PageId::new(f));
+            last = Some(f);
+            assert!(tlb.len() <= cap);
         }
         // The most recently filled page always hits.
-        if let Some(&last) = fills.last() {
-            prop_assert_eq!(tlb.lookup(PageId::new(last)), TlbLookup::Hit);
+        if let Some(last) = last {
+            assert_eq!(tlb.lookup(PageId::new(last)), TlbLookup::Hit);
         }
     }
+}
 
-    /// TLB hit/miss counters account for every lookup.
-    #[test]
-    fn tlb_counters_account_for_all_lookups(lookups in prop::collection::vec(0u64..16, 1..100)) {
+/// TLB hit/miss counters account for every lookup.
+#[test]
+fn tlb_counters_account_for_all_lookups() {
+    let mut rng = SmallRng::seed_from_u64(0x3e33);
+    for _ in 0..CASES {
         let mut tlb = Tlb::new(4);
-        for &p in &lookups {
+        let n = rng.gen_range(1usize..100);
+        for _ in 0..n {
+            let p = rng.gen_range(0u64..16);
             if tlb.lookup(PageId::new(p)) == TlbLookup::Miss {
                 tlb.fill(PageId::new(p));
             }
         }
         let (hits, misses) = tlb.hit_miss();
-        prop_assert_eq!(hits + misses, lookups.len() as u64);
+        assert_eq!(hits + misses, n as u64);
     }
+}
 
-    /// MSHR merge semantics: every waiter is returned exactly once, on
-    /// the completion of the page it registered for.
-    #[test]
-    fn mshr_returns_every_waiter_once(regs in prop::collection::vec((0u64..16, 0u32..1000), 0..100)) {
+/// MSHR merge semantics: every waiter is returned exactly once, on the
+/// completion of the page it registered for.
+#[test]
+fn mshr_returns_every_waiter_once() {
+    let mut rng = SmallRng::seed_from_u64(0x3e34);
+    for _ in 0..CASES {
         let mut mshr: Mshr<u32> = Mshr::new();
         let mut expected: std::collections::HashMap<u64, Vec<u32>> = Default::default();
-        for (page, waiter) in regs {
+        let n = rng.gen_range(0usize..100);
+        for _ in 0..n {
+            let page = rng.gen_range(0u64..16);
+            let waiter = rng.gen_range(0u32..1000);
             let outcome = mshr.register(PageId::new(page), waiter);
             let entry = expected.entry(page).or_default();
             if entry.is_empty() {
-                prop_assert_eq!(outcome, RegisterOutcome::NewFault);
+                assert_eq!(outcome, RegisterOutcome::NewFault);
             } else {
-                prop_assert_eq!(outcome, RegisterOutcome::Merged);
+                assert_eq!(outcome, RegisterOutcome::Merged);
             }
             entry.push(waiter);
         }
         let (total, merged) = mshr.fault_counts();
-        prop_assert_eq!(total - merged, expected.len() as u64);
+        assert_eq!(total - merged, expected.len() as u64);
         for (page, waiters) in expected {
-            prop_assert_eq!(mshr.complete(PageId::new(page)), waiters);
+            assert_eq!(mshr.complete(PageId::new(page)), waiters);
         }
-        prop_assert!(mshr.is_empty());
+        assert!(mshr.is_empty());
     }
+}
 
-    /// Frame conservation: used + free == capacity at every step, and
-    /// no frame is handed out twice while allocated.
-    #[test]
-    fn frames_conserve(capacity in 1u64..64, ops in prop::collection::vec(any::<bool>(), 0..200)) {
+/// Frame conservation: used + free == capacity at every step, and no
+/// frame is handed out twice while allocated.
+#[test]
+fn frames_conserve() {
+    let mut rng = SmallRng::seed_from_u64(0x3e35);
+    for _ in 0..CASES {
+        let capacity = rng.gen_range(1u64..64);
         let mut fa = FrameAllocator::with_frames(capacity);
         let mut held = Vec::new();
         let mut outstanding = HashSet::new();
-        for alloc in ops {
-            if alloc {
+        let n = rng.gen_range(0usize..200);
+        for _ in 0..n {
+            if rng.gen_bool(0.5) {
                 if let Some(f) = fa.allocate() {
-                    prop_assert!(outstanding.insert(f), "double allocation of {f:?}");
+                    assert!(outstanding.insert(f), "double allocation of {f:?}");
                     held.push(f);
                 } else {
-                    prop_assert!(fa.is_full());
+                    assert!(fa.is_full());
                 }
             } else if let Some(f) = held.pop() {
                 outstanding.remove(&f);
                 fa.free(f);
             }
-            prop_assert_eq!(fa.used_frames() + fa.free_frames(), capacity);
-            prop_assert_eq!(fa.used_frames(), held.len() as u64);
+            assert_eq!(fa.used_frames() + fa.free_frames(), capacity);
+            assert_eq!(fa.used_frames(), held.len() as u64);
         }
     }
 }

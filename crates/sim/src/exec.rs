@@ -1,0 +1,711 @@
+//! Run-plan execution: deduplicating, memoizing, parallel driver for
+//! experiment sweeps.
+//!
+//! Every figure of the paper is a sweep of independent simulations,
+//! and each simulation is a pure function of `(workload, RunOptions)`
+//! — embarrassingly parallel and perfectly cacheable. This module
+//! exploits both properties:
+//!
+//! * [`RunKey`] — a canonical, process-stable 128-bit hash of the
+//!   workload identity plus every [`RunOptions`] field;
+//! * [`Plan`] — collects the runs an experiment set needs *before*
+//!   executing anything, so identical configurations shared by
+//!   several figures (Figs. 3/4/5 share one prefetcher sweep) are
+//!   simulated once;
+//! * [`Executor`] — executes the unique runs of a plan across a
+//!   `std::thread::scope` worker pool, memoizes every [`RunResult`]
+//!   in-process, and optionally spills results as JSON under a cache
+//!   directory (`results/cache/`) so `all_experiments` can resume.
+//!
+//! Results are returned in submission order, so a plan's output is
+//! byte-identical no matter how many workers execute it.
+//!
+//! # Examples
+//!
+//! ```
+//! use uvm_sim::{Executor, RunOptions};
+//! use uvm_workloads::LinearSweep;
+//!
+//! let sweep = LinearSweep { pages: 64, repeats: 1, thread_blocks: 2 };
+//! let exec = Executor::new(2);
+//! let mut plan = exec.plan();
+//! plan.submit(&sweep, RunOptions::default());
+//! plan.submit(&sweep, RunOptions::default()); // duplicate: simulated once
+//! let results = plan.execute();
+//! assert_eq!(results.len(), 2);
+//! assert_eq!(exec.runs_executed(), 1);
+//! ```
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use uvm_types::hash::StableHasher;
+use uvm_types::{Bytes, Duration};
+use uvm_workloads::Workload;
+
+use crate::run::{run_workload, RunOptions, RunResult};
+
+/// Spill-format version; bump when [`RunResult`] fields change so
+/// stale cache entries are ignored rather than misread.
+const SPILL_VERSION: u64 = 1;
+
+/// A canonical, process-stable identity of one simulation run.
+///
+/// Two runs get the same key exactly when they simulate the same
+/// workload (same [`Workload::signature`]) under the same
+/// [`RunOptions`]; any field change produces a different key. The key
+/// also names the on-disk spill entry, so it must not depend on the
+/// process's hash seeds — it is built on the FNV-based
+/// [`StableHasher`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RunKey(u128);
+
+impl RunKey {
+    /// Computes the key of `(workload, opts)`.
+    pub fn new(workload: &dyn Workload, opts: &RunOptions) -> Self {
+        let mut h = StableHasher::new();
+        h.write_str("uvm-runkey-v1");
+        h.write_str(workload.name());
+        h.write_str(&workload.signature());
+        h.write_str(&format!("{:?}", opts.prefetch));
+        h.write_str(&format!("{:?}", opts.evict));
+        h.write_opt_f64(opts.memory_frac);
+        h.write_bool(opts.disable_prefetch_on_oversubscription);
+        h.write_f64(opts.free_buffer_frac);
+        h.write_f64(opts.reserve_frac);
+        // GpuConfig is plain data; its Debug rendering covers every
+        // field, including the optional radix-walk model.
+        h.write_str(&format!("{:?}", opts.gpu));
+        h.write_bool(opts.trace);
+        match opts.fault_lanes {
+            None => h.write_bool(false),
+            Some(lanes) => {
+                h.write_bool(true);
+                h.write_u64(lanes as u64);
+            }
+        }
+        h.write_bool(opts.writeback_dirty_only);
+        h.write_u64(opts.rng_seed);
+        RunKey(h.finish())
+    }
+
+    /// The key as a fixed-width hex string (the spill file stem).
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+struct Submission<'w> {
+    key: RunKey,
+    workload: &'w dyn Workload,
+    opts: RunOptions,
+}
+
+/// A batch of runs collected before execution.
+///
+/// Built by [`Executor::plan`]; submissions are deduplicated by
+/// [`RunKey`] at execution time.
+pub struct Plan<'e, 'w> {
+    exec: &'e Executor,
+    subs: Vec<Submission<'w>>,
+}
+
+impl<'e, 'w> Plan<'e, 'w> {
+    /// Adds one run to the plan and returns its index in the result
+    /// vector [`execute`](Self::execute) will produce.
+    pub fn submit(&mut self, workload: &'w dyn Workload, opts: RunOptions) -> usize {
+        self.subs.push(Submission {
+            key: RunKey::new(workload, &opts),
+            workload,
+            opts,
+        });
+        self.subs.len() - 1
+    }
+
+    /// Number of submitted runs (duplicates included).
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// `true` if nothing has been submitted.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// Number of *unique* run keys currently in the plan.
+    pub fn unique_runs(&self) -> usize {
+        let mut keys: Vec<RunKey> = self.subs.iter().map(|s| s.key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.len()
+    }
+
+    /// Executes the plan and returns one result per submission, in
+    /// submission order. Duplicate keys are simulated once; results
+    /// already memoized (or spilled to disk) by the executor are not
+    /// simulated at all.
+    pub fn execute(self) -> Vec<Arc<RunResult>> {
+        self.exec.execute(self.subs)
+    }
+}
+
+/// The deduplicating, memoizing run executor.
+///
+/// One executor is meant to live for a whole experiment session (all
+/// figures of one binary invocation): its in-process cache is what
+/// lets later figures reuse the sweeps of earlier ones.
+pub struct Executor {
+    jobs: usize,
+    spill_dir: Option<PathBuf>,
+    cache: Mutex<HashMap<RunKey, Arc<RunResult>>>,
+    executed: AtomicUsize,
+    hits: AtomicUsize,
+}
+
+impl Executor {
+    /// An executor running up to `jobs` simulations concurrently.
+    /// `jobs == 0` selects the machine's available parallelism.
+    pub fn new(jobs: usize) -> Self {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            jobs
+        };
+        Executor {
+            jobs,
+            spill_dir: None,
+            cache: Mutex::new(HashMap::new()),
+            executed: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+        }
+    }
+
+    /// Enables the JSON spill cache under `dir` (typically
+    /// `results/cache/`). Completed non-trace runs are written as
+    /// `<runkey-hex>.json`; later executions (same or future process)
+    /// load them instead of re-simulating. Delete the directory to
+    /// clear the cache.
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// The worker-pool width.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Simulations actually executed (cache misses) so far.
+    pub fn runs_executed(&self) -> usize {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Submissions satisfied from the in-process or spill cache.
+    pub fn cache_hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Starts an empty plan against this executor.
+    pub fn plan(&self) -> Plan<'_, '_> {
+        Plan {
+            exec: self,
+            subs: Vec::new(),
+        }
+    }
+
+    /// Convenience: a single run through the cache machinery.
+    pub fn run_one(&self, workload: &dyn Workload, opts: RunOptions) -> Arc<RunResult> {
+        let mut plan = self.plan();
+        plan.submit(workload, opts);
+        plan.execute().pop().expect("one submission, one result")
+    }
+
+    fn execute(&self, subs: Vec<Submission<'_>>) -> Vec<Arc<RunResult>> {
+        // Resolve each submission against the caches; collect the
+        // unique keys that still need simulating, in first-seen order.
+        let mut todo: Vec<&Submission<'_>> = Vec::new();
+        {
+            let mut cache = self.cache.lock().expect("executor cache poisoned");
+            let mut claimed: Vec<RunKey> = Vec::new();
+            for sub in &subs {
+                if cache.contains_key(&sub.key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                if let Some(spilled) = self.load_spill(sub.key) {
+                    cache.insert(sub.key, Arc::new(spilled));
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                if claimed.contains(&sub.key) {
+                    // Duplicate within this plan: simulated once.
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                claimed.push(sub.key);
+                todo.push(sub);
+            }
+        }
+
+        if !todo.is_empty() {
+            let results: Vec<Mutex<Option<RunResult>>> =
+                todo.iter().map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            let workers = self.jobs.min(todo.len()).max(1);
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(sub) = todo.get(i) else { break };
+                        let result = run_workload(sub.workload, sub.opts.clone());
+                        *results[i].lock().expect("result slot poisoned") = Some(result);
+                        self.executed.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            let mut cache = self.cache.lock().expect("executor cache poisoned");
+            for (sub, slot) in todo.iter().zip(results) {
+                let result = slot
+                    .into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker pool drained every slot");
+                self.store_spill(sub.key, &sub.opts, &result);
+                cache.insert(sub.key, Arc::new(result));
+            }
+        }
+
+        let cache = self.cache.lock().expect("executor cache poisoned");
+        subs.iter()
+            .map(|sub| Arc::clone(&cache[&sub.key]))
+            .collect()
+    }
+
+    fn spill_path(&self, key: RunKey) -> Option<PathBuf> {
+        self.spill_dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.json", key.to_hex())))
+    }
+
+    fn load_spill(&self, key: RunKey) -> Option<RunResult> {
+        let text = fs::read_to_string(self.spill_path(key)?).ok()?;
+        spill::decode(&text)
+    }
+
+    fn store_spill(&self, key: RunKey, opts: &RunOptions, result: &RunResult) {
+        // Traces are huge and figure-local; trace runs are memoized
+        // in-process only.
+        if opts.trace {
+            return;
+        }
+        let Some(path) = self.spill_path(key) else {
+            return;
+        };
+        if let Some(dir) = path.parent() {
+            if fs::create_dir_all(dir).is_err() {
+                return;
+            }
+        }
+        // Best-effort: a failed spill only costs a future re-run.
+        let _ = fs::write(path, spill::encode(result));
+    }
+}
+
+/// Hand-rolled JSON encode/decode for [`RunResult`] spill entries.
+///
+/// The workspace builds offline (no serde); the format is a flat JSON
+/// object with `f64` fields stored as exact IEEE-754 bit patterns so
+/// round-trips are lossless.
+mod spill {
+    use super::*;
+
+    pub(super) fn encode(r: &RunResult) -> String {
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        push_field(&mut s, "v", SPILL_VERSION);
+        s.push_str(",\"name\":\"");
+        escape_into(&mut s, &r.name);
+        s.push('"');
+        push_field(&mut s, ",total_time", r.total_time.cycles());
+        s.push_str(",\"kernel_times\":[");
+        for (i, t) in r.kernel_times.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&t.cycles().to_string());
+        }
+        s.push(']');
+        push_field(&mut s, ",footprint", r.footprint.bytes());
+        match r.capacity {
+            None => s.push_str(",\"capacity\":null"),
+            Some(c) => push_field(&mut s, ",capacity", c.bytes()),
+        }
+        push_field(&mut s, ",far_faults", r.far_faults);
+        push_field(&mut s, ",pages_migrated", r.pages_migrated);
+        push_field(&mut s, ",pages_prefetched", r.pages_prefetched);
+        push_field(&mut s, ",pages_evicted", r.pages_evicted);
+        push_field(&mut s, ",pages_thrashed", r.pages_thrashed);
+        push_field(&mut s, ",prefetched_used", r.prefetched_used);
+        push_field(&mut s, ",prefetched_wasted", r.prefetched_wasted);
+        push_field(&mut s, ",clean_pages_written_back", r.clean_pages_written_back);
+        push_field(&mut s, ",read_bandwidth_bits", r.read_bandwidth_gbps.to_bits());
+        push_field(&mut s, ",write_bandwidth_bits", r.write_bandwidth_gbps.to_bits());
+        push_field(&mut s, ",read_transfers_4k", r.read_transfers_4k);
+        push_field(&mut s, ",read_transfers", r.read_transfers);
+        push_field(&mut s, ",read_bytes", r.read_bytes.bytes());
+        push_field(&mut s, ",write_bytes", r.write_bytes.bytes());
+        s.push('}');
+        s
+    }
+
+    fn push_field(s: &mut String, key_with_comma: &str, v: u64) {
+        let (comma, key) = match key_with_comma.strip_prefix(',') {
+            Some(rest) => (",", rest),
+            None => ("", key_with_comma),
+        };
+        s.push_str(comma);
+        s.push('"');
+        s.push_str(key);
+        s.push_str("\":");
+        s.push_str(&v.to_string());
+    }
+
+    fn escape_into(s: &mut String, raw: &str) {
+        for c in raw.chars() {
+            match c {
+                '"' => s.push_str("\\\""),
+                '\\' => s.push_str("\\\\"),
+                c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+                c => s.push(c),
+            }
+        }
+    }
+
+    pub(super) fn decode(text: &str) -> Option<RunResult> {
+        let mut p = Parser { b: text.as_bytes(), i: 0 };
+        let fields = p.object()?;
+        let u = |k: &str| -> Option<u64> {
+            fields.iter().find(|(n, _)| n == k).and_then(|(_, v)| match v {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            })
+        };
+        if u("v")? != SPILL_VERSION {
+            return None;
+        }
+        let name = fields.iter().find_map(|(n, v)| match (n.as_str(), v) {
+            ("name", Value::Str(s)) => Some(s.clone()),
+            _ => None,
+        })?;
+        let kernel_times = fields.iter().find_map(|(n, v)| match (n.as_str(), v) {
+            ("kernel_times", Value::Arr(items)) => items
+                .iter()
+                .map(|v| match v {
+                    Value::Num(n) => Some(Duration::from_cycles(*n)),
+                    _ => None,
+                })
+                .collect::<Option<Vec<_>>>(),
+            _ => None,
+        })?;
+        let capacity = fields.iter().find_map(|(n, v)| match (n.as_str(), v) {
+            ("capacity", Value::Null) => Some(None),
+            ("capacity", Value::Num(c)) => Some(Some(Bytes::new(*c))),
+            _ => None,
+        })?;
+        Some(RunResult {
+            name,
+            total_time: Duration::from_cycles(u("total_time")?),
+            kernel_times,
+            footprint: Bytes::new(u("footprint")?),
+            capacity,
+            far_faults: u("far_faults")?,
+            pages_migrated: u("pages_migrated")?,
+            pages_prefetched: u("pages_prefetched")?,
+            pages_evicted: u("pages_evicted")?,
+            pages_thrashed: u("pages_thrashed")?,
+            prefetched_used: u("prefetched_used")?,
+            prefetched_wasted: u("prefetched_wasted")?,
+            clean_pages_written_back: u("clean_pages_written_back")?,
+            read_bandwidth_gbps: f64::from_bits(u("read_bandwidth_bits")?),
+            write_bandwidth_gbps: f64::from_bits(u("write_bandwidth_bits")?),
+            read_transfers_4k: u("read_transfers_4k")?,
+            read_transfers: u("read_transfers")?,
+            read_bytes: Bytes::new(u("read_bytes")?),
+            write_bytes: Bytes::new(u("write_bytes")?),
+            traces: Vec::new(),
+        })
+    }
+
+    enum Value {
+        Num(u64),
+        Str(String),
+        Null,
+        Arr(Vec<Value>),
+    }
+
+    /// Minimal parser for the subset of JSON `encode` emits: one flat
+    /// object of unsigned integers, strings, `null`, and integer
+    /// arrays.
+    struct Parser<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+
+    impl Parser<'_> {
+        fn ws(&mut self) {
+            while self.b.get(self.i).is_some_and(u8::is_ascii_whitespace) {
+                self.i += 1;
+            }
+        }
+
+        fn eat(&mut self, c: u8) -> Option<()> {
+            self.ws();
+            if self.b.get(self.i) == Some(&c) {
+                self.i += 1;
+                Some(())
+            } else {
+                None
+            }
+        }
+
+        fn object(&mut self) -> Option<Vec<(String, Value)>> {
+            self.eat(b'{')?;
+            let mut fields = Vec::new();
+            self.ws();
+            if self.b.get(self.i) == Some(&b'}') {
+                self.i += 1;
+                return Some(fields);
+            }
+            loop {
+                let key = self.string()?;
+                self.eat(b':')?;
+                let value = self.value()?;
+                fields.push((key, value));
+                self.ws();
+                match self.b.get(self.i) {
+                    Some(b',') => self.i += 1,
+                    Some(b'}') => {
+                        self.i += 1;
+                        return Some(fields);
+                    }
+                    _ => return None,
+                }
+            }
+        }
+
+        fn value(&mut self) -> Option<Value> {
+            self.ws();
+            match self.b.get(self.i)? {
+                b'"' => Some(Value::Str(self.string()?)),
+                b'n' => {
+                    if self.b[self.i..].starts_with(b"null") {
+                        self.i += 4;
+                        Some(Value::Null)
+                    } else {
+                        None
+                    }
+                }
+                b'[' => {
+                    self.i += 1;
+                    let mut items = Vec::new();
+                    self.ws();
+                    if self.b.get(self.i) == Some(&b']') {
+                        self.i += 1;
+                        return Some(Value::Arr(items));
+                    }
+                    loop {
+                        items.push(self.value()?);
+                        self.ws();
+                        match self.b.get(self.i) {
+                            Some(b',') => self.i += 1,
+                            Some(b']') => {
+                                self.i += 1;
+                                return Some(Value::Arr(items));
+                            }
+                            _ => return None,
+                        }
+                    }
+                }
+                c if c.is_ascii_digit() => {
+                    let start = self.i;
+                    while self.b.get(self.i).is_some_and(u8::is_ascii_digit) {
+                        self.i += 1;
+                    }
+                    std::str::from_utf8(&self.b[start..self.i])
+                        .ok()?
+                        .parse()
+                        .ok()
+                        .map(Value::Num)
+                }
+                _ => None,
+            }
+        }
+
+        fn string(&mut self) -> Option<String> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.b.get(self.i)? {
+                    b'"' => {
+                        self.i += 1;
+                        return Some(out);
+                    }
+                    b'\\' => {
+                        self.i += 1;
+                        match self.b.get(self.i)? {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'u' => {
+                                let hex = self.b.get(self.i + 1..self.i + 5)?;
+                                let code =
+                                    u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16)
+                                        .ok()?;
+                                out.push(char::from_u32(code)?);
+                                self.i += 4;
+                            }
+                            _ => return None,
+                        }
+                        self.i += 1;
+                    }
+                    _ => {
+                        // Copy the full UTF-8 sequence starting here.
+                        let rest = std::str::from_utf8(&self.b[self.i..]).ok()?;
+                        let c = rest.chars().next()?;
+                        out.push(c);
+                        self.i += c.len_utf8();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvm_core::{EvictPolicy, PrefetchPolicy};
+    use uvm_workloads::LinearSweep;
+
+    fn sweep() -> LinearSweep {
+        LinearSweep {
+            pages: 64,
+            repeats: 1,
+            thread_blocks: 2,
+        }
+    }
+
+    #[test]
+    fn duplicate_submissions_simulate_once() {
+        let exec = Executor::new(2);
+        let w = sweep();
+        let mut plan = exec.plan();
+        for _ in 0..5 {
+            plan.submit(&w, RunOptions::default());
+        }
+        assert_eq!(plan.unique_runs(), 1);
+        let results = plan.execute();
+        assert_eq!(results.len(), 5);
+        assert_eq!(exec.runs_executed(), 1);
+        assert_eq!(exec.cache_hits(), 4);
+        // A second plan reuses the memoized result.
+        exec.run_one(&w, RunOptions::default());
+        assert_eq!(exec.runs_executed(), 1);
+        assert_eq!(exec.cache_hits(), 5);
+    }
+
+    #[test]
+    fn results_keep_submission_order() {
+        let exec = Executor::new(4);
+        let w = sweep();
+        let mut plan = exec.plan();
+        plan.submit(&w, RunOptions::default().with_prefetch(PrefetchPolicy::None));
+        plan.submit(&w, RunOptions::default());
+        let results = plan.execute();
+        assert!(results[0].far_faults > results[1].far_faults);
+    }
+
+    #[test]
+    fn spill_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!(
+            "uvm-exec-spill-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let w = sweep();
+        let opts = RunOptions::default().with_evict(EvictPolicy::SequentialLocal);
+
+        let first = Executor::new(1).with_spill_dir(&dir);
+        let a = first.run_one(&w, opts.clone());
+        assert_eq!(first.runs_executed(), 1);
+
+        // A fresh executor (fresh process stand-in) loads from disk.
+        let second = Executor::new(1).with_spill_dir(&dir);
+        let b = second.run_one(&w, opts);
+        assert_eq!(second.runs_executed(), 0);
+        assert_eq!(second.cache_hits(), 1);
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.far_faults, b.far_faults);
+        assert_eq!(a.read_bandwidth_gbps.to_bits(), b.read_bandwidth_gbps.to_bits());
+        assert_eq!(a.kernel_times, b.kernel_times);
+        assert_eq!(a.capacity, b.capacity);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_runs_are_not_spilled() {
+        let dir = std::env::temp_dir().join(format!(
+            "uvm-exec-trace-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let w = sweep();
+        let opts = RunOptions::default().with_trace(true);
+        let exec = Executor::new(1).with_spill_dir(&dir);
+        let r = exec.run_one(&w, opts.clone());
+        assert!(!r.traces.is_empty());
+        let key = RunKey::new(&w, &opts);
+        assert!(!dir.join(format!("{}.json", key.to_hex())).exists());
+        // In-process memoization still applies (traces intact).
+        let again = exec.run_one(&w, opts);
+        assert_eq!(exec.runs_executed(), 1);
+        assert!(!again.traces.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_decode_rejects_garbage_and_version_skew() {
+        assert!(spill::decode("not json").is_none());
+        assert!(spill::decode("{}").is_none());
+        let good = spill::encode(&RunResult {
+            name: "x\"y\\z".into(),
+            total_time: Duration::from_cycles(10),
+            kernel_times: vec![Duration::from_cycles(10)],
+            footprint: Bytes::mib(1),
+            capacity: None,
+            far_faults: 1,
+            pages_migrated: 2,
+            pages_prefetched: 1,
+            pages_evicted: 0,
+            pages_thrashed: 0,
+            prefetched_used: 1,
+            prefetched_wasted: 0,
+            clean_pages_written_back: 0,
+            read_bandwidth_gbps: 3.25,
+            write_bandwidth_gbps: 0.0,
+            read_transfers_4k: 1,
+            read_transfers: 2,
+            read_bytes: Bytes::kib(8),
+            write_bytes: Bytes::ZERO,
+            traces: Vec::new(),
+        });
+        let parsed = spill::decode(&good).expect("round trip");
+        assert_eq!(parsed.name, "x\"y\\z");
+        assert_eq!(parsed.read_bandwidth_gbps, 3.25);
+        let skewed = good.replace("\"v\":1", "\"v\":999");
+        assert!(spill::decode(&skewed).is_none());
+    }
+}

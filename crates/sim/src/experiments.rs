@@ -2,9 +2,17 @@
 //!
 //! Every function returns [`Table`]s whose rows/series mirror what the
 //! paper plots; the `uvm-bench` crate wraps them as binaries (printing
-//! text + CSV) and Criterion benches. Each runner accepts a [`Scale`]:
+//! text + CSV) and benches. Each runner accepts a [`Scale`]:
 //! [`Scale::Paper`] uses the paper-scale workloads (4–38.5 MB
 //! footprints), [`Scale::Smoke`] uses shrunken versions for fast CI.
+//!
+//! Runners do not simulate directly: they submit their full sweep to
+//! an [`Executor`] plan and assemble tables from the returned results.
+//! The executor dedupes identical `(workload, options)` runs across
+//! figures (Figs. 3/4/5 literally share one sweep; a session running
+//! all figures shares many more), executes unique runs on a worker
+//! pool, and memoizes results — so `all_experiments` costs far fewer
+//! simulations than the per-figure run counts suggest.
 
 use uvm_core::{AllocTree, EvictPolicy, PrefetchPolicy};
 use uvm_types::{BasicBlockId, Bytes, TreeExtent};
@@ -12,7 +20,8 @@ use uvm_workloads::{
     standard_suite, Backprop, Bfs, Gaussian, Hotspot, NeedlemanWunsch, Pathfinder, Srad, Workload,
 };
 
-use crate::run::{run_workload, RunOptions};
+use crate::exec::Executor;
+use crate::run::RunOptions;
 use crate::table::Table;
 
 /// Experiment size.
@@ -128,8 +137,19 @@ pub struct PrefetcherSweep {
 }
 
 /// Runs every benchmark under each prefetcher with no memory budget
-/// (Sec. 4.1's setup) and reports Figs. 3-5.
-pub fn prefetcher_sweep(scale: Scale) -> PrefetcherSweep {
+/// (Sec. 4.1's setup) and reports Figs. 3-5. The three figures are
+/// different projections of the *same* runs, so the executor simulates
+/// each benchmark × prefetcher cell exactly once.
+pub fn prefetcher_sweep(exec: &Executor, scale: Scale) -> PrefetcherSweep {
+    let suite = suite(scale);
+    let mut plan = exec.plan();
+    for w in &suite {
+        for p in PrefetchPolicy::ALL {
+            plan.submit(w.as_ref(), RunOptions::default().with_prefetch(p));
+        }
+    }
+    let mut results = plan.execute().into_iter();
+
     let headers = ["benchmark", "none", "Rp", "SLp", "TBNp"];
     let mut time = Table::new(
         "Fig 3: kernel execution time (ms), no over-subscription",
@@ -137,12 +157,12 @@ pub fn prefetcher_sweep(scale: Scale) -> PrefetcherSweep {
     );
     let mut bandwidth = Table::new("Fig 4: average PCI-e read bandwidth (GB/s)", &headers);
     let mut faults = Table::new("Fig 5: total far-faults", &headers);
-    for w in suite(scale) {
+    for w in &suite {
         let mut t_row = vec![w.name().to_string()];
         let mut b_row = vec![w.name().to_string()];
         let mut f_row = vec![w.name().to_string()];
-        for p in PrefetchPolicy::ALL {
-            let r = run_workload(w.as_ref(), RunOptions::default().with_prefetch(p));
+        for _ in PrefetchPolicy::ALL {
+            let r = results.next().expect("plan covers every cell");
             t_row.push(fmt(r.total_ms()));
             b_row.push(fmt(r.read_bandwidth_gbps));
             f_row.push(r.far_faults.to_string());
@@ -174,7 +194,30 @@ pub struct OversubscriptionSweep {
 /// Figs. 6-7: TBNp active until device memory fills, then disabled;
 /// LRU-4KB eviction; over-subscription 105/110/125 % plus 5 %/10 %
 /// free-page buffers at 110 %.
-pub fn oversubscription_sweep(scale: Scale) -> OversubscriptionSweep {
+pub fn oversubscription_sweep(exec: &Executor, scale: Scale) -> OversubscriptionSweep {
+    let settings: [(Option<f64>, f64); 6] = [
+        (None, 0.0),
+        (Some(1.05), 0.0),
+        (Some(1.10), 0.0),
+        (Some(1.25), 0.0),
+        (Some(1.10), 0.05),
+        (Some(1.10), 0.10),
+    ];
+    let suite = suite(scale);
+    let mut plan = exec.plan();
+    for w in &suite {
+        for (frac, buffer) in settings {
+            let mut opts = RunOptions::default()
+                .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
+                .with_evict(EvictPolicy::LruPage)
+                .with_disable_prefetch_on_oversubscription(frac.is_some())
+                .with_free_buffer_frac(buffer);
+            opts.memory_frac = frac;
+            plan.submit(w.as_ref(), opts);
+        }
+    }
+    let mut results = plan.execute().into_iter();
+
     let headers = [
         "benchmark",
         "100%",
@@ -189,26 +232,11 @@ pub fn oversubscription_sweep(scale: Scale) -> OversubscriptionSweep {
         &headers,
     );
     let mut transfers = Table::new("Fig 7: number of 4KB page transfers", &headers);
-
-    let settings: [(Option<f64>, f64); 6] = [
-        (None, 0.0),
-        (Some(1.05), 0.0),
-        (Some(1.10), 0.0),
-        (Some(1.25), 0.0),
-        (Some(1.10), 0.05),
-        (Some(1.10), 0.10),
-    ];
-    for w in suite(scale) {
+    for w in &suite {
         let mut t_row = vec![w.name().to_string()];
         let mut x_row = vec![w.name().to_string()];
-        for (frac, buffer) in settings {
-            let mut opts = RunOptions::default()
-                .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
-                .with_evict(EvictPolicy::LruPage);
-            opts.memory_frac = frac;
-            opts.disable_prefetch_on_oversubscription = frac.is_some();
-            opts.free_buffer_frac = buffer;
-            let r = run_workload(w.as_ref(), opts);
+        for _ in settings {
+            let r = results.next().expect("plan covers every cell");
             t_row.push(fmt(r.total_ms()));
             x_row.push(r.read_transfers_4k.to_string());
         }
@@ -236,23 +264,33 @@ pub struct EvictionIsolation {
 
 /// Figs. 9-10: working set at 110 %, TBNp active until capacity then
 /// disabled (4 KB on-demand only), comparing LRU vs Random eviction.
-pub fn eviction_isolation(scale: Scale) -> EvictionIsolation {
+pub fn eviction_isolation(exec: &Executor, scale: Scale) -> EvictionIsolation {
+    let evicts = [EvictPolicy::LruPage, EvictPolicy::RandomPage];
+    let suite = suite(scale);
+    let mut plan = exec.plan();
+    for w in &suite {
+        for evict in evicts {
+            let opts = RunOptions::default()
+                .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
+                .with_evict(evict)
+                .with_memory_frac(1.10)
+                .with_disable_prefetch_on_oversubscription(true);
+            plan.submit(w.as_ref(), opts);
+        }
+    }
+    let mut results = plan.execute().into_iter();
+
     let headers = ["benchmark", "LRU", "Random"];
     let mut time = Table::new(
         "Fig 9: kernel time (ms), eviction policies in isolation (110%)",
         &headers,
     );
     let mut evicted = Table::new("Fig 10: total pages evicted", &headers);
-    for w in suite(scale) {
+    for w in &suite {
         let mut t_row = vec![w.name().to_string()];
         let mut e_row = vec![w.name().to_string()];
-        for evict in [EvictPolicy::LruPage, EvictPolicy::RandomPage] {
-            let mut opts = RunOptions::default()
-                .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
-                .with_evict(evict)
-                .with_memory_frac(1.10);
-            opts.disable_prefetch_on_oversubscription = true;
-            let r = run_workload(w.as_ref(), opts);
+        for _ in evicts {
+            let r = results.next().expect("plan covers every cell");
             t_row.push(fmt(r.total_ms()));
             e_row.push(r.pages_evicted.to_string());
         }
@@ -283,20 +321,29 @@ pub const COMBOS: [(&str, PrefetchPolicy, EvictPolicy, bool); 4] = [
 /// Fig. 11: kernel time (ms) for the four prefetcher/eviction
 /// combinations at 110 % over-subscription. TBNp is active before
 /// capacity in every setting.
-pub fn policy_combinations(scale: Scale) -> Table {
+pub fn policy_combinations(exec: &Executor, scale: Scale) -> Table {
+    let suite = suite(scale);
+    let mut plan = exec.plan();
+    for w in &suite {
+        for (_, prefetch, evict, disable) in COMBOS {
+            let opts = RunOptions::default()
+                .with_prefetch(prefetch)
+                .with_evict(evict)
+                .with_memory_frac(1.10)
+                .with_disable_prefetch_on_oversubscription(disable);
+            plan.submit(w.as_ref(), opts);
+        }
+    }
+    let mut results = plan.execute().into_iter();
+
     let mut t = Table::new(
         "Fig 11: kernel time (ms), prefetcher x pre-eviction combos (110%)",
         &["benchmark", "LRU4K+none", "Re+Rp", "SLe+SLp", "TBNe+TBNp"],
     );
-    for w in suite(scale) {
+    for w in &suite {
         let mut row = vec![w.name().to_string()];
-        for (_, prefetch, evict, disable) in COMBOS {
-            let mut opts = RunOptions::default()
-                .with_prefetch(prefetch)
-                .with_evict(evict)
-                .with_memory_frac(1.10);
-            opts.disable_prefetch_on_oversubscription = disable;
-            let r = run_workload(w.as_ref(), opts);
+        for _ in COMBOS {
+            let r = results.next().expect("plan covers every cell");
             row.push(fmt(r.total_ms()));
         }
         t.row_owned(row);
@@ -311,7 +358,7 @@ pub fn policy_combinations(scale: Scale) -> Table {
 /// Fig. 12: the nw page-access scatter (cycle, virtual page) for the
 /// requested kernel launches (the paper shows launches 60 and 70),
 /// with no memory budget (no eviction).
-pub fn nw_trace(scale: Scale, launches: &[usize]) -> Vec<(usize, Table)> {
+pub fn nw_trace(exec: &Executor, scale: Scale, launches: &[usize]) -> Vec<(usize, Table)> {
     let nw = match scale {
         Scale::Paper => NeedlemanWunsch::default(),
         Scale::Smoke => NeedlemanWunsch {
@@ -319,13 +366,7 @@ pub fn nw_trace(scale: Scale, launches: &[usize]) -> Vec<(usize, Table)> {
             tile: 16,
         },
     };
-    let r = run_workload(
-        &nw,
-        RunOptions {
-            trace: true,
-            ..RunOptions::default()
-        },
-    );
+    let r = exec.run_one(&nw, RunOptions::default().with_trace(true));
     launches
         .iter()
         .filter(|&&l| l < r.traces.len())
@@ -348,19 +389,29 @@ pub fn nw_trace(scale: Scale, launches: &[usize]) -> Vec<(usize, Table)> {
 
 /// Fig. 13: kernel time (ms) of the TBNe+TBNp combination as the
 /// over-subscription percentage grows.
-pub fn tbn_oversubscription_sensitivity(scale: Scale) -> Table {
-    let mut t = Table::new(
-        "Fig 13: TBNe+TBNp sensitivity to over-subscription (time ms)",
-        &["benchmark", "100%", "105%", "110%", "125%", "150%"],
-    );
-    for w in suite(scale) {
-        let mut row = vec![w.name().to_string()];
-        for frac in [None, Some(1.05), Some(1.10), Some(1.25), Some(1.50)] {
+pub fn tbn_oversubscription_sensitivity(exec: &Executor, scale: Scale) -> Table {
+    let fracs = [None, Some(1.05), Some(1.10), Some(1.25), Some(1.50)];
+    let suite = suite(scale);
+    let mut plan = exec.plan();
+    for w in &suite {
+        for frac in fracs {
             let mut opts = RunOptions::default()
                 .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
                 .with_evict(EvictPolicy::TreeBasedNeighborhood);
             opts.memory_frac = frac;
-            let r = run_workload(w.as_ref(), opts);
+            plan.submit(w.as_ref(), opts);
+        }
+    }
+    let mut results = plan.execute().into_iter();
+
+    let mut t = Table::new(
+        "Fig 13: TBNe+TBNp sensitivity to over-subscription (time ms)",
+        &["benchmark", "100%", "105%", "110%", "125%", "150%"],
+    );
+    for w in &suite {
+        let mut row = vec![w.name().to_string()];
+        for _ in fracs {
+            let r = results.next().expect("plan covers every cell");
             row.push(fmt(r.total_ms()));
         }
         t.row_owned(row);
@@ -374,20 +425,30 @@ pub fn tbn_oversubscription_sensitivity(scale: Scale) -> Table {
 
 /// Fig. 14: kernel time (ms) with 0 / 10 / 20 % of the LRU list
 /// reserved from eviction; TBNe+TBNp at 110 %.
-pub fn lru_reservation(scale: Scale) -> Table {
+pub fn lru_reservation(exec: &Executor, scale: Scale) -> Table {
+    let reserves = [0.0, 0.10, 0.20];
+    let suite = suite(scale);
+    let mut plan = exec.plan();
+    for w in &suite {
+        for reserve in reserves {
+            let opts = RunOptions::default()
+                .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
+                .with_evict(EvictPolicy::TreeBasedNeighborhood)
+                .with_memory_frac(1.10)
+                .with_reserve_frac(reserve);
+            plan.submit(w.as_ref(), opts);
+        }
+    }
+    let mut results = plan.execute().into_iter();
+
     let mut t = Table::new(
         "Fig 14: effect of reserving the top of the LRU list (time ms)",
         &["benchmark", "0%", "10%", "20%"],
     );
-    for w in suite(scale) {
+    for w in &suite {
         let mut row = vec![w.name().to_string()];
-        for reserve in [0.0, 0.10, 0.20] {
-            let mut opts = RunOptions::default()
-                .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
-                .with_evict(EvictPolicy::TreeBasedNeighborhood)
-                .with_memory_frac(1.10);
-            opts.reserve_frac = reserve;
-            let r = run_workload(w.as_ref(), opts);
+        for _ in reserves {
+            let r = results.next().expect("plan covers every cell");
             row.push(fmt(r.total_ms()));
         }
         t.row_owned(row);
@@ -410,7 +471,24 @@ pub struct LargePageComparison {
 
 /// Figs. 15-16: TBNe against static 2 MB LRU eviction, both with TBNp
 /// prefetching.
-pub fn tbne_vs_2mb(scale: Scale) -> LargePageComparison {
+pub fn tbne_vs_2mb(exec: &Executor, scale: Scale) -> LargePageComparison {
+    let fracs = [1.10, 1.25];
+    let evicts = [EvictPolicy::TreeBasedNeighborhood, EvictPolicy::LruLargePage];
+    let suite = suite(scale);
+    let mut plan = exec.plan();
+    for w in &suite {
+        for frac in fracs {
+            for evict in evicts {
+                let opts = RunOptions::default()
+                    .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
+                    .with_evict(evict)
+                    .with_memory_frac(frac);
+                plan.submit(w.as_ref(), opts);
+            }
+        }
+    }
+    let mut results = plan.execute().into_iter();
+
     let mut time = Table::new(
         "Fig 15: TBNe vs 2MB LRU eviction (time ms, 110%)",
         &["benchmark", "TBNe", "LRU-2MB"],
@@ -425,16 +503,12 @@ pub fn tbne_vs_2mb(scale: Scale) -> LargePageComparison {
             "2MB@125%",
         ],
     );
-    for w in suite(scale) {
+    for w in &suite {
         let mut t_row = vec![w.name().to_string()];
         let mut h_row = vec![w.name().to_string()];
-        for frac in [1.10, 1.25] {
-            for evict in [EvictPolicy::TreeBasedNeighborhood, EvictPolicy::LruLargePage] {
-                let opts = RunOptions::default()
-                    .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
-                    .with_evict(evict)
-                    .with_memory_frac(frac);
-                let r = run_workload(w.as_ref(), opts);
+        for frac in fracs {
+            for _ in evicts {
+                let r = results.next().expect("plan covers every cell");
                 if (frac - 1.10).abs() < 1e-9 {
                     t_row.push(fmt(r.total_ms()));
                 }
@@ -454,7 +528,7 @@ pub fn tbne_vs_2mb(scale: Scale) -> LargePageComparison {
 /// Characterises every benchmark's page-access pattern (the analysis
 /// the paper performs in Sec. 7 to explain its results): footprint,
 /// reuse, sequentiality, spread, and the classified pattern.
-pub fn pattern_analysis(scale: Scale) -> Table {
+pub fn pattern_analysis(exec: &Executor, scale: Scale) -> Table {
     use crate::pattern::PatternSummary;
     let mut t = Table::new(
         "Sec 7: access-pattern characterisation",
@@ -469,13 +543,7 @@ pub fn pattern_analysis(scale: Scale) -> Table {
         ],
     );
     for w in suite(scale) {
-        let r = run_workload(
-            w.as_ref(),
-            RunOptions {
-                trace: true,
-                ..RunOptions::default()
-            },
-        );
+        let r = exec.run_one(w.as_ref(), RunOptions::default().with_trace(true));
         let s = PatternSummary::from_traces(&r.traces);
         t.row_owned(vec![
             w.name().to_string(),
@@ -497,19 +565,29 @@ pub fn pattern_analysis(scale: Scale) -> Table {
 /// Ablation: the paper's SLp (64 KB, block-aligned) versus the Zheng
 /// et al. 512 KB sequential prefetcher it was designed to replace
 /// (Sec. 3.2 discussion), with no memory budget.
-pub fn prefetch_granularity_ablation(scale: Scale) -> Table {
+pub fn prefetch_granularity_ablation(exec: &Executor, scale: Scale) -> Table {
+    let policies = [
+        PrefetchPolicy::SequentialLocal,
+        PrefetchPolicy::Sequential512K,
+        PrefetchPolicy::TreeBasedNeighborhood,
+    ];
+    let suite = suite(scale);
+    let mut plan = exec.plan();
+    for w in &suite {
+        for p in policies {
+            plan.submit(w.as_ref(), RunOptions::default().with_prefetch(p));
+        }
+    }
+    let mut results = plan.execute().into_iter();
+
     let mut t = Table::new(
         "Ablation: SLp (64KB block-aligned) vs Zheng 512K vs TBNp (time ms)",
         &["benchmark", "SLp", "SZp", "TBNp"],
     );
-    for w in suite(scale) {
+    for w in &suite {
         let mut row = vec![w.name().to_string()];
-        for p in [
-            PrefetchPolicy::SequentialLocal,
-            PrefetchPolicy::Sequential512K,
-            PrefetchPolicy::TreeBasedNeighborhood,
-        ] {
-            let r = run_workload(w.as_ref(), RunOptions::default().with_prefetch(p));
+        for _ in policies {
+            let r = results.next().expect("plan covers every cell");
             row.push(fmt(r.total_ms()));
         }
         t.row_owned(row);
@@ -519,7 +597,21 @@ pub fn prefetch_granularity_ablation(scale: Scale) -> Table {
 
 /// Ablation: sensitivity of the TBNe+TBNp combination (110 %) to the
 /// number of concurrent fault-handling lanes (DESIGN.md §4).
-pub fn fault_lanes_ablation(scale: Scale, lanes: &[usize]) -> Table {
+pub fn fault_lanes_ablation(exec: &Executor, scale: Scale, lanes: &[usize]) -> Table {
+    let suite = suite(scale);
+    let mut plan = exec.plan();
+    for w in &suite {
+        for &l in lanes {
+            let opts = RunOptions::default()
+                .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
+                .with_evict(EvictPolicy::TreeBasedNeighborhood)
+                .with_memory_frac(1.10)
+                .with_fault_lanes(l);
+            plan.submit(w.as_ref(), opts);
+        }
+    }
+    let mut results = plan.execute().into_iter();
+
     let mut headers: Vec<String> = vec!["benchmark".into()];
     headers.extend(lanes.iter().map(|l| format!("{l}lane")));
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
@@ -527,15 +619,10 @@ pub fn fault_lanes_ablation(scale: Scale, lanes: &[usize]) -> Table {
         "Ablation: fault-handling lanes (TBNe+TBNp, 110%, time ms)",
         &headers_ref,
     );
-    for w in suite(scale) {
+    for w in &suite {
         let mut row = vec![w.name().to_string()];
-        for &l in lanes {
-            let mut opts = RunOptions::default()
-                .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
-                .with_evict(EvictPolicy::TreeBasedNeighborhood)
-                .with_memory_frac(1.10);
-            opts.fault_lanes = Some(l);
-            let r = run_workload(w.as_ref(), opts);
+        for _ in lanes {
+            let r = results.next().expect("plan covers every cell");
             row.push(fmt(r.total_ms()));
         }
         t.row_owned(row);
@@ -547,19 +634,7 @@ pub fn fault_lanes_ablation(scale: Scale, lanes: &[usize]) -> Table {
 /// fraction of prefetched pages that are used before eviction, and the
 /// clean pages the bulk write-backs move. This quantifies Sec. 5's
 /// "unused prefetched pages" argument.
-pub fn prefetch_accuracy_ablation(scale: Scale) -> Table {
-    let mut t = Table::new(
-        "Ablation: prefetch accuracy and clean write-backs (110%)",
-        &[
-            "benchmark",
-            "combo",
-            "prefetched",
-            "used",
-            "wasted",
-            "accuracy",
-            "clean_writebacks",
-        ],
-    );
+pub fn prefetch_accuracy_ablation(exec: &Executor, scale: Scale) -> Table {
     let combos: [(&str, PrefetchPolicy, EvictPolicy); 2] = [
         (
             "SLe+SLp",
@@ -572,13 +647,34 @@ pub fn prefetch_accuracy_ablation(scale: Scale) -> Table {
             EvictPolicy::TreeBasedNeighborhood,
         ),
     ];
-    for w in suite(scale) {
-        for (label, prefetch, evict) in combos {
+    let suite = suite(scale);
+    let mut plan = exec.plan();
+    for w in &suite {
+        for (_, prefetch, evict) in combos {
             let opts = RunOptions::default()
                 .with_prefetch(prefetch)
                 .with_evict(evict)
                 .with_memory_frac(1.10);
-            let r = run_workload(w.as_ref(), opts);
+            plan.submit(w.as_ref(), opts);
+        }
+    }
+    let mut results = plan.execute().into_iter();
+
+    let mut t = Table::new(
+        "Ablation: prefetch accuracy and clean write-backs (110%)",
+        &[
+            "benchmark",
+            "combo",
+            "prefetched",
+            "used",
+            "wasted",
+            "accuracy",
+            "clean_writebacks",
+        ],
+    );
+    for w in &suite {
+        for (label, _, _) in combos {
+            let r = results.next().expect("plan covers every cell");
             let resolved = r.prefetched_used + r.prefetched_wasted;
             let accuracy = if resolved == 0 {
                 1.0
@@ -602,7 +698,21 @@ pub fn prefetch_accuracy_ablation(scale: Scale) -> Table {
 /// Ablation of the Sec. 5.1 design choice: write back whole victim
 /// groups as single units (the paper's choice) versus writing back
 /// only the dirty pages, under SLe+SLp at 110 %.
-pub fn writeback_ablation(scale: Scale) -> Table {
+pub fn writeback_ablation(exec: &Executor, scale: Scale) -> Table {
+    let suite = suite(scale);
+    let mut plan = exec.plan();
+    for w in &suite {
+        for dirty_only in [false, true] {
+            let opts = RunOptions::default()
+                .with_prefetch(PrefetchPolicy::SequentialLocal)
+                .with_evict(EvictPolicy::SequentialLocal)
+                .with_memory_frac(1.10)
+                .with_writeback_dirty_only(dirty_only);
+            plan.submit(w.as_ref(), opts);
+        }
+    }
+    let mut results = plan.execute().into_iter();
+
     let mut t = Table::new(
         "Ablation: bulk-unit vs dirty-only write-back (SLe+SLp, 110%)",
         &[
@@ -615,17 +725,9 @@ pub fn writeback_ablation(scale: Scale) -> Table {
             "dirty_only_write_bw",
         ],
     );
-    for w in suite(scale) {
-        let run = |dirty_only: bool| {
-            let mut opts = RunOptions::default()
-                .with_prefetch(PrefetchPolicy::SequentialLocal)
-                .with_evict(EvictPolicy::SequentialLocal)
-                .with_memory_frac(1.10);
-            opts.writeback_dirty_only = dirty_only;
-            run_workload(w.as_ref(), opts)
-        };
-        let bulk = run(false);
-        let dirty = run(true);
+    for w in &suite {
+        let bulk = results.next().expect("plan covers every cell");
+        let dirty = results.next().expect("plan covers every cell");
         let mb = |b: uvm_types::Bytes| b.bytes() as f64 / (1024.0 * 1024.0);
         t.row_owned(vec![
             w.name().to_string(),
@@ -753,7 +855,8 @@ mod tests {
 
     #[test]
     fn nw_trace_produces_scatter_series() {
-        let traces = nw_trace(Scale::Smoke, &[3, 9999]);
+        let exec = Executor::new(1);
+        let traces = nw_trace(&exec, Scale::Smoke, &[3, 9999]);
         assert_eq!(traces.len(), 1, "out-of-range launches are skipped");
         let (launch, table) = &traces[0];
         assert_eq!(*launch, 3);

@@ -8,8 +8,11 @@
 //! histograms, evictions, thrashing).
 //!
 //! The [`experiments`] module contains one runner per table/figure of
-//! the paper's evaluation; the `uvm-bench` crate wraps them as
-//! binaries and Criterion benches.
+//! the paper's evaluation; runners submit their sweeps to an
+//! [`Executor`], which deduplicates identical runs across figures,
+//! executes the unique ones on a worker pool, and memoizes (and
+//! optionally spills to `results/cache/`) every result. The
+//! `uvm-bench` crate wraps the runners as binaries and benches.
 //!
 //! # Examples
 //!
@@ -25,12 +28,14 @@
 //! assert!(result.far_faults > 0);
 //! ```
 
+mod exec;
 mod pattern;
 mod run;
 mod table;
 
 pub mod experiments;
 
+pub use exec::{Executor, Plan, RunKey};
 pub use pattern::{PatternClass, PatternSummary};
 pub use run::{measure_footprint, run_workload, RunOptions, RunResult};
 pub use table::Table;

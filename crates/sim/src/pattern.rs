@@ -258,13 +258,12 @@ mod tests {
 
     #[test]
     fn random_classification() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
+        use uvm_types::rng::{Rng, SmallRng};
         let mut rng = SmallRng::seed_from_u64(3);
         // Random accesses over a big footprint with modest reuse:
         // small strides relative to span are rare, reuse present.
         let trace: Vec<_> = (0..2000)
-            .map(|i| at(i, rng.gen_range(0..500)))
+            .map(|i| at(i, rng.gen_range(0u64..500)))
             .collect();
         let s = PatternSummary::from_trace(&trace);
         assert_eq!(s.classify(), PatternClass::Random);

@@ -79,6 +79,55 @@ impl RunOptions {
         self.memory_frac = Some(frac);
         self
     }
+
+    /// Sets the Fig. 6 / Fig. 9 sticky prefetcher kill-switch.
+    pub fn with_disable_prefetch_on_oversubscription(mut self, disable: bool) -> Self {
+        self.disable_prefetch_on_oversubscription = disable;
+        self
+    }
+
+    /// Sets the free-page-buffer fraction (memory-threshold
+    /// pre-eviction).
+    pub fn with_free_buffer_frac(mut self, frac: f64) -> Self {
+        self.free_buffer_frac = frac;
+        self
+    }
+
+    /// Sets the LRU-top reservation fraction (Sec. 5.3 / Fig. 14).
+    pub fn with_reserve_frac(mut self, frac: f64) -> Self {
+        self.reserve_frac = frac;
+        self
+    }
+
+    /// Sets the GPU-side configuration.
+    pub fn with_gpu(mut self, gpu: GpuConfig) -> Self {
+        self.gpu = gpu;
+        self
+    }
+
+    /// Enables per-kernel page-access trace capture (Fig. 12).
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Overrides the number of concurrent fault-handling lanes.
+    pub fn with_fault_lanes(mut self, lanes: usize) -> Self {
+        self.fault_lanes = Some(lanes);
+        self
+    }
+
+    /// Switches to dirty-only write-back (the Sec. 5.1 ablation).
+    pub fn with_writeback_dirty_only(mut self, dirty_only: bool) -> Self {
+        self.writeback_dirty_only = dirty_only;
+        self
+    }
+
+    /// Sets the RNG seed for random policies.
+    pub fn with_rng_seed(mut self, seed: u64) -> Self {
+        self.rng_seed = seed;
+        self
+    }
 }
 
 /// Measurements from one simulation run — the raw material of every

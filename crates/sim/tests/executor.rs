@@ -1,0 +1,169 @@
+//! Integration tests of the run-plan executor: worker-count
+//! determinism, cross-figure deduplication, `RunKey` stability, the
+//! `RunOptions` builder surface, and spill-based resumption.
+
+use uvm_core::{EvictPolicy, PrefetchPolicy};
+use uvm_gpu::GpuConfig;
+use uvm_sim::experiments::{eviction_isolation, policy_combinations, prefetcher_sweep, suite, Scale};
+use uvm_sim::{Executor, RunKey, RunOptions};
+use uvm_workloads::{LinearSweep, Workload};
+
+/// A plan executed with 1 worker and with 8 workers must emit
+/// byte-identical CSV output: results are keyed and ordered by
+/// submission, never by completion.
+#[test]
+fn jobs_do_not_change_results() {
+    let serial = prefetcher_sweep(&Executor::new(1), Scale::Smoke);
+    let wide = prefetcher_sweep(&Executor::new(8), Scale::Smoke);
+    assert_eq!(serial.time.to_csv(), wide.time.to_csv());
+    assert_eq!(serial.bandwidth.to_csv(), wide.bandwidth.to_csv());
+    assert_eq!(serial.faults.to_csv(), wide.faults.to_csv());
+}
+
+/// Figs. 3/4/5 are projections of one benchmark × prefetcher sweep:
+/// requesting all three figures costs exactly one simulation per
+/// unique `RunKey`, and re-running the figures costs zero more.
+/// Figures that share individual cells (Fig. 11's LRU4K+none column
+/// is Fig. 9's LRU column) reuse them across runners too.
+#[test]
+fn figures_share_deduplicated_runs() {
+    let exec = Executor::new(2);
+    let n = suite(Scale::Smoke).len();
+
+    let _sweep = prefetcher_sweep(&exec, Scale::Smoke);
+    let unique = n * PrefetchPolicy::ALL.len();
+    assert_eq!(exec.runs_executed(), unique, "one simulation per unique key");
+
+    let _again = prefetcher_sweep(&exec, Scale::Smoke);
+    assert_eq!(exec.runs_executed(), unique, "repeat costs nothing");
+    assert!(exec.cache_hits() >= unique);
+
+    // Fig. 9/10 adds its own 2 cells per benchmark...
+    let _iso = eviction_isolation(&exec, Scale::Smoke);
+    assert_eq!(exec.runs_executed(), unique + 2 * n);
+
+    // ...and Fig. 11 reuses one of them (LRU4K+none == Fig. 9's LRU
+    // column), so only 3 of its 4 columns simulate.
+    let _combos = policy_combinations(&exec, Scale::Smoke);
+    assert_eq!(exec.runs_executed(), unique + 2 * n + 3 * n);
+}
+
+/// Same workload + same options → same key; changing any single
+/// `RunOptions` field or the workload parameters changes the key.
+#[test]
+fn run_key_is_stable_and_field_sensitive() {
+    let w = LinearSweep { pages: 64, repeats: 1, thread_blocks: 2 };
+    let base = RunOptions::default();
+    assert_eq!(RunKey::new(&w, &base), RunKey::new(&w, &base.clone()));
+
+    let mutations: Vec<(&str, RunOptions)> = vec![
+        ("prefetch", base.clone().with_prefetch(PrefetchPolicy::None)),
+        ("evict", base.clone().with_evict(EvictPolicy::RandomPage)),
+        ("memory_frac", base.clone().with_memory_frac(1.10)),
+        (
+            "disable_prefetch_on_oversubscription",
+            base.clone().with_disable_prefetch_on_oversubscription(true),
+        ),
+        ("free_buffer_frac", base.clone().with_free_buffer_frac(0.05)),
+        ("reserve_frac", base.clone().with_reserve_frac(0.10)),
+        (
+            "gpu",
+            base.clone().with_gpu(GpuConfig {
+                num_sms: 56,
+                ..GpuConfig::default()
+            }),
+        ),
+        ("trace", base.clone().with_trace(true)),
+        ("fault_lanes", base.clone().with_fault_lanes(2)),
+        (
+            "writeback_dirty_only",
+            base.clone().with_writeback_dirty_only(true),
+        ),
+        ("rng_seed", base.clone().with_rng_seed(7)),
+    ];
+
+    let base_key = RunKey::new(&w, &base);
+    let mut keys = vec![("base", base_key)];
+    for (field, opts) in &mutations {
+        keys.push((field, RunKey::new(&w, opts)));
+    }
+    for (i, (fa, ka)) in keys.iter().enumerate() {
+        for (fb, kb) in &keys[i + 1..] {
+            assert_ne!(ka, kb, "{fa} vs {fb} must produce distinct keys");
+        }
+    }
+
+    // Workload identity is part of the key.
+    let other = LinearSweep { pages: 65, repeats: 1, thread_blocks: 2 };
+    assert_ne!(base_key, RunKey::new(&other, &base));
+    assert_ne!(w.signature(), other.signature());
+}
+
+/// Every `with_*` builder sets exactly its field.
+#[test]
+fn builders_cover_every_field() {
+    let d = RunOptions::default();
+    let gpu = GpuConfig {
+        num_sms: 56,
+        ..GpuConfig::default()
+    };
+    let o = RunOptions::default()
+        .with_prefetch(PrefetchPolicy::Random)
+        .with_evict(EvictPolicy::SequentialLocal)
+        .with_memory_frac(1.25)
+        .with_disable_prefetch_on_oversubscription(true)
+        .with_free_buffer_frac(0.05)
+        .with_reserve_frac(0.20)
+        .with_gpu(gpu.clone())
+        .with_trace(true)
+        .with_fault_lanes(4)
+        .with_writeback_dirty_only(true)
+        .with_rng_seed(42);
+    assert_eq!(o.prefetch, PrefetchPolicy::Random);
+    assert_eq!(o.evict, EvictPolicy::SequentialLocal);
+    assert_eq!(o.memory_frac, Some(1.25));
+    assert!(o.disable_prefetch_on_oversubscription);
+    assert_eq!(o.free_buffer_frac, 0.05);
+    assert_eq!(o.reserve_frac, 0.20);
+    assert_eq!(format!("{:?}", o.gpu), format!("{gpu:?}"));
+    assert!(o.trace);
+    assert_eq!(o.fault_lanes, Some(4));
+    assert!(o.writeback_dirty_only);
+    assert_eq!(o.rng_seed, 42);
+
+    assert_ne!(format!("{:?}", d.gpu), format!("{:?}", o.gpu));
+    assert!(!d.trace && d.fault_lanes.is_none());
+}
+
+/// A fresh executor pointed at a populated spill directory resumes
+/// from disk: zero simulations, identical tables.
+#[test]
+fn spill_directory_resumes_across_executors() {
+    let dir = std::env::temp_dir().join(format!("uvm-executor-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let w = LinearSweep { pages: 96, repeats: 2, thread_blocks: 3 };
+    let opts = |p| RunOptions::default().with_prefetch(p);
+
+    let first = Executor::new(2).with_spill_dir(&dir);
+    let mut plan = first.plan();
+    for p in PrefetchPolicy::ALL {
+        plan.submit(&w, opts(p));
+    }
+    let a = plan.execute();
+    assert_eq!(first.runs_executed(), PrefetchPolicy::ALL.len());
+
+    let second = Executor::new(2).with_spill_dir(&dir);
+    let mut plan = second.plan();
+    for p in PrefetchPolicy::ALL {
+        plan.submit(&w, opts(p));
+    }
+    let b = plan.execute();
+    assert_eq!(second.runs_executed(), 0, "everything loads from disk");
+    assert_eq!(second.cache_hits(), PrefetchPolicy::ALL.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.total_time, y.total_time);
+        assert_eq!(x.far_faults, y.far_faults);
+        assert_eq!(x.pages_prefetched, y.pages_prefetched);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -27,6 +27,8 @@
 
 mod addr;
 mod geometry;
+pub mod hash;
+pub mod rng;
 mod size;
 mod time;
 

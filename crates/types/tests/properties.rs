@@ -1,115 +1,143 @@
-//! Property-based tests for the address/size/geometry foundations.
+//! Randomized-property tests for the address/size/geometry
+//! foundations, driven by seeded `SmallRng` case loops.
 
-use proptest::prelude::*;
-
+use uvm_types::rng::{Rng, SmallRng};
 use uvm_types::{
     round_up_pow2_blocks, split_allocation, BasicBlockId, Bytes, Cycle, Duration, PageId,
     VirtAddr, BASIC_BLOCK_SIZE, LARGE_PAGE_SIZE, PAGES_PER_BASIC_BLOCK, PAGES_PER_LARGE_PAGE,
     PAGE_SIZE,
 };
 
-proptest! {
-    /// Address → page → block → large-page mappings are consistent
-    /// with integer division and with each other.
-    #[test]
-    fn address_hierarchy_is_consistent(raw in 0u64..(1 << 45)) {
+const CASES: usize = 256;
+
+/// Address → page → block → large-page mappings are consistent with
+/// integer division and with each other.
+#[test]
+fn address_hierarchy_is_consistent() {
+    let mut rng = SmallRng::seed_from_u64(0x7e51);
+    for _ in 0..CASES {
+        let raw = rng.gen_range(0u64..(1 << 45));
         let addr = VirtAddr::new(raw);
         let page = addr.page();
-        prop_assert_eq!(page.index(), raw / PAGE_SIZE.bytes());
-        prop_assert_eq!(addr.basic_block(), page.basic_block());
-        prop_assert_eq!(addr.large_page(), page.large_page());
-        prop_assert_eq!(page.basic_block().large_page(), page.large_page());
+        assert_eq!(page.index(), raw / PAGE_SIZE.bytes());
+        assert_eq!(addr.basic_block(), page.basic_block());
+        assert_eq!(addr.large_page(), page.large_page());
+        assert_eq!(page.basic_block().large_page(), page.large_page());
         // The base address of the page contains the page.
-        prop_assert_eq!(page.base_addr().page(), page);
-        prop_assert!(page.base_addr().raw() <= raw);
+        assert_eq!(page.base_addr().page(), page);
+        assert!(page.base_addr().raw() <= raw);
     }
+}
 
-    /// A block's pages all map back to the block, in order.
-    #[test]
-    fn block_pages_round_trip(idx in 0u64..(1 << 30)) {
+/// A block's pages all map back to the block, in order.
+#[test]
+fn block_pages_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(0x7e52);
+    for _ in 0..CASES {
+        let idx = rng.gen_range(0u64..(1 << 30));
         let block = BasicBlockId::new(idx);
         let pages: Vec<PageId> = block.pages().collect();
-        prop_assert_eq!(pages.len() as u64, PAGES_PER_BASIC_BLOCK);
+        assert_eq!(pages.len() as u64, PAGES_PER_BASIC_BLOCK);
         for (i, p) in pages.iter().enumerate() {
-            prop_assert_eq!(p.basic_block(), block);
-            prop_assert_eq!(p.offset_in_basic_block(), i as u64);
+            assert_eq!(p.basic_block(), block);
+            assert_eq!(p.offset_in_basic_block(), i as u64);
         }
-        prop_assert_eq!(block.first_page().index() % PAGES_PER_BASIC_BLOCK, 0);
+        assert_eq!(block.first_page().index() % PAGES_PER_BASIC_BLOCK, 0);
     }
+}
 
-    /// Byte arithmetic is consistent: + then - is the identity, and
-    /// multiplication scales page counts.
-    #[test]
-    fn bytes_arithmetic(a in 0u64..(1 << 40), b in 0u64..(1 << 40)) {
+/// Byte arithmetic is consistent: + then - is the identity, and
+/// page-count rounding never undercounts.
+#[test]
+fn bytes_arithmetic() {
+    let mut rng = SmallRng::seed_from_u64(0x7e53);
+    for _ in 0..CASES {
+        let a = rng.gen_range(0u64..(1 << 40));
+        let b = rng.gen_range(0u64..(1 << 40));
         let x = Bytes::new(a);
         let y = Bytes::new(b);
-        prop_assert_eq!((x + y) - y, x);
-        prop_assert_eq!(x.saturating_sub(x + y), Bytes::ZERO);
-        prop_assert!((x + y) >= x);
+        assert_eq!((x + y) - y, x);
+        assert_eq!(x.saturating_sub(x + y), Bytes::ZERO);
+        assert!((x + y) >= x);
         // pages_ceil never undercounts.
-        prop_assert!(x.pages_ceil() * PAGE_SIZE.bytes() >= a);
-        prop_assert!(x.pages_ceil() * PAGE_SIZE.bytes() < a + PAGE_SIZE.bytes());
+        assert!(x.pages_ceil() * PAGE_SIZE.bytes() >= a);
+        assert!(x.pages_ceil() * PAGE_SIZE.bytes() < a + PAGE_SIZE.bytes());
     }
+}
 
-    /// Rounding to power-of-two blocks is the smallest power-of-two
-    /// block count that covers the size.
-    #[test]
-    fn pow2_rounding_is_minimal(size in 1u64..(64 << 20)) {
+/// Rounding to power-of-two blocks is the smallest power-of-two block
+/// count that covers the size.
+#[test]
+fn pow2_rounding_is_minimal() {
+    let mut rng = SmallRng::seed_from_u64(0x7e54);
+    for _ in 0..CASES {
+        let size = rng.gen_range(1u64..(64 << 20));
         let blocks = round_up_pow2_blocks(Bytes::new(size));
-        prop_assert!(blocks.is_power_of_two());
-        prop_assert!(blocks * BASIC_BLOCK_SIZE.bytes() >= size);
+        assert!(blocks.is_power_of_two());
+        assert!(blocks * BASIC_BLOCK_SIZE.bytes() >= size);
         if blocks > 1 {
-            prop_assert!((blocks / 2) * BASIC_BLOCK_SIZE.bytes() < size);
+            assert!((blocks / 2) * BASIC_BLOCK_SIZE.bytes() < size);
         }
     }
+}
 
-    /// Allocation splitting tiles the address range contiguously with
-    /// full 2 MB trees followed by at most one remainder tree.
-    #[test]
-    fn split_allocation_tiles(first in 0u64..(1 << 20), size in 1u64..(64 << 20)) {
+/// Allocation splitting tiles the address range contiguously with full
+/// 2 MB trees followed by at most one remainder tree.
+#[test]
+fn split_allocation_tiles() {
+    let mut rng = SmallRng::seed_from_u64(0x7e55);
+    for _ in 0..CASES {
+        let first = rng.gen_range(0u64..(1 << 20));
+        let size = rng.gen_range(1u64..(64 << 20));
         let first_block = BasicBlockId::new(first * 32); // 2 MB aligned
         let trees = split_allocation(first_block, Bytes::new(size));
-        prop_assert!(!trees.is_empty());
+        assert!(!trees.is_empty());
         let mut cursor = first_block;
         let blocks_per_lp = PAGES_PER_LARGE_PAGE / PAGES_PER_BASIC_BLOCK;
         for (i, t) in trees.iter().enumerate() {
-            prop_assert_eq!(t.first_block, cursor, "contiguous tiling");
-            prop_assert!(t.num_blocks.is_power_of_two());
-            prop_assert!(t.num_blocks <= blocks_per_lp);
+            assert_eq!(t.first_block, cursor, "contiguous tiling");
+            assert!(t.num_blocks.is_power_of_two());
+            assert!(t.num_blocks <= blocks_per_lp);
             if i + 1 < trees.len() {
-                prop_assert_eq!(t.num_blocks, blocks_per_lp, "only the last tree may be small");
+                assert_eq!(t.num_blocks, blocks_per_lp, "only the last tree may be small");
             }
             cursor = cursor.add(t.num_blocks);
         }
         let covered: u64 = trees.iter().map(|t| t.span().bytes()).sum();
-        prop_assert!(covered >= size);
+        assert!(covered >= size);
         // Coverage is not wasteful: dropping the last tree undershoots.
         let without_last: u64 = trees[..trees.len() - 1]
             .iter()
             .map(|t| t.span().bytes())
             .sum();
-        prop_assert!(without_last < size);
+        assert!(without_last < size);
     }
+}
 
-    /// Time conversions round-trip within a cycle.
-    #[test]
-    fn time_round_trips(us in 0.0f64..1e6) {
+/// Time conversions round-trip within a cycle.
+#[test]
+fn time_round_trips() {
+    let mut rng = SmallRng::seed_from_u64(0x7e56);
+    for _ in 0..CASES {
+        let us = rng.gen_range(0u64..1_000_000) as f64 + rng.gen_range(0u64..1000) as f64 / 1000.0;
         let d = Duration::from_micros(us);
-        prop_assert!((d.as_micros() - us).abs() < 0.001);
+        assert!((d.as_micros() - us).abs() < 0.001);
         let t = Cycle::ZERO + d;
-        prop_assert_eq!(t.since(Cycle::ZERO), d);
+        assert_eq!(t.since(Cycle::ZERO), d);
     }
+}
 
-    /// Cycle ordering is preserved by adding equal durations.
-    #[test]
-    fn cycle_ordering_is_translation_invariant(
-        a in 0u64..(1 << 50),
-        b in 0u64..(1 << 50),
-        d in 0u64..(1 << 30),
-    ) {
+/// Cycle ordering is preserved by adding equal durations.
+#[test]
+fn cycle_ordering_is_translation_invariant() {
+    let mut rng = SmallRng::seed_from_u64(0x7e57);
+    for _ in 0..CASES {
+        let a = rng.gen_range(0u64..(1 << 50));
+        let b = rng.gen_range(0u64..(1 << 50));
+        let d = rng.gen_range(0u64..(1 << 30));
         let (ca, cb) = (Cycle::new(a), Cycle::new(b));
         let dur = Duration::from_cycles(d);
-        prop_assert_eq!((ca + dur) <= (cb + dur), ca <= cb);
+        assert_eq!((ca + dur) <= (cb + dur), ca <= cb);
     }
 }
 

@@ -6,8 +6,7 @@
 //! data-dependent (modelled: seeded-random) offsets in the adjacency
 //! arrays, revisiting pages across levels.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use uvm_types::rng::{Rng, SmallRng};
 
 use uvm_gpu::{Access, KernelSpec, ThreadBlockSpec};
 use uvm_types::{Bytes, VirtAddr, PAGE_SIZE};

@@ -58,12 +58,24 @@ use uvm_types::{Bytes, VirtAddr, PAGE_SIZE};
 /// `malloc` (the simulation harness passes a closure over
 /// [`uvm_core::Gmmu::malloc_managed`]) and returns the sequence of
 /// kernel launches to execute.
-pub trait Workload {
+///
+/// Workloads are `Debug + Send + Sync` so the experiment executor can
+/// (a) derive a canonical identity for run deduplication and caching,
+/// and (b) simulate them from a worker pool.
+pub trait Workload: std::fmt::Debug + Send + Sync {
     /// Benchmark name as used in the paper's figures.
     fn name(&self) -> &'static str;
 
     /// Allocates the working set and produces the kernel launches.
     fn build(&self, malloc: &mut dyn FnMut(Bytes) -> VirtAddr) -> Vec<KernelSpec>;
+
+    /// A canonical identity string covering every parameter that
+    /// changes the generated access stream. Two workloads with equal
+    /// signatures must build identical kernels; the default `Debug`
+    /// rendering satisfies this for plain parameter structs.
+    fn signature(&self) -> String {
+        format!("{self:?}")
+    }
 }
 
 /// The paper's seven-benchmark suite at default (paper-scale) sizes.

@@ -1,16 +1,18 @@
-//! Property-based tests over the benchmark generators: for any
+//! Randomized-property tests over the benchmark generators: for any
 //! parameterisation, the generated kernels only touch allocated pages,
 //! are deterministic, and preserve each benchmark's structural
-//! signature.
+//! signature. Driven by seeded `SmallRng` case loops.
 
-use proptest::prelude::*;
 use std::collections::HashSet;
 
 use uvm_gpu::KernelSpec;
+use uvm_types::rng::{Rng, SmallRng};
 use uvm_types::{Bytes, VirtAddr};
 use uvm_workloads::{
     Backprop, Bfs, Gaussian, Hotspot, LinearSweep, NeedlemanWunsch, Pathfinder, Srad, Workload,
 };
+
+const CASES: usize = 16;
 
 /// Builds `w` against a dummy 2 MB-aligned bump allocator, returning
 /// the kernels and the set of allocated page ranges.
@@ -48,35 +50,45 @@ fn assert_within(pages: &[u64], ranges: &[(u64, u64)]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
-
-    #[test]
-    fn hotspot_touches_only_its_arrays(rows_pow in 4u32..9, iters in 1u64..4) {
+#[test]
+fn hotspot_touches_only_its_arrays() {
+    let mut rng = SmallRng::seed_from_u64(0x401);
+    for _ in 0..CASES {
+        let rows_pow = rng.gen_range(4u32..9);
+        let iters = rng.gen_range(1u64..4);
         let w = Hotspot { rows: 1 << rows_pow, iterations: iters, rows_per_block: 16 };
         let (kernels, ranges) = build(&w);
-        prop_assert_eq!(kernels.len() as u64, iters);
+        assert_eq!(kernels.len() as u64, iters);
         let pages = all_pages(kernels);
         assert_within(&pages, &ranges);
         // Every iteration touches the whole grid.
         let unique: HashSet<u64> = pages.iter().copied().collect();
-        prop_assert!(unique.len() as u64 >= 2 * (1 << rows_pow));
+        assert!(unique.len() as u64 >= 2 * (1 << rows_pow));
     }
+}
 
-    #[test]
-    fn nw_launch_count_and_bounds(rows_pow in 5u32..11) {
+#[test]
+fn nw_launch_count_and_bounds() {
+    let mut rng = SmallRng::seed_from_u64(0x402);
+    for _ in 0..CASES {
+        let rows_pow = rng.gen_range(5u32..11);
         let rows = 1u64 << rows_pow;
         let w = NeedlemanWunsch { rows, tile: 16 };
         let (kernels, ranges) = build(&w);
-        prop_assert_eq!(kernels.len() as u64, 2 * (rows / 16) - 1);
+        assert_eq!(kernels.len() as u64, 2 * (rows / 16) - 1);
         // Widest diagonal has rows/16 blocks.
         let widest = kernels.iter().map(KernelSpec::num_blocks).max().unwrap();
-        prop_assert_eq!(widest as u64, rows / 16);
+        assert_eq!(widest as u64, rows / 16);
         assert_within(&all_pages(kernels), &ranges);
     }
+}
 
-    #[test]
-    fn bfs_is_deterministic_and_bounded(seed in any::<u64>(), levels in 1u64..4) {
+#[test]
+fn bfs_is_deterministic_and_bounded() {
+    let mut rng = SmallRng::seed_from_u64(0x403);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let levels = rng.gen_range(1u64..4);
         let mk = || Bfs {
             node_pages: 64,
             edge_pages: 128,
@@ -91,33 +103,36 @@ proptest! {
         let (k2, _) = build(&mk());
         let p1 = all_pages(k1);
         let p2 = all_pages(k2);
-        prop_assert_eq!(&p1, &p2, "same seed, same trace");
+        assert_eq!(&p1, &p2, "same seed, same trace");
         assert_within(&p1, &ranges);
     }
+}
 
-    #[test]
-    fn gaussian_steps_shrink(rows_pow in 7u32..11) {
+#[test]
+fn gaussian_steps_shrink() {
+    let mut rng = SmallRng::seed_from_u64(0x404);
+    for _ in 0..CASES {
+        let rows_pow = rng.gen_range(7u32..11);
         let rows = 1u64 << rows_pow;
         let w = Gaussian { rows, rows_per_step: 64, rows_per_block: 16 };
         let (kernels, ranges) = build(&w);
-        let counts: Vec<usize> = kernels
-            .iter()
-            .map(|k| k.num_blocks())
-            .collect();
+        let counts: Vec<usize> = kernels.iter().map(|k| k.num_blocks()).collect();
         for pair in counts.windows(2) {
-            prop_assert!(pair[1] <= pair[0], "active region must shrink");
+            assert!(pair[1] <= pair[0], "active region must shrink");
         }
         assert_within(&all_pages(kernels), &ranges);
     }
+}
 
-    #[test]
-    fn pathfinder_and_backprop_stream_within_bounds(
-        rows in 1u64..6,
-        row_pages in 16u64..128,
-    ) {
+#[test]
+fn pathfinder_and_backprop_stream_within_bounds() {
+    let mut rng = SmallRng::seed_from_u64(0x405);
+    for _ in 0..CASES {
+        let rows = rng.gen_range(1u64..6);
+        let row_pages = rng.gen_range(16u64..128);
         let w = Pathfinder { rows, row_pages, thread_blocks: 4 };
         let (kernels, ranges) = build(&w);
-        prop_assert_eq!(kernels.len() as u64, rows);
+        assert_eq!(kernels.len() as u64, rows);
         assert_within(&all_pages(kernels), &ranges);
 
         let w = Backprop {
@@ -131,27 +146,37 @@ proptest! {
         assert_within(&pages, &ranges);
         // Streaming: no page repeats.
         let unique: HashSet<u64> = pages.iter().copied().collect();
-        prop_assert_eq!(unique.len(), pages.len());
+        assert_eq!(unique.len(), pages.len());
     }
+}
 
-    #[test]
-    fn srad_alternates_kernels(rows_pow in 5u32..9, iters in 1u64..4) {
+#[test]
+fn srad_alternates_kernels() {
+    let mut rng = SmallRng::seed_from_u64(0x406);
+    for _ in 0..CASES {
+        let rows_pow = rng.gen_range(5u32..9);
+        let iters = rng.gen_range(1u64..4);
         let w = Srad { rows: 1 << rows_pow, iterations: iters, rows_per_block: 16 };
         let (kernels, ranges) = build(&w);
-        prop_assert_eq!(kernels.len() as u64, 2 * iters);
+        assert_eq!(kernels.len() as u64, 2 * iters);
         for (i, k) in kernels.iter().enumerate() {
             let expect = if i % 2 == 0 { "srad_k1" } else { "srad_k2" };
-            prop_assert!(k.name().starts_with(expect));
+            assert!(k.name().starts_with(expect));
         }
         assert_within(&all_pages(kernels), &ranges);
     }
+}
 
-    #[test]
-    fn linear_sweep_covers_exactly(pages in 1u64..512, repeats in 1u64..4) {
+#[test]
+fn linear_sweep_covers_exactly() {
+    let mut rng = SmallRng::seed_from_u64(0x407);
+    for _ in 0..CASES {
+        let pages = rng.gen_range(1u64..512);
+        let repeats = rng.gen_range(1u64..4);
         let w = LinearSweep { pages, repeats, thread_blocks: 3 };
         let (kernels, ranges) = build(&w);
         let touched = all_pages(kernels);
-        prop_assert_eq!(touched.len() as u64, pages * repeats);
+        assert_eq!(touched.len() as u64, pages * repeats);
         assert_within(&touched, &ranges);
     }
 }

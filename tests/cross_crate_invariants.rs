@@ -1,13 +1,12 @@
-//! Property-based integration tests: randomized workloads, policies,
-//! and memory budgets must never violate the simulator's conservation
+//! Randomized integration tests: randomized workloads, policies, and
+//! memory budgets must never violate the simulator's conservation
 //! laws, and the fault count must stay bounded by the access count
 //! (the invariant that rules out eviction/refault livelock).
-
-use proptest::prelude::*;
 
 use uvm_core::{EvictPolicy, PrefetchPolicy};
 use uvm_gpu::{Access, Engine, GpuConfig, KernelSpec, ThreadBlockSpec};
 use uvm_sim::{run_workload, RunOptions};
+use uvm_types::rng::{Rng, SmallRng};
 use uvm_types::{Bytes, VirtAddr, PAGE_SIZE};
 use uvm_workloads::Workload;
 
@@ -28,8 +27,6 @@ impl Workload for RandomWorkload {
     }
 
     fn build(&self, malloc: &mut dyn FnMut(Bytes) -> VirtAddr) -> Vec<KernelSpec> {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
         let base = malloc(PAGE_SIZE * self.pages);
         let mut rng = SmallRng::seed_from_u64(self.seed);
         (0..self.kernels)
@@ -55,45 +52,37 @@ impl Workload for RandomWorkload {
     }
 }
 
-fn prefetch_strategy() -> impl Strategy<Value = PrefetchPolicy> {
-    prop_oneof![
-        Just(PrefetchPolicy::None),
-        Just(PrefetchPolicy::Random),
-        Just(PrefetchPolicy::SequentialLocal),
-        Just(PrefetchPolicy::TreeBasedNeighborhood),
-    ]
-}
+const PREFETCHES: [PrefetchPolicy; 4] = [
+    PrefetchPolicy::None,
+    PrefetchPolicy::Random,
+    PrefetchPolicy::SequentialLocal,
+    PrefetchPolicy::TreeBasedNeighborhood,
+];
 
-fn evict_strategy() -> impl Strategy<Value = EvictPolicy> {
-    prop_oneof![
-        Just(EvictPolicy::LruPage),
-        Just(EvictPolicy::RandomPage),
-        Just(EvictPolicy::SequentialLocal),
-        Just(EvictPolicy::TreeBasedNeighborhood),
-        Just(EvictPolicy::LruLargePage),
-    ]
-}
+const EVICTS: [EvictPolicy; 5] = [
+    EvictPolicy::LruPage,
+    EvictPolicy::RandomPage,
+    EvictPolicy::SequentialLocal,
+    EvictPolicy::TreeBasedNeighborhood,
+    EvictPolicy::LruLargePage,
+];
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        ..ProptestConfig::default()
-    })]
+/// Any (workload, policy pair, budget) combination satisfies the
+/// conservation laws and terminates with bounded faults.
+#[test]
+fn randomized_runs_conserve_pages() {
+    let mut rng = SmallRng::seed_from_u64(0xcc1);
+    for _ in 0..24 {
+        let pages = rng.gen_range(64u64..1024);
+        let kernels = rng.gen_range(1usize..4);
+        let blocks = rng.gen_range(1usize..12);
+        let accesses = rng.gen_range(4usize..64);
+        let seed = rng.next_u64();
+        let prefetch = PREFETCHES[rng.gen_range(0usize..PREFETCHES.len())];
+        let evict = EVICTS[rng.gen_range(0usize..EVICTS.len())];
+        let frac = [None, Some(1.05), Some(1.25), Some(2.0)][rng.gen_range(0usize..4)];
+        let reserve = [0.0, 0.1][rng.gen_range(0usize..2)];
 
-    /// Any (workload, policy pair, budget) combination satisfies the
-    /// conservation laws and terminates with bounded faults.
-    #[test]
-    fn randomized_runs_conserve_pages(
-        pages in 64u64..1024,
-        kernels in 1usize..4,
-        blocks in 1usize..12,
-        accesses in 4usize..64,
-        seed in any::<u64>(),
-        prefetch in prefetch_strategy(),
-        evict in evict_strategy(),
-        frac in prop_oneof![Just(None), Just(Some(1.05)), Just(Some(1.25)), Just(Some(2.0))],
-        reserve in prop_oneof![Just(0.0), Just(0.1)],
-    ) {
         let w = RandomWorkload { pages, kernels, blocks, accesses_per_block: accesses, seed };
         let total_accesses = (kernels * blocks * accesses) as u64;
         let mut opts = RunOptions::default()
@@ -104,43 +93,39 @@ proptest! {
         let r = run_workload(&w, opts);
 
         // Conservation: bytes moved match pages moved.
-        prop_assert_eq!(r.read_bytes, PAGE_SIZE * r.pages_migrated);
-        prop_assert_eq!(r.write_bytes, PAGE_SIZE * r.pages_evicted);
-        prop_assert!(r.pages_evicted <= r.pages_migrated);
-        prop_assert!(r.pages_prefetched <= r.pages_migrated);
-        prop_assert!(r.pages_thrashed <= r.pages_migrated);
+        assert_eq!(r.read_bytes, PAGE_SIZE * r.pages_migrated);
+        assert_eq!(r.write_bytes, PAGE_SIZE * r.pages_evicted);
+        assert!(r.pages_evicted <= r.pages_migrated);
+        assert!(r.pages_prefetched <= r.pages_migrated);
+        assert!(r.pages_thrashed <= r.pages_migrated);
         // Residency never exceeds the budget.
         if let Some(cap) = r.capacity {
             let resident = r.pages_migrated - r.pages_evicted;
-            prop_assert!(resident * PAGE_SIZE.bytes() <= cap.bytes());
+            assert!(resident * PAGE_SIZE.bytes() <= cap.bytes());
         }
         // Liveness: every distinct fault completes at least one access,
         // so faults can never exceed the total access count.
-        prop_assert!(
+        assert!(
             r.far_faults <= total_accesses,
             "faults {} must be bounded by accesses {}",
-            r.far_faults, total_accesses
+            r.far_faults,
+            total_accesses
         );
         // Time is positive and finite.
-        prop_assert!(r.total_ms() > 0.0);
+        assert!(r.total_ms() > 0.0);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 16,
-        ..ProptestConfig::default()
-    })]
-
-    /// Determinism: identical configurations produce identical runs,
-    /// regardless of policy randomness (seeded RNG).
-    #[test]
-    fn randomized_runs_are_deterministic(
-        pages in 64u64..512,
-        seed in any::<u64>(),
-        prefetch in prefetch_strategy(),
-        evict in evict_strategy(),
-    ) {
+/// Determinism: identical configurations produce identical runs,
+/// regardless of policy randomness (seeded RNG).
+#[test]
+fn randomized_runs_are_deterministic() {
+    let mut rng = SmallRng::seed_from_u64(0xcc2);
+    for _ in 0..16 {
+        let pages = rng.gen_range(64u64..512);
+        let seed = rng.next_u64();
+        let prefetch = PREFETCHES[rng.gen_range(0usize..PREFETCHES.len())];
+        let evict = EVICTS[rng.gen_range(0usize..EVICTS.len())];
         let w = RandomWorkload { pages, kernels: 2, blocks: 4, accesses_per_block: 16, seed };
         let opts = || {
             let mut o = RunOptions::default().with_prefetch(prefetch).with_evict(evict);
@@ -149,10 +134,10 @@ proptest! {
         };
         let a = run_workload(&w, opts());
         let b = run_workload(&w, opts());
-        prop_assert_eq!(a.total_time, b.total_time);
-        prop_assert_eq!(a.far_faults, b.far_faults);
-        prop_assert_eq!(a.pages_evicted, b.pages_evicted);
-        prop_assert_eq!(a.pages_thrashed, b.pages_thrashed);
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.far_faults, b.far_faults);
+        assert_eq!(a.pages_evicted, b.pages_evicted);
+        assert_eq!(a.pages_thrashed, b.pages_thrashed);
     }
 }
 

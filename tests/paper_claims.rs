@@ -6,10 +6,20 @@
 //! substrate is a simulator, not a GTX 1080ti — but who wins, and by
 //! roughly what factor, must match.
 
+use std::sync::OnceLock;
+
 use uvm_sim::experiments::{
     eviction_isolation, lru_reservation, oversubscription_sweep, policy_combinations,
     prefetcher_sweep, suite, table1, tbn_oversubscription_sensitivity, tbne_vs_2mb, Scale,
 };
+use uvm_sim::Executor;
+
+/// One executor shared by every test in this binary: figures that
+/// project the same runs (3/4/5, 9/10, ...) are simulated once.
+fn exec() -> &'static Executor {
+    static EXEC: OnceLock<Executor> = OnceLock::new();
+    EXEC.get_or_init(|| Executor::new(2))
+}
 
 const BENCHMARKS: [&str; 7] = [
     "backprop",
@@ -47,7 +57,7 @@ fn table1_bandwidths_match_the_paper() {
 /// none > Rp > SLp > TBNp; bandwidth rises in the same order.
 #[test]
 fn prefetchers_beat_on_demand_paging_and_tbnp_wins() {
-    let sweep = prefetcher_sweep(Scale::Smoke);
+    let sweep = prefetcher_sweep(exec(), Scale::Smoke);
     for b in BENCHMARKS {
         let time = |p| sweep.time.value(b, p).unwrap();
         let faults = |p| sweep.faults.value(b, p).unwrap();
@@ -84,7 +94,7 @@ fn prefetchers_beat_on_demand_paging_and_tbnp_wins() {
 /// (and clearly hurts nw).
 #[test]
 fn oversubscription_hurts_and_free_page_buffer_does_not_help() {
-    let sweep = oversubscription_sweep(Scale::Smoke);
+    let sweep = oversubscription_sweep(exec(), Scale::Smoke);
     for b in BENCHMARKS {
         let t = |col| sweep.time.value(b, col).unwrap();
         if is_streaming(b) {
@@ -126,7 +136,7 @@ fn oversubscription_hurts_and_free_page_buffer_does_not_help() {
 /// do not care.
 #[test]
 fn random_eviction_beats_lru_for_reuse_benchmarks() {
-    let iso = eviction_isolation(Scale::Smoke);
+    let iso = eviction_isolation(exec(), Scale::Smoke);
     for b in ["bfs", "hotspot", "nw", "srad"] {
         let lru = iso.time.value(b, "LRU").unwrap();
         let random = iso.time.value(b, "Random").unwrap();
@@ -152,7 +162,7 @@ fn random_eviction_beats_lru_for_reuse_benchmarks() {
 /// nw is the exception that prefers SLe+SLp over TBNe+TBNp.
 #[test]
 fn pre_eviction_prefetcher_combos_win() {
-    let t = policy_combinations(Scale::Smoke);
+    let t = policy_combinations(exec(), Scale::Smoke);
     let mut tbn_speedups = Vec::new();
     for b in BENCHMARKS {
         let baseline = t.value(b, "LRU4K+none").unwrap();
@@ -186,7 +196,7 @@ fn pre_eviction_prefetcher_combos_win() {
 /// order of magnitude.
 #[test]
 fn tbn_combo_scales_with_oversubscription() {
-    let t = tbn_oversubscription_sensitivity(Scale::Smoke);
+    let t = tbn_oversubscription_sensitivity(exec(), Scale::Smoke);
     for b in STREAMING {
         let t100 = t.value(b, "100%").unwrap();
         let t150 = t.value(b, "150%").unwrap();
@@ -211,7 +221,7 @@ fn tbn_combo_scales_with_oversubscription() {
 /// benchmarks unchanged, and a larger reservation can hurt.
 #[test]
 fn lru_reservation_helps_iterative_reuse() {
-    let t = lru_reservation(Scale::Smoke);
+    let t = lru_reservation(exec(), Scale::Smoke);
     for b in STREAMING {
         let t0 = t.value(b, "0%").unwrap();
         let t10 = t.value(b, "10%").unwrap();
@@ -241,7 +251,7 @@ fn lru_reservation_helps_iterative_reuse() {
 /// eviction thrashes repetitive launches.
 #[test]
 fn tbne_beats_static_2mb_eviction() {
-    let cmp = tbne_vs_2mb(Scale::Smoke);
+    let cmp = tbne_vs_2mb(exec(), Scale::Smoke);
     let mut speedups = Vec::new();
     for b in BENCHMARKS {
         if b == "srad" {
@@ -287,7 +297,7 @@ fn smoke_suite_is_the_paper_suite() {
 /// instead — see EXPERIMENTS.md).
 #[test]
 fn access_patterns_classify_as_the_paper_describes() {
-    let t = uvm_sim::experiments::pattern_analysis(Scale::Smoke);
+    let t = uvm_sim::experiments::pattern_analysis(exec(), Scale::Smoke);
     let class = |b: &str| {
         let row = t.find_row(b).unwrap();
         row.last().unwrap().clone()
