@@ -30,7 +30,10 @@ fn main() {
     });
 
     b.bench("prefetcher_sweep/fig3_fig4_fig5", || {
-        black_box(experiments::prefetcher_sweep(&Executor::new(1), Scale::Smoke));
+        black_box(experiments::prefetcher_sweep(
+            &Executor::new(1),
+            Scale::Smoke,
+        ));
     });
     b.bench("oversubscription/fig6_fig7", || {
         black_box(experiments::oversubscription_sweep(
@@ -39,13 +42,23 @@ fn main() {
         ));
     });
     b.bench("eviction_isolation/fig9_fig10", || {
-        black_box(experiments::eviction_isolation(&Executor::new(1), Scale::Smoke));
+        black_box(experiments::eviction_isolation(
+            &Executor::new(1),
+            Scale::Smoke,
+        ));
     });
     b.bench("policy_combos/fig11", || {
-        black_box(experiments::policy_combinations(&Executor::new(1), Scale::Smoke));
+        black_box(experiments::policy_combinations(
+            &Executor::new(1),
+            Scale::Smoke,
+        ));
     });
     b.bench("nw_trace/fig12", || {
-        black_box(experiments::nw_trace(&Executor::new(1), Scale::Smoke, &[3, 7]));
+        black_box(experiments::nw_trace(
+            &Executor::new(1),
+            Scale::Smoke,
+            &[3, 7],
+        ));
     });
     b.bench("oversub_sensitivity/fig13", || {
         black_box(experiments::tbn_oversubscription_sensitivity(
@@ -54,7 +67,10 @@ fn main() {
         ));
     });
     b.bench("lru_reservation/fig14", || {
-        black_box(experiments::lru_reservation(&Executor::new(1), Scale::Smoke));
+        black_box(experiments::lru_reservation(
+            &Executor::new(1),
+            Scale::Smoke,
+        ));
     });
     b.bench("tbne_vs_2mb/fig15_fig16", || {
         black_box(experiments::tbne_vs_2mb(&Executor::new(1), Scale::Smoke));

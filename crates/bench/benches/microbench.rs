@@ -8,7 +8,9 @@
 use std::hint::black_box;
 
 use uvm_bench::harness::Bench;
-use uvm_core::{AllocTree, EvictPolicy, Gmmu, HierarchicalLru, LruQueue, PrefetchPolicy, UvmConfig};
+use uvm_core::{
+    AllocTree, EvictPolicy, Gmmu, HierarchicalLru, LruQueue, PrefetchPolicy, UvmConfig,
+};
 use uvm_interconnect::PcieModel;
 use uvm_types::{BasicBlockId, Bytes, Cycle, PageId, TreeExtent, PAGE_SIZE};
 
@@ -127,7 +129,7 @@ fn bench_frame_table_repr(b: &Bench) {
     b.bench("frame_table/hashmap_probe_4k", || {
         let mut hits = 0u64;
         for i in 0..2 * pages {
-            if map.get(&PageId::new(i)).is_some() {
+            if map.contains_key(&PageId::new(i)) {
                 hits += 1;
             }
         }

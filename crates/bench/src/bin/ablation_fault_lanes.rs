@@ -2,6 +2,7 @@
 //! lanes (the host runtime's fault-buffer drain concurrency).
 fn main() {
     let cfg = uvm_bench::config_from_args();
-    let t = uvm_sim::experiments::fault_lanes_ablation(&cfg.executor(), cfg.scale, &[1, 2, 4, 8, 16]);
+    let t =
+        uvm_sim::experiments::fault_lanes_ablation(&cfg.executor(), cfg.scale, &[1, 2, 4, 8, 16]);
     uvm_bench::emit("ablation_fault_lanes", &t);
 }

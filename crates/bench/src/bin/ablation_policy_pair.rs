@@ -1,0 +1,26 @@
+//! Registry ablation: run the benchmark suite under an arbitrary
+//! prefetcher × evictor pair named on the command line, next to the
+//! driver baseline (none + LRU-4KB) and the paper's TBNp + TBNe.
+//!
+//! ```sh
+//! cargo run --release -p uvm-bench --bin ablation_policy_pair -- --list-policies
+//! cargo run --release -p uvm-bench --bin ablation_policy_pair -- \
+//!     --smoke --prefetch S256p --evict AFe
+//! ```
+//!
+//! Defaults to the two out-of-core policies (the 256 KB-stride
+//! prefetcher and the access-frequency evictor) that exist purely as
+//! registry entries: this binary proves a policy is selectable by name
+//! without the driver knowing it.
+
+use uvm_bench::{config_from_args, emit};
+use uvm_core::{EvictPolicy, PrefetchPolicy};
+use uvm_sim::experiments::policy_pair;
+
+fn main() {
+    let cfg = config_from_args();
+    let prefetch = cfg.prefetch.unwrap_or(PrefetchPolicy::Stride256K);
+    let evict = cfg.evict.unwrap_or(EvictPolicy::AccessFrequency);
+    let table = policy_pair(&cfg.executor(), cfg.scale, prefetch, evict);
+    emit(&format!("ablation_policy_pair_{prefetch}_{evict}"), &table);
+}

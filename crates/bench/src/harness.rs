@@ -62,8 +62,7 @@ impl Bench {
                 iters += 1;
             }
             let per = (first + warm.elapsed()).as_nanos() as f64 / iters as f64;
-            let n = ((BATCH_TARGET.as_nanos() as f64 / per.max(1.0)) as u64)
-                .clamp(1, 10_000_000);
+            let n = ((BATCH_TARGET.as_nanos() as f64 / per.max(1.0)) as u64).clamp(1, 10_000_000);
             let mut best = f64::INFINITY;
             for _ in 0..SAMPLES {
                 let t = Instant::now();
@@ -84,7 +83,7 @@ fn group_digits(v: u64) -> String {
     let digits = v.to_string();
     let mut out = String::with_capacity(digits.len() + digits.len() / 3);
     for (i, c) in digits.chars().enumerate() {
-        if i > 0 && (digits.len() - i) % 3 == 0 {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

@@ -23,6 +23,7 @@ pub mod harness;
 use std::fs;
 use std::path::PathBuf;
 
+use uvm_core::{EvictPolicy, PolicyRegistry, PrefetchPolicy};
 use uvm_sim::experiments::Scale;
 use uvm_sim::{Executor, Table};
 
@@ -36,6 +37,12 @@ pub struct Config {
     pub scale: Scale,
     /// Worker-pool width (`--jobs N`); 0 means auto-detect.
     pub jobs: usize,
+    /// Prefetcher override (`--prefetch NAME`), resolved through the
+    /// policy registry. Binaries that sweep policies ignore it.
+    pub prefetch: Option<PrefetchPolicy>,
+    /// Evictor override (`--evict NAME`), resolved through the policy
+    /// registry. Binaries that sweep policies ignore it.
+    pub evict: Option<EvictPolicy>,
 }
 
 impl Config {
@@ -47,41 +54,101 @@ impl Config {
 }
 
 /// Parses the common binary arguments: `--smoke`/`--paper` select the
-/// scale, `--jobs N` (or `--jobs=N`) the worker-pool width; anything
-/// else is rejected with a usage message.
+/// scale, `--jobs N` (or `--jobs=N`) the worker-pool width,
+/// `--prefetch NAME` / `--evict NAME` pick policies by registry name,
+/// and `--list-policies` prints every registered policy and exits.
+/// Unknown arguments and unknown policy names exit with status 2; the
+/// policy error lists every registered name.
 pub fn config_from_args() -> Config {
     match parse_args(std::env::args().skip(1)) {
-        Ok(cfg) => cfg,
+        Ok(Parsed::Run(cfg)) => cfg,
+        Ok(Parsed::ListPolicies) => {
+            print!("{}", render_policy_list());
+            std::process::exit(0);
+        }
         Err(msg) => {
-            eprintln!("{msg}; use --smoke, --paper, or --jobs N");
+            eprintln!("{msg}");
+            eprintln!(
+                "usage: [--smoke|--paper] [--jobs N] \
+                 [--prefetch NAME] [--evict NAME] [--list-policies]"
+            );
             std::process::exit(2);
         }
     }
 }
 
-fn parse_args(args: impl Iterator<Item = String>) -> Result<Config, String> {
+/// Outcome of argument parsing: either a runnable configuration or the
+/// `--list-policies` request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Parsed {
+    Run(Config),
+    ListPolicies,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, String> {
     let mut cfg = Config {
         scale: Scale::Paper,
         jobs: 0,
+        prefetch: None,
+        evict: None,
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => cfg.scale = Scale::Smoke,
             "--paper" => cfg.scale = Scale::Paper,
+            "--list-policies" => return Ok(Parsed::ListPolicies),
             "--jobs" => {
                 let n = args.next().ok_or("--jobs needs a value")?;
                 cfg.jobs = n.parse().map_err(|_| format!("bad --jobs value {n:?}"))?;
             }
-            other => match other.strip_prefix("--jobs=") {
-                Some(n) => {
+            "--prefetch" => {
+                let name = args.next().ok_or("--prefetch needs a policy name")?;
+                cfg.prefetch = Some(name.parse().map_err(|e| format!("{e}"))?);
+            }
+            "--evict" => {
+                let name = args.next().ok_or("--evict needs a policy name")?;
+                cfg.evict = Some(name.parse().map_err(|e| format!("{e}"))?);
+            }
+            other => {
+                if let Some(n) = other.strip_prefix("--jobs=") {
                     cfg.jobs = n.parse().map_err(|_| format!("bad --jobs value {n:?}"))?;
+                } else if let Some(name) = other.strip_prefix("--prefetch=") {
+                    cfg.prefetch = Some(name.parse().map_err(|e| format!("{e}"))?);
+                } else if let Some(name) = other.strip_prefix("--evict=") {
+                    cfg.evict = Some(name.parse().map_err(|e| format!("{e}"))?);
+                } else {
+                    return Err(format!("unknown argument {other:?}"));
                 }
-                None => return Err(format!("unknown argument {other:?}")),
-            },
+            }
         }
     }
-    Ok(cfg)
+    Ok(Parsed::Run(cfg))
+}
+
+/// The `--list-policies` listing: every registered prefetcher and
+/// evictor with its aliases and summary, straight from the registry.
+pub fn render_policy_list() -> String {
+    let registry = PolicyRegistry::global();
+    let mut out = String::from("prefetchers:\n");
+    for e in registry.prefetchers() {
+        let aliases = if e.aliases.is_empty() {
+            String::new()
+        } else {
+            format!(" (aka {})", e.aliases.join(", "))
+        };
+        out.push_str(&format!("  {:<10}{aliases:<30}{}\n", e.name, e.summary));
+    }
+    out.push_str("evictors:\n");
+    for e in registry.evictors() {
+        let aliases = if e.aliases.is_empty() {
+            String::new()
+        } else {
+            format!(" (aka {})", e.aliases.join(", "))
+        };
+        out.push_str(&format!("  {:<10}{aliases:<30}{}\n", e.name, e.summary));
+    }
+    out
 }
 
 /// Prints `table` to stdout and writes `results/<name>.csv`.
@@ -136,7 +203,10 @@ pub fn run_all(cfg: &Config) {
         write_csv(&format!("fig12_launch{launch}"), &table);
     }
 
-    emit("fig13", &exp::tbn_oversubscription_sensitivity(&exec, scale));
+    emit(
+        "fig13",
+        &exp::tbn_oversubscription_sensitivity(&exec, scale),
+    );
     emit("fig14", &exp::lru_reservation(&exec, scale));
 
     let cmp = exp::tbne_vs_2mb(&exec, scale);
@@ -188,20 +258,78 @@ mod tests {
     #[test]
     fn args_parse_scale_and_jobs() {
         let p = |args: &[&str]| parse_args(args.iter().map(|s| s.to_string()));
-        assert_eq!(
-            p(&[]).unwrap(),
-            Config { scale: Scale::Paper, jobs: 0 }
-        );
+        let base = Config {
+            scale: Scale::Paper,
+            jobs: 0,
+            prefetch: None,
+            evict: None,
+        };
+        assert_eq!(p(&[]).unwrap(), Parsed::Run(base));
         assert_eq!(
             p(&["--smoke", "--jobs", "4"]).unwrap(),
-            Config { scale: Scale::Smoke, jobs: 4 }
+            Parsed::Run(Config {
+                scale: Scale::Smoke,
+                jobs: 4,
+                ..base
+            })
         );
         assert_eq!(
             p(&["--jobs=8", "--paper"]).unwrap(),
-            Config { scale: Scale::Paper, jobs: 8 }
+            Parsed::Run(Config {
+                scale: Scale::Paper,
+                jobs: 8,
+                ..base
+            })
         );
         assert!(p(&["--jobs"]).is_err());
         assert!(p(&["--jobs", "many"]).is_err());
         assert!(p(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn args_resolve_policies_through_the_registry() {
+        let p = |args: &[&str]| parse_args(args.iter().map(|s| s.to_string()));
+        // Canonical names and registry aliases both resolve.
+        let Parsed::Run(cfg) = p(&["--prefetch", "S256p", "--evict=freq"]).unwrap() else {
+            panic!("expected a runnable config");
+        };
+        assert_eq!(cfg.prefetch, Some(PrefetchPolicy::Stride256K));
+        assert_eq!(cfg.evict, Some(EvictPolicy::AccessFrequency));
+        let Parsed::Run(cfg) = p(&["--prefetch=tree", "--evict", "LRU-2MB"]).unwrap() else {
+            panic!("expected a runnable config");
+        };
+        assert_eq!(cfg.prefetch, Some(PrefetchPolicy::TreeBasedNeighborhood));
+        assert_eq!(cfg.evict, Some(EvictPolicy::LruLargePage));
+        assert_eq!(p(&["--list-policies"]).unwrap(), Parsed::ListPolicies);
+    }
+
+    #[test]
+    fn unknown_policy_names_error_with_the_registry_list() {
+        let p = |args: &[&str]| parse_args(args.iter().map(|s| s.to_string()));
+        let err = p(&["--prefetch", "bogus"]).unwrap_err();
+        assert!(err.contains("bogus"));
+        for name in PolicyRegistry::global().prefetcher_names() {
+            assert!(err.contains(name), "error lists {name}");
+        }
+        let err = p(&["--evict=bogus"]).unwrap_err();
+        for name in PolicyRegistry::global().evictor_names() {
+            assert!(err.contains(name), "error lists {name}");
+        }
+    }
+
+    #[test]
+    fn policy_list_covers_every_registered_name() {
+        let listing = render_policy_list();
+        let registry = PolicyRegistry::global();
+        for e in registry.prefetchers() {
+            for name in e.names() {
+                assert!(listing.contains(name), "listing mentions {name}");
+            }
+        }
+        for e in registry.evictors() {
+            for name in e.names() {
+                assert!(listing.contains(name), "listing mentions {name}");
+            }
+        }
     }
 }

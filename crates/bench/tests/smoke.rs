@@ -38,6 +38,8 @@ fn all_experiments_smoke_runs_and_resumes() {
     std::env::set_current_dir(&tmp).unwrap();
 
     let cfg = Config {
+        prefetch: None,
+        evict: None,
         scale: Scale::Smoke,
         jobs: 2,
     };

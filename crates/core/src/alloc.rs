@@ -257,15 +257,24 @@ mod tests {
         let id = r.allocate(Bytes::mib(4) + Bytes::kib(192));
         let a = r.get(id);
         assert_eq!(
-            a.tree_for_block(BasicBlockId::new(0)).unwrap().extent().first_block,
+            a.tree_for_block(BasicBlockId::new(0))
+                .unwrap()
+                .extent()
+                .first_block,
             BasicBlockId::new(0)
         );
         assert_eq!(
-            a.tree_for_block(BasicBlockId::new(33)).unwrap().extent().first_block,
+            a.tree_for_block(BasicBlockId::new(33))
+                .unwrap()
+                .extent()
+                .first_block,
             BasicBlockId::new(32)
         );
         assert_eq!(
-            a.tree_for_block(BasicBlockId::new(65)).unwrap().extent().first_block,
+            a.tree_for_block(BasicBlockId::new(65))
+                .unwrap()
+                .extent()
+                .first_block,
             BasicBlockId::new(64)
         );
         // Block past the rounded extent (4 MB + 256 KB = 68 blocks).

@@ -1,0 +1,91 @@
+//! The pluggable eviction / pre-eviction layer (paper Secs. 4.2, 5,
+//! and 7.5).
+//!
+//! Each policy lives in its own module and implements [`Evictor`].
+//! Recency bookkeeping is *policy state*: the traditional accessed-page
+//! LRU lives inside [`LruPageEvictor`], and the Sec. 5.3 hierarchical
+//! valid-page list lives inside each pre-eviction policy. The `Gmmu`
+//! mechanism feeds the bookkeeping through the `on_validate` /
+//! `on_access` / `on_invalidate` hooks and handles everything else
+//! (write-back scheduling, budget accounting, the free-page buffer,
+//! PTE invalidation).
+
+mod freq;
+mod lru_large;
+mod lru_page;
+mod random_page;
+mod sl;
+mod tbn;
+
+pub use freq::FreqEvictor;
+pub use lru_large::LruLargeEvictor;
+pub use lru_page::LruPageEvictor;
+pub use random_page::RandomPageEvictor;
+pub use sl::SlEvictor;
+pub use tbn::TbnEvictor;
+
+use std::fmt;
+
+use uvm_types::rng::SmallRng;
+use uvm_types::{Cycle, PageId};
+
+use crate::view::ResidencyView;
+
+/// An eviction policy: chooses victim pages when the device memory
+/// budget forces room to be made.
+///
+/// Contract:
+///
+/// * [`select_victims`](Self::select_victims) returns *write-back
+///   groups*: each inner `Vec` is written back as one PCI-e transfer.
+///   Every returned page must be resident with pin level at most
+///   `max_pin` at `t` (query `view.pin_level`); the mechanism expels
+///   exactly what is returned.
+/// * The mechanism calls with `max_pin = PIN_NONE` first and falls
+///   back to `PIN_SOFT`; hard-pinned demand pages are never victims.
+/// * The `on_*` hooks mirror the driver's page state transitions so a
+///   policy can maintain recency/frequency structures; they fire for
+///   every page regardless of which policy planned its migration.
+/// * Policies observe driver state only through `view` and must not
+///   assume their hooks saw pages admitted before the policy was
+///   installed.
+/// * All randomness must come from the supplied `rng` (the driver's
+///   single seeded stream).
+pub trait Evictor: fmt::Debug {
+    /// The registry's canonical (display) name for this evictor.
+    fn name(&self) -> &'static str;
+
+    /// `true` for bulk pre-eviction policies whose write-backs do not
+    /// stall the demand migration (paper Sec. 5); demand-eviction
+    /// policies stall the fault behind the write-back barrier.
+    fn is_pre_eviction(&self) -> bool;
+
+    /// A page became valid (migrated in).
+    fn on_validate(&mut self, _page: PageId) {}
+
+    /// A resident page was accessed by a warp.
+    fn on_access(&mut self, _page: PageId) {}
+
+    /// A page was invalidated (evicted).
+    fn on_invalidate(&mut self, _page: PageId) {}
+
+    /// Chooses the victim groups (each group = one write-back
+    /// transfer), or `None` if no eligible victim exists.
+    fn select_victims(
+        &mut self,
+        view: &ResidencyView<'_>,
+        rng: &mut SmallRng,
+        t: Cycle,
+        max_pin: u8,
+    ) -> Option<Vec<Vec<PageId>>>;
+
+    /// Clones the evictor behind a fresh box (trait objects cannot
+    /// derive `Clone`).
+    fn box_clone(&self) -> Box<dyn Evictor>;
+}
+
+impl Clone for Box<dyn Evictor> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}

@@ -1,5 +1,5 @@
-//! The GMMU / UVM driver model: far-fault servicing, hardware
-//! prefetching, and page (pre-)eviction under a strict memory budget.
+//! The GMMU / UVM driver *mechanism*: far-fault servicing, budget
+//! accounting, transfer-group scheduling, and write-back.
 //!
 //! This is the component the whole paper studies. The GPU engine calls
 //! [`Gmmu::handle_fault`] for every distinct far-fault (duplicates are
@@ -7,9 +7,9 @@
 //!
 //! 1. pays the far-fault handling latency (45 µs, serialized across
 //!    faults — the host runtime handles one fault at a time),
-//! 2. asks the configured [`PrefetchPolicy`] what to migrate along
-//!    with the faulty page,
-//! 3. evicts pages per the configured [`EvictPolicy`] if the device
+//! 2. asks the configured [`Prefetcher`] what to migrate along with
+//!    the faulty page,
+//! 3. evicts pages per the configured [`Evictor`] if the device
 //!    memory budget would be exceeded (demand eviction stalls the
 //!    migration behind the write-back; bulk pre-eviction does not),
 //! 4. schedules the migration as transfer groups on the PCI-e read
@@ -17,21 +17,29 @@
 //!    the prefetch groups (Sec. 3.2/3.3 fault-group/prefetch-group
 //!    split),
 //! 5. validates the pages and reports per-page data-ready times.
+//!
+//! Policy lives elsewhere: the prefetchers ([`crate::prefetch`]) and
+//! evictors ([`crate::evict`]) are trait objects resolved from the
+//! [`PolicyRegistry`] and observe driver state only through the
+//! read-only [`ResidencyView`]. The mechanism feeds their recency /
+//! frequency bookkeeping via the `on_validate`/`on_access`/
+//! `on_invalidate` hooks and owns every mutation: PTEs, frames, the
+//! shared TBN trees, pin state, and statistics.
 
 use uvm_interconnect::{ChannelStats, PcieChannel, PcieModel};
 use uvm_mem::{FrameAllocator, FrameId, PageTable};
-use uvm_types::rng::{Rng, SmallRng};
-use uvm_types::{BasicBlockId, Bytes, Cycle, Duration, PageId, VirtAddr, PAGE_SIZE, PAGES_PER_LARGE_PAGE};
+use uvm_types::rng::SmallRng;
+use uvm_types::{Bytes, Cycle, PageId, VirtAddr, PAGES_PER_LARGE_PAGE, PAGE_SIZE};
 
 use crate::alloc::{AllocId, Allocations};
-use crate::dense::{DensePageMap, DensePageSet};
 use crate::config::UvmConfig;
-use crate::hier::HierarchicalLru;
+use crate::dense::{DensePageMap, DensePageSet};
+use crate::evict::Evictor;
 use crate::indexed::IndexedPageSet;
-use crate::lru::LruQueue;
-use crate::policy::{EvictPolicy, PrefetchPolicy};
+use crate::prefetch::Prefetcher;
+use crate::registry::PolicyRegistry;
 use crate::stats::UvmStats;
-use crate::tree::group_contiguous;
+use crate::view::{ResidencyView, PIN_NONE, PIN_SOFT};
 
 /// The result of servicing one far-fault.
 #[derive(Clone, Debug)]
@@ -78,10 +86,11 @@ pub struct Gmmu {
     /// Dense page-indexed frame table: the allocator hands out a small
     /// dense page range, so a `Vec` beats a `HashMap` on every access.
     frame_of: DensePageMap<FrameId>,
-    /// Traditional LRU list of *accessed* pages (LRU-4KB baseline).
-    page_lru: LruQueue<PageId>,
-    /// Hierarchical list of *valid* pages (pre-eviction policies).
-    hier: HierarchicalLru,
+    /// The configured prefetch policy (owns its learning state).
+    prefetcher: Box<dyn Prefetcher>,
+    /// The configured eviction policy (owns its recency bookkeeping,
+    /// fed through the on_validate/on_access/on_invalidate hooks).
+    evictor: Box<dyn Evictor>,
     /// All resident pages, for random eviction and fallbacks.
     resident: IndexedPageSet,
     read_chan: PcieChannel,
@@ -92,10 +101,10 @@ pub struct Gmmu {
     /// Sticky prefetcher kill-switch (over-subscription rule).
     prefetch_disabled: bool,
     /// Data-arrival times of in-flight (validated, still transferring)
-    /// pages. Entries whose pin grace has lapsed are left in place —
-    /// [`pin_level`](Self::pin_level) and
-    /// [`ready_time`](Self::ready_time) compare against the clock, so
-    /// stale entries behave exactly like absent ones.
+    /// pages. An entry is dropped on the page's first access (its
+    /// waiter replayed: the arrival grace pin did its job), on expel,
+    /// or on re-admit — [`ready_time`](Self::ready_time) itself is a
+    /// pure read.
     ready_at: DensePageMap<Cycle>,
     /// Prefetched pages not yet accessed (for accuracy accounting).
     unaccessed_prefetch: DensePageSet,
@@ -111,8 +120,25 @@ pub struct Gmmu {
 
 impl Gmmu {
     /// Creates a driver with the given configuration and an idle PCI-e
-    /// link calibrated to the paper's Table 1.
+    /// link calibrated to the paper's Table 1. The prefetcher and
+    /// evictor are built from the global [`PolicyRegistry`] using the
+    /// configured selectors.
     pub fn new(cfg: UvmConfig) -> Self {
+        let registry = PolicyRegistry::global();
+        let prefetcher = registry.build_prefetcher(cfg.prefetch, &cfg);
+        let evictor = registry.build_evictor(cfg.evict, &cfg);
+        Self::with_policies(cfg, prefetcher, evictor)
+    }
+
+    /// Creates a driver running explicit policy instances — the
+    /// third-party seam: any [`Prefetcher`]/[`Evictor`] implementation
+    /// plugs in here without the mechanism knowing its name. The
+    /// `cfg.prefetch`/`cfg.evict` selectors are ignored.
+    pub fn with_policies(
+        cfg: UvmConfig,
+        prefetcher: Box<dyn Prefetcher>,
+        evictor: Box<dyn Evictor>,
+    ) -> Self {
         let capacity = cfg.capacity.unwrap_or(Bytes::gib(1024));
         Gmmu {
             rng: SmallRng::seed_from_u64(cfg.rng_seed),
@@ -120,8 +146,8 @@ impl Gmmu {
             page_table: PageTable::new(),
             frames: FrameAllocator::new(capacity),
             frame_of: DensePageMap::new(),
-            page_lru: LruQueue::new(),
-            hier: HierarchicalLru::new(),
+            prefetcher,
+            evictor,
             resident: IndexedPageSet::new(),
             read_chan: PcieChannel::new(PcieModel::pascal_x16()),
             write_chan: PcieChannel::new(PcieModel::pascal_x16()),
@@ -160,28 +186,26 @@ impl Gmmu {
     }
 
     /// If `page`'s migration is still in flight at `now`, the cycle at
-    /// which its data arrives.
-    pub fn ready_time(&mut self, page: PageId, now: Cycle) -> Option<Cycle> {
-        match self.ready_at.get(page) {
-            Some(t) if t > now => Some(t),
-            Some(_) => {
-                self.ready_at.remove(page);
-                None
-            }
-            None => None,
-        }
+    /// which its data arrives. A pure read: in-flight entries are
+    /// cleared when the page is accessed, expelled, or re-admitted —
+    /// never by querying.
+    pub fn ready_time(&self, page: PageId, now: Cycle) -> Option<Cycle> {
+        self.ready_at.get(page).filter(|&t| t > now)
     }
 
-    /// Records a warp access to a resident page: sets PTE flags and
-    /// refreshes every LRU structure.
+    /// Records a warp access to a resident page: sets PTE flags,
+    /// notifies the eviction policy's bookkeeping, and updates the
+    /// prefetch-accuracy accounting.
     ///
     /// # Panics
     ///
     /// Panics if `page` is not resident (the engine must fault first).
     pub fn record_access(&mut self, page: PageId, write: bool) {
         self.page_table.mark_access(page, write);
-        self.page_lru.touch(page);
-        self.hier.on_access(page);
+        self.evictor.on_access(page);
+        // The arrival grace pin protects a migrated page until its
+        // waiter actually uses it; the first access consumes it.
+        self.ready_at.remove(page);
         self.unaccessed_demand.remove(page);
         if self.unaccessed_prefetch.remove(page) {
             self.stats.prefetched_used += 1;
@@ -235,10 +259,30 @@ impl Gmmu {
         // a backlog beyond the configured cap means prefetch traffic
         // is already outpacing the link.
         let backlog = self.read_chan.next_free().since(handled);
-        let mut prefetch = if backlog > self.cfg.prefetch_congestion_cap {
+        let congested = backlog > self.cfg.prefetch_congestion_cap;
+        let mut prefetch = if self.prefetch_disabled || congested {
             Vec::new()
         } else {
-            self.plan_prefetch(page, alloc_id)
+            let Gmmu {
+                prefetcher,
+                rng,
+                page_table,
+                allocs,
+                resident,
+                ready_at,
+                unaccessed_demand,
+                cfg,
+                ..
+            } = self;
+            let view = ResidencyView::new(
+                page_table,
+                allocs,
+                resident,
+                ready_at,
+                unaccessed_demand,
+                cfg.reserve_frac,
+            );
+            prefetcher.plan(&view, rng, page, alloc_id)
         };
         let mut room = self.frames.free_frames().saturating_sub(1);
         for group in &mut prefetch {
@@ -258,10 +302,7 @@ impl Gmmu {
 
         // Fault group first (4 KB), then the prefetch groups.
         let mut ready = Vec::with_capacity(needed as usize);
-        let t = self
-            .read_chan
-            .schedule(migrate_from, PAGE_SIZE)
-            .finish;
+        let t = self.read_chan.schedule(migrate_from, PAGE_SIZE).finish;
         self.admit_page(page, t, false);
         ready.push((page, t));
         let mut last_finish = t;
@@ -315,25 +356,24 @@ impl Gmmu {
         };
         let mut ready = Vec::new();
         let mut run: Vec<PageId> = Vec::new();
-        let flush =
-            |gmmu: &mut Self, run: &mut Vec<PageId>, ready: &mut Vec<(PageId, Cycle)>| {
-                if run.is_empty() {
-                    return;
+        let flush = |gmmu: &mut Self, run: &mut Vec<PageId>, ready: &mut Vec<(PageId, Cycle)>| {
+            if run.is_empty() {
+                return;
+            }
+            for chunk in run.chunks(PAGES_PER_LARGE_PAGE as usize) {
+                let (_, barrier) = gmmu.ensure_frames(chunk.len() as u64, now, now);
+                let at = barrier.map_or(now, |b| b.max(now));
+                let t = gmmu
+                    .read_chan
+                    .schedule(at, PAGE_SIZE * chunk.len() as u64)
+                    .finish;
+                for &p in chunk {
+                    gmmu.admit_page(p, t, true);
+                    ready.push((p, t));
                 }
-                for chunk in run.chunks(PAGES_PER_LARGE_PAGE as usize) {
-                    let (_, barrier) = gmmu.ensure_frames(chunk.len() as u64, now, now);
-                    let at = barrier.map_or(now, |b| b.max(now));
-                    let t = gmmu
-                        .read_chan
-                        .schedule(at, PAGE_SIZE * chunk.len() as u64)
-                        .finish;
-                    for &p in chunk {
-                        gmmu.admit_page(p, t, true);
-                        ready.push((p, t));
-                    }
-                }
-                run.clear();
-            };
+            }
+            run.clear();
+        };
         for idx in first..last {
             let page = PageId::new(idx);
             let in_alloc = self.allocs.find_by_page(page).is_some();
@@ -390,115 +430,7 @@ impl Gmmu {
     }
 
     // ------------------------------------------------------------------
-    // Prefetch planning
-    // ------------------------------------------------------------------
-
-    /// Returns the prefetch transfer groups for a fault on `page`:
-    /// each group is a set of pages moved as one PCI-e transfer (the
-    /// faulty page itself is *not* included — it travels as its own
-    /// 4 KB fault-group transfer).
-    fn plan_prefetch(&mut self, page: PageId, alloc_id: AllocId) -> Vec<Vec<PageId>> {
-        if self.prefetch_disabled {
-            return Vec::new();
-        }
-        match self.cfg.prefetch {
-            PrefetchPolicy::None => Vec::new(),
-            PrefetchPolicy::Random => self.plan_random_prefetch(page, alloc_id),
-            PrefetchPolicy::SequentialLocal => self.plan_sl_prefetch(page),
-            PrefetchPolicy::Sequential512K => self.plan_sz_prefetch(page, alloc_id),
-            PrefetchPolicy::TreeBasedNeighborhood => self.plan_tbn_prefetch(page, alloc_id),
-        }
-    }
-
-    /// Rp: one random invalid 4 KB page from the faulty page's 2 MB
-    /// large page, clipped to the allocation extent (Sec. 3.1).
-    fn plan_random_prefetch(&mut self, page: PageId, alloc_id: AllocId) -> Vec<Vec<PageId>> {
-        let alloc = self.allocs.get(alloc_id);
-        let lp_first = page.large_page().first_page();
-        let start = lp_first.index().max(alloc.first_page().index());
-        let end = (lp_first.index() + PAGES_PER_LARGE_PAGE).min(alloc.end_page().index());
-        let mut candidates: Vec<PageId> = Vec::with_capacity((end.saturating_sub(start)) as usize);
-        candidates.extend(
-            (start..end)
-                .map(PageId::new)
-                .filter(|&p| p != page && !self.page_table.is_valid(p)),
-        );
-        if candidates.is_empty() {
-            return Vec::new();
-        }
-        let pick = candidates[self.rng.gen_range(0..candidates.len())];
-        vec![vec![pick]]
-    }
-
-    /// SLp: the remaining invalid pages of the faulty page's 64 KB
-    /// basic block, as one prefetch-group transfer (Sec. 3.2).
-    fn plan_sl_prefetch(&self, page: PageId) -> Vec<Vec<PageId>> {
-        let mut group: Vec<PageId> = Vec::with_capacity(uvm_types::PAGES_PER_BASIC_BLOCK as usize);
-        group.extend(
-            page.basic_block()
-                .pages()
-                .filter(|&p| p != page && !self.page_table.is_valid(p)),
-        );
-        if group.is_empty() {
-            Vec::new()
-        } else {
-            vec![group]
-        }
-    }
-
-    /// The Zheng et al. locality-aware prefetcher: 128 consecutive
-    /// 4 KB pages starting from the faulty page, clipped to the
-    /// allocation extent, moved as one transfer.
-    fn plan_sz_prefetch(&self, page: PageId, alloc_id: AllocId) -> Vec<Vec<PageId>> {
-        let alloc = self.allocs.get(alloc_id);
-        let end = alloc.end_page().index();
-        let mut group: Vec<PageId> = Vec::with_capacity(128);
-        group.extend(
-            (page.index() + 1..(page.index() + 128).min(end))
-                .map(PageId::new)
-                .filter(|&p| !self.page_table.is_valid(p)),
-        );
-        if group.is_empty() {
-            Vec::new()
-        } else {
-            vec![group]
-        }
-    }
-
-    /// TBNp: tree-balancing prefetch (Sec. 3.3). Contiguous candidate
-    /// blocks are grouped into single transfers; the run containing the
-    /// faulty page contributes its remaining pages as one group.
-    fn plan_tbn_prefetch(&mut self, page: PageId, alloc_id: AllocId) -> Vec<Vec<PageId>> {
-        let fault_block = page.basic_block();
-        let alloc = self.allocs.get(alloc_id);
-        let tree = alloc
-            .tree_for_block(fault_block)
-            .expect("fault block inside allocation has a tree");
-        let planned = tree.plan_prefetch(fault_block);
-
-        let mut blocks = planned;
-        blocks.push(fault_block);
-        blocks.sort_unstable_by_key(|b| b.index());
-        let runs = group_contiguous(&blocks);
-
-        let mut groups = Vec::with_capacity(runs.len());
-        for (start, len) in runs {
-            let mut pages: Vec<PageId> =
-                Vec::with_capacity((len * uvm_types::PAGES_PER_BASIC_BLOCK) as usize);
-            pages.extend(
-                (0..len)
-                    .flat_map(|i| start.add(i).pages())
-                    .filter(|&p| p != page && !self.page_table.is_valid(p)),
-            );
-            if !pages.is_empty() {
-                groups.push(pages);
-            }
-        }
-        groups
-    }
-
-    // ------------------------------------------------------------------
-    // Eviction
+    // Eviction mechanism
     // ------------------------------------------------------------------
 
     /// Frees frames until `needed` are available at driver time `t`.
@@ -540,7 +472,7 @@ impl Gmmu {
                     self.frames.free_frames()
                 );
             };
-            if !self.cfg.evict.is_pre_eviction() {
+            if !self.evictor.is_pre_eviction() {
                 barrier = Some(barrier.map_or(wb_finish, |b| b.max(wb_finish)));
             }
             evicted.extend(pages);
@@ -548,17 +480,38 @@ impl Gmmu {
         (evicted, barrier)
     }
 
-    /// Runs one eviction operation: selects victims per the configured
-    /// policy, schedules their write-back, and invalidates them.
-    /// Returns the evicted pages and the write-back finish time, or
-    /// `None` if no victim is eligible.
+    /// Runs one eviction operation: asks the policy for victim groups,
+    /// schedules their write-back, and invalidates them. Returns the
+    /// evicted pages and the write-back finish time, or `None` if no
+    /// victim is eligible.
     fn evict_once(&mut self, wb_time: Cycle, pin_time: Cycle) -> Option<(Vec<PageId>, Cycle)> {
         // Prefer fully unpinned victims; fall back to soft-pinned
         // (in-flight prefetched) pages. Hard-pinned demand pages are
         // never victims.
-        let groups = self
-            .select_victims(pin_time, Self::PIN_NONE)
-            .or_else(|| self.select_victims(pin_time, Self::PIN_SOFT))?;
+        let groups = {
+            let Gmmu {
+                evictor,
+                rng,
+                page_table,
+                allocs,
+                resident,
+                ready_at,
+                unaccessed_demand,
+                cfg,
+                ..
+            } = self;
+            let view = ResidencyView::new(
+                page_table,
+                allocs,
+                resident,
+                ready_at,
+                unaccessed_demand,
+                cfg.reserve_frac,
+            );
+            evictor
+                .select_victims(&view, rng, pin_time, PIN_NONE)
+                .or_else(|| evictor.select_victims(&view, rng, pin_time, PIN_SOFT))?
+        };
         let mut all = Vec::new();
         let mut finish = wb_time;
         for group in groups {
@@ -601,186 +554,13 @@ impl Gmmu {
         }
     }
 
-    /// Chooses the victim page groups (each group = one write-back
-    /// transfer) per the configured policy, honouring the LRU-top
-    /// reservation and skipping in-flight pages.
-    fn select_victims(&mut self, t: Cycle, max_pin: u8) -> Option<Vec<Vec<PageId>>> {
-        match self.cfg.evict {
-            EvictPolicy::LruPage => self.select_lru_page(t, max_pin).map(|p| vec![vec![p]]),
-            EvictPolicy::RandomPage => self.select_random_page(t, max_pin).map(|p| vec![vec![p]]),
-            EvictPolicy::SequentialLocal => self.select_sl_block(t, max_pin),
-            EvictPolicy::TreeBasedNeighborhood => self.select_tbn_blocks(t, max_pin),
-            EvictPolicy::LruLargePage => self.select_large_page(t, max_pin),
-        }
-    }
-
-    /// Grace window (core cycles) during which a just-arrived page is
-    /// still protected from eviction: it covers the faulting warp's
-    /// replay (TLB miss + page walk + memory access), preventing the
-    /// pathological migrate→evict→refault livelock.
-    const PIN_GRACE: Duration = Duration::from_cycles(2_000);
-
-    /// No pin: freely evictable.
-    const PIN_NONE: u8 = 0;
-    /// Soft pin: the page's migration is still in flight (or just
-    /// landed); evictable only when nothing unpinned exists.
-    const PIN_SOFT: u8 = 1;
-    /// Hard pin: a demand page whose faulting warp has not replayed
-    /// yet. Never evictable — this bounds far-faults by accesses.
-    const PIN_HARD: u8 = 2;
-
-    fn pin_level(&self, page: PageId, t: Cycle) -> u8 {
-        if self.unaccessed_demand.contains(page) {
-            return Self::PIN_HARD;
-        }
-        if self
-            .ready_at
-            .get(page)
-            .is_some_and(|r| r + Self::PIN_GRACE > t)
-        {
-            return Self::PIN_SOFT;
-        }
-        Self::PIN_NONE
-    }
-
-    /// `true` if `block` holds at least one resident page with pin
-    /// level at most `max_pin` — eviction takes that subset.
-    fn block_evictable(&self, block: BasicBlockId, t: Cycle, max_pin: u8) -> bool {
-        block
-            .pages()
-            .any(|p| self.page_table.is_valid(p) && self.pin_level(p, t) <= max_pin)
-    }
-
-    /// The resident pages of `block` with pin level at most `max_pin`.
-    fn evictable_pages_of_block(&self, block: BasicBlockId, t: Cycle, max_pin: u8) -> Vec<PageId> {
-        block
-            .pages()
-            .filter(|&p| self.page_table.is_valid(p) && self.pin_level(p, t) <= max_pin)
-            .collect()
-    }
-
-    /// LRU-4KB: the oldest *accessed* page past the reserved prefix.
-    fn select_lru_page(&mut self, t: Cycle, max_pin: u8) -> Option<PageId> {
-        let reserved = (self.cfg.reserve_frac * self.page_lru.len() as f64).floor() as usize;
-        self.page_lru
-            .iter()
-            .skip(reserved)
-            .find(|&&p| self.pin_level(p, t) <= max_pin)
-            .copied()
-            // If everything past the reservation is pinned, fall back
-            // to reserved entries, then to any resident page
-            // (unaccessed prefetched pages are invisible to the
-            // traditional LRU list).
-            .or_else(|| {
-                self.page_lru
-                    .iter()
-                    .find(|&&p| self.pin_level(p, t) <= max_pin)
-                    .copied()
-            })
-            .or_else(|| {
-                self.resident
-                    .iter()
-                    .find(|&p| self.pin_level(p, t) <= max_pin)
-            })
-    }
-
-    /// Re: a uniformly random resident page.
-    fn select_random_page(&mut self, t: Cycle, max_pin: u8) -> Option<PageId> {
-        for _ in 0..32 {
-            let p = self.resident.sample(&mut self.rng)?;
-            if self.pin_level(p, t) <= max_pin {
-                return Some(p);
-            }
-        }
-        self.resident
-            .iter()
-            .find(|&p| self.pin_level(p, t) <= max_pin)
-    }
-
-    fn reserve_pages(&self) -> u64 {
-        (self.cfg.reserve_frac * self.hier.total_pages() as f64).floor() as u64
-    }
-
-    /// SLe: the LRU basic block, written back whole (Sec. 5.1).
-    fn select_sl_block(&mut self, t: Cycle, max_pin: u8) -> Option<Vec<Vec<PageId>>> {
-        let reserve = self.reserve_pages();
-        let hier = &self.hier;
-        let block = hier
-            .candidate(reserve, |b| self.block_evictable(b, t, max_pin))
-            .or_else(|| hier.candidate(0, |b| self.block_evictable(b, t, max_pin)))?;
-        Some(vec![self.evictable_pages_of_block(block, t, max_pin)])
-    }
-
-    /// TBNe: the LRU basic block plus the tree's cascade, grouped into
-    /// contiguous write-back transfers (Sec. 5.2).
-    fn select_tbn_blocks(&mut self, t: Cycle, max_pin: u8) -> Option<Vec<Vec<PageId>>> {
-        let reserve = self.reserve_pages();
-        let hier = &self.hier;
-        let victim = hier
-            .candidate(reserve, |b| self.block_evictable(b, t, max_pin))
-            .or_else(|| hier.candidate(0, |b| self.block_evictable(b, t, max_pin)))?;
-        let planned = self
-            .allocs
-            .find_by_page(victim.first_page())
-            .and_then(|a| a.tree_for_block(victim))
-            .map(|tree| tree.plan_eviction(victim))
-            .unwrap_or_default();
-
-        let mut blocks = vec![victim];
-        blocks.extend(
-            planned
-                .into_iter()
-                .filter(|&b| self.block_evictable(b, t, max_pin) && self.hier.block_pages(b) > 0),
-        );
-        blocks.sort_unstable_by_key(|b| b.index());
-        blocks.dedup();
-        let runs = group_contiguous(&blocks);
-        let groups: Vec<Vec<PageId>> = runs
-            .into_iter()
-            .map(|(start, len)| {
-                (0..len)
-                    .flat_map(|i| self.evictable_pages_of_block(start.add(i), t, max_pin))
-                    .collect::<Vec<_>>()
-            })
-            .filter(|g| !g.is_empty())
-            .collect();
-        if groups.is_empty() {
-            None
-        } else {
-            Some(groups)
-        }
-    }
-
-    /// LRU-2MB: evict the whole least-recently-used large page as one
-    /// transfer (Sec. 7.5).
-    fn select_large_page(&mut self, t: Cycle, max_pin: u8) -> Option<Vec<Vec<PageId>>> {
-        let reserve = self.reserve_pages();
-        let hier = &self.hier;
-        let mut evictable = |lp| {
-            hier.blocks_of(lp)
-                .any(|b| self.block_evictable(b, t, max_pin))
-        };
-        let lp = hier
-            .candidate_large_page(reserve, &mut evictable)
-            .or_else(|| hier.candidate_large_page(0, &mut evictable))?;
-        let blocks: Vec<BasicBlockId> = self.hier.blocks_of(lp).collect();
-        let pages: Vec<PageId> = blocks
-            .into_iter()
-            .flat_map(|b| self.evictable_pages_of_block(b, t, max_pin))
-            .collect();
-        if pages.is_empty() {
-            None
-        } else {
-            Some(vec![pages])
-        }
-    }
-
     // ------------------------------------------------------------------
     // Page state transitions
     // ------------------------------------------------------------------
 
     /// Makes `page` resident: allocates a frame, validates the PTE,
-    /// and registers it in every tracking structure.
+    /// and registers it in every tracking structure (including the
+    /// eviction policy's bookkeeping and the shared TBN trees).
     fn admit_page(&mut self, page: PageId, ready: Cycle, prefetched: bool) {
         let frame = self
             .frames
@@ -789,7 +569,7 @@ impl Gmmu {
         self.frame_of.insert(page, frame);
         self.page_table.validate(page);
         self.resident.insert(page);
-        self.hier.on_validate(page);
+        self.evictor.on_validate(page);
         self.ready_at.insert(page, ready);
         if prefetched {
             self.unaccessed_prefetch.insert(page);
@@ -826,8 +606,7 @@ impl Gmmu {
             .expect("resident page has a frame");
         self.frames.free(frame);
         self.resident.remove(page);
-        self.page_lru.remove(&page);
-        self.hier.on_invalidate_page(page);
+        self.evictor.on_invalidate(page);
         self.ready_at.remove(page);
         self.unaccessed_demand.remove(page);
         if let Some(alloc) = self.allocs.find_by_block_mut(page.basic_block()) {
@@ -861,7 +640,8 @@ impl Gmmu {
 #[cfg(test)]
 mod tests {
     use super::*;
-
+    use crate::policy::{EvictPolicy, PrefetchPolicy};
+    use uvm_types::Duration;
 
     fn first_page_of_block(base: VirtAddr, block: u64) -> PageId {
         base.page().add(block * 16)
@@ -905,10 +685,7 @@ mod tests {
         let r2 = g.handle_fault(base.page().add(1), Cycle::ZERO);
         // Second fault's handling starts only after the first fault is
         // fully retired (handling window + migration landed).
-        assert_eq!(
-            r2.handled,
-            r1.fault_page_ready() + g.config().fault_latency
-        );
+        assert_eq!(r2.handled, r1.fault_page_ready() + g.config().fault_latency);
         assert!(r2.fault_page_ready() > r1.fault_page_ready());
     }
 
@@ -1032,16 +809,14 @@ mod tests {
     fn mem_prefetch_async_empty_and_partial_ranges() {
         let mut g = Gmmu::new(UvmConfig::default());
         let base = g.malloc_managed(Bytes::mib(1));
-        assert!(g.mem_prefetch_async(base, Bytes::ZERO, Cycle::ZERO).is_empty());
+        assert!(g
+            .mem_prefetch_async(base, Bytes::ZERO, Cycle::ZERO)
+            .is_empty());
         // A 1-byte range covers exactly one page.
         let ready = g.mem_prefetch_async(base, Bytes::new(1), Cycle::ZERO);
         assert_eq!(ready.len(), 1);
         // A range straddling a page boundary covers both pages.
-        let ready = g.mem_prefetch_async(
-            base.offset(Bytes::new(4095)),
-            Bytes::new(2),
-            Cycle::ZERO,
-        );
+        let ready = g.mem_prefetch_async(base.offset(Bytes::new(4095)), Bytes::new(2), Cycle::ZERO);
         assert_eq!(ready.len(), 1, "page 0 already resident, page 1 migrates");
     }
 
@@ -1065,10 +840,28 @@ mod tests {
     }
 
     #[test]
+    fn stride_256k_prefetches_64_consecutive_pages() {
+        let mut g = Gmmu::new(UvmConfig::default().with_prefetch(PrefetchPolicy::Stride256K));
+        let base = g.malloc_managed(Bytes::mib(2));
+        let res = g.handle_fault(base.page(), Cycle::ZERO);
+        // Fault page + 63 consecutive prefetched pages: half SZp's
+        // window.
+        assert_eq!(res.ready.len(), 64);
+        assert!(g.is_resident(base.page().add(63)));
+        assert!(!g.is_resident(base.page().add(64)));
+        // One 4 KB fault group + one 252 KB prefetch group.
+        assert_eq!(g.read_stats().histogram.count(PAGE_SIZE), 1);
+        assert_eq!(g.read_stats().histogram.count(Bytes::kib(252)), 1);
+        // Near the allocation end, the plan clips.
+        let tail = base.page().add(511);
+        let res = g.handle_fault(tail, Cycle::ZERO);
+        assert_eq!(res.ready.len(), 1);
+    }
+
+    #[test]
     fn tbnp_fig2a_through_the_driver() {
-        let mut g = Gmmu::new(
-            UvmConfig::default().with_prefetch(PrefetchPolicy::TreeBasedNeighborhood),
-        );
+        let mut g =
+            Gmmu::new(UvmConfig::default().with_prefetch(PrefetchPolicy::TreeBasedNeighborhood));
         let base = g.malloc_managed(Bytes::kib(512));
         let mut now = Cycle::ZERO;
         for b in [1u64, 3, 5, 7] {
@@ -1086,9 +879,8 @@ mod tests {
     fn tbnp_contiguous_blocks_group_into_one_transfer() {
         // Fig. 2b: after blocks 1,3 then 0 (+2 prefetched), the fault on
         // block 4 migrates blocks 4..8 as 4 KB + 252 KB transfers.
-        let mut g = Gmmu::new(
-            UvmConfig::default().with_prefetch(PrefetchPolicy::TreeBasedNeighborhood),
-        );
+        let mut g =
+            Gmmu::new(UvmConfig::default().with_prefetch(PrefetchPolicy::TreeBasedNeighborhood));
         let base = g.malloc_managed(Bytes::kib(512));
         let mut now = Cycle::ZERO;
         for b in [1u64, 3, 0] {
@@ -1200,10 +992,58 @@ mod tests {
             now = touch(&mut g, base.page().add(i), now);
         }
         // Let the grace pin on the most recent migration expire.
-        now = now + Duration::from_cycles(10_000);
+        now += Duration::from_cycles(10_000);
         let res = g.handle_fault(base.page().add(512), now);
         assert_eq!(res.evicted.len(), 512);
         assert_eq!(g.write_stats().histogram.count(Bytes::mib(2)), 1);
+    }
+
+    #[test]
+    fn access_frequency_eviction_keeps_hot_pages() {
+        let mut g = Gmmu::new(oversub_config(EvictPolicy::AccessFrequency));
+        let base = g.malloc_managed(Bytes::mib(2));
+        let mut now = Cycle::ZERO;
+        for i in 0..256 {
+            now = touch(&mut g, base.page().add(i), now);
+        }
+        // Re-touch every page except page 7: everything else has two
+        // accesses, page 7 has one.
+        for i in 0..256 {
+            if i != 7 {
+                now = touch(&mut g, base.page().add(i), now);
+            }
+        }
+        now += Duration::from_cycles(10_000);
+        // The next fault evicts the least-frequently-used page 7 —
+        // NOT page 0, which LRU would pick.
+        let res = g.handle_fault(base.page().add(256), now);
+        assert_eq!(res.evicted, vec![base.page().add(7)]);
+        assert!(g.is_resident(base.page()));
+    }
+
+    #[test]
+    fn access_frequency_counts_reset_on_eviction() {
+        let mut g = Gmmu::new(oversub_config(EvictPolicy::AccessFrequency));
+        let base = g.malloc_managed(Bytes::mib(2));
+        let mut now = Cycle::ZERO;
+        // Make page 0 hot, then force its eventual eviction by touching
+        // everything else many times.
+        for _ in 0..3 {
+            now = touch(&mut g, base.page(), now);
+        }
+        for i in 1..257 {
+            now = touch(&mut g, base.page().add(i), now);
+            now = touch(&mut g, base.page().add(i), now);
+            now = touch(&mut g, base.page().add(i), now);
+            now = touch(&mut g, base.page().add(i), now);
+        }
+        assert!(!g.is_resident(base.page()), "page 0 eventually evicted");
+        // Re-admitting starts the count cold: page 0 is immediately the
+        // coldest page again.
+        now += Duration::from_cycles(10_000);
+        now = touch(&mut g, base.page(), now);
+        let _ = now;
+        assert!(g.stats().pages_thrashed > 0);
     }
 
     #[test]
@@ -1301,9 +1141,7 @@ mod tests {
 
     #[test]
     fn ready_time_reports_in_flight_pages() {
-        let mut g = Gmmu::new(
-            UvmConfig::default().with_prefetch(PrefetchPolicy::SequentialLocal),
-        );
+        let mut g = Gmmu::new(UvmConfig::default().with_prefetch(PrefetchPolicy::SequentialLocal));
         let base = g.malloc_managed(Bytes::mib(2));
         let res = g.handle_fault(base.page(), Cycle::ZERO);
         let (last_page, last_ready) = *res.ready.last().unwrap();
@@ -1311,6 +1149,85 @@ mod tests {
         assert_eq!(g.ready_time(last_page, Cycle::ZERO), Some(last_ready));
         // Once its transfer completes it is no longer in flight.
         assert_eq!(g.ready_time(last_page, last_ready), None);
+    }
+
+    #[test]
+    fn with_policies_accepts_third_party_implementations() {
+        // A custom prefetcher/evictor pair plugs into the mechanism
+        // without any registry entry or enum variant: the seam the
+        // policy layer exists for.
+        #[derive(Clone, Debug)]
+        struct NextPagePrefetcher;
+        impl Prefetcher for NextPagePrefetcher {
+            fn name(&self) -> &'static str {
+                "next-page"
+            }
+            fn plan(
+                &mut self,
+                view: &ResidencyView<'_>,
+                _rng: &mut SmallRng,
+                page: PageId,
+                alloc: AllocId,
+            ) -> Vec<Vec<PageId>> {
+                let next = page.add(1);
+                if next.index() < view.alloc(alloc).end_page().index() && !view.is_valid(next) {
+                    vec![vec![next]]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn box_clone(&self) -> Box<dyn Prefetcher> {
+                Box::new(self.clone())
+            }
+        }
+        #[derive(Clone, Debug)]
+        struct HighestPageEvictor;
+        impl Evictor for HighestPageEvictor {
+            fn name(&self) -> &'static str {
+                "highest-page"
+            }
+            fn is_pre_eviction(&self) -> bool {
+                false
+            }
+            fn select_victims(
+                &mut self,
+                view: &ResidencyView<'_>,
+                _rng: &mut SmallRng,
+                t: Cycle,
+                max_pin: u8,
+            ) -> Option<Vec<Vec<PageId>>> {
+                view.resident_iter()
+                    .filter(|&p| view.pin_level(p, t) <= max_pin)
+                    .max_by_key(|p| p.index())
+                    .map(|p| vec![vec![p]])
+            }
+            fn box_clone(&self) -> Box<dyn Evictor> {
+                Box::new(self.clone())
+            }
+        }
+
+        let mut g = Gmmu::with_policies(
+            UvmConfig::default().with_capacity(Bytes::mib(1)),
+            Box::new(NextPagePrefetcher),
+            Box::new(HighestPageEvictor),
+        );
+        let base = g.malloc_managed(Bytes::mib(2));
+        let res = g.handle_fault(base.page(), Cycle::ZERO);
+        assert_eq!(res.ready.len(), 2, "fault page + the next page");
+        assert!(g.is_resident(base.page().add(1)));
+
+        let mut now = Cycle::ZERO;
+        for i in 0..256 {
+            let p = base.page().add(i);
+            if !g.is_resident(p) {
+                now = g.handle_fault(p, now).fault_page_ready();
+            }
+            g.record_access(p, false);
+        }
+        now += Duration::from_cycles(10_000);
+        let res = g.handle_fault(base.page().add(400), now);
+        // The custom evictor always removes the highest resident page.
+        assert_eq!(res.evicted, vec![base.page().add(255)]);
     }
 
     #[test]
@@ -1387,11 +1304,11 @@ mod tests {
             now = touch(&mut g, first_page_of_block(base, b), now);
             now = touch(&mut g, first_page_of_block(base, b).add(1), now);
         }
-        now = now + Duration::from_cycles(10_000);
+        now += Duration::from_cycles(10_000);
         // Force evictions of the untouched prefetched pages.
         for b in 4..6 {
             now = touch(&mut g, first_page_of_block(base, b), now);
-            now = now + Duration::from_cycles(10_000);
+            now += Duration::from_cycles(10_000);
         }
         let s = g.stats();
         assert!(s.prefetched_wasted > 0, "unused prefetched pages evicted");
@@ -1429,7 +1346,11 @@ mod tests {
         let (bulk_bytes, bulk_evicted) = run(false);
         let (dirty_bytes, dirty_evicted) = run(true);
         assert_eq!(bulk_evicted, dirty_evicted, "same eviction decisions");
-        assert_eq!(bulk_bytes, PAGE_SIZE * bulk_evicted, "bulk writes everything");
+        assert_eq!(
+            bulk_bytes,
+            PAGE_SIZE * bulk_evicted,
+            "bulk writes everything"
+        );
         assert!(
             dirty_bytes.bytes() < bulk_bytes.bytes() / 2,
             "dirty-only writes ~1/4 of the pages ({dirty_bytes} vs {bulk_bytes})"
@@ -1441,9 +1362,6 @@ mod tests {
         let mut g = Gmmu::new(UvmConfig::default());
         let base = g.malloc_managed(Bytes::mib(2));
         let res = g.handle_fault(base.page(), Cycle::new(1000));
-        assert_eq!(
-            res.handled,
-            Cycle::new(1000) + Duration::from_micros(45.0)
-        );
+        assert_eq!(res.handled, Cycle::new(1000) + Duration::from_micros(45.0));
     }
 }

@@ -161,7 +161,10 @@ impl HierarchicalLru {
 
     /// Resident basic blocks of `lp` in LRU order.
     pub fn blocks_of(&self, lp: LargePageId) -> impl Iterator<Item = BasicBlockId> + '_ {
-        self.blocks.get(&lp).into_iter().flat_map(|q| q.iter().copied())
+        self.blocks
+            .get(&lp)
+            .into_iter()
+            .flat_map(|q| q.iter().copied())
     }
 }
 
@@ -190,7 +193,7 @@ mod tests {
         // Two large pages; validate one block in each.
         h.on_validate(page(0)); // lp0, bb0
         h.on_validate(page(512)); // lp1, bb32
-        // Access lp0 -> lp1 is LRU.
+                                  // Access lp0 -> lp1 is LRU.
         h.on_access(page(0));
         let c = h.candidate(0, |_| true).unwrap();
         assert_eq!(c, BasicBlockId::new(32));

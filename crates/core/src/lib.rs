@@ -9,18 +9,25 @@
 //!   tree-based neighborhood prefetcher (TBNp) and pre-eviction policy
 //!   (TBNe), including the exact balancing semantics of the paper's
 //!   worked examples (Figs. 2 and 8);
-//! * the three hardware prefetchers of Sec. 3 — random (Rp),
-//!   sequential-local (SLp), tree-based neighborhood (TBNp) — via
+//! * the hardware prefetchers of Sec. 3 — random (Rp),
+//!   sequential-local (SLp), tree-based neighborhood (TBNp), plus the
+//!   Zheng et al. 512 KB and 256 KB-stride ablations — as
+//!   [`Prefetcher`] implementations in [`prefetch`], selected by
 //!   [`PrefetchPolicy`];
 //! * the eviction / pre-eviction policies of Secs. 4–5 and 7.5 —
-//!   LRU-4KB, random, SLe, TBNe, LRU-2MB — via [`EvictPolicy`],
-//!   plus the memory-threshold free-page buffer and the LRU-top
-//!   reservation optimisation;
+//!   LRU-4KB, random, SLe, TBNe, LRU-2MB, plus the access-frequency
+//!   ablation — as [`Evictor`] implementations in [`evict`], selected
+//!   by [`EvictPolicy`], plus the memory-threshold free-page buffer
+//!   and the LRU-top reservation optimisation;
 //! * the hierarchical valid-page LRU list of Sec. 5.3
 //!   ([`HierarchicalLru`]);
+//! * the string-keyed [`PolicyRegistry`] that maps policy names (and
+//!   aliases) to factories, letting CLIs and third-party code resolve
+//!   policies without touching the driver;
 //! * the [`Gmmu`] driver model that services far-faults, runs the
 //!   prefetcher, enforces the memory budget, and schedules PCI-e
-//!   transfers.
+//!   transfers — pure mechanism; policy decisions observe it only
+//!   through the read-only [`ResidencyView`].
 //!
 //! # Examples
 //!
@@ -52,21 +59,29 @@
 mod alloc;
 mod config;
 mod dense;
+pub mod evict;
 mod gmmu;
 mod hier;
 mod indexed;
 mod lru;
 mod policy;
+pub mod prefetch;
+mod registry;
 mod stats;
 mod tree;
+mod view;
 
 pub use alloc::{AllocId, Allocation, Allocations};
 pub use config::UvmConfig;
 pub use dense::{DensePageMap, DensePageSet};
+pub use evict::Evictor;
 pub use gmmu::{FaultResolution, Gmmu};
 pub use hier::HierarchicalLru;
 pub use indexed::IndexedPageSet;
 pub use lru::LruQueue;
 pub use policy::{EvictPolicy, ParsePolicyError, PrefetchPolicy};
+pub use prefetch::Prefetcher;
+pub use registry::{EvictorEntry, PolicyRegistry, PrefetcherEntry};
 pub use stats::UvmStats;
 pub use tree::{group_contiguous, AllocTree};
+pub use view::{ResidencyView, PIN_GRACE, PIN_HARD, PIN_NONE, PIN_SOFT};

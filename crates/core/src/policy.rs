@@ -1,8 +1,17 @@
 //! Policy selectors: which hardware prefetcher and which eviction
 //! policy the GMMU runs.
+//!
+//! The enums are stable *selectors* — hashable, copyable identities
+//! used by configs, run keys, and CSV output. The implementations
+//! behind them live in [`crate::prefetch`] and [`crate::evict`], and
+//! both `Display` and `FromStr` resolve through the
+//! [`PolicyRegistry`](crate::PolicyRegistry), so the registry is the
+//! single source of truth for names and aliases.
 
 use std::fmt;
 use std::str::FromStr;
+
+use crate::registry::PolicyRegistry;
 
 /// The hardware prefetcher in force (paper Sec. 3).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -22,6 +31,10 @@ pub enum PrefetchPolicy {
     /// (and potentially 2 MB boundaries, requiring the cross-large-page
     /// coordination the paper's SLp avoids).
     Sequential512K,
+    /// S256p: a fixed 256 KB stride window past the faulty page, the
+    /// fixed-granularity baseline of Long et al. — an out-of-core
+    /// policy plugged in purely through the registry.
+    Stride256K,
     /// TBNp: the tree-based neighborhood prefetcher reverse-engineered
     /// from the NVIDIA driver (Sec. 3.3).
     TreeBasedNeighborhood,
@@ -29,8 +42,8 @@ pub enum PrefetchPolicy {
 
 impl PrefetchPolicy {
     /// The prefetchers the paper's figures compare, in figure order
-    /// (the Zheng et al. 512 KB variant is an ablation, not a figure
-    /// series).
+    /// (the Zheng et al. 512 KB variant and the 256 KB stride variant
+    /// are ablations, not figure series).
     pub const ALL: [PrefetchPolicy; 4] = [
         PrefetchPolicy::None,
         PrefetchPolicy::Random,
@@ -39,24 +52,22 @@ impl PrefetchPolicy {
     ];
 
     /// Every implemented prefetcher, including ablation variants.
-    pub const ALL_WITH_ABLATIONS: [PrefetchPolicy; 5] = [
+    pub const ALL_WITH_ABLATIONS: [PrefetchPolicy; 6] = [
         PrefetchPolicy::None,
         PrefetchPolicy::Random,
         PrefetchPolicy::SequentialLocal,
         PrefetchPolicy::Sequential512K,
+        PrefetchPolicy::Stride256K,
         PrefetchPolicy::TreeBasedNeighborhood,
     ];
 }
 
 impl fmt::Display for PrefetchPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            PrefetchPolicy::None => "none",
-            PrefetchPolicy::Random => "Rp",
-            PrefetchPolicy::SequentialLocal => "SLp",
-            PrefetchPolicy::Sequential512K => "SZp",
-            PrefetchPolicy::TreeBasedNeighborhood => "TBNp",
-        })
+        let entry = PolicyRegistry::global()
+            .prefetcher_for(*self)
+            .expect("every PrefetchPolicy variant is registered");
+        f.write_str(entry.name)
     }
 }
 
@@ -64,17 +75,13 @@ impl FromStr for PrefetchPolicy {
     type Err = ParsePolicyError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
-            "none" => Ok(PrefetchPolicy::None),
-            "Rp" | "random" => Ok(PrefetchPolicy::Random),
-            "SLp" | "sequential-local" => Ok(PrefetchPolicy::SequentialLocal),
-            "SZp" | "zheng" | "sequential-512k" => Ok(PrefetchPolicy::Sequential512K),
-            "TBNp" | "tree" => Ok(PrefetchPolicy::TreeBasedNeighborhood),
-            _ => Err(ParsePolicyError {
+        PolicyRegistry::global()
+            .prefetcher(s)
+            .and_then(|e| e.selector)
+            .ok_or_else(|| ParsePolicyError {
                 input: s.to_owned(),
-                kind: "prefetch policy",
-            }),
-        }
+                kind: PolicyKind::Prefetch,
+            })
     }
 }
 
@@ -95,6 +102,9 @@ pub enum EvictPolicy {
     /// Static 2 MB large-page LRU eviction, as real NVIDIA hardware
     /// does (Sec. 7.5).
     LruLargePage,
+    /// AFe: evict the least-frequently-accessed resident page (LFU) —
+    /// an out-of-core policy plugged in purely through the registry.
+    AccessFrequency,
 }
 
 impl EvictPolicy {
@@ -110,7 +120,7 @@ impl EvictPolicy {
         )
     }
 
-    /// All eviction policies, figure order.
+    /// The eviction policies the paper's figures compare, figure order.
     pub const ALL: [EvictPolicy; 5] = [
         EvictPolicy::LruPage,
         EvictPolicy::RandomPage,
@@ -118,17 +128,24 @@ impl EvictPolicy {
         EvictPolicy::TreeBasedNeighborhood,
         EvictPolicy::LruLargePage,
     ];
+
+    /// Every implemented eviction policy, including ablation variants.
+    pub const ALL_WITH_ABLATIONS: [EvictPolicy; 6] = [
+        EvictPolicy::LruPage,
+        EvictPolicy::RandomPage,
+        EvictPolicy::SequentialLocal,
+        EvictPolicy::TreeBasedNeighborhood,
+        EvictPolicy::LruLargePage,
+        EvictPolicy::AccessFrequency,
+    ];
 }
 
 impl fmt::Display for EvictPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            EvictPolicy::LruPage => "LRU-4KB",
-            EvictPolicy::RandomPage => "Re",
-            EvictPolicy::SequentialLocal => "SLe",
-            EvictPolicy::TreeBasedNeighborhood => "TBNe",
-            EvictPolicy::LruLargePage => "LRU-2MB",
-        })
+        let entry = PolicyRegistry::global()
+            .evictor_for(*self)
+            .expect("every EvictPolicy variant is registered");
+        f.write_str(entry.name)
     }
 }
 
@@ -136,30 +153,43 @@ impl FromStr for EvictPolicy {
     type Err = ParsePolicyError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
-            "LRU-4KB" | "lru" => Ok(EvictPolicy::LruPage),
-            "Re" | "random" => Ok(EvictPolicy::RandomPage),
-            "SLe" | "sequential-local" => Ok(EvictPolicy::SequentialLocal),
-            "TBNe" | "tree" => Ok(EvictPolicy::TreeBasedNeighborhood),
-            "LRU-2MB" | "lru-2mb" => Ok(EvictPolicy::LruLargePage),
-            _ => Err(ParsePolicyError {
+        PolicyRegistry::global()
+            .evictor(s)
+            .and_then(|e| e.selector)
+            .ok_or_else(|| ParsePolicyError {
                 input: s.to_owned(),
-                kind: "eviction policy",
-            }),
-        }
+                kind: PolicyKind::Evict,
+            })
     }
 }
 
-/// Error parsing a policy name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PolicyKind {
+    Prefetch,
+    Evict,
+}
+
+/// Error parsing a policy name. Its `Display` lists the registered
+/// names, so CLI layers can surface it verbatim.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParsePolicyError {
     input: String,
-    kind: &'static str,
+    kind: PolicyKind,
 }
 
 impl fmt::Display for ParsePolicyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown {}: {:?}", self.kind, self.input)
+        let registry = PolicyRegistry::global();
+        let (kind, known) = match self.kind {
+            PolicyKind::Prefetch => ("prefetch policy", registry.prefetcher_names()),
+            PolicyKind::Evict => ("eviction policy", registry.evictor_names()),
+        };
+        write!(
+            f,
+            "unknown {kind}: {:?} (known: {})",
+            self.input,
+            known.join(", ")
+        )
     }
 }
 
@@ -174,24 +204,91 @@ mod tests {
         for p in PrefetchPolicy::ALL_WITH_ABLATIONS {
             assert_eq!(p.to_string().parse::<PrefetchPolicy>().unwrap(), p);
         }
-        for e in EvictPolicy::ALL {
+        for e in EvictPolicy::ALL_WITH_ABLATIONS {
             assert_eq!(e.to_string().parse::<EvictPolicy>().unwrap(), e);
         }
     }
 
     #[test]
-    fn unknown_names_error() {
+    fn every_registered_name_and_alias_parses_to_its_selector() {
+        // The property the registry guarantees: each registered
+        // spelling — canonical names *and* aliases, including the
+        // easy-to-miss Sequential512K ablation — parses to the entry's
+        // selector, and the selector displays back as the canonical
+        // name.
+        let registry = PolicyRegistry::global();
+        for entry in registry.prefetchers() {
+            let selector = entry.selector.expect("built-ins carry selectors");
+            for name in entry.names() {
+                assert_eq!(
+                    name.parse::<PrefetchPolicy>().unwrap(),
+                    selector,
+                    "prefetcher name {name:?}"
+                );
+            }
+            assert_eq!(selector.to_string(), entry.name);
+        }
+        for entry in registry.evictors() {
+            let selector = entry.selector.expect("built-ins carry selectors");
+            for name in entry.names() {
+                assert_eq!(
+                    name.parse::<EvictPolicy>().unwrap(),
+                    selector,
+                    "evictor name {name:?}"
+                );
+            }
+            assert_eq!(selector.to_string(), entry.name);
+        }
+    }
+
+    #[test]
+    fn sequential_512k_round_trips_even_outside_all() {
+        assert!(!PrefetchPolicy::ALL.contains(&PrefetchPolicy::Sequential512K));
+        assert_eq!(PrefetchPolicy::Sequential512K.to_string(), "SZp");
+        for spelling in ["SZp", "zheng", "sequential-512k"] {
+            assert_eq!(
+                spelling.parse::<PrefetchPolicy>().unwrap(),
+                PrefetchPolicy::Sequential512K
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_names_error_and_list_known_policies() {
         let err = "bogus".parse::<PrefetchPolicy>().unwrap_err();
         assert!(err.to_string().contains("bogus"));
-        assert!("bogus".parse::<EvictPolicy>().is_err());
+        for name in PolicyRegistry::global().prefetcher_names() {
+            assert!(err.to_string().contains(name), "error lists {name}");
+        }
+        let err = "bogus".parse::<EvictPolicy>().unwrap_err();
+        for name in PolicyRegistry::global().evictor_names() {
+            assert!(err.to_string().contains(name), "error lists {name}");
+        }
     }
 
     #[test]
     fn pre_eviction_classification() {
         assert!(!EvictPolicy::LruPage.is_pre_eviction());
         assert!(!EvictPolicy::RandomPage.is_pre_eviction());
+        assert!(!EvictPolicy::AccessFrequency.is_pre_eviction());
         assert!(EvictPolicy::SequentialLocal.is_pre_eviction());
         assert!(EvictPolicy::TreeBasedNeighborhood.is_pre_eviction());
         assert!(EvictPolicy::LruLargePage.is_pre_eviction());
+    }
+
+    #[test]
+    fn legacy_display_names_are_stable() {
+        // RunKey hashing and every CSV header depend on these exact
+        // strings: changing one silently invalidates result caches.
+        let display: Vec<String> = PrefetchPolicy::ALL_WITH_ABLATIONS
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(display, ["none", "Rp", "SLp", "SZp", "S256p", "TBNp"]);
+        let display: Vec<String> = EvictPolicy::ALL_WITH_ABLATIONS
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(display, ["LRU-4KB", "Re", "SLe", "TBNe", "LRU-2MB", "AFe"]);
     }
 }

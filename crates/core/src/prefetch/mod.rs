@@ -1,0 +1,73 @@
+//! The pluggable hardware-prefetcher layer (paper Sec. 3).
+//!
+//! Each prefetcher lives in its own module and implements
+//! [`Prefetcher`]; the `Gmmu` mechanism asks it for transfer groups on
+//! every far-fault and handles everything else (budget trimming,
+//! congestion throttling, the kill-switch, PCI-e scheduling,
+//! validation). Policies observe driver state only through the
+//! read-only [`ResidencyView`].
+
+mod none;
+mod random;
+mod sl;
+mod stride256k;
+mod sz512k;
+mod tbn;
+
+pub use none::NonePrefetcher;
+pub use random::RandomPrefetcher;
+pub use sl::SlPrefetcher;
+pub use stride256k::Stride256kPrefetcher;
+pub use sz512k::Sz512kPrefetcher;
+pub use tbn::TbnPrefetcher;
+
+use std::fmt;
+
+use uvm_types::rng::SmallRng;
+use uvm_types::PageId;
+
+use crate::alloc::AllocId;
+use crate::view::ResidencyView;
+
+/// A hardware prefetcher: given a far-fault, plans which extra pages
+/// to migrate along with it.
+///
+/// Contract:
+///
+/// * [`plan`](Self::plan) returns *transfer groups*: each inner `Vec`
+///   is moved as one PCI-e transfer. The faulty page itself must NOT
+///   appear — it travels as its own 4 KB fault-group transfer.
+/// * Planned pages must be invalid (`!view.is_valid(p)`) and lie
+///   inside a managed allocation; the mechanism debug-asserts this
+///   and trims groups to the free-frame budget, so over-planning is
+///   wasted work, not a correctness bug.
+/// * All randomness must come from the supplied `rng` — it is the
+///   driver's single seeded stream, which keeps whole simulations
+///   reproducible and lets policies share it deterministically.
+/// * Policies observe state only through `view`; per-policy learning
+///   state (history tables, counters) belongs in the implementing
+///   struct itself.
+pub trait Prefetcher: fmt::Debug {
+    /// The registry's canonical (display) name for this prefetcher.
+    fn name(&self) -> &'static str;
+
+    /// Plans the prefetch transfer groups for a fault on `page` inside
+    /// allocation `alloc`.
+    fn plan(
+        &mut self,
+        view: &ResidencyView<'_>,
+        rng: &mut SmallRng,
+        page: PageId,
+        alloc: AllocId,
+    ) -> Vec<Vec<PageId>>;
+
+    /// Clones the prefetcher behind a fresh box (trait objects cannot
+    /// derive `Clone`).
+    fn box_clone(&self) -> Box<dyn Prefetcher>;
+}
+
+impl Clone for Box<dyn Prefetcher> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}

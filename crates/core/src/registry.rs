@@ -1,0 +1,398 @@
+//! The string-keyed policy registry: every prefetcher and evictor the
+//! driver can run, resolvable by canonical name or alias.
+//!
+//! The registry is the single source of truth for policy names. The
+//! [`PrefetchPolicy`]/[`EvictPolicy`] enum `Display`/`FromStr` impls,
+//! the bench-binary CLIs (`--prefetch`/`--evict`/`--list-policies`),
+//! and `Gmmu::new` all resolve through it, so a policy registered here
+//! is selectable everywhere without touching the mechanism.
+//!
+//! Third-party policies extend a registry value ([`builtin`] +
+//! [`register_prefetcher`]/[`register_evictor`]) and instantiate the
+//! driver via `Gmmu::with_policies`; built-in selection goes through
+//! the shared [`global`] table.
+//!
+//! [`builtin`]: PolicyRegistry::builtin
+//! [`register_prefetcher`]: PolicyRegistry::register_prefetcher
+//! [`register_evictor`]: PolicyRegistry::register_evictor
+//! [`global`]: PolicyRegistry::global
+
+use std::sync::OnceLock;
+
+use crate::config::UvmConfig;
+use crate::evict::{
+    Evictor, FreqEvictor, LruLargeEvictor, LruPageEvictor, RandomPageEvictor, SlEvictor, TbnEvictor,
+};
+use crate::policy::{EvictPolicy, PrefetchPolicy};
+use crate::prefetch::{
+    NonePrefetcher, Prefetcher, RandomPrefetcher, SlPrefetcher, Stride256kPrefetcher,
+    Sz512kPrefetcher, TbnPrefetcher,
+};
+
+/// A registered prefetcher: names, documentation, and factory.
+#[derive(Clone)]
+pub struct PrefetcherEntry {
+    /// Canonical name — what the policy's `Display` prints and its
+    /// `name()` method returns.
+    pub name: &'static str,
+    /// Accepted spellings besides the canonical name.
+    pub aliases: &'static [&'static str],
+    /// One-line description for `--list-policies`.
+    pub summary: &'static str,
+    /// The enum selector, for policies reachable through
+    /// [`PrefetchPolicy`]; `None` for third-party registrations that
+    /// are name-only.
+    pub selector: Option<PrefetchPolicy>,
+    /// Builds a fresh policy instance for one driver.
+    pub factory: fn(&UvmConfig) -> Box<dyn Prefetcher>,
+}
+
+/// A registered evictor: names, documentation, and factory.
+#[derive(Clone)]
+pub struct EvictorEntry {
+    /// Canonical name — what the policy's `Display` prints and its
+    /// `name()` method returns.
+    pub name: &'static str,
+    /// Accepted spellings besides the canonical name.
+    pub aliases: &'static [&'static str],
+    /// One-line description for `--list-policies`.
+    pub summary: &'static str,
+    /// The enum selector, for policies reachable through
+    /// [`EvictPolicy`]; `None` for third-party registrations.
+    pub selector: Option<EvictPolicy>,
+    /// Builds a fresh policy instance for one driver.
+    pub factory: fn(&UvmConfig) -> Box<dyn Evictor>,
+}
+
+/// Name → factory table for both policy kinds.
+#[derive(Clone, Default)]
+pub struct PolicyRegistry {
+    prefetchers: Vec<PrefetcherEntry>,
+    evictors: Vec<EvictorEntry>,
+}
+
+impl PolicyRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The registry holding every built-in policy (the paper's ten
+    /// plus the S256p/AFe out-of-core pair).
+    pub fn builtin() -> Self {
+        let mut r = PolicyRegistry::new();
+        r.register_prefetcher(PrefetcherEntry {
+            name: "none",
+            aliases: &[],
+            summary: "no prefetching: pure 4 KB on-demand migration",
+            selector: Some(PrefetchPolicy::None),
+            factory: |_| Box::new(NonePrefetcher),
+        });
+        r.register_prefetcher(PrefetcherEntry {
+            name: "Rp",
+            aliases: &["random"],
+            summary: "one random invalid page of the faulty 2 MB large page (Sec. 3.1)",
+            selector: Some(PrefetchPolicy::Random),
+            factory: |_| Box::new(RandomPrefetcher),
+        });
+        r.register_prefetcher(PrefetcherEntry {
+            name: "SLp",
+            aliases: &["sequential-local"],
+            summary: "rest of the faulty 64 KB basic block as one group (Sec. 3.2)",
+            selector: Some(PrefetchPolicy::SequentialLocal),
+            factory: |_| Box::new(SlPrefetcher),
+        });
+        r.register_prefetcher(PrefetcherEntry {
+            name: "SZp",
+            aliases: &["zheng", "sequential-512k"],
+            summary: "Zheng et al.: 128 consecutive pages (512 KB) past the fault",
+            selector: Some(PrefetchPolicy::Sequential512K),
+            factory: |_| Box::new(Sz512kPrefetcher),
+        });
+        r.register_prefetcher(PrefetcherEntry {
+            name: "S256p",
+            aliases: &["stride-256k"],
+            summary: "fixed 256 KB stride window past the fault (Long et al. baseline)",
+            selector: Some(PrefetchPolicy::Stride256K),
+            factory: |_| Box::new(Stride256kPrefetcher),
+        });
+        r.register_prefetcher(PrefetcherEntry {
+            name: "TBNp",
+            aliases: &["tree"],
+            summary: "tree-based neighborhood prefetch from the NVIDIA driver (Sec. 3.3)",
+            selector: Some(PrefetchPolicy::TreeBasedNeighborhood),
+            factory: |_| Box::new(TbnPrefetcher),
+        });
+        r.register_evictor(EvictorEntry {
+            name: "LRU-4KB",
+            aliases: &["lru"],
+            summary: "least-recently accessed 4 KB page, the CUDA baseline (Sec. 4.2)",
+            selector: Some(EvictPolicy::LruPage),
+            factory: |_| Box::new(LruPageEvictor::new()),
+        });
+        r.register_evictor(EvictorEntry {
+            name: "Re",
+            aliases: &["random"],
+            summary: "uniformly random resident 4 KB page (Sec. 4.2)",
+            selector: Some(EvictPolicy::RandomPage),
+            factory: |_| Box::new(RandomPageEvictor),
+        });
+        r.register_evictor(EvictorEntry {
+            name: "SLe",
+            aliases: &["sequential-local"],
+            summary: "pre-evict the whole LRU 64 KB basic block (Sec. 5.1)",
+            selector: Some(EvictPolicy::SequentialLocal),
+            factory: |_| Box::new(SlEvictor::new()),
+        });
+        r.register_evictor(EvictorEntry {
+            name: "TBNe",
+            aliases: &["tree"],
+            summary: "tree-based neighborhood pre-eviction, 64 KB–1 MB (Sec. 5.2)",
+            selector: Some(EvictPolicy::TreeBasedNeighborhood),
+            factory: |_| Box::new(TbnEvictor::new()),
+        });
+        r.register_evictor(EvictorEntry {
+            name: "LRU-2MB",
+            aliases: &["lru-2mb"],
+            summary: "static 2 MB large-page LRU eviction (Sec. 7.5)",
+            selector: Some(EvictPolicy::LruLargePage),
+            factory: |_| Box::new(LruLargeEvictor::new()),
+        });
+        r.register_evictor(EvictorEntry {
+            name: "AFe",
+            aliases: &["freq", "access-frequency"],
+            summary: "least-frequently accessed resident page (LFU)",
+            selector: Some(EvictPolicy::AccessFrequency),
+            factory: |_| Box::new(FreqEvictor::new()),
+        });
+        r
+    }
+
+    /// The process-wide built-in registry the enums and `Gmmu::new`
+    /// resolve through.
+    pub fn global() -> &'static PolicyRegistry {
+        static GLOBAL: OnceLock<PolicyRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(PolicyRegistry::builtin)
+    }
+
+    /// Adds a prefetcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the canonical name or an alias collides with an
+    /// existing prefetcher entry.
+    pub fn register_prefetcher(&mut self, entry: PrefetcherEntry) {
+        for name in entry.names() {
+            assert!(
+                self.prefetcher(name).is_none(),
+                "duplicate prefetcher name {name:?}"
+            );
+        }
+        self.prefetchers.push(entry);
+    }
+
+    /// Adds an evictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the canonical name or an alias collides with an
+    /// existing evictor entry.
+    pub fn register_evictor(&mut self, entry: EvictorEntry) {
+        for name in entry.names() {
+            assert!(
+                self.evictor(name).is_none(),
+                "duplicate evictor name {name:?}"
+            );
+        }
+        self.evictors.push(entry);
+    }
+
+    /// Looks up a prefetcher by canonical name or alias.
+    pub fn prefetcher(&self, name: &str) -> Option<&PrefetcherEntry> {
+        self.prefetchers.iter().find(|e| e.matches(name))
+    }
+
+    /// Looks up an evictor by canonical name or alias.
+    pub fn evictor(&self, name: &str) -> Option<&EvictorEntry> {
+        self.evictors.iter().find(|e| e.matches(name))
+    }
+
+    /// The entry a [`PrefetchPolicy`] selector resolves to.
+    pub fn prefetcher_for(&self, selector: PrefetchPolicy) -> Option<&PrefetcherEntry> {
+        self.prefetchers
+            .iter()
+            .find(|e| e.selector == Some(selector))
+    }
+
+    /// The entry an [`EvictPolicy`] selector resolves to.
+    pub fn evictor_for(&self, selector: EvictPolicy) -> Option<&EvictorEntry> {
+        self.evictors.iter().find(|e| e.selector == Some(selector))
+    }
+
+    /// Builds the prefetcher for `selector`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry carries the selector (the built-in registry
+    /// covers every enum variant).
+    pub fn build_prefetcher(
+        &self,
+        selector: PrefetchPolicy,
+        cfg: &UvmConfig,
+    ) -> Box<dyn Prefetcher> {
+        let entry = self
+            .prefetcher_for(selector)
+            .unwrap_or_else(|| panic!("no registered prefetcher for {selector:?}"));
+        (entry.factory)(cfg)
+    }
+
+    /// Builds the evictor for `selector`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry carries the selector (the built-in registry
+    /// covers every enum variant).
+    pub fn build_evictor(&self, selector: EvictPolicy, cfg: &UvmConfig) -> Box<dyn Evictor> {
+        let entry = self
+            .evictor_for(selector)
+            .unwrap_or_else(|| panic!("no registered evictor for {selector:?}"));
+        (entry.factory)(cfg)
+    }
+
+    /// All registered prefetchers, registration order.
+    pub fn prefetchers(&self) -> &[PrefetcherEntry] {
+        &self.prefetchers
+    }
+
+    /// All registered evictors, registration order.
+    pub fn evictors(&self) -> &[EvictorEntry] {
+        &self.evictors
+    }
+
+    /// Canonical prefetcher names, registration order.
+    pub fn prefetcher_names(&self) -> Vec<&'static str> {
+        self.prefetchers.iter().map(|e| e.name).collect()
+    }
+
+    /// Canonical evictor names, registration order.
+    pub fn evictor_names(&self) -> Vec<&'static str> {
+        self.evictors.iter().map(|e| e.name).collect()
+    }
+}
+
+impl PrefetcherEntry {
+    /// Canonical name followed by the aliases.
+    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        std::iter::once(self.name).chain(self.aliases.iter().copied())
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.names().any(|n| n == name)
+    }
+}
+
+impl EvictorEntry {
+    /// Canonical name followed by the aliases.
+    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        std::iter::once(self.name).chain(self.aliases.iter().copied())
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.names().any(|n| n == name)
+    }
+}
+
+impl std::fmt::Debug for PolicyRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicyRegistry")
+            .field("prefetchers", &self.prefetcher_names())
+            .field("evictors", &self.evictor_names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_enum_selector_has_an_entry() {
+        let r = PolicyRegistry::global();
+        for p in PrefetchPolicy::ALL_WITH_ABLATIONS {
+            let e = r
+                .prefetcher_for(p)
+                .unwrap_or_else(|| panic!("missing {p:?}"));
+            assert_eq!(e.name, p.to_string(), "canonical name matches Display");
+        }
+        for ev in EvictPolicy::ALL_WITH_ABLATIONS {
+            let e = r
+                .evictor_for(ev)
+                .unwrap_or_else(|| panic!("missing {ev:?}"));
+            assert_eq!(e.name, ev.to_string(), "canonical name matches Display");
+        }
+    }
+
+    #[test]
+    fn built_policies_report_their_registry_name() {
+        let cfg = UvmConfig::default();
+        let r = PolicyRegistry::global();
+        for e in r.prefetchers() {
+            assert_eq!((e.factory)(&cfg).name(), e.name);
+        }
+        for e in r.evictors() {
+            assert_eq!((e.factory)(&cfg).name(), e.name);
+        }
+    }
+
+    #[test]
+    fn evictor_pre_eviction_flag_matches_enum_classification() {
+        let cfg = UvmConfig::default();
+        for e in PolicyRegistry::global().evictors() {
+            let selector = e.selector.expect("built-ins carry selectors");
+            assert_eq!(
+                (e.factory)(&cfg).is_pre_eviction(),
+                selector.is_pre_eviction(),
+                "{}",
+                e.name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_alias_and_name() {
+        let r = PolicyRegistry::global();
+        assert_eq!(r.prefetcher("tree").unwrap().name, "TBNp");
+        assert_eq!(r.prefetcher("TBNp").unwrap().name, "TBNp");
+        assert_eq!(r.evictor("freq").unwrap().name, "AFe");
+        assert!(r.prefetcher("bogus").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_registration_panics() {
+        let mut r = PolicyRegistry::builtin();
+        r.register_prefetcher(PrefetcherEntry {
+            name: "Rp",
+            aliases: &[],
+            summary: "",
+            selector: None,
+            factory: |_| Box::new(NonePrefetcher),
+        });
+    }
+
+    #[test]
+    fn third_party_registration_is_name_reachable() {
+        let mut r = PolicyRegistry::builtin();
+        r.register_prefetcher(PrefetcherEntry {
+            name: "mine",
+            aliases: &["my-policy"],
+            summary: "a third-party prefetcher",
+            selector: None,
+            factory: |_| Box::new(NonePrefetcher),
+        });
+        let cfg = UvmConfig::default();
+        let e = r.prefetcher("my-policy").unwrap();
+        assert!(e.selector.is_none());
+        assert_eq!((e.factory)(&cfg).name(), "none");
+    }
+}

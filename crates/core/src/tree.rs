@@ -510,7 +510,10 @@ mod tests {
     fn tbnp_figure2a() {
         let mut t = tree8();
         for b in [1, 3, 5, 7] {
-            assert!(t.plan_prefetch(bb(b)).is_empty(), "fault {b} must not prefetch");
+            assert!(
+                t.plan_prefetch(bb(b)).is_empty(),
+                "fault {b} must not prefetch"
+            );
             t.fill_block(bb(b));
             t.check_invariants();
         }
@@ -558,7 +561,10 @@ mod tests {
             t.fill_block(bb(b));
         }
         for b in [1, 3, 4] {
-            assert!(t.plan_eviction(bb(b)).is_empty(), "evicting {b} must not cascade");
+            assert!(
+                t.plan_eviction(bb(b)).is_empty(),
+                "evicting {b} must not cascade"
+            );
             t.clear_block(bb(b));
             t.check_invariants();
         }

@@ -5,8 +5,7 @@
 use std::collections::HashSet;
 
 use uvm_core::{
-    AllocTree, Allocations, EvictPolicy, Gmmu, HierarchicalLru, LruQueue, PrefetchPolicy,
-    UvmConfig,
+    AllocTree, Allocations, EvictPolicy, Gmmu, HierarchicalLru, LruQueue, PrefetchPolicy, UvmConfig,
 };
 use uvm_types::rng::{Rng, SmallRng};
 use uvm_types::{BasicBlockId, Bytes, Cycle, PageId, TreeExtent, PAGES_PER_BASIC_BLOCK};
@@ -187,7 +186,9 @@ fn hier_lru_accounting() {
             match h.candidate(0, |_| true) {
                 Some(bb) => {
                     assert!(h.block_pages(bb) > 0);
-                    assert!(resident.iter().any(|&pg| PageId::new(pg).basic_block() == bb));
+                    assert!(resident
+                        .iter()
+                        .any(|&pg| PageId::new(pg).basic_block() == bb));
                 }
                 None => assert!(resident.is_empty()),
             }
@@ -199,12 +200,18 @@ fn pick_policy_pair(rng: &mut SmallRng) -> (PrefetchPolicy, EvictPolicy) {
     match rng.gen_range(0u32..5) {
         0 => (PrefetchPolicy::None, EvictPolicy::LruPage),
         1 => (PrefetchPolicy::Random, EvictPolicy::RandomPage),
-        2 => (PrefetchPolicy::SequentialLocal, EvictPolicy::SequentialLocal),
+        2 => (
+            PrefetchPolicy::SequentialLocal,
+            EvictPolicy::SequentialLocal,
+        ),
         3 => (
             PrefetchPolicy::TreeBasedNeighborhood,
             EvictPolicy::TreeBasedNeighborhood,
         ),
-        _ => (PrefetchPolicy::TreeBasedNeighborhood, EvictPolicy::LruLargePage),
+        _ => (
+            PrefetchPolicy::TreeBasedNeighborhood,
+            EvictPolicy::LruLargePage,
+        ),
     }
 }
 
@@ -243,7 +250,10 @@ fn gmmu_conserves_under_random_traffic() {
         }
         let stats = g.stats();
         assert!(g.resident_pages() <= g.capacity_frames());
-        assert_eq!(stats.pages_migrated - stats.pages_evicted, g.resident_pages());
+        assert_eq!(
+            stats.pages_migrated - stats.pages_evicted,
+            g.resident_pages()
+        );
         assert!(stats.pages_prefetched <= stats.pages_migrated);
         assert!(stats.far_faults <= stats.pages_migrated);
         assert!(stats.pages_thrashed <= stats.pages_evicted);

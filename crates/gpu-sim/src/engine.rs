@@ -106,7 +106,9 @@ impl Engine {
     pub fn new(gmmu: Gmmu, cfg: GpuConfig) -> Self {
         assert!(cfg.num_sms > 0, "need at least one SM");
         assert!(cfg.blocks_per_sm > 0, "need at least one block per SM");
-        let tlbs = (0..cfg.num_sms).map(|_| Tlb::new(cfg.tlb_entries)).collect();
+        let tlbs = (0..cfg.num_sms)
+            .map(|_| Tlb::new(cfg.tlb_entries))
+            .collect();
         let walker = cfg
             .radix_walk
             .map(|(per_level, entries)| RadixWalkModel::new(per_level, entries));
@@ -234,8 +236,7 @@ impl Engine {
             match self.tlbs[sm].lookup(page) {
                 TlbLookup::Hit => {
                     // 1-cycle lookup + device memory access.
-                    let done =
-                        t + Duration::from_cycles(1) + self.cfg.mem_latency;
+                    let done = t + Duration::from_cycles(1) + self.cfg.mem_latency;
                     self.complete_access(access, done, w);
                     warps[w].current = None;
                     push(&mut queue, done + self.cfg.compute_delay, w, &mut seq);
@@ -252,7 +253,13 @@ impl Engine {
                         // the faulty page's data arrives.
                         let res = self.gmmu.handle_fault(page, walked);
                         if std::env::var_os("UVM_DEBUG_FAULTS").is_some() {
-                            eprintln!("t={} w={w} fault pg{} ready={} evicted={}", t.index(), page.index(), res.fault_page_ready().index(), res.evicted.len());
+                            eprintln!(
+                                "t={} w={w} fault pg{} ready={} evicted={}",
+                                t.index(),
+                                page.index(),
+                                res.fault_page_ready().index(),
+                                res.evicted.len()
+                            );
                         }
                         for evicted in &res.evicted {
                             for tlb in &mut self.tlbs {
@@ -338,9 +345,7 @@ mod tests {
             UvmConfig::default().with_prefetch(PrefetchPolicy::None),
             Bytes::mib(1),
         );
-        let t = e.run_kernel(
-            KernelSpec::new("one").with_block(seq_reads(base, 1)),
-        );
+        let t = e.run_kernel(KernelSpec::new("one").with_block(seq_reads(base, 1)));
         // 1 (TLB) + 100 (walk) + 45us + 4KB transfer + 300 (mem) + ...
         assert!(t > Duration::from_micros(45.0));
         assert!(t < Duration::from_micros(60.0));
@@ -468,9 +473,8 @@ mod tests {
         // walks (25 cycles) beat the flat 100-cycle walk for a
         // sequential scan, so the run is strictly faster.
         let run = |radix: Option<(Duration, usize)>| {
-            let mut gmmu = Gmmu::new(
-                UvmConfig::default().with_prefetch(PrefetchPolicy::SequentialLocal),
-            );
+            let mut gmmu =
+                Gmmu::new(UvmConfig::default().with_prefetch(PrefetchPolicy::SequentialLocal));
             let base = gmmu.malloc_managed(Bytes::mib(1));
             let mut e = Engine::new(
                 gmmu,

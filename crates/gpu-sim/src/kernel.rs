@@ -159,13 +159,16 @@ mod tests {
     fn kernel_builder() {
         let k = KernelSpec::new("k")
             .with_block(ThreadBlockSpec::from_accesses(std::iter::empty()))
-            .with_block(ThreadBlockSpec::from_accesses(
-                vec![Access::read(VirtAddr::new(0))],
-            ));
+            .with_block(ThreadBlockSpec::from_accesses(vec![Access::read(
+                VirtAddr::new(0),
+            )]));
         assert_eq!(k.name(), "k");
         assert_eq!(k.num_blocks(), 2);
         let blocks = k.into_blocks();
         assert_eq!(blocks.len(), 2);
-        assert_eq!(blocks.into_iter().nth(1).unwrap().into_accesses().count(), 1);
+        assert_eq!(
+            blocks.into_iter().nth(1).unwrap().into_accesses().count(),
+            1
+        );
     }
 }

@@ -13,7 +13,10 @@ const CASES: usize = 24;
 fn pick_policies(rng: &mut SmallRng) -> (PrefetchPolicy, EvictPolicy) {
     match rng.gen_range(0u32..3) {
         0 => (PrefetchPolicy::None, EvictPolicy::LruPage),
-        1 => (PrefetchPolicy::SequentialLocal, EvictPolicy::SequentialLocal),
+        1 => (
+            PrefetchPolicy::SequentialLocal,
+            EvictPolicy::SequentialLocal,
+        ),
         _ => (
             PrefetchPolicy::TreeBasedNeighborhood,
             EvictPolicy::TreeBasedNeighborhood,

@@ -179,7 +179,10 @@ mod tests {
     fn scheduled_transfer_duration() {
         let mut ch = channel();
         let t = ch.schedule(Cycle::ZERO, Bytes::kib(16));
-        assert_eq!(t.duration(), PcieModel::pascal_x16().transfer_time(Bytes::kib(16)));
+        assert_eq!(
+            t.duration(),
+            PcieModel::pascal_x16().transfer_time(Bytes::kib(16))
+        );
         assert_eq!(t.size, Bytes::kib(16));
     }
 }

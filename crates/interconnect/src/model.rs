@@ -157,7 +157,11 @@ mod tests {
         let m = PcieModel::pascal_x16();
         // 4 KB at 3.2219 GB/s is ~1.27 us.
         let t4k = m.transfer_time(Bytes::kib(4));
-        assert!((t4k.as_micros() - 1.2713).abs() < 0.01, "{}", t4k.as_micros());
+        assert!(
+            (t4k.as_micros() - 1.2713).abs() < 0.01,
+            "{}",
+            t4k.as_micros()
+        );
         // 1 MB at 11.223 GB/s is ~93.4 us.
         let t1m = m.transfer_time(Bytes::kib(1024));
         assert!((t1m.as_micros() - 93.43).abs() < 0.2, "{}", t1m.as_micros());
@@ -192,7 +196,10 @@ mod tests {
         let mut prev = 0.0;
         for kb in [1u64, 4, 7, 16, 33, 64, 200, 256, 700, 1024, 4096] {
             let bw = m.bandwidth_gbps(Bytes::kib(kb));
-            assert!(bw >= prev, "bandwidth must not decrease with size ({kb} KB)");
+            assert!(
+                bw >= prev,
+                "bandwidth must not decrease with size ({kb} KB)"
+            );
             prev = bw;
         }
     }

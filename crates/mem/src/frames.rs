@@ -86,7 +86,10 @@ impl FrameAllocator {
     /// whole pool) or if `frame` was never handed out.
     pub fn free(&mut self, frame: FrameId) {
         assert!(self.in_use > 0, "free with no frames allocated");
-        assert!(frame.0 < self.next_unused, "free of a never-allocated frame");
+        assert!(
+            frame.0 < self.next_unused,
+            "free of a never-allocated frame"
+        );
         self.in_use -= 1;
         self.free_list.push(frame);
     }

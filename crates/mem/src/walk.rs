@@ -167,7 +167,7 @@ mod tests {
     fn cache_evicts_lru() {
         let mut w = RadixWalkModel::new(Duration::from_cycles(25), 3);
         w.walk(PageId::new(0)); // installs 3 entries (levels 1..3)
-        // A far page evicts all three (cache capacity 3).
+                                // A far page evicts all three (cache capacity 3).
         w.walk(PageId::new(1 << 27));
         // The original region is cold again.
         assert_eq!(w.walk(PageId::new(0)).cycles(), 100);

@@ -349,9 +349,21 @@ mod spill {
         push_field(&mut s, ",pages_thrashed", r.pages_thrashed);
         push_field(&mut s, ",prefetched_used", r.prefetched_used);
         push_field(&mut s, ",prefetched_wasted", r.prefetched_wasted);
-        push_field(&mut s, ",clean_pages_written_back", r.clean_pages_written_back);
-        push_field(&mut s, ",read_bandwidth_bits", r.read_bandwidth_gbps.to_bits());
-        push_field(&mut s, ",write_bandwidth_bits", r.write_bandwidth_gbps.to_bits());
+        push_field(
+            &mut s,
+            ",clean_pages_written_back",
+            r.clean_pages_written_back,
+        );
+        push_field(
+            &mut s,
+            ",read_bandwidth_bits",
+            r.read_bandwidth_gbps.to_bits(),
+        );
+        push_field(
+            &mut s,
+            ",write_bandwidth_bits",
+            r.write_bandwidth_gbps.to_bits(),
+        );
         push_field(&mut s, ",read_transfers_4k", r.read_transfers_4k);
         push_field(&mut s, ",read_transfers", r.read_transfers);
         push_field(&mut s, ",read_bytes", r.read_bytes.bytes());
@@ -384,13 +396,19 @@ mod spill {
     }
 
     pub(super) fn decode(text: &str) -> Option<RunResult> {
-        let mut p = Parser { b: text.as_bytes(), i: 0 };
+        let mut p = Parser {
+            b: text.as_bytes(),
+            i: 0,
+        };
         let fields = p.object()?;
         let u = |k: &str| -> Option<u64> {
-            fields.iter().find(|(n, _)| n == k).and_then(|(_, v)| match v {
-                Value::Num(n) => Some(*n),
-                _ => None,
-            })
+            fields
+                .iter()
+                .find(|(n, _)| n == k)
+                .and_then(|(_, v)| match v {
+                    Value::Num(n) => Some(*n),
+                    _ => None,
+                })
         };
         if u("v")? != SPILL_VERSION {
             return None;
@@ -560,8 +578,7 @@ mod spill {
                             b'u' => {
                                 let hex = self.b.get(self.i + 1..self.i + 5)?;
                                 let code =
-                                    u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16)
-                                        .ok()?;
+                                    u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
                                 out.push(char::from_u32(code)?);
                                 self.i += 4;
                             }
@@ -620,7 +637,10 @@ mod tests {
         let exec = Executor::new(4);
         let w = sweep();
         let mut plan = exec.plan();
-        plan.submit(&w, RunOptions::default().with_prefetch(PrefetchPolicy::None));
+        plan.submit(
+            &w,
+            RunOptions::default().with_prefetch(PrefetchPolicy::None),
+        );
         plan.submit(&w, RunOptions::default());
         let results = plan.execute();
         assert!(results[0].far_faults > results[1].far_faults);
@@ -648,7 +668,10 @@ mod tests {
         assert_eq!(second.cache_hits(), 1);
         assert_eq!(a.total_time, b.total_time);
         assert_eq!(a.far_faults, b.far_faults);
-        assert_eq!(a.read_bandwidth_gbps.to_bits(), b.read_bandwidth_gbps.to_bits());
+        assert_eq!(
+            a.read_bandwidth_gbps.to_bits(),
+            b.read_bandwidth_gbps.to_bits()
+        );
         assert_eq!(a.kernel_times, b.kernel_times);
         assert_eq!(a.capacity, b.capacity);
         let _ = std::fs::remove_dir_all(&dir);

@@ -307,9 +307,24 @@ pub fn eviction_isolation(exec: &Executor, scale: Scale) -> EvictionIsolation {
 /// The four policy combinations of Fig. 11.
 pub const COMBOS: [(&str, PrefetchPolicy, EvictPolicy, bool); 4] = [
     // (label, prefetcher, evictor, disable-prefetch-on-oversubscription)
-    ("LRU4K+none", PrefetchPolicy::TreeBasedNeighborhood, EvictPolicy::LruPage, true),
-    ("Re+Rp", PrefetchPolicy::Random, EvictPolicy::RandomPage, false),
-    ("SLe+SLp", PrefetchPolicy::SequentialLocal, EvictPolicy::SequentialLocal, false),
+    (
+        "LRU4K+none",
+        PrefetchPolicy::TreeBasedNeighborhood,
+        EvictPolicy::LruPage,
+        true,
+    ),
+    (
+        "Re+Rp",
+        PrefetchPolicy::Random,
+        EvictPolicy::RandomPage,
+        false,
+    ),
+    (
+        "SLe+SLp",
+        PrefetchPolicy::SequentialLocal,
+        EvictPolicy::SequentialLocal,
+        false,
+    ),
     (
         "TBNe+TBNp",
         PrefetchPolicy::TreeBasedNeighborhood,
@@ -351,6 +366,67 @@ pub fn policy_combinations(exec: &Executor, scale: Scale) -> Table {
     t
 }
 
+/// Registry-driven pair study: kernel time, far-faults, and thrashing
+/// for an arbitrary prefetcher × evictor pair at 110 %
+/// over-subscription, next to the driver baseline (none + LRU-4KB) and
+/// the paper's best combination (TBNp + TBNe). The pair is typically
+/// named on an ablation binary's command line and resolved through the
+/// [`PolicyRegistry`](uvm_core::PolicyRegistry), so out-of-core
+/// policies like S256p or AFe plug in without any experiment changes.
+pub fn policy_pair(
+    exec: &Executor,
+    scale: Scale,
+    prefetch: PrefetchPolicy,
+    evict: EvictPolicy,
+) -> Table {
+    let pairs = [
+        (PrefetchPolicy::None, EvictPolicy::LruPage),
+        (prefetch, evict),
+        (
+            PrefetchPolicy::TreeBasedNeighborhood,
+            EvictPolicy::TreeBasedNeighborhood,
+        ),
+    ];
+    let suite = suite(scale);
+    let mut plan = exec.plan();
+    for w in &suite {
+        for (p, e) in pairs {
+            let opts = RunOptions::default()
+                .with_prefetch(p)
+                .with_evict(e)
+                .with_memory_frac(1.10);
+            plan.submit(w.as_ref(), opts);
+        }
+    }
+    let mut results = plan.execute().into_iter();
+
+    let mut t = Table::new(
+        format!("Policy pair study: {prefetch}+{evict} vs baselines (110%)"),
+        &[
+            "benchmark",
+            "baseline ms",
+            "pair ms",
+            "TBN ms",
+            "pair faults",
+            "pair thrashed",
+        ],
+    );
+    for w in &suite {
+        let baseline = results.next().expect("plan covers every cell");
+        let pair = results.next().expect("plan covers every cell");
+        let tbn = results.next().expect("plan covers every cell");
+        t.row_owned(vec![
+            w.name().to_string(),
+            fmt(baseline.total_ms()),
+            fmt(pair.total_ms()),
+            fmt(tbn.total_ms()),
+            pair.far_faults.to_string(),
+            pair.pages_thrashed.to_string(),
+        ]);
+    }
+    t
+}
+
 // ---------------------------------------------------------------------
 // Figure 12: nw page-access pattern
 // ---------------------------------------------------------------------
@@ -376,7 +452,10 @@ pub fn nw_trace(exec: &Executor, scale: Scale, launches: &[usize]) -> Vec<(usize
                 &["cycle", "page"],
             );
             for ev in &r.traces[l] {
-                t.row_owned(vec![ev.cycle.index().to_string(), ev.page.index().to_string()]);
+                t.row_owned(vec![
+                    ev.cycle.index().to_string(),
+                    ev.page.index().to_string(),
+                ]);
             }
             (l, t)
         })
@@ -473,7 +552,10 @@ pub struct LargePageComparison {
 /// prefetching.
 pub fn tbne_vs_2mb(exec: &Executor, scale: Scale) -> LargePageComparison {
     let fracs = [1.10, 1.25];
-    let evicts = [EvictPolicy::TreeBasedNeighborhood, EvictPolicy::LruLargePage];
+    let evicts = [
+        EvictPolicy::TreeBasedNeighborhood,
+        EvictPolicy::LruLargePage,
+    ];
     let suite = suite(scale);
     let mut plan = exec.plan();
     for w in &suite {
@@ -751,7 +833,10 @@ pub fn writeback_ablation(exec: &Executor, scale: Scale) -> Table {
 pub fn fig2_walkthrough() -> String {
     let mut out = String::new();
     for (label, order) in [
-        ("Fig 2(a): faults on blocks 1,3,5,7,0", vec![1u64, 3, 5, 7, 0]),
+        (
+            "Fig 2(a): faults on blocks 1,3,5,7,0",
+            vec![1u64, 3, 5, 7, 0],
+        ),
         ("Fig 2(b): faults on blocks 1,3,0,4", vec![1, 3, 0, 4]),
     ] {
         out.push_str(label);

@@ -126,7 +126,11 @@ impl PatternSummary {
             if let Some(&prev) = h.last() {
                 pairs += 1;
                 stride_sum += prev.abs_diff(ev.page.index());
-                if h.iter().rev().take(WINDOW).any(|&p| p.abs_diff(ev.page.index()) <= 1) {
+                if h.iter()
+                    .rev()
+                    .take(WINDOW)
+                    .any(|&p| p.abs_diff(ev.page.index()) <= 1)
+                {
                     near += 1;
                 }
             }
@@ -262,9 +266,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         // Random accesses over a big footprint with modest reuse:
         // small strides relative to span are rare, reuse present.
-        let trace: Vec<_> = (0..2000)
-            .map(|i| at(i, rng.gen_range(0u64..500)))
-            .collect();
+        let trace: Vec<_> = (0..2000).map(|i| at(i, rng.gen_range(0u64..500))).collect();
         let s = PatternSummary::from_trace(&trace);
         assert_eq!(s.classify(), PatternClass::Random);
     }
@@ -281,6 +283,9 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(PatternClass::Streaming.to_string(), "streaming");
-        assert_eq!(PatternClass::SparseLocalized.to_string(), "sparse-localized");
+        assert_eq!(
+            PatternClass::SparseLocalized.to_string(),
+            "sparse-localized"
+        );
     }
 }

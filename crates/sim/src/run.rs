@@ -261,9 +261,7 @@ pub fn run_workload(workload: &dyn Workload, opts: RunOptions) -> RunResult {
     let write = gmmu.write_stats();
     RunResult {
         name: workload.name().to_owned(),
-        total_time: kernel_times
-            .iter()
-            .fold(Duration::ZERO, |acc, &t| acc + t),
+        total_time: kernel_times.iter().fold(Duration::ZERO, |acc, &t| acc + t),
         kernel_times,
         footprint,
         capacity,

@@ -4,7 +4,9 @@
 
 use uvm_core::{EvictPolicy, PrefetchPolicy};
 use uvm_gpu::GpuConfig;
-use uvm_sim::experiments::{eviction_isolation, policy_combinations, prefetcher_sweep, suite, Scale};
+use uvm_sim::experiments::{
+    eviction_isolation, policy_combinations, prefetcher_sweep, suite, Scale,
+};
 use uvm_sim::{Executor, RunKey, RunOptions};
 use uvm_workloads::{LinearSweep, Workload};
 
@@ -32,7 +34,11 @@ fn figures_share_deduplicated_runs() {
 
     let _sweep = prefetcher_sweep(&exec, Scale::Smoke);
     let unique = n * PrefetchPolicy::ALL.len();
-    assert_eq!(exec.runs_executed(), unique, "one simulation per unique key");
+    assert_eq!(
+        exec.runs_executed(),
+        unique,
+        "one simulation per unique key"
+    );
 
     let _again = prefetcher_sweep(&exec, Scale::Smoke);
     assert_eq!(exec.runs_executed(), unique, "repeat costs nothing");
@@ -52,7 +58,11 @@ fn figures_share_deduplicated_runs() {
 /// `RunOptions` field or the workload parameters changes the key.
 #[test]
 fn run_key_is_stable_and_field_sensitive() {
-    let w = LinearSweep { pages: 64, repeats: 1, thread_blocks: 2 };
+    let w = LinearSweep {
+        pages: 64,
+        repeats: 1,
+        thread_blocks: 2,
+    };
     let base = RunOptions::default();
     assert_eq!(RunKey::new(&w, &base), RunKey::new(&w, &base.clone()));
 
@@ -94,7 +104,11 @@ fn run_key_is_stable_and_field_sensitive() {
     }
 
     // Workload identity is part of the key.
-    let other = LinearSweep { pages: 65, repeats: 1, thread_blocks: 2 };
+    let other = LinearSweep {
+        pages: 65,
+        repeats: 1,
+        thread_blocks: 2,
+    };
     assert_ne!(base_key, RunKey::new(&other, &base));
     assert_ne!(w.signature(), other.signature());
 }
@@ -141,7 +155,11 @@ fn builders_cover_every_field() {
 fn spill_directory_resumes_across_executors() {
     let dir = std::env::temp_dir().join(format!("uvm-executor-it-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let w = LinearSweep { pages: 96, repeats: 2, thread_blocks: 3 };
+    let w = LinearSweep {
+        pages: 96,
+        repeats: 2,
+        thread_blocks: 3,
+    };
     let opts = |p| RunOptions::default().with_prefetch(p);
 
     let first = Executor::new(2).with_spill_dir(&dir);

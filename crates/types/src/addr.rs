@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::size::{PAGE_SIZE, PAGES_PER_BASIC_BLOCK, PAGES_PER_LARGE_PAGE};
+use crate::size::{PAGES_PER_BASIC_BLOCK, PAGES_PER_LARGE_PAGE, PAGE_SIZE};
 use crate::Bytes;
 
 /// A byte address in the unified virtual address space.

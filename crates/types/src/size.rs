@@ -81,7 +81,7 @@ impl Bytes {
     ///
     /// Panics if `unit` is zero.
     pub const fn is_multiple_of(self, unit: Bytes) -> bool {
-        self.0 % unit.0 == 0
+        self.0.is_multiple_of(unit.0)
     }
 }
 
@@ -134,9 +134,9 @@ impl Sum for Bytes {
 impl fmt::Display for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         const MIB: u64 = 1024 * 1024;
-        if self.0 >= MIB && self.0 % MIB == 0 {
+        if self.0 >= MIB && self.0.is_multiple_of(MIB) {
             write!(f, "{}MiB", self.0 / MIB)
-        } else if self.0 >= 1024 && self.0 % 1024 == 0 {
+        } else if self.0 >= 1024 && self.0.is_multiple_of(1024) {
             write!(f, "{}KiB", self.0 / 1024)
         } else {
             write!(f, "{}B", self.0)

@@ -3,9 +3,8 @@
 
 use uvm_types::rng::{Rng, SmallRng};
 use uvm_types::{
-    round_up_pow2_blocks, split_allocation, BasicBlockId, Bytes, Cycle, Duration, PageId,
-    VirtAddr, BASIC_BLOCK_SIZE, LARGE_PAGE_SIZE, PAGES_PER_BASIC_BLOCK, PAGES_PER_LARGE_PAGE,
-    PAGE_SIZE,
+    round_up_pow2_blocks, split_allocation, BasicBlockId, Bytes, Cycle, Duration, PageId, VirtAddr,
+    BASIC_BLOCK_SIZE, LARGE_PAGE_SIZE, PAGES_PER_BASIC_BLOCK, PAGES_PER_LARGE_PAGE, PAGE_SIZE,
 };
 
 const CASES: usize = 256;
@@ -99,7 +98,10 @@ fn split_allocation_tiles() {
             assert!(t.num_blocks.is_power_of_two());
             assert!(t.num_blocks <= blocks_per_lp);
             if i + 1 < trees.len() {
-                assert_eq!(t.num_blocks, blocks_per_lp, "only the last tree may be small");
+                assert_eq!(
+                    t.num_blocks, blocks_per_lp,
+                    "only the last tree may be small"
+                );
             }
             cursor = cursor.add(t.num_blocks);
         }

@@ -87,7 +87,10 @@ impl Workload for Bfs {
                     let n = rng.gen_range(nlo..nhi);
                     let e = rng.gen_range(0..self.edge_pages.saturating_sub(2).max(1));
                     accesses.push(Access::read(page_addr(edges, e)));
-                    accesses.push(Access::read(page_addr(edges, (e + 1).min(self.edge_pages - 1))));
+                    accesses.push(Access::read(page_addr(
+                        edges,
+                        (e + 1).min(self.edge_pages - 1),
+                    )));
                     accesses.push(Access::write(page_addr(
                         cost,
                         n * self.cost_pages / self.node_pages,

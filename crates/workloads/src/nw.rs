@@ -99,10 +99,7 @@ mod tests {
 
     #[test]
     fn diagonal_width_grows_then_shrinks() {
-        let nw = NeedlemanWunsch {
-            rows: 64,
-            tile: 16,
-        }; // 4x4 grid, 7 diagonals
+        let nw = NeedlemanWunsch { rows: 64, tile: 16 }; // 4x4 grid, 7 diagonals
         let (kernels, _) = build_dummy(&nw);
         let widths: Vec<usize> = kernels.iter().map(|k| k.num_blocks()).collect();
         assert_eq!(widths, vec![1, 2, 3, 4, 3, 2, 1]);

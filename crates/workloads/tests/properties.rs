@@ -56,7 +56,11 @@ fn hotspot_touches_only_its_arrays() {
     for _ in 0..CASES {
         let rows_pow = rng.gen_range(4u32..9);
         let iters = rng.gen_range(1u64..4);
-        let w = Hotspot { rows: 1 << rows_pow, iterations: iters, rows_per_block: 16 };
+        let w = Hotspot {
+            rows: 1 << rows_pow,
+            iterations: iters,
+            rows_per_block: 16,
+        };
         let (kernels, ranges) = build(&w);
         assert_eq!(kernels.len() as u64, iters);
         let pages = all_pages(kernels);
@@ -114,7 +118,11 @@ fn gaussian_steps_shrink() {
     for _ in 0..CASES {
         let rows_pow = rng.gen_range(7u32..11);
         let rows = 1u64 << rows_pow;
-        let w = Gaussian { rows, rows_per_step: 64, rows_per_block: 16 };
+        let w = Gaussian {
+            rows,
+            rows_per_step: 64,
+            rows_per_block: 16,
+        };
         let (kernels, ranges) = build(&w);
         let counts: Vec<usize> = kernels.iter().map(|k| k.num_blocks()).collect();
         for pair in counts.windows(2) {
@@ -130,7 +138,11 @@ fn pathfinder_and_backprop_stream_within_bounds() {
     for _ in 0..CASES {
         let rows = rng.gen_range(1u64..6);
         let row_pages = rng.gen_range(16u64..128);
-        let w = Pathfinder { rows, row_pages, thread_blocks: 4 };
+        let w = Pathfinder {
+            rows,
+            row_pages,
+            thread_blocks: 4,
+        };
         let (kernels, ranges) = build(&w);
         assert_eq!(kernels.len() as u64, rows);
         assert_within(&all_pages(kernels), &ranges);
@@ -156,7 +168,11 @@ fn srad_alternates_kernels() {
     for _ in 0..CASES {
         let rows_pow = rng.gen_range(5u32..9);
         let iters = rng.gen_range(1u64..4);
-        let w = Srad { rows: 1 << rows_pow, iterations: iters, rows_per_block: 16 };
+        let w = Srad {
+            rows: 1 << rows_pow,
+            iterations: iters,
+            rows_per_block: 16,
+        };
         let (kernels, ranges) = build(&w);
         assert_eq!(kernels.len() as u64, 2 * iters);
         for (i, k) in kernels.iter().enumerate() {
@@ -173,7 +189,11 @@ fn linear_sweep_covers_exactly() {
     for _ in 0..CASES {
         let pages = rng.gen_range(1u64..512);
         let repeats = rng.gen_range(1u64..4);
-        let w = LinearSweep { pages, repeats, thread_blocks: 3 };
+        let w = LinearSweep {
+            pages,
+            repeats,
+            thread_blocks: 3,
+        };
         let (kernels, ranges) = build(&w);
         let touched = all_pages(kernels);
         assert_eq!(touched.len() as u64, pages * repeats);

@@ -8,27 +8,47 @@
 //! ```
 //!
 //! Benchmarks: backprop, bfs, gaussian, hotspot, nw, pathfinder, srad.
-//! Prefetchers: none, Rp, SLp, TBNp. Evictors: lru (LRU-4KB), random
-//! (Re), SLe, TBNe, lru-2mb. `--oversub` is the working set as a
-//! percentage of device memory (omit for unlimited memory).
+//! Policies are resolved by name (or alias) through the policy
+//! registry — run with `--list-policies` for the full catalogue.
+//! `--oversub` is the working set as a percentage of device memory
+//! (omit for unlimited memory).
 
 use std::process::exit;
 
-use uvm_core::{EvictPolicy, PrefetchPolicy};
+use uvm_core::{EvictPolicy, PolicyRegistry, PrefetchPolicy};
 use uvm_sim::{run_workload, RunOptions};
 use uvm_workloads::standard_suite;
 
 fn usage() -> ! {
+    let registry = PolicyRegistry::global();
     eprintln!(
-        "usage: policy_explorer <benchmark> [--prefetch none|Rp|SLp|TBNp] \
-         [--evict lru|random|SLe|TBNe|lru-2mb] [--oversub PCT] \
-         [--reserve PCT] [--buffer PCT]"
+        "usage: policy_explorer <benchmark> [--prefetch {}] \
+         [--evict {}] [--oversub PCT] \
+         [--reserve PCT] [--buffer PCT] [--list-policies]",
+        registry.prefetcher_names().join("|"),
+        registry.evictor_names().join("|"),
     );
     exit(2);
 }
 
+fn list_policies() -> ! {
+    let registry = PolicyRegistry::global();
+    println!("prefetchers:");
+    for e in registry.prefetchers() {
+        println!("  {:<8} {}", e.name, e.summary);
+    }
+    println!("evictors:");
+    for e in registry.evictors() {
+        println!("  {:<8} {}", e.name, e.summary);
+    }
+    exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list-policies") {
+        list_policies();
+    }
     if args.is_empty() {
         usage();
     }

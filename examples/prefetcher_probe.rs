@@ -18,9 +18,8 @@ use uvm_types::{Bytes, Cycle, PAGES_PER_BASIC_BLOCK};
 
 fn probe(label: &str, touch_blocks: &[u64]) {
     println!("{label}");
-    let mut gmmu = Gmmu::new(
-        UvmConfig::default().with_prefetch(PrefetchPolicy::TreeBasedNeighborhood),
-    );
+    let mut gmmu =
+        Gmmu::new(UvmConfig::default().with_prefetch(PrefetchPolicy::TreeBasedNeighborhood));
     let base = gmmu.malloc_managed(Bytes::kib(512));
     let mut now = Cycle::ZERO;
     for &block in touch_blocks {

@@ -54,13 +54,15 @@ fn main() {
     println!("16 MiB streaming kernel, three migration strategies:\n");
     for (label, prefetch, user) in [
         ("on-demand 4KB paging      ", PrefetchPolicy::None, false),
-        ("hardware prefetcher (TBNp)", PrefetchPolicy::TreeBasedNeighborhood, false),
+        (
+            "hardware prefetcher (TBNp)",
+            PrefetchPolicy::TreeBasedNeighborhood,
+            false,
+        ),
         ("cudaMemPrefetchAsync-style", PrefetchPolicy::None, true),
     ] {
         let (ms, faults, bw) = run(prefetch, user);
-        println!(
-            "{label}: {ms:>9.3} ms  far-faults {faults:>5}  PCI-e read {bw:>5.2} GB/s"
-        );
+        println!("{label}: {ms:>9.3} ms  far-faults {faults:>5}  PCI-e read {bw:>5.2} GB/s");
     }
     println!(
         "\nUser-directed prefetch eliminates far-faults entirely and moves\n\

@@ -83,7 +83,13 @@ fn randomized_runs_conserve_pages() {
         let frac = [None, Some(1.05), Some(1.25), Some(2.0)][rng.gen_range(0usize..4)];
         let reserve = [0.0, 0.1][rng.gen_range(0usize..2)];
 
-        let w = RandomWorkload { pages, kernels, blocks, accesses_per_block: accesses, seed };
+        let w = RandomWorkload {
+            pages,
+            kernels,
+            blocks,
+            accesses_per_block: accesses,
+            seed,
+        };
         let total_accesses = (kernels * blocks * accesses) as u64;
         let mut opts = RunOptions::default()
             .with_prefetch(prefetch)
@@ -126,9 +132,17 @@ fn randomized_runs_are_deterministic() {
         let seed = rng.next_u64();
         let prefetch = PREFETCHES[rng.gen_range(0usize..PREFETCHES.len())];
         let evict = EVICTS[rng.gen_range(0usize..EVICTS.len())];
-        let w = RandomWorkload { pages, kernels: 2, blocks: 4, accesses_per_block: 16, seed };
+        let w = RandomWorkload {
+            pages,
+            kernels: 2,
+            blocks: 4,
+            accesses_per_block: 16,
+            seed,
+        };
         let opts = || {
-            let mut o = RunOptions::default().with_prefetch(prefetch).with_evict(evict);
+            let mut o = RunOptions::default()
+                .with_prefetch(prefetch)
+                .with_evict(evict);
             o.memory_frac = Some(1.10);
             o
         };
@@ -157,11 +171,10 @@ fn tlb_shootdown_keeps_engine_and_gmmu_consistent() {
     // Three sweeps over 256 pages through a 64-frame budget: massive
     // eviction churn. The engine must never observe stale residency.
     for sweep in 0..3 {
-        let k = KernelSpec::new(format!("sweep{sweep}")).with_block(
-            ThreadBlockSpec::from_accesses(
+        let k =
+            KernelSpec::new(format!("sweep{sweep}")).with_block(ThreadBlockSpec::from_accesses(
                 (0..256).map(move |i| Access::read(base.offset(PAGE_SIZE * i))),
-            ),
-        );
+            ));
         engine.run_kernel(k);
     }
     let stats = engine.gmmu().stats();

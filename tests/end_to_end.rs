@@ -84,7 +84,11 @@ fn every_benchmark_runs_under_every_policy_combo() {
     let combos = [
         (PrefetchPolicy::None, EvictPolicy::LruPage, true),
         (PrefetchPolicy::Random, EvictPolicy::RandomPage, false),
-        (PrefetchPolicy::SequentialLocal, EvictPolicy::SequentialLocal, false),
+        (
+            PrefetchPolicy::SequentialLocal,
+            EvictPolicy::SequentialLocal,
+            false,
+        ),
         (
             PrefetchPolicy::TreeBasedNeighborhood,
             EvictPolicy::TreeBasedNeighborhood,

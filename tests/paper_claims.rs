@@ -179,9 +179,8 @@ fn pre_eviction_prefetcher_combos_win() {
         }
     }
     // Paper: 93% average improvement; we assert a >50% geometric mean.
-    let geomean = (tbn_speedups.iter().map(|s| s.ln()).sum::<f64>()
-        / tbn_speedups.len() as f64)
-        .exp();
+    let geomean =
+        (tbn_speedups.iter().map(|s| s.ln()).sum::<f64>() / tbn_speedups.len() as f64).exp();
     assert!(geomean > 1.5, "TBNe+TBNp geomean speedup {geomean:.2}x");
 
     // The nw exception (Sec. 7.2): sparse-but-localized reuse prefers
