@@ -1,0 +1,22 @@
+//! Ablation: fault sensitivity of the Fig. 11 prefetcher × evictor
+//! combinations under the deterministic fault-injection layer.
+//!
+//! ```sh
+//! cargo run --release -p uvm-bench --bin ablation_fault_injection -- \
+//!     --smoke --fault-profile chaos --fault-seed 42
+//! ```
+//!
+//! Each combination runs once clean and once under the requested
+//! profile (`none`, `pcie-flaky`, `latency-jitter`, `migration-storm`,
+//! `pressure`, `chaos`; default chaos); the table reports each pair's
+//! slowdown and per-category injection counters. The same seed always
+//! reproduces the same table.
+
+use uvm_core::FaultPlan;
+
+fn main() -> std::process::ExitCode {
+    let cfg = uvm_bench::config_from_args();
+    let plan = cfg.resolved_fault_plan(FaultPlan::chaos());
+    let t = uvm_sim::experiments::fault_injection_ablation(&cfg.executor(), cfg.scale, plan);
+    uvm_bench::finish(uvm_bench::emit("ablation_fault_injection", &t))
+}

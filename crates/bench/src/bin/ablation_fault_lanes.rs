@@ -1,8 +1,8 @@
 //! Ablation: sensitivity to the number of concurrent fault-handling
 //! lanes (the host runtime's fault-buffer drain concurrency).
-fn main() {
+fn main() -> std::process::ExitCode {
     let cfg = uvm_bench::config_from_args();
     let t =
         uvm_sim::experiments::fault_lanes_ablation(&cfg.executor(), cfg.scale, &[1, 2, 4, 8, 16]);
-    uvm_bench::emit("ablation_fault_lanes", &t);
+    uvm_bench::finish(uvm_bench::emit("ablation_fault_lanes", &t))
 }

@@ -17,10 +17,13 @@ use uvm_bench::{config_from_args, emit};
 use uvm_core::{EvictPolicy, PrefetchPolicy};
 use uvm_sim::experiments::policy_pair;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let cfg = config_from_args();
     let prefetch = cfg.prefetch.unwrap_or(PrefetchPolicy::Stride256K);
     let evict = cfg.evict.unwrap_or(EvictPolicy::AccessFrequency);
     let table = policy_pair(&cfg.executor(), cfg.scale, prefetch, evict);
-    emit(&format!("ablation_policy_pair_{prefetch}_{evict}"), &table);
+    uvm_bench::finish(emit(
+        &format!("ablation_policy_pair_{prefetch}_{evict}"),
+        &table,
+    ))
 }

@@ -2,8 +2,8 @@
 //! prefetched pages are actually used before eviction (Sec. 5's
 //! "unused prefetched pages"), and the clean-page write-back overhead
 //! of bulk eviction (Sec. 5.1).
-fn main() {
+fn main() -> std::process::ExitCode {
     let cfg = uvm_bench::config_from_args();
     let t = uvm_sim::experiments::prefetch_accuracy_ablation(&cfg.executor(), cfg.scale);
-    uvm_bench::emit("ablation_prefetch_accuracy", &t);
+    uvm_bench::finish(uvm_bench::emit("ablation_prefetch_accuracy", &t))
 }

@@ -1,8 +1,8 @@
 //! Ablation: SLp (64 KB block-aligned) vs the Zheng et al. 512 KB
 //! sequential prefetcher vs TBNp, with no memory budget (Sec. 3.2's
 //! design-choice discussion).
-fn main() {
+fn main() -> std::process::ExitCode {
     let cfg = uvm_bench::config_from_args();
     let t = uvm_sim::experiments::prefetch_granularity_ablation(&cfg.executor(), cfg.scale);
-    uvm_bench::emit("ablation_prefetch_granularity", &t);
+    uvm_bench::finish(uvm_bench::emit("ablation_prefetch_granularity", &t))
 }

@@ -1,7 +1,7 @@
 //! Ablation of Sec. 5.1's design choice: bulk-unit write-back (whole
 //! 64 KB groups, clean pages included) versus dirty-only write-back.
-fn main() {
+fn main() -> std::process::ExitCode {
     let cfg = uvm_bench::config_from_args();
     let t = uvm_sim::experiments::writeback_ablation(&cfg.executor(), cfg.scale);
-    uvm_bench::emit("ablation_writeback", &t);
+    uvm_bench::finish(uvm_bench::emit("ablation_writeback", &t))
 }

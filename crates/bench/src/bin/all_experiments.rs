@@ -2,6 +2,6 @@
 //! under `results/`. Equivalent to running table1 + fig2..fig16, but
 //! with one shared executor: runs required by several figures are
 //! simulated once and spilled under `results/cache/` for resumption.
-fn main() {
-    uvm_bench::run_all(&uvm_bench::config_from_args());
+fn main() -> std::process::ExitCode {
+    uvm_bench::finish(uvm_bench::run_all(&uvm_bench::config_from_args()))
 }

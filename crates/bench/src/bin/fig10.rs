@@ -1,6 +1,6 @@
 //! Regenerates Fig. 10: total pages evicted for the Fig. 9 runs.
-fn main() {
+fn main() -> std::process::ExitCode {
     let cfg = uvm_bench::config_from_args();
     let iso = uvm_sim::experiments::eviction_isolation(&cfg.executor(), cfg.scale);
-    uvm_bench::emit("fig10", &iso.evicted);
+    uvm_bench::finish(uvm_bench::emit("fig10", &iso.evicted))
 }

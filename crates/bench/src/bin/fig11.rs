@@ -1,6 +1,6 @@
 //! Regenerates Fig. 11: the four prefetcher x pre-eviction combos (110%).
-fn main() {
+fn main() -> std::process::ExitCode {
     let cfg = uvm_bench::config_from_args();
     let t = uvm_sim::experiments::policy_combinations(&cfg.executor(), cfg.scale);
-    uvm_bench::emit("fig11", &t);
+    uvm_bench::finish(uvm_bench::emit("fig11", &t))
 }

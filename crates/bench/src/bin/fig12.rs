@@ -1,12 +1,17 @@
 //! Regenerates Fig. 12: nw page-access scatter at kernel launches 60 and 70.
-fn main() {
+fn main() -> std::process::ExitCode {
     let cfg = uvm_bench::config_from_args();
     let traces = uvm_sim::experiments::nw_trace(&cfg.executor(), cfg.scale, &[60, 70]);
+    let mut outcome = Ok(());
     for (launch, table) in traces {
         println!(
             "# launch {launch}: {} accesses (cycle, page) — plot as a scatter",
             table.num_rows()
         );
-        uvm_bench::write_csv(&format!("fig12_launch{launch}"), &table);
+        let wrote = uvm_bench::write_csv(&format!("fig12_launch{launch}"), &table);
+        if outcome.is_ok() {
+            outcome = wrote;
+        }
     }
+    uvm_bench::finish(outcome)
 }

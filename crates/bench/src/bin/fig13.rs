@@ -1,6 +1,6 @@
 //! Regenerates Fig. 13: TBNe+TBNp sensitivity to over-subscription %.
-fn main() {
+fn main() -> std::process::ExitCode {
     let cfg = uvm_bench::config_from_args();
     let t = uvm_sim::experiments::tbn_oversubscription_sensitivity(&cfg.executor(), cfg.scale);
-    uvm_bench::emit("fig13", &t);
+    uvm_bench::finish(uvm_bench::emit("fig13", &t))
 }

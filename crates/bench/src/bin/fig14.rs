@@ -1,6 +1,6 @@
 //! Regenerates Fig. 14: reserving 0/10/20% of the LRU list from eviction.
-fn main() {
+fn main() -> std::process::ExitCode {
     let cfg = uvm_bench::config_from_args();
     let t = uvm_sim::experiments::lru_reservation(&cfg.executor(), cfg.scale);
-    uvm_bench::emit("fig14", &t);
+    uvm_bench::finish(uvm_bench::emit("fig14", &t))
 }

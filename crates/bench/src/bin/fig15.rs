@@ -1,6 +1,6 @@
 //! Regenerates Fig. 15: TBNe vs static 2 MB LRU eviction (110%).
-fn main() {
+fn main() -> std::process::ExitCode {
     let cfg = uvm_bench::config_from_args();
     let cmp = uvm_sim::experiments::tbne_vs_2mb(&cfg.executor(), cfg.scale);
-    uvm_bench::emit("fig15", &cmp.time);
+    uvm_bench::finish(uvm_bench::emit("fig15", &cmp.time))
 }

@@ -1,6 +1,6 @@
 //! Regenerates Fig. 16: pages thrashed, TBNe vs 2 MB eviction (110/125%).
-fn main() {
+fn main() -> std::process::ExitCode {
     let cfg = uvm_bench::config_from_args();
     let cmp = uvm_sim::experiments::tbne_vs_2mb(&cfg.executor(), cfg.scale);
-    uvm_bench::emit("fig16", &cmp.thrash);
+    uvm_bench::finish(uvm_bench::emit("fig16", &cmp.thrash))
 }

@@ -1,6 +1,6 @@
 //! Regenerates Fig. 3: kernel time per prefetcher, no over-subscription.
-fn main() {
+fn main() -> std::process::ExitCode {
     let cfg = uvm_bench::config_from_args();
     let sweep = uvm_sim::experiments::prefetcher_sweep(&cfg.executor(), cfg.scale);
-    uvm_bench::emit("fig3", &sweep.time);
+    uvm_bench::finish(uvm_bench::emit("fig3", &sweep.time))
 }

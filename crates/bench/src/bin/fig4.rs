@@ -1,6 +1,6 @@
 //! Regenerates Fig. 4: average PCI-e read bandwidth per prefetcher.
-fn main() {
+fn main() -> std::process::ExitCode {
     let cfg = uvm_bench::config_from_args();
     let sweep = uvm_sim::experiments::prefetcher_sweep(&cfg.executor(), cfg.scale);
-    uvm_bench::emit("fig4", &sweep.bandwidth);
+    uvm_bench::finish(uvm_bench::emit("fig4", &sweep.bandwidth))
 }

@@ -1,6 +1,6 @@
 //! Regenerates Fig. 5: total far-faults per prefetcher.
-fn main() {
+fn main() -> std::process::ExitCode {
     let cfg = uvm_bench::config_from_args();
     let sweep = uvm_sim::experiments::prefetcher_sweep(&cfg.executor(), cfg.scale);
-    uvm_bench::emit("fig5", &sweep.faults);
+    uvm_bench::finish(uvm_bench::emit("fig5", &sweep.faults))
 }

@@ -1,7 +1,7 @@
 //! Regenerates Fig. 6: sensitivity to over-subscription % and
 //! free-page buffer (TBNp until capacity, then 4 KB on-demand; LRU-4KB).
-fn main() {
+fn main() -> std::process::ExitCode {
     let cfg = uvm_bench::config_from_args();
     let sweep = uvm_sim::experiments::oversubscription_sweep(&cfg.executor(), cfg.scale);
-    uvm_bench::emit("fig6", &sweep.time);
+    uvm_bench::finish(uvm_bench::emit("fig6", &sweep.time))
 }

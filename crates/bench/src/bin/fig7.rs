@@ -1,6 +1,6 @@
 //! Regenerates Fig. 7: number of 4 KB page transfers for the Fig. 6 sweep.
-fn main() {
+fn main() -> std::process::ExitCode {
     let cfg = uvm_bench::config_from_args();
     let sweep = uvm_sim::experiments::oversubscription_sweep(&cfg.executor(), cfg.scale);
-    uvm_bench::emit("fig7", &sweep.transfers_4k);
+    uvm_bench::finish(uvm_bench::emit("fig7", &sweep.transfers_4k))
 }

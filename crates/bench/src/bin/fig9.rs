@@ -1,6 +1,6 @@
 //! Regenerates Fig. 9: LRU vs Random 4 KB eviction in isolation (110%).
-fn main() {
+fn main() -> std::process::ExitCode {
     let cfg = uvm_bench::config_from_args();
     let iso = uvm_sim::experiments::eviction_isolation(&cfg.executor(), cfg.scale);
-    uvm_bench::emit("fig9", &iso.time);
+    uvm_bench::finish(uvm_bench::emit("fig9", &iso.time))
 }

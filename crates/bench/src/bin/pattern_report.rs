@@ -1,7 +1,7 @@
 //! Regenerates the paper's Sec. 7 access-pattern characterisation:
 //! per-benchmark footprint, reuse, sequentiality, and pattern class.
-fn main() {
+fn main() -> std::process::ExitCode {
     let cfg = uvm_bench::config_from_args();
     let t = uvm_sim::experiments::pattern_analysis(&cfg.executor(), cfg.scale);
-    uvm_bench::emit("pattern_report", &t);
+    uvm_bench::finish(uvm_bench::emit("pattern_report", &t))
 }

@@ -1,4 +1,4 @@
 //! Regenerates Table 1: PCI-e read bandwidth vs transfer size.
-fn main() {
-    uvm_bench::emit("table1", &uvm_sim::experiments::table1());
+fn main() -> std::process::ExitCode {
+    uvm_bench::finish(uvm_bench::emit("table1", &uvm_sim::experiments::table1()))
 }

@@ -20,18 +20,69 @@
 
 pub mod harness;
 
+use std::error::Error;
+use std::fmt;
 use std::fs;
 use std::path::PathBuf;
+use std::process::ExitCode;
 
-use uvm_core::{EvictPolicy, PolicyRegistry, PrefetchPolicy};
+use uvm_core::{EvictPolicy, FaultPlan, PolicyRegistry, PrefetchPolicy};
 use uvm_sim::experiments::Scale;
 use uvm_sim::{Executor, Table};
 
 /// Relative directory the executor spills completed run results into.
 pub const CACHE_DIR: &str = "results/cache";
 
+/// A fallible step of a regenerator binary; rendered by [`finish`]
+/// into the process exit code.
+#[derive(Debug)]
+pub enum BenchError {
+    /// A filesystem write under `results/` failed.
+    Io {
+        /// The path that could not be written.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// One or more simulation runs failed after their retry budget;
+    /// the executor's failure report has the details.
+    Sweep(String),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Io { path, source } => {
+                write!(f, "could not write {}: {source}", path.display())
+            }
+            BenchError::Sweep(msg) => write!(f, "sweep incomplete: {msg}"),
+        }
+    }
+}
+
+impl Error for BenchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BenchError::Io { source, .. } => Some(source),
+            BenchError::Sweep(_) => None,
+        }
+    }
+}
+
+/// Renders a binary's outcome as its exit code, printing the error to
+/// stderr on failure.
+pub fn finish(outcome: Result<(), BenchError>) -> ExitCode {
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Common binary configuration parsed from the command line.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Config {
     /// Experiment scale (`--smoke` / `--paper`).
     pub scale: Scale,
@@ -43,6 +94,11 @@ pub struct Config {
     /// Evictor override (`--evict NAME`), resolved through the policy
     /// registry. Binaries that sweep policies ignore it.
     pub evict: Option<EvictPolicy>,
+    /// Fault-injection profile (`--fault-profile NAME`); `None` means
+    /// the binary's default (usually [`FaultPlan::none`]).
+    pub fault_plan: Option<FaultPlan>,
+    /// Fault-injection seed override (`--fault-seed N`).
+    pub fault_seed: Option<u64>,
 }
 
 impl Config {
@@ -51,14 +107,25 @@ impl Config {
     pub fn executor(&self) -> Executor {
         Executor::new(self.jobs).with_spill_dir(CACHE_DIR)
     }
+
+    /// The fault plan this invocation asked for: `--fault-profile`
+    /// if given, else `default`, with `--fault-seed` applied on top.
+    pub fn resolved_fault_plan(&self, default: FaultPlan) -> FaultPlan {
+        let plan = self.fault_plan.unwrap_or(default);
+        match self.fault_seed {
+            Some(seed) => plan.with_seed(seed),
+            None => plan,
+        }
+    }
 }
 
 /// Parses the common binary arguments: `--smoke`/`--paper` select the
 /// scale, `--jobs N` (or `--jobs=N`) the worker-pool width,
 /// `--prefetch NAME` / `--evict NAME` pick policies by registry name,
-/// and `--list-policies` prints every registered policy and exits.
-/// Unknown arguments and unknown policy names exit with status 2; the
-/// policy error lists every registered name.
+/// `--fault-profile NAME` / `--fault-seed N` arm the deterministic
+/// fault-injection layer, and `--list-policies` prints every
+/// registered policy and exits. Unknown arguments, policy names, and
+/// fault profiles exit with status 2; the errors list the valid names.
 pub fn config_from_args() -> Config {
     match parse_args(std::env::args().skip(1)) {
         Ok(Parsed::Run(cfg)) => cfg,
@@ -70,7 +137,8 @@ pub fn config_from_args() -> Config {
             eprintln!("{msg}");
             eprintln!(
                 "usage: [--smoke|--paper] [--jobs N] \
-                 [--prefetch NAME] [--evict NAME] [--list-policies]"
+                 [--prefetch NAME] [--evict NAME] \
+                 [--fault-profile NAME] [--fault-seed N] [--list-policies]"
             );
             std::process::exit(2);
         }
@@ -79,7 +147,7 @@ pub fn config_from_args() -> Config {
 
 /// Outcome of argument parsing: either a runnable configuration or the
 /// `--list-policies` request.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 enum Parsed {
     Run(Config),
     ListPolicies,
@@ -91,6 +159,15 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, String> {
         jobs: 0,
         prefetch: None,
         evict: None,
+        fault_plan: None,
+        fault_seed: None,
+    };
+    let parse_profile = |name: &str| -> Result<FaultPlan, String> {
+        FaultPlan::from_name(name).map_err(|e| format!("{e}"))
+    };
+    let parse_seed = |n: &str| -> Result<u64, String> {
+        n.parse()
+            .map_err(|_| format!("bad --fault-seed value {n:?}"))
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -110,6 +187,14 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, String> {
                 let name = args.next().ok_or("--evict needs a policy name")?;
                 cfg.evict = Some(name.parse().map_err(|e| format!("{e}"))?);
             }
+            "--fault-profile" => {
+                let name = args.next().ok_or("--fault-profile needs a profile name")?;
+                cfg.fault_plan = Some(parse_profile(&name)?);
+            }
+            "--fault-seed" => {
+                let n = args.next().ok_or("--fault-seed needs a value")?;
+                cfg.fault_seed = Some(parse_seed(&n)?);
+            }
             other => {
                 if let Some(n) = other.strip_prefix("--jobs=") {
                     cfg.jobs = n.parse().map_err(|_| format!("bad --jobs value {n:?}"))?;
@@ -117,6 +202,10 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, String> {
                     cfg.prefetch = Some(name.parse().map_err(|e| format!("{e}"))?);
                 } else if let Some(name) = other.strip_prefix("--evict=") {
                     cfg.evict = Some(name.parse().map_err(|e| format!("{e}"))?);
+                } else if let Some(name) = other.strip_prefix("--fault-profile=") {
+                    cfg.fault_plan = Some(parse_profile(name)?);
+                } else if let Some(n) = other.strip_prefix("--fault-seed=") {
+                    cfg.fault_seed = Some(parse_seed(n)?);
                 } else {
                     return Err(format!("unknown argument {other:?}"));
                 }
@@ -152,82 +241,95 @@ pub fn render_policy_list() -> String {
 }
 
 /// Prints `table` to stdout and writes `results/<name>.csv`.
-pub fn emit(name: &str, table: &Table) {
+pub fn emit(name: &str, table: &Table) -> Result<(), BenchError> {
     println!("{table}");
-    write_csv(name, table);
+    write_csv(name, table)
 }
 
 /// Writes `results/<name>.csv` without printing the rows (for large
 /// scatter series like Fig. 12).
-pub fn write_csv(name: &str, table: &Table) {
+pub fn write_csv(name: &str, table: &Table) -> Result<(), BenchError> {
     let dir = PathBuf::from("results");
-    if fs::create_dir_all(&dir).is_ok() {
-        let path = dir.join(format!("{name}.csv"));
-        if let Err(e) = fs::write(&path, table.to_csv()) {
-            eprintln!("warning: could not write {}: {e}", path.display());
-        } else {
-            eprintln!("wrote {}", path.display());
-        }
-    }
+    fs::create_dir_all(&dir).map_err(|source| BenchError::Io {
+        path: dir.clone(),
+        source,
+    })?;
+    let path = dir.join(format!("{name}.csv"));
+    fs::write(&path, table.to_csv()).map_err(|source| BenchError::Io {
+        path: path.clone(),
+        source,
+    })?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
 }
 
 /// The full `all_experiments` sequence: every table/figure regenerator
 /// plus the ablations, sharing one deduplicating executor. Also the
-/// body of the smoke integration test.
-pub fn run_all(cfg: &Config) {
+/// body of the smoke integration test. Ends with the executor's
+/// failure report (quarantined spill entries, failed runs) when there
+/// is anything to report.
+pub fn run_all(cfg: &Config) -> Result<(), BenchError> {
     use uvm_sim::experiments as exp;
     let exec = cfg.executor();
     let scale = cfg.scale;
 
-    emit("table1", &exp::table1());
+    emit("table1", &exp::table1())?;
     print!("{}", exp::fig2_walkthrough());
 
     let sweep = exp::prefetcher_sweep(&exec, scale);
-    emit("fig3", &sweep.time);
-    emit("fig4", &sweep.bandwidth);
-    emit("fig5", &sweep.faults);
+    emit("fig3", &sweep.time)?;
+    emit("fig4", &sweep.bandwidth)?;
+    emit("fig5", &sweep.faults)?;
 
     let os = exp::oversubscription_sweep(&exec, scale);
-    emit("fig6", &os.time);
-    emit("fig7", &os.transfers_4k);
+    emit("fig6", &os.time)?;
+    emit("fig7", &os.transfers_4k)?;
 
     print!("{}", exp::fig8_walkthrough());
 
     let iso = exp::eviction_isolation(&exec, scale);
-    emit("fig9", &iso.time);
-    emit("fig10", &iso.evicted);
+    emit("fig9", &iso.time)?;
+    emit("fig10", &iso.evicted)?;
 
-    emit("fig11", &exp::policy_combinations(&exec, scale));
+    emit("fig11", &exp::policy_combinations(&exec, scale))?;
 
     for (launch, table) in exp::nw_trace(&exec, scale, &[60, 70]) {
-        write_csv(&format!("fig12_launch{launch}"), &table);
+        write_csv(&format!("fig12_launch{launch}"), &table)?;
     }
 
     emit(
         "fig13",
         &exp::tbn_oversubscription_sensitivity(&exec, scale),
-    );
-    emit("fig14", &exp::lru_reservation(&exec, scale));
+    )?;
+    emit("fig14", &exp::lru_reservation(&exec, scale))?;
 
     let cmp = exp::tbne_vs_2mb(&exec, scale);
-    emit("fig15", &cmp.time);
-    emit("fig16", &cmp.thrash);
+    emit("fig15", &cmp.time)?;
+    emit("fig16", &cmp.thrash)?;
 
     // Sec. 7 analysis and the design-choice ablations.
-    emit("pattern_report", &exp::pattern_analysis(&exec, scale));
+    emit("pattern_report", &exp::pattern_analysis(&exec, scale))?;
     emit(
         "ablation_prefetch_granularity",
         &exp::prefetch_granularity_ablation(&exec, scale),
-    );
+    )?;
     emit(
         "ablation_fault_lanes",
         &exp::fault_lanes_ablation(&exec, scale, &[1, 2, 4, 8, 16]),
-    );
+    )?;
     emit(
         "ablation_prefetch_accuracy",
         &exp::prefetch_accuracy_ablation(&exec, scale),
-    );
-    emit("ablation_writeback", &exp::writeback_ablation(&exec, scale));
+    )?;
+    emit("ablation_writeback", &exp::writeback_ablation(&exec, scale))?;
+    emit(
+        "ablation_fault_injection",
+        &exp::fault_injection_ablation(
+            &exec,
+            scale,
+            cfg.resolved_fault_plan(uvm_core::FaultPlan::chaos()),
+        ),
+    )?;
 
     eprintln!(
         "executor: {} simulations run, {} submissions served from cache ({} workers)",
@@ -235,6 +337,17 @@ pub fn run_all(cfg: &Config) {
         exec.cache_hits(),
         exec.jobs(),
     );
+    if let Some(report) = exec.failure_report() {
+        eprint!("{report}");
+        let failed = exec.failures();
+        if !failed.is_empty() {
+            return Err(BenchError::Sweep(format!(
+                "{} run(s) failed; see the failure report above",
+                failed.len()
+            )));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -249,7 +362,7 @@ mod tests {
         let _ = std::fs::create_dir_all(&tmp);
         let old = std::env::current_dir().unwrap();
         std::env::set_current_dir(&tmp).unwrap();
-        emit("emit_test", &t);
+        emit("emit_test", &t).unwrap();
         let written = std::fs::read_to_string("results/emit_test.csv").unwrap();
         std::env::set_current_dir(old).unwrap();
         assert_eq!(written, "a\n1\n");
@@ -263,6 +376,8 @@ mod tests {
             jobs: 0,
             prefetch: None,
             evict: None,
+            fault_plan: None,
+            fault_seed: None,
         };
         assert_eq!(p(&[]).unwrap(), Parsed::Run(base));
         assert_eq!(
@@ -315,6 +430,57 @@ mod tests {
         for name in PolicyRegistry::global().evictor_names() {
             assert!(err.contains(name), "error lists {name}");
         }
+    }
+
+    #[test]
+    fn args_parse_fault_profile_and_seed() {
+        let p = |args: &[&str]| parse_args(args.iter().map(|s| s.to_string()));
+        let Parsed::Run(cfg) = p(&["--fault-profile", "chaos", "--fault-seed", "42"]).unwrap()
+        else {
+            panic!("expected a runnable config");
+        };
+        assert_eq!(cfg.fault_plan, Some(FaultPlan::chaos()));
+        assert_eq!(cfg.fault_seed, Some(42));
+        assert_eq!(
+            cfg.resolved_fault_plan(FaultPlan::none()),
+            FaultPlan::chaos().with_seed(42)
+        );
+
+        let Parsed::Run(cfg) = p(&["--fault-profile=pcie-flaky", "--fault-seed=7"]).unwrap() else {
+            panic!("expected a runnable config");
+        };
+        assert_eq!(cfg.fault_plan, Some(FaultPlan::pcie_flaky()));
+        assert_eq!(cfg.fault_seed, Some(7));
+
+        // No flags: the binary's default plan, untouched.
+        let Parsed::Run(cfg) = p(&[]).unwrap() else {
+            panic!("expected a runnable config");
+        };
+        assert_eq!(
+            cfg.resolved_fault_plan(FaultPlan::none()),
+            FaultPlan::none()
+        );
+
+        let err = p(&["--fault-profile", "bogus"]).unwrap_err();
+        for name in FaultPlan::PROFILE_NAMES {
+            assert!(err.contains(name), "error lists {name}");
+        }
+        assert!(p(&["--fault-seed", "many"]).is_err());
+        assert!(p(&["--fault-profile"]).is_err());
+        assert!(p(&["--fault-seed"]).is_err());
+    }
+
+    #[test]
+    fn bench_error_display_names_the_path() {
+        let e = BenchError::Io {
+            path: PathBuf::from("results/x.csv"),
+            source: std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied"),
+        };
+        assert!(e.to_string().contains("results/x.csv"));
+        assert!(e.source().is_some());
+        let s = BenchError::Sweep("2 run(s) failed".into());
+        assert!(s.to_string().contains("2 run(s) failed"));
+        assert!(s.source().is_none());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use uvm_bench::{run_all, Config};
 use uvm_sim::experiments::Scale;
 
-const EXPECTED_CSVS: [&str; 18] = [
+const EXPECTED_CSVS: [&str; 19] = [
     "table1",
     "fig3",
     "fig4",
@@ -24,6 +24,7 @@ const EXPECTED_CSVS: [&str; 18] = [
     "ablation_fault_lanes",
     "ablation_prefetch_accuracy",
     "ablation_writeback",
+    "ablation_fault_injection",
 ];
 
 #[test]
@@ -42,8 +43,10 @@ fn all_experiments_smoke_runs_and_resumes() {
         evict: None,
         scale: Scale::Smoke,
         jobs: 2,
+        fault_plan: None,
+        fault_seed: None,
     };
-    run_all(&cfg);
+    run_all(&cfg).expect("smoke sweep completes");
 
     let read_all = || -> Vec<(String, String)> {
         EXPECTED_CSVS
@@ -64,7 +67,7 @@ fn all_experiments_smoke_runs_and_resumes() {
     );
 
     // Second invocation: resumes from results/cache/, identical CSVs.
-    run_all(&cfg);
+    run_all(&cfg).expect("resumed sweep completes");
     let second = read_all();
     assert_eq!(first, second, "resumed run must be byte-identical");
 

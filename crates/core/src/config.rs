@@ -3,6 +3,7 @@
 
 use uvm_types::{Bytes, Duration};
 
+use crate::fault::FaultPlan;
 use crate::policy::{EvictPolicy, PrefetchPolicy};
 
 /// Configuration of the UVM driver model.
@@ -72,6 +73,10 @@ pub struct UvmConfig {
     /// handling windows overlap; each fault still pays the full 45 µs
     /// latency. `1` models a fully serialized host runtime.
     pub fault_lanes: usize,
+    /// Deterministic fault-injection plan. [`FaultPlan::none`] (the
+    /// default) injects nothing and draws from no RNG, so baseline
+    /// behaviour is bit-exact with or without the fault layer.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for UvmConfig {
@@ -89,6 +94,7 @@ impl Default for UvmConfig {
             writeback_dirty_only: false,
             prefetch_congestion_cap: Duration::from_micros(90.0),
             fault_lanes: 8,
+            fault_plan: FaultPlan::none(),
         }
     }
 }
@@ -168,6 +174,12 @@ impl UvmConfig {
         self.fault_lanes = lanes;
         self
     }
+
+    /// Sets the fault-injection plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +194,14 @@ mod tests {
         assert_eq!(cfg.capacity, None);
         assert_eq!(cfg.free_buffer_frac, 0.0);
         assert_eq!(cfg.reserve_frac, 0.0);
+        assert!(cfg.fault_plan.is_none());
+    }
+
+    #[test]
+    fn fault_plan_builder() {
+        let cfg = UvmConfig::default().with_fault_plan(FaultPlan::chaos().with_seed(3));
+        assert_eq!(cfg.fault_plan, FaultPlan::chaos().with_seed(3));
+        assert!(!cfg.fault_plan.is_none());
     }
 
     #[test]

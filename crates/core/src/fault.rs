@@ -1,0 +1,349 @@
+//! Deterministic fault-injection plans for the UVM stack.
+//!
+//! The paper's UVM pipeline is built on a *recoverable* fault path —
+//! replayable far-faults, 45 µs handling, batched PCI-e migrations —
+//! but the baseline simulator assumes every transfer and migration
+//! succeeds on the first try. A [`FaultPlan`] turns that assumption
+//! into a dial: it seeds deterministic failure injection at the two
+//! boundaries where real systems degrade,
+//!
+//! * the **interconnect** — PCI-e transfer drops recovered by
+//!   replay-and-backoff retries (see
+//!   [`uvm_interconnect::TransferFaultConfig`]), and
+//! * the **GMMU** — jittered far-fault latency, transient migration
+//!   failures that re-enter the fault pipeline as replayable faults,
+//!   and an oversubscription pressure mode that forces emergency
+//!   eviction.
+//!
+//! # Determinism contract
+//!
+//! Every injection draws from an RNG seeded purely by
+//! [`FaultPlan::seed`] (channel streams are split per direction), so a
+//! fixed `(workload, config, plan)` triple yields byte-identical
+//! statistics on every run, at any `--jobs` level. Parameters set to
+//! zero never draw at all, which makes [`FaultPlan::none`]
+//! byte-identical to a build without the fault layer — the golden
+//! fixtures pin this down. The plan is hashed into the executor's
+//! `RunKey` ([`FaultPlan::hash_into`]) so the spill cache can never
+//! serve a result computed under a different failure model.
+
+use std::error::Error;
+use std::fmt;
+
+use uvm_interconnect::TransferFaultConfig;
+use uvm_types::hash::StableHasher;
+use uvm_types::Duration;
+
+/// Channel-stream tag for host→device (read/migration) traffic.
+pub const READ_CHANNEL_TAG: u64 = 1;
+/// Channel-stream tag for device→host (write-back) traffic.
+pub const WRITE_CHANNEL_TAG: u64 = 2;
+
+/// A seeded, deterministic description of which failures to inject.
+///
+/// All-zero probabilities (the [`FaultPlan::none`] default) disable
+/// injection entirely without perturbing any RNG stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every injection stream derived from this plan.
+    pub seed: u64,
+    /// Probability a PCI-e transfer is dropped and replayed.
+    pub transfer_drop_prob: f64,
+    /// Replay budget per transfer before the channel gives up.
+    pub transfer_max_retries: u32,
+    /// Base backoff before a transfer replay (doubles per retry).
+    pub transfer_backoff: Duration,
+    /// Far-fault handling latency jitter as a fraction of the base
+    /// `fault_latency` (0.5 = up to +50 % per fault).
+    pub latency_jitter_frac: f64,
+    /// Probability a page migration transiently fails and re-enters
+    /// the fault pipeline as a replayable fault.
+    pub migration_fail_prob: f64,
+    /// Replay budget per migration before the GMMU gives up and lets
+    /// the migration proceed.
+    pub migration_max_retries: u32,
+    /// Probability a far-fault triggers the oversubscription pressure
+    /// mode (emergency eviction down to `pressure_free_frac`).
+    pub pressure_prob: f64,
+    /// Fraction of device frames the pressure mode forcibly frees.
+    pub pressure_free_frac: f64,
+}
+
+impl FaultPlan {
+    /// The inert plan: nothing is injected, no RNG is ever drawn.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            transfer_drop_prob: 0.0,
+            transfer_max_retries: 0,
+            transfer_backoff: Duration::ZERO,
+            latency_jitter_frac: 0.0,
+            migration_fail_prob: 0.0,
+            migration_max_retries: 0,
+            pressure_prob: 0.0,
+            pressure_free_frac: 0.0,
+        }
+    }
+
+    /// `true` if this plan injects nothing (seed is irrelevant then).
+    pub fn is_none(&self) -> bool {
+        self.transfer_drop_prob <= 0.0
+            && self.latency_jitter_frac <= 0.0
+            && self.migration_fail_prob <= 0.0
+            && self.pressure_prob <= 0.0
+    }
+
+    /// A flaky PCI-e link: 5 % transfer drops, 4 replays, 5 µs backoff.
+    pub fn pcie_flaky() -> Self {
+        FaultPlan {
+            transfer_drop_prob: 0.05,
+            transfer_max_retries: 4,
+            transfer_backoff: Duration::from_micros(5.0),
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Far-fault handling latency jitters by up to +50 %.
+    pub fn latency_jitter() -> Self {
+        FaultPlan {
+            latency_jitter_frac: 0.5,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// 15 % of migrations transiently fail and are replayed.
+    pub fn migration_storm() -> Self {
+        FaultPlan {
+            migration_fail_prob: 0.15,
+            migration_max_retries: 3,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// 10 % of far-faults force emergency eviction down to 5 % free.
+    pub fn pressure() -> Self {
+        FaultPlan {
+            pressure_prob: 0.10,
+            pressure_free_frac: 0.05,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Everything at once, each dialed down so smoke runs stay fast.
+    pub fn chaos() -> Self {
+        FaultPlan {
+            transfer_drop_prob: 0.02,
+            transfer_max_retries: 4,
+            transfer_backoff: Duration::from_micros(5.0),
+            latency_jitter_frac: 0.25,
+            migration_fail_prob: 0.05,
+            migration_max_retries: 3,
+            pressure_prob: 0.02,
+            pressure_free_frac: 0.03,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Every named profile, as accepted by [`FaultPlan::from_name`].
+    pub const PROFILE_NAMES: [&'static str; 6] = [
+        "none",
+        "pcie-flaky",
+        "latency-jitter",
+        "migration-storm",
+        "pressure",
+        "chaos",
+    ];
+
+    /// Resolves a named profile (`--fault-profile` on the CLIs).
+    pub fn from_name(name: &str) -> Result<Self, ParseFaultProfileError> {
+        match name {
+            "none" => Ok(FaultPlan::none()),
+            "pcie-flaky" => Ok(FaultPlan::pcie_flaky()),
+            "latency-jitter" => Ok(FaultPlan::latency_jitter()),
+            "migration-storm" => Ok(FaultPlan::migration_storm()),
+            "pressure" => Ok(FaultPlan::pressure()),
+            "chaos" => Ok(FaultPlan::chaos()),
+            other => Err(ParseFaultProfileError {
+                name: other.to_string(),
+            }),
+        }
+    }
+
+    /// Sets the seed of every derived injection stream.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Configures PCI-e transfer drops.
+    pub fn with_transfer_faults(
+        mut self,
+        drop_prob: f64,
+        max_retries: u32,
+        backoff: Duration,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&drop_prob), "drop_prob in [0, 1]");
+        self.transfer_drop_prob = drop_prob;
+        self.transfer_max_retries = max_retries;
+        self.transfer_backoff = backoff;
+        self
+    }
+
+    /// Configures far-fault latency jitter.
+    pub fn with_latency_jitter(mut self, frac: f64) -> Self {
+        assert!(frac >= 0.0, "jitter fraction must be non-negative");
+        self.latency_jitter_frac = frac;
+        self
+    }
+
+    /// Configures transient migration failures.
+    pub fn with_migration_faults(mut self, fail_prob: f64, max_retries: u32) -> Self {
+        assert!((0.0..=1.0).contains(&fail_prob), "fail_prob in [0, 1]");
+        self.migration_fail_prob = fail_prob;
+        self.migration_max_retries = max_retries;
+        self
+    }
+
+    /// Configures the oversubscription pressure mode.
+    pub fn with_pressure(mut self, prob: f64, free_frac: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "pressure prob in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&free_frac),
+            "pressure free fraction in [0, 1]"
+        );
+        self.pressure_prob = prob;
+        self.pressure_free_frac = free_frac;
+        self
+    }
+
+    /// Folds every field into `h` for run-key derivation. Ordering and
+    /// encodings are part of the spill-cache format: change them only
+    /// together with a run-key version bump.
+    pub fn hash_into(&self, h: &mut StableHasher) {
+        h.write_str("fault-plan-v1");
+        h.write_u64(self.seed);
+        h.write_f64(self.transfer_drop_prob);
+        h.write_u64(self.transfer_max_retries as u64);
+        h.write_u64(self.transfer_backoff.cycles());
+        h.write_f64(self.latency_jitter_frac);
+        h.write_f64(self.migration_fail_prob);
+        h.write_u64(self.migration_max_retries as u64);
+        h.write_f64(self.pressure_prob);
+        h.write_f64(self.pressure_free_frac);
+    }
+
+    /// The transfer-fault config for one PCI-e channel direction, or
+    /// `None` when transfer faults are disabled. `tag` splits the
+    /// plan's seed into independent per-channel streams.
+    pub fn channel_faults(&self, tag: u64) -> Option<TransferFaultConfig> {
+        if self.transfer_drop_prob <= 0.0 {
+            return None;
+        }
+        Some(TransferFaultConfig {
+            seed: self
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(tag),
+            drop_prob: self.transfer_drop_prob,
+            max_retries: self.transfer_max_retries,
+            backoff: self.transfer_backoff,
+        })
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// An unknown `--fault-profile` name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseFaultProfileError {
+    name: String,
+}
+
+impl fmt::Display for ParseFaultProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown fault profile '{}' (expected one of: {})",
+            self.name,
+            FaultPlan::PROFILE_NAMES.join(", ")
+        )
+    }
+}
+
+impl Error for ParseFaultProfileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inert_and_default() {
+        assert!(FaultPlan::none().is_none());
+        assert_eq!(FaultPlan::default(), FaultPlan::none());
+        assert!(FaultPlan::none().channel_faults(READ_CHANNEL_TAG).is_none());
+        // Seed alone injects nothing.
+        assert!(FaultPlan::none().with_seed(42).is_none());
+    }
+
+    #[test]
+    fn every_named_profile_resolves() {
+        for name in FaultPlan::PROFILE_NAMES {
+            let plan = FaultPlan::from_name(name).unwrap();
+            if name == "none" {
+                assert!(plan.is_none(), "{name}");
+            } else {
+                assert!(!plan.is_none(), "{name}");
+            }
+        }
+        let err = FaultPlan::from_name("bogus").unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+        assert!(err.to_string().contains("chaos"));
+    }
+
+    #[test]
+    fn channel_streams_are_split_per_direction() {
+        let plan = FaultPlan::pcie_flaky().with_seed(7);
+        let read = plan.channel_faults(READ_CHANNEL_TAG).unwrap();
+        let write = plan.channel_faults(WRITE_CHANNEL_TAG).unwrap();
+        assert_ne!(read.seed, write.seed);
+        assert_eq!(read.drop_prob, write.drop_prob);
+        // Same plan, same tag: identical stream.
+        assert_eq!(plan.channel_faults(READ_CHANNEL_TAG).unwrap(), read);
+    }
+
+    #[test]
+    fn hash_is_stable_and_field_sensitive() {
+        let digest = |p: &FaultPlan| {
+            let mut h = StableHasher::new();
+            p.hash_into(&mut h);
+            h.finish()
+        };
+        let base = FaultPlan::chaos().with_seed(1);
+        assert_eq!(digest(&base), digest(&base.clone()));
+        let variants = [
+            base.with_seed(2),
+            base.with_transfer_faults(0.5, 4, Duration::from_micros(5.0)),
+            base.with_transfer_faults(0.02, 9, Duration::from_micros(5.0)),
+            base.with_transfer_faults(0.02, 4, Duration::from_micros(50.0)),
+            base.with_latency_jitter(0.9),
+            base.with_migration_faults(0.5, 3),
+            base.with_migration_faults(0.05, 9),
+            base.with_pressure(0.5, 0.03),
+            base.with_pressure(0.02, 0.5),
+            FaultPlan::none(),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(digest(&base), digest(v), "variant {i} must change the key");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_prob in [0, 1]")]
+    fn transfer_prob_out_of_range_panics() {
+        let _ = FaultPlan::none().with_transfer_faults(1.5, 1, Duration::ZERO);
+    }
+}

@@ -28,13 +28,14 @@
 
 use uvm_interconnect::{ChannelStats, PcieChannel, PcieModel};
 use uvm_mem::{FrameAllocator, FrameId, PageTable};
-use uvm_types::rng::SmallRng;
-use uvm_types::{Bytes, Cycle, PageId, VirtAddr, PAGES_PER_LARGE_PAGE, PAGE_SIZE};
+use uvm_types::rng::{Rng, SmallRng};
+use uvm_types::{Bytes, Cycle, Duration, PageId, VirtAddr, PAGES_PER_LARGE_PAGE, PAGE_SIZE};
 
 use crate::alloc::{AllocId, Allocations};
 use crate::config::UvmConfig;
 use crate::dense::{DensePageMap, DensePageSet};
 use crate::evict::Evictor;
+use crate::fault::{READ_CHANNEL_TAG, WRITE_CHANNEL_TAG};
 use crate::indexed::IndexedPageSet;
 use crate::prefetch::Prefetcher;
 use crate::registry::PolicyRegistry;
@@ -80,6 +81,11 @@ impl FaultResolution {
 pub struct Gmmu {
     cfg: UvmConfig,
     rng: SmallRng,
+    /// RNG for the driver-side fault injections (latency jitter,
+    /// transient migration failures, pressure mode). Separate from
+    /// `rng` so arming a `FaultPlan` never perturbs policy decisions,
+    /// and never drawn when the plan is inert.
+    fault_rng: SmallRng,
     allocs: Allocations,
     page_table: PageTable,
     frames: FrameAllocator,
@@ -140,8 +146,17 @@ impl Gmmu {
         evictor: Box<dyn Evictor>,
     ) -> Self {
         let capacity = cfg.capacity.unwrap_or(Bytes::gib(1024));
+        let mut read_chan = PcieChannel::new(PcieModel::pascal_x16());
+        if let Some(fc) = cfg.fault_plan.channel_faults(READ_CHANNEL_TAG) {
+            read_chan = read_chan.with_transfer_faults(fc);
+        }
+        let mut write_chan = PcieChannel::new(PcieModel::pascal_x16());
+        if let Some(fc) = cfg.fault_plan.channel_faults(WRITE_CHANNEL_TAG) {
+            write_chan = write_chan.with_transfer_faults(fc);
+        }
         Gmmu {
             rng: SmallRng::seed_from_u64(cfg.rng_seed),
+            fault_rng: SmallRng::seed_from_u64(cfg.fault_plan.seed ^ 0xDE7E_12F1_7A51_0000),
             allocs: Allocations::new(),
             page_table: PageTable::new(),
             frames: FrameAllocator::new(capacity),
@@ -149,8 +164,8 @@ impl Gmmu {
             prefetcher,
             evictor,
             resident: IndexedPageSet::new(),
-            read_chan: PcieChannel::new(PcieModel::pascal_x16()),
-            write_chan: PcieChannel::new(PcieModel::pascal_x16()),
+            read_chan,
+            write_chan,
             lanes: vec![Cycle::ZERO; cfg.fault_lanes.max(1)],
             prefetch_disabled: false,
             unaccessed_prefetch: DensePageSet::new(),
@@ -238,8 +253,55 @@ impl Gmmu {
             .min_by_key(|(_, &t)| t)
             .map(|(i, _)| i)
             .expect("at least one lane");
-        let handled = self.lanes[lane].max(now) + self.cfg.fault_latency;
+        let mut handled = self.lanes[lane].max(now) + self.cfg.fault_latency;
+        let plan = self.cfg.fault_plan;
+        // Injected far-fault latency jitter: up to +jitter_frac of the
+        // base handling latency, uniform. Zero fractions never draw.
+        if plan.latency_jitter_frac > 0.0 {
+            let u = (self.fault_rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let extra = (self.cfg.fault_latency.cycles() as f64 * plan.latency_jitter_frac * u)
+                .round() as u64;
+            handled += Duration::from_cycles(extra);
+            self.stats.fault_injection.jitter_cycles += extra;
+        }
+        // Injected transient migration failures: each failed attempt
+        // re-enters the fault pipeline as a replayable fault and pays
+        // another full handling window on the same lane, bounded by
+        // the plan's replay budget.
+        if plan.migration_fail_prob > 0.0 {
+            let mut attempts = 0u32;
+            while self.fault_rng.gen_bool(plan.migration_fail_prob) {
+                if attempts >= plan.migration_max_retries {
+                    self.stats.fault_injection.migration_giveups += 1;
+                    break;
+                }
+                attempts += 1;
+                self.stats.fault_injection.migration_retries += 1;
+                handled += self.cfg.fault_latency;
+            }
+        }
         self.lanes[lane] = handled;
+
+        // Injected oversubscription pressure: with probability
+        // `pressure_prob` a fault lands while the host runtime is
+        // reclaiming memory, forcing emergency eviction down to the
+        // plan's free-frame target before the fault proceeds. Only
+        // meaningful under a finite device budget.
+        let mut evicted = Vec::new();
+        if plan.pressure_prob > 0.0
+            && self.cfg.capacity.is_some()
+            && self.fault_rng.gen_bool(plan.pressure_prob)
+        {
+            let target =
+                (plan.pressure_free_frac * self.frames.capacity_frames() as f64).ceil() as u64;
+            while self.frames.free_frames() < target {
+                let Some((pages, _)) = self.evict_once(handled, now) else {
+                    break;
+                };
+                self.stats.fault_injection.emergency_evictions += pages.len() as u64;
+                evicted.extend(pages);
+            }
+        }
 
         // Make room for the faulty page. Only the *demand* page forces
         // eviction; demand eviction (LRU/Random 4 KB) stalls the
@@ -247,7 +309,8 @@ impl Gmmu {
         // Victim pinning is evaluated at the fault's *arrival* time:
         // state mutates now, so a page whose waiter has not yet been
         // able to replay (its data lands later) must stay protected.
-        let (evicted, wb_barrier) = self.ensure_frames(1, handled, now);
+        let (demand_evicted, wb_barrier) = self.ensure_frames(1, handled, now);
+        evicted.extend(demand_evicted);
 
         // The prefetcher fills only frames that are free after demand
         // eviction — aggressive prefetching that displaces resident
@@ -302,13 +365,13 @@ impl Gmmu {
 
         // Fault group first (4 KB), then the prefetch groups.
         let mut ready = Vec::with_capacity(needed as usize);
-        let t = self.read_chan.schedule(migrate_from, PAGE_SIZE).finish;
+        let t = self.schedule_read(migrate_from, PAGE_SIZE);
         self.admit_page(page, t, false);
         ready.push((page, t));
         let mut last_finish = t;
         for group in prefetch {
             let size = PAGE_SIZE * group.len() as u64;
-            let t = self.read_chan.schedule(migrate_from, size).finish;
+            let t = self.schedule_read(migrate_from, size);
             last_finish = last_finish.max(t);
             for p in group {
                 self.admit_page(p, t, true);
@@ -363,10 +426,7 @@ impl Gmmu {
             for chunk in run.chunks(PAGES_PER_LARGE_PAGE as usize) {
                 let (_, barrier) = gmmu.ensure_frames(chunk.len() as u64, now, now);
                 let at = barrier.map_or(now, |b| b.max(now));
-                let t = gmmu
-                    .read_chan
-                    .schedule(at, PAGE_SIZE * chunk.len() as u64)
-                    .finish;
+                let t = gmmu.schedule_read(at, PAGE_SIZE * chunk.len() as u64);
                 for &p in chunk {
                     gmmu.admit_page(p, t, true);
                     ready.push((p, t));
@@ -427,6 +487,31 @@ impl Gmmu {
     /// The configuration in force.
     pub fn config(&self) -> &UvmConfig {
         &self.cfg
+    }
+
+    // ------------------------------------------------------------------
+    // Transfer scheduling (fault-aware wrappers)
+    // ------------------------------------------------------------------
+
+    /// Schedules a host→device transfer and folds any injected replay
+    /// activity into the driver's fault-injection counters.
+    fn schedule_read(&mut self, at: Cycle, size: Bytes) -> Cycle {
+        let t = self.read_chan.schedule(at, size);
+        self.stats.fault_injection.transfer_retries += t.retries as u64;
+        if t.gave_up {
+            self.stats.fault_injection.transfer_giveups += 1;
+        }
+        t.finish
+    }
+
+    /// Schedules a device→host write-back; see [`Self::schedule_read`].
+    fn schedule_write(&mut self, at: Cycle, size: Bytes) -> Cycle {
+        let t = self.write_chan.schedule(at, size);
+        self.stats.fault_injection.transfer_retries += t.retries as u64;
+        if t.gave_up {
+            self.stats.fault_injection.transfer_giveups += 1;
+        }
+        t.finish
     }
 
     // ------------------------------------------------------------------
@@ -524,22 +609,22 @@ impl Gmmu {
                     if self.page_table.flags(p).dirty {
                         run += 1;
                     } else if run > 0 {
-                        let wb = self.write_chan.schedule(wb_time, PAGE_SIZE * run);
-                        finish = finish.max(wb.finish);
+                        let wb = self.schedule_write(wb_time, PAGE_SIZE * run);
+                        finish = finish.max(wb);
                         run = 0;
                     }
                 }
                 if run > 0 {
-                    let wb = self.write_chan.schedule(wb_time, PAGE_SIZE * run);
-                    finish = finish.max(wb.finish);
+                    let wb = self.schedule_write(wb_time, PAGE_SIZE * run);
+                    finish = finish.max(wb);
                 }
             } else {
                 // The paper's design choice: the whole group is written
                 // back as a single unit irrespective of clean/dirty
                 // pages (Sec. 5.1).
                 let size = PAGE_SIZE * group.len() as u64;
-                let wb = self.write_chan.schedule(wb_time, size);
-                finish = finish.max(wb.finish);
+                let wb = self.schedule_write(wb_time, size);
+                finish = finish.max(wb);
             }
             for &p in &group {
                 self.expel_page(p);
@@ -604,7 +689,9 @@ impl Gmmu {
             .frame_of
             .remove(page)
             .expect("resident page has a frame");
-        self.frames.free(frame);
+        self.frames
+            .free(frame)
+            .expect("resident page owns a live frame");
         self.resident.remove(page);
         self.evictor.on_invalidate(page);
         self.ready_at.remove(page);
@@ -1363,5 +1450,150 @@ mod tests {
         let base = g.malloc_managed(Bytes::mib(2));
         let res = g.handle_fault(base.page(), Cycle::new(1000));
         assert_eq!(res.handled, Cycle::new(1000) + Duration::from_micros(45.0));
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    use crate::fault::FaultPlan;
+
+    /// Runs a small oversubscribed streaming scenario and returns the
+    /// final driver stats plus read-channel retry/giveup counters.
+    fn faulty_run(plan: FaultPlan) -> (UvmStats, u64, u64) {
+        let mut g = Gmmu::new(
+            UvmConfig::default()
+                .with_capacity(Bytes::kib(4 * 64)) // 64 frames
+                .with_prefetch(PrefetchPolicy::None)
+                .with_evict(EvictPolicy::LruPage)
+                .with_fault_plan(plan),
+        );
+        let base = g.malloc_managed(Bytes::mib(2));
+        let mut now = Cycle::ZERO;
+        for i in 0..128 {
+            now = touch(&mut g, base.page().add(i), now);
+        }
+        let read = g.read_stats();
+        (
+            g.stats().clone(),
+            read.retries + g.write_stats().retries,
+            read.giveups + g.write_stats().giveups,
+        )
+    }
+
+    #[test]
+    fn inert_plan_is_byte_identical_to_no_plan() {
+        // A plan with a seed but zero probabilities must not perturb
+        // anything: no injection RNG is ever drawn.
+        let (baseline, r0, g0) = faulty_run(FaultPlan::none());
+        let (seeded, r1, g1) = faulty_run(FaultPlan::none().with_seed(0xABCD));
+        assert_eq!(baseline, seeded);
+        assert_eq!((r0, g0), (0, 0));
+        assert_eq!((r1, g1), (0, 0));
+        assert!(baseline.fault_injection.is_clean());
+    }
+
+    #[test]
+    fn injected_faults_are_deterministic_per_seed() {
+        let plan = FaultPlan::chaos().with_seed(7);
+        let (a, ra, ga) = faulty_run(plan);
+        let (b, rb, gb) = faulty_run(plan);
+        assert_eq!(a, b);
+        assert_eq!((ra, ga), (rb, gb));
+        assert!(
+            !a.fault_injection.is_clean(),
+            "chaos over 128 faults must inject something: {:?}",
+            a.fault_injection
+        );
+        // A different seed reshuffles the injections.
+        let (c, _, _) = faulty_run(plan.with_seed(8));
+        assert_ne!(a.fault_injection, c.fault_injection);
+    }
+
+    #[test]
+    fn transfer_retries_surface_in_driver_stats() {
+        let plan = FaultPlan::none().with_transfer_faults(0.5, 3, Duration::from_micros(5.0));
+        let (stats, chan_retries, chan_giveups) = faulty_run(plan);
+        assert!(stats.fault_injection.transfer_retries > 0);
+        // The driver-side counters mirror the channel-side ones.
+        assert_eq!(stats.fault_injection.transfer_retries, chan_retries);
+        assert_eq!(stats.fault_injection.transfer_giveups, chan_giveups);
+    }
+
+    #[test]
+    fn latency_jitter_extends_the_handling_window() {
+        let plan = FaultPlan::none().with_latency_jitter(1.0).with_seed(3);
+        let mut g = Gmmu::new(UvmConfig::default().with_fault_plan(plan));
+        let base = g.malloc_managed(Bytes::mib(2));
+        let res = g.handle_fault(base.page(), Cycle::ZERO);
+        let jitter = g.stats().fault_injection.jitter_cycles;
+        assert!(jitter > 0, "full jitter with this seed draws a nonzero u");
+        assert_eq!(
+            res.handled,
+            Cycle::ZERO + g.config().fault_latency + Duration::from_cycles(jitter)
+        );
+    }
+
+    #[test]
+    fn migration_storm_replays_the_fault_until_the_budget_runs_out() {
+        // Certain failure: every attempt fails, so the fault pays the
+        // full replay budget and then gives up (the migration still
+        // completes — the simulated world stays forward-progressing).
+        let plan = FaultPlan::none().with_migration_faults(1.0, 2);
+        let mut g = Gmmu::new(UvmConfig::default().with_fault_plan(plan));
+        let base = g.malloc_managed(Bytes::mib(2));
+        let res = g.handle_fault(base.page(), Cycle::ZERO);
+        let fi = &g.stats().fault_injection;
+        assert_eq!(fi.migration_retries, 2);
+        assert_eq!(fi.migration_giveups, 1);
+        // Base window + two replayed handling windows.
+        assert_eq!(
+            res.handled,
+            Cycle::ZERO
+                + g.config().fault_latency
+                + g.config().fault_latency
+                + g.config().fault_latency
+        );
+        assert!(g.is_resident(base.page()));
+    }
+
+    #[test]
+    fn pressure_mode_forces_emergency_eviction() {
+        // Certain pressure with a 25 % free-frame target: once the
+        // 64-frame budget fills, every fault first bulk-evicts down to
+        // 16 free frames before the demand path even runs.
+        let plan = FaultPlan::none().with_pressure(1.0, 0.25);
+        let mut g = Gmmu::new(
+            UvmConfig::default()
+                .with_capacity(Bytes::kib(4 * 64))
+                .with_prefetch(PrefetchPolicy::None)
+                .with_evict(EvictPolicy::LruPage)
+                .with_fault_plan(plan),
+        );
+        let base = g.malloc_managed(Bytes::mib(2));
+        let mut now = Cycle::ZERO;
+        for i in 0..80 {
+            now = touch(&mut g, base.page().add(i), now);
+        }
+        let fi = &g.stats().fault_injection;
+        assert!(fi.emergency_evictions > 0, "{fi:?}");
+        assert!(g.capacity_frames() - g.resident_pages() >= 15);
+        // Emergency victims are part of the per-fault evicted set (the
+        // engine must shoot down their TLB entries), so the aggregate
+        // eviction counter covers them.
+        assert!(g.stats().pages_evicted >= fi.emergency_evictions);
+    }
+
+    #[test]
+    fn pressure_mode_is_inert_without_a_capacity_budget() {
+        let plan = FaultPlan::none().with_pressure(1.0, 0.25);
+        let mut g = Gmmu::new(UvmConfig::default().with_fault_plan(plan));
+        let base = g.malloc_managed(Bytes::mib(2));
+        let mut now = Cycle::ZERO;
+        for i in 0..16 {
+            now = touch(&mut g, base.page().add(i), now);
+        }
+        assert_eq!(g.stats().fault_injection.emergency_evictions, 0);
+        assert_eq!(g.stats().pages_evicted, 0);
     }
 }

@@ -60,6 +60,7 @@ mod alloc;
 mod config;
 mod dense;
 pub mod evict;
+mod fault;
 mod gmmu;
 mod hier;
 mod indexed;
@@ -75,6 +76,7 @@ pub use alloc::{AllocId, Allocation, Allocations};
 pub use config::UvmConfig;
 pub use dense::{DensePageMap, DensePageSet};
 pub use evict::Evictor;
+pub use fault::{FaultPlan, ParseFaultProfileError, READ_CHANNEL_TAG, WRITE_CHANNEL_TAG};
 pub use gmmu::{FaultResolution, Gmmu};
 pub use hier::HierarchicalLru;
 pub use indexed::IndexedPageSet;
@@ -82,6 +84,6 @@ pub use lru::LruQueue;
 pub use policy::{EvictPolicy, ParsePolicyError, PrefetchPolicy};
 pub use prefetch::Prefetcher;
 pub use registry::{EvictorEntry, PolicyRegistry, PrefetcherEntry};
-pub use stats::UvmStats;
+pub use stats::{FaultInjectionStats, UvmStats};
 pub use tree::{group_contiguous, AllocTree};
 pub use view::{ResidencyView, PIN_GRACE, PIN_HARD, PIN_NONE, PIN_SOFT};

@@ -32,6 +32,36 @@ pub struct UvmStats {
     /// moves them anyway, trading write traffic for bandwidth
     /// (Sec. 5.1's design choice).
     pub clean_pages_written_back: u64,
+    /// Per-category retry/giveup counters for injected faults. All
+    /// zero unless the config carries a non-trivial `FaultPlan`.
+    pub fault_injection: FaultInjectionStats,
+}
+
+/// Counters for the deterministic fault-injection layer, split by
+/// injection category so an ablation can attribute slowdown.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultInjectionStats {
+    /// PCI-e transfer replays paid across both link directions.
+    pub transfer_retries: u64,
+    /// Transfers whose replay budget ran out (completed degraded).
+    pub transfer_giveups: u64,
+    /// Page migrations that transiently failed and re-entered the
+    /// far-fault pipeline as replayable faults.
+    pub migration_retries: u64,
+    /// Migrations whose replay budget ran out.
+    pub migration_giveups: u64,
+    /// Pages evicted by the oversubscription pressure mode on top of
+    /// ordinary demand/pre-eviction.
+    pub emergency_evictions: u64,
+    /// Total extra far-fault latency injected as jitter, in cycles.
+    pub jitter_cycles: u64,
+}
+
+impl FaultInjectionStats {
+    /// `true` if no injected fault ever fired.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultInjectionStats::default()
+    }
 }
 
 impl UvmStats {

@@ -202,13 +202,20 @@ impl Engine {
         while let Some(Reverse((t, _, w))) = queue.pop() {
             debug_assert!(t >= end || t >= start, "events must not go backwards");
             if let Some(cap) = self.cfg.max_kernel_cycles {
+                let fi = &self.gmmu.stats().fault_injection;
                 assert!(
                     t.since(start).cycles() <= cap,
                     "watchdog: kernel {name} exceeded {cap} cycles \
-                     (far-faults {}, evicted {}, thrashed {})",
+                     (far-faults {}, evicted {}, thrashed {}; injected: \
+                     transfer retries {}, migration retries {}, \
+                     emergency evictions {}, jitter cycles {})",
                     self.gmmu.stats().far_faults,
                     self.gmmu.stats().pages_evicted,
                     self.gmmu.stats().pages_thrashed,
+                    fi.transfer_retries,
+                    fi.migration_retries,
+                    fi.emergency_evictions,
+                    fi.jitter_cycles,
                 );
             }
             let warp = &mut warps[w];
@@ -488,6 +495,37 @@ mod tests {
         let flat = run(None);
         let radix = run(Some((Duration::from_cycles(25), 32)));
         assert!(radix < flat, "radix {radix} vs flat {flat}");
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_at_the_engine_level() {
+        use uvm_core::FaultPlan;
+        // A full engine replay under the chaos plan: two engines with
+        // the same seed produce identical times and stats; a seeded
+        // but all-zero-probability plan matches the unarmed engine.
+        let run = |plan: FaultPlan| {
+            let cfg = UvmConfig::default()
+                .with_capacity(Bytes::kib(256))
+                .with_prefetch(PrefetchPolicy::None)
+                .with_evict(EvictPolicy::LruPage)
+                .with_fault_plan(plan);
+            let (mut e, base) = engine_with(cfg, Bytes::mib(1));
+            let t = e.run_kernel(KernelSpec::new("sweep").with_block(seq_reads(base, 128)));
+            (t, e.gmmu().stats().clone())
+        };
+        let chaos = FaultPlan::chaos().with_seed(0xfa11);
+        let (t1, s1) = run(chaos);
+        let (t2, s2) = run(chaos);
+        assert_eq!(t1, t2);
+        assert_eq!(s1, s2);
+        assert!(!s1.fault_injection.is_clean(), "chaos injects something");
+
+        let (t_clean, s_clean) = run(FaultPlan::none());
+        let (t_inert, s_inert) = run(FaultPlan::none().with_seed(0xfa11));
+        assert_eq!(t_clean, t_inert, "an inert plan draws no randomness");
+        assert_eq!(s_clean, s_inert);
+        assert!(s_clean.fault_injection.is_clean());
+        assert!(t1 > t_clean, "injected faults cost time");
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! A serialized transfer channel: one direction of the PCI-e link.
 
+use uvm_types::rng::{Rng, SmallRng};
 use uvm_types::{Bytes, Cycle, Duration};
 
+use crate::fault::TransferFaultConfig;
 use crate::model::PcieModel;
 use crate::stats::ChannelStats;
 
@@ -14,6 +16,11 @@ pub struct ScheduledTransfer {
     pub finish: Cycle,
     /// Payload size.
     pub size: Bytes,
+    /// Injected-fault replays this transfer paid before completing.
+    pub retries: u32,
+    /// `true` if the replay budget ran out and the channel stopped
+    /// retrying (the payload still completes, degraded).
+    pub gave_up: bool,
 }
 
 impl ScheduledTransfer {
@@ -43,6 +50,14 @@ pub struct PcieChannel {
     model: PcieModel,
     next_free: Cycle,
     stats: ChannelStats,
+    faults: Option<FaultState>,
+}
+
+/// Injector state: the config plus the channel-local RNG it seeds.
+#[derive(Clone, Debug)]
+struct FaultState {
+    cfg: TransferFaultConfig,
+    rng: SmallRng,
 }
 
 impl PcieChannel {
@@ -52,7 +67,22 @@ impl PcieChannel {
             model,
             next_free: Cycle::ZERO,
             stats: ChannelStats::new(),
+            faults: None,
         }
+    }
+
+    /// Arms deterministic transfer-fault injection on this channel.
+    ///
+    /// Each scheduled transfer then draws from an RNG seeded with
+    /// `cfg.seed` and may pay replay-and-backoff retries. A zero
+    /// `drop_prob` never draws, so the schedule stays identical to an
+    /// unarmed channel.
+    pub fn with_transfer_faults(mut self, cfg: TransferFaultConfig) -> Self {
+        self.faults = Some(FaultState {
+            cfg,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+        });
+        self
     }
 
     /// Schedules a transfer of `size` bytes requested at cycle `now`.
@@ -61,23 +91,47 @@ impl PcieChannel {
     /// link for the model's transfer time. Statistics are updated
     /// immediately. Zero-size requests complete instantly and are not
     /// recorded.
+    ///
+    /// With fault injection armed, each drop replays the payload after
+    /// an exponential backoff: the replay is real link traffic (it is
+    /// recorded in the stats), the backoff is idle recovery time. The
+    /// replay budget bounds the loop; exhausting it sets `gave_up`.
     pub fn schedule(&mut self, now: Cycle, size: Bytes) -> ScheduledTransfer {
         if size == Bytes::ZERO {
             return ScheduledTransfer {
                 start: now,
                 finish: now,
                 size,
+                retries: 0,
+                gave_up: false,
             };
         }
         let start = now.max(self.next_free);
         let time = self.model.transfer_time(size);
-        let finish = start + time;
-        self.next_free = finish;
+        let mut finish = start + time;
         self.stats.record(size, time);
+        let mut retries = 0u32;
+        let mut gave_up = false;
+        if let Some(f) = &mut self.faults {
+            while f.rng.gen_bool(f.cfg.drop_prob) {
+                if retries >= f.cfg.max_retries {
+                    gave_up = true;
+                    self.stats.giveups += 1;
+                    break;
+                }
+                retries += 1;
+                self.stats.retries += 1;
+                finish = finish + f.cfg.backoff_for(retries) + time;
+                self.stats.record(size, time);
+            }
+        }
+        self.next_free = finish;
         ScheduledTransfer {
             start,
             finish,
             size,
+            retries,
+            gave_up,
         }
     }
 
@@ -184,5 +238,70 @@ mod tests {
             PcieModel::pascal_x16().transfer_time(Bytes::kib(16))
         );
         assert_eq!(t.size, Bytes::kib(16));
+        assert_eq!(t.retries, 0);
+        assert!(!t.gave_up);
+    }
+
+    fn fault_cfg(drop_prob: f64) -> TransferFaultConfig {
+        TransferFaultConfig {
+            seed: 0xFA_17,
+            drop_prob,
+            max_retries: 3,
+            backoff: Duration::from_cycles(1_000),
+        }
+    }
+
+    #[test]
+    fn zero_drop_prob_matches_unarmed_channel() {
+        // A zero probability never draws from the RNG, so the armed
+        // channel produces a byte-identical schedule.
+        let mut plain = channel();
+        let mut armed = channel().with_transfer_faults(fault_cfg(0.0));
+        for i in 0..32 {
+            let now = Cycle::new(i * 10);
+            let a = plain.schedule(now, Bytes::kib(4 + (i % 3) * 60));
+            let b = armed.schedule(now, Bytes::kib(4 + (i % 3) * 60));
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain.stats().retries, 0);
+        assert_eq!(armed.stats().retries, 0);
+        assert_eq!(armed.stats().giveups, 0);
+    }
+
+    #[test]
+    fn certain_drop_exhausts_retry_budget_and_gives_up() {
+        let mut ch = channel().with_transfer_faults(fault_cfg(1.0));
+        let t = ch.schedule(Cycle::ZERO, Bytes::kib(4));
+        assert_eq!(t.retries, 3);
+        assert!(t.gave_up);
+        let time = PcieModel::pascal_x16().transfer_time(Bytes::kib(4));
+        // Original attempt + 3 replays + exponentially growing backoff.
+        let mut expect = Cycle::ZERO + time;
+        for retry in 1..=3u32 {
+            expect = expect + Duration::from_cycles(1_000 << (retry - 1)) + time;
+        }
+        assert_eq!(t.finish, expect);
+        assert_eq!(ch.stats().retries, 3);
+        assert_eq!(ch.stats().giveups, 1);
+        // Every replay is recorded as real link traffic.
+        assert_eq!(ch.stats().transfers(), 4);
+        assert_eq!(ch.stats().bytes, Bytes::kib(16));
+    }
+
+    #[test]
+    fn faulty_schedule_is_deterministic_per_seed() {
+        let run = || {
+            let mut ch = channel().with_transfer_faults(fault_cfg(0.5));
+            let mut out = Vec::new();
+            for i in 0..64 {
+                out.push(ch.schedule(Cycle::new(i), Bytes::kib(4)));
+            }
+            (out, ch.stats().retries, ch.stats().giveups)
+        };
+        let (a, ra, ga) = run();
+        let (b, rb, gb) = run();
+        assert_eq!(a, b);
+        assert_eq!((ra, ga), (rb, gb));
+        assert!(ra > 0, "p=0.5 over 64 transfers should retry at least once");
     }
 }

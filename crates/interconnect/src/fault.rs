@@ -1,0 +1,68 @@
+//! Deterministic transfer-fault injection for one PCI-e channel.
+//!
+//! Real PCI-e links drop or corrupt TLPs and recover through
+//! replay: the transaction layer retransmits the payload after a
+//! backoff. [`TransferFaultConfig`] models that recovery path for a
+//! [`PcieChannel`](crate::PcieChannel): each scheduled transfer draws
+//! from a channel-local seeded RNG and, on a simulated drop, pays a
+//! bounded number of replay-and-backoff retries before the channel
+//! gives up and lets the payload through degraded.
+//!
+//! Determinism contract: a channel with no fault config (or a config
+//! whose `drop_prob` is zero) draws nothing from any RNG, so the
+//! no-fault schedule is byte-identical to a build without this module.
+
+use uvm_types::Duration;
+
+/// Retry backoff exponent cap: `backoff << 10` (~1000x) bounds the
+/// penalty even when every retry of a transfer fails.
+pub(crate) const MAX_BACKOFF_EXP: u32 = 10;
+
+/// Fault-injection parameters for one direction of the PCI-e link.
+///
+/// Built by `FaultPlan::channel_faults` in `uvm-core`; the seed is
+/// already mixed per-channel there so the read and write channels see
+/// independent deterministic streams.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TransferFaultConfig {
+    /// Seed of the channel-local RNG.
+    pub seed: u64,
+    /// Probability that a scheduled transfer is dropped and must be
+    /// replayed (drawn once per attempt, including replays).
+    pub drop_prob: f64,
+    /// Replay budget per transfer; once exhausted the channel gives
+    /// up and the payload proceeds without further retries.
+    pub max_retries: u32,
+    /// Base backoff before the first replay; doubles per retry
+    /// (capped at `2^10` times the base).
+    pub backoff: Duration,
+}
+
+impl TransferFaultConfig {
+    /// Backoff before retry number `retry` (1-based).
+    pub(crate) fn backoff_for(&self, retry: u32) -> Duration {
+        let exp = retry.saturating_sub(1).min(MAX_BACKOFF_EXP);
+        Duration::from_cycles(self.backoff.cycles() << exp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let cfg = TransferFaultConfig {
+            seed: 1,
+            drop_prob: 0.5,
+            max_retries: 32,
+            backoff: Duration::from_cycles(100),
+        };
+        assert_eq!(cfg.backoff_for(1), Duration::from_cycles(100));
+        assert_eq!(cfg.backoff_for(2), Duration::from_cycles(200));
+        assert_eq!(cfg.backoff_for(3), Duration::from_cycles(400));
+        // Exponent saturates at 2^10.
+        assert_eq!(cfg.backoff_for(11), Duration::from_cycles(100 << 10));
+        assert_eq!(cfg.backoff_for(31), Duration::from_cycles(100 << 10));
+    }
+}

@@ -24,9 +24,11 @@
 //! ```
 
 mod channel;
+mod fault;
 mod model;
 mod stats;
 
 pub use channel::{PcieChannel, ScheduledTransfer};
+pub use fault::TransferFaultConfig;
 pub use model::PcieModel;
 pub use stats::{ChannelStats, TransferSizeHistogram};

@@ -54,6 +54,11 @@ pub struct ChannelStats {
     pub busy: Duration,
     /// Histogram of transfer sizes.
     pub histogram: TransferSizeHistogram,
+    /// Injected-fault replays paid across all transfers (zero unless
+    /// the channel was armed with transfer faults).
+    pub retries: u64,
+    /// Transfers whose replay budget ran out.
+    pub giveups: u64,
 }
 
 impl ChannelStats {

@@ -5,11 +5,38 @@
 //! allocator is where that budget is enforced. Frames are 4 KB, the
 //! page/migration granularity.
 
+use std::error::Error;
+use std::fmt;
+
 use uvm_types::{Bytes, PAGE_SIZE};
 
 /// Identifier of a 4 KB physical frame in device memory.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FrameId(u64);
+
+/// An invalid [`FrameAllocator::free`] request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Nothing is allocated: freeing anything would double-free.
+    NothingAllocated,
+    /// The frame index was never handed out by this allocator.
+    NeverAllocated(FrameId),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::NothingAllocated => {
+                write!(f, "free with no frames allocated")
+            }
+            FrameError::NeverAllocated(frame) => {
+                write!(f, "free of never-allocated frame {}", frame.index())
+            }
+        }
+    }
+}
+
+impl Error for FrameError {}
 
 impl FrameId {
     /// The raw frame index.
@@ -30,7 +57,7 @@ impl FrameId {
 /// let a = frames.allocate().unwrap();
 /// let _b = frames.allocate().unwrap();
 /// assert!(frames.allocate().is_none()); // budget exhausted
-/// frames.free(a);
+/// frames.free(a).unwrap();
 /// assert!(frames.allocate().is_some());
 /// ```
 #[derive(Clone, Debug)]
@@ -80,18 +107,21 @@ impl FrameAllocator {
 
     /// Returns `frame` to the free pool.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no frames are currently allocated (double-free of the
-    /// whole pool) or if `frame` was never handed out.
-    pub fn free(&mut self, frame: FrameId) {
-        assert!(self.in_use > 0, "free with no frames allocated");
-        assert!(
-            frame.0 < self.next_unused,
-            "free of a never-allocated frame"
-        );
+    /// Fails (leaving the allocator untouched) if no frames are
+    /// currently allocated (double-free of the whole pool) or if
+    /// `frame` was never handed out.
+    pub fn free(&mut self, frame: FrameId) -> Result<(), FrameError> {
+        if self.in_use == 0 {
+            return Err(FrameError::NothingAllocated);
+        }
+        if frame.0 >= self.next_unused {
+            return Err(FrameError::NeverAllocated(frame));
+        }
         self.in_use -= 1;
         self.free_list.push(frame);
+        Ok(())
     }
 
     /// Total frame budget.
@@ -150,7 +180,7 @@ mod tests {
     fn free_recycles_frames() {
         let mut a = FrameAllocator::with_frames(1);
         let f = a.allocate().unwrap();
-        a.free(f);
+        a.free(f).unwrap();
         assert_eq!(a.used_frames(), 0);
         let g = a.allocate().unwrap();
         assert_eq!(f, g, "recycled frame is reused");
@@ -178,22 +208,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no frames allocated")]
-    fn free_without_allocation_panics() {
+    fn free_without_allocation_errors() {
         let mut a = FrameAllocator::with_frames(1);
         let f = {
             let mut other = FrameAllocator::with_frames(1);
             other.allocate().unwrap()
         };
-        a.free(f);
+        assert_eq!(a.free(f), Err(FrameError::NothingAllocated));
+        // The failed free left the allocator untouched.
+        assert_eq!(a.used_frames(), 0);
+        assert!(a.allocate().is_some());
     }
 
     #[test]
-    #[should_panic(expected = "never-allocated")]
-    fn free_of_unissued_frame_panics() {
+    fn free_of_unissued_frame_errors() {
         let mut a = FrameAllocator::with_frames(8);
-        let _ = a.allocate().unwrap();
+        let f = a.allocate().unwrap();
         // Index 5 was never handed out.
-        a.free(FrameId(5));
+        let err = a.free(FrameId(5)).unwrap_err();
+        assert_eq!(err, FrameError::NeverAllocated(FrameId(5)));
+        assert!(err.to_string().contains("never-allocated frame 5"));
+        assert_eq!(a.used_frames(), 1);
+        a.free(f).unwrap();
     }
 }

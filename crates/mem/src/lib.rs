@@ -28,7 +28,7 @@ mod page_table;
 mod tlb;
 mod walk;
 
-pub use frames::{FrameAllocator, FrameId};
+pub use frames::{FrameAllocator, FrameError, FrameId};
 pub use mshr::{Mshr, RegisterOutcome};
 pub use page_table::{PageTable, PteFlags};
 pub use tlb::{Tlb, TlbLookup};

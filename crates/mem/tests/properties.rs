@@ -130,7 +130,7 @@ fn frames_conserve() {
                 }
             } else if let Some(f) = held.pop() {
                 outstanding.remove(&f);
-                fa.free(f);
+                fa.free(f).unwrap();
             }
             assert_eq!(fa.used_frames() + fa.free_frames(), capacity);
             assert_eq!(fa.used_frames(), held.len() as u64);

@@ -1,0 +1,155 @@
+//! Typed failures for the hardened experiment executor.
+//!
+//! A sweep of hundreds of deduplicated runs must not die because one
+//! run panics, hangs, or hits a rotten cache entry. The executor
+//! isolates each run and reports what went wrong as a [`RunError`];
+//! [`ExecutionReport`] carries the per-submission outcomes so callers
+//! can keep the completed siblings.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::exec::RunKey;
+use crate::run::RunResult;
+
+/// Why one simulation run produced no result.
+#[derive(Clone, Debug)]
+pub enum RunError {
+    /// The run panicked inside the simulator; the panic was caught at
+    /// the run boundary and the sweep continued.
+    Panicked {
+        /// Workload name of the failed run.
+        name: String,
+        /// Dedup key of the failed run.
+        key: RunKey,
+        /// The panic payload, if it was a string.
+        message: String,
+        /// Attempts made (1 = no retry budget or first try fatal).
+        attempts: u32,
+    },
+    /// The run exceeded the executor's per-run wall-clock timeout.
+    TimedOut {
+        /// Workload name of the failed run.
+        name: String,
+        /// Dedup key of the failed run.
+        key: RunKey,
+        /// The configured per-run limit.
+        timeout: Duration,
+        /// Attempts made.
+        attempts: u32,
+    },
+}
+
+impl RunError {
+    /// Workload name of the failed run.
+    pub fn name(&self) -> &str {
+        match self {
+            RunError::Panicked { name, .. } | RunError::TimedOut { name, .. } => name,
+        }
+    }
+
+    /// Dedup key of the failed run.
+    pub fn key(&self) -> RunKey {
+        match self {
+            RunError::Panicked { key, .. } | RunError::TimedOut { key, .. } => *key,
+        }
+    }
+
+    /// Attempts made before giving up.
+    pub fn attempts(&self) -> u32 {
+        match self {
+            RunError::Panicked { attempts, .. } | RunError::TimedOut { attempts, .. } => *attempts,
+        }
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Panicked {
+                name,
+                key,
+                message,
+                attempts,
+            } => write!(
+                f,
+                "run '{name}' ({}) panicked after {attempts} attempt(s): {message}",
+                key.to_hex()
+            ),
+            RunError::TimedOut {
+                name,
+                key,
+                timeout,
+                attempts,
+            } => write!(
+                f,
+                "run '{name}' ({}) exceeded the {:.1?} per-run timeout \
+                 after {attempts} attempt(s)",
+                key.to_hex(),
+                timeout
+            ),
+        }
+    }
+}
+
+impl Error for RunError {}
+
+/// The outcome of a fault-tolerant sweep: one entry per submission, in
+/// submission order, plus every failure encountered.
+#[derive(Clone, Debug, Default)]
+pub struct ExecutionReport {
+    /// Per-submission results; `None` where the run failed (its error
+    /// is in `failures`).
+    pub results: Vec<Option<Arc<RunResult>>>,
+    /// Every distinct failed run of this sweep.
+    pub failures: Vec<RunError>,
+}
+
+impl ExecutionReport {
+    /// `true` if every submission produced a result.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty() && self.results.iter().all(Option::is_some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let key = RunKey::from_digest(0xABC);
+        let p = RunError::Panicked {
+            name: "hotspot".into(),
+            key,
+            message: "boom".into(),
+            attempts: 2,
+        };
+        let t = RunError::TimedOut {
+            name: "bfs".into(),
+            key,
+            timeout: Duration::from_millis(250),
+            attempts: 1,
+        };
+        assert!(p.to_string().contains("hotspot"));
+        assert!(p.to_string().contains("boom"));
+        assert!(p.to_string().contains("2 attempt"));
+        assert!(t.to_string().contains("bfs"));
+        assert!(t.to_string().contains("timeout"));
+        assert_eq!(p.name(), "hotspot");
+        assert_eq!(t.key(), key);
+        assert_eq!(t.attempts(), 1);
+    }
+
+    #[test]
+    fn empty_report_is_complete() {
+        assert!(ExecutionReport::default().is_complete());
+        let partial = ExecutionReport {
+            results: vec![None],
+            failures: Vec::new(),
+        };
+        assert!(!partial.is_complete());
+    }
+}

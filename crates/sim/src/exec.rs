@@ -7,15 +7,28 @@
 //! exploits both properties:
 //!
 //! * [`RunKey`] — a canonical, process-stable 128-bit hash of the
-//!   workload identity plus every [`RunOptions`] field;
+//!   workload identity plus every [`RunOptions`] field (including the
+//!   fault-injection plan) and the simulator revision;
 //! * [`Plan`] — collects the runs an experiment set needs *before*
 //!   executing anything, so identical configurations shared by
 //!   several figures (Figs. 3/4/5 share one prefetcher sweep) are
 //!   simulated once;
 //! * [`Executor`] — executes the unique runs of a plan across a
 //!   `std::thread::scope` worker pool, memoizes every [`RunResult`]
-//!   in-process, and optionally spills results as JSON under a cache
-//!   directory (`results/cache/`) so `all_experiments` can resume.
+//!   in-process, and optionally spills results as checksummed JSON
+//!   under a cache directory (`results/cache/`) so `all_experiments`
+//!   can resume.
+//!
+//! The executor is hardened against the failure modes of long sweeps:
+//!
+//! * a panicking run is caught at the run boundary and reported as a
+//!   typed [`RunError`] while its siblings complete;
+//! * an optional per-run wall-clock timeout abandons hung runs;
+//! * both failure kinds get a bounded retry budget;
+//! * spill entries carry a `uvmspill v2 crc=…` header and are
+//!   published atomically (temp file + rename), so a crash mid-write
+//!   or bit rot is detected, the entry quarantined as `*.corrupt`,
+//!   and the run recomputed instead of misread.
 //!
 //! Results are returned in submission order, so a plan's output is
 //! byte-identical no matter how many workers execute it.
@@ -38,28 +51,35 @@
 
 use std::collections::HashMap;
 use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 
 use uvm_types::hash::StableHasher;
 use uvm_types::{Bytes, Duration};
 use uvm_workloads::Workload;
 
+use crate::error::{ExecutionReport, RunError};
 use crate::run::{run_workload, RunOptions, RunResult};
 
 /// Spill-format version; bump when [`RunResult`] fields change so
 /// stale cache entries are ignored rather than misread.
-const SPILL_VERSION: u64 = 1;
+const SPILL_VERSION: u64 = 2;
+
+/// Simulator behaviour revision, folded into every [`RunKey`]. Bump
+/// when a model change alters results without any [`RunOptions`]
+/// field changing, so stale spill entries stop matching.
+const SIM_REVISION: u64 = 2;
 
 /// A canonical, process-stable identity of one simulation run.
 ///
 /// Two runs get the same key exactly when they simulate the same
 /// workload (same [`Workload::signature`]) under the same
-/// [`RunOptions`]; any field change produces a different key. The key
-/// also names the on-disk spill entry, so it must not depend on the
-/// process's hash seeds — it is built on the FNV-based
-/// [`StableHasher`].
+/// [`RunOptions`] — fault plan included — on the same simulator
+/// revision; any change produces a different key. The key also names
+/// the on-disk spill entry, so it must not depend on the process's
+/// hash seeds — it is built on the FNV-based [`StableHasher`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RunKey(u128);
 
@@ -67,7 +87,9 @@ impl RunKey {
     /// Computes the key of `(workload, opts)`.
     pub fn new(workload: &dyn Workload, opts: &RunOptions) -> Self {
         let mut h = StableHasher::new();
-        h.write_str("uvm-runkey-v1");
+        h.write_str("uvm-runkey-v2");
+        h.write_str(env!("CARGO_PKG_VERSION"));
+        h.write_u64(SIM_REVISION);
         h.write_str(workload.name());
         h.write_str(&workload.signature());
         h.write_str(&format!("{:?}", opts.prefetch));
@@ -89,7 +111,15 @@ impl RunKey {
         }
         h.write_bool(opts.writeback_dirty_only);
         h.write_u64(opts.rng_seed);
+        opts.fault_plan.hash_into(&mut h);
         RunKey(h.finish())
+    }
+
+    /// A key from a raw digest; lets tests fabricate keys without a
+    /// workload in hand.
+    #[cfg(test)]
+    pub(crate) fn from_digest(digest: u128) -> Self {
+        RunKey(digest)
     }
 
     /// The key as a fixed-width hex string (the spill file stem).
@@ -147,22 +177,57 @@ impl<'e, 'w> Plan<'e, 'w> {
     /// submission order. Duplicate keys are simulated once; results
     /// already memoized (or spilled to disk) by the executor are not
     /// simulated at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics with an aggregated message if any run fails (panic or
+    /// timeout) after its retry budget. Use
+    /// [`try_execute`](Self::try_execute) to keep the surviving
+    /// results instead.
     pub fn execute(self) -> Vec<Arc<RunResult>> {
-        self.exec.execute(self.subs)
+        let report = self.exec.execute_report(self.subs);
+        if !report.failures.is_empty() {
+            let mut msg = String::from("experiment sweep failed:\n");
+            for f in &report.failures {
+                msg.push_str("  ");
+                msg.push_str(&f.to_string());
+                msg.push('\n');
+            }
+            panic!("{msg}");
+        }
+        report
+            .results
+            .into_iter()
+            .map(|r| r.expect("report without failures has every result"))
+            .collect()
+    }
+
+    /// Executes the plan without aborting on failed runs: every
+    /// submission whose simulation completed gets its result, each
+    /// distinct failure is reported as a [`RunError`], and the sweep
+    /// as a whole always returns.
+    pub fn try_execute(self) -> ExecutionReport {
+        self.exec.execute_report(self.subs)
     }
 }
 
-/// The deduplicating, memoizing run executor.
+/// The deduplicating, memoizing, fault-tolerant run executor.
 ///
 /// One executor is meant to live for a whole experiment session (all
 /// figures of one binary invocation): its in-process cache is what
-/// lets later figures reuse the sweeps of earlier ones.
+/// lets later figures reuse the sweeps of earlier ones, and its
+/// failure log accumulates across plans so a final
+/// [`failure_report`](Executor::failure_report) covers the session.
 pub struct Executor {
     jobs: usize,
     spill_dir: Option<PathBuf>,
+    run_timeout: Option<std::time::Duration>,
+    run_retries: u32,
     cache: Mutex<HashMap<RunKey, Arc<RunResult>>>,
+    failures: Mutex<Vec<RunError>>,
     executed: AtomicUsize,
     hits: AtomicUsize,
+    quarantined: AtomicUsize,
 }
 
 impl Executor {
@@ -177,19 +242,42 @@ impl Executor {
         Executor {
             jobs,
             spill_dir: None,
+            run_timeout: None,
+            run_retries: 0,
             cache: Mutex::new(HashMap::new()),
+            failures: Mutex::new(Vec::new()),
             executed: AtomicUsize::new(0),
             hits: AtomicUsize::new(0),
+            quarantined: AtomicUsize::new(0),
         }
     }
 
     /// Enables the JSON spill cache under `dir` (typically
-    /// `results/cache/`). Completed non-trace runs are written as
-    /// `<runkey-hex>.json`; later executions (same or future process)
-    /// load them instead of re-simulating. Delete the directory to
-    /// clear the cache.
+    /// `results/cache/`). Completed non-trace runs are written
+    /// atomically as `<runkey-hex>.json` with a checksum header;
+    /// later executions (same or future process) load them instead of
+    /// re-simulating. Corrupt entries are renamed to `*.json.corrupt`
+    /// and recomputed. Delete the directory to clear the cache.
     pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets a per-run wall-clock timeout. Each run then simulates on
+    /// a watchdog thread; if it does not finish within `limit` it is
+    /// abandoned and reported as [`RunError::TimedOut`]. (The
+    /// abandoned thread still runs to completion in the background —
+    /// the simulator has no cancellation points — so timeouts trade
+    /// memory for liveness.)
+    pub fn with_run_timeout(mut self, limit: std::time::Duration) -> Self {
+        self.run_timeout = Some(limit);
+        self
+    }
+
+    /// Grants every run `retries` extra attempts after a panic or
+    /// timeout before it is reported as failed.
+    pub fn with_run_retries(mut self, retries: u32) -> Self {
+        self.run_retries = retries;
         self
     }
 
@@ -198,7 +286,8 @@ impl Executor {
         self.jobs
     }
 
-    /// Simulations actually executed (cache misses) so far.
+    /// Simulations actually executed to completion (cache misses) so
+    /// far.
     pub fn runs_executed(&self) -> usize {
         self.executed.load(Ordering::Relaxed)
     }
@@ -206,6 +295,45 @@ impl Executor {
     /// Submissions satisfied from the in-process or spill cache.
     pub fn cache_hits(&self) -> usize {
         self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Spill-cache entries found corrupt, quarantined as
+    /// `*.json.corrupt`, and recomputed.
+    pub fn quarantined_entries(&self) -> usize {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Every failed run recorded by this executor, across all plans.
+    pub fn failures(&self) -> Vec<RunError> {
+        self.lock_failures().clone()
+    }
+
+    /// An end-of-sweep failure report, or `None` when every run
+    /// completed cleanly and no cache entry was quarantined.
+    pub fn failure_report(&self) -> Option<String> {
+        let failures = self.lock_failures();
+        let quarantined = self.quarantined_entries();
+        if failures.is_empty() && quarantined == 0 {
+            return None;
+        }
+        let mut s = String::from("== sweep failure report ==\n");
+        s.push_str(&format!(
+            "{} failed run(s), {} quarantined spill entr{}\n",
+            failures.len(),
+            quarantined,
+            if quarantined == 1 { "y" } else { "ies" },
+        ));
+        for f in failures.iter() {
+            s.push_str("  - ");
+            s.push_str(&f.to_string());
+            s.push('\n');
+        }
+        s.push_str(&format!(
+            "{} run(s) executed, {} cache hit(s)\n",
+            self.runs_executed(),
+            self.cache_hits(),
+        ));
+        Some(s)
     }
 
     /// Starts an empty plan against this executor.
@@ -223,12 +351,83 @@ impl Executor {
         plan.execute().pop().expect("one submission, one result")
     }
 
-    fn execute(&self, subs: Vec<Submission<'_>>) -> Vec<Arc<RunResult>> {
+    /// A lock that survives a worker's panic: the data under it is
+    /// only ever replaced wholesale, so a poisoned guard still holds
+    /// consistent state.
+    fn lock_cache(&self) -> MutexGuard<'_, HashMap<RunKey, Arc<RunResult>>> {
+        self.cache.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn lock_failures(&self) -> MutexGuard<'_, Vec<RunError>> {
+        self.failures.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// One isolated attempt at `sub`: panics are caught at this
+    /// boundary and, when a timeout is configured, the run simulates
+    /// on a watchdog thread so a hang cannot stall the pool.
+    fn attempt_run(&self, sub: &Submission<'_>, attempt: u32) -> Result<RunResult, RunError> {
+        let name = sub.workload.name().to_string();
+        let Some(limit) = self.run_timeout else {
+            return catch_unwind(AssertUnwindSafe(|| {
+                run_workload(sub.workload, sub.opts.clone())
+            }))
+            .map_err(|payload| RunError::Panicked {
+                name,
+                key: sub.key,
+                message: panic_message(payload),
+                attempts: attempt,
+            });
+        };
+        let workload = sub.workload.clone_box();
+        let opts = sub.opts.clone();
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(|| run_workload(workload.as_ref(), opts)))
+                .map_err(panic_message);
+            let _ = tx.send(outcome);
+        });
+        match rx.recv_timeout(limit) {
+            Ok(Ok(result)) => Ok(result),
+            Ok(Err(message)) => Err(RunError::Panicked {
+                name,
+                key: sub.key,
+                message,
+                attempts: attempt,
+            }),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(RunError::TimedOut {
+                name,
+                key: sub.key,
+                timeout: limit,
+                attempts: attempt,
+            }),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(RunError::Panicked {
+                name,
+                key: sub.key,
+                message: "watchdog thread died before sending a result".into(),
+                attempts: attempt,
+            }),
+        }
+    }
+
+    /// Simulates `sub` with the configured retry budget.
+    fn simulate(&self, sub: &Submission<'_>) -> Result<RunResult, RunError> {
+        let attempts = 1 + self.run_retries;
+        let mut last = None;
+        for attempt in 1..=attempts {
+            match self.attempt_run(sub, attempt) {
+                Ok(result) => return Ok(result),
+                Err(err) => last = Some(err),
+            }
+        }
+        Err(last.expect("at least one attempt was made"))
+    }
+
+    fn execute_report(&self, subs: Vec<Submission<'_>>) -> ExecutionReport {
         // Resolve each submission against the caches; collect the
         // unique keys that still need simulating, in first-seen order.
         let mut todo: Vec<&Submission<'_>> = Vec::new();
         {
-            let mut cache = self.cache.lock().expect("executor cache poisoned");
+            let mut cache = self.lock_cache();
             let mut claimed: Vec<RunKey> = Vec::new();
             for sub in &subs {
                 if cache.contains_key(&sub.key) {
@@ -250,8 +449,9 @@ impl Executor {
             }
         }
 
+        let mut failures: Vec<RunError> = Vec::new();
         if !todo.is_empty() {
-            let results: Vec<Mutex<Option<RunResult>>> =
+            let slots: Vec<Mutex<Option<Result<RunResult, RunError>>>> =
                 todo.iter().map(|_| Mutex::new(None)).collect();
             let next = AtomicUsize::new(0);
             let workers = self.jobs.min(todo.len()).max(1);
@@ -260,27 +460,39 @@ impl Executor {
                     s.spawn(|| loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(sub) = todo.get(i) else { break };
-                        let result = run_workload(sub.workload, sub.opts.clone());
-                        *results[i].lock().expect("result slot poisoned") = Some(result);
-                        self.executed.fetch_add(1, Ordering::Relaxed);
+                        let outcome = self.simulate(sub);
+                        if outcome.is_ok() {
+                            self.executed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(outcome);
                     });
                 }
             });
-            let mut cache = self.cache.lock().expect("executor cache poisoned");
-            for (sub, slot) in todo.iter().zip(results) {
-                let result = slot
+            let mut cache = self.lock_cache();
+            for (sub, slot) in todo.iter().zip(slots) {
+                let outcome = slot
                     .into_inner()
-                    .expect("result slot poisoned")
+                    .unwrap_or_else(|p| p.into_inner())
                     .expect("worker pool drained every slot");
-                self.store_spill(sub.key, &sub.opts, &result);
-                cache.insert(sub.key, Arc::new(result));
+                match outcome {
+                    Ok(result) => {
+                        self.store_spill(sub.key, &sub.opts, &result);
+                        cache.insert(sub.key, Arc::new(result));
+                    }
+                    Err(err) => failures.push(err),
+                }
             }
         }
 
-        let cache = self.cache.lock().expect("executor cache poisoned");
-        subs.iter()
-            .map(|sub| Arc::clone(&cache[&sub.key]))
-            .collect()
+        if !failures.is_empty() {
+            self.lock_failures().extend(failures.iter().cloned());
+        }
+        let cache = self.lock_cache();
+        let results = subs
+            .iter()
+            .map(|sub| cache.get(&sub.key).map(Arc::clone))
+            .collect();
+        ExecutionReport { results, failures }
     }
 
     fn spill_path(&self, key: RunKey) -> Option<PathBuf> {
@@ -290,8 +502,18 @@ impl Executor {
     }
 
     fn load_spill(&self, key: RunKey) -> Option<RunResult> {
-        let text = fs::read_to_string(self.spill_path(key)?).ok()?;
-        spill::decode(&text)
+        let path = self.spill_path(key)?;
+        let text = fs::read_to_string(&path).ok()?;
+        match spill::decode_entry(&text) {
+            Some(result) => Some(result),
+            None => {
+                // Truncated, bit-flipped, or version-skewed entry:
+                // quarantine it for post-mortem and recompute the run.
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                let _ = fs::rename(&path, path.with_extension("json.corrupt"));
+                None
+            }
+        }
     }
 
     fn store_spill(&self, key: RunKey, opts: &RunOptions, result: &RunResult) {
@@ -308,20 +530,65 @@ impl Executor {
                 return;
             }
         }
-        // Best-effort: a failed spill only costs a future re-run.
-        let _ = fs::write(path, spill::encode(result));
+        // Atomic publish: write a private temp file, then rename it
+        // into place, so a crash mid-write never leaves a truncated
+        // `.json` for a later process to trip over. Best-effort: a
+        // failed spill only costs a future re-run.
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        if fs::write(&tmp, spill::encode_entry(result)).is_err() || fs::rename(&tmp, &path).is_err()
+        {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
 /// Hand-rolled JSON encode/decode for [`RunResult`] spill entries.
 ///
-/// The workspace builds offline (no serde); the format is a flat JSON
+/// The workspace builds offline (no serde); each entry is a one-line
+/// `uvmspill v2 crc=<fnv128-hex>` header followed by a flat JSON
 /// object with `f64` fields stored as exact IEEE-754 bit patterns so
-/// round-trips are lossless.
+/// round-trips are lossless. The checksum covers the JSON body;
+/// entries whose header, checksum, version, or body fail to validate
+/// decode to `None`.
 mod spill {
     use super::*;
 
-    pub(super) fn encode(r: &RunResult) -> String {
+    /// Encodes a full spill entry: checksum header plus JSON body.
+    pub(super) fn encode_entry(r: &RunResult) -> String {
+        let body = encode(r);
+        let mut h = StableHasher::new();
+        h.write_bytes(body.as_bytes());
+        format!("uvmspill v{SPILL_VERSION} crc={:032x}\n{body}", h.finish())
+    }
+
+    /// Validates the header and checksum, then decodes the body.
+    pub(super) fn decode_entry(text: &str) -> Option<RunResult> {
+        let (header, body) = text.split_once('\n')?;
+        let rest = header.strip_prefix("uvmspill v")?;
+        let (version, crc_hex) = rest.split_once(" crc=")?;
+        if version.parse::<u64>().ok()? != SPILL_VERSION {
+            return None;
+        }
+        let crc = u128::from_str_radix(crc_hex, 16).ok()?;
+        let mut h = StableHasher::new();
+        h.write_bytes(body.as_bytes());
+        if h.finish() != crc {
+            return None;
+        }
+        decode(body)
+    }
+
+    fn encode(r: &RunResult) -> String {
         let mut s = String::with_capacity(512);
         s.push('{');
         push_field(&mut s, "v", SPILL_VERSION);
@@ -368,6 +635,12 @@ mod spill {
         push_field(&mut s, ",read_transfers", r.read_transfers);
         push_field(&mut s, ",read_bytes", r.read_bytes.bytes());
         push_field(&mut s, ",write_bytes", r.write_bytes.bytes());
+        push_field(&mut s, ",transfer_retries", r.transfer_retries);
+        push_field(&mut s, ",transfer_giveups", r.transfer_giveups);
+        push_field(&mut s, ",migration_retries", r.migration_retries);
+        push_field(&mut s, ",migration_giveups", r.migration_giveups);
+        push_field(&mut s, ",emergency_evictions", r.emergency_evictions);
+        push_field(&mut s, ",fault_jitter_cycles", r.fault_jitter_cycles);
         s.push('}');
         s
     }
@@ -395,7 +668,7 @@ mod spill {
         }
     }
 
-    pub(super) fn decode(text: &str) -> Option<RunResult> {
+    fn decode(text: &str) -> Option<RunResult> {
         let mut p = Parser {
             b: text.as_bytes(),
             i: 0,
@@ -452,6 +725,12 @@ mod spill {
             read_transfers: u("read_transfers")?,
             read_bytes: Bytes::new(u("read_bytes")?),
             write_bytes: Bytes::new(u("write_bytes")?),
+            transfer_retries: u("transfer_retries")?,
+            transfer_giveups: u("transfer_giveups")?,
+            migration_retries: u("migration_retries")?,
+            migration_giveups: u("migration_giveups")?,
+            emergency_evictions: u("emergency_evictions")?,
+            fault_jitter_cycles: u("fault_jitter_cycles")?,
             traces: Vec::new(),
         })
     }
@@ -613,6 +892,37 @@ mod tests {
         }
     }
 
+    fn sample_result() -> RunResult {
+        RunResult {
+            name: "x\"y\\z".into(),
+            total_time: Duration::from_cycles(10),
+            kernel_times: vec![Duration::from_cycles(10)],
+            footprint: Bytes::mib(1),
+            capacity: None,
+            far_faults: 1,
+            pages_migrated: 2,
+            pages_prefetched: 1,
+            pages_evicted: 0,
+            pages_thrashed: 0,
+            prefetched_used: 1,
+            prefetched_wasted: 0,
+            clean_pages_written_back: 0,
+            read_bandwidth_gbps: 3.25,
+            write_bandwidth_gbps: 0.0,
+            read_transfers_4k: 1,
+            read_transfers: 2,
+            read_bytes: Bytes::kib(8),
+            write_bytes: Bytes::ZERO,
+            transfer_retries: 7,
+            transfer_giveups: 1,
+            migration_retries: 3,
+            migration_giveups: 0,
+            emergency_evictions: 5,
+            fault_jitter_cycles: 42,
+            traces: Vec::new(),
+        }
+    }
+
     #[test]
     fn duplicate_submissions_simulate_once() {
         let exec = Executor::new(2);
@@ -666,6 +976,7 @@ mod tests {
         let b = second.run_one(&w, opts);
         assert_eq!(second.runs_executed(), 0);
         assert_eq!(second.cache_hits(), 1);
+        assert_eq!(second.quarantined_entries(), 0);
         assert_eq!(a.total_time, b.total_time);
         assert_eq!(a.far_faults, b.far_faults);
         assert_eq!(
@@ -700,35 +1011,44 @@ mod tests {
     }
 
     #[test]
-    fn spill_decode_rejects_garbage_and_version_skew() {
-        assert!(spill::decode("not json").is_none());
-        assert!(spill::decode("{}").is_none());
-        let good = spill::encode(&RunResult {
-            name: "x\"y\\z".into(),
-            total_time: Duration::from_cycles(10),
-            kernel_times: vec![Duration::from_cycles(10)],
-            footprint: Bytes::mib(1),
-            capacity: None,
-            far_faults: 1,
-            pages_migrated: 2,
-            pages_prefetched: 1,
-            pages_evicted: 0,
-            pages_thrashed: 0,
-            prefetched_used: 1,
-            prefetched_wasted: 0,
-            clean_pages_written_back: 0,
-            read_bandwidth_gbps: 3.25,
-            write_bandwidth_gbps: 0.0,
-            read_transfers_4k: 1,
-            read_transfers: 2,
-            read_bytes: Bytes::kib(8),
-            write_bytes: Bytes::ZERO,
-            traces: Vec::new(),
-        });
-        let parsed = spill::decode(&good).expect("round trip");
+    fn spill_entry_round_trips_and_rejects_corruption() {
+        assert!(spill::decode_entry("not a spill entry").is_none());
+        assert!(spill::decode_entry("uvmspill v2 crc=zzz\n{}").is_none());
+        let good = spill::encode_entry(&sample_result());
+        assert!(good.starts_with("uvmspill v2 crc="));
+        let parsed = spill::decode_entry(&good).expect("round trip");
         assert_eq!(parsed.name, "x\"y\\z");
         assert_eq!(parsed.read_bandwidth_gbps, 3.25);
-        let skewed = good.replace("\"v\":1", "\"v\":999");
-        assert!(spill::decode(&skewed).is_none());
+        assert_eq!(parsed.transfer_retries, 7);
+        assert_eq!(parsed.emergency_evictions, 5);
+        assert_eq!(parsed.fault_jitter_cycles, 42);
+
+        // Version skew in the header.
+        let skewed = good.replacen("uvmspill v2 ", "uvmspill v999 ", 1);
+        assert!(spill::decode_entry(&skewed).is_none());
+
+        // A single flipped character in the body fails the checksum.
+        let flipped = good.replacen("\"far_faults\":1", "\"far_faults\":9", 1);
+        assert_ne!(flipped, good);
+        assert!(spill::decode_entry(&flipped).is_none());
+
+        // Truncation (crash mid-write without the atomic rename)
+        // fails the checksum too.
+        let truncated = &good[..good.len() - 4];
+        assert!(spill::decode_entry(truncated).is_none());
+    }
+
+    #[test]
+    fn spill_checksum_covers_the_exact_body() {
+        // The header commits to the body: moving the entry's bytes
+        // around is detected even when both halves stay well-formed.
+        let a = spill::encode_entry(&sample_result());
+        let mut other = sample_result();
+        other.far_faults = 99;
+        let b = spill::encode_entry(&other);
+        let (header_a, _) = a.split_once('\n').unwrap();
+        let (_, body_b) = b.split_once('\n').unwrap();
+        let franken = format!("{header_a}\n{body_b}");
+        assert!(spill::decode_entry(&franken).is_none());
     }
 }

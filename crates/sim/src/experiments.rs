@@ -14,7 +14,7 @@
 //! pool, and memoizes results — so `all_experiments` costs far fewer
 //! simulations than the per-figure run counts suggest.
 
-use uvm_core::{AllocTree, EvictPolicy, PrefetchPolicy};
+use uvm_core::{AllocTree, EvictPolicy, FaultPlan, PrefetchPolicy};
 use uvm_types::{BasicBlockId, Bytes, TreeExtent};
 use uvm_workloads::{
     standard_suite, Backprop, Bfs, Gaussian, Hotspot, NeedlemanWunsch, Pathfinder, Srad, Workload,
@@ -771,6 +771,72 @@ pub fn prefetch_accuracy_ablation(exec: &Executor, scale: Scale) -> Table {
                 r.prefetched_wasted.to_string(),
                 fmt(accuracy),
                 r.clean_pages_written_back.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Ablation: fault sensitivity of the Fig. 11 prefetcher × evictor
+/// combinations at 110 % over-subscription. Each combination runs
+/// once clean ([`FaultPlan::none`]) and once under `plan`; the table
+/// reports the slowdown plus the per-category injection counters, so
+/// the robustness ranking of the policy pairs can be compared against
+/// their clean ranking.
+pub fn fault_injection_ablation(exec: &Executor, scale: Scale, plan: FaultPlan) -> Table {
+    let suite = suite(scale);
+    let mut batch = exec.plan();
+    for w in &suite {
+        for (_, prefetch, evict, disable) in COMBOS {
+            let base = RunOptions::default()
+                .with_prefetch(prefetch)
+                .with_evict(evict)
+                .with_memory_frac(1.10)
+                .with_disable_prefetch_on_oversubscription(disable);
+            batch.submit(w.as_ref(), base.clone());
+            batch.submit(w.as_ref(), base.with_fault_plan(plan));
+        }
+    }
+    let mut results = batch.execute().into_iter();
+
+    let mut t = Table::new(
+        format!(
+            "Ablation: fault-injection sensitivity (110%, seed {:#x})",
+            plan.seed
+        ),
+        &[
+            "benchmark",
+            "combo",
+            "clean_ms",
+            "faulty_ms",
+            "slowdown",
+            "transfer_retries",
+            "transfer_giveups",
+            "migration_retries",
+            "migration_giveups",
+            "emergency_evictions",
+        ],
+    );
+    for w in &suite {
+        for (label, _, _, _) in COMBOS {
+            let clean = results.next().expect("plan covers every cell");
+            let faulty = results.next().expect("plan covers every cell");
+            let slowdown = if clean.total_ms() > 0.0 {
+                faulty.total_ms() / clean.total_ms()
+            } else {
+                1.0
+            };
+            t.row_owned(vec![
+                w.name().to_string(),
+                label.to_string(),
+                fmt(clean.total_ms()),
+                fmt(faulty.total_ms()),
+                fmt(slowdown),
+                faulty.transfer_retries.to_string(),
+                faulty.transfer_giveups.to_string(),
+                faulty.migration_retries.to_string(),
+                faulty.migration_giveups.to_string(),
+                faulty.emergency_evictions.to_string(),
             ]);
         }
     }

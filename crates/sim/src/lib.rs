@@ -28,6 +28,7 @@
 //! assert!(result.far_faults > 0);
 //! ```
 
+mod error;
 mod exec;
 mod pattern;
 mod run;
@@ -35,6 +36,7 @@ mod table;
 
 pub mod experiments;
 
+pub use error::{ExecutionReport, RunError};
 pub use exec::{Executor, Plan, RunKey};
 pub use pattern::{PatternClass, PatternSummary};
 pub use run::{measure_footprint, run_workload, RunOptions, RunResult};

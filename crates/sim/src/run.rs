@@ -1,6 +1,6 @@
 //! Single-run driver: one workload under one configuration.
 
-use uvm_core::{EvictPolicy, Gmmu, PrefetchPolicy, UvmConfig};
+use uvm_core::{EvictPolicy, FaultPlan, Gmmu, PrefetchPolicy, UvmConfig};
 use uvm_gpu::{Engine, GpuConfig, TraceEvent};
 use uvm_types::{Bytes, Duration};
 use uvm_workloads::Workload;
@@ -40,6 +40,9 @@ pub struct RunOptions {
     pub writeback_dirty_only: bool,
     /// RNG seed for random policies.
     pub rng_seed: u64,
+    /// Deterministic fault-injection plan ([`FaultPlan::none`] by
+    /// default — nothing injected, no RNG drawn).
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for RunOptions {
@@ -56,6 +59,7 @@ impl Default for RunOptions {
             fault_lanes: None,
             writeback_dirty_only: false,
             rng_seed: 0x5eed,
+            fault_plan: FaultPlan::none(),
         }
     }
 }
@@ -128,6 +132,12 @@ impl RunOptions {
         self.rng_seed = seed;
         self
     }
+
+    /// Sets the fault-injection plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
 }
 
 /// Measurements from one simulation run — the raw material of every
@@ -173,6 +183,18 @@ pub struct RunResult {
     pub read_bytes: Bytes,
     /// Total bytes moved device→host.
     pub write_bytes: Bytes,
+    /// Injected PCI-e transfer replays (both link directions).
+    pub transfer_retries: u64,
+    /// Injected transfers whose replay budget ran out.
+    pub transfer_giveups: u64,
+    /// Injected transient migration failures replayed as faults.
+    pub migration_retries: u64,
+    /// Injected migrations whose replay budget ran out.
+    pub migration_giveups: u64,
+    /// Pages evicted by the injected oversubscription pressure mode.
+    pub emergency_evictions: u64,
+    /// Total injected far-fault latency jitter, in cycles.
+    pub fault_jitter_cycles: u64,
     /// Per-kernel page-access traces, if requested.
     pub traces: Vec<Vec<TraceEvent>>,
 }
@@ -217,7 +239,8 @@ pub fn run_workload(workload: &dyn Workload, opts: RunOptions) -> RunResult {
         .with_prefetch(opts.prefetch)
         .with_evict(opts.evict)
         .with_disable_prefetch_on_oversubscription(opts.disable_prefetch_on_oversubscription)
-        .with_rng_seed(opts.rng_seed);
+        .with_rng_seed(opts.rng_seed)
+        .with_fault_plan(opts.fault_plan);
     if let Some(capacity) = capacity {
         cfg = cfg.with_capacity(capacity);
     }
@@ -279,6 +302,12 @@ pub fn run_workload(workload: &dyn Workload, opts: RunOptions) -> RunResult {
         read_transfers: read.transfers(),
         read_bytes: read.bytes,
         write_bytes: write.bytes,
+        transfer_retries: stats.fault_injection.transfer_retries,
+        transfer_giveups: stats.fault_injection.transfer_giveups,
+        migration_retries: stats.fault_injection.migration_retries,
+        migration_giveups: stats.fault_injection.migration_giveups,
+        emergency_evictions: stats.fault_injection.emergency_evictions,
+        fault_jitter_cycles: stats.fault_injection.jitter_cycles,
         traces,
     }
 }

@@ -2,7 +2,7 @@
 //! determinism, cross-figure deduplication, `RunKey` stability, the
 //! `RunOptions` builder surface, and spill-based resumption.
 
-use uvm_core::{EvictPolicy, PrefetchPolicy};
+use uvm_core::{EvictPolicy, FaultPlan, PrefetchPolicy};
 use uvm_gpu::GpuConfig;
 use uvm_sim::experiments::{
     eviction_isolation, policy_combinations, prefetcher_sweep, suite, Scale,
@@ -90,6 +90,15 @@ fn run_key_is_stable_and_field_sensitive() {
             base.clone().with_writeback_dirty_only(true),
         ),
         ("rng_seed", base.clone().with_rng_seed(7)),
+        (
+            "fault_plan",
+            base.clone().with_fault_plan(FaultPlan::pcie_flaky()),
+        ),
+        (
+            "fault_plan seed",
+            base.clone()
+                .with_fault_plan(FaultPlan::pcie_flaky().with_seed(9)),
+        ),
     ];
 
     let base_key = RunKey::new(&w, &base);
@@ -132,7 +141,8 @@ fn builders_cover_every_field() {
         .with_trace(true)
         .with_fault_lanes(4)
         .with_writeback_dirty_only(true)
-        .with_rng_seed(42);
+        .with_rng_seed(42)
+        .with_fault_plan(FaultPlan::chaos());
     assert_eq!(o.prefetch, PrefetchPolicy::Random);
     assert_eq!(o.evict, EvictPolicy::SequentialLocal);
     assert_eq!(o.memory_frac, Some(1.25));
@@ -144,9 +154,11 @@ fn builders_cover_every_field() {
     assert_eq!(o.fault_lanes, Some(4));
     assert!(o.writeback_dirty_only);
     assert_eq!(o.rng_seed, 42);
+    assert_eq!(o.fault_plan, FaultPlan::chaos());
 
     assert_ne!(format!("{:?}", d.gpu), format!("{:?}", o.gpu));
     assert!(!d.trace && d.fault_lanes.is_none());
+    assert!(d.fault_plan.is_none());
 }
 
 /// A fresh executor pointed at a populated spill directory resumes

@@ -1,0 +1,105 @@
+//! Property tests of the deterministic fault-injection layer: a fault
+//! plan is part of the run's identity, so the same seed must
+//! reproduce the same result bit for bit — across repeated runs,
+//! across worker counts — and an inert plan must change nothing.
+
+use uvm_core::{EvictPolicy, FaultPlan, PrefetchPolicy};
+use uvm_sim::{run_workload, Executor, RunOptions, RunResult};
+use uvm_workloads::{Hotspot, LinearSweep};
+
+fn oversubscribed(plan: FaultPlan) -> RunOptions {
+    RunOptions::default()
+        .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
+        .with_evict(EvictPolicy::LruPage)
+        .with_memory_frac(1.10)
+        .with_fault_plan(plan)
+}
+
+fn hotspot() -> Hotspot {
+    Hotspot {
+        rows: 512,
+        iterations: 3,
+        rows_per_block: 16,
+    }
+}
+
+fn sweep() -> LinearSweep {
+    LinearSweep {
+        pages: 256,
+        repeats: 2,
+        thread_blocks: 4,
+    }
+}
+
+/// The `Debug` rendering covers every `RunResult` field, so equal
+/// renderings mean byte-identical stats.
+fn fingerprint(r: &RunResult) -> String {
+    format!("{r:?}")
+}
+
+#[test]
+fn same_seed_reproduces_byte_identical_stats() {
+    let plan = FaultPlan::chaos().with_seed(0xD00D);
+    let a = run_workload(&hotspot(), oversubscribed(plan));
+    let b = run_workload(&hotspot(), oversubscribed(plan));
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert!(
+        a.transfer_retries > 0
+            || a.migration_retries > 0
+            || a.emergency_evictions > 0
+            || a.fault_jitter_cycles > 0,
+        "chaos on an oversubscribed run must inject something"
+    );
+
+    // A different seed draws a different fault schedule.
+    let c = run_workload(&hotspot(), oversubscribed(plan.with_seed(0xBEEF)));
+    assert_ne!(fingerprint(&a), fingerprint(&c));
+}
+
+#[test]
+fn inert_plan_is_indistinguishable_from_no_plan() {
+    // Zero-probability plans draw no randomness, so the seed is
+    // irrelevant and the result matches a run that never heard of
+    // fault injection.
+    let plain = run_workload(&sweep(), oversubscribed(FaultPlan::none()));
+    let seeded = run_workload(&sweep(), oversubscribed(FaultPlan::none().with_seed(123)));
+    assert_eq!(fingerprint(&plain), fingerprint(&seeded));
+    assert_eq!(plain.transfer_retries, 0);
+    assert_eq!(plain.migration_retries, 0);
+    assert_eq!(plain.emergency_evictions, 0);
+    assert_eq!(plain.fault_jitter_cycles, 0);
+
+    let untouched = {
+        let opts = RunOptions::default()
+            .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
+            .with_evict(EvictPolicy::LruPage)
+            .with_memory_frac(1.10);
+        run_workload(&sweep(), opts)
+    };
+    assert_eq!(fingerprint(&plain), fingerprint(&untouched));
+}
+
+#[test]
+fn worker_count_does_not_change_faulty_results() {
+    let plan = FaultPlan::chaos();
+    let run_fleet = |jobs: usize| -> Vec<String> {
+        let exec = Executor::new(jobs);
+        let w = sweep();
+        let mut p = exec.plan();
+        for seed in 0..6u64 {
+            p.submit(&w, oversubscribed(plan.with_seed(seed)));
+        }
+        p.execute().iter().map(|r| fingerprint(r)).collect()
+    };
+    assert_eq!(run_fleet(1), run_fleet(8));
+}
+
+#[test]
+fn every_profile_is_deterministic_per_seed() {
+    for name in FaultPlan::PROFILE_NAMES {
+        let plan = FaultPlan::from_name(name).unwrap().with_seed(0x5eed);
+        let a = run_workload(&sweep(), oversubscribed(plan));
+        let b = run_workload(&sweep(), oversubscribed(plan));
+        assert_eq!(fingerprint(&a), fingerprint(&b), "profile {name}");
+    }
+}

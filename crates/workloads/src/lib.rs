@@ -61,8 +61,10 @@ use uvm_types::{Bytes, VirtAddr, PAGE_SIZE};
 ///
 /// Workloads are `Debug + Send + Sync` so the experiment executor can
 /// (a) derive a canonical identity for run deduplication and caching,
-/// and (b) simulate them from a worker pool.
-pub trait Workload: std::fmt::Debug + Send + Sync {
+/// and (b) simulate them from a worker pool. They are also clonable as
+/// trait objects (via [`WorkloadClone`]) so the executor can move an
+/// owned copy into a watchdog thread for timeout-isolated runs.
+pub trait Workload: std::fmt::Debug + Send + Sync + WorkloadClone {
     /// Benchmark name as used in the paper's figures.
     fn name(&self) -> &'static str;
 
@@ -75,6 +77,26 @@ pub trait Workload: std::fmt::Debug + Send + Sync {
     /// rendering satisfies this for plain parameter structs.
     fn signature(&self) -> String {
         format!("{self:?}")
+    }
+}
+
+/// Object-safe cloning for boxed workloads. Blanket-implemented for
+/// every `Clone` workload; parameter structs get it for free from
+/// `#[derive(Clone)]`.
+pub trait WorkloadClone {
+    /// Clones `self` into a fresh boxed trait object.
+    fn clone_box(&self) -> Box<dyn Workload>;
+}
+
+impl<T: Workload + Clone + 'static> WorkloadClone for T {
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn Workload> {
+    fn clone(&self) -> Self {
+        self.clone_box()
     }
 }
 
