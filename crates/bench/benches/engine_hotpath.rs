@@ -1,0 +1,278 @@
+//! Micro-benchmarks of the engine's per-run hot path: per-SM TLB
+//! lookup/fill/invalidate, the eviction shootdown broadcast, the event
+//! queue, and the fig5-style end-to-end single-run path.
+//!
+//! Run with `cargo bench -p uvm-bench --bench engine_hotpath`; set
+//! `UVM_BENCH_JSON=BENCH_engine.json` to also emit the JSON report the
+//! CI `perf-smoke` job tracks.
+
+use std::hint::black_box;
+
+use uvm_bench::harness::Bench;
+use uvm_core::{EvictPolicy, PrefetchPolicy};
+use uvm_mem::{ReferenceTlb, ShootdownDirectory, Tlb};
+use uvm_sim::{run_workload, RunOptions};
+use uvm_types::PageId;
+use uvm_workloads::Hotspot;
+
+/// Paper Table 2 scale: 28 SMs, 64-entry fully associative TLBs.
+const NUM_SMS: usize = 28;
+const TLB_ENTRIES: usize = 64;
+
+/// 4096 pseudo-random resident pages (xorshift), for scattered-hit
+/// patterns.
+fn hit_pattern() -> Vec<PageId> {
+    let mut state = 0x9e37_79b9u64;
+    (0..4096)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            PageId::new(state % TLB_ENTRIES as u64)
+        })
+        .collect()
+}
+
+fn full_tlb() -> Tlb {
+    let mut tlb = Tlb::new(TLB_ENTRIES);
+    for i in 0..TLB_ENTRIES as u64 {
+        tlb.fill(PageId::new(i));
+    }
+    tlb
+}
+
+fn full_reference_tlb() -> ReferenceTlb {
+    let mut tlb = ReferenceTlb::new(TLB_ENTRIES);
+    for i in 0..TLB_ENTRIES as u64 {
+        tlb.fill(PageId::new(i));
+    }
+    tlb
+}
+
+fn bench_tlb(b: &Bench) {
+    // Hit path, in recency order: each hit lands at the LRU front —
+    // the scan's best case.
+    let mut tlb = full_tlb();
+    let mut i = 0u64;
+    b.bench("tlb/lookup_hit_64_mru_order", || {
+        let hit = tlb.lookup(PageId::new(i % TLB_ENTRIES as u64));
+        i += 1;
+        black_box(hit);
+    });
+
+    // Hit path, scattered: pseudo-random touches land all over the
+    // recency list (the average case of real kernels, ~capacity/2
+    // scanned). The pattern table is precomputed so both TLB
+    // representations pay the same driver overhead.
+    let mut tlb = full_tlb();
+    let pattern = hit_pattern();
+    let mut i = 0usize;
+    b.bench("tlb/lookup_hit_64_scattered", || {
+        let hit = tlb.lookup(pattern[i % pattern.len()]);
+        i += 1;
+        black_box(hit);
+    });
+
+    // Miss path: probe pages that are never resident.
+    let mut tlb = full_tlb();
+    let mut i = 0u64;
+    b.bench("tlb/lookup_miss_64", || {
+        let miss = tlb.lookup(PageId::new(1000 + (i % 1024)));
+        i += 1;
+        black_box(miss);
+    });
+
+    // Fill at capacity: every fill evicts the LRU entry.
+    let mut tlb = full_tlb();
+    let mut i = 0u64;
+    b.bench("tlb/fill_evict_64", || {
+        tlb.fill(PageId::new(100 + (i % 1024)));
+        i += 1;
+    });
+
+    // The shootdown broadcast the engine used to perform per evicted
+    // page: one invalidate against each of the 28 SM TLBs (half of
+    // which actually hold the page, alternating so state stays in a
+    // steady cycle of invalidate + refill).
+    let mut tlbs: Vec<Tlb> = (0..NUM_SMS).map(|_| full_tlb()).collect();
+    let mut i = 0u64;
+    b.bench("tlb/shootdown_broadcast_28sms", || {
+        let page = PageId::new(i % TLB_ENTRIES as u64);
+        for tlb in &mut tlbs {
+            tlb.invalidate(page);
+        }
+        for (s, tlb) in tlbs.iter_mut().enumerate() {
+            if s % 2 == 0 {
+                tlb.fill(page);
+            }
+        }
+        i += 1;
+    });
+
+    // What the engine does now: generation bump + targeted drain over
+    // the holder set (same steady state — half the SMs hold the page).
+    let mut tlbs: Vec<Tlb> = (0..NUM_SMS).map(|_| full_tlb()).collect();
+    let mut dir = ShootdownDirectory::new(NUM_SMS);
+    for p in 0..TLB_ENTRIES as u64 {
+        for (s, _) in tlbs.iter().enumerate() {
+            dir.note_fill(PageId::new(p), s);
+        }
+    }
+    let mut i = 0u64;
+    b.bench("tlb/shootdown_directory_28sms", || {
+        let page = PageId::new(i % TLB_ENTRIES as u64);
+        dir.bump(page);
+        dir.drain_holders(page, |s| {
+            tlbs[s].invalidate(page);
+        });
+        for (s, tlb) in tlbs.iter_mut().enumerate() {
+            if s % 2 == 0 {
+                tlb.fill(page);
+                dir.note_fill(page, s);
+            }
+        }
+        i += 1;
+    });
+}
+
+/// The previous `VecDeque` TLB on the same patterns, for head-to-head
+/// before/after numbers in one run.
+fn bench_reference_tlb(b: &Bench) {
+    let mut tlb = full_reference_tlb();
+    let pattern = hit_pattern();
+    let mut i = 0usize;
+    b.bench("tlb_ref/lookup_hit_64_scattered", || {
+        let hit = tlb.lookup(pattern[i % pattern.len()]);
+        i += 1;
+        black_box(hit);
+    });
+
+    let mut tlb = full_reference_tlb();
+    let mut i = 0u64;
+    b.bench("tlb_ref/lookup_miss_64", || {
+        let miss = tlb.lookup(PageId::new(1000 + (i % 1024)));
+        i += 1;
+        black_box(miss);
+    });
+
+    let mut tlb = full_reference_tlb();
+    let mut i = 0u64;
+    b.bench("tlb_ref/fill_evict_64", || {
+        tlb.fill(PageId::new(100 + (i % 1024)));
+        i += 1;
+    });
+
+    let mut tlbs: Vec<ReferenceTlb> = (0..NUM_SMS).map(|_| full_reference_tlb()).collect();
+    let mut i = 0u64;
+    b.bench("tlb_ref/shootdown_broadcast_28sms", || {
+        let page = PageId::new(i % TLB_ENTRIES as u64);
+        for tlb in &mut tlbs {
+            tlb.invalidate(page);
+        }
+        for (s, tlb) in tlbs.iter_mut().enumerate() {
+            if s % 2 == 0 {
+                tlb.fill(page);
+            }
+        }
+        i += 1;
+    });
+}
+
+/// The engine's event-queue churn pattern: a near-monotone stream of
+/// (cycle, seq) events — mostly short hops (TLB-hit latency), a few
+/// long fault-latency hops — pushed and popped through the priority
+/// structure. Models ~224 in-flight warp events (28 SMs x 8 blocks).
+fn bench_queue(b: &Bench) {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    use uvm_gpu::EventQueue;
+    use uvm_types::Cycle;
+
+    const WARPS: u64 = 224;
+    b.bench("queue/binaryheap_churn_224warps", || {
+        let mut q: BinaryHeap<Reverse<(Cycle, u64, usize)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for w in 0..WARPS {
+            q.push(Reverse((Cycle::ZERO, seq, w as usize)));
+            seq += 1;
+        }
+        let mut popped = 0u64;
+        while let Some(Reverse((t, _, w))) = q.pop() {
+            popped += 1;
+            if popped >= 20_000 {
+                break;
+            }
+            // 1-in-64 events take the far-fault hop, the rest the
+            // TLB-hit hop — the engine's actual latency mix.
+            let hop = if popped.is_multiple_of(64) {
+                66_645
+            } else {
+                321
+            };
+            q.push(Reverse((Cycle::new(t.index() + hop), seq, w)));
+            seq += 1;
+        }
+        black_box(popped);
+    });
+
+    // Same churn through the calendar queue the engine uses now.
+    b.bench("queue/calendar_churn_224warps", || {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        for w in 0..WARPS {
+            q.push(Cycle::ZERO, w as usize);
+        }
+        let mut popped = 0u64;
+        while let Some((t, w)) = q.pop() {
+            popped += 1;
+            if popped >= 20_000 {
+                break;
+            }
+            let hop = if popped.is_multiple_of(64) {
+                66_645
+            } else {
+                321
+            };
+            q.push(Cycle::new(t.index() + hop), w);
+        }
+        black_box(popped);
+    });
+}
+
+/// End-to-end single-run path (the floor under every figure binary):
+/// the golden-fixture hotspot workload at 110 % over-subscription.
+fn bench_single_run(b: &Bench) {
+    let w = Hotspot {
+        rows: 512,
+        iterations: 3,
+        rows_per_block: 16,
+    };
+    let opts = || {
+        RunOptions::default()
+            .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
+            .with_evict(EvictPolicy::LruPage)
+            .with_memory_frac(1.10)
+    };
+    b.bench("engine/single_run_hotspot_tbnp_lru4k", || {
+        black_box(run_workload(&w, opts()));
+    });
+
+    let opts_slp = || {
+        RunOptions::default()
+            .with_prefetch(PrefetchPolicy::SequentialLocal)
+            .with_evict(EvictPolicy::SequentialLocal)
+            .with_memory_frac(1.10)
+    };
+    b.bench("engine/single_run_hotspot_slp_sle", || {
+        black_box(run_workload(&w, opts_slp()));
+    });
+}
+
+fn main() {
+    let b = Bench::from_args();
+    bench_tlb(&b);
+    bench_reference_tlb(&b);
+    bench_queue(&b);
+    bench_single_run(&b);
+    b.write_json_from_env("engine_hotpath")
+        .expect("write bench JSON report");
+}

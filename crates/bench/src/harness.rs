@@ -7,6 +7,9 @@
 //! `iter_batched`, per-iteration setup is timed along with the body —
 //! the bench closures here keep setup either hoisted or cheap.
 
+use std::cell::RefCell;
+use std::io::Write;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Target wall-clock time per timed batch.
@@ -19,6 +22,8 @@ const SAMPLES: u32 = 3;
 /// [`bench`](Self::bench) per case.
 pub struct Bench {
     filter: Option<String>,
+    /// Every `(name, best ns/iter)` measured so far, for JSON export.
+    results: RefCell<Vec<(String, f64)>>,
 }
 
 impl Bench {
@@ -28,6 +33,7 @@ impl Bench {
     pub fn from_args() -> Self {
         Bench {
             filter: std::env::args().skip(1).find(|a| !a.starts_with('-')),
+            results: RefCell::new(Vec::new()),
         }
     }
 
@@ -75,7 +81,39 @@ impl Bench {
         };
 
         println!("{name:<48} {:>15} ns/iter", group_digits(ns.round() as u64));
+        self.results.borrow_mut().push((name.to_string(), ns));
         Some(ns)
+    }
+
+    /// Writes every result measured so far as a JSON report (the CI
+    /// `perf-smoke` trend artifact). If the `UVM_BENCH_JSON` environment
+    /// variable is set, [`write_json_from_env`](Self::write_json_from_env)
+    /// routes the report there.
+    pub fn write_json(&self, suite: &str, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{{")?;
+        writeln!(f, "  \"suite\": \"{suite}\",")?;
+        writeln!(f, "  \"results\": [")?;
+        let results = self.results.borrow();
+        for (i, (name, ns)) in results.iter().enumerate() {
+            let comma = if i + 1 < results.len() { "," } else { "" };
+            writeln!(
+                f,
+                "    {{\"name\": \"{name}\", \"ns_per_iter\": {:.1}}}{comma}",
+                ns
+            )?;
+        }
+        writeln!(f, "  ]")?;
+        writeln!(f, "}}")
+    }
+
+    /// Writes the JSON report to `$UVM_BENCH_JSON` when that variable
+    /// is set; a silent no-op otherwise (plain `cargo bench` runs).
+    pub fn write_json_from_env(&self, suite: &str) -> std::io::Result<()> {
+        match std::env::var_os("UVM_BENCH_JSON") {
+            Some(path) => self.write_json(suite, Path::new(&path)),
+            None => Ok(()),
+        }
     }
 }
 
@@ -103,9 +141,16 @@ mod tests {
         assert_eq!(group_digits(1234567), "1,234,567");
     }
 
+    fn bench_with_filter(filter: Option<String>) -> Bench {
+        Bench {
+            filter,
+            results: RefCell::new(Vec::new()),
+        }
+    }
+
     #[test]
     fn bench_runs_and_reports() {
-        let b = Bench { filter: None };
+        let b = bench_with_filter(None);
         let mut count = 0u64;
         let ns = b.bench("harness_selftest", || count += 1);
         assert!(ns.is_some_and(|ns| ns >= 0.0));
@@ -114,11 +159,24 @@ mod tests {
 
     #[test]
     fn filter_skips_nonmatching() {
-        let b = Bench {
-            filter: Some("nomatch".into()),
-        };
+        let b = bench_with_filter(Some("nomatch".into()));
         let mut ran = false;
         assert!(b.bench("something_else", || ran = true).is_none());
         assert!(!ran);
+    }
+
+    #[test]
+    fn json_report_round_trips() {
+        let b = bench_with_filter(None);
+        b.bench("case_a", || {
+            std::hint::black_box(1 + 1);
+        });
+        let path = std::env::temp_dir().join("uvm_bench_selftest.json");
+        b.write_json("selftest", &path).expect("write report");
+        let report = std::fs::read_to_string(&path).expect("read report");
+        let _ = std::fs::remove_file(&path);
+        assert!(report.contains("\"suite\": \"selftest\""));
+        assert!(report.contains("\"name\": \"case_a\""));
+        assert!(report.contains("ns_per_iter"));
     }
 }

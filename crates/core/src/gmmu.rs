@@ -61,6 +61,14 @@ impl FaultResolution {
     pub fn fault_page_ready(&self) -> Cycle {
         self.ready.first().expect("fault page always migrated").1
     }
+
+    /// The pages whose cached TLB translations must be shot down: every
+    /// page this fault evicted. The engine services these through its
+    /// shootdown directory (generation bump + holder-slot reclamation)
+    /// rather than an all-TLB broadcast.
+    pub fn shootdowns(&self) -> &[PageId] {
+        &self.evicted
+    }
 }
 
 /// The GMMU and UVM software-runtime model.

@@ -1,13 +1,20 @@
 //! The discrete-event engine: SMs, warp actors, TLBs, fault replay.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//!
+//! The per-event hot path is allocation-free and O(1) per step: warp
+//! events flow through a calendar [`EventQueue`], access streams are
+//! pre-compiled into an engine-owned arena walked by cursor, per-SM
+//! TLB operations are hash-indexed, and eviction shootdowns consult a
+//! [`ShootdownDirectory`] so only the TLBs actually holding a page are
+//! touched. See DESIGN.md §7 for the design and its exactness
+//! argument — the schedules produced are bit-identical to the original
+//! heap-and-scan implementation.
 
 use uvm_core::Gmmu;
-use uvm_mem::{RadixWalkModel, Tlb, TlbLookup};
+use uvm_mem::{RadixWalkModel, ShootdownDirectory, Tlb, TlbLookup};
 use uvm_types::{Cycle, Duration, PageId};
 
 use crate::kernel::{Access, KernelSpec};
+use crate::queue::EventQueue;
 
 /// One completed page access in a captured trace (the raw data of the
 /// paper's Fig. 12 scatter, with warp attribution for per-warp
@@ -72,9 +79,12 @@ pub struct KernelResult {
     pub end: Cycle,
 }
 
-/// State of one warp actor.
+/// State of one warp actor: a cursor over its arena chunk.
 struct WarpState {
-    accesses: Box<dyn Iterator<Item = Access> + Send>,
+    /// Next access to issue, as an index into the engine's arena.
+    cursor: usize,
+    /// One past the warp's last arena index.
+    end: usize,
     /// The access currently being attempted (replayed after a fault).
     current: Option<Access>,
     /// SM this warp's thread block runs on.
@@ -92,9 +102,19 @@ pub struct Engine {
     gmmu: Gmmu,
     cfg: GpuConfig,
     tlbs: Vec<Tlb>,
+    /// Per-page generation counters + TLB holder sets, replacing the
+    /// all-SM invalidate broadcast on page eviction.
+    shootdown: ShootdownDirectory,
+    /// Warp event calendar, reused (empty) across kernel launches.
+    queue: EventQueue<usize>,
+    /// Flattened access streams of the running kernel; storage reused
+    /// across launches.
+    arena: Vec<Access>,
     walker: Option<RadixWalkModel>,
     now: Cycle,
     trace: Option<Vec<TraceEvent>>,
+    /// `UVM_DEBUG_FAULTS` presence, sampled once at construction.
+    debug_faults: bool,
 }
 
 impl Engine {
@@ -112,13 +132,18 @@ impl Engine {
         let walker = cfg
             .radix_walk
             .map(|(per_level, entries)| RadixWalkModel::new(per_level, entries));
+        let shootdown = ShootdownDirectory::new(cfg.num_sms);
         Engine {
             gmmu,
             cfg,
             tlbs,
+            shootdown,
+            queue: EventQueue::new(),
+            arena: Vec::new(),
             walker,
             now: Cycle::ZERO,
             trace: None,
+            debug_faults: std::env::var_os("UVM_DEBUG_FAULTS").is_some(),
         }
     }
 
@@ -146,9 +171,19 @@ impl Engine {
         }
     }
 
-    /// Takes the captured access trace, leaving capture enabled.
+    /// Takes the captured access trace, leaving capture enabled. The
+    /// next trace buffer is pre-sized from the taken trace's length,
+    /// so steady-state capture (one take per kernel) does not regrow
+    /// from zero capacity each launch.
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
-        self.trace.as_mut().map(std::mem::take).unwrap_or_default()
+        match &mut self.trace {
+            Some(trace) => {
+                let taken = std::mem::take(trace);
+                *trace = Vec::with_capacity(taken.len());
+                taken
+            }
+            None => Vec::new(),
+        }
     }
 
     /// Runs `kernel` to completion and returns its execution time.
@@ -159,19 +194,26 @@ impl Engine {
 
     /// Runs `kernel` to completion with a detailed result.
     pub fn run_kernel_detailed(&mut self, kernel: KernelSpec) -> KernelResult {
-        let name = kernel.name().to_owned();
         let start = self.now;
-        let blocks = kernel.into_blocks();
+        let mut arena = std::mem::take(&mut self.arena);
+        let compiled = kernel.compile_into(&mut arena);
+        self.arena = arena;
+        let name = compiled.name().to_owned();
+        if let Some(trace) = &mut self.trace {
+            trace.reserve(self.arena.len());
+        }
 
         // Dispatch: TBs are distributed round-robin; each SM runs at
         // most `blocks_per_sm` concurrently, starting queued TBs as
         // earlier ones finish.
-        let mut warps: Vec<WarpState> = Vec::with_capacity(blocks.len());
+        let mut warps: Vec<WarpState> = Vec::with_capacity(compiled.num_blocks());
         let mut sm_queues: Vec<Vec<usize>> = vec![Vec::new(); self.cfg.num_sms];
-        for (i, block) in blocks.into_iter().enumerate() {
+        for i in 0..compiled.num_blocks() {
             let sm = i % self.cfg.num_sms;
+            let (cursor, end) = compiled.chunk(i);
             warps.push(WarpState {
-                accesses: block.into_accesses(),
+                cursor,
+                end,
                 current: None,
                 sm,
                 done: false,
@@ -183,24 +225,24 @@ impl Engine {
             q.reverse();
         }
 
-        let mut queue: BinaryHeap<Reverse<(Cycle, u64, usize)>> = BinaryHeap::new();
-        let mut seq = 0u64;
-        let push = |queue: &mut BinaryHeap<_>, t: Cycle, w: usize, seq: &mut u64| {
-            queue.push(Reverse((t, *seq, w)));
-            *seq += 1;
-        };
+        debug_assert!(self.queue.is_empty(), "previous kernel drained the queue");
         let mut active_per_sm = vec![0usize; self.cfg.num_sms];
         for sm in 0..self.cfg.num_sms {
             while active_per_sm[sm] < self.cfg.blocks_per_sm {
                 let Some(w) = sm_queues[sm].pop() else { break };
                 active_per_sm[sm] += 1;
-                push(&mut queue, start, w, &mut seq);
+                self.queue.push(start, w);
             }
         }
 
         let mut end = start;
-        while let Some(Reverse((t, _, w))) = queue.pop() {
-            debug_assert!(t >= end || t >= start, "events must not go backwards");
+        let mut last_popped = start;
+        while let Some((t, w)) = self.queue.pop() {
+            debug_assert!(
+                t >= last_popped,
+                "event time went backwards: {t} after {last_popped}"
+            );
+            last_popped = t;
             if let Some(cap) = self.cfg.max_kernel_cycles {
                 let fi = &self.gmmu.stats().fault_injection;
                 assert!(
@@ -222,8 +264,9 @@ impl Engine {
             if warp.done {
                 continue;
             }
-            if warp.current.is_none() {
-                warp.current = warp.accesses.next();
+            if warp.current.is_none() && warp.cursor < warp.end {
+                warp.current = Some(self.arena[warp.cursor]);
+                warp.cursor += 1;
             }
             let Some(access) = warp.current else {
                 // Warp retired: start the next queued TB on its SM.
@@ -233,20 +276,21 @@ impl Engine {
                 active_per_sm[sm] -= 1;
                 if let Some(next) = sm_queues[sm].pop() {
                     active_per_sm[sm] += 1;
-                    push(&mut queue, t, next, &mut seq);
+                    self.queue.push(t, next);
                 }
                 continue;
             };
 
             let page = access.page();
             let sm = warp.sm;
-            match self.tlbs[sm].lookup(page) {
+            let generation = self.shootdown.generation(page);
+            match self.tlbs[sm].lookup_gen(page, generation) {
                 TlbLookup::Hit => {
                     // 1-cycle lookup + device memory access.
                     let done = t + Duration::from_cycles(1) + self.cfg.mem_latency;
                     self.complete_access(access, done, w);
                     warps[w].current = None;
-                    push(&mut queue, done + self.cfg.compute_delay, w, &mut seq);
+                    self.queue.push(done + self.cfg.compute_delay, w);
                 }
                 TlbLookup::Miss => {
                     let walk_latency = match &mut self.walker {
@@ -259,7 +303,7 @@ impl Engine {
                         // prefetches / evicts); the access replays when
                         // the faulty page's data arrives.
                         let res = self.gmmu.handle_fault(page, walked);
-                        if std::env::var_os("UVM_DEBUG_FAULTS").is_some() {
+                        if self.debug_faults {
                             eprintln!(
                                 "t={} w={w} fault pg{} ready={} evicted={}",
                                 t.index(),
@@ -268,23 +312,33 @@ impl Engine {
                                 res.evicted.len()
                             );
                         }
-                        for evicted in &res.evicted {
-                            for tlb in &mut self.tlbs {
-                                tlb.invalidate(*evicted);
-                            }
+                        for &evicted in res.shootdowns() {
+                            // New generation, then reclaim the holders'
+                            // slots so TLB occupancy matches an eager
+                            // broadcast exactly.
+                            self.shootdown.bump(evicted);
+                            let tlbs = &mut self.tlbs;
+                            self.shootdown.drain_holders(evicted, |unit| {
+                                tlbs[unit].invalidate(evicted);
+                            });
                         }
-                        push(&mut queue, res.fault_page_ready(), w, &mut seq);
+                        self.queue.push(res.fault_page_ready(), w);
                     } else if let Some(ready) = self.gmmu.ready_time(page, walked) {
                         // In-flight prefetch: stall until the data lands
                         // (the MSHR-merge path — the migration already
                         // has an owner).
-                        push(&mut queue, ready, w, &mut seq);
+                        self.queue.push(ready, w);
                     } else {
-                        self.tlbs[sm].fill(page);
+                        // The lookup above just missed, so the page is
+                        // certainly absent: take the no-reprobe fill.
+                        if let Some(victim) = self.tlbs[sm].fill_after_miss(page, generation) {
+                            self.shootdown.note_drop(victim, sm);
+                        }
+                        self.shootdown.note_fill(page, sm);
                         let done = walked + self.cfg.mem_latency;
                         self.complete_access(access, done, w);
                         warps[w].current = None;
-                        push(&mut queue, done + self.cfg.compute_delay, w, &mut seq);
+                        self.queue.push(done + self.cfg.compute_delay, w);
                     }
                 }
             }
@@ -526,6 +580,16 @@ mod tests {
         assert_eq!(s_clean, s_inert);
         assert!(s_clean.fault_injection.is_clean());
         assert!(t1 > t_clean, "injected faults cost time");
+    }
+
+    #[test]
+    fn arena_is_reused_across_kernels() {
+        let (mut e, base) = engine_with(UvmConfig::default(), Bytes::mib(1));
+        e.run_kernel(KernelSpec::new("a").with_block(seq_reads(base, 64)));
+        let cap = e.arena.capacity();
+        assert!(cap >= 64);
+        e.run_kernel(KernelSpec::new("b").with_block(seq_reads(base, 32)));
+        assert_eq!(e.arena.capacity(), cap, "smaller kernel reuses the arena");
     }
 
     #[test]

@@ -59,36 +59,47 @@ pub fn coalesce_pages(lane_addrs: &[VirtAddr]) -> Vec<PageId> {
 
 /// The access stream of one thread block (executed as one warp-actor
 /// by the engine).
+///
+/// Streams are stored flat: every workload's access pattern is finite
+/// and known at kernel-build time, so materialising it up front lets
+/// the engine compile all blocks into one reusable arena
+/// ([`KernelSpec::compile_into`]) and walk them by cursor, with zero
+/// per-access allocation or dynamic dispatch on the simulation hot
+/// path.
+#[derive(Clone, Debug)]
 pub struct ThreadBlockSpec {
-    accesses: Box<dyn Iterator<Item = Access> + Send>,
+    accesses: Vec<Access>,
 }
 
 impl ThreadBlockSpec {
-    /// Builds a thread block from any access iterator.
+    /// Builds a thread block from any access sequence.
     pub fn from_accesses<I>(accesses: I) -> Self
     where
         I: IntoIterator<Item = Access>,
-        I::IntoIter: Send + 'static,
     {
         ThreadBlockSpec {
-            accesses: Box::new(accesses.into_iter()),
+            accesses: accesses.into_iter().collect(),
         }
     }
 
-    /// Consumes the spec, yielding its access iterator.
-    pub fn into_accesses(self) -> Box<dyn Iterator<Item = Access> + Send> {
-        self.accesses
+    /// Number of accesses in the block's stream.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
     }
-}
 
-impl std::fmt::Debug for ThreadBlockSpec {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ThreadBlockSpec").finish_non_exhaustive()
+    /// `true` if the block issues no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Consumes the spec, yielding its access stream.
+    pub fn into_accesses(self) -> std::vec::IntoIter<Access> {
+        self.accesses.into_iter()
     }
 }
 
 /// One kernel launch: a named grid of thread blocks.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct KernelSpec {
     name: String,
     blocks: Vec<ThreadBlockSpec>,
@@ -124,9 +135,57 @@ impl KernelSpec {
         self.blocks.len()
     }
 
+    /// Total accesses across every block.
+    pub fn total_accesses(&self) -> usize {
+        self.blocks.iter().map(|b| b.len()).sum()
+    }
+
     /// Consumes the kernel, yielding its blocks.
     pub fn into_blocks(self) -> Vec<ThreadBlockSpec> {
         self.blocks
+    }
+
+    /// Flattens every block's stream into `arena` (cleared first, so an
+    /// engine-owned arena's allocation is reused across kernels),
+    /// returning the kernel's per-block chunk table.
+    pub fn compile_into(self, arena: &mut Vec<Access>) -> CompiledKernel {
+        arena.clear();
+        arena.reserve(self.total_accesses());
+        let mut chunks = Vec::with_capacity(self.blocks.len());
+        for block in self.blocks {
+            let start = arena.len();
+            arena.extend_from_slice(&block.accesses);
+            chunks.push((start, arena.len()));
+        }
+        CompiledKernel {
+            name: self.name,
+            chunks,
+        }
+    }
+}
+
+/// A kernel flattened into an access arena: each block is a
+/// `(start, end)` window the engine walks by cursor.
+#[derive(Clone, Debug)]
+pub struct CompiledKernel {
+    name: String,
+    chunks: Vec<(usize, usize)>,
+}
+
+impl CompiledKernel {
+    /// The kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of thread blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Block `i`'s `(start, end)` window into the arena.
+    pub fn chunk(&self, i: usize) -> (usize, usize) {
+        self.chunks[i]
     }
 }
 
@@ -164,11 +223,38 @@ mod tests {
             )]));
         assert_eq!(k.name(), "k");
         assert_eq!(k.num_blocks(), 2);
+        assert_eq!(k.total_accesses(), 1);
         let blocks = k.into_blocks();
         assert_eq!(blocks.len(), 2);
         assert_eq!(
             blocks.into_iter().nth(1).unwrap().into_accesses().count(),
             1
         );
+    }
+
+    #[test]
+    fn compile_flattens_blocks_and_reuses_arena() {
+        let mk = |lo: u64, n: u64| {
+            ThreadBlockSpec::from_accesses((lo..lo + n).map(|i| Access::read(VirtAddr::new(i))))
+        };
+        let k = KernelSpec::new("k")
+            .with_block(mk(0, 3))
+            .with_block(mk(10, 2));
+        let mut arena = Vec::new();
+        let c = k.compile_into(&mut arena);
+        assert_eq!(c.name(), "k");
+        assert_eq!(c.num_blocks(), 2);
+        assert_eq!(c.chunk(0), (0, 3));
+        assert_eq!(c.chunk(1), (3, 5));
+        assert_eq!(arena.len(), 5);
+        assert_eq!(arena[3], Access::read(VirtAddr::new(10)));
+
+        // A second kernel reuses the arena storage.
+        let cap = arena.capacity();
+        let c2 = KernelSpec::new("k2")
+            .with_block(mk(0, 4))
+            .compile_into(&mut arena);
+        assert_eq!(c2.chunk(0), (0, 4));
+        assert!(arena.capacity() >= cap);
     }
 }

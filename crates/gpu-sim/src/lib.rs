@@ -35,6 +35,8 @@
 
 mod engine;
 mod kernel;
+mod queue;
 
 pub use engine::{Engine, GpuConfig, KernelResult, TraceEvent};
-pub use kernel::{coalesce_pages, Access, KernelSpec, ThreadBlockSpec};
+pub use kernel::{coalesce_pages, Access, CompiledKernel, KernelSpec, ThreadBlockSpec};
+pub use queue::EventQueue;

@@ -5,7 +5,9 @@
 //!
 //! * the GPU [`PageTable`] with per-page valid/dirty/accessed flags,
 //! * per-SM [`Tlb`]s (fully associative, LRU, single-cycle lookup as in
-//!   the paper's simplifying assumption),
+//!   the paper's simplifying assumption) and the
+//!   [`ShootdownDirectory`] that invalidates their entries in
+//!   O(holders) when a page is evicted,
 //! * the far-fault [`Mshr`]s in which outstanding faults are registered
 //!   and duplicate faults to the same page are merged,
 //! * a [`FrameAllocator`] enforcing the strict device-memory budget.
@@ -25,11 +27,13 @@
 mod frames;
 mod mshr;
 mod page_table;
+mod shootdown;
 mod tlb;
 mod walk;
 
 pub use frames::{FrameAllocator, FrameError, FrameId};
 pub use mshr::{Mshr, RegisterOutcome};
 pub use page_table::{PageTable, PteFlags};
-pub use tlb::{Tlb, TlbLookup};
+pub use shootdown::ShootdownDirectory;
+pub use tlb::{ReferenceTlb, Tlb, TlbLookup};
 pub use walk::RadixWalkModel;

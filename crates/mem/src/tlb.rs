@@ -2,10 +2,32 @@
 //!
 //! The paper models a fully associative TLB with single-cycle lookup
 //! (Sec. 6.1, after Pichai et al.); misses are relayed to the GMMU for
-//! a page-table walk. We keep an LRU-replaced fully associative array.
+//! a page-table walk. Architecturally the model is LRU-replaced and
+//! fully associative; the *implementation* here is a hash-indexed
+//! intrusive LRU list, so `lookup`, `fill`, and `invalidate` are all
+//! O(1) instead of the O(capacity) scans of a naive recency array.
+//!
+//! Two API layers share the same structure:
+//!
+//! * the plain [`lookup`](Tlb::lookup) / [`fill`](Tlb::fill) /
+//!   [`invalidate`](Tlb::invalidate) surface, for standalone use, and
+//! * the generation-stamped [`lookup_gen`](Tlb::lookup_gen) /
+//!   [`fill_after_miss`](Tlb::fill_after_miss) surface the engine's
+//!   shootdown protocol uses (see
+//!   [`ShootdownDirectory`](crate::ShootdownDirectory)): each entry
+//!   records the page generation it translated, and a lookup only hits
+//!   when the stamp still matches the current generation — so a page
+//!   eviction invalidates every SM's cached translation by bumping one
+//!   counter, and a stale entry can never be observed as a hit even
+//!   before its slot is reclaimed.
+//!
+//! [`ReferenceTlb`] preserves the previous `VecDeque` implementation
+//! as an executable specification for differential tests and
+//! head-to-head microbenches.
 
-use std::collections::VecDeque;
+use std::collections::HashMap;
 
+use uvm_types::hash::FxBuildHasher;
 use uvm_types::PageId;
 
 /// Result of a TLB lookup.
@@ -17,7 +39,22 @@ pub enum TlbLookup {
     Miss,
 }
 
-/// A fully associative, LRU-replaced TLB.
+/// Index sentinel: no slot.
+const NIL: u32 = u32::MAX;
+
+/// One cached translation, threaded on the intrusive recency list.
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    page: PageId,
+    /// Page generation at fill time; a lookup hit requires this to
+    /// still equal the page's current generation.
+    generation: u32,
+    prev: u32,
+    next: u32,
+}
+
+/// A fully associative, LRU-replaced TLB with O(1) lookup, fill, and
+/// invalidate (hash index + intrusive doubly-linked recency list).
 ///
 /// # Examples
 ///
@@ -32,8 +69,15 @@ pub enum TlbLookup {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Tlb {
-    /// Entries in LRU order: front = least recently used.
-    entries: VecDeque<PageId>,
+    /// page → slot index.
+    index: HashMap<PageId, u32, FxBuildHasher>,
+    slots: Vec<Slot>,
+    /// Recycled slot indices.
+    free: Vec<u32>,
+    /// Least recently used slot (eviction side), `NIL` when empty.
+    lru: u32,
+    /// Most recently used slot, `NIL` when empty.
+    mru: u32,
     capacity: usize,
     hits: u64,
     misses: u64,
@@ -48,7 +92,222 @@ impl Tlb {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "TLB capacity must be non-zero");
         Tlb {
-            entries: VecDeque::with_capacity(capacity),
+            index: HashMap::with_capacity_and_hasher(capacity, FxBuildHasher::default()),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            lru: NIL,
+            mru: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `page`, updating recency on a hit. Equivalent to
+    /// [`lookup_gen`](Self::lookup_gen) at generation 0 (the
+    /// generation every [`fill`](Self::fill) stamps).
+    pub fn lookup(&mut self, page: PageId) -> TlbLookup {
+        self.lookup_gen(page, 0)
+    }
+
+    /// Looks up `page` against its current generation, updating
+    /// recency on a hit.
+    ///
+    /// An entry whose stamp no longer matches `generation` was shot
+    /// down by a [`ShootdownDirectory::bump`] and is *never* observable
+    /// as a hit: it counts as a miss, and its slot is reclaimed on the
+    /// spot. (Under the engine's protocol the directory reclaims
+    /// holder slots eagerly, so this lazy path is a second line of
+    /// defence that also serves users who skip holder tracking.)
+    ///
+    /// [`ShootdownDirectory::bump`]: crate::ShootdownDirectory::bump
+    pub fn lookup_gen(&mut self, page: PageId, generation: u32) -> TlbLookup {
+        match self.index.get(&page) {
+            Some(&slot) => {
+                if self.slots[slot as usize].generation == generation {
+                    self.touch(slot);
+                    self.hits += 1;
+                    TlbLookup::Hit
+                } else {
+                    // Stale translation: logically absent since the
+                    // generation bump.
+                    self.index.remove(&page);
+                    self.unlink(slot);
+                    self.free.push(slot);
+                    self.misses += 1;
+                    TlbLookup::Miss
+                }
+            }
+            None => {
+                self.misses += 1;
+                TlbLookup::Miss
+            }
+        }
+    }
+
+    /// Installs a translation for `page`, evicting the LRU entry if the
+    /// TLB is full. Filling an already-present page refreshes recency.
+    /// Equivalent to [`fill_gen`](Self::fill_gen) at generation 0.
+    pub fn fill(&mut self, page: PageId) {
+        let _ = self.fill_gen(page, 0);
+    }
+
+    /// Installs a translation for `page` stamped with `generation`,
+    /// evicting the LRU entry if the TLB is full; returns the evicted
+    /// page, if any. Filling an already-present page refreshes recency
+    /// and re-stamps it.
+    pub fn fill_gen(&mut self, page: PageId, generation: u32) -> Option<PageId> {
+        if let Some(&slot) = self.index.get(&page) {
+            self.slots[slot as usize].generation = generation;
+            self.touch(slot);
+            return None;
+        }
+        self.insert_new(page, generation)
+    }
+
+    /// Fast-path fill for the access flow where [`lookup_gen`]
+    /// (or [`lookup`](Self::lookup)) just missed on `page`: skips the
+    /// present-entry probe `fill` pays, inserting directly. Returns
+    /// the page evicted to make room, if any.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if `page` is already cached — callers
+    /// must only use this immediately after a miss on `page`.
+    ///
+    /// [`lookup_gen`]: Self::lookup_gen
+    pub fn fill_after_miss(&mut self, page: PageId, generation: u32) -> Option<PageId> {
+        debug_assert!(
+            !self.index.contains_key(&page),
+            "fill_after_miss({page}) but the page is cached; use fill"
+        );
+        self.insert_new(page, generation)
+    }
+
+    /// Removes the translation for `page` if present, returning whether
+    /// an entry was removed (the eager per-TLB shootdown a page
+    /// eviction performs; with a [`ShootdownDirectory`] only the actual
+    /// holder TLBs are visited).
+    ///
+    /// [`ShootdownDirectory`]: crate::ShootdownDirectory
+    pub fn invalidate(&mut self, page: PageId) -> bool {
+        match self.index.remove(&page) {
+            Some(slot) => {
+                self.unlink(slot);
+                self.free.push(slot);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Current number of cached translations (stale-but-unreclaimed
+    /// entries included, until a lookup or fill recycles them).
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` if no translations are cached.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Lifetime (hit, miss) counts. The counters survive
+    /// [`invalidate`](Self::invalidate) and generation bumps: they
+    /// accumulate over every lookup the TLB ever served, regardless of
+    /// how entries were later removed.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Inserts a page known to be absent, evicting the LRU entry when
+    /// at capacity.
+    fn insert_new(&mut self, page: PageId, generation: u32) -> Option<PageId> {
+        let (slot, victim) = if self.index.len() == self.capacity {
+            let slot = self.lru;
+            let victim = self.slots[slot as usize].page;
+            self.index.remove(&victim);
+            self.unlink(slot);
+            (slot, Some(victim))
+        } else if let Some(slot) = self.free.pop() {
+            (slot, None)
+        } else {
+            self.slots.push(Slot {
+                page,
+                generation,
+                prev: NIL,
+                next: NIL,
+            });
+            ((self.slots.len() - 1) as u32, None)
+        };
+        let s = &mut self.slots[slot as usize];
+        s.page = page;
+        s.generation = generation;
+        self.push_mru(slot);
+        self.index.insert(page, slot);
+        victim
+    }
+
+    /// Moves `slot` to the MRU end of the recency list.
+    fn touch(&mut self, slot: u32) {
+        if self.mru == slot {
+            return;
+        }
+        self.unlink(slot);
+        self.push_mru(slot);
+    }
+
+    /// Detaches `slot` from the recency list.
+    fn unlink(&mut self, slot: u32) {
+        let Slot { prev, next, .. } = self.slots[slot as usize];
+        if prev == NIL {
+            self.lru = next;
+        } else {
+            self.slots[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.mru = prev;
+        } else {
+            self.slots[next as usize].prev = prev;
+        }
+    }
+
+    /// Appends a detached `slot` at the MRU end.
+    fn push_mru(&mut self, slot: u32) {
+        self.slots[slot as usize].prev = self.mru;
+        self.slots[slot as usize].next = NIL;
+        if self.mru == NIL {
+            self.lru = slot;
+        } else {
+            self.slots[self.mru as usize].next = slot;
+        }
+        self.mru = slot;
+    }
+}
+
+/// The previous `VecDeque`-backed TLB: O(capacity) on every operation,
+/// kept as the executable specification the O(1) [`Tlb`] is
+/// differential-tested (and benchmarked) against.
+#[derive(Clone, Debug)]
+pub struct ReferenceTlb {
+    /// Entries in LRU order: front = least recently used.
+    entries: std::collections::VecDeque<PageId>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl ReferenceTlb {
+    /// Creates an empty reference TLB holding at most `capacity`
+    /// translations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB capacity must be non-zero");
+        ReferenceTlb {
+            entries: std::collections::VecDeque::with_capacity(capacity),
             capacity,
             hits: 0,
             misses: 0,
@@ -68,22 +327,27 @@ impl Tlb {
         }
     }
 
-    /// Installs a translation for `page`, evicting the LRU entry if the
-    /// TLB is full. Filling an already-present page refreshes recency.
-    pub fn fill(&mut self, page: PageId) {
+    /// Installs a translation for `page`, evicting the LRU entry if
+    /// full; returns the evicted page, if any.
+    pub fn fill(&mut self, page: PageId) -> Option<PageId> {
+        let mut victim = None;
         if let Some(pos) = self.entries.iter().position(|&p| p == page) {
             self.entries.remove(pos);
         } else if self.entries.len() == self.capacity {
-            self.entries.pop_front();
+            victim = self.entries.pop_front();
         }
         self.entries.push_back(page);
+        victim
     }
 
-    /// Removes the translation for `page` if present (the shootdown a
-    /// page eviction performs on every SM's TLB).
-    pub fn invalidate(&mut self, page: PageId) {
+    /// Removes the translation for `page` if present, returning whether
+    /// an entry was removed.
+    pub fn invalidate(&mut self, page: PageId) -> bool {
         if let Some(pos) = self.entries.iter().position(|&p| p == page) {
             self.entries.remove(pos);
+            true
+        } else {
+            false
         }
     }
 
@@ -146,11 +410,70 @@ mod tests {
     fn invalidate_removes_entry() {
         let mut tlb = Tlb::new(4);
         tlb.fill(PageId::new(5));
-        tlb.invalidate(PageId::new(5));
+        assert!(tlb.invalidate(PageId::new(5)));
         assert_eq!(tlb.lookup(PageId::new(5)), TlbLookup::Miss);
         assert!(tlb.is_empty());
         // Invalidating an absent page is a no-op.
-        tlb.invalidate(PageId::new(6));
+        assert!(!tlb.invalidate(PageId::new(6)));
+    }
+
+    #[test]
+    fn invalidated_slot_frees_capacity() {
+        let mut tlb = Tlb::new(2);
+        tlb.fill(PageId::new(1));
+        tlb.fill(PageId::new(2));
+        tlb.invalidate(PageId::new(1));
+        // The freed slot means this fill must NOT evict page 2.
+        tlb.fill(PageId::new(3));
+        assert_eq!(tlb.lookup(PageId::new(2)), TlbLookup::Hit);
+        assert_eq!(tlb.lookup(PageId::new(3)), TlbLookup::Hit);
+    }
+
+    #[test]
+    fn stale_generation_is_never_a_hit() {
+        let mut tlb = Tlb::new(4);
+        tlb.fill_gen(PageId::new(7), 0);
+        assert_eq!(tlb.lookup_gen(PageId::new(7), 0), TlbLookup::Hit);
+        // The page's generation moves on (a shootdown bump): the stale
+        // stamp misses and the slot is reclaimed.
+        assert_eq!(tlb.lookup_gen(PageId::new(7), 1), TlbLookup::Miss);
+        assert!(tlb.is_empty());
+        // Refilled at the new generation, it hits again.
+        tlb.fill_after_miss(PageId::new(7), 1);
+        assert_eq!(tlb.lookup_gen(PageId::new(7), 1), TlbLookup::Hit);
+    }
+
+    #[test]
+    fn fill_after_miss_reports_victim() {
+        let mut tlb = Tlb::new(2);
+        assert_eq!(tlb.fill_after_miss(PageId::new(1), 0), None);
+        assert_eq!(tlb.fill_after_miss(PageId::new(2), 0), None);
+        assert_eq!(tlb.fill_after_miss(PageId::new(3), 0), Some(PageId::new(1)));
+        assert_eq!(tlb.lookup(PageId::new(1)), TlbLookup::Miss);
+    }
+
+    #[test]
+    fn counters_survive_invalidation() {
+        let mut tlb = Tlb::new(4);
+        tlb.fill(PageId::new(1));
+        tlb.lookup(PageId::new(1));
+        tlb.invalidate(PageId::new(1));
+        assert_eq!(tlb.hit_miss(), (1, 0), "invalidate keeps counters");
+        tlb.lookup(PageId::new(1));
+        assert_eq!(tlb.hit_miss(), (1, 1));
+    }
+
+    #[test]
+    fn reference_tlb_matches_basic_flow() {
+        let mut tlb = ReferenceTlb::new(2);
+        assert_eq!(tlb.lookup(PageId::new(1)), TlbLookup::Miss);
+        assert_eq!(tlb.fill(PageId::new(1)), None);
+        assert_eq!(tlb.fill(PageId::new(2)), None);
+        assert_eq!(tlb.lookup(PageId::new(1)), TlbLookup::Hit);
+        assert_eq!(tlb.fill(PageId::new(3)), Some(PageId::new(2)));
+        assert!(tlb.invalidate(PageId::new(3)));
+        assert_eq!(tlb.len(), 1);
+        assert_eq!(tlb.hit_miss(), (1, 1));
     }
 
     #[test]

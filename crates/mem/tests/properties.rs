@@ -3,7 +3,10 @@
 
 use std::collections::HashSet;
 
-use uvm_mem::{FrameAllocator, Mshr, PageTable, RegisterOutcome, Tlb, TlbLookup};
+use uvm_mem::{
+    FrameAllocator, Mshr, PageTable, ReferenceTlb, RegisterOutcome, ShootdownDirectory, Tlb,
+    TlbLookup,
+};
 use uvm_types::rng::{Rng, SmallRng};
 use uvm_types::PageId;
 
@@ -76,6 +79,118 @@ fn tlb_counters_account_for_all_lookups() {
         }
         let (hits, misses) = tlb.hit_miss();
         assert_eq!(hits + misses, n as u64);
+    }
+}
+
+/// Differential: the hash-indexed [`Tlb`] agrees with the `VecDeque`
+/// [`ReferenceTlb`] — same hit/miss verdicts, same fill victims, same
+/// invalidate outcomes, same counters — over arbitrary operation
+/// sequences. This is the contract that makes the O(1) structure a
+/// drop-in replacement inside the engine.
+#[test]
+fn tlb_matches_reference_implementation() {
+    let mut rng = SmallRng::seed_from_u64(0x3e36);
+    for _ in 0..CASES {
+        let cap = rng.gen_range(1usize..48);
+        let mut fast = Tlb::new(cap);
+        let mut reference = ReferenceTlb::new(cap);
+        let n = rng.gen_range(0usize..300);
+        for step in 0..n {
+            let p = PageId::new(rng.gen_range(0u64..96));
+            match rng.gen_range(0u32..3) {
+                0 => {
+                    assert_eq!(
+                        fast.lookup(p),
+                        reference.lookup(p),
+                        "lookup({p}) diverged at step {step} (cap {cap})"
+                    );
+                }
+                1 => {
+                    // fill_after_miss is only legal right after a miss;
+                    // exercise it there, plain fill otherwise.
+                    if fast.lookup(p) == TlbLookup::Miss {
+                        reference.lookup(p);
+                        assert_eq!(
+                            fast.fill_after_miss(p, 0),
+                            reference.fill(p),
+                            "fill victim for {p} diverged at step {step} (cap {cap})"
+                        );
+                    } else {
+                        reference.lookup(p);
+                        fast.fill(p);
+                        reference.fill(p);
+                    }
+                }
+                _ => {
+                    assert_eq!(
+                        fast.invalidate(p),
+                        reference.invalidate(p),
+                        "invalidate({p}) diverged at step {step} (cap {cap})"
+                    );
+                }
+            }
+            assert_eq!(fast.len(), reference.len());
+        }
+        assert_eq!(fast.hit_miss(), reference.hit_miss());
+    }
+}
+
+/// The generation shootdown protocol (bump + drain holders, stamped
+/// lookups/fills) is observationally identical to the reference TLB
+/// under an eager invalidate broadcast: same hits, same misses, same
+/// victims, across multiple TLB units.
+#[test]
+fn generation_shootdown_matches_eager_broadcast() {
+    let mut rng = SmallRng::seed_from_u64(0x3e37);
+    for _ in 0..CASES {
+        let units = rng.gen_range(1usize..6);
+        let cap = rng.gen_range(1usize..16);
+        let mut fast: Vec<Tlb> = (0..units).map(|_| Tlb::new(cap)).collect();
+        let mut reference: Vec<ReferenceTlb> = (0..units).map(|_| ReferenceTlb::new(cap)).collect();
+        let mut dir = ShootdownDirectory::new(units);
+        let n = rng.gen_range(0usize..300);
+        for step in 0..n {
+            let p = PageId::new(rng.gen_range(0u64..48));
+            let u = rng.gen_range(0usize..units);
+            if rng.gen_bool(0.2) {
+                // Page eviction: directory bump + targeted drain vs
+                // invalidate broadcast over every unit.
+                dir.bump(p);
+                let tlbs = &mut fast;
+                dir.drain_holders(p, |unit| {
+                    tlbs[unit].invalidate(p);
+                });
+                for r in &mut reference {
+                    r.invalidate(p);
+                }
+            } else {
+                // Engine access flow on unit `u`: stamped lookup, then
+                // a no-reprobe fill on a miss.
+                let generation = dir.generation(p);
+                let verdict = fast[u].lookup_gen(p, generation);
+                assert_eq!(
+                    verdict,
+                    reference[u].lookup(p),
+                    "unit {u} lookup({p}) diverged at step {step}"
+                );
+                if verdict == TlbLookup::Miss {
+                    let victim = fast[u].fill_after_miss(p, generation);
+                    if let Some(v) = victim {
+                        dir.note_drop(v, u);
+                    }
+                    dir.note_fill(p, u);
+                    assert_eq!(
+                        victim,
+                        reference[u].fill(p),
+                        "unit {u} fill victim for {p} diverged at step {step}"
+                    );
+                }
+            }
+        }
+        for (f, r) in fast.iter().zip(&reference) {
+            assert_eq!(f.hit_miss(), r.hit_miss());
+            assert_eq!(f.len(), r.len());
+        }
     }
 }
 

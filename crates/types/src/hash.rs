@@ -1,7 +1,13 @@
-//! A stable 128-bit content hasher for cache keys.
+//! Hashers for the two regimes the simulator needs:
+//!
+//! * [`StableHasher`] — a stable 128-bit content hasher for on-disk
+//!   cache keys, and
+//! * [`FxHasher`] — a fast in-process hasher for hot-path hash maps
+//!   (per-SM TLB indexes), where SipHash's per-byte mixing would eat
+//!   the lookup-structure win.
 //!
 //! `std::hash::Hasher` implementations (SipHash) are randomly keyed
-//! per process, so they cannot name on-disk cache entries. This FNV-1a
+//! per process, so they cannot name on-disk cache entries. The FNV-1a
 //! variant widened to 128 bits is stable across processes, platforms,
 //! and compiler versions — the property the run-result spill cache
 //! under `results/cache/` depends on.
@@ -93,6 +99,70 @@ impl StableHasher {
     }
 }
 
+/// A fast, non-cryptographic `std::hash::Hasher` for in-process hash
+/// maps on the simulation hot path (the rustc `FxHash` multiply-mix).
+///
+/// Not stable across platforms or compiler versions — never use it to
+/// name on-disk cache entries; that is [`StableHasher`]'s job.
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::HashMap;
+/// use uvm_types::hash::FxBuildHasher;
+///
+/// let mut map: HashMap<u64, u32, FxBuildHasher> = HashMap::default();
+/// map.insert(7, 1);
+/// assert_eq!(map.get(&7), Some(&1));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+/// [`BuildHasher`](std::hash::BuildHasher) for [`FxHasher`]-keyed maps.
+pub type FxBuildHasher = std::hash::BuildHasherDefault<FxHasher>;
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +233,23 @@ mod tests {
         for v in variants {
             assert_ne!(base, v);
         }
+    }
+
+    #[test]
+    fn fx_hasher_discriminates_and_repeats() {
+        use std::hash::Hasher;
+        let hash_u64 = |v: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_eq!(hash_u64(42), hash_u64(42));
+        assert_ne!(hash_u64(42), hash_u64(43));
+        // Byte-wise writes agree with themselves across chunkings.
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(a.finish(), b.finish());
     }
 }
