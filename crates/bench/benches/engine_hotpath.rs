@@ -238,6 +238,76 @@ fn bench_queue(b: &Bench) {
     });
 }
 
+/// The evictor sampling path: the resident set under migration/
+/// eviction churn with random victim draws — the random evictor's
+/// steady state at over-subscription. Compares the bitmap-backed
+/// [`IndexedPageSet`] against a `HashMap`-position reference (the
+/// pre-bitset layout) on identical operation streams.
+fn bench_resident_set(b: &Bench) {
+    use std::collections::HashMap;
+    use uvm_core::IndexedPageSet;
+    use uvm_types::rng::{Rng, SmallRng};
+
+    /// 64 Ki resident pages (a 256 MB device at 4 KB), then churn:
+    /// per step evict one random victim and admit one fresh page,
+    /// drawing `samples` candidate victims per step like the
+    /// max-pin retry loop does.
+    const RESIDENT: u64 = 64 * 1024;
+    const STEPS: u64 = 4 * 1024;
+    const DRAWS: usize = 4;
+
+    b.bench("resident/indexed_churn_sample_64k", || {
+        let mut set = IndexedPageSet::default();
+        for p in 0..RESIDENT {
+            set.insert(PageId::new(p));
+        }
+        let mut rng = SmallRng::seed_from_u64(0x5eed);
+        for next in RESIDENT..RESIDENT + STEPS {
+            let mut victim = set.sample(&mut rng).expect("set is never empty");
+            for _ in 1..DRAWS {
+                victim = set.sample(&mut rng).expect("set is never empty");
+            }
+            set.remove(victim);
+            set.insert(PageId::new(next));
+        }
+        black_box(set.len());
+    });
+
+    // The historical layout: Vec of items + HashMap page→position.
+    b.bench("resident/hashmap_churn_sample_64k", || {
+        let mut items: Vec<PageId> = Vec::new();
+        let mut pos: HashMap<PageId, usize> = HashMap::new();
+        let insert = |items: &mut Vec<PageId>, pos: &mut HashMap<PageId, usize>, p: PageId| {
+            if pos.contains_key(&p) {
+                return;
+            }
+            pos.insert(p, items.len());
+            items.push(p);
+        };
+        let remove = |items: &mut Vec<PageId>, pos: &mut HashMap<PageId, usize>, p: PageId| {
+            let Some(i) = pos.remove(&p) else { return };
+            let last = items.pop().expect("non-empty");
+            if i < items.len() {
+                items[i] = last;
+                pos.insert(last, i);
+            }
+        };
+        for p in 0..RESIDENT {
+            insert(&mut items, &mut pos, PageId::new(p));
+        }
+        let mut rng = SmallRng::seed_from_u64(0x5eed);
+        for next in RESIDENT..RESIDENT + STEPS {
+            let mut victim = items[rng.gen_range(0..items.len())];
+            for _ in 1..DRAWS {
+                victim = items[rng.gen_range(0..items.len())];
+            }
+            remove(&mut items, &mut pos, victim);
+            insert(&mut items, &mut pos, PageId::new(next));
+        }
+        black_box(items.len());
+    });
+}
+
 /// End-to-end single-run path (the floor under every figure binary):
 /// the golden-fixture hotspot workload at 110 % over-subscription.
 fn bench_single_run(b: &Bench) {
@@ -272,6 +342,7 @@ fn main() {
     bench_tlb(&b);
     bench_reference_tlb(&b);
     bench_queue(&b);
+    bench_resident_set(&b);
     bench_single_run(&b);
     b.write_json_from_env("engine_hotpath")
         .expect("write bench JSON report");

@@ -1,0 +1,68 @@
+//! Sweep-level benchmark of prefix forking: the warmed figs. 3/4/5
+//! policy grid measured cold (every point re-simulates its warm-up in
+//! place) versus forked (the shared warm-up simulates once, tails fork
+//! from the snapshot).
+//!
+//! Both cases run at `jobs = 1`, so the wall-clock ratio is the work
+//! ratio rather than an artifact of core count: a 20-point grid on a
+//! 12-launch workload with a 10-launch warm-up does `20 × 12 = 240`
+//! launch-units cold but only `10 + 20 × 2 = 50` forked — about 4.8×
+//! less simulation, which the `sweep_grid_speedup` line reports as
+//! actually measured.
+//!
+//! Run with `cargo bench -p uvm-bench --bench sweep`; set
+//! `UVM_BENCH_JSON=BENCH_sweep.json` to emit the JSON report the CI
+//! `perf-smoke` job uploads.
+
+use std::hint::black_box;
+
+use uvm_bench::harness::Bench;
+use uvm_sim::experiments::warmed_policy_grid;
+use uvm_sim::{Executor, Warmup};
+use uvm_workloads::Hotspot;
+
+/// The golden-fixture workload deepened to 12 iterative launches so a
+/// warm-up prefix dominates each run.
+fn workload() -> Hotspot {
+    Hotspot {
+        rows: 512,
+        iterations: 12,
+        rows_per_block: 16,
+    }
+}
+
+/// Ten warm-up launches under the paper-default policies; the grid
+/// point's own pair gets the remaining two launches.
+fn warmup() -> Warmup {
+    Warmup {
+        kernels: 10,
+        ..Warmup::default()
+    }
+}
+
+fn run_grid(forking: bool) {
+    // A fresh executor per call: no memoization or spill cache, so
+    // every iteration simulates the full grid.
+    let exec = Executor::new(1).with_prefix_forking(forking);
+    let sweep = warmed_policy_grid(&exec, &workload(), warmup());
+    black_box(&sweep);
+    if forking {
+        assert_eq!(exec.prefixes_simulated(), 1, "grid shares one prefix");
+    } else {
+        assert_eq!(exec.prefixes_simulated(), 0, "baseline must not fork");
+    }
+    assert_eq!(exec.runs_executed(), 20, "full policy grid simulated");
+}
+
+fn main() {
+    let b = Bench::from_args();
+
+    let cold = b.bench("sweep_grid_cold_jobs1", || run_grid(false));
+    let forked = b.bench("sweep_grid_forked_jobs1", || run_grid(true));
+
+    if let (Some(cold), Some(forked)) = (cold, forked) {
+        b.record("sweep_grid_speedup_x", cold / forked);
+    }
+
+    b.write_json_from_env("sweep").expect("write bench JSON");
+}

@@ -85,6 +85,15 @@ impl Bench {
         Some(ns)
     }
 
+    /// Records a pre-computed value under `name`, printed and exported
+    /// like a measured case. Bench targets use this for derived
+    /// metrics — e.g. the sweep bench's cold/forked speedup ratio —
+    /// so the JSON artifact carries them alongside raw timings.
+    pub fn record(&self, name: &str, value: f64) {
+        println!("{name:<48} {value:>15.2}");
+        self.results.borrow_mut().push((name.to_string(), value));
+    }
+
     /// Writes every result measured so far as a JSON report (the CI
     /// `perf-smoke` trend artifact). If the `UVM_BENCH_JSON` environment
     /// variable is set, [`write_json_from_env`](Self::write_json_from_env)

@@ -120,7 +120,9 @@ impl Config {
 }
 
 /// Parses the common binary arguments: `--smoke`/`--paper` select the
-/// scale, `--jobs N` (or `--jobs=N`) the worker-pool width,
+/// scale, `--jobs N` (or `--jobs=N`) the worker-pool width (`--jobs 0`
+/// — the default — auto-detects the machine's parallelism, resolved
+/// once when the [`Executor`] is constructed),
 /// `--prefetch NAME` / `--evict NAME` pick policies by registry name,
 /// `--fault-profile NAME` / `--fault-seed N` arm the deterministic
 /// fault-injection layer, and `--list-policies` prints every
@@ -138,7 +140,8 @@ pub fn config_from_args() -> Config {
             eprintln!(
                 "usage: [--smoke|--paper] [--jobs N] \
                  [--prefetch NAME] [--evict NAME] \
-                 [--fault-profile NAME] [--fault-seed N] [--list-policies]"
+                 [--fault-profile NAME] [--fault-seed N] [--list-policies]\n\
+                 (--jobs 0 = auto-detect parallelism; the default)"
             );
             std::process::exit(2);
         }

@@ -158,6 +158,22 @@ impl DensePageSet {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// Members in ascending page order: a word scan over the bitmap,
+    /// skipping empty 64-page words in one comparison.
+    pub fn iter_ascending(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as u64;
+                bits &= bits - 1;
+                Some(PageId::new(w as u64 * 64 + b))
+            })
+        })
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +219,18 @@ mod tests {
         assert!(!s.remove(PageId::new(1 << 30)), "out of range is absent");
         assert_eq!(s.len(), 1);
         assert!(s.contains(PageId::new(64)));
+    }
+
+    #[test]
+    fn set_iter_ascending_scans_words() {
+        let mut s = DensePageSet::new();
+        for p in [200u64, 0, 63, 64, 65, 511] {
+            s.insert(PageId::new(p));
+        }
+        s.remove(PageId::new(64));
+        let got: Vec<u64> = s.iter_ascending().map(|p| p.index()).collect();
+        assert_eq!(got, vec![0, 63, 65, 200, 511]);
+        assert_eq!(DensePageSet::new().iter_ascending().count(), 0);
     }
 
     #[test]

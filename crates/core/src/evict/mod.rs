@@ -51,7 +51,11 @@ use crate::view::ResidencyView;
 ///   installed.
 /// * All randomness must come from the supplied `rng` (the driver's
 ///   single seeded stream).
-pub trait Evictor: fmt::Debug {
+/// * Implementations must be `Send + Sync` plain data: engine
+///   snapshots holding a policy are shared across sweep workers, and
+///   [`snapshot_box`](Self::snapshot_box) must produce an independent
+///   deep copy (no shared interior mutability).
+pub trait Evictor: fmt::Debug + Send + Sync {
     /// The registry's canonical (display) name for this evictor.
     fn name(&self) -> &'static str;
 
@@ -82,10 +86,25 @@ pub trait Evictor: fmt::Debug {
     /// Clones the evictor behind a fresh box (trait objects cannot
     /// derive `Clone`).
     fn box_clone(&self) -> Box<dyn Evictor>;
+
+    /// The snapshot seam for engine forking: a deep copy whose recency
+    /// and frequency bookkeeping round-trips — the copy must select
+    /// identical victims given identical inputs, and the two must
+    /// never share mutable state afterwards. Defaults to
+    /// [`box_clone`]; override only when snapshotting differs from
+    /// plain cloning.
+    ///
+    /// [`box_clone`]: Self::box_clone
+    fn snapshot_box(&self) -> Box<dyn Evictor> {
+        self.box_clone()
+    }
 }
 
 impl Clone for Box<dyn Evictor> {
     fn clone(&self) -> Self {
-        self.box_clone()
+        // Cloning a driver (and thus an engine snapshot) goes through
+        // the snapshot seam so third-party policies keep control over
+        // how their state round-trips.
+        self.snapshot_box()
     }
 }

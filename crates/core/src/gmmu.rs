@@ -37,6 +37,7 @@ use crate::dense::{DensePageMap, DensePageSet};
 use crate::evict::Evictor;
 use crate::fault::{READ_CHANNEL_TAG, WRITE_CHANNEL_TAG};
 use crate::indexed::IndexedPageSet;
+use crate::policy::{EvictPolicy, PrefetchPolicy};
 use crate::prefetch::Prefetcher;
 use crate::registry::PolicyRegistry;
 use crate::stats::UvmStats;
@@ -183,6 +184,34 @@ impl Gmmu {
             stats: UvmStats::new(),
             cfg,
         }
+    }
+
+    /// Swaps the live policies for freshly built ones mid-simulation —
+    /// the warm-up → measurement transition of forked sweeps.
+    ///
+    /// The new prefetcher starts with empty learning state. The new
+    /// evictor is reseeded by replaying `on_validate` for every
+    /// resident page in ascending page order (the bitmap-scan order,
+    /// which depends only on the resident set), so recency/frequency
+    /// bookkeeping starts from a deterministic, representation-
+    /// independent baseline. Mechanism state — residency, frame
+    /// tables, PCI-e backlog, the RNG streams, the sticky prefetcher
+    /// kill-switch, statistics — carries over untouched.
+    ///
+    /// The swap is applied *unconditionally* (even when the selectors
+    /// equal the current policies), so a cold warmed run and a
+    /// fork-resumed run perform the identical transition and stay
+    /// byte-identical.
+    pub fn swap_policies(&mut self, prefetch: PrefetchPolicy, evict: EvictPolicy) {
+        let registry = PolicyRegistry::global();
+        self.cfg.prefetch = prefetch;
+        self.cfg.evict = evict;
+        self.prefetcher = registry.build_prefetcher(prefetch, &self.cfg);
+        let mut evictor = registry.build_evictor(evict, &self.cfg);
+        for page in self.resident.iter_ascending() {
+            evictor.on_validate(page);
+        }
+        self.evictor = evictor;
     }
 
     /// Registers a managed allocation (the `cudaMallocManaged`

@@ -47,7 +47,11 @@ use crate::view::ResidencyView;
 /// * Policies observe state only through `view`; per-policy learning
 ///   state (history tables, counters) belongs in the implementing
 ///   struct itself.
-pub trait Prefetcher: fmt::Debug {
+/// * Implementations must be `Send + Sync` plain data: engine
+///   snapshots holding a policy are shared across sweep workers, and
+///   [`snapshot_box`](Self::snapshot_box) must produce an independent
+///   deep copy (no shared interior mutability).
+pub trait Prefetcher: fmt::Debug + Send + Sync {
     /// The registry's canonical (display) name for this prefetcher.
     fn name(&self) -> &'static str;
 
@@ -64,10 +68,25 @@ pub trait Prefetcher: fmt::Debug {
     /// Clones the prefetcher behind a fresh box (trait objects cannot
     /// derive `Clone`).
     fn box_clone(&self) -> Box<dyn Prefetcher>;
+
+    /// The snapshot seam for engine forking: a deep copy whose learning
+    /// state round-trips — the copy must plan identically to the
+    /// original given identical inputs, and the two must never share
+    /// mutable state afterwards. Defaults to [`box_clone`]; override
+    /// only when snapshotting differs from plain cloning (e.g. to drop
+    /// a non-clonable side channel).
+    ///
+    /// [`box_clone`]: Self::box_clone
+    fn snapshot_box(&self) -> Box<dyn Prefetcher> {
+        self.box_clone()
+    }
 }
 
 impl Clone for Box<dyn Prefetcher> {
     fn clone(&self) -> Self {
-        self.box_clone()
+        // Cloning a driver (and thus an engine snapshot) goes through
+        // the snapshot seam so third-party policies keep control over
+        // how their state round-trips.
+        self.snapshot_box()
     }
 }

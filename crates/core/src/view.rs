@@ -91,6 +91,15 @@ impl<'a> ResidencyView<'a> {
         self.resident.iter()
     }
 
+    /// Resident pages in ascending page order — a u64-word bitmap
+    /// scan, 64 absent pages skipped per comparison. The order depends
+    /// only on the resident set itself (not on migration history), so
+    /// policies scanning it stay deterministic across snapshot/fork
+    /// boundaries.
+    pub fn resident_iter_ascending(&self) -> impl Iterator<Item = PageId> + 'a {
+        self.resident.iter_ascending()
+    }
+
     /// A uniformly random resident page, or `None` if nothing is
     /// resident.
     pub fn sample_resident<R: Rng>(&self, rng: &mut R) -> Option<PageId> {

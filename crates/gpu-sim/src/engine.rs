@@ -98,6 +98,11 @@ struct WarpState {
 /// `cudaDeviceSynchronize` between iterative launches of the paper's
 /// benchmarks; device state (page table, LRU lists, statistics)
 /// persists across launches.
+///
+/// Between launches the engine can be frozen into an
+/// [`EngineSnapshot`] and forked, so a sweep's shared warm-up prefix
+/// simulates once (see DESIGN.md §8).
+#[derive(Clone)]
 pub struct Engine {
     gmmu: Gmmu,
     cfg: GpuConfig,
@@ -352,6 +357,30 @@ impl Engine {
         }
     }
 
+    /// Freezes the engine into a forkable [`EngineSnapshot`].
+    ///
+    /// Everything the simulation's future depends on is captured: the
+    /// GMMU (page/frame tables, policy state, PCI-e channel backlog,
+    /// RNG streams, statistics), all per-SM TLBs, the shootdown
+    /// directory, the walk-cache model, the calendar event queue, the
+    /// clock, and the trace buffer. Per-warp arena cursors are kernel-
+    /// local (the access arena is recompiled per launch), which is why
+    /// snapshots are only legal at a launch boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-kernel (events still queued): per-warp
+    /// state would be lost.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        assert!(
+            self.queue.is_empty(),
+            "engine snapshot mid-kernel: the event queue still holds warp events"
+        );
+        EngineSnapshot {
+            inner: self.clone(),
+        }
+    }
+
     fn complete_access(&mut self, access: Access, done: Cycle, warp: usize) {
         self.gmmu.record_access(access.page(), access.write);
         if let Some(trace) = &mut self.trace {
@@ -362,6 +391,43 @@ impl Engine {
                 write: access.write,
             });
         }
+    }
+}
+
+/// A frozen engine state captured between kernel launches.
+///
+/// Snapshots are immutable and `Send + Sync`: a sweep executor shares
+/// one behind an `Arc` and every worker [`fork`](Self::fork)s its own
+/// independent [`Engine`] from it. Forks are deep copies — running one
+/// can never perturb the snapshot or a sibling fork (the differential
+/// suite in `tests/fork_equivalence.rs` pins this down).
+#[derive(Clone)]
+pub struct EngineSnapshot {
+    inner: Engine,
+}
+
+impl EngineSnapshot {
+    /// A fresh, fully independent engine resuming from this snapshot.
+    pub fn fork(&self) -> Engine {
+        self.inner.clone()
+    }
+
+    /// The frozen driver state (read-only).
+    pub fn gmmu(&self) -> &Gmmu {
+        &self.inner.gmmu
+    }
+
+    /// The frozen clock.
+    pub fn now(&self) -> Cycle {
+        self.inner.now
+    }
+}
+
+impl std::fmt::Debug for EngineSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineSnapshot")
+            .field("now", &self.inner.now)
+            .finish_non_exhaustive()
     }
 }
 

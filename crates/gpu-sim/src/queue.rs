@@ -33,7 +33,7 @@ use std::collections::BinaryHeap;
 use uvm_types::Cycle;
 
 /// An event beyond the calendar horizon, parked in the overflow heap.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Parked<T> {
     t: Cycle,
     seq: u64,
@@ -80,7 +80,7 @@ impl<T> PartialOrd for Parked<T> {
 /// assert_eq!(q.pop(), Some((Cycle::new(10), "late")));
 /// assert_eq!(q.pop(), None);
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct EventQueue<T> {
     /// Ring of future buckets; slot `b % n` holds bucket `b` for
     /// `cur_bucket < b <= cur_bucket + n`. Unsorted.

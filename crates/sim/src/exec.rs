@@ -33,6 +33,20 @@
 //! Results are returned in submission order, so a plan's output is
 //! byte-identical no matter how many workers execute it.
 //!
+//! # Sweep prefix forking
+//!
+//! Runs carrying a [`Warmup`](crate::Warmup) that agree on every field
+//! *except* the tail `prefetch`/`evict` pair share a byte-identical
+//! warm-up prefix. The executor detects such groups at execution time,
+//! simulates the prefix once ([`crate::simulate_prefix`]), snapshots
+//! the engine, and fans the per-policy tails out across the worker
+//! pool ([`crate::resume_run`]) — turning a P-point sweep from
+//! `O(P × run)` into `O(warm-up + P × tail)`. Forked results are
+//! byte-identical to cold runs of the same options (the
+//! fork-equivalence suite asserts this), so the memo and spill caches
+//! never distinguish the two. Disable with
+//! [`Executor::with_prefix_forking`]`(false)`.
+//!
 //! # Examples
 //!
 //! ```
@@ -61,7 +75,7 @@ use uvm_types::{Bytes, Duration};
 use uvm_workloads::Workload;
 
 use crate::error::{ExecutionReport, RunError};
-use crate::run::{run_workload, RunOptions, RunResult};
+use crate::run::{resume_run, run_workload, simulate_prefix, RunOptions, RunResult, SweepPrefix};
 
 /// Spill-format version; bump when [`RunResult`] fields change so
 /// stale cache entries are ignored rather than misread.
@@ -83,35 +97,69 @@ const SIM_REVISION: u64 = 2;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RunKey(u128);
 
+/// Hashes every [`RunOptions`] field shared by a sweep's prefix —
+/// everything except the tail `prefetch`/`evict` pair. Both the run
+/// key and the prefix-group digest build on this, so the two can never
+/// silently disagree about what "same prefix" means.
+fn hash_shared_opts(h: &mut StableHasher, opts: &RunOptions) {
+    h.write_opt_f64(opts.memory_frac);
+    h.write_bool(opts.disable_prefetch_on_oversubscription);
+    h.write_f64(opts.free_buffer_frac);
+    h.write_f64(opts.reserve_frac);
+    // GpuConfig is plain data; its Debug rendering covers every
+    // field, including the optional radix-walk model.
+    h.write_str(&format!("{:?}", opts.gpu));
+    h.write_bool(opts.trace);
+    match opts.fault_lanes {
+        None => h.write_bool(false),
+        Some(lanes) => {
+            h.write_bool(true);
+            h.write_u64(lanes as u64);
+        }
+    }
+    h.write_bool(opts.writeback_dirty_only);
+    h.write_u64(opts.rng_seed);
+    opts.fault_plan.hash_into(h);
+    // The warm-up is part of the run identity (fork lineage): a warmed
+    // run and an unwarmed run of the same tail policies are different
+    // simulations, and every fork of one prefix hashes that prefix.
+    match opts.warmup {
+        None => h.write_bool(false),
+        Some(w) => {
+            h.write_bool(true);
+            h.write_u64(w.kernels as u64);
+            h.write_str(&format!("{:?}", w.prefetch));
+            h.write_str(&format!("{:?}", w.evict));
+        }
+    }
+}
+
+/// Digest of a run's *shared prefix*: the workload plus every option
+/// except the tail policies. Two runs fork from one warm-up snapshot
+/// exactly when their digests match (and a warm-up is present).
+fn prefix_digest(workload: &dyn Workload, opts: &RunOptions) -> u128 {
+    let mut h = StableHasher::new();
+    h.write_str("uvm-prefix-v1");
+    h.write_str(env!("CARGO_PKG_VERSION"));
+    h.write_u64(SIM_REVISION);
+    h.write_str(workload.name());
+    h.write_str(&workload.signature());
+    hash_shared_opts(&mut h, opts);
+    h.finish()
+}
+
 impl RunKey {
     /// Computes the key of `(workload, opts)`.
     pub fn new(workload: &dyn Workload, opts: &RunOptions) -> Self {
         let mut h = StableHasher::new();
-        h.write_str("uvm-runkey-v2");
+        h.write_str("uvm-runkey-v3");
         h.write_str(env!("CARGO_PKG_VERSION"));
         h.write_u64(SIM_REVISION);
         h.write_str(workload.name());
         h.write_str(&workload.signature());
         h.write_str(&format!("{:?}", opts.prefetch));
         h.write_str(&format!("{:?}", opts.evict));
-        h.write_opt_f64(opts.memory_frac);
-        h.write_bool(opts.disable_prefetch_on_oversubscription);
-        h.write_f64(opts.free_buffer_frac);
-        h.write_f64(opts.reserve_frac);
-        // GpuConfig is plain data; its Debug rendering covers every
-        // field, including the optional radix-walk model.
-        h.write_str(&format!("{:?}", opts.gpu));
-        h.write_bool(opts.trace);
-        match opts.fault_lanes {
-            None => h.write_bool(false),
-            Some(lanes) => {
-                h.write_bool(true);
-                h.write_u64(lanes as u64);
-            }
-        }
-        h.write_bool(opts.writeback_dirty_only);
-        h.write_u64(opts.rng_seed);
-        opts.fault_plan.hash_into(&mut h);
+        hash_shared_opts(&mut h, opts);
         RunKey(h.finish())
     }
 
@@ -223,16 +271,19 @@ pub struct Executor {
     spill_dir: Option<PathBuf>,
     run_timeout: Option<std::time::Duration>,
     run_retries: u32,
+    prefix_forking: bool,
     cache: Mutex<HashMap<RunKey, Arc<RunResult>>>,
     failures: Mutex<Vec<RunError>>,
     executed: AtomicUsize,
     hits: AtomicUsize,
     quarantined: AtomicUsize,
+    prefixes: AtomicUsize,
 }
 
 impl Executor {
     /// An executor running up to `jobs` simulations concurrently.
-    /// `jobs == 0` selects the machine's available parallelism.
+    /// `jobs == 0` selects the machine's available parallelism,
+    /// resolved once here — never re-queried per plan.
     pub fn new(jobs: usize) -> Self {
         let jobs = if jobs == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -244,11 +295,13 @@ impl Executor {
             spill_dir: None,
             run_timeout: None,
             run_retries: 0,
+            prefix_forking: true,
             cache: Mutex::new(HashMap::new()),
             failures: Mutex::new(Vec::new()),
             executed: AtomicUsize::new(0),
             hits: AtomicUsize::new(0),
             quarantined: AtomicUsize::new(0),
+            prefixes: AtomicUsize::new(0),
         }
     }
 
@@ -281,6 +334,15 @@ impl Executor {
         self
     }
 
+    /// Enables or disables sweep prefix forking (on by default).
+    /// Disabled, every warmed run simulates its own warm-up in place —
+    /// same results, no sharing; the sweep bench uses this as its
+    /// cold baseline.
+    pub fn with_prefix_forking(mut self, enabled: bool) -> Self {
+        self.prefix_forking = enabled;
+        self
+    }
+
     /// The worker-pool width.
     pub fn jobs(&self) -> usize {
         self.jobs
@@ -301,6 +363,12 @@ impl Executor {
     /// `*.json.corrupt`, and recomputed.
     pub fn quarantined_entries(&self) -> usize {
         self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Shared warm-up prefixes simulated (each one served a group of
+    /// forked tails that would otherwise have re-simulated it).
+    pub fn prefixes_simulated(&self) -> usize {
+        self.prefixes.load(Ordering::Relaxed)
     }
 
     /// Every failed run recorded by this executor, across all plans.
@@ -362,64 +430,129 @@ impl Executor {
         self.failures.lock().unwrap_or_else(|p| p.into_inner())
     }
 
-    /// One isolated attempt at `sub`: panics are caught at this
-    /// boundary and, when a timeout is configured, the run simulates
-    /// on a watchdog thread so a hang cannot stall the pool.
-    fn attempt_run(&self, sub: &Submission<'_>, attempt: u32) -> Result<RunResult, RunError> {
-        let name = sub.workload.name().to_string();
+    /// One isolated attempt at a unit of simulation work: panics are
+    /// caught at this boundary and, when a timeout is configured, the
+    /// work runs on a watchdog thread so a hang cannot stall the pool.
+    ///
+    /// `inline` and `remote` must compute the same value; `remote` is
+    /// the `'static` variant the watchdog thread can own (workload
+    /// cloned, prefix behind an `Arc`). Only one of the two runs.
+    fn isolated<T: Send + 'static>(
+        &self,
+        inline: impl FnOnce() -> T,
+        remote: impl FnOnce() -> T + Send + 'static,
+    ) -> Result<T, Failure> {
         let Some(limit) = self.run_timeout else {
-            return catch_unwind(AssertUnwindSafe(|| {
-                run_workload(sub.workload, sub.opts.clone())
-            }))
-            .map_err(|payload| RunError::Panicked {
-                name,
-                key: sub.key,
-                message: panic_message(payload),
-                attempts: attempt,
-            });
+            return catch_unwind(AssertUnwindSafe(inline))
+                .map_err(|payload| Failure::Panic(panic_message(payload)));
         };
-        let workload = sub.workload.clone_box();
-        let opts = sub.opts.clone();
         let (tx, rx) = mpsc::channel();
         std::thread::spawn(move || {
-            let outcome = catch_unwind(AssertUnwindSafe(|| run_workload(workload.as_ref(), opts)))
-                .map_err(panic_message);
+            let outcome = catch_unwind(AssertUnwindSafe(remote)).map_err(panic_message);
             let _ = tx.send(outcome);
         });
         match rx.recv_timeout(limit) {
-            Ok(Ok(result)) => Ok(result),
-            Ok(Err(message)) => Err(RunError::Panicked {
-                name,
-                key: sub.key,
-                message,
-                attempts: attempt,
-            }),
-            Err(mpsc::RecvTimeoutError::Timeout) => Err(RunError::TimedOut {
-                name,
-                key: sub.key,
-                timeout: limit,
-                attempts: attempt,
-            }),
-            Err(mpsc::RecvTimeoutError::Disconnected) => Err(RunError::Panicked {
-                name,
-                key: sub.key,
-                message: "watchdog thread died before sending a result".into(),
-                attempts: attempt,
-            }),
+            Ok(Ok(value)) => Ok(value),
+            Ok(Err(message)) => Err(Failure::Panic(message)),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(Failure::Timeout(limit)),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(Failure::Panic(
+                "watchdog thread died before sending a result".into(),
+            )),
         }
     }
 
-    /// Simulates `sub` with the configured retry budget.
-    fn simulate(&self, sub: &Submission<'_>) -> Result<RunResult, RunError> {
+    /// Runs `attempt` up to `1 + run_retries` times; returns the first
+    /// success or the last failure paired with the attempt count.
+    fn with_retries<T>(
+        &self,
+        mut attempt: impl FnMut(&Self) -> Result<T, Failure>,
+    ) -> Result<T, (Failure, u32)> {
         let attempts = 1 + self.run_retries;
         let mut last = None;
-        for attempt in 1..=attempts {
-            match self.attempt_run(sub, attempt) {
-                Ok(result) => return Ok(result),
-                Err(err) => last = Some(err),
+        for n in 1..=attempts {
+            match attempt(self) {
+                Ok(value) => return Ok(value),
+                Err(failure) => last = Some((failure, n)),
             }
         }
         Err(last.expect("at least one attempt was made"))
+    }
+
+    /// Simulates `sub` cold (or warmed in place) with isolation and
+    /// the retry budget.
+    fn simulate(&self, sub: &Submission<'_>) -> Result<RunResult, RunError> {
+        self.with_retries(|exec| {
+            let workload = sub.workload.clone_box();
+            let opts = sub.opts.clone();
+            exec.isolated(
+                || run_workload(sub.workload, sub.opts.clone()),
+                move || run_workload(workload.as_ref(), opts),
+            )
+        })
+        .map_err(|(failure, attempts)| failure.into_run_error(sub, attempts))
+    }
+
+    /// Simulates a group's shared warm-up prefix with isolation and
+    /// the retry budget. Failures are reported per group member by the
+    /// caller, so this returns the raw [`Failure`].
+    fn simulate_group_prefix(
+        &self,
+        sub: &Submission<'_>,
+    ) -> Result<Arc<SweepPrefix>, (Failure, u32)> {
+        self.with_retries(|exec| {
+            let workload = sub.workload.clone_box();
+            let opts = sub.opts.clone();
+            exec.isolated(
+                || Arc::new(simulate_prefix(sub.workload, &sub.opts)),
+                move || Arc::new(simulate_prefix(workload.as_ref(), &opts)),
+            )
+        })
+    }
+
+    /// Forks `prefix` and simulates `sub`'s tail with isolation and
+    /// the retry budget.
+    fn simulate_tail(
+        &self,
+        prefix: &Arc<SweepPrefix>,
+        sub: &Submission<'_>,
+    ) -> Result<RunResult, RunError> {
+        self.with_retries(|exec| {
+            let prefix_remote = Arc::clone(prefix);
+            let opts = sub.opts.clone();
+            exec.isolated(
+                || resume_run(prefix, &sub.opts),
+                move || resume_run(&prefix_remote, &opts),
+            )
+        })
+        .map_err(|(failure, attempts)| failure.into_run_error(sub, attempts))
+    }
+
+    /// Runs `f(0..len)` across the worker pool and collects the
+    /// outcomes by index. `f` must not panic (simulation panics are
+    /// already caught inside [`Executor::isolated`]).
+    fn parallel_map<T: Send>(&self, len: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+        let slots: Vec<Mutex<Option<T>>> = (0..len).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.jobs.min(len).max(1);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(f(i));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .expect("worker pool drained every slot")
+            })
+            .collect()
     }
 
     fn execute_report(&self, subs: Vec<Submission<'_>>) -> ExecutionReport {
@@ -451,29 +584,9 @@ impl Executor {
 
         let mut failures: Vec<RunError> = Vec::new();
         if !todo.is_empty() {
-            let slots: Vec<Mutex<Option<Result<RunResult, RunError>>>> =
-                todo.iter().map(|_| Mutex::new(None)).collect();
-            let next = AtomicUsize::new(0);
-            let workers = self.jobs.min(todo.len()).max(1);
-            std::thread::scope(|s| {
-                for _ in 0..workers {
-                    s.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(sub) = todo.get(i) else { break };
-                        let outcome = self.simulate(sub);
-                        if outcome.is_ok() {
-                            self.executed.fetch_add(1, Ordering::Relaxed);
-                        }
-                        *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(outcome);
-                    });
-                }
-            });
+            let outcomes = self.execute_todo(&todo);
             let mut cache = self.lock_cache();
-            for (sub, slot) in todo.iter().zip(slots) {
-                let outcome = slot
-                    .into_inner()
-                    .unwrap_or_else(|p| p.into_inner())
-                    .expect("worker pool drained every slot");
+            for (sub, outcome) in todo.iter().zip(outcomes) {
                 match outcome {
                     Ok(result) => {
                         self.store_spill(sub.key, &sub.opts, &result);
@@ -493,6 +606,114 @@ impl Executor {
             .map(|sub| cache.get(&sub.key).map(Arc::clone))
             .collect();
         ExecutionReport { results, failures }
+    }
+
+    /// Simulates the deduplicated `todo` list, forking shared warm-up
+    /// prefixes where possible, and returns one outcome per entry.
+    ///
+    /// Phase A runs the cold/in-place runs and the shared prefixes on
+    /// one pool pass; phase B fans the forked tails of the successful
+    /// prefixes out on a second pass. A failed prefix fails every
+    /// member of its group (each with its own key and name).
+    fn execute_todo(&self, todo: &[&Submission<'_>]) -> Vec<Result<RunResult, RunError>> {
+        // Group warmed runs by shared-prefix digest, in first-seen
+        // order; everything else (and singleton groups, which gain
+        // nothing from a snapshot) simulates cold.
+        let mut cold: Vec<usize> = Vec::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        if self.prefix_forking {
+            let mut by_digest: HashMap<u128, usize> = HashMap::new();
+            for (i, sub) in todo.iter().enumerate() {
+                if sub.opts.warmup.is_some() {
+                    let digest = prefix_digest(sub.workload, &sub.opts);
+                    match by_digest.get(&digest) {
+                        Some(&g) => groups[g].push(i),
+                        None => {
+                            by_digest.insert(digest, groups.len());
+                            groups.push(vec![i]);
+                        }
+                    }
+                } else {
+                    cold.push(i);
+                }
+            }
+            groups.retain(|members| {
+                if members.len() < 2 {
+                    cold.extend(members.iter().copied());
+                    false
+                } else {
+                    true
+                }
+            });
+            cold.sort_unstable();
+        } else {
+            cold.extend(0..todo.len());
+        }
+
+        enum Job {
+            Cold(usize),
+            Prefix(usize),
+        }
+        enum Done {
+            Run(usize, Box<Result<RunResult, RunError>>),
+            Prefix(usize, Result<Arc<SweepPrefix>, (Failure, u32)>),
+        }
+        let jobs: Vec<Job> = cold
+            .iter()
+            .map(|&i| Job::Cold(i))
+            .chain((0..groups.len()).map(Job::Prefix))
+            .collect();
+
+        let phase_a = self.parallel_map(jobs.len(), |j| match jobs[j] {
+            Job::Cold(i) => {
+                let outcome = self.simulate(todo[i]);
+                if outcome.is_ok() {
+                    self.executed.fetch_add(1, Ordering::Relaxed);
+                }
+                Done::Run(i, Box::new(outcome))
+            }
+            Job::Prefix(g) => {
+                let outcome = self.simulate_group_prefix(todo[groups[g][0]]);
+                if outcome.is_ok() {
+                    self.prefixes.fetch_add(1, Ordering::Relaxed);
+                }
+                Done::Prefix(g, outcome)
+            }
+        });
+
+        let mut outcomes: Vec<Option<Result<RunResult, RunError>>> =
+            todo.iter().map(|_| None).collect();
+        let mut tails: Vec<(usize, Arc<SweepPrefix>)> = Vec::new();
+        for done in phase_a {
+            match done {
+                Done::Run(i, outcome) => outcomes[i] = Some(*outcome),
+                Done::Prefix(g, Ok(prefix)) => {
+                    tails.extend(groups[g].iter().map(|&i| (i, Arc::clone(&prefix))));
+                }
+                Done::Prefix(g, Err((failure, attempts))) => {
+                    for &i in &groups[g] {
+                        outcomes[i] = Some(Err(failure.clone().into_run_error(todo[i], attempts)));
+                    }
+                }
+            }
+        }
+
+        let phase_b = self.parallel_map(tails.len(), |j| {
+            let (i, ref prefix) = tails[j];
+            let outcome = self.simulate_tail(prefix, todo[i]);
+            if outcome.is_ok() {
+                self.executed.fetch_add(1, Ordering::Relaxed);
+            }
+            (i, outcome)
+        });
+        for (i, outcome) in phase_b {
+            outcomes[i] = Some(outcome);
+        }
+
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every todo entry resolved by phase A or B"))
+            .collect()
     }
 
     fn spill_path(&self, key: RunKey) -> Option<PathBuf> {
@@ -538,6 +759,35 @@ impl Executor {
         if fs::write(&tmp, spill::encode_entry(result)).is_err() || fs::rename(&tmp, &path).is_err()
         {
             let _ = fs::remove_file(&tmp);
+        }
+    }
+}
+
+/// A failed isolation attempt, not yet tied to a particular
+/// submission: a prefix failure fans out into one [`RunError`] per
+/// group member.
+#[derive(Clone, Debug)]
+enum Failure {
+    Panic(String),
+    Timeout(std::time::Duration),
+}
+
+impl Failure {
+    fn into_run_error(self, sub: &Submission<'_>, attempts: u32) -> RunError {
+        let name = sub.workload.name().to_string();
+        match self {
+            Failure::Panic(message) => RunError::Panicked {
+                name,
+                key: sub.key,
+                message,
+                attempts,
+            },
+            Failure::Timeout(timeout) => RunError::TimedOut {
+                name,
+                key: sub.key,
+                timeout,
+                attempts,
+            },
         }
     }
 }
@@ -921,6 +1171,98 @@ mod tests {
             fault_jitter_cycles: 42,
             traces: Vec::new(),
         }
+    }
+
+    #[test]
+    fn jobs_zero_resolves_to_machine_parallelism_once() {
+        // `--jobs 0` means auto-detect; the width is resolved in the
+        // constructor and stays fixed for the executor's lifetime
+        // rather than being re-queried per plan.
+        let exec = Executor::new(0);
+        let resolved = exec.jobs();
+        assert!(resolved >= 1);
+        exec.run_one(&sweep(), RunOptions::default());
+        assert_eq!(exec.jobs(), resolved);
+    }
+
+    #[test]
+    fn warmed_sweep_forks_one_shared_prefix() {
+        use crate::run::Warmup;
+        let w = LinearSweep {
+            pages: 64,
+            repeats: 3,
+            thread_blocks: 2,
+        };
+        let submit_all = |exec: &Executor| {
+            let mut plan = exec.plan();
+            for p in PrefetchPolicy::ALL {
+                plan.submit(
+                    &w,
+                    RunOptions::default()
+                        .with_prefetch(p)
+                        .with_warmup(Warmup::default()),
+                );
+            }
+            plan.execute()
+        };
+
+        let forked_exec = Executor::new(2);
+        let forked = submit_all(&forked_exec);
+        assert_eq!(forked_exec.prefixes_simulated(), 1);
+        assert_eq!(forked_exec.runs_executed(), PrefetchPolicy::ALL.len());
+
+        let cold_exec = Executor::new(2).with_prefix_forking(false);
+        let cold = submit_all(&cold_exec);
+        assert_eq!(cold_exec.prefixes_simulated(), 0);
+        for (f, c) in forked.iter().zip(&cold) {
+            assert_eq!(format!("{f:?}"), format!("{c:?}"));
+        }
+    }
+
+    #[test]
+    fn singleton_warmed_run_needs_no_prefix() {
+        use crate::run::Warmup;
+        let exec = Executor::new(1);
+        let w = sweep();
+        exec.run_one(&w, RunOptions::default().with_warmup(Warmup::default()));
+        assert_eq!(exec.prefixes_simulated(), 0);
+        assert_eq!(exec.runs_executed(), 1);
+    }
+
+    #[test]
+    fn failed_prefix_reports_every_group_member() {
+        use crate::run::Warmup;
+
+        #[derive(Clone, Debug)]
+        struct Exploding;
+        impl Workload for Exploding {
+            fn name(&self) -> &'static str {
+                "exploding"
+            }
+            fn build(
+                &self,
+                _malloc: &mut dyn FnMut(Bytes) -> uvm_types::VirtAddr,
+            ) -> Vec<uvm_gpu::KernelSpec> {
+                panic!("boom in the warm-up");
+            }
+        }
+
+        let exec = Executor::new(2);
+        let mut plan = exec.plan();
+        for p in PrefetchPolicy::ALL {
+            plan.submit(
+                &Exploding,
+                RunOptions::default()
+                    .with_prefetch(p)
+                    .with_warmup(Warmup::default()),
+            );
+        }
+        let report = plan.try_execute();
+        assert_eq!(report.failures.len(), PrefetchPolicy::ALL.len());
+        let mut keys: Vec<_> = report.failures.iter().map(|f| f.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), PrefetchPolicy::ALL.len());
     }
 
     #[test]

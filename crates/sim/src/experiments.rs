@@ -21,7 +21,7 @@ use uvm_workloads::{
 };
 
 use crate::exec::Executor;
-use crate::run::RunOptions;
+use crate::run::{RunOptions, Warmup};
 use crate::table::Table;
 
 /// Experiment size.
@@ -172,6 +172,75 @@ pub fn prefetcher_sweep(exec: &Executor, scale: Scale) -> PrefetcherSweep {
         faults.row_owned(f_row);
     }
     PrefetcherSweep {
+        time,
+        bandwidth,
+        faults,
+    }
+}
+
+/// Results of the warmed policy-grid sweep: the figs. 3/4/5 measures
+/// (kernel time, read bandwidth, far-faults) for every prefetcher ×
+/// evictor pair, taken in steady state after a shared warm-up.
+#[derive(Clone, Debug)]
+pub struct WarmedGridSweep {
+    /// Kernel execution time (ms) per evictor × prefetcher.
+    pub time: Table,
+    /// Average PCI-e read bandwidth (GB/s).
+    pub bandwidth: Table,
+    /// Total far-faults.
+    pub faults: Table,
+}
+
+/// Steady-state variant of the figs. 3-5 measurement over the full
+/// prefetcher × evictor grid at 110 % over-subscription: every cell
+/// first replays the same warm-up launches under `warmup`'s policies,
+/// then runs the remaining launches under its own pair.
+///
+/// All cells of one workload share a byte-identical warm-up, so a
+/// prefix-forking [`Executor`] simulates that warm-up once and forks
+/// the twenty tails from the snapshot — this sweep is the workload
+/// behind `BENCH_sweep.json`.
+pub fn warmed_policy_grid(
+    exec: &Executor,
+    workload: &dyn Workload,
+    warmup: Warmup,
+) -> WarmedGridSweep {
+    let mut plan = exec.plan();
+    for p in PrefetchPolicy::ALL {
+        for e in EvictPolicy::ALL {
+            plan.submit(
+                workload,
+                RunOptions::default()
+                    .with_prefetch(p)
+                    .with_evict(e)
+                    .with_memory_frac(1.10)
+                    .with_warmup(warmup),
+            );
+        }
+    }
+    let results = plan.execute();
+
+    let headers = ["evictor", "none", "Rp", "SLp", "TBNp"];
+    let title = |what: &str| format!("Warmed policy grid ({}): {what}", workload.name());
+    let mut time = Table::new(title("kernel time ms"), &headers);
+    let mut bandwidth = Table::new(title("read bandwidth GB/s"), &headers);
+    let mut faults = Table::new(title("far-faults"), &headers);
+    for (ei, e) in EvictPolicy::ALL.iter().enumerate() {
+        let mut t_row = vec![e.to_string()];
+        let mut b_row = vec![e.to_string()];
+        let mut f_row = vec![e.to_string()];
+        for pi in 0..PrefetchPolicy::ALL.len() {
+            // Submission order was prefetcher-major.
+            let r = &results[pi * EvictPolicy::ALL.len() + ei];
+            t_row.push(fmt(r.total_ms()));
+            b_row.push(fmt(r.read_bandwidth_gbps));
+            f_row.push(r.far_faults.to_string());
+        }
+        time.row_owned(t_row);
+        bandwidth.row_owned(b_row);
+        faults.row_owned(f_row);
+    }
+    WarmedGridSweep {
         time,
         bandwidth,
         faults,

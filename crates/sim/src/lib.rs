@@ -39,5 +39,8 @@ pub mod experiments;
 pub use error::{ExecutionReport, RunError};
 pub use exec::{Executor, Plan, RunKey};
 pub use pattern::{PatternClass, PatternSummary};
-pub use run::{measure_footprint, run_workload, RunOptions, RunResult};
+pub use run::{
+    measure_footprint, resume_run, run_workload, simulate_prefix, RunOptions, RunResult,
+    SweepPrefix, Warmup,
+};
 pub use table::Table;

@@ -1,9 +1,52 @@
-//! Single-run driver: one workload under one configuration.
+//! Single-run driver: one workload under one configuration, plus the
+//! shared warm-up prefix machinery behind sweep forking.
 
 use uvm_core::{EvictPolicy, FaultPlan, Gmmu, PrefetchPolicy, UvmConfig};
-use uvm_gpu::{Engine, GpuConfig, TraceEvent};
+use uvm_gpu::{Engine, EngineSnapshot, GpuConfig, KernelSpec, TraceEvent};
 use uvm_types::{Bytes, Duration};
 use uvm_workloads::Workload;
+
+/// A shared warm-up phase preceding the measured (tail) launches.
+///
+/// With a warm-up in force, the first launches of a run simulate under
+/// the warm-up policies; the driver then [swaps] to the run's own
+/// `prefetch`/`evict` pair for the remaining launches. Runs differing
+/// *only* in their tail policies therefore share a byte-identical
+/// prefix, which the [`Executor`](crate::Executor) simulates once and
+/// forks per point (DESIGN.md §8).
+///
+/// [swaps]: Gmmu::swap_policies
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Warmup {
+    /// Launches simulated under the warm-up policies. Clamped so the
+    /// final launch always runs under the measured policies: at most
+    /// `total launches - 1` take part in the warm-up.
+    pub kernels: usize,
+    /// Prefetcher in force during the warm-up.
+    pub prefetch: PrefetchPolicy,
+    /// Eviction policy in force during the warm-up.
+    pub evict: EvictPolicy,
+}
+
+impl Default for Warmup {
+    /// One warm-up launch under the paper-default policies
+    /// (TBNp + LRU-4KB).
+    fn default() -> Self {
+        Warmup {
+            kernels: 1,
+            prefetch: PrefetchPolicy::TreeBasedNeighborhood,
+            evict: EvictPolicy::LruPage,
+        }
+    }
+}
+
+impl Warmup {
+    /// The number of launches actually warmed for a workload with
+    /// `total` launches (the final launch is never consumed).
+    pub fn effective_kernels(&self, total: usize) -> usize {
+        self.kernels.min(total.saturating_sub(1))
+    }
+}
 
 /// Options for one simulation run.
 ///
@@ -43,6 +86,9 @@ pub struct RunOptions {
     /// Deterministic fault-injection plan ([`FaultPlan::none`] by
     /// default — nothing injected, no RNG drawn).
     pub fault_plan: FaultPlan,
+    /// Shared warm-up prefix (`None` = every launch runs under
+    /// `prefetch`/`evict`, the historical behavior).
+    pub warmup: Option<Warmup>,
 }
 
 impl Default for RunOptions {
@@ -60,6 +106,7 @@ impl Default for RunOptions {
             writeback_dirty_only: false,
             rng_seed: 0x5eed,
             fault_plan: FaultPlan::none(),
+            warmup: None,
         }
     }
 }
@@ -136,6 +183,13 @@ impl RunOptions {
     /// Sets the fault-injection plan.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Installs a shared warm-up prefix: the first launches run under
+    /// the warm-up policies, the rest under this run's own pair.
+    pub fn with_warmup(mut self, warmup: Warmup) -> Self {
+        self.warmup = Some(warmup);
         self
     }
 }
@@ -223,21 +277,25 @@ pub fn measure_footprint(workload: &dyn Workload) -> Bytes {
     gmmu.allocations().total_requested()
 }
 
-/// Runs `workload` under `opts` and returns the measurements.
-///
-/// The device-memory budget is derived from the workload's footprint
-/// and `opts.memory_frac`, mirroring the paper's method of scaling the
-/// memory-size parameter rather than the working set (Sec. 7.3).
-pub fn run_workload(workload: &dyn Workload, opts: RunOptions) -> RunResult {
-    let footprint = measure_footprint(workload);
-    let capacity = opts.memory_frac.map(|frac| {
+/// Derives the device budget from the footprint and `memory_frac`.
+fn derive_capacity(footprint: Bytes, memory_frac: Option<f64>) -> Option<Bytes> {
+    memory_frac.map(|frac| {
         assert!(frac > 0.0, "memory fraction must be positive");
         Bytes::new((footprint.bytes() as f64 / frac).ceil() as u64)
-    });
+    })
+}
 
+/// Builds the driver configuration for `opts` with the given *initial*
+/// policies (the warm-up pair when a warm-up is in force).
+fn build_config(
+    opts: &RunOptions,
+    capacity: Option<Bytes>,
+    prefetch: PrefetchPolicy,
+    evict: EvictPolicy,
+) -> UvmConfig {
     let mut cfg = UvmConfig::default()
-        .with_prefetch(opts.prefetch)
-        .with_evict(opts.evict)
+        .with_prefetch(prefetch)
+        .with_evict(evict)
         .with_disable_prefetch_on_oversubscription(opts.disable_prefetch_on_oversubscription)
         .with_rng_seed(opts.rng_seed)
         .with_fault_plan(opts.fault_plan);
@@ -256,34 +314,60 @@ pub fn run_workload(workload: &dyn Workload, opts: RunOptions) -> RunResult {
     if opts.writeback_dirty_only {
         cfg = cfg.with_writeback_dirty_only(true);
     }
+    cfg
+}
 
-    let mut gmmu = Gmmu::new(cfg);
+/// Builds the engine and compiled launch list for a run, with the
+/// given initial policy pair installed.
+fn build_engine(
+    workload: &dyn Workload,
+    opts: &RunOptions,
+    capacity: Option<Bytes>,
+    prefetch: PrefetchPolicy,
+    evict: EvictPolicy,
+) -> (Engine, Vec<KernelSpec>) {
+    let mut gmmu = Gmmu::new(build_config(opts, capacity, prefetch, evict));
     let kernels = {
         let mut malloc = |size: Bytes| gmmu.malloc_managed(size);
         workload.build(&mut malloc)
     };
-
     let mut engine = Engine::new(gmmu, opts.gpu.clone());
     if opts.trace {
         engine.enable_trace();
     }
+    (engine, kernels)
+}
 
-    let mut kernel_times = Vec::with_capacity(kernels.len());
-    let mut traces = Vec::new();
-    for kernel in kernels {
-        let time = engine.run_kernel(kernel);
-        kernel_times.push(time);
-        if opts.trace {
-            traces.push(engine.take_trace());
-        }
+/// Runs one launch, recording its time and (if enabled) its trace.
+fn run_launch(
+    engine: &mut Engine,
+    kernel: KernelSpec,
+    trace: bool,
+    kernel_times: &mut Vec<Duration>,
+    traces: &mut Vec<Vec<TraceEvent>>,
+) {
+    let time = engine.run_kernel(kernel);
+    kernel_times.push(time);
+    if trace {
+        traces.push(engine.take_trace());
     }
+}
 
+/// Assembles the [`RunResult`] from a finished engine.
+fn collect_result(
+    engine: &Engine,
+    name: &str,
+    footprint: Bytes,
+    capacity: Option<Bytes>,
+    kernel_times: Vec<Duration>,
+    traces: Vec<Vec<TraceEvent>>,
+) -> RunResult {
     let gmmu = engine.gmmu();
     let stats = gmmu.stats();
     let read = gmmu.read_stats();
     let write = gmmu.write_stats();
     RunResult {
-        name: workload.name().to_owned(),
+        name: name.to_owned(),
         total_time: kernel_times.iter().fold(Duration::ZERO, |acc, &t| acc + t),
         kernel_times,
         footprint,
@@ -310,6 +394,164 @@ pub fn run_workload(workload: &dyn Workload, opts: RunOptions) -> RunResult {
         fault_jitter_cycles: stats.fault_injection.jitter_cycles,
         traces,
     }
+}
+
+/// Runs `workload` under `opts` and returns the measurements.
+///
+/// The device-memory budget is derived from the workload's footprint
+/// and `opts.memory_frac`, mirroring the paper's method of scaling the
+/// memory-size parameter rather than the working set (Sec. 7.3).
+///
+/// With `opts.warmup` set, the first launches run under the warm-up
+/// policies and the driver swaps to `opts.prefetch`/`opts.evict` for
+/// the rest. The reported times and counters still cover *all*
+/// launches; this in-place path is byte-identical to
+/// [`simulate_prefix`] + [`resume_run`], which the fork-equivalence
+/// suite asserts.
+pub fn run_workload(workload: &dyn Workload, opts: RunOptions) -> RunResult {
+    let footprint = measure_footprint(workload);
+    let capacity = derive_capacity(footprint, opts.memory_frac);
+    let warm = opts.warmup;
+    let (initial_prefetch, initial_evict) = match warm {
+        Some(w) => (w.prefetch, w.evict),
+        None => (opts.prefetch, opts.evict),
+    };
+
+    let (mut engine, kernels) =
+        build_engine(workload, &opts, capacity, initial_prefetch, initial_evict);
+    let warm_launches = warm.map_or(0, |w| w.effective_kernels(kernels.len()));
+
+    let mut kernel_times = Vec::with_capacity(kernels.len());
+    let mut traces = Vec::new();
+    for (i, kernel) in kernels.into_iter().enumerate() {
+        if warm.is_some() && i == warm_launches {
+            engine.gmmu_mut().swap_policies(opts.prefetch, opts.evict);
+        }
+        run_launch(
+            &mut engine,
+            kernel,
+            opts.trace,
+            &mut kernel_times,
+            &mut traces,
+        );
+    }
+
+    collect_result(
+        &engine,
+        workload.name(),
+        footprint,
+        capacity,
+        kernel_times,
+        traces,
+    )
+}
+
+/// A simulated warm-up prefix, ready to be forked into per-policy
+/// tails.
+///
+/// Produced by [`simulate_prefix`]; consumed (any number of times) by
+/// [`resume_run`]. The snapshot owns a deep copy of the engine, so the
+/// prefix is immutable and can be shared across worker threads.
+#[derive(Clone, Debug)]
+pub struct SweepPrefix {
+    snapshot: EngineSnapshot,
+    tail_kernels: Vec<KernelSpec>,
+    warm_times: Vec<Duration>,
+    warm_traces: Vec<Vec<TraceEvent>>,
+    name: String,
+    footprint: Bytes,
+    capacity: Option<Bytes>,
+}
+
+impl SweepPrefix {
+    /// Warm-up launches contained in the prefix.
+    pub fn warm_launches(&self) -> usize {
+        self.warm_times.len()
+    }
+
+    /// Launches remaining after the prefix.
+    pub fn tail_launches(&self) -> usize {
+        self.tail_kernels.len()
+    }
+}
+
+/// Simulates the shared warm-up prefix of a sweep once.
+///
+/// `opts` must carry a warm-up; only its *shared* fields matter — the
+/// tail `prefetch`/`evict` pair is ignored here and supplied per point
+/// by [`resume_run`].
+///
+/// # Panics
+///
+/// Panics if `opts.warmup` is `None`.
+pub fn simulate_prefix(workload: &dyn Workload, opts: &RunOptions) -> SweepPrefix {
+    let warm = opts
+        .warmup
+        .expect("simulate_prefix requires RunOptions::warmup");
+    let footprint = measure_footprint(workload);
+    let capacity = derive_capacity(footprint, opts.memory_frac);
+
+    let (mut engine, kernels) = build_engine(workload, opts, capacity, warm.prefetch, warm.evict);
+    let warm_launches = warm.effective_kernels(kernels.len());
+
+    let mut warm_times = Vec::with_capacity(warm_launches);
+    let mut warm_traces = Vec::new();
+    let mut kernels = kernels.into_iter();
+    for kernel in kernels.by_ref().take(warm_launches) {
+        run_launch(
+            &mut engine,
+            kernel,
+            opts.trace,
+            &mut warm_times,
+            &mut warm_traces,
+        );
+    }
+
+    SweepPrefix {
+        snapshot: engine.snapshot(),
+        tail_kernels: kernels.collect(),
+        warm_times,
+        warm_traces,
+        name: workload.name().to_owned(),
+        footprint,
+        capacity,
+    }
+}
+
+/// Resumes a run from a shared prefix under `opts`' own tail policies.
+///
+/// The engine is forked from the snapshot, the policies swapped to
+/// `opts.prefetch`/`opts.evict`, and the remaining launches simulated.
+/// The result covers the whole run (warm-up included) and is
+/// byte-identical to a cold [`run_workload`] with the same options.
+pub fn resume_run(prefix: &SweepPrefix, opts: &RunOptions) -> RunResult {
+    debug_assert!(
+        opts.warmup.is_some(),
+        "resume_run options should carry the sweep's warm-up"
+    );
+    let mut engine = prefix.snapshot.fork();
+    engine.gmmu_mut().swap_policies(opts.prefetch, opts.evict);
+
+    let mut kernel_times = prefix.warm_times.clone();
+    let mut traces = prefix.warm_traces.clone();
+    for kernel in prefix.tail_kernels.iter().cloned() {
+        run_launch(
+            &mut engine,
+            kernel,
+            opts.trace,
+            &mut kernel_times,
+            &mut traces,
+        );
+    }
+
+    collect_result(
+        &engine,
+        &prefix.name,
+        prefix.footprint,
+        prefix.capacity,
+        kernel_times,
+        traces,
+    )
 }
 
 #[cfg(test)]
@@ -383,6 +625,47 @@ mod tests {
         );
         assert_eq!(r.traces.len(), 1);
         assert_eq!(r.traces[0].len(), 4);
+    }
+
+    #[test]
+    fn warmup_with_identical_policies_matches_cold_run() {
+        // Unlimited memory, warm-up pair == tail pair: the swap
+        // reinstalls equivalent fresh policies, so nothing diverges.
+        let cold = run_workload(&sweep(), RunOptions::default());
+        let warm = run_workload(
+            &sweep(),
+            RunOptions::default().with_warmup(Warmup::default()),
+        );
+        assert_eq!(cold.total_time, warm.total_time);
+        assert_eq!(cold.far_faults, warm.far_faults);
+        assert_eq!(cold.kernel_times, warm.kernel_times);
+    }
+
+    #[test]
+    fn warmup_clamps_to_leave_one_measured_launch() {
+        let w = Warmup {
+            kernels: 10,
+            ..Warmup::default()
+        };
+        assert_eq!(w.effective_kernels(2), 1);
+        assert_eq!(w.effective_kernels(1), 0);
+        assert_eq!(w.effective_kernels(0), 0);
+        let r = run_workload(&sweep(), RunOptions::default().with_warmup(w));
+        assert_eq!(r.kernel_times.len(), 2);
+    }
+
+    #[test]
+    fn prefix_resume_matches_in_place_warmed_run() {
+        let opts = RunOptions::default()
+            .with_memory_frac(1.10)
+            .with_prefetch(PrefetchPolicy::None)
+            .with_warmup(Warmup::default());
+        let cold = run_workload(&sweep(), opts.clone());
+        let prefix = simulate_prefix(&sweep(), &opts);
+        assert_eq!(prefix.warm_launches(), 1);
+        assert_eq!(prefix.tail_launches(), 1);
+        let forked = resume_run(&prefix, &opts);
+        assert_eq!(format!("{cold:?}"), format!("{forked:?}"));
     }
 
     #[test]
