@@ -1,9 +1,13 @@
 //! Micro-benchmarks of the core mechanisms: tree balancing, LRU
 //! bookkeeping, the PCI-e cost model, the GMMU frame-lookup hot path,
-//! and end-to-end fault servicing through the GMMU.
+//! the buddy frame allocator's split/merge and region cycles, and
+//! end-to-end fault servicing through the GMMU.
 //!
 //! Run with `cargo bench -p uvm-bench --bench microbench`; an optional
-//! bare argument filters cases by substring.
+//! bare argument filters cases by substring. Set
+//! `UVM_BENCH_JSON=BENCH_engine.json` to fold the results into the
+//! committed report next to `engine_hotpath`'s (the harness merges
+//! by case name rather than overwriting).
 
 use std::hint::black_box;
 
@@ -137,6 +141,61 @@ fn bench_frame_table_repr(b: &Bench) {
     });
 }
 
+/// The buddy frame allocator's contiguity machinery (DESIGN.md §9):
+/// the legacy single-frame path every non-Mosaic policy stays on, the
+/// order-4 split/merge cycle, and the 2 MB region reserve → carve →
+/// release cycle backing MOSp's contiguous placement.
+fn bench_frame_alloc(b: &Bench) {
+    use uvm_mem::{FrameAllocator, ReferenceFrameAllocator};
+    use uvm_types::BASIC_BLOCK_ORDER;
+
+    const FRAMES: u64 = 4096; // eight 2 MB regions
+
+    // Steady-state single-frame churn: LIFO pop + push, the hot path
+    // shared with the reference allocator it must stay equivalent to.
+    let mut alloc = FrameAllocator::with_frames(FRAMES);
+    b.bench("frames/alloc_free_single", || {
+        let f = alloc.allocate().expect("within budget");
+        alloc.free(f).expect("just allocated");
+    });
+    let mut reference = ReferenceFrameAllocator::with_frames(FRAMES);
+    b.bench("frames/alloc_free_single_reference", || {
+        let f = reference.allocate().expect("within budget");
+        reference.free(f).expect("just allocated");
+    });
+
+    // Split/merge cycle: carving a 64 KB block out of a free 2 MB
+    // buddy splits five levels down; freeing it merges five levels
+    // back up, restoring the order-9 block for the next iteration.
+    let mut alloc = FrameAllocator::with_frames(FRAMES);
+    let base = alloc.reserve_region().expect("capacity for a region");
+    alloc.release_region(base); // park a free order-9 block
+    b.bench("frames/split_merge_64k_of_2mb", || {
+        let block = alloc
+            .allocate_block(BASIC_BLOCK_ORDER)
+            .expect("order-9 block is free");
+        alloc
+            .free_block(block, BASIC_BLOCK_ORDER)
+            .expect("just allocated");
+    });
+
+    // MOSp's placement cycle: soft-reserve a 2 MB region, carve all
+    // 512 frames page-by-page, free them back into the region mask,
+    // and release (a fully-free release recycles the order-9 block).
+    let mut alloc = FrameAllocator::with_frames(FRAMES);
+    let mut held = Vec::with_capacity(512);
+    b.bench("frames/region_reserve_carve_release_2mb", || {
+        let base = alloc.reserve_region().expect("capacity for a region");
+        for off in 0..512u64 {
+            held.push(alloc.allocate_in_region(base, off).expect("slot is free"));
+        }
+        for f in held.drain(..) {
+            alloc.free(f).expect("just allocated");
+        }
+        alloc.release_region(base);
+    });
+}
+
 fn bench_gmmu_faults(b: &Bench) {
     b.bench("gmmu/fault_tbnp_no_budget", || {
         let mut gmmu =
@@ -182,5 +241,8 @@ fn main() {
     bench_pcie(&b);
     bench_gmmu_lookup(&b);
     bench_frame_table_repr(&b);
+    bench_frame_alloc(&b);
     bench_gmmu_faults(&b);
+    b.write_json_from_env("microbench")
+        .expect("write bench JSON report");
 }

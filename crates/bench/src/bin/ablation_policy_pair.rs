@@ -21,7 +21,8 @@ fn main() -> std::process::ExitCode {
     let cfg = config_from_args();
     let prefetch = cfg.prefetch.unwrap_or(PrefetchPolicy::Stride256K);
     let evict = cfg.evict.unwrap_or(EvictPolicy::AccessFrequency);
-    let table = policy_pair(&cfg.executor(), cfg.scale, prefetch, evict);
+    let frac = cfg.oversub.unwrap_or(1.10);
+    let table = policy_pair(&cfg.executor(), cfg.scale, prefetch, evict, frac);
     uvm_bench::finish(emit(
         &format!("ablation_policy_pair_{prefetch}_{evict}"),
         &table,

@@ -98,14 +98,42 @@ impl Bench {
     /// `perf-smoke` trend artifact). If the `UVM_BENCH_JSON` environment
     /// variable is set, [`write_json_from_env`](Self::write_json_from_env)
     /// routes the report there.
+    ///
+    /// If `path` already holds a report, the new results are *merged*
+    /// into it: entries re-measured this run are updated in place,
+    /// entries from earlier runs (including other suites) are kept, and
+    /// the `suite` field accumulates every contributing suite joined
+    /// with `+`. This is how several bench targets fold into one
+    /// artifact — e.g. `microbench`'s allocator cases ride along in
+    /// `BENCH_engine.json` next to `engine_hotpath`'s without either
+    /// target rewriting the other's numbers.
     pub fn write_json(&self, suite: &str, path: &Path) -> std::io::Result<()> {
+        let mut suites: Vec<String> = Vec::new();
+        let mut merged: Vec<(String, f64)> = Vec::new();
+        if let Ok(existing) = std::fs::read_to_string(path) {
+            if let Some((old_suites, entries)) = parse_report(&existing) {
+                suites = old_suites;
+                merged = entries;
+            }
+        }
+        for s in suite.split('+') {
+            if !suites.iter().any(|x| x == s) {
+                suites.push(s.to_string());
+            }
+        }
+        for (name, ns) in self.results.borrow().iter() {
+            match merged.iter_mut().find(|(n, _)| n == name) {
+                Some(slot) => slot.1 = *ns,
+                None => merged.push((name.clone(), *ns)),
+            }
+        }
+
         let mut f = std::fs::File::create(path)?;
         writeln!(f, "{{")?;
-        writeln!(f, "  \"suite\": \"{suite}\",")?;
+        writeln!(f, "  \"suite\": \"{}\",", suites.join("+"))?;
         writeln!(f, "  \"results\": [")?;
-        let results = self.results.borrow();
-        for (i, (name, ns)) in results.iter().enumerate() {
-            let comma = if i + 1 < results.len() { "," } else { "" };
+        for (i, (name, ns)) in merged.iter().enumerate() {
+            let comma = if i + 1 < merged.len() { "," } else { "" };
             writeln!(
                 f,
                 "    {{\"name\": \"{name}\", \"ns_per_iter\": {:.1}}}{comma}",
@@ -124,6 +152,32 @@ impl Bench {
             None => Ok(()),
         }
     }
+}
+
+/// Suite names (`+`-separated in the file) plus `(name, ns_per_iter)`
+/// entries of an existing report.
+type ParsedReport = (Vec<String>, Vec<(String, f64)>);
+
+/// Parses a report this harness previously wrote. Returns `None`
+/// for anything that is not a harness report (the caller then starts
+/// fresh rather than merging).
+fn parse_report(text: &str) -> Option<ParsedReport> {
+    let suite = text.split("\"suite\": \"").nth(1)?.split('"').next()?;
+    let suites = suite.split('+').map(str::to_string).collect();
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim().strip_prefix("{\"name\": \"") else {
+            continue;
+        };
+        let (name, rest) = rest.split_once('"')?;
+        let value = rest
+            .split("\"ns_per_iter\":")
+            .nth(1)?
+            .trim()
+            .trim_end_matches([',', '}', ' ']);
+        entries.push((name.to_string(), value.parse().ok()?));
+    }
+    Some((suites, entries))
 }
 
 fn group_digits(v: u64) -> String {
@@ -172,6 +226,36 @@ mod tests {
         let mut ran = false;
         assert!(b.bench("something_else", || ran = true).is_none());
         assert!(!ran);
+    }
+
+    #[test]
+    fn json_reports_merge_across_suites() {
+        let path =
+            std::env::temp_dir().join(format!("uvm_bench_merge_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let a = bench_with_filter(None);
+        a.record("shared_case", 10.0);
+        a.record("only_a", 1.0);
+        a.write_json("suite_a", &path).expect("write first report");
+
+        let b = bench_with_filter(None);
+        b.record("shared_case", 20.0);
+        b.record("only_b", 2.0);
+        b.write_json("suite_b", &path).expect("merge second report");
+
+        let report = std::fs::read_to_string(&path).expect("read report");
+        let _ = std::fs::remove_file(&path);
+        assert!(report.contains("\"suite\": \"suite_a+suite_b\""));
+        // Kept, updated in place, and appended respectively.
+        assert!(report.contains("\"name\": \"only_a\", \"ns_per_iter\": 1.0"));
+        assert!(report.contains("\"name\": \"shared_case\", \"ns_per_iter\": 20.0"));
+        assert!(report.contains("\"name\": \"only_b\", \"ns_per_iter\": 2.0"));
+        // The shared case was not duplicated.
+        assert_eq!(report.matches("shared_case").count(), 1);
+        let (suites, entries) = parse_report(&report).expect("round-trips");
+        assert_eq!(suites, vec!["suite_a", "suite_b"]);
+        assert_eq!(entries.len(), 3);
     }
 
     #[test]

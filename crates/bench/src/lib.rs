@@ -99,7 +99,16 @@ pub struct Config {
     pub fault_plan: Option<FaultPlan>,
     /// Fault-injection seed override (`--fault-seed N`).
     pub fault_seed: Option<u64>,
+    /// Over-subscription ratio override (`--oversub RATIO`), the
+    /// footprint : device-memory ratio (1.10 = 110 %). `None` means
+    /// the binary's default level(s). Validated against
+    /// [`OVERSUB_RANGE`] at parse time.
+    pub oversub: Option<f64>,
 }
+
+/// The over-subscription ratios `--oversub` accepts: 1.0 (everything
+/// fits) up to 4.0 (footprint four times device memory).
+pub const OVERSUB_RANGE: std::ops::RangeInclusive<f64> = 1.0..=4.0;
 
 impl Config {
     /// Builds the shared executor for this invocation, spilling to
@@ -124,10 +133,13 @@ impl Config {
 /// — the default — auto-detects the machine's parallelism, resolved
 /// once when the [`Executor`] is constructed),
 /// `--prefetch NAME` / `--evict NAME` pick policies by registry name,
+/// `--oversub RATIO` overrides the over-subscription level (validated
+/// against [`OVERSUB_RANGE`]),
 /// `--fault-profile NAME` / `--fault-seed N` arm the deterministic
 /// fault-injection layer, and `--list-policies` prints every
-/// registered policy and exits. Unknown arguments, policy names, and
-/// fault profiles exit with status 2; the errors list the valid names.
+/// registered policy and exits. Unknown arguments, policy names,
+/// out-of-range ratios, and fault profiles exit with status 2; the
+/// errors list the valid names or the accepted range.
 pub fn config_from_args() -> Config {
     match parse_args(std::env::args().skip(1)) {
         Ok(Parsed::Run(cfg)) => cfg,
@@ -139,9 +151,12 @@ pub fn config_from_args() -> Config {
             eprintln!("{msg}");
             eprintln!(
                 "usage: [--smoke|--paper] [--jobs N] \
-                 [--prefetch NAME] [--evict NAME] \
+                 [--prefetch NAME] [--evict NAME] [--oversub RATIO] \
                  [--fault-profile NAME] [--fault-seed N] [--list-policies]\n\
-                 (--jobs 0 = auto-detect parallelism; the default)"
+                 (--jobs 0 = auto-detect parallelism; the default.\n\
+                 \x20--oversub accepts {:.1}..={:.1}, e.g. 1.25 = 125%)",
+                OVERSUB_RANGE.start(),
+                OVERSUB_RANGE.end()
             );
             std::process::exit(2);
         }
@@ -164,6 +179,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, String> {
         evict: None,
         fault_plan: None,
         fault_seed: None,
+        oversub: None,
     };
     let parse_profile = |name: &str| -> Result<FaultPlan, String> {
         FaultPlan::from_name(name).map_err(|e| format!("{e}"))
@@ -171,6 +187,22 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, String> {
     let parse_seed = |n: &str| -> Result<u64, String> {
         n.parse()
             .map_err(|_| format!("bad --fault-seed value {n:?}"))
+    };
+    let parse_oversub = |n: &str| -> Result<f64, String> {
+        let out_of_range = || {
+            format!(
+                "bad --oversub value {n:?}: accepted range is {:.1}..={:.1} \
+                 (footprint : device-memory ratio, e.g. 1.25 = 125%)",
+                OVERSUB_RANGE.start(),
+                OVERSUB_RANGE.end()
+            )
+        };
+        let ratio: f64 = n.parse().map_err(|_| out_of_range())?;
+        if OVERSUB_RANGE.contains(&ratio) {
+            Ok(ratio)
+        } else {
+            Err(out_of_range())
+        }
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -198,6 +230,10 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, String> {
                 let n = args.next().ok_or("--fault-seed needs a value")?;
                 cfg.fault_seed = Some(parse_seed(&n)?);
             }
+            "--oversub" => {
+                let n = args.next().ok_or("--oversub needs a ratio")?;
+                cfg.oversub = Some(parse_oversub(&n)?);
+            }
             other => {
                 if let Some(n) = other.strip_prefix("--jobs=") {
                     cfg.jobs = n.parse().map_err(|_| format!("bad --jobs value {n:?}"))?;
@@ -209,6 +245,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, String> {
                     cfg.fault_plan = Some(parse_profile(name)?);
                 } else if let Some(n) = other.strip_prefix("--fault-seed=") {
                     cfg.fault_seed = Some(parse_seed(n)?);
+                } else if let Some(n) = other.strip_prefix("--oversub=") {
+                    cfg.oversub = Some(parse_oversub(n)?);
                 } else {
                     return Err(format!("unknown argument {other:?}"));
                 }
@@ -325,6 +363,14 @@ pub fn run_all(cfg: &Config) -> Result<(), BenchError> {
         &exp::prefetch_accuracy_ablation(&exec, scale),
     )?;
     emit("ablation_writeback", &exp::writeback_ablation(&exec, scale))?;
+    let oversubs: Vec<f64> = match cfg.oversub {
+        Some(frac) => vec![frac],
+        None => exp::HUGE_PAGE_OVERSUB.to_vec(),
+    };
+    let hp = exp::huge_page_ablation(&exec, scale, uvm_sim::Warmup::default(), &oversubs);
+    emit("ablation_huge_pages_faults_per_kilo", &hp.faults_per_kilo)?;
+    emit("ablation_huge_pages_time", &hp.time)?;
+    emit("ablation_huge_pages_activity", &hp.activity)?;
     emit(
         "ablation_fault_injection",
         &exp::fault_injection_ablation(
@@ -381,6 +427,7 @@ mod tests {
             evict: None,
             fault_plan: None,
             fault_seed: None,
+            oversub: None,
         };
         assert_eq!(p(&[]).unwrap(), Parsed::Run(base));
         assert_eq!(
@@ -471,6 +518,30 @@ mod tests {
         assert!(p(&["--fault-seed", "many"]).is_err());
         assert!(p(&["--fault-profile"]).is_err());
         assert!(p(&["--fault-seed"]).is_err());
+    }
+
+    #[test]
+    fn args_parse_and_validate_oversub() {
+        let p = |args: &[&str]| parse_args(args.iter().map(|s| s.to_string()));
+        let Parsed::Run(cfg) = p(&["--oversub", "1.25"]).unwrap() else {
+            panic!("expected a runnable config");
+        };
+        assert_eq!(cfg.oversub, Some(1.25));
+        let Parsed::Run(cfg) = p(&["--oversub=1.5"]).unwrap() else {
+            panic!("expected a runnable config");
+        };
+        assert_eq!(cfg.oversub, Some(1.5));
+        // Boundary values of the accepted range are accepted.
+        assert!(p(&["--oversub", "1.0"]).is_ok());
+        assert!(p(&["--oversub", "4.0"]).is_ok());
+
+        // Out-of-range and unparseable ratios name the accepted range.
+        for bad in ["0.5", "4.5", "-1.1", "110%", "lots"] {
+            let err = p(&["--oversub", bad]).unwrap_err();
+            assert!(err.contains(bad), "error echoes the value {bad:?}");
+            assert!(err.contains("1.0..=4.0"), "error lists the range: {err}");
+        }
+        assert!(p(&["--oversub"]).is_err());
     }
 
     #[test]

@@ -45,6 +45,7 @@ fn all_experiments_smoke_runs_and_resumes() {
         jobs: 2,
         fault_plan: None,
         fault_seed: None,
+        oversub: None,
     };
     run_all(&cfg).expect("smoke sweep completes");
 

@@ -13,6 +13,7 @@
 mod freq;
 mod lru_large;
 mod lru_page;
+mod mosaic;
 mod random_page;
 mod sl;
 mod tbn;
@@ -20,6 +21,7 @@ mod tbn;
 pub use freq::FreqEvictor;
 pub use lru_large::LruLargeEvictor;
 pub use lru_page::LruPageEvictor;
+pub use mosaic::MosaicEvictor;
 pub use random_page::RandomPageEvictor;
 pub use sl::SlEvictor;
 pub use tbn::TbnEvictor;
@@ -27,7 +29,7 @@ pub use tbn::TbnEvictor;
 use std::fmt;
 
 use uvm_types::rng::SmallRng;
-use uvm_types::{Cycle, PageId};
+use uvm_types::{Cycle, LargePageId, PageId};
 
 use crate::view::ResidencyView;
 
@@ -82,6 +84,24 @@ pub trait Evictor: fmt::Debug + Send + Sync {
         t: Cycle,
         max_pin: u8,
     ) -> Option<Vec<Vec<PageId>>>;
+
+    /// Huge-page splinter hook: consulted by the mechanism under
+    /// memory pressure, *before* [`select_victims`](Self::select_victims),
+    /// whenever huge mappings exist. Return a currently huge-mapped
+    /// large page (query `view.is_huge_mapped`) to demote it back to
+    /// 4 KB mappings — its pages stay resident but become individually
+    /// evictable. Default: never splinter (the mechanism still
+    /// force-splinters if victims land inside a coalesced large page,
+    /// so this hook is about policy, not correctness).
+    fn select_splinter(
+        &mut self,
+        view: &ResidencyView<'_>,
+        rng: &mut SmallRng,
+        t: Cycle,
+    ) -> Option<LargePageId> {
+        let _ = (view, rng, t);
+        None
+    }
 
     /// Clones the evictor behind a fresh box (trait objects cannot
     /// derive `Clone`).

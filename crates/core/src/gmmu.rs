@@ -26,10 +26,15 @@
 //! `on_invalidate` hooks and owns every mutation: PTEs, frames, the
 //! shared TBN trees, pin state, and statistics.
 
+use std::collections::{BTreeSet, HashMap};
+
 use uvm_interconnect::{ChannelStats, PcieChannel, PcieModel};
 use uvm_mem::{FrameAllocator, FrameId, PageTable};
+use uvm_types::hash::FxBuildHasher;
 use uvm_types::rng::{Rng, SmallRng};
-use uvm_types::{Bytes, Cycle, Duration, PageId, VirtAddr, PAGES_PER_LARGE_PAGE, PAGE_SIZE};
+use uvm_types::{
+    Bytes, Cycle, Duration, LargePageId, PageId, VirtAddr, PAGES_PER_LARGE_PAGE, PAGE_SIZE,
+};
 
 use crate::alloc::{AllocId, Allocations};
 use crate::config::UvmConfig;
@@ -70,6 +75,21 @@ impl FaultResolution {
     pub fn shootdowns(&self) -> &[PageId] {
         &self.evicted
     }
+}
+
+/// One large page's huge-mapping record. The epoch is bumped on every
+/// promote *and* demote, so a TLB entry stamped with an old epoch can
+/// never hit again — each splinter costs exactly one shootdown
+/// generation, with no per-SM invalidation walk.
+#[derive(Clone, Copy, Debug)]
+struct HugeMapping {
+    /// Monotonic promotion/demotion generation.
+    epoch: u64,
+    /// `true` while the large page is coalesced.
+    mapped: bool,
+    /// The huge fast-path activates only once every constituent page's
+    /// migration has landed (max in-flight arrival at promotion time).
+    active_from: Cycle,
 }
 
 /// The GMMU and UVM software-runtime model.
@@ -130,6 +150,21 @@ pub struct Gmmu {
     unaccessed_demand: DensePageSet,
     /// Pages that have been evicted at least once (thrash detection).
     evicted_once: DensePageSet,
+    /// Huge-mapping records, kept across demotions so epochs only ever
+    /// grow (stale huge TLB entries can never hit again).
+    huge: HashMap<LargePageId, HugeMapping, FxBuildHasher>,
+    /// The currently coalesced large pages (ordered for deterministic
+    /// policy scans through the view).
+    huge_mapped: BTreeSet<LargePageId>,
+    /// Per-large-page resident counts, maintained only while a
+    /// huge-page policy is active (see [`Self::lp_tracking`]).
+    lp_resident: HashMap<LargePageId, u32, FxBuildHasher>,
+    /// Soft-reserved 2 MB frame-region base per large page.
+    region_of: HashMap<LargePageId, u64, FxBuildHasher>,
+    /// `true` while the prefetcher requests contiguous placement —
+    /// the gate on every huge-page code path, so legacy policies keep
+    /// the exact pre-existing allocation and mapping behavior.
+    huge_enabled: bool,
     stats: UvmStats,
 }
 
@@ -163,6 +198,7 @@ impl Gmmu {
         if let Some(fc) = cfg.fault_plan.channel_faults(WRITE_CHANNEL_TAG) {
             write_chan = write_chan.with_transfer_faults(fc);
         }
+        let huge_enabled = prefetcher.wants_contiguous_placement();
         Gmmu {
             rng: SmallRng::seed_from_u64(cfg.rng_seed),
             fault_rng: SmallRng::seed_from_u64(cfg.fault_plan.seed ^ 0xDE7E_12F1_7A51_0000),
@@ -181,6 +217,11 @@ impl Gmmu {
             unaccessed_demand: DensePageSet::new(),
             ready_at: DensePageMap::new(),
             evicted_once: DensePageSet::new(),
+            huge: HashMap::default(),
+            huge_mapped: BTreeSet::new(),
+            lp_resident: HashMap::default(),
+            region_of: HashMap::default(),
+            huge_enabled,
             stats: UvmStats::new(),
             cfg,
         }
@@ -212,6 +253,56 @@ impl Gmmu {
             evictor.on_validate(page);
         }
         self.evictor = evictor;
+        // Huge-page state transition: the incoming pair starts from
+        // plain 4 KB mappings (epoch bumps make any cached huge TLB
+        // entries unhittable), and the per-large-page residency counts
+        // are rebuilt from the resident set — deterministic regardless
+        // of migration history, mirroring the evictor reseed above.
+        let mapped: Vec<LargePageId> = self.huge_mapped.iter().copied().collect();
+        for lp in mapped {
+            self.demote(lp);
+        }
+        self.huge_enabled = self.prefetcher.wants_contiguous_placement();
+        self.lp_resident.clear();
+        if self.lp_tracking() {
+            let Gmmu {
+                resident,
+                lp_resident,
+                ..
+            } = self;
+            for page in resident.iter_ascending() {
+                *lp_resident.entry(page.large_page()).or_insert(0) += 1;
+            }
+            let stale: Vec<(LargePageId, u64)> = self
+                .region_of
+                .iter()
+                .filter(|(lp, _)| !self.lp_resident.contains_key(lp))
+                .map(|(&lp, &base)| (lp, base))
+                .collect();
+            for (lp, base) in stale {
+                self.region_of.remove(&lp);
+                self.frames.release_region(base);
+            }
+        }
+        // Coalesce on full residency, applied to the inherited
+        // placement: large pages the previous policies happened to
+        // leave fully resident *and* physically contiguous (e.g. a
+        // frontier-sequential warm-up before eviction fragmented the
+        // pool) are promotable immediately — without this sweep a
+        // coalescing pair swapped in at capacity could never form a
+        // huge page, since no free 2 MB region survives steady state.
+        if self.huge_enabled {
+            let mut full: Vec<LargePageId> = self
+                .lp_resident
+                .iter()
+                .filter(|&(_, &count)| u64::from(count) == PAGES_PER_LARGE_PAGE)
+                .map(|(&lp, _)| lp)
+                .collect();
+            full.sort_unstable();
+            for lp in full {
+                self.maybe_promote(lp);
+            }
+        }
     }
 
     /// Registers a managed allocation (the `cudaMallocManaged`
@@ -253,6 +344,7 @@ impl Gmmu {
     ///
     /// Panics if `page` is not resident (the engine must fault first).
     pub fn record_access(&mut self, page: PageId, write: bool) {
+        self.stats.accesses += 1;
         self.page_table.mark_access(page, write);
         self.evictor.on_access(page);
         // The arrival grace pin protects a migrated page until its
@@ -363,6 +455,7 @@ impl Gmmu {
         let mut prefetch = if self.prefetch_disabled || congested {
             Vec::new()
         } else {
+            let lp_tracking = self.lp_tracking();
             let Gmmu {
                 prefetcher,
                 rng,
@@ -372,6 +465,8 @@ impl Gmmu {
                 ready_at,
                 unaccessed_demand,
                 cfg,
+                huge_mapped,
+                lp_resident,
                 ..
             } = self;
             let view = ResidencyView::new(
@@ -381,6 +476,9 @@ impl Gmmu {
                 ready_at,
                 unaccessed_demand,
                 cfg.reserve_frac,
+                huge_mapped,
+                lp_resident,
+                lp_tracking,
             );
             prefetcher.plan(&view, rng, page, alloc_id)
         };
@@ -421,6 +519,8 @@ impl Gmmu {
         // racing unboundedly ahead of data arrival.
         self.lanes[lane] = self.lanes[lane].max(last_finish);
 
+        self.promote_candidates(&ready);
+        self.sync_frame_stats();
         self.update_prefetch_kill_switch();
         FaultResolution {
             ready,
@@ -481,6 +581,8 @@ impl Gmmu {
             }
         }
         flush(self, &mut run, &mut ready);
+        self.promote_candidates(&ready);
+        self.sync_frame_stats();
         self.update_prefetch_kill_switch();
         ready
     }
@@ -607,10 +709,50 @@ impl Gmmu {
     /// evicted pages and the write-back finish time, or `None` if no
     /// victim is eligible.
     fn evict_once(&mut self, wb_time: Cycle, pin_time: Cycle) -> Option<(Vec<PageId>, Cycle)> {
+        // Splinter before selecting victims (the Mosaic ordering): the
+        // policy may demote one coalesced large page per eviction
+        // operation so its pages become individually evictable without
+        // a forced demotion.
+        if !self.huge_mapped.is_empty() {
+            let splinter = {
+                let lp_tracking = self.lp_tracking();
+                let Gmmu {
+                    evictor,
+                    rng,
+                    page_table,
+                    allocs,
+                    resident,
+                    ready_at,
+                    unaccessed_demand,
+                    cfg,
+                    huge_mapped,
+                    lp_resident,
+                    ..
+                } = self;
+                let view = ResidencyView::new(
+                    page_table,
+                    allocs,
+                    resident,
+                    ready_at,
+                    unaccessed_demand,
+                    cfg.reserve_frac,
+                    huge_mapped,
+                    lp_resident,
+                    lp_tracking,
+                );
+                evictor.select_splinter(&view, rng, pin_time)
+            };
+            if let Some(lp) = splinter {
+                if self.demote(lp) {
+                    self.stats.huge_pages.splinters += 1;
+                }
+            }
+        }
         // Prefer fully unpinned victims; fall back to soft-pinned
         // (in-flight prefetched) pages. Hard-pinned demand pages are
         // never victims.
         let groups = {
+            let lp_tracking = self.lp_tracking();
             let Gmmu {
                 evictor,
                 rng,
@@ -620,6 +762,8 @@ impl Gmmu {
                 ready_at,
                 unaccessed_demand,
                 cfg,
+                huge_mapped,
+                lp_resident,
                 ..
             } = self;
             let view = ResidencyView::new(
@@ -629,6 +773,9 @@ impl Gmmu {
                 ready_at,
                 unaccessed_demand,
                 cfg.reserve_frac,
+                huge_mapped,
+                lp_resident,
+                lp_tracking,
             );
             evictor
                 .select_victims(&view, rng, pin_time, PIN_NONE)
@@ -684,10 +831,7 @@ impl Gmmu {
     /// and registers it in every tracking structure (including the
     /// eviction policy's bookkeeping and the shared TBN trees).
     fn admit_page(&mut self, page: PageId, ready: Cycle, prefetched: bool) {
-        let frame = self
-            .frames
-            .allocate()
-            .expect("ensure_frames guaranteed capacity");
+        let frame = self.allocate_frame_for(page);
         self.frame_of.insert(page, frame);
         self.page_table.validate(page);
         self.resident.insert(page);
@@ -710,10 +854,21 @@ impl Gmmu {
         if self.evicted_once.contains(page) {
             self.stats.pages_thrashed += 1;
         }
+        if self.lp_tracking() {
+            *self.lp_resident.entry(page.large_page()).or_insert(0) += 1;
+        }
     }
 
     /// Removes `page` from residency and every tracking structure.
     fn expel_page(&mut self, page: PageId) {
+        let lp = page.large_page();
+        if self.huge_mapped.contains(&lp) {
+            // Eviction reached into a coalesced large page the policy
+            // did not splinter first: force the demotion (Mosaic's
+            // safety net — correctness never depends on the policy).
+            self.demote(lp);
+            self.stats.huge_pages.forced_splinters += 1;
+        }
         let flags = self.page_table.invalidate(page);
         assert!(flags.valid, "expel of non-resident {page}");
         if !flags.dirty {
@@ -740,6 +895,195 @@ impl Gmmu {
         }
         self.evicted_once.insert(page);
         self.stats.pages_evicted += 1;
+        if self.lp_tracking() {
+            if let Some(count) = self.lp_resident.get_mut(&lp) {
+                *count -= 1;
+                if *count == 0 {
+                    self.lp_resident.remove(&lp);
+                    // The large page drained: hand its soft-reserved
+                    // frame region back as one reusable 2 MB block.
+                    if let Some(base) = self.region_of.remove(&lp) {
+                        self.frames.release_region(base);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Huge-page mechanism (coalesce / splinter)
+    // ------------------------------------------------------------------
+
+    /// `true` while per-large-page residency counts are maintained:
+    /// whenever a huge-page policy is active, and — after a swap away
+    /// from one — until every soft-reserved frame region has drained.
+    fn lp_tracking(&self) -> bool {
+        self.huge_enabled || !self.region_of.is_empty()
+    }
+
+    /// Allocates the frame backing `page`. Legacy policies take the
+    /// exact pre-existing single-frame path; a contiguity-requesting
+    /// prefetcher gets region placement instead: the page's 2 MB range
+    /// is soft-reserved on first touch and each page lands at
+    /// `region_base + offset` — the physical contiguity a later
+    /// coalesce requires.
+    fn allocate_frame_for(&mut self, page: PageId) -> FrameId {
+        if self.huge_enabled {
+            let lp = page.large_page();
+            let offset = page.index() - lp.first_page().index();
+            if let Some(&base) = self.region_of.get(&lp) {
+                if let Some(frame) = self.frames.allocate_in_region(base, offset) {
+                    return frame;
+                }
+            } else if let Some(base) = self.frames.reserve_region() {
+                self.region_of.insert(lp, base);
+                if let Some(frame) = self.frames.allocate_in_region(base, offset) {
+                    return frame;
+                }
+            }
+            // Slot stolen or no contiguous 2 MB range left: fall back
+            // to a plain frame — the large page loses its shot at
+            // coalescing, never its residency.
+        }
+        self.frames
+            .allocate()
+            .expect("ensure_frames guaranteed capacity")
+    }
+
+    /// Considers every large page `ready` touched for promotion.
+    fn promote_candidates(&mut self, ready: &[(PageId, Cycle)]) {
+        if !self.huge_enabled {
+            return;
+        }
+        let mut lps: Vec<LargePageId> = ready.iter().map(|&(p, _)| p.large_page()).collect();
+        lps.sort_unstable();
+        lps.dedup();
+        for lp in lps {
+            self.maybe_promote(lp);
+        }
+    }
+
+    /// Promotes `lp` to a single huge mapping if the mechanism's
+    /// preconditions hold — fully resident on a physically contiguous,
+    /// 2 MB-aligned frame range — and the prefetcher's
+    /// [`should_coalesce`](Prefetcher::should_coalesce) approves.
+    fn maybe_promote(&mut self, lp: LargePageId) {
+        if self.huge_mapped.contains(&lp) {
+            return;
+        }
+        if u64::from(self.lp_resident.get(&lp).copied().unwrap_or(0)) != PAGES_PER_LARGE_PAGE {
+            return;
+        }
+        let first = lp.first_page();
+        let Some(base) = self.frame_of.get(first).map(FrameId::index) else {
+            return;
+        };
+        if base % PAGES_PER_LARGE_PAGE != 0 {
+            return;
+        }
+        for k in 1..PAGES_PER_LARGE_PAGE {
+            if self.frame_of.get(first.add(k)).map(FrameId::index) != Some(base + k) {
+                return;
+            }
+        }
+        let approved = {
+            let lp_tracking = self.lp_tracking();
+            let Gmmu {
+                prefetcher,
+                page_table,
+                allocs,
+                resident,
+                ready_at,
+                unaccessed_demand,
+                cfg,
+                huge_mapped,
+                lp_resident,
+                ..
+            } = self;
+            let view = ResidencyView::new(
+                page_table,
+                allocs,
+                resident,
+                ready_at,
+                unaccessed_demand,
+                cfg.reserve_frac,
+                huge_mapped,
+                lp_resident,
+                lp_tracking,
+            );
+            prefetcher.should_coalesce(&view, lp)
+        };
+        if !approved {
+            return;
+        }
+        // The huge fast-path activates only once every constituent
+        // page's migration has landed (accessed pages have no in-flight
+        // entry: their data is already present).
+        let mut active_from = Cycle::ZERO;
+        for k in 0..PAGES_PER_LARGE_PAGE {
+            if let Some(t) = self.ready_at.get(first.add(k)) {
+                active_from = active_from.max(t);
+            }
+        }
+        let mapping = self.huge.entry(lp).or_insert(HugeMapping {
+            epoch: 0,
+            mapped: false,
+            active_from: Cycle::ZERO,
+        });
+        mapping.epoch += 1;
+        mapping.mapped = true;
+        mapping.active_from = active_from;
+        self.huge_mapped.insert(lp);
+        self.stats.huge_pages.coalesces += 1;
+    }
+
+    /// Splinters `lp` back to 4 KB mappings. The epoch bump makes every
+    /// cached huge TLB entry stale (one shootdown generation); resident
+    /// pages and their frames are untouched. Returns `false` if `lp`
+    /// was not coalesced.
+    fn demote(&mut self, lp: LargePageId) -> bool {
+        if !self.huge_mapped.remove(&lp) {
+            return false;
+        }
+        let mapping = self
+            .huge
+            .get_mut(&lp)
+            .expect("coalesced large page has a mapping record");
+        mapping.mapped = false;
+        mapping.epoch += 1;
+        true
+    }
+
+    /// The huge-mapping translation the engine's TLBs consult: the
+    /// current epoch of `lp`'s huge mapping, or `None` if `lp` is not
+    /// coalesced or its promotion has not activated by `now` (data
+    /// still in flight). Near-free when no huge mapping exists.
+    pub fn huge_translation(&self, lp: LargePageId, now: Cycle) -> Option<u64> {
+        if self.huge_mapped.is_empty() {
+            return None;
+        }
+        let mapping = self.huge.get(&lp)?;
+        (mapping.mapped && now >= mapping.active_from).then_some(mapping.epoch)
+    }
+
+    /// `true` if `lp` is currently coalesced into one huge mapping.
+    pub fn is_huge_mapped(&self, lp: LargePageId) -> bool {
+        self.huge_mapped.contains(&lp)
+    }
+
+    /// Number of currently coalesced large pages.
+    pub fn huge_mapped_len(&self) -> usize {
+        self.huge_mapped.len()
+    }
+
+    /// Folds the frame allocator's split/merge/region counters into the
+    /// driver statistics (called after every migration entry point).
+    fn sync_frame_stats(&mut self) {
+        let s = self.frames.stats();
+        self.stats.huge_pages.alloc_splits = s.splits;
+        self.stats.huge_pages.alloc_merges = s.merges;
+        self.stats.huge_pages.regions_reserved = s.regions_reserved;
+        self.stats.huge_pages.region_steals = s.region_steals;
     }
 
     /// Applies the sticky prefetcher-disable rule after a migration.

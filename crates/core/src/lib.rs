@@ -75,15 +75,15 @@ mod view;
 pub use alloc::{AllocId, Allocation, Allocations};
 pub use config::UvmConfig;
 pub use dense::{DensePageMap, DensePageSet};
-pub use evict::Evictor;
+pub use evict::{Evictor, MosaicEvictor};
 pub use fault::{FaultPlan, ParseFaultProfileError, READ_CHANNEL_TAG, WRITE_CHANNEL_TAG};
 pub use gmmu::{FaultResolution, Gmmu};
 pub use hier::HierarchicalLru;
 pub use indexed::IndexedPageSet;
 pub use lru::LruQueue;
 pub use policy::{EvictPolicy, ParsePolicyError, PrefetchPolicy};
-pub use prefetch::Prefetcher;
+pub use prefetch::{MosaicPrefetcher, Prefetcher};
 pub use registry::{EvictorEntry, PolicyRegistry, PrefetcherEntry};
-pub use stats::{FaultInjectionStats, UvmStats};
+pub use stats::{FaultInjectionStats, HugePageStats, UvmStats};
 pub use tree::{group_contiguous, AllocTree};
 pub use view::{ResidencyView, PIN_GRACE, PIN_HARD, PIN_NONE, PIN_SOFT};

@@ -38,6 +38,11 @@ pub enum PrefetchPolicy {
     /// TBNp: the tree-based neighborhood prefetcher reverse-engineered
     /// from the NVIDIA driver (Sec. 3.3).
     TreeBasedNeighborhood,
+    /// MOSp: Mosaic-style coalescing prefetcher — TBN neighborhood plan
+    /// plus "finish the 2 MB large page" once half resident, with
+    /// contiguous frame placement and huge-page promotion on full
+    /// residency. Cooperates with [`EvictPolicy::MosaicSplinter`].
+    MosaicCoalesce,
 }
 
 impl PrefetchPolicy {
@@ -52,13 +57,14 @@ impl PrefetchPolicy {
     ];
 
     /// Every implemented prefetcher, including ablation variants.
-    pub const ALL_WITH_ABLATIONS: [PrefetchPolicy; 6] = [
+    pub const ALL_WITH_ABLATIONS: [PrefetchPolicy; 7] = [
         PrefetchPolicy::None,
         PrefetchPolicy::Random,
         PrefetchPolicy::SequentialLocal,
         PrefetchPolicy::Sequential512K,
         PrefetchPolicy::Stride256K,
         PrefetchPolicy::TreeBasedNeighborhood,
+        PrefetchPolicy::MosaicCoalesce,
     ];
 }
 
@@ -105,6 +111,10 @@ pub enum EvictPolicy {
     /// AFe: evict the least-frequently-accessed resident page (LFU) —
     /// an out-of-core policy plugged in purely through the registry.
     AccessFrequency,
+    /// MOSe: Mosaic-style splinter-then-evict — demote the coldest
+    /// huge-mapped 2 MB page under pressure, then evict only its LRU
+    /// 64 KB blocks. Cooperates with [`PrefetchPolicy::MosaicCoalesce`].
+    MosaicSplinter,
 }
 
 impl EvictPolicy {
@@ -117,6 +127,7 @@ impl EvictPolicy {
             EvictPolicy::SequentialLocal
                 | EvictPolicy::TreeBasedNeighborhood
                 | EvictPolicy::LruLargePage
+                | EvictPolicy::MosaicSplinter
         )
     }
 
@@ -130,13 +141,14 @@ impl EvictPolicy {
     ];
 
     /// Every implemented eviction policy, including ablation variants.
-    pub const ALL_WITH_ABLATIONS: [EvictPolicy; 6] = [
+    pub const ALL_WITH_ABLATIONS: [EvictPolicy; 7] = [
         EvictPolicy::LruPage,
         EvictPolicy::RandomPage,
         EvictPolicy::SequentialLocal,
         EvictPolicy::TreeBasedNeighborhood,
         EvictPolicy::LruLargePage,
         EvictPolicy::AccessFrequency,
+        EvictPolicy::MosaicSplinter,
     ];
 }
 
@@ -274,6 +286,7 @@ mod tests {
         assert!(EvictPolicy::SequentialLocal.is_pre_eviction());
         assert!(EvictPolicy::TreeBasedNeighborhood.is_pre_eviction());
         assert!(EvictPolicy::LruLargePage.is_pre_eviction());
+        assert!(EvictPolicy::MosaicSplinter.is_pre_eviction());
     }
 
     #[test]
@@ -284,11 +297,17 @@ mod tests {
             .iter()
             .map(ToString::to_string)
             .collect();
-        assert_eq!(display, ["none", "Rp", "SLp", "SZp", "S256p", "TBNp"]);
+        assert_eq!(
+            display,
+            ["none", "Rp", "SLp", "SZp", "S256p", "TBNp", "MOSp"]
+        );
         let display: Vec<String> = EvictPolicy::ALL_WITH_ABLATIONS
             .iter()
             .map(ToString::to_string)
             .collect();
-        assert_eq!(display, ["LRU-4KB", "Re", "SLe", "TBNe", "LRU-2MB", "AFe"]);
+        assert_eq!(
+            display,
+            ["LRU-4KB", "Re", "SLe", "TBNe", "LRU-2MB", "AFe", "MOSe"]
+        );
     }
 }

@@ -7,6 +7,7 @@
 //! validation). Policies observe driver state only through the
 //! read-only [`ResidencyView`].
 
+mod mosaic;
 mod none;
 mod random;
 mod sl;
@@ -14,6 +15,7 @@ mod stride256k;
 mod sz512k;
 mod tbn;
 
+pub use mosaic::MosaicPrefetcher;
 pub use none::NonePrefetcher;
 pub use random::RandomPrefetcher;
 pub use sl::SlPrefetcher;
@@ -24,7 +26,7 @@ pub use tbn::TbnPrefetcher;
 use std::fmt;
 
 use uvm_types::rng::SmallRng;
-use uvm_types::PageId;
+use uvm_types::{LargePageId, PageId};
 
 use crate::alloc::AllocId;
 use crate::view::ResidencyView;
@@ -64,6 +66,26 @@ pub trait Prefetcher: fmt::Debug + Send + Sync {
         page: PageId,
         alloc: AllocId,
     ) -> Vec<Vec<PageId>>;
+
+    /// Huge-page placement hook: `true` asks the mechanism to
+    /// soft-reserve a contiguous, aligned 2 MB frame region on the
+    /// first touch of each large page's range and place that large
+    /// page's frames at `region_base + page_offset` — the physical
+    /// contiguity a later coalesce requires. Default `false`: every
+    /// pre-existing policy keeps the legacy single-frame allocation
+    /// path (and its exact frame sequence) untouched.
+    fn wants_contiguous_placement(&self) -> bool {
+        false
+    }
+
+    /// Huge-page coalesce hook: consulted by the mechanism when `lp`
+    /// has just become fully resident on physically contiguous frames.
+    /// Return `true` to promote it to a single huge mapping (one TLB
+    /// entry, one shootdown generation). Default: never coalesce.
+    fn should_coalesce(&self, view: &ResidencyView<'_>, lp: LargePageId) -> bool {
+        let _ = (view, lp);
+        false
+    }
 
     /// Clones the prefetcher behind a fresh box (trait objects cannot
     /// derive `Clone`).

@@ -21,12 +21,13 @@ use std::sync::OnceLock;
 
 use crate::config::UvmConfig;
 use crate::evict::{
-    Evictor, FreqEvictor, LruLargeEvictor, LruPageEvictor, RandomPageEvictor, SlEvictor, TbnEvictor,
+    Evictor, FreqEvictor, LruLargeEvictor, LruPageEvictor, MosaicEvictor, RandomPageEvictor,
+    SlEvictor, TbnEvictor,
 };
 use crate::policy::{EvictPolicy, PrefetchPolicy};
 use crate::prefetch::{
-    NonePrefetcher, Prefetcher, RandomPrefetcher, SlPrefetcher, Stride256kPrefetcher,
-    Sz512kPrefetcher, TbnPrefetcher,
+    MosaicPrefetcher, NonePrefetcher, Prefetcher, RandomPrefetcher, SlPrefetcher,
+    Stride256kPrefetcher, Sz512kPrefetcher, TbnPrefetcher,
 };
 
 /// A registered prefetcher: names, documentation, and factory.
@@ -123,6 +124,13 @@ impl PolicyRegistry {
             selector: Some(PrefetchPolicy::TreeBasedNeighborhood),
             factory: |_| Box::new(TbnPrefetcher),
         });
+        r.register_prefetcher(PrefetcherEntry {
+            name: "MOSp",
+            aliases: &["mosaic-prefetch", "mosp"],
+            summary: "Mosaic-style: TBN plan plus finish-the-2MB-page for coalescing",
+            selector: Some(PrefetchPolicy::MosaicCoalesce),
+            factory: |_| Box::new(MosaicPrefetcher::new()),
+        });
         r.register_evictor(EvictorEntry {
             name: "LRU-4KB",
             aliases: &["lru"],
@@ -164,6 +172,13 @@ impl PolicyRegistry {
             summary: "least-frequently accessed resident page (LFU)",
             selector: Some(EvictPolicy::AccessFrequency),
             factory: |_| Box::new(FreqEvictor::new()),
+        });
+        r.register_evictor(EvictorEntry {
+            name: "MOSe",
+            aliases: &["mosaic-evict", "mose"],
+            summary: "Mosaic-style: splinter the coldest huge page, evict its LRU blocks",
+            selector: Some(EvictPolicy::MosaicSplinter),
+            factory: |_| Box::new(MosaicEvictor::new()),
         });
         r
     }

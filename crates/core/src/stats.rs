@@ -7,6 +7,10 @@
 /// page-level counters.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct UvmStats {
+    /// Completed memory accesses across all kernels (the denominator of
+    /// the faults-per-kilo-access metric used by the huge-page
+    /// ablation).
+    pub accesses: u64,
     /// Distinct far-faults serviced by the driver (Fig. 5). Duplicate
     /// faults merged in the MSHRs do not count.
     pub far_faults: u64,
@@ -35,6 +39,42 @@ pub struct UvmStats {
     /// Per-category retry/giveup counters for injected faults. All
     /// zero unless the config carries a non-trivial `FaultPlan`.
     pub fault_injection: FaultInjectionStats,
+    /// Huge-page coalesce/splinter/fragmentation counters. All zero
+    /// unless a huge-page policy (MOSp/MOSe) is active.
+    pub huge_pages: HugePageStats,
+}
+
+/// Counters for the huge-page mechanism: 2 MB coalesce/splinter
+/// transitions driven by the policy hooks, plus the frame allocator's
+/// buddy split/merge and soft-region fragmentation activity (mirrored
+/// from [`FrameAllocStats`](uvm_mem::FrameAllocStats) by the GMMU).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HugePageStats {
+    /// Large pages promoted to a single huge mapping (full residency on
+    /// physically contiguous, aligned frames, policy-approved).
+    pub coalesces: u64,
+    /// Huge mappings splintered back to 4 KB mappings at the evictor's
+    /// request under memory pressure.
+    pub splinters: u64,
+    /// Huge mappings the mechanism force-splintered because eviction
+    /// reached into a still-coalesced large page.
+    pub forced_splinters: u64,
+    /// Buddy blocks split by the frame allocator.
+    pub alloc_splits: u64,
+    /// Buddy pairs merged by the frame allocator.
+    pub alloc_merges: u64,
+    /// Soft 2 MB regions reserved for contiguous placement.
+    pub regions_reserved: u64,
+    /// Fragmentation events: frames stolen out of a soft-reserved
+    /// region by ordinary demand allocation.
+    pub region_steals: u64,
+}
+
+impl HugePageStats {
+    /// `true` if the huge-page machinery never engaged.
+    pub fn is_clean(&self) -> bool {
+        *self == HugePageStats::default()
+    }
 }
 
 /// Counters for the deterministic fault-injection layer, split by

@@ -12,9 +12,12 @@
 //! [`Prefetcher`]: crate::Prefetcher
 //! [`Evictor`]: crate::Evictor
 
+use std::collections::{BTreeSet, HashMap};
+
 use uvm_mem::PageTable;
+use uvm_types::hash::FxBuildHasher;
 use uvm_types::rng::Rng;
-use uvm_types::{BasicBlockId, Cycle, Duration, PageId};
+use uvm_types::{BasicBlockId, Cycle, Duration, LargePageId, PageId, PAGES_PER_LARGE_PAGE};
 
 use crate::alloc::{AllocId, Allocation, Allocations};
 use crate::dense::{DensePageMap, DensePageSet};
@@ -45,9 +48,16 @@ pub struct ResidencyView<'a> {
     ready_at: &'a DensePageMap<Cycle>,
     unaccessed_demand: &'a DensePageSet,
     reserve_frac: f64,
+    /// Large pages currently coalesced into a single huge mapping.
+    huge_mapped: &'a BTreeSet<LargePageId>,
+    /// Per-large-page resident counts, maintained by the mechanism only
+    /// while a huge-page policy is active (`lp_tracking`).
+    lp_resident: &'a HashMap<LargePageId, u32, FxBuildHasher>,
+    lp_tracking: bool,
 }
 
 impl<'a> ResidencyView<'a> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         page_table: &'a PageTable,
         allocs: &'a Allocations,
@@ -55,6 +65,9 @@ impl<'a> ResidencyView<'a> {
         ready_at: &'a DensePageMap<Cycle>,
         unaccessed_demand: &'a DensePageSet,
         reserve_frac: f64,
+        huge_mapped: &'a BTreeSet<LargePageId>,
+        lp_resident: &'a HashMap<LargePageId, u32, FxBuildHasher>,
+        lp_tracking: bool,
     ) -> Self {
         ResidencyView {
             page_table,
@@ -63,6 +76,9 @@ impl<'a> ResidencyView<'a> {
             ready_at,
             unaccessed_demand,
             reserve_frac,
+            huge_mapped,
+            lp_resident,
+            lp_tracking,
         }
     }
 
@@ -111,6 +127,38 @@ impl<'a> ResidencyView<'a> {
     /// recency structures.
     pub fn reserve_frac(&self) -> f64 {
         self.reserve_frac
+    }
+
+    /// `true` if `lp` is currently coalesced into a single huge
+    /// mapping. Evicting any of its pages forces a splinter first, so
+    /// splinter-aware evictors check this before selecting victims.
+    pub fn is_huge_mapped(&self, lp: LargePageId) -> bool {
+        self.huge_mapped.contains(&lp)
+    }
+
+    /// Number of currently huge-mapped large pages.
+    pub fn huge_mapped_len(&self) -> usize {
+        self.huge_mapped.len()
+    }
+
+    /// Currently huge-mapped large pages in ascending order
+    /// (deterministic for policy scans).
+    pub fn huge_mapped_iter(&self) -> impl Iterator<Item = LargePageId> + 'a {
+        self.huge_mapped.iter().copied()
+    }
+
+    /// Resident pages within `lp`'s 512-page range. O(1) while a
+    /// huge-page policy is active (the mechanism maintains per-large-
+    /// page counts); a 512-entry page-table scan otherwise.
+    pub fn large_page_residency(&self, lp: LargePageId) -> u64 {
+        if self.lp_tracking {
+            u64::from(self.lp_resident.get(&lp).copied().unwrap_or(0))
+        } else {
+            let first = lp.first_page();
+            (0..PAGES_PER_LARGE_PAGE)
+                .filter(|&k| self.page_table.is_valid(first.add(k)))
+                .count() as u64
+        }
     }
 
     /// The pin level of `page` at time `t`: [`PIN_HARD`] for demand

@@ -288,6 +288,19 @@ impl Engine {
 
             let page = access.page();
             let sm = warp.sm;
+            // Huge-page fast path: a coalesced 2 MB mapping serves the
+            // whole large page out of one side-table TLB entry. Entries
+            // are epoch-stamped, so one splinter (epoch bump) stales
+            // them on every SM at once — no per-SM invalidation walk.
+            if let Some(epoch) = self.gmmu.huge_translation(page.large_page(), t) {
+                if self.tlbs[sm].lookup_huge(page.large_page(), epoch) {
+                    let done = t + Duration::from_cycles(1) + self.cfg.mem_latency;
+                    self.complete_access(access, done, w);
+                    warps[w].current = None;
+                    self.queue.push(done + self.cfg.compute_delay, w);
+                    continue;
+                }
+            }
             let generation = self.shootdown.generation(page);
             match self.tlbs[sm].lookup_gen(page, generation) {
                 TlbLookup::Hit => {
@@ -333,6 +346,18 @@ impl Engine {
                         // (the MSHR-merge path — the migration already
                         // has an owner).
                         self.queue.push(ready, w);
+                    } else if let Some(epoch) =
+                        self.gmmu.huge_translation(page.large_page(), walked)
+                    {
+                        // The walk resolved a coalesced large page: fill
+                        // the huge side table (epoch-validated, so it
+                        // needs no shootdown-directory tracking) instead
+                        // of a 4 KB slot.
+                        self.tlbs[sm].fill_huge(page.large_page(), epoch);
+                        let done = walked + self.cfg.mem_latency;
+                        self.complete_access(access, done, w);
+                        warps[w].current = None;
+                        self.queue.push(done + self.cfg.compute_delay, w);
                     } else {
                         // The lookup above just missed, so the page is
                         // certainly absent: take the no-reprobe fill.

@@ -31,7 +31,9 @@ mod shootdown;
 mod tlb;
 mod walk;
 
-pub use frames::{FrameAllocator, FrameError, FrameId};
+pub use frames::{
+    FrameAllocStats, FrameAllocator, FrameError, FrameId, ReferenceFrameAllocator, MAX_FRAME_ORDER,
+};
 pub use mshr::{Mshr, RegisterOutcome};
 pub use page_table::{PageTable, PteFlags};
 pub use shootdown::ShootdownDirectory;

@@ -28,7 +28,7 @@
 use std::collections::HashMap;
 
 use uvm_types::hash::FxBuildHasher;
-use uvm_types::PageId;
+use uvm_types::{LargePageId, PageId};
 
 /// Result of a TLB lookup.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -81,6 +81,16 @@ pub struct Tlb {
     capacity: usize,
     hits: u64,
     misses: u64,
+    /// Huge-page side table: one entry translates a whole 2 MB large
+    /// page (the coalesced-mapping payoff — 512 pages, one slot).
+    /// Modeled as a separate structure, like the dedicated large-page
+    /// TLBs on real GPUs, so it does not contend with 4 KB entries for
+    /// `capacity`; it holds at most one entry per huge-mapped large
+    /// page. Entries are stamped with the GMMU's per-large-page
+    /// mapping epoch, so a splinter invalidates every SM's entry by
+    /// bumping one counter (the same trick `lookup_gen` plays with the
+    /// [`ShootdownDirectory`](crate::ShootdownDirectory)).
+    huge: HashMap<LargePageId, u64, FxBuildHasher>,
 }
 
 impl Tlb {
@@ -100,6 +110,7 @@ impl Tlb {
             capacity,
             hits: 0,
             misses: 0,
+            huge: HashMap::default(),
         }
     }
 
@@ -199,6 +210,44 @@ impl Tlb {
             }
             None => false,
         }
+    }
+
+    /// Looks up a huge-page translation for `lp` at the GMMU's current
+    /// mapping epoch. A hit covers every 4 KB page of the large page
+    /// and counts once in the hit counter. A stale entry (epoch moved
+    /// on: the mapping was splintered, possibly re-coalesced) is
+    /// reclaimed on the spot and does *not* count a miss — the engine
+    /// falls through to the 4 KB [`lookup_gen`](Self::lookup_gen),
+    /// which does.
+    pub fn lookup_huge(&mut self, lp: LargePageId, generation: u64) -> bool {
+        match self.huge.get(&lp) {
+            Some(&stamp) if stamp == generation => {
+                self.hits += 1;
+                true
+            }
+            Some(_) => {
+                self.huge.remove(&lp);
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Installs (or re-stamps) the huge-page translation for `lp`.
+    pub fn fill_huge(&mut self, lp: LargePageId, generation: u64) {
+        self.huge.insert(lp, generation);
+    }
+
+    /// Removes the huge-page translation for `lp` if present (eager
+    /// shootdown; epoch bumps make this optional).
+    pub fn invalidate_huge(&mut self, lp: LargePageId) -> bool {
+        self.huge.remove(&lp).is_some()
+    }
+
+    /// Current number of cached huge-page translations (stale entries
+    /// included until a lookup reclaims them).
+    pub fn huge_len(&self) -> usize {
+        self.huge.len()
     }
 
     /// Current number of cached translations (stale-but-unreclaimed
@@ -480,5 +529,35 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_rejected() {
         let _ = Tlb::new(0);
+    }
+
+    #[test]
+    fn huge_entries_hit_until_epoch_moves() {
+        let mut tlb = Tlb::new(2);
+        let lp = LargePageId::new(3);
+        assert!(!tlb.lookup_huge(lp, 1));
+        tlb.fill_huge(lp, 1);
+        assert!(tlb.lookup_huge(lp, 1));
+        assert_eq!(tlb.huge_len(), 1);
+        // Splinter: the GMMU bumps the epoch; the stale entry never
+        // hits and is reclaimed lazily without counting a miss.
+        let (hits, misses) = tlb.hit_miss();
+        assert!(!tlb.lookup_huge(lp, 2));
+        assert_eq!(tlb.huge_len(), 0);
+        assert_eq!(tlb.hit_miss(), (hits, misses));
+        // Re-coalesce at the new epoch.
+        tlb.fill_huge(lp, 3);
+        assert!(tlb.lookup_huge(lp, 3));
+    }
+
+    #[test]
+    fn huge_entries_do_not_contend_with_small_slots() {
+        let mut tlb = Tlb::new(1);
+        tlb.fill(PageId::new(9));
+        tlb.fill_huge(LargePageId::new(0), 1);
+        assert_eq!(tlb.lookup(PageId::new(9)), TlbLookup::Hit);
+        assert!(tlb.lookup_huge(LargePageId::new(0), 1));
+        assert!(tlb.invalidate_huge(LargePageId::new(0)));
+        assert!(!tlb.lookup_huge(LargePageId::new(0), 1));
     }
 }

@@ -25,7 +25,7 @@
 //!   typed [`RunError`] while its siblings complete;
 //! * an optional per-run wall-clock timeout abandons hung runs;
 //! * both failure kinds get a bounded retry budget;
-//! * spill entries carry a `uvmspill v2 crc=…` header and are
+//! * spill entries carry a `uvmspill v3 crc=…` header and are
 //!   published atomically (temp file + rename), so a crash mid-write
 //!   or bit rot is detected, the entry quarantined as `*.corrupt`,
 //!   and the run recomputed instead of misread.
@@ -70,6 +70,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 
+use uvm_core::HugePageStats;
 use uvm_types::hash::StableHasher;
 use uvm_types::{Bytes, Duration};
 use uvm_workloads::Workload;
@@ -79,7 +80,7 @@ use crate::run::{resume_run, run_workload, simulate_prefix, RunOptions, RunResul
 
 /// Spill-format version; bump when [`RunResult`] fields change so
 /// stale cache entries are ignored rather than misread.
-const SPILL_VERSION: u64 = 2;
+const SPILL_VERSION: u64 = 3;
 
 /// Simulator behaviour revision, folded into every [`RunKey`]. Bump
 /// when a model change alters results without any [`RunOptions`]
@@ -805,7 +806,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Hand-rolled JSON encode/decode for [`RunResult`] spill entries.
 ///
 /// The workspace builds offline (no serde); each entry is a one-line
-/// `uvmspill v2 crc=<fnv128-hex>` header followed by a flat JSON
+/// `uvmspill v3 crc=<fnv128-hex>` header followed by a flat JSON
 /// object with `f64` fields stored as exact IEEE-754 bit patterns so
 /// round-trips are lossless. The checksum covers the JSON body;
 /// entries whose header, checksum, version, or body fail to validate
@@ -859,6 +860,7 @@ mod spill {
             None => s.push_str(",\"capacity\":null"),
             Some(c) => push_field(&mut s, ",capacity", c.bytes()),
         }
+        push_field(&mut s, ",accesses", r.accesses);
         push_field(&mut s, ",far_faults", r.far_faults);
         push_field(&mut s, ",pages_migrated", r.pages_migrated);
         push_field(&mut s, ",pages_prefetched", r.pages_prefetched);
@@ -891,6 +893,21 @@ mod spill {
         push_field(&mut s, ",migration_giveups", r.migration_giveups);
         push_field(&mut s, ",emergency_evictions", r.emergency_evictions);
         push_field(&mut s, ",fault_jitter_cycles", r.fault_jitter_cycles);
+        push_field(&mut s, ",hp_coalesces", r.huge_pages.coalesces);
+        push_field(&mut s, ",hp_splinters", r.huge_pages.splinters);
+        push_field(
+            &mut s,
+            ",hp_forced_splinters",
+            r.huge_pages.forced_splinters,
+        );
+        push_field(&mut s, ",hp_alloc_splits", r.huge_pages.alloc_splits);
+        push_field(&mut s, ",hp_alloc_merges", r.huge_pages.alloc_merges);
+        push_field(
+            &mut s,
+            ",hp_regions_reserved",
+            r.huge_pages.regions_reserved,
+        );
+        push_field(&mut s, ",hp_region_steals", r.huge_pages.region_steals);
         s.push('}');
         s
     }
@@ -961,6 +978,7 @@ mod spill {
             kernel_times,
             footprint: Bytes::new(u("footprint")?),
             capacity,
+            accesses: u("accesses")?,
             far_faults: u("far_faults")?,
             pages_migrated: u("pages_migrated")?,
             pages_prefetched: u("pages_prefetched")?,
@@ -981,6 +999,15 @@ mod spill {
             migration_giveups: u("migration_giveups")?,
             emergency_evictions: u("emergency_evictions")?,
             fault_jitter_cycles: u("fault_jitter_cycles")?,
+            huge_pages: HugePageStats {
+                coalesces: u("hp_coalesces")?,
+                splinters: u("hp_splinters")?,
+                forced_splinters: u("hp_forced_splinters")?,
+                alloc_splits: u("hp_alloc_splits")?,
+                alloc_merges: u("hp_alloc_merges")?,
+                regions_reserved: u("hp_regions_reserved")?,
+                region_steals: u("hp_region_steals")?,
+            },
             traces: Vec::new(),
         })
     }
@@ -1149,6 +1176,7 @@ mod tests {
             kernel_times: vec![Duration::from_cycles(10)],
             footprint: Bytes::mib(1),
             capacity: None,
+            accesses: 100,
             far_faults: 1,
             pages_migrated: 2,
             pages_prefetched: 1,
@@ -1169,6 +1197,15 @@ mod tests {
             migration_giveups: 0,
             emergency_evictions: 5,
             fault_jitter_cycles: 42,
+            huge_pages: HugePageStats {
+                coalesces: 4,
+                splinters: 2,
+                forced_splinters: 1,
+                alloc_splits: 9,
+                alloc_merges: 6,
+                regions_reserved: 3,
+                region_steals: 1,
+            },
             traces: Vec::new(),
         }
     }
@@ -1355,9 +1392,9 @@ mod tests {
     #[test]
     fn spill_entry_round_trips_and_rejects_corruption() {
         assert!(spill::decode_entry("not a spill entry").is_none());
-        assert!(spill::decode_entry("uvmspill v2 crc=zzz\n{}").is_none());
+        assert!(spill::decode_entry("uvmspill v3 crc=zzz\n{}").is_none());
         let good = spill::encode_entry(&sample_result());
-        assert!(good.starts_with("uvmspill v2 crc="));
+        assert!(good.starts_with("uvmspill v3 crc="));
         let parsed = spill::decode_entry(&good).expect("round trip");
         assert_eq!(parsed.name, "x\"y\\z");
         assert_eq!(parsed.read_bandwidth_gbps, 3.25);
@@ -1366,7 +1403,7 @@ mod tests {
         assert_eq!(parsed.fault_jitter_cycles, 42);
 
         // Version skew in the header.
-        let skewed = good.replacen("uvmspill v2 ", "uvmspill v999 ", 1);
+        let skewed = good.replacen("uvmspill v3 ", "uvmspill v999 ", 1);
         assert!(spill::decode_entry(&skewed).is_none());
 
         // A single flipped character in the body fails the checksum.

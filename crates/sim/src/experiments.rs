@@ -436,10 +436,11 @@ pub fn policy_combinations(exec: &Executor, scale: Scale) -> Table {
 }
 
 /// Registry-driven pair study: kernel time, far-faults, and thrashing
-/// for an arbitrary prefetcher × evictor pair at 110 %
-/// over-subscription, next to the driver baseline (none + LRU-4KB) and
-/// the paper's best combination (TBNp + TBNe). The pair is typically
-/// named on an ablation binary's command line and resolved through the
+/// for an arbitrary prefetcher × evictor pair at `frac`
+/// over-subscription (the binaries default to 1.10), next to the
+/// driver baseline (none + LRU-4KB) and the paper's best combination
+/// (TBNp + TBNe). The pair is typically named on an ablation binary's
+/// command line and resolved through the
 /// [`PolicyRegistry`](uvm_core::PolicyRegistry), so out-of-core
 /// policies like S256p or AFe plug in without any experiment changes.
 pub fn policy_pair(
@@ -447,6 +448,7 @@ pub fn policy_pair(
     scale: Scale,
     prefetch: PrefetchPolicy,
     evict: EvictPolicy,
+    frac: f64,
 ) -> Table {
     let pairs = [
         (PrefetchPolicy::None, EvictPolicy::LruPage),
@@ -463,14 +465,17 @@ pub fn policy_pair(
             let opts = RunOptions::default()
                 .with_prefetch(p)
                 .with_evict(e)
-                .with_memory_frac(1.10);
+                .with_memory_frac(frac);
             plan.submit(w.as_ref(), opts);
         }
     }
     let mut results = plan.execute().into_iter();
 
     let mut t = Table::new(
-        format!("Policy pair study: {prefetch}+{evict} vs baselines (110%)"),
+        format!(
+            "Policy pair study: {prefetch}+{evict} vs baselines ({:.0}%)",
+            frac * 100.0
+        ),
         &[
             "benchmark",
             "baseline ms",
@@ -957,6 +962,156 @@ pub fn writeback_ablation(exec: &Executor, scale: Scale) -> Table {
         ]);
     }
     t
+}
+
+/// The policy pairs compared by [`huge_page_ablation`]: the paper's
+/// best combination, static 2 MB LRU eviction, and the Mosaic-style
+/// coalescing pair.
+pub const HUGE_PAGE_COMBOS: [(&str, PrefetchPolicy, EvictPolicy); 3] = [
+    (
+        "TBNp+TBNe",
+        PrefetchPolicy::TreeBasedNeighborhood,
+        EvictPolicy::TreeBasedNeighborhood,
+    ),
+    (
+        "TBNp+LRU2MB",
+        PrefetchPolicy::TreeBasedNeighborhood,
+        EvictPolicy::LruLargePage,
+    ),
+    (
+        "MOSp+MOSe",
+        PrefetchPolicy::MosaicCoalesce,
+        EvictPolicy::MosaicSplinter,
+    ),
+];
+
+/// Over-subscription levels swept by [`huge_page_ablation`] when the
+/// caller does not narrow the sweep with `--oversub`.
+pub const HUGE_PAGE_OVERSUB: [f64; 3] = [1.10, 1.25, 1.50];
+
+/// Results of the huge-page policy ablation.
+#[derive(Clone, Debug)]
+pub struct HugePageAblation {
+    /// Far-faults per thousand completed accesses, per
+    /// benchmark × over-subscription row and policy-pair column.
+    pub faults_per_kilo: Table,
+    /// Kernel time (ms) on the same grid.
+    pub time: Table,
+    /// Huge-page mechanism activity (coalesces, splinters, allocator
+    /// churn) for *cold-start* MOSp+MOSe runs at the same
+    /// over-subscription levels. Cold runs get allocator cooperation
+    /// from first touch, so the counters are live; the warmed cells
+    /// above inherit the warm-up's fragmented frame pool, where no
+    /// free 2 MB region survives at capacity and the counters stay
+    /// zero — the Mosaic fragmentation argument, observed directly
+    /// (DESIGN.md §9).
+    pub activity: Table,
+}
+
+/// Ablation: the Mosaic-style coalescing pair (MOSp+MOSe) against the
+/// paper's best combination (TBNp+TBNe) and static 2 MB LRU eviction,
+/// swept over [`HUGE_PAGE_OVERSUB`] over-subscription levels. Every
+/// cell is taken in steady state: it replays the same warm-up launches
+/// under `warmup`'s policies first, so a prefix-forking [`Executor`]
+/// simulates each workload × over-subscription warm-up once and forks
+/// the three policy tails from the snapshot.
+///
+/// The qualitative expectation (the Mosaic result): on regular
+/// workloads at ≥ 125 % over-subscription, MOSp+MOSe sustains fewer
+/// faults per kilo-access than TBNp+LRU2MB, because splintering the
+/// coldest huge page and evicting only its LRU blocks avoids the
+/// whole-2MB write-back-and-refault cycle.
+pub fn huge_page_ablation(
+    exec: &Executor,
+    scale: Scale,
+    warmup: Warmup,
+    oversubs: &[f64],
+) -> HugePageAblation {
+    let suite = suite(scale);
+    let mut plan = exec.plan();
+    for w in &suite {
+        for &frac in oversubs {
+            for (_, prefetch, evict) in HUGE_PAGE_COMBOS {
+                plan.submit(
+                    w.as_ref(),
+                    RunOptions::default()
+                        .with_prefetch(prefetch)
+                        .with_evict(evict)
+                        .with_memory_frac(frac)
+                        .with_warmup(warmup),
+                );
+            }
+            // Cold Mosaic run for the mechanism-activity table.
+            let (_, prefetch, evict) = HUGE_PAGE_COMBOS[2];
+            plan.submit(
+                w.as_ref(),
+                RunOptions::default()
+                    .with_prefetch(prefetch)
+                    .with_evict(evict)
+                    .with_memory_frac(frac),
+            );
+        }
+    }
+    let mut results = plan.execute().into_iter();
+
+    let headers = [
+        "benchmark",
+        "oversub",
+        "TBNp+TBNe",
+        "TBNp+LRU2MB",
+        "MOSp+MOSe",
+    ];
+    let mut faults_per_kilo = Table::new(
+        "Huge-page ablation: far-faults per kilo-access (warmed)",
+        &headers,
+    );
+    let mut time = Table::new("Huge-page ablation: kernel time (ms, warmed)", &headers);
+    let mut activity = Table::new(
+        "Huge-page ablation: MOSp+MOSe mechanism activity (cold start)",
+        &[
+            "benchmark",
+            "oversub",
+            "coalesces",
+            "splinters",
+            "forced_splinters",
+            "alloc_splits",
+            "alloc_merges",
+            "regions_reserved",
+            "region_steals",
+        ],
+    );
+    for w in &suite {
+        for &frac in oversubs {
+            let oversub = format!("{:.0}%", frac * 100.0);
+            let mut f_row = vec![w.name().to_string(), oversub.clone()];
+            let mut t_row = vec![w.name().to_string(), oversub.clone()];
+            for _ in HUGE_PAGE_COMBOS {
+                let r = results.next().expect("plan covers every cell");
+                f_row.push(fmt(r.faults_per_kilo_access()));
+                t_row.push(fmt(r.total_ms()));
+            }
+            faults_per_kilo.row_owned(f_row);
+            time.row_owned(t_row);
+            let cold = results.next().expect("plan covers every cell");
+            let hp = &cold.huge_pages;
+            activity.row_owned(vec![
+                w.name().to_string(),
+                oversub,
+                hp.coalesces.to_string(),
+                hp.splinters.to_string(),
+                hp.forced_splinters.to_string(),
+                hp.alloc_splits.to_string(),
+                hp.alloc_merges.to_string(),
+                hp.regions_reserved.to_string(),
+                hp.region_steals.to_string(),
+            ]);
+        }
+    }
+    HugePageAblation {
+        faults_per_kilo,
+        time,
+        activity,
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -1,7 +1,7 @@
 //! Single-run driver: one workload under one configuration, plus the
 //! shared warm-up prefix machinery behind sweep forking.
 
-use uvm_core::{EvictPolicy, FaultPlan, Gmmu, PrefetchPolicy, UvmConfig};
+use uvm_core::{EvictPolicy, FaultPlan, Gmmu, HugePageStats, PrefetchPolicy, UvmConfig};
 use uvm_gpu::{Engine, EngineSnapshot, GpuConfig, KernelSpec, TraceEvent};
 use uvm_types::{Bytes, Duration};
 use uvm_workloads::Workload;
@@ -208,6 +208,9 @@ pub struct RunResult {
     pub footprint: Bytes,
     /// Device-memory budget in effect (`None` = unlimited).
     pub capacity: Option<Bytes>,
+    /// Completed warp accesses — the denominator of
+    /// [`faults_per_kilo_access`](Self::faults_per_kilo_access).
+    pub accesses: u64,
     /// Distinct far-faults serviced (Fig. 5).
     pub far_faults: u64,
     /// Pages migrated host→device.
@@ -249,6 +252,10 @@ pub struct RunResult {
     pub emergency_evictions: u64,
     /// Total injected far-fault latency jitter, in cycles.
     pub fault_jitter_cycles: u64,
+    /// Huge-page coalesce/splinter and allocator split/merge counters.
+    /// All-zero ([`HugePageStats::is_clean`]) for every legacy policy —
+    /// only the Mosaic pair exercises the huge-page mechanism.
+    pub huge_pages: HugePageStats,
     /// Per-kernel page-access traces, if requested.
     pub traces: Vec<Vec<TraceEvent>>,
 }
@@ -262,6 +269,15 @@ impl RunResult {
     /// Speed-up of this run relative to `baseline` (>1 means faster).
     pub fn speedup_vs(&self, baseline: &RunResult) -> f64 {
         baseline.total_time.as_secs() / self.total_time.as_secs()
+    }
+
+    /// Distinct far-faults per thousand completed accesses — the
+    /// huge-page ablation's figure of merit (0 when nothing ran).
+    pub fn faults_per_kilo_access(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.far_faults as f64 * 1000.0 / self.accesses as f64
     }
 }
 
@@ -372,6 +388,7 @@ fn collect_result(
         kernel_times,
         footprint,
         capacity,
+        accesses: stats.accesses,
         far_faults: stats.far_faults,
         pages_migrated: stats.pages_migrated,
         pages_prefetched: stats.pages_prefetched,
@@ -392,6 +409,7 @@ fn collect_result(
         migration_giveups: stats.fault_injection.migration_giveups,
         emergency_evictions: stats.fault_injection.emergency_evictions,
         fault_jitter_cycles: stats.fault_injection.jitter_cycles,
+        huge_pages: stats.huge_pages.clone(),
         traces,
     }
 }
