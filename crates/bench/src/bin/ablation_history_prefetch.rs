@@ -1,0 +1,115 @@
+//! History-based prefetcher ablation: the full export → train →
+//! evaluate loop in one binary.
+//!
+//! Phase A exports one no-prefetch `UVMT` trace per benchmark (under
+//! `--trace-out`, default `results/traces/`) and trains a `learned`
+//! table from each (under `results/trained/`). Phase B runs the
+//! warmed head-to-head: NOp, SLp, TBNp, the online `markov`
+//! delta-correlator, and `learned:table=<benchmark>.tbl` across
+//! over-subscription levels, all over LRU-4KB eviction so the
+//! prefetcher is the only variable.
+//!
+//! ```sh
+//! cargo run --release -p uvm-bench --bin ablation_history_prefetch -- --smoke
+//! cargo run --release -p uvm-bench --bin ablation_history_prefetch -- \
+//!     --smoke --oversub 1.25 --trace-out results/traces
+//! ```
+//!
+//! Existing trace files are reused (delete them to re-export); the
+//! trained tables are always rebuilt from the traces on disk.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use uvm_bench::{config_from_args, emit, finish, BenchError};
+use uvm_core::trace::decode_trace;
+use uvm_core::{train_table, PolicySpec, PrefetchPolicy};
+use uvm_sim::experiments::{history_prefetch_ablation, suite, HISTORY_PREFETCH_OVERSUB};
+use uvm_sim::{run_workload, RunOptions, Warmup};
+
+/// Context depth and prediction degree of the trained tables.
+const TRAIN_DEPTH: usize = 2;
+const TRAIN_DEGREE: usize = 16;
+/// Over-subscription the training traces are collected at when no
+/// `--oversub` override is given: capacity pressure puts eviction
+/// refaults into the training stream.
+const TRAIN_OVERSUB: f64 = 1.10;
+
+fn main() -> ExitCode {
+    finish(run())
+}
+
+fn run() -> Result<(), BenchError> {
+    let cfg = config_from_args();
+    let trace_dir = cfg
+        .trace_out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("results/traces"));
+    let trained_dir = PathBuf::from("results/trained");
+
+    // Phase A: per-benchmark no-prefetch trace + trained table. The
+    // export runs bypass the executor's spill cache on purpose — the
+    // trace file on disk is the product, and a cache hit would skip
+    // writing it.
+    let mut learned: Vec<(String, PolicySpec)> = Vec::new();
+    for w in suite(cfg.scale) {
+        let trace_path = trace_dir.join(format!("{}.uvmt", w.name()));
+        if !trace_path.exists() {
+            run_workload(
+                w.as_ref(),
+                RunOptions::default()
+                    .with_prefetch(PrefetchPolicy::None)
+                    .with_memory_frac(cfg.oversub.unwrap_or(TRAIN_OVERSUB))
+                    .with_trace_export(&trace_path),
+            );
+            eprintln!("wrote {}", trace_path.display());
+        }
+        let bytes = std::fs::read(&trace_path).map_err(|source| BenchError::Io {
+            path: trace_path.clone(),
+            source,
+        })?;
+        let (_, records) = decode_trace(&bytes)
+            .map_err(|e| BenchError::Artifact(format!("decoding {}: {e}", trace_path.display())))?;
+        let table = train_table(&records, TRAIN_DEPTH, TRAIN_DEGREE);
+        let table_path = trained_dir.join(format!("{}.tbl", w.name()));
+        table.save(&table_path).map_err(|source| BenchError::Io {
+            path: table_path.clone(),
+            source,
+        })?;
+        eprintln!(
+            "trained {} ({} contexts from {} trace records)",
+            table_path.display(),
+            table.len(),
+            records.len()
+        );
+        learned.push((
+            w.name().to_string(),
+            PolicySpec::new("learned").with_param("table", table_path.display().to_string()),
+        ));
+    }
+
+    // Phase B: warmed head-to-head across over-subscription.
+    let oversubs: Vec<f64> = match cfg.oversub {
+        Some(frac) => vec![frac],
+        None => HISTORY_PREFETCH_OVERSUB.to_vec(),
+    };
+    let learned_for = |name: &str| -> PolicySpec {
+        learned
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s.clone())
+            .expect("phase A trained every suite benchmark")
+    };
+    let hp = history_prefetch_ablation(
+        &cfg.executor(),
+        cfg.scale,
+        Warmup::default(),
+        &oversubs,
+        &learned_for,
+    );
+    emit(
+        "ablation_history_prefetch_faults_per_kilo",
+        &hp.faults_per_kilo,
+    )?;
+    emit("ablation_history_prefetch_time", &hp.time)
+}

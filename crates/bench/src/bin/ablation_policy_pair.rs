@@ -6,25 +6,33 @@
 //! cargo run --release -p uvm-bench --bin ablation_policy_pair -- --list-policies
 //! cargo run --release -p uvm-bench --bin ablation_policy_pair -- \
 //!     --smoke --prefetch S256p --evict AFe
+//! cargo run --release -p uvm-bench --bin ablation_policy_pair -- \
+//!     --smoke --prefetch markov:depth=2 --evict AFe
 //! ```
 //!
 //! Defaults to the two out-of-core policies (the 256 KB-stride
 //! prefetcher and the access-frequency evictor) that exist purely as
 //! registry entries: this binary proves a policy is selectable by name
-//! without the driver knowing it.
+//! — including parameterized specs like `markov:depth=2` — without the
+//! driver knowing it.
 
 use uvm_bench::{config_from_args, emit};
-use uvm_core::{EvictPolicy, PrefetchPolicy};
+use uvm_core::PolicySpec;
 use uvm_sim::experiments::policy_pair;
 
 fn main() -> std::process::ExitCode {
     let cfg = config_from_args();
-    let prefetch = cfg.prefetch.unwrap_or(PrefetchPolicy::Stride256K);
-    let evict = cfg.evict.unwrap_or(EvictPolicy::AccessFrequency);
+    let prefetch = cfg
+        .prefetch
+        .clone()
+        .unwrap_or_else(|| PolicySpec::new("S256p"));
+    let evict = cfg.evict.clone().unwrap_or_else(|| PolicySpec::new("AFe"));
     let frac = cfg.oversub.unwrap_or(1.10);
-    let table = policy_pair(&cfg.executor(), cfg.scale, prefetch, evict, frac);
+    let table = policy_pair(&cfg.executor(), cfg.scale, &prefetch, &evict, frac);
+    // CSV names must stay filesystem-safe: spec strings may carry
+    // `:`/`=`/`,`; keep only the policy names.
     uvm_bench::finish(emit(
-        &format!("ablation_policy_pair_{prefetch}_{evict}"),
+        &format!("ablation_policy_pair_{}_{}", prefetch.name(), evict.name()),
         &table,
     ))
 }

@@ -17,6 +17,11 @@
 //! width, and completed results are spilled as JSON under
 //! `results/cache/` so re-invocations resume instead of re-simulating.
 //! Delete `results/cache/` to force fresh runs.
+//!
+//! The shared command line is described by one declarative [`FlagSpec`]
+//! table: each entry names the flag, its value shape, and its help
+//! line, and a single loop accepts both `--flag VALUE` and
+//! `--flag=VALUE` spellings. `--help` renders the same table.
 
 pub mod harness;
 
@@ -26,7 +31,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use uvm_core::{EvictPolicy, FaultPlan, PolicyRegistry, PrefetchPolicy};
+use uvm_core::{FaultPlan, ParamSpec, PolicyRegistry, PolicySpec};
 use uvm_sim::experiments::Scale;
 use uvm_sim::{Executor, Table};
 
@@ -47,6 +52,9 @@ pub enum BenchError {
     /// One or more simulation runs failed after their retry budget;
     /// the executor's failure report has the details.
     Sweep(String),
+    /// A trace or trained-table artifact under `results/` could not
+    /// be decoded.
+    Artifact(String),
 }
 
 impl fmt::Display for BenchError {
@@ -56,6 +64,7 @@ impl fmt::Display for BenchError {
                 write!(f, "could not write {}: {source}", path.display())
             }
             BenchError::Sweep(msg) => write!(f, "sweep incomplete: {msg}"),
+            BenchError::Artifact(msg) => write!(f, "bad artifact: {msg}"),
         }
     }
 }
@@ -64,7 +73,7 @@ impl Error for BenchError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             BenchError::Io { source, .. } => Some(source),
-            BenchError::Sweep(_) => None,
+            BenchError::Sweep(_) | BenchError::Artifact(_) => None,
         }
     }
 }
@@ -82,18 +91,22 @@ pub fn finish(outcome: Result<(), BenchError>) -> ExitCode {
 }
 
 /// Common binary configuration parsed from the command line.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Config {
     /// Experiment scale (`--smoke` / `--paper`).
     pub scale: Scale,
     /// Worker-pool width (`--jobs N`); 0 means auto-detect.
     pub jobs: usize,
-    /// Prefetcher override (`--prefetch NAME`), resolved through the
+    /// Prefetcher override (`--prefetch SPEC`), canonicalized through
+    /// the policy registry (aliases renamed, parameter keys checked).
+    /// Binaries that sweep policies ignore it.
+    pub prefetch: Option<PolicySpec>,
+    /// Evictor override (`--evict SPEC`), canonicalized through the
     /// policy registry. Binaries that sweep policies ignore it.
-    pub prefetch: Option<PrefetchPolicy>,
-    /// Evictor override (`--evict NAME`), resolved through the policy
-    /// registry. Binaries that sweep policies ignore it.
-    pub evict: Option<EvictPolicy>,
+    pub evict: Option<PolicySpec>,
+    /// Trace-export directory (`--trace-out DIR`); binaries that
+    /// support it write one `.uvmt` file per run under this directory.
+    pub trace_out: Option<PathBuf>,
     /// Fault-injection profile (`--fault-profile NAME`); `None` means
     /// the binary's default (usually [`FaultPlan::none`]).
     pub fault_plan: Option<FaultPlan>,
@@ -104,6 +117,21 @@ pub struct Config {
     /// the binary's default level(s). Validated against
     /// [`OVERSUB_RANGE`] at parse time.
     pub oversub: Option<f64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            scale: Scale::Paper,
+            jobs: 0,
+            prefetch: None,
+            evict: None,
+            trace_out: None,
+            fault_plan: None,
+            fault_seed: None,
+            oversub: None,
+        }
+    }
 }
 
 /// The over-subscription ratios `--oversub` accepts: 1.0 (everything
@@ -126,157 +154,290 @@ impl Config {
             None => plan,
         }
     }
+
+    /// Where a run named `run` should export its trace: the
+    /// `--trace-out` directory joined with `<run>.uvmt`, or `None`
+    /// when trace export is off.
+    pub fn trace_path(&self, run: &str) -> Option<PathBuf> {
+        self.trace_out
+            .as_ref()
+            .map(|dir| dir.join(format!("{run}.uvmt")))
+    }
 }
 
-/// Parses the common binary arguments: `--smoke`/`--paper` select the
-/// scale, `--jobs N` (or `--jobs=N`) the worker-pool width (`--jobs 0`
-/// — the default — auto-detects the machine's parallelism, resolved
-/// once when the [`Executor`] is constructed),
-/// `--prefetch NAME` / `--evict NAME` pick policies by registry name,
-/// `--oversub RATIO` overrides the over-subscription level (validated
-/// against [`OVERSUB_RANGE`]),
-/// `--fault-profile NAME` / `--fault-seed N` arm the deterministic
-/// fault-injection layer, and `--list-policies` prints every
-/// registered policy and exits. Unknown arguments, policy names,
-/// out-of-range ratios, and fault profiles exit with status 2; the
-/// errors list the valid names or the accepted range.
+/// One entry of the shared flag table: the flag's name, the shape of
+/// its value (`None` for bare switches), its `--help` line, and the
+/// action applying a parsed occurrence to the in-progress [`Config`].
+struct FlagSpec {
+    /// The flag as typed, e.g. `"--jobs"`.
+    name: &'static str,
+    /// Metavariable for the value (`Some("N")` renders `--jobs N`);
+    /// `None` means the flag takes no value.
+    metavar: Option<&'static str>,
+    /// One help line for `--help`.
+    help: &'static str,
+    /// Applies the occurrence; receives `""` for bare switches.
+    apply: fn(&mut ParseCtx, &str) -> Result<(), String>,
+}
+
+/// Mutable state threaded through one [`parse_args`] pass.
+struct ParseCtx {
+    cfg: Config,
+    request: Option<Parsed>,
+}
+
+fn parse_prefetch_spec(s: &str) -> Result<PolicySpec, String> {
+    let spec: PolicySpec = s.parse().map_err(|e| format!("{e}"))?;
+    PolicyRegistry::global()
+        .canonical_prefetch_spec(&spec)
+        .map_err(|e| format!("{e}"))
+}
+
+fn parse_evict_spec(s: &str) -> Result<PolicySpec, String> {
+    let spec: PolicySpec = s.parse().map_err(|e| format!("{e}"))?;
+    PolicyRegistry::global()
+        .canonical_evict_spec(&spec)
+        .map_err(|e| format!("{e}"))
+}
+
+fn parse_oversub(n: &str) -> Result<f64, String> {
+    let out_of_range = || {
+        format!(
+            "bad --oversub value {n:?}: accepted range is {:.1}..={:.1} \
+             (footprint : device-memory ratio, e.g. 1.25 = 125%)",
+            OVERSUB_RANGE.start(),
+            OVERSUB_RANGE.end()
+        )
+    };
+    let ratio: f64 = n.parse().map_err(|_| out_of_range())?;
+    if OVERSUB_RANGE.contains(&ratio) {
+        Ok(ratio)
+    } else {
+        Err(out_of_range())
+    }
+}
+
+/// The shared flag table. [`parse_args`] drives parsing off it and
+/// [`render_help`] renders it, so the two can never drift apart.
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--smoke",
+        metavar: None,
+        help: "run at tiny smoke scale",
+        apply: |ctx, _| {
+            ctx.cfg.scale = Scale::Smoke;
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--paper",
+        metavar: None,
+        help: "run at the paper's scale (default)",
+        apply: |ctx, _| {
+            ctx.cfg.scale = Scale::Paper;
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--jobs",
+        metavar: Some("N"),
+        help: "worker-pool width; 0 auto-detects parallelism (default)",
+        apply: |ctx, v| {
+            ctx.cfg.jobs = v.parse().map_err(|_| format!("bad --jobs value {v:?}"))?;
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--prefetch",
+        metavar: Some("SPEC"),
+        help: "prefetcher: name, alias, or name:key=val,... (e.g. markov:depth=2)",
+        apply: |ctx, v| {
+            ctx.cfg.prefetch = Some(parse_prefetch_spec(v)?);
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--evict",
+        metavar: Some("SPEC"),
+        help: "evictor, same spec grammar as --prefetch",
+        apply: |ctx, v| {
+            ctx.cfg.evict = Some(parse_evict_spec(v)?);
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--trace-out",
+        metavar: Some("DIR"),
+        help: "export per-run access/fault traces as DIR/<run>.uvmt",
+        apply: |ctx, v| {
+            if v.is_empty() {
+                return Err("bad --trace-out value: directory must be non-empty".into());
+            }
+            ctx.cfg.trace_out = Some(PathBuf::from(v));
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--oversub",
+        metavar: Some("RATIO"),
+        help: "over-subscription ratio, 1.0..=4.0 (1.25 = 125%)",
+        apply: |ctx, v| {
+            ctx.cfg.oversub = Some(parse_oversub(v)?);
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--fault-profile",
+        metavar: Some("NAME"),
+        help: "deterministic fault-injection profile",
+        apply: |ctx, v| {
+            ctx.cfg.fault_plan = Some(FaultPlan::from_name(v).map_err(|e| format!("{e}"))?);
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--fault-seed",
+        metavar: Some("N"),
+        help: "fault-injection seed override",
+        apply: |ctx, v| {
+            ctx.cfg.fault_seed = Some(
+                v.parse()
+                    .map_err(|_| format!("bad --fault-seed value {v:?}"))?,
+            );
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--list-policies",
+        metavar: None,
+        help: "print every registered policy (and its parameters) and exit",
+        apply: |ctx, _| {
+            ctx.request = Some(Parsed::ListPolicies);
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--help",
+        metavar: None,
+        help: "print this message and exit",
+        apply: |ctx, _| {
+            ctx.request = Some(Parsed::Help);
+            Ok(())
+        },
+    },
+];
+
+/// Parses the common binary arguments off the [`FlagSpec`] table; see
+/// `--help` for the catalogue. Every value-taking flag accepts both
+/// `--flag VALUE` and `--flag=VALUE`. `--list-policies` prints the
+/// policy registry and exits 0; `--help` prints the flag table and
+/// exits 0. Unknown arguments, policy names, unknown policy
+/// parameters, out-of-range ratios, and fault profiles exit with
+/// status 2; the errors list the valid names, accepted parameters, or
+/// the accepted range.
 pub fn config_from_args() -> Config {
     match parse_args(std::env::args().skip(1)) {
-        Ok(Parsed::Run(cfg)) => cfg,
+        Ok(Parsed::Run(cfg)) => *cfg,
         Ok(Parsed::ListPolicies) => {
             print!("{}", render_policy_list());
             std::process::exit(0);
         }
+        Ok(Parsed::Help) => {
+            print!("{}", render_help());
+            std::process::exit(0);
+        }
         Err(msg) => {
             eprintln!("{msg}");
-            eprintln!(
-                "usage: [--smoke|--paper] [--jobs N] \
-                 [--prefetch NAME] [--evict NAME] [--oversub RATIO] \
-                 [--fault-profile NAME] [--fault-seed N] [--list-policies]\n\
-                 (--jobs 0 = auto-detect parallelism; the default.\n\
-                 \x20--oversub accepts {:.1}..={:.1}, e.g. 1.25 = 125%)",
-                OVERSUB_RANGE.start(),
-                OVERSUB_RANGE.end()
-            );
+            eprint!("{}", render_help());
             std::process::exit(2);
         }
     }
 }
 
-/// Outcome of argument parsing: either a runnable configuration or the
-/// `--list-policies` request.
+/// Outcome of argument parsing: a runnable configuration, or one of
+/// the print-and-exit requests.
 #[derive(Clone, Debug, PartialEq)]
 enum Parsed {
-    Run(Config),
+    // Boxed: Config dwarfs the unit variants.
+    Run(Box<Config>),
     ListPolicies,
+    Help,
 }
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Parsed, String> {
-    let mut cfg = Config {
-        scale: Scale::Paper,
-        jobs: 0,
-        prefetch: None,
-        evict: None,
-        fault_plan: None,
-        fault_seed: None,
-        oversub: None,
+    let mut ctx = ParseCtx {
+        cfg: Config::default(),
+        request: None,
     };
-    let parse_profile = |name: &str| -> Result<FaultPlan, String> {
-        FaultPlan::from_name(name).map_err(|e| format!("{e}"))
-    };
-    let parse_seed = |n: &str| -> Result<u64, String> {
-        n.parse()
-            .map_err(|_| format!("bad --fault-seed value {n:?}"))
-    };
-    let parse_oversub = |n: &str| -> Result<f64, String> {
-        let out_of_range = || {
-            format!(
-                "bad --oversub value {n:?}: accepted range is {:.1}..={:.1} \
-                 (footprint : device-memory ratio, e.g. 1.25 = 125%)",
-                OVERSUB_RANGE.start(),
-                OVERSUB_RANGE.end()
-            )
-        };
-        let ratio: f64 = n.parse().map_err(|_| out_of_range())?;
-        if OVERSUB_RANGE.contains(&ratio) {
-            Ok(ratio)
-        } else {
-            Err(out_of_range())
-        }
-    };
-    let mut args = args.peekable();
+    let mut args = args;
     while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--smoke" => cfg.scale = Scale::Smoke,
-            "--paper" => cfg.scale = Scale::Paper,
-            "--list-policies" => return Ok(Parsed::ListPolicies),
-            "--jobs" => {
-                let n = args.next().ok_or("--jobs needs a value")?;
-                cfg.jobs = n.parse().map_err(|_| format!("bad --jobs value {n:?}"))?;
+        // `--flag=VALUE` splits into the flag and an inline value;
+        // `--flag VALUE` takes the value from the next argument.
+        let (name, inline) = match arg.split_once('=') {
+            Some((name, value)) => (name, Some(value.to_string())),
+            None => (arg.as_str(), None),
+        };
+        let Some(spec) = FLAGS.iter().find(|f| f.name == name) else {
+            return Err(format!("unknown argument {arg:?}"));
+        };
+        let value = match (spec.metavar, inline) {
+            (Some(metavar), inline) => match inline.or_else(|| args.next()) {
+                Some(v) => v,
+                None => return Err(format!("{} needs a value ({metavar})", spec.name)),
+            },
+            (None, Some(_)) => {
+                return Err(format!("{} takes no value", spec.name));
             }
-            "--prefetch" => {
-                let name = args.next().ok_or("--prefetch needs a policy name")?;
-                cfg.prefetch = Some(name.parse().map_err(|e| format!("{e}"))?);
-            }
-            "--evict" => {
-                let name = args.next().ok_or("--evict needs a policy name")?;
-                cfg.evict = Some(name.parse().map_err(|e| format!("{e}"))?);
-            }
-            "--fault-profile" => {
-                let name = args.next().ok_or("--fault-profile needs a profile name")?;
-                cfg.fault_plan = Some(parse_profile(&name)?);
-            }
-            "--fault-seed" => {
-                let n = args.next().ok_or("--fault-seed needs a value")?;
-                cfg.fault_seed = Some(parse_seed(&n)?);
-            }
-            "--oversub" => {
-                let n = args.next().ok_or("--oversub needs a ratio")?;
-                cfg.oversub = Some(parse_oversub(&n)?);
-            }
-            other => {
-                if let Some(n) = other.strip_prefix("--jobs=") {
-                    cfg.jobs = n.parse().map_err(|_| format!("bad --jobs value {n:?}"))?;
-                } else if let Some(name) = other.strip_prefix("--prefetch=") {
-                    cfg.prefetch = Some(name.parse().map_err(|e| format!("{e}"))?);
-                } else if let Some(name) = other.strip_prefix("--evict=") {
-                    cfg.evict = Some(name.parse().map_err(|e| format!("{e}"))?);
-                } else if let Some(name) = other.strip_prefix("--fault-profile=") {
-                    cfg.fault_plan = Some(parse_profile(name)?);
-                } else if let Some(n) = other.strip_prefix("--fault-seed=") {
-                    cfg.fault_seed = Some(parse_seed(n)?);
-                } else if let Some(n) = other.strip_prefix("--oversub=") {
-                    cfg.oversub = Some(parse_oversub(n)?);
-                } else {
-                    return Err(format!("unknown argument {other:?}"));
-                }
-            }
+            (None, None) => String::new(),
+        };
+        (spec.apply)(&mut ctx, &value)?;
+        if let Some(request) = ctx.request.take() {
+            return Ok(request);
         }
     }
-    Ok(Parsed::Run(cfg))
+    Ok(Parsed::Run(Box::new(ctx.cfg)))
+}
+
+/// The `--help` text, rendered straight from the [`FlagSpec`] table.
+pub fn render_help() -> String {
+    let mut out = String::from("usage: [FLAGS]\n");
+    for f in FLAGS {
+        let lhs = match f.metavar {
+            Some(metavar) => format!("{} {metavar}", f.name),
+            None => f.name.to_string(),
+        };
+        out.push_str(&format!("  {lhs:<24}{}\n", f.help));
+    }
+    out
 }
 
 /// The `--list-policies` listing: every registered prefetcher and
-/// evictor with its aliases and summary, straight from the registry.
+/// evictor with its aliases, summary, and accepted parameters,
+/// straight from the registry.
 pub fn render_policy_list() -> String {
     let registry = PolicyRegistry::global();
     let mut out = String::from("prefetchers:\n");
-    for e in registry.prefetchers() {
-        let aliases = if e.aliases.is_empty() {
-            String::new()
-        } else {
-            format!(" (aka {})", e.aliases.join(", "))
+    let push =
+        |out: &mut String, name: &str, aliases: &[&str], summary: &str, params: &[ParamSpec]| {
+            let aliases = if aliases.is_empty() {
+                String::new()
+            } else {
+                format!(" (aka {})", aliases.join(", "))
+            };
+            out.push_str(&format!("  {name:<10}{aliases:<30}{summary}\n"));
+            for p in params {
+                out.push_str(&format!(
+                    "    :{:<12} {} (default {})\n",
+                    p.key, p.summary, p.default
+                ));
+            }
         };
-        out.push_str(&format!("  {:<10}{aliases:<30}{}\n", e.name, e.summary));
+    for e in registry.prefetchers() {
+        push(&mut out, e.name, e.aliases, e.summary, e.params);
     }
     out.push_str("evictors:\n");
     for e in registry.evictors() {
-        let aliases = if e.aliases.is_empty() {
-            String::new()
-        } else {
-            format!(" (aka {})", e.aliases.join(", "))
-        };
-        out.push_str(&format!("  {:<10}{aliases:<30}{}\n", e.name, e.summary));
+        push(&mut out, e.name, e.aliases, e.summary, e.params);
     }
     out
 }
@@ -420,35 +581,29 @@ mod tests {
     #[test]
     fn args_parse_scale_and_jobs() {
         let p = |args: &[&str]| parse_args(args.iter().map(|s| s.to_string()));
-        let base = Config {
-            scale: Scale::Paper,
-            jobs: 0,
-            prefetch: None,
-            evict: None,
-            fault_plan: None,
-            fault_seed: None,
-            oversub: None,
-        };
-        assert_eq!(p(&[]).unwrap(), Parsed::Run(base));
+        let base = Config::default();
+        assert_eq!(p(&[]).unwrap(), Parsed::Run(Box::new(base.clone())));
         assert_eq!(
             p(&["--smoke", "--jobs", "4"]).unwrap(),
-            Parsed::Run(Config {
+            Parsed::Run(Box::new(Config {
                 scale: Scale::Smoke,
                 jobs: 4,
-                ..base
-            })
+                ..base.clone()
+            }))
         );
         assert_eq!(
             p(&["--jobs=8", "--paper"]).unwrap(),
-            Parsed::Run(Config {
+            Parsed::Run(Box::new(Config {
                 scale: Scale::Paper,
                 jobs: 8,
                 ..base
-            })
+            }))
         );
         assert!(p(&["--jobs"]).is_err());
         assert!(p(&["--jobs", "many"]).is_err());
         assert!(p(&["--frobnicate"]).is_err());
+        // Bare switches reject inline values.
+        assert!(p(&["--smoke=yes"]).is_err());
     }
 
     #[test]
@@ -458,14 +613,36 @@ mod tests {
         let Parsed::Run(cfg) = p(&["--prefetch", "S256p", "--evict=freq"]).unwrap() else {
             panic!("expected a runnable config");
         };
-        assert_eq!(cfg.prefetch, Some(PrefetchPolicy::Stride256K));
-        assert_eq!(cfg.evict, Some(EvictPolicy::AccessFrequency));
+        assert_eq!(cfg.prefetch, Some(PolicySpec::new("S256p")));
+        assert_eq!(cfg.evict, Some(PolicySpec::new("AFe")));
         let Parsed::Run(cfg) = p(&["--prefetch=tree", "--evict", "LRU-2MB"]).unwrap() else {
             panic!("expected a runnable config");
         };
-        assert_eq!(cfg.prefetch, Some(PrefetchPolicy::TreeBasedNeighborhood));
-        assert_eq!(cfg.evict, Some(EvictPolicy::LruLargePage));
+        assert_eq!(cfg.prefetch, Some(PolicySpec::new("TBNp")));
+        assert_eq!(cfg.evict, Some(PolicySpec::new("LRU-2MB")));
         assert_eq!(p(&["--list-policies"]).unwrap(), Parsed::ListPolicies);
+    }
+
+    #[test]
+    fn args_accept_parameterized_specs() {
+        let p = |args: &[&str]| parse_args(args.iter().map(|s| s.to_string()));
+        // Parameterized specs pass through with their params, and
+        // aliases canonicalize without losing them.
+        let Parsed::Run(cfg) = p(&["--prefetch", "markov:depth=3,degree=8"]).unwrap() else {
+            panic!("expected a runnable config");
+        };
+        assert_eq!(
+            cfg.prefetch,
+            Some(
+                PolicySpec::new("markov")
+                    .with_param("depth", "3")
+                    .with_param("degree", "8")
+            )
+        );
+        let Parsed::Run(cfg) = p(&["--prefetch=delta-correlation:depth=2"]).unwrap() else {
+            panic!("expected a runnable config");
+        };
+        assert_eq!(cfg.prefetch.unwrap().to_string(), "markov:depth=2");
     }
 
     #[test]
@@ -480,6 +657,35 @@ mod tests {
         for name in PolicyRegistry::global().evictor_names() {
             assert!(err.contains(name), "error lists {name}");
         }
+    }
+
+    #[test]
+    fn unknown_params_error_listing_the_accepted_keys() {
+        let p = |args: &[&str]| parse_args(args.iter().map(|s| s.to_string()));
+        let err = p(&["--prefetch", "markov:bogus=1"]).unwrap_err();
+        assert!(err.contains("bogus"), "error names the bad key: {err}");
+        assert!(err.contains("depth"), "error lists accepted keys: {err}");
+        let err = p(&["--prefetch", "TBNp:depth=2"]).unwrap_err();
+        assert!(err.contains("no parameters"), "{err}");
+    }
+
+    #[test]
+    fn args_parse_trace_out() {
+        let p = |args: &[&str]| parse_args(args.iter().map(|s| s.to_string()));
+        let Parsed::Run(cfg) = p(&["--trace-out", "results/traces"]).unwrap() else {
+            panic!("expected a runnable config");
+        };
+        assert_eq!(cfg.trace_out, Some(PathBuf::from("results/traces")));
+        assert_eq!(
+            cfg.trace_path("nw_markov"),
+            Some(PathBuf::from("results/traces/nw_markov.uvmt"))
+        );
+        let Parsed::Run(cfg) = p(&["--trace-out=out"]).unwrap() else {
+            panic!("expected a runnable config");
+        };
+        assert_eq!(cfg.trace_out, Some(PathBuf::from("out")));
+        assert_eq!(Config::default().trace_path("x"), None);
+        assert!(p(&["--trace-out"]).is_err());
     }
 
     #[test]
@@ -545,6 +751,28 @@ mod tests {
     }
 
     #[test]
+    fn help_renders_the_flag_table() {
+        let p = |args: &[&str]| parse_args(args.iter().map(|s| s.to_string()));
+        assert_eq!(p(&["--help"]).unwrap(), Parsed::Help);
+        let help = render_help();
+        for f in FLAGS {
+            assert!(help.contains(f.name), "--help mentions {}", f.name);
+            assert!(
+                help.contains(f.help),
+                "--help carries the line for {}",
+                f.name
+            );
+            if let Some(metavar) = f.metavar {
+                let rendered = format!("{} {metavar}", f.name);
+                assert!(help.contains(&rendered), "--help shows {rendered}");
+            }
+        }
+        // Pinned shape: usage header plus one line per flag.
+        assert!(help.starts_with("usage: [FLAGS]\n"));
+        assert_eq!(help.lines().count(), 1 + FLAGS.len());
+    }
+
+    #[test]
     fn bench_error_display_names_the_path() {
         let e = BenchError::Io {
             path: PathBuf::from("results/x.csv"),
@@ -558,12 +786,15 @@ mod tests {
     }
 
     #[test]
-    fn policy_list_covers_every_registered_name() {
+    fn policy_list_covers_every_registered_name_and_param() {
         let listing = render_policy_list();
         let registry = PolicyRegistry::global();
         for e in registry.prefetchers() {
             for name in e.names() {
                 assert!(listing.contains(name), "listing mentions {name}");
+            }
+            for p in e.params {
+                assert!(listing.contains(p.key), "listing mentions param {}", p.key);
             }
         }
         for e in registry.evictors() {

@@ -39,13 +39,9 @@ fn all_experiments_smoke_runs_and_resumes() {
     std::env::set_current_dir(&tmp).unwrap();
 
     let cfg = Config {
-        prefetch: None,
-        evict: None,
         scale: Scale::Smoke,
         jobs: 2,
-        fault_plan: None,
-        fault_seed: None,
-        oversub: None,
+        ..Config::default()
     };
     run_all(&cfg).expect("smoke sweep completes");
 

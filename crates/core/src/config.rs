@@ -4,7 +4,7 @@
 use uvm_types::{Bytes, Duration};
 
 use crate::fault::FaultPlan;
-use crate::policy::{EvictPolicy, PrefetchPolicy};
+use crate::spec::PolicySpec;
 
 /// Configuration of the UVM driver model.
 ///
@@ -30,10 +30,13 @@ pub struct UvmConfig {
     /// Device memory budget; `None` means effectively unlimited (the
     /// no-over-subscription experiments of Sec. 4.1).
     pub capacity: Option<Bytes>,
-    /// Hardware prefetcher.
-    pub prefetch: PrefetchPolicy,
-    /// Eviction / pre-eviction policy.
-    pub evict: EvictPolicy,
+    /// Hardware prefetcher spec, resolved through the policy
+    /// registry ([`PrefetchPolicy`](crate::PrefetchPolicy) selectors
+    /// convert via `Into<PolicySpec>`).
+    pub prefetch: PolicySpec,
+    /// Eviction / pre-eviction policy spec, resolved through the
+    /// policy registry.
+    pub evict: PolicySpec,
     /// Far-fault handling latency paid per fault by the host runtime
     /// (45 µs measured on the GTX 1080ti, Sec. 6.1).
     pub fault_latency: Duration,
@@ -83,8 +86,8 @@ impl Default for UvmConfig {
     fn default() -> Self {
         UvmConfig {
             capacity: None,
-            prefetch: PrefetchPolicy::TreeBasedNeighborhood,
-            evict: EvictPolicy::LruPage,
+            prefetch: PolicySpec::new("TBNp"),
+            evict: PolicySpec::new("LRU-4KB"),
             fault_latency: Duration::from_micros(45.0),
             walk_latency: Duration::from_cycles(100),
             disable_prefetch_on_oversubscription: false,
@@ -106,15 +109,17 @@ impl UvmConfig {
         self
     }
 
-    /// Sets the hardware prefetcher.
-    pub fn with_prefetch(mut self, prefetch: PrefetchPolicy) -> Self {
-        self.prefetch = prefetch;
+    /// Sets the hardware prefetcher — an enum selector, a
+    /// [`PolicySpec`], or anything else converting into one.
+    pub fn with_prefetch(mut self, prefetch: impl Into<PolicySpec>) -> Self {
+        self.prefetch = prefetch.into();
         self
     }
 
-    /// Sets the eviction policy.
-    pub fn with_evict(mut self, evict: EvictPolicy) -> Self {
-        self.evict = evict;
+    /// Sets the eviction policy — an enum selector, a [`PolicySpec`],
+    /// or anything else converting into one.
+    pub fn with_evict(mut self, evict: impl Into<PolicySpec>) -> Self {
+        self.evict = evict.into();
         self
     }
 
@@ -185,6 +190,7 @@ impl UvmConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::{EvictPolicy, PrefetchPolicy};
 
     #[test]
     fn defaults_match_table2() {
@@ -215,8 +221,8 @@ mod tests {
             .with_reserve_frac(0.1)
             .with_rng_seed(7);
         assert_eq!(cfg.capacity, Some(Bytes::mib(8)));
-        assert_eq!(cfg.prefetch, PrefetchPolicy::SequentialLocal);
-        assert_eq!(cfg.evict, EvictPolicy::SequentialLocal);
+        assert_eq!(cfg.prefetch, PolicySpec::new("SLp"));
+        assert_eq!(cfg.evict, PolicySpec::new("SLe"));
         assert!(cfg.disable_prefetch_on_oversubscription);
         assert_eq!(cfg.free_buffer_frac, 0.05);
         assert_eq!(cfg.reserve_frac, 0.1);

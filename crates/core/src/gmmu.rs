@@ -42,9 +42,9 @@ use crate::dense::{DensePageMap, DensePageSet};
 use crate::evict::Evictor;
 use crate::fault::{READ_CHANNEL_TAG, WRITE_CHANNEL_TAG};
 use crate::indexed::IndexedPageSet;
-use crate::policy::{EvictPolicy, PrefetchPolicy};
 use crate::prefetch::Prefetcher;
 use crate::registry::PolicyRegistry;
+use crate::spec::PolicySpec;
 use crate::stats::UvmStats;
 use crate::view::{ResidencyView, PIN_NONE, PIN_SOFT};
 
@@ -165,6 +165,10 @@ pub struct Gmmu {
     /// the gate on every huge-page code path, so legacy policies keep
     /// the exact pre-existing allocation and mapping behavior.
     huge_enabled: bool,
+    /// Far-fault stream capture for trace export: `(cycle, page)` per
+    /// serviced fault. `None` (the default) records nothing and costs
+    /// nothing, so runs without export stay bit-identical.
+    fault_trace: Option<Vec<(Cycle, PageId)>>,
     stats: UvmStats,
 }
 
@@ -172,11 +176,21 @@ impl Gmmu {
     /// Creates a driver with the given configuration and an idle PCI-e
     /// link calibrated to the paper's Table 1. The prefetcher and
     /// evictor are built from the global [`PolicyRegistry`] using the
-    /// configured selectors.
+    /// configured policy specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either spec does not resolve (unknown name/parameter,
+    /// bad value, unreadable table file). CLI layers validate specs at
+    /// parse time, so reaching this is a programming error.
     pub fn new(cfg: UvmConfig) -> Self {
         let registry = PolicyRegistry::global();
-        let prefetcher = registry.build_prefetcher(cfg.prefetch, &cfg);
-        let evictor = registry.build_evictor(cfg.evict, &cfg);
+        let prefetcher = registry
+            .build_prefetcher_spec(&cfg.prefetch, &cfg)
+            .unwrap_or_else(|e| panic!("building prefetcher: {e}"));
+        let evictor = registry
+            .build_evictor_spec(&cfg.evict, &cfg)
+            .unwrap_or_else(|e| panic!("building evictor: {e}"));
         Self::with_policies(cfg, prefetcher, evictor)
     }
 
@@ -222,8 +236,25 @@ impl Gmmu {
             lp_resident: HashMap::default(),
             region_of: HashMap::default(),
             huge_enabled,
+            fault_trace: None,
             stats: UvmStats::new(),
             cfg,
+        }
+    }
+
+    /// Starts capturing the far-fault stream (`(cycle, page)` per
+    /// fault) for trace export. Off by default; when off the fault
+    /// path does no extra work.
+    pub fn enable_fault_trace(&mut self) {
+        self.fault_trace.get_or_insert_with(Vec::new);
+    }
+
+    /// Takes the captured fault stream, leaving capture enabled (and
+    /// empty). Returns an empty vec if capture was never enabled.
+    pub fn take_fault_trace(&mut self) -> Vec<(Cycle, PageId)> {
+        match self.fault_trace.as_mut() {
+            Some(v) => std::mem::take(v),
+            None => Vec::new(),
         }
     }
 
@@ -239,16 +270,24 @@ impl Gmmu {
     /// tables, PCI-e backlog, the RNG streams, the sticky prefetcher
     /// kill-switch, statistics — carries over untouched.
     ///
-    /// The swap is applied *unconditionally* (even when the selectors
+    /// The swap is applied *unconditionally* (even when the specs
     /// equal the current policies), so a cold warmed run and a
     /// fork-resumed run perform the identical transition and stay
     /// byte-identical.
-    pub fn swap_policies(&mut self, prefetch: PrefetchPolicy, evict: EvictPolicy) {
+    ///
+    /// # Panics
+    ///
+    /// Panics if either spec does not resolve (see [`Gmmu::new`]).
+    pub fn swap_policies(&mut self, prefetch: impl Into<PolicySpec>, evict: impl Into<PolicySpec>) {
         let registry = PolicyRegistry::global();
-        self.cfg.prefetch = prefetch;
-        self.cfg.evict = evict;
-        self.prefetcher = registry.build_prefetcher(prefetch, &self.cfg);
-        let mut evictor = registry.build_evictor(evict, &self.cfg);
+        self.cfg.prefetch = prefetch.into();
+        self.cfg.evict = evict.into();
+        self.prefetcher = registry
+            .build_prefetcher_spec(&self.cfg.prefetch, &self.cfg)
+            .unwrap_or_else(|e| panic!("building prefetcher: {e}"));
+        let mut evictor = registry
+            .build_evictor_spec(&self.cfg.evict, &self.cfg)
+            .unwrap_or_else(|e| panic!("building evictor: {e}"));
         for page in self.resident.iter_ascending() {
             evictor.on_validate(page);
         }
@@ -375,6 +414,9 @@ impl Gmmu {
             .id();
 
         self.stats.far_faults += 1;
+        if let Some(trace) = self.fault_trace.as_mut() {
+            trace.push((now, page));
+        }
         let lane = self
             .lanes
             .iter()

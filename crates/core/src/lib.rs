@@ -68,7 +68,9 @@ mod lru;
 mod policy;
 pub mod prefetch;
 mod registry;
+mod spec;
 mod stats;
+pub mod trace;
 mod tree;
 mod view;
 
@@ -82,8 +84,10 @@ pub use hier::HierarchicalLru;
 pub use indexed::IndexedPageSet;
 pub use lru::LruQueue;
 pub use policy::{EvictPolicy, ParsePolicyError, PrefetchPolicy};
-pub use prefetch::{MosaicPrefetcher, Prefetcher};
-pub use registry::{EvictorEntry, PolicyRegistry, PrefetcherEntry};
+pub use prefetch::{LearnedPrefetcher, MarkovPrefetcher, MosaicPrefetcher, Prefetcher};
+pub use registry::{EvictorEntry, ParamSpec, PolicyError, PolicyRegistry, PrefetcherEntry};
+pub use spec::{ParseSpecError, PolicySpec};
 pub use stats::{FaultInjectionStats, HugePageStats, UvmStats};
+pub use trace::{train_table, LearnedTable, TraceError, TraceKind, TraceMeta, TraceRecord};
 pub use tree::{group_contiguous, AllocTree};
 pub use view::{ResidencyView, PIN_GRACE, PIN_HARD, PIN_NONE, PIN_SOFT};

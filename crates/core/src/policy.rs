@@ -227,21 +227,34 @@ mod tests {
         // spelling — canonical names *and* aliases, including the
         // easy-to-miss Sequential512K ablation — parses to the entry's
         // selector, and the selector displays back as the canonical
-        // name.
+        // name. Name-only registrations (the history-based
+        // prefetchers) have no selector: the enums must *reject* them
+        // while the spec grammar still reaches them.
         let registry = PolicyRegistry::global();
         for entry in registry.prefetchers() {
-            let selector = entry.selector.expect("built-ins carry selectors");
-            for name in entry.names() {
-                assert_eq!(
-                    name.parse::<PrefetchPolicy>().unwrap(),
-                    selector,
-                    "prefetcher name {name:?}"
-                );
+            match entry.selector {
+                Some(selector) => {
+                    for name in entry.names() {
+                        assert_eq!(
+                            name.parse::<PrefetchPolicy>().unwrap(),
+                            selector,
+                            "prefetcher name {name:?}"
+                        );
+                    }
+                    assert_eq!(selector.to_string(), entry.name);
+                }
+                None => {
+                    for name in entry.names() {
+                        assert!(
+                            name.parse::<PrefetchPolicy>().is_err(),
+                            "selector-less {name:?} must not parse to an enum"
+                        );
+                    }
+                }
             }
-            assert_eq!(selector.to_string(), entry.name);
         }
         for entry in registry.evictors() {
-            let selector = entry.selector.expect("built-ins carry selectors");
+            let selector = entry.selector.expect("built-in evictors carry selectors");
             for name in entry.names() {
                 assert_eq!(
                     name.parse::<EvictPolicy>().unwrap(),

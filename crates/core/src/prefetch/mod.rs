@@ -7,6 +7,8 @@
 //! validation). Policies observe driver state only through the
 //! read-only [`ResidencyView`].
 
+mod learned;
+mod markov;
 mod mosaic;
 mod none;
 mod random;
@@ -15,6 +17,8 @@ mod stride256k;
 mod sz512k;
 mod tbn;
 
+pub use learned::LearnedPrefetcher;
+pub use markov::MarkovPrefetcher;
 pub use mosaic::MosaicPrefetcher;
 pub use none::NonePrefetcher;
 pub use random::RandomPrefetcher;
@@ -24,12 +28,41 @@ pub use sz512k::Sz512kPrefetcher;
 pub use tbn::TbnPrefetcher;
 
 use std::fmt;
+use std::ops::RangeInclusive;
 
 use uvm_types::rng::SmallRng;
 use uvm_types::{LargePageId, PageId};
 
 use crate::alloc::AllocId;
+use crate::registry::PolicyError;
+use crate::spec::PolicySpec;
 use crate::view::ResidencyView;
+
+/// Parses an optional numeric policy parameter, range-checking it.
+/// Spec keys are pre-validated by the registry, so the only failures
+/// here are value-level ([`PolicyError::BadParam`]).
+pub(crate) fn parse_param(
+    spec: &PolicySpec,
+    key: &str,
+    default: usize,
+    range: RangeInclusive<usize>,
+) -> Result<usize, PolicyError> {
+    let Some(raw) = spec.param(key) else {
+        return Ok(default);
+    };
+    let value: usize = raw
+        .parse()
+        .map_err(|e| PolicyError::bad_param(spec.name(), key, raw, e))?;
+    if !range.contains(&value) {
+        return Err(PolicyError::bad_param(
+            spec.name(),
+            key,
+            raw,
+            format!("out of range {}..={}", range.start(), range.end()),
+        ));
+    }
+    Ok(value)
+}
 
 /// A hardware prefetcher: given a far-fault, plans which extra pages
 /// to migrate along with it.

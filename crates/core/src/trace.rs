@@ -1,0 +1,663 @@
+//! Compact binary traces of per-run fault and access streams, and the
+//! delta table the `learned` prefetcher consumes.
+//!
+//! # The `UVMT` trace format
+//!
+//! A trace is one run's merged page-event stream — far-faults, memory
+//! accesses, kernel boundaries — with enough metadata to reproduce the
+//! run that made it:
+//!
+//! ```text
+//! magic    b"UVMT"                      4 bytes
+//! version  u16 LE                       format revision (1)
+//! meta     workload, prefetch, evict    length-prefixed UTF-8 each
+//!          seed                         u64 LE
+//! count    varint                       number of records
+//! paylen   varint                       payload byte length
+//! checksum u128 LE                      FNV-1a over the payload
+//! payload  count records
+//! ```
+//!
+//! Each record is a tag byte ([`TraceKind`]) followed by two zigzag
+//! varints: the cycle delta and the page delta, both relative to the
+//! previous record. Fault streams walk pages mostly in small strides,
+//! so deltas keep records at 3–5 bytes against 17 for fixed-width —
+//! the compactness that makes committing traces as CI artifacts
+//! practical.
+//!
+//! The decoder verifies magic, version, and checksum before yielding
+//! any record, so a truncated or bit-flipped file fails loudly
+//! ([`TraceError`]) instead of training a garbage table.
+//!
+//! # The `UVML` learned-table format
+//!
+//! [`train_table`] folds a trace's *fault* records into a
+//! [`LearnedTable`]: for every context of `depth` consecutive fault
+//! deltas it keeps the `degree` most frequent next deltas. The table
+//! serializes to a sibling format (magic `UVML`, same
+//! varint/checksum discipline) that `learned:table=PATH` loads at
+//! policy-build time. Training is deterministic — ties break toward
+//! the smaller delta — so retraining on the same trace is
+//! byte-identical.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+
+use uvm_types::hash::StableHasher;
+
+/// Current revision of the `UVMT` trace format.
+pub const TRACE_VERSION: u16 = 1;
+
+/// Current revision of the `UVML` learned-table format.
+pub const TABLE_VERSION: u16 = 1;
+
+const TRACE_MAGIC: &[u8; 4] = b"UVMT";
+const TABLE_MAGIC: &[u8; 4] = b"UVML";
+
+/// What a trace record describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// A memory read serviced by the GPU.
+    AccessRead,
+    /// A memory write serviced by the GPU.
+    AccessWrite,
+    /// A far-fault the driver migrated a page for.
+    Fault,
+    /// A kernel boundary (page field is zero).
+    KernelEnd,
+}
+
+impl TraceKind {
+    fn tag(self) -> u8 {
+        match self {
+            TraceKind::AccessRead => 0,
+            TraceKind::AccessWrite => 1,
+            TraceKind::Fault => 2,
+            TraceKind::KernelEnd => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(TraceKind::AccessRead),
+            1 => Some(TraceKind::AccessWrite),
+            2 => Some(TraceKind::Fault),
+            3 => Some(TraceKind::KernelEnd),
+            _ => None,
+        }
+    }
+}
+
+/// One trace event: kind, engine cycle, raw page index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// What happened.
+    pub kind: TraceKind,
+    /// Engine cycle stamp.
+    pub cycle: u64,
+    /// Raw 4 KB page index (zero for [`TraceKind::KernelEnd`]).
+    pub page: u64,
+}
+
+/// Run metadata carried in the trace header.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Workload name (e.g. `"backprop"`).
+    pub workload: String,
+    /// Prefetch policy spec string the run used.
+    pub prefetch: String,
+    /// Eviction policy spec string the run used.
+    pub evict: String,
+    /// The run's RNG seed.
+    pub seed: u64,
+}
+
+/// Why a trace or table file failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// The magic bytes were wrong — not a `UVMT`/`UVML` file.
+    BadMagic,
+    /// The format revision is newer than this decoder.
+    BadVersion(u16),
+    /// The buffer ended mid-field.
+    Truncated,
+    /// The payload checksum did not match the header.
+    ChecksumMismatch,
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// An unknown record tag byte.
+    BadTag(u8),
+    /// A varint ran past 64 bits.
+    VarintOverflow,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not a UVM trace/table file (bad magic)"),
+            TraceError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            TraceError::Truncated => write!(f, "file truncated"),
+            TraceError::ChecksumMismatch => write!(f, "payload checksum mismatch"),
+            TraceError::BadUtf8 => write!(f, "metadata string is not valid UTF-8"),
+            TraceError::BadTag(t) => write!(f, "unknown record tag {t}"),
+            TraceError::VarintOverflow => write!(f, "varint overflows 64 bits"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn write_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn write_ivarint(out: &mut Vec<u8>, v: i64) {
+    write_uvarint(out, zigzag(v));
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// A cursor over an encoded buffer.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        let end = self.pos.checked_add(n).ok_or(TraceError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(TraceError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, TraceError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16_le(&mut self) -> Result<u16, TraceError> {
+        let b = self.bytes(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u64_le(&mut self) -> Result<u64, TraceError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u128_le(&mut self) -> Result<u128, TraceError> {
+        let b = self.bytes(16)?;
+        Ok(u128::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn uvarint(&mut self) -> Result<u64, TraceError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(TraceError::VarintOverflow);
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn ivarint(&mut self) -> Result<i64, TraceError> {
+        Ok(unzigzag(self.uvarint()?))
+    }
+
+    fn string(&mut self) -> Result<String, TraceError> {
+        let len = self.uvarint()? as usize;
+        let raw = self.bytes(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| TraceError::BadUtf8)
+    }
+}
+
+fn write_string(out: &mut Vec<u8>, s: &str) {
+    write_uvarint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn checksum(payload: &[u8]) -> u128 {
+    let mut h = StableHasher::new();
+    h.write_bytes(payload);
+    h.finish()
+}
+
+/// Encodes a run's record stream into the `UVMT` wire format.
+pub fn encode_trace(meta: &TraceMeta, records: &[TraceRecord]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(records.len() * 4);
+    let mut prev_cycle: i64 = 0;
+    let mut prev_page: i64 = 0;
+    for r in records {
+        payload.push(r.kind.tag());
+        write_ivarint(&mut payload, r.cycle as i64 - prev_cycle);
+        write_ivarint(&mut payload, r.page as i64 - prev_page);
+        prev_cycle = r.cycle as i64;
+        prev_page = r.page as i64;
+    }
+
+    let mut out = Vec::with_capacity(payload.len() + 64);
+    out.extend_from_slice(TRACE_MAGIC);
+    out.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+    write_string(&mut out, &meta.workload);
+    write_string(&mut out, &meta.prefetch);
+    write_string(&mut out, &meta.evict);
+    out.extend_from_slice(&meta.seed.to_le_bytes());
+    write_uvarint(&mut out, records.len() as u64);
+    write_uvarint(&mut out, payload.len() as u64);
+    out.extend_from_slice(&checksum(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes a `UVMT` buffer, verifying magic, version, and checksum.
+pub fn decode_trace(bytes: &[u8]) -> Result<(TraceMeta, Vec<TraceRecord>), TraceError> {
+    let mut r = Reader::new(bytes);
+    if r.bytes(4)? != TRACE_MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let version = r.u16_le()?;
+    if version != TRACE_VERSION {
+        return Err(TraceError::BadVersion(version));
+    }
+    let meta = TraceMeta {
+        workload: r.string()?,
+        prefetch: r.string()?,
+        evict: r.string()?,
+        seed: r.u64_le()?,
+    };
+    let count = r.uvarint()? as usize;
+    let paylen = r.uvarint()? as usize;
+    let expect = r.u128_le()?;
+    let payload = r.bytes(paylen)?;
+    if checksum(payload) != expect {
+        return Err(TraceError::ChecksumMismatch);
+    }
+
+    let mut rp = Reader::new(payload);
+    let mut records = Vec::with_capacity(count.min(1 << 20));
+    let mut cycle: i64 = 0;
+    let mut page: i64 = 0;
+    for _ in 0..count {
+        let kind =
+            TraceKind::from_tag(rp.u8()?).ok_or_else(|| TraceError::BadTag(payload[rp.pos - 1]))?;
+        cycle += rp.ivarint()?;
+        page += rp.ivarint()?;
+        records.push(TraceRecord {
+            kind,
+            cycle: cycle as u64,
+            page: page as u64,
+        });
+    }
+    Ok((meta, records))
+}
+
+/// The `learned` prefetcher's delta table: for each context of `depth`
+/// consecutive fault deltas, the next deltas to predict, most
+/// confident first.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LearnedTable {
+    /// Context length the table was trained with.
+    depth: usize,
+    /// Sorted by context, for deterministic serialization and O(log n)
+    /// lookup.
+    entries: Vec<(Vec<i64>, Vec<i64>)>,
+}
+
+impl LearnedTable {
+    /// An empty table (predicts nothing) with the given context depth.
+    pub fn empty(depth: usize) -> Self {
+        LearnedTable {
+            depth,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The context length.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of distinct contexts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the table holds no contexts.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The predicted next deltas for `context`, most confident first.
+    pub fn predict(&self, context: &[i64]) -> &[i64] {
+        self.entries
+            .binary_search_by(|(c, _)| c.as_slice().cmp(context))
+            .map(|i| self.entries[i].1.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Serializes to the `UVML` wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        write_uvarint(&mut payload, self.depth as u64);
+        write_uvarint(&mut payload, self.entries.len() as u64);
+        for (context, nexts) in &self.entries {
+            for &d in context {
+                write_ivarint(&mut payload, d);
+            }
+            write_uvarint(&mut payload, nexts.len() as u64);
+            for &d in nexts {
+                write_ivarint(&mut payload, d);
+            }
+        }
+        let mut out = Vec::with_capacity(payload.len() + 32);
+        out.extend_from_slice(TABLE_MAGIC);
+        out.extend_from_slice(&TABLE_VERSION.to_le_bytes());
+        write_uvarint(&mut out, payload.len() as u64);
+        out.extend_from_slice(&checksum(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decodes a `UVML` buffer, verifying magic, version, and
+    /// checksum.
+    pub fn decode(bytes: &[u8]) -> Result<Self, TraceError> {
+        let mut r = Reader::new(bytes);
+        if r.bytes(4)? != TABLE_MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version = r.u16_le()?;
+        if version != TABLE_VERSION {
+            return Err(TraceError::BadVersion(version));
+        }
+        let paylen = r.uvarint()? as usize;
+        let expect = r.u128_le()?;
+        let payload = r.bytes(paylen)?;
+        if checksum(payload) != expect {
+            return Err(TraceError::ChecksumMismatch);
+        }
+        let mut rp = Reader::new(payload);
+        let depth = rp.uvarint()? as usize;
+        let count = rp.uvarint()? as usize;
+        let mut entries = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let mut context = Vec::with_capacity(depth);
+            for _ in 0..depth {
+                context.push(rp.ivarint()?);
+            }
+            let n = rp.uvarint()? as usize;
+            let mut nexts = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                nexts.push(rp.ivarint()?);
+            }
+            entries.push((context, nexts));
+        }
+        Ok(LearnedTable { depth, entries })
+    }
+
+    /// Writes the table to `path` in `UVML` format.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.encode())
+    }
+
+    /// Loads a `UVML` table from `path`.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let bytes = std::fs::read(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        Self::decode(&bytes).map_err(|e| format!("decoding {}: {e}", path.display()))
+    }
+}
+
+/// Trains a [`LearnedTable`] from a trace's fault records: for every
+/// context of `depth` consecutive fault-page deltas, keep the `degree`
+/// most frequent next deltas (ties toward the smaller delta, so
+/// training is deterministic). Zero deltas — refaults on the same page
+/// — are skipped as history noise.
+pub fn train_table(records: &[TraceRecord], depth: usize, degree: usize) -> LearnedTable {
+    assert!(depth >= 1, "context depth must be at least 1");
+    assert!(degree >= 1, "prediction degree must be at least 1");
+    let mut deltas: Vec<i64> = Vec::new();
+    let mut prev: Option<u64> = None;
+    for r in records {
+        if r.kind != TraceKind::Fault {
+            continue;
+        }
+        if let Some(p) = prev {
+            let d = r.page as i64 - p as i64;
+            if d != 0 {
+                deltas.push(d);
+            }
+        }
+        prev = Some(r.page);
+    }
+
+    let mut counts: HashMap<Vec<i64>, HashMap<i64, u64>> = HashMap::new();
+    for window in deltas.windows(depth + 1) {
+        let (context, next) = window.split_at(depth);
+        *counts
+            .entry(context.to_vec())
+            .or_default()
+            .entry(next[0])
+            .or_insert(0) += 1;
+    }
+
+    let mut entries: Vec<(Vec<i64>, Vec<i64>)> = counts
+        .into_iter()
+        .map(|(context, nexts)| {
+            let mut ranked: Vec<(i64, u64)> = nexts.into_iter().collect();
+            ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            ranked.truncate(degree);
+            (context, ranked.into_iter().map(|(d, _)| d).collect())
+        })
+        .collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    LearnedTable { depth, entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                kind: TraceKind::Fault,
+                cycle: 100,
+                page: 4096,
+            },
+            TraceRecord {
+                kind: TraceKind::AccessRead,
+                cycle: 150,
+                page: 4096,
+            },
+            TraceRecord {
+                kind: TraceKind::Fault,
+                cycle: 220,
+                page: 4097,
+            },
+            TraceRecord {
+                kind: TraceKind::AccessWrite,
+                cycle: 230,
+                page: 4097,
+            },
+            TraceRecord {
+                kind: TraceKind::Fault,
+                cycle: 400,
+                page: 4080, // backwards jump: signed deltas
+            },
+            TraceRecord {
+                kind: TraceKind::KernelEnd,
+                cycle: 500,
+                page: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn trace_round_trips_byte_exactly() {
+        let meta = TraceMeta {
+            workload: "backprop".into(),
+            prefetch: "none".into(),
+            evict: "LRU-4KB".into(),
+            seed: 42,
+        };
+        let records = sample_records();
+        let bytes = encode_trace(&meta, &records);
+        let (meta2, records2) = decode_trace(&bytes).unwrap();
+        assert_eq!(meta, meta2);
+        assert_eq!(records, records2);
+        // Re-encoding the decode is byte-identical.
+        assert_eq!(encode_trace(&meta2, &records2), bytes);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let meta = TraceMeta::default();
+        let bytes = encode_trace(&meta, &[]);
+        let (m, r) = decode_trace(&bytes).unwrap();
+        assert_eq!(m, meta);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn corrupt_header_and_payload_are_rejected() {
+        let meta = TraceMeta::default();
+        let good = encode_trace(&meta, &sample_records());
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(decode_trace(&bad_magic).unwrap_err(), TraceError::BadMagic);
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 0xff;
+        assert!(matches!(
+            decode_trace(&bad_version).unwrap_err(),
+            TraceError::BadVersion(_)
+        ));
+
+        let truncated = &good[..good.len() - 3];
+        assert_eq!(decode_trace(truncated).unwrap_err(), TraceError::Truncated);
+
+        let mut flipped = good.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert_eq!(
+            decode_trace(&flipped).unwrap_err(),
+            TraceError::ChecksumMismatch
+        );
+    }
+
+    #[test]
+    fn zigzag_is_an_involution() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 12345, -98765] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn training_ranks_deltas_by_frequency() {
+        // Fault pages 0,1,2,3,4, 10, 11, 12 — delta stream
+        // [1,1,1,1,6,1,1]: after a context [1], next is 1 (5 times)
+        // or 6 (once).
+        let pages = [0u64, 1, 2, 3, 4, 10, 11, 12];
+        let records: Vec<TraceRecord> = pages
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| TraceRecord {
+                kind: TraceKind::Fault,
+                cycle: i as u64 * 10,
+                page: p,
+            })
+            .collect();
+        let table = train_table(&records, 1, 2);
+        assert_eq!(table.depth(), 1);
+        assert_eq!(table.predict(&[1]), &[1, 6]);
+        assert_eq!(table.predict(&[6]), &[1]);
+        assert_eq!(table.predict(&[99]), &[] as &[i64]);
+    }
+
+    #[test]
+    fn training_is_deterministic_and_tables_round_trip() {
+        let records: Vec<TraceRecord> = (0..200u64)
+            .map(|i| TraceRecord {
+                kind: TraceKind::Fault,
+                cycle: i * 7,
+                page: (i * i * 31) % 512,
+            })
+            .collect();
+        let a = train_table(&records, 2, 4);
+        let b = train_table(&records, 2, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.encode(), b.encode());
+        let decoded = LearnedTable::decode(&a.encode()).unwrap();
+        assert_eq!(decoded, a);
+    }
+
+    #[test]
+    fn corrupt_table_is_rejected() {
+        let table = train_table(
+            &[
+                TraceRecord {
+                    kind: TraceKind::Fault,
+                    cycle: 0,
+                    page: 1,
+                },
+                TraceRecord {
+                    kind: TraceKind::Fault,
+                    cycle: 1,
+                    page: 2,
+                },
+                TraceRecord {
+                    kind: TraceKind::Fault,
+                    cycle: 2,
+                    page: 3,
+                },
+            ],
+            1,
+            1,
+        );
+        let good = table.encode();
+        let mut bad = good.clone();
+        bad[0] = b'Z';
+        assert_eq!(
+            LearnedTable::decode(&bad).unwrap_err(),
+            TraceError::BadMagic
+        );
+        let last = good.len() - 1;
+        let mut flipped = good.clone();
+        flipped[last] ^= 1;
+        assert_eq!(
+            LearnedTable::decode(&flipped).unwrap_err(),
+            TraceError::ChecksumMismatch
+        );
+    }
+}

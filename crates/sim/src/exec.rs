@@ -111,6 +111,15 @@ fn hash_shared_opts(h: &mut StableHasher, opts: &RunOptions) {
     // field, including the optional radix-walk model.
     h.write_str(&format!("{:?}", opts.gpu));
     h.write_bool(opts.trace);
+    // Trace export is part of the run identity: an exporting run must
+    // not be served from a cache hit that never wrote the file.
+    match &opts.trace_export {
+        None => h.write_bool(false),
+        Some(path) => {
+            h.write_bool(true);
+            h.write_str(&path.display().to_string());
+        }
+    }
     match opts.fault_lanes {
         None => h.write_bool(false),
         Some(lanes) => {
@@ -140,7 +149,7 @@ fn hash_shared_opts(h: &mut StableHasher, opts: &RunOptions) {
 /// exactly when their digests match (and a warm-up is present).
 fn prefix_digest(workload: &dyn Workload, opts: &RunOptions) -> u128 {
     let mut h = StableHasher::new();
-    h.write_str("uvm-prefix-v1");
+    h.write_str("uvm-prefix-v2");
     h.write_str(env!("CARGO_PKG_VERSION"));
     h.write_u64(SIM_REVISION);
     h.write_str(workload.name());
@@ -153,13 +162,27 @@ impl RunKey {
     /// Computes the key of `(workload, opts)`.
     pub fn new(workload: &dyn Workload, opts: &RunOptions) -> Self {
         let mut h = StableHasher::new();
-        h.write_str("uvm-runkey-v3");
+        h.write_str("uvm-runkey-v4");
         h.write_str(env!("CARGO_PKG_VERSION"));
         h.write_u64(SIM_REVISION);
         h.write_str(workload.name());
         h.write_str(&workload.signature());
-        h.write_str(&format!("{:?}", opts.prefetch));
-        h.write_str(&format!("{:?}", opts.evict));
+        // Specs hash by canonical Display form, so `markov:depth=2`
+        // and `markov:table=4096,...` key distinct cache entries while
+        // parameter *order* never matters.
+        h.write_str(&opts.prefetch.to_string());
+        h.write_str(&opts.evict.to_string());
+        // A `learned:table=PATH` run is defined by the table's
+        // *content*, not its path: retraining over the same file must
+        // not be served stale spill entries, so the bytes fold in too.
+        if opts.prefetch.name() == "learned" {
+            if let Some(path) = opts.prefetch.param("table") {
+                match std::fs::read(path) {
+                    Ok(bytes) => h.write_bytes(&bytes),
+                    Err(_) => h.write_str("unreadable"),
+                }
+            }
+        }
         hash_shared_opts(&mut h, opts);
         RunKey(h.finish())
     }
@@ -195,7 +218,16 @@ pub struct Plan<'e, 'w> {
 impl<'e, 'w> Plan<'e, 'w> {
     /// Adds one run to the plan and returns its index in the result
     /// vector [`execute`](Self::execute) will produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the options fail [`RunOptions::validate`] — bad
+    /// submissions die here, at the call site that wrote them, not in
+    /// a worker thread deep in the engine.
+    ///
+    /// [`RunOptions::validate`]: crate::RunOptions::validate
     pub fn submit(&mut self, workload: &'w dyn Workload, opts: RunOptions) -> usize {
+        opts.assert_valid();
         self.subs.push(Submission {
             key: RunKey::new(workload, &opts),
             workload,

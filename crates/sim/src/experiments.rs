@@ -14,7 +14,7 @@
 //! pool, and memoizes results — so `all_experiments` costs far fewer
 //! simulations than the per-figure run counts suggest.
 
-use uvm_core::{AllocTree, EvictPolicy, FaultPlan, PrefetchPolicy};
+use uvm_core::{AllocTree, EvictPolicy, FaultPlan, PolicySpec, PrefetchPolicy};
 use uvm_types::{BasicBlockId, Bytes, TreeExtent};
 use uvm_workloads::{
     standard_suite, Backprop, Bfs, Gaussian, Hotspot, NeedlemanWunsch, Pathfinder, Srad, Workload,
@@ -446,22 +446,27 @@ pub fn policy_combinations(exec: &Executor, scale: Scale) -> Table {
 pub fn policy_pair(
     exec: &Executor,
     scale: Scale,
-    prefetch: PrefetchPolicy,
-    evict: EvictPolicy,
+    prefetch: impl Into<PolicySpec>,
+    evict: impl Into<PolicySpec>,
     frac: f64,
 ) -> Table {
+    let prefetch: PolicySpec = prefetch.into();
+    let evict: PolicySpec = evict.into();
     let pairs = [
-        (PrefetchPolicy::None, EvictPolicy::LruPage),
-        (prefetch, evict),
         (
-            PrefetchPolicy::TreeBasedNeighborhood,
-            EvictPolicy::TreeBasedNeighborhood,
+            PolicySpec::from(PrefetchPolicy::None),
+            PolicySpec::from(EvictPolicy::LruPage),
+        ),
+        (prefetch.clone(), evict.clone()),
+        (
+            PolicySpec::from(PrefetchPolicy::TreeBasedNeighborhood),
+            PolicySpec::from(EvictPolicy::TreeBasedNeighborhood),
         ),
     ];
     let suite = suite(scale);
     let mut plan = exec.plan();
     for w in &suite {
-        for (p, e) in pairs {
+        for (p, e) in &pairs {
             let opts = RunOptions::default()
                 .with_prefetch(p)
                 .with_evict(e)
@@ -1111,6 +1116,109 @@ pub fn huge_page_ablation(
         faults_per_kilo,
         time,
         activity,
+    }
+}
+
+// ---------------------------------------------------------------------
+// History-based prefetcher ablation (DESIGN.md §10)
+// ---------------------------------------------------------------------
+
+/// Over-subscription levels of the history-prefetcher ablation.
+pub const HISTORY_PREFETCH_OVERSUB: [f64; 2] = [1.10, 1.25];
+
+/// Results of the history-based prefetcher head-to-head.
+#[derive(Clone, Debug)]
+pub struct HistoryPrefetchAblation {
+    /// Far-faults per thousand completed accesses, per benchmark ×
+    /// over-subscription row and prefetcher column.
+    pub faults_per_kilo: Table,
+    /// Kernel time (ms) on the same grid.
+    pub time: Table,
+}
+
+/// Ablation: the history-based prefetchers (the online `markov`
+/// delta-correlator and the offline-trained `learned` table) against
+/// no prefetching, sequential-local, and the paper's TBNp, all over
+/// LRU-4KB eviction so the prefetcher is the only variable. Every
+/// cell is warmed like [`huge_page_ablation`]: the same warm-up
+/// launches replay under `warmup`'s policies first, so a
+/// prefix-forking [`Executor`] simulates each workload ×
+/// over-subscription warm-up once and forks the five policy tails
+/// from the snapshot.
+///
+/// `learned_for` supplies the per-benchmark `learned` spec — its
+/// `table` parameter points at that benchmark's trained `.tbl` file.
+/// The `ablation_history_prefetch` binary trains those tables from
+/// no-prefetch traces exported in the same invocation, closing the
+/// export → train → evaluate loop.
+pub fn history_prefetch_ablation(
+    exec: &Executor,
+    scale: Scale,
+    warmup: Warmup,
+    oversubs: &[f64],
+    learned_for: &dyn Fn(&str) -> PolicySpec,
+) -> HistoryPrefetchAblation {
+    let suite = suite(scale);
+    let specs_for = |name: &str| -> Vec<PolicySpec> {
+        vec![
+            PrefetchPolicy::None.into(),
+            PrefetchPolicy::SequentialLocal.into(),
+            PrefetchPolicy::TreeBasedNeighborhood.into(),
+            PolicySpec::new("markov"),
+            learned_for(name),
+        ]
+    };
+    let mut plan = exec.plan();
+    for w in &suite {
+        for &frac in oversubs {
+            for spec in specs_for(w.name()) {
+                plan.submit(
+                    w.as_ref(),
+                    RunOptions::default()
+                        .with_prefetch(spec)
+                        .with_evict(EvictPolicy::LruPage)
+                        .with_memory_frac(frac)
+                        .with_warmup(warmup),
+                );
+            }
+        }
+    }
+    let mut results = plan.execute().into_iter();
+
+    let headers = [
+        "benchmark",
+        "oversub",
+        "NOp",
+        "SLp",
+        "TBNp",
+        "markov",
+        "learned",
+    ];
+    let mut faults_per_kilo = Table::new(
+        "History-prefetcher ablation: far-faults per kilo-access (warmed)",
+        &headers,
+    );
+    let mut time = Table::new(
+        "History-prefetcher ablation: kernel time (ms, warmed)",
+        &headers,
+    );
+    for w in &suite {
+        for &frac in oversubs {
+            let oversub = format!("{:.0}%", frac * 100.0);
+            let mut f_row = vec![w.name().to_string(), oversub.clone()];
+            let mut t_row = vec![w.name().to_string(), oversub];
+            for _ in specs_for(w.name()) {
+                let r = results.next().expect("plan covers every cell");
+                f_row.push(fmt(r.faults_per_kilo_access()));
+                t_row.push(fmt(r.total_ms()));
+            }
+            faults_per_kilo.row_owned(f_row);
+            time.row_owned(t_row);
+        }
+    }
+    HistoryPrefetchAblation {
+        faults_per_kilo,
+        time,
     }
 }
 

@@ -40,7 +40,7 @@ pub use error::{ExecutionReport, RunError};
 pub use exec::{Executor, Plan, RunKey};
 pub use pattern::{PatternClass, PatternSummary};
 pub use run::{
-    measure_footprint, resume_run, run_workload, simulate_prefix, RunOptions, RunResult,
-    SweepPrefix, Warmup,
+    measure_footprint, resume_run, run_workload, simulate_prefix, OptionsError, RunOptions,
+    RunResult, SweepPrefix, Warmup,
 };
 pub use table::Table;

@@ -1,7 +1,14 @@
 //! Single-run driver: one workload under one configuration, plus the
 //! shared warm-up prefix machinery behind sweep forking.
 
-use uvm_core::{EvictPolicy, FaultPlan, Gmmu, HugePageStats, PrefetchPolicy, UvmConfig};
+use std::fmt;
+use std::path::PathBuf;
+
+use uvm_core::trace::{encode_trace, TraceKind, TraceMeta, TraceRecord};
+use uvm_core::{
+    EvictPolicy, FaultPlan, Gmmu, HugePageStats, PolicyRegistry, PolicySpec, PrefetchPolicy,
+    UvmConfig,
+};
 use uvm_gpu::{Engine, EngineSnapshot, GpuConfig, KernelSpec, TraceEvent};
 use uvm_types::{Bytes, Duration};
 use uvm_workloads::Workload;
@@ -56,10 +63,12 @@ impl Warmup {
 /// Sec. 4.1); `Some(1.10)` is the paper's usual "110 %".
 #[derive(Clone, Debug)]
 pub struct RunOptions {
-    /// Hardware prefetcher.
-    pub prefetch: PrefetchPolicy,
-    /// Eviction policy.
-    pub evict: EvictPolicy,
+    /// Hardware prefetcher spec (enum selectors convert via
+    /// `Into<PolicySpec>`; parameterized forms like `markov:depth=2`
+    /// are first-class).
+    pub prefetch: PolicySpec,
+    /// Eviction policy spec.
+    pub evict: PolicySpec,
     /// Working set as a multiple of device memory (`None` = unlimited
     /// memory).
     pub memory_frac: Option<f64>,
@@ -89,13 +98,17 @@ pub struct RunOptions {
     /// Shared warm-up prefix (`None` = every launch runs under
     /// `prefetch`/`evict`, the historical behavior).
     pub warmup: Option<Warmup>,
+    /// Write the run's merged fault/access stream to this `UVMT` file
+    /// (DESIGN.md §10). `None` (the default) records nothing and
+    /// leaves the simulated run bit-identical.
+    pub trace_export: Option<PathBuf>,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
         RunOptions {
-            prefetch: PrefetchPolicy::TreeBasedNeighborhood,
-            evict: EvictPolicy::LruPage,
+            prefetch: PolicySpec::new("TBNp"),
+            evict: PolicySpec::new("LRU-4KB"),
             memory_frac: None,
             disable_prefetch_on_oversubscription: false,
             free_buffer_frac: 0.0,
@@ -107,20 +120,23 @@ impl Default for RunOptions {
             rng_seed: 0x5eed,
             fault_plan: FaultPlan::none(),
             warmup: None,
+            trace_export: None,
         }
     }
 }
 
 impl RunOptions {
-    /// Sets the prefetcher (builder style).
-    pub fn with_prefetch(mut self, p: PrefetchPolicy) -> Self {
-        self.prefetch = p;
+    /// Sets the prefetcher (builder style) — an enum selector, a
+    /// [`PolicySpec`], or anything else converting into one.
+    pub fn with_prefetch(mut self, p: impl Into<PolicySpec>) -> Self {
+        self.prefetch = p.into();
         self
     }
 
-    /// Sets the eviction policy.
-    pub fn with_evict(mut self, e: EvictPolicy) -> Self {
-        self.evict = e;
+    /// Sets the eviction policy — an enum selector, a [`PolicySpec`],
+    /// or anything else converting into one.
+    pub fn with_evict(mut self, e: impl Into<PolicySpec>) -> Self {
+        self.evict = e.into();
         self
     }
 
@@ -192,7 +208,91 @@ impl RunOptions {
         self.warmup = Some(warmup);
         self
     }
+
+    /// Exports the run's merged fault/access stream to `path` in the
+    /// `UVMT` format (DESIGN.md §10).
+    pub fn with_trace_export(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_export = Some(path.into());
+        self
+    }
+
+    /// Checks every option for validity in one place: numeric ranges
+    /// that were previously scattered asserts, plus policy-spec
+    /// resolution through the global registry. Called by
+    /// [`run_workload`]/[`simulate_prefix`] and `Plan::submit`, so bad
+    /// options fail loudly at submission instead of deep in the
+    /// engine.
+    pub fn validate(&self) -> Result<(), OptionsError> {
+        if let Some(frac) = self.memory_frac {
+            if !frac.is_finite() || frac <= 0.0 {
+                return Err(OptionsError::BadMemoryFrac(frac));
+            }
+        }
+        for (field, value) in [
+            ("free_buffer_frac", self.free_buffer_frac),
+            ("reserve_frac", self.reserve_frac),
+        ] {
+            if !value.is_finite() || !(0.0..1.0).contains(&value) {
+                return Err(OptionsError::BadFraction { field, value });
+            }
+        }
+        if self.fault_lanes == Some(0) {
+            return Err(OptionsError::ZeroFaultLanes);
+        }
+        let registry = PolicyRegistry::global();
+        registry
+            .canonical_prefetch_spec(&self.prefetch)
+            .map_err(|e| OptionsError::BadPolicy(e.to_string()))?;
+        registry
+            .canonical_evict_spec(&self.evict)
+            .map_err(|e| OptionsError::BadPolicy(e.to_string()))?;
+        Ok(())
+    }
+
+    /// [`validate`](Self::validate), panicking with the error's
+    /// message — the shared entry-point check.
+    pub(crate) fn assert_valid(&self) {
+        if let Err(e) = self.validate() {
+            panic!("invalid run options: {e}");
+        }
+    }
 }
+
+/// Why a [`RunOptions`] failed validation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OptionsError {
+    /// `memory_frac` must be finite and positive.
+    BadMemoryFrac(f64),
+    /// A fraction field must lie in `0.0..1.0`.
+    BadFraction {
+        /// Which field.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `fault_lanes` must be at least 1 when overridden.
+    ZeroFaultLanes,
+    /// A policy spec failed registry resolution (unknown name or
+    /// parameter, bad value); carries the registry's message.
+    BadPolicy(String),
+}
+
+impl fmt::Display for OptionsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptionsError::BadMemoryFrac(v) => {
+                write!(f, "memory_frac must be finite and positive, got {v}")
+            }
+            OptionsError::BadFraction { field, value } => {
+                write!(f, "{field} must lie in 0.0..1.0, got {value}")
+            }
+            OptionsError::ZeroFaultLanes => write!(f, "fault_lanes must be at least 1"),
+            OptionsError::BadPolicy(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for OptionsError {}
 
 /// Measurements from one simulation run — the raw material of every
 /// figure in the paper.
@@ -293,12 +393,10 @@ pub fn measure_footprint(workload: &dyn Workload) -> Bytes {
     gmmu.allocations().total_requested()
 }
 
-/// Derives the device budget from the footprint and `memory_frac`.
+/// Derives the device budget from the footprint and `memory_frac`
+/// (range-checked upstream by [`RunOptions::validate`]).
 fn derive_capacity(footprint: Bytes, memory_frac: Option<f64>) -> Option<Bytes> {
-    memory_frac.map(|frac| {
-        assert!(frac > 0.0, "memory fraction must be positive");
-        Bytes::new((footprint.bytes() as f64 / frac).ceil() as u64)
-    })
+    memory_frac.map(|frac| Bytes::new((footprint.bytes() as f64 / frac).ceil() as u64))
 }
 
 /// Builds the driver configuration for `opts` with the given *initial*
@@ -306,8 +404,8 @@ fn derive_capacity(footprint: Bytes, memory_frac: Option<f64>) -> Option<Bytes> 
 fn build_config(
     opts: &RunOptions,
     capacity: Option<Bytes>,
-    prefetch: PrefetchPolicy,
-    evict: EvictPolicy,
+    prefetch: PolicySpec,
+    evict: PolicySpec,
 ) -> UvmConfig {
     let mut cfg = UvmConfig::default()
         .with_prefetch(prefetch)
@@ -339,34 +437,117 @@ fn build_engine(
     workload: &dyn Workload,
     opts: &RunOptions,
     capacity: Option<Bytes>,
-    prefetch: PrefetchPolicy,
-    evict: EvictPolicy,
+    prefetch: PolicySpec,
+    evict: PolicySpec,
 ) -> (Engine, Vec<KernelSpec>) {
     let mut gmmu = Gmmu::new(build_config(opts, capacity, prefetch, evict));
+    if opts.trace_export.is_some() {
+        gmmu.enable_fault_trace();
+    }
     let kernels = {
         let mut malloc = |size: Bytes| gmmu.malloc_managed(size);
         workload.build(&mut malloc)
     };
     let mut engine = Engine::new(gmmu, opts.gpu.clone());
-    if opts.trace {
+    if opts.trace || opts.trace_export.is_some() {
         engine.enable_trace();
     }
     (engine, kernels)
 }
 
-/// Runs one launch, recording its time and (if enabled) its trace.
+/// Runs one launch, recording its time, its trace (if enabled), and
+/// its export records (if an export stream is being collected).
 fn run_launch(
     engine: &mut Engine,
     kernel: KernelSpec,
     trace: bool,
+    export: Option<&mut Vec<TraceRecord>>,
     kernel_times: &mut Vec<Duration>,
     traces: &mut Vec<Vec<TraceEvent>>,
 ) {
     let time = engine.run_kernel(kernel);
     kernel_times.push(time);
-    if trace {
-        traces.push(engine.take_trace());
+    if !trace && export.is_none() {
+        return;
     }
+    let events = engine.take_trace();
+    if let Some(records) = export {
+        let faults = engine.gmmu_mut().take_fault_trace();
+        append_export_records(records, &events, &faults, engine.now().index());
+    }
+    if trace {
+        traces.push(events);
+    }
+}
+
+/// Merges one launch's access events and fault stream into the export
+/// record list, cycle-sorted (faults first on ties), closing with a
+/// kernel-boundary marker.
+fn append_export_records(
+    records: &mut Vec<TraceRecord>,
+    events: &[TraceEvent],
+    faults: &[(uvm_types::Cycle, uvm_types::PageId)],
+    end_cycle: u64,
+) {
+    records.reserve(events.len() + faults.len() + 1);
+    let mut ev = events.iter().peekable();
+    let mut fa = faults.iter().peekable();
+    loop {
+        let take_fault = match (fa.peek(), ev.peek()) {
+            (Some(f), Some(e)) => f.0 <= e.cycle,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        if take_fault {
+            let &(cycle, page) = fa.next().expect("peeked");
+            records.push(TraceRecord {
+                kind: TraceKind::Fault,
+                cycle: cycle.index(),
+                page: page.index(),
+            });
+        } else {
+            let e = ev.next().expect("peeked");
+            records.push(TraceRecord {
+                kind: if e.write {
+                    TraceKind::AccessWrite
+                } else {
+                    TraceKind::AccessRead
+                },
+                cycle: e.cycle.index(),
+                page: e.page.index(),
+            });
+        }
+    }
+    records.push(TraceRecord {
+        kind: TraceKind::KernelEnd,
+        cycle: end_cycle,
+        page: 0,
+    });
+}
+
+/// Writes the collected export stream to `opts.trace_export`.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written — a run that was asked to
+/// export must never silently produce nothing.
+fn write_export(opts: &RunOptions, name: &str, records: &[TraceRecord]) {
+    let Some(path) = &opts.trace_export else {
+        return;
+    };
+    let meta = TraceMeta {
+        workload: name.to_owned(),
+        prefetch: opts.prefetch.to_string(),
+        evict: opts.evict.to_string(),
+        seed: opts.rng_seed,
+    };
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)
+            .unwrap_or_else(|e| panic!("creating {}: {e}", parent.display()));
+    }
+    std::fs::write(path, encode_trace(&meta, records))
+        .unwrap_or_else(|e| panic!("writing trace {}: {e}", path.display()));
 }
 
 /// Assembles the [`RunResult`] from a finished engine.
@@ -427,12 +608,13 @@ fn collect_result(
 /// [`simulate_prefix`] + [`resume_run`], which the fork-equivalence
 /// suite asserts.
 pub fn run_workload(workload: &dyn Workload, opts: RunOptions) -> RunResult {
+    opts.assert_valid();
     let footprint = measure_footprint(workload);
     let capacity = derive_capacity(footprint, opts.memory_frac);
     let warm = opts.warmup;
     let (initial_prefetch, initial_evict) = match warm {
-        Some(w) => (w.prefetch, w.evict),
-        None => (opts.prefetch, opts.evict),
+        Some(w) => (w.prefetch.into(), w.evict.into()),
+        None => (opts.prefetch.clone(), opts.evict.clone()),
     };
 
     let (mut engine, kernels) =
@@ -441,17 +623,24 @@ pub fn run_workload(workload: &dyn Workload, opts: RunOptions) -> RunResult {
 
     let mut kernel_times = Vec::with_capacity(kernels.len());
     let mut traces = Vec::new();
+    let mut export = opts.trace_export.as_ref().map(|_| Vec::new());
     for (i, kernel) in kernels.into_iter().enumerate() {
         if warm.is_some() && i == warm_launches {
-            engine.gmmu_mut().swap_policies(opts.prefetch, opts.evict);
+            engine
+                .gmmu_mut()
+                .swap_policies(opts.prefetch.clone(), opts.evict.clone());
         }
         run_launch(
             &mut engine,
             kernel,
             opts.trace,
+            export.as_mut(),
             &mut kernel_times,
             &mut traces,
         );
+    }
+    if let Some(records) = &export {
+        write_export(&opts, workload.name(), records);
     }
 
     collect_result(
@@ -476,6 +665,9 @@ pub struct SweepPrefix {
     tail_kernels: Vec<KernelSpec>,
     warm_times: Vec<Duration>,
     warm_traces: Vec<Vec<TraceEvent>>,
+    /// Export records captured during the warm launches (empty when
+    /// the prefix options carried no `trace_export`).
+    warm_export: Vec<TraceRecord>,
     name: String,
     footprint: Bytes,
     capacity: Option<Bytes>,
@@ -503,23 +695,32 @@ impl SweepPrefix {
 ///
 /// Panics if `opts.warmup` is `None`.
 pub fn simulate_prefix(workload: &dyn Workload, opts: &RunOptions) -> SweepPrefix {
+    opts.assert_valid();
     let warm = opts
         .warmup
         .expect("simulate_prefix requires RunOptions::warmup");
     let footprint = measure_footprint(workload);
     let capacity = derive_capacity(footprint, opts.memory_frac);
 
-    let (mut engine, kernels) = build_engine(workload, opts, capacity, warm.prefetch, warm.evict);
+    let (mut engine, kernels) = build_engine(
+        workload,
+        opts,
+        capacity,
+        warm.prefetch.into(),
+        warm.evict.into(),
+    );
     let warm_launches = warm.effective_kernels(kernels.len());
 
     let mut warm_times = Vec::with_capacity(warm_launches);
     let mut warm_traces = Vec::new();
+    let mut warm_export = opts.trace_export.as_ref().map(|_| Vec::new());
     let mut kernels = kernels.into_iter();
     for kernel in kernels.by_ref().take(warm_launches) {
         run_launch(
             &mut engine,
             kernel,
             opts.trace,
+            warm_export.as_mut(),
             &mut warm_times,
             &mut warm_traces,
         );
@@ -530,6 +731,7 @@ pub fn simulate_prefix(workload: &dyn Workload, opts: &RunOptions) -> SweepPrefi
         tail_kernels: kernels.collect(),
         warm_times,
         warm_traces,
+        warm_export: warm_export.unwrap_or_default(),
         name: workload.name().to_owned(),
         footprint,
         capacity,
@@ -543,12 +745,23 @@ pub fn simulate_prefix(workload: &dyn Workload, opts: &RunOptions) -> SweepPrefi
 /// The result covers the whole run (warm-up included) and is
 /// byte-identical to a cold [`run_workload`] with the same options.
 pub fn resume_run(prefix: &SweepPrefix, opts: &RunOptions) -> RunResult {
+    opts.assert_valid();
     debug_assert!(
         opts.warmup.is_some(),
         "resume_run options should carry the sweep's warm-up"
     );
     let mut engine = prefix.snapshot.fork();
-    engine.gmmu_mut().swap_policies(opts.prefetch, opts.evict);
+    engine
+        .gmmu_mut()
+        .swap_policies(opts.prefetch.clone(), opts.evict.clone());
+
+    let mut export = opts.trace_export.as_ref().map(|_| {
+        // A prefix built without export captured nothing for the warm
+        // launches; turn capture on for the tail either way.
+        engine.enable_trace();
+        engine.gmmu_mut().enable_fault_trace();
+        prefix.warm_export.clone()
+    });
 
     let mut kernel_times = prefix.warm_times.clone();
     let mut traces = prefix.warm_traces.clone();
@@ -557,9 +770,13 @@ pub fn resume_run(prefix: &SweepPrefix, opts: &RunOptions) -> RunResult {
             &mut engine,
             kernel,
             opts.trace,
+            export.as_mut(),
             &mut kernel_times,
             &mut traces,
         );
+    }
+    if let Some(records) = &export {
+        write_export(opts, &prefix.name, records);
     }
 
     collect_result(

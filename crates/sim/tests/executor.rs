@@ -143,8 +143,8 @@ fn builders_cover_every_field() {
         .with_writeback_dirty_only(true)
         .with_rng_seed(42)
         .with_fault_plan(FaultPlan::chaos());
-    assert_eq!(o.prefetch, PrefetchPolicy::Random);
-    assert_eq!(o.evict, EvictPolicy::SequentialLocal);
+    assert_eq!(o.prefetch, PrefetchPolicy::Random.into());
+    assert_eq!(o.evict, EvictPolicy::SequentialLocal.into());
     assert_eq!(o.memory_frac, Some(1.25));
     assert!(o.disable_prefetch_on_oversubscription);
     assert_eq!(o.free_buffer_frac, 0.05);

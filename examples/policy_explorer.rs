@@ -15,7 +15,7 @@
 
 use std::process::exit;
 
-use uvm_core::{EvictPolicy, PolicyRegistry, PrefetchPolicy};
+use uvm_core::{PolicyRegistry, PolicySpec};
 use uvm_sim::{run_workload, RunOptions};
 use uvm_workloads::standard_suite;
 
@@ -59,17 +59,31 @@ fn main() {
         let value = |i: usize| -> &str { args.get(i + 1).map(String::as_str).unwrap_or("") };
         match args[i].as_str() {
             "--prefetch" => {
-                opts.prefetch = value(i).parse::<PrefetchPolicy>().unwrap_or_else(|e| {
+                // Full spec grammar: bare names, aliases, and
+                // parameterized forms like markov:depth=2.
+                let spec: PolicySpec = value(i).parse().unwrap_or_else(|e| {
                     eprintln!("{e}");
                     usage()
                 });
+                opts.prefetch = PolicyRegistry::global()
+                    .canonical_prefetch_spec(&spec)
+                    .unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        usage()
+                    });
                 i += 2;
             }
             "--evict" => {
-                opts.evict = value(i).parse::<EvictPolicy>().unwrap_or_else(|e| {
+                let spec: PolicySpec = value(i).parse().unwrap_or_else(|e| {
                     eprintln!("{e}");
                     usage()
                 });
+                opts.evict = PolicyRegistry::global()
+                    .canonical_evict_spec(&spec)
+                    .unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        usage()
+                    });
                 i += 2;
             }
             "--oversub" => {
