@@ -214,12 +214,22 @@ pub(super) fn predict_chain(
         push(&mut out, page, d);
     }
 
-    // Depth: greedily follow the top prediction.
+    // Depth: greedily follow the top prediction. The walk is capped at
+    // `degree` steps: an online table can learn a cycle with zero net
+    // displacement (a ping-pong fault stream p, p+N, p, p+N trains
+    // [N,-N]→N and [-N,N]→-N), where every target is already in `out`
+    // and an unbounded walk would spin forever. `degree` steps lose no
+    // productive chain — each non-growing step retraces one of the
+    // ≤ degree breadth candidates, and growing steps stop at `degree`
+    // candidates anyway.
     let mut ctx: Vec<i64> = context.to_vec();
     let mut chain: Vec<i64> = Vec::new();
     let mut at = page;
     let mut steps = first.first().copied();
-    while out.len() < degree {
+    for _ in 0..degree {
+        if out.len() >= degree {
+            break;
+        }
         let Some(d) = steps else { break };
         let Some(next) = push(&mut out, at, d) else {
             break;
@@ -308,6 +318,30 @@ mod tests {
         // the chain then follows the top prediction (1) onward.
         let (got, _, _) = predict_chain(|_| vec![1, 8], &[1], 100, 4);
         assert_eq!(got, vec![101, 108, 102, 103]);
+    }
+
+    #[test]
+    fn cyclic_predictions_terminate() {
+        // A ping-pong table (… ,5 → -5 and …,-5 → 5) predicts a cycle
+        // with zero net displacement: after the first two hops every
+        // target is already a candidate, so an unbounded greedy walk
+        // would never grow `out` again and spin forever.
+        let ranked = |ctx: &[i64]| vec![if ctx.last() == Some(&5) { -5 } else { 5 }];
+        let (got, chain, _) = predict_chain(ranked, &[5, 5], 100, 8);
+        assert_eq!(got, vec![95, 100]);
+        assert!(chain.len() <= 8, "chain bounded at degree");
+    }
+
+    #[test]
+    fn markov_plan_terminates_on_ping_pong_fault_stream() {
+        // End-to-end: the online table trained by an eviction-thrashing
+        // ping-pong stream (p, p+N, p, p+N, …) must not hang `plan`.
+        let mut m = MarkovPrefetcher::with_params(2, 64, 8);
+        for d in [50i64, -50, 50, -50, 50, -50] {
+            m.learn(d);
+        }
+        let (got, _, _) = predict_chain(|ctx| m.ranked(ctx), &[50, -50], 1000, m.degree);
+        assert!(got.len() <= m.degree);
     }
 
     #[test]

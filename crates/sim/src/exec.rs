@@ -70,7 +70,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 
-use uvm_core::HugePageStats;
+use uvm_core::{HugePageStats, PolicyRegistry};
 use uvm_types::hash::StableHasher;
 use uvm_types::{Bytes, Duration};
 use uvm_workloads::Workload;
@@ -84,8 +84,9 @@ const SPILL_VERSION: u64 = 3;
 
 /// Simulator behaviour revision, folded into every [`RunKey`]. Bump
 /// when a model change alters results without any [`RunOptions`]
-/// field changing, so stale spill entries stop matching.
-const SIM_REVISION: u64 = 2;
+/// field changing, so stale spill entries stop matching. (v3: the
+/// markov/learned prediction chain is capped at `degree` steps.)
+const SIM_REVISION: u64 = 3;
 
 /// A canonical, process-stable identity of one simulation run.
 ///
@@ -111,8 +112,9 @@ fn hash_shared_opts(h: &mut StableHasher, opts: &RunOptions) {
     // field, including the optional radix-walk model.
     h.write_str(&format!("{:?}", opts.gpu));
     h.write_bool(opts.trace);
-    // Trace export is part of the run identity: an exporting run must
-    // not be served from a cache hit that never wrote the file.
+    // Trace export is part of the run identity; belt-and-braces on top
+    // of the executor treating exporting runs as uncacheable, so even
+    // a stale pre-existing spill entry can never satisfy one.
     match &opts.trace_export {
         None => h.write_bool(false),
         Some(path) => {
@@ -167,16 +169,28 @@ impl RunKey {
         h.write_u64(SIM_REVISION);
         h.write_str(workload.name());
         h.write_str(&workload.signature());
-        // Specs hash by canonical Display form, so `markov:depth=2`
-        // and `markov:table=4096,...` key distinct cache entries while
-        // parameter *order* never matters.
-        h.write_str(&opts.prefetch.to_string());
-        h.write_str(&opts.evict.to_string());
+        // Specs hash by *canonical* Display form — aliases resolved
+        // through the registry first — so `LRNp:table=…` and
+        // `learned:table=…` name one cache entry, `markov:depth=2` and
+        // `markov:table=4096,...` name distinct ones, and parameter
+        // *order* never matters. A spec the registry rejects (caught
+        // later by `RunOptions::validate`) hashes as written.
+        let registry = PolicyRegistry::global();
+        let prefetch = registry
+            .canonical_prefetch_spec(&opts.prefetch)
+            .unwrap_or_else(|_| opts.prefetch.clone());
+        let evict = registry
+            .canonical_evict_spec(&opts.evict)
+            .unwrap_or_else(|_| opts.evict.clone());
+        h.write_str(&prefetch.to_string());
+        h.write_str(&evict.to_string());
         // A `learned:table=PATH` run is defined by the table's
         // *content*, not its path: retraining over the same file must
         // not be served stale spill entries, so the bytes fold in too.
-        if opts.prefetch.name() == "learned" {
-            if let Some(path) = opts.prefetch.param("table") {
+        // Keyed off the canonical name so alias spellings get the same
+        // staleness protection.
+        if prefetch.name() == "learned" {
+            if let Some(path) = prefetch.param("table") {
                 match std::fs::read(path) {
                     Ok(bytes) => h.write_bytes(&bytes),
                     Err(_) => h.write_str("unreadable"),
@@ -339,7 +353,8 @@ impl Executor {
     }
 
     /// Enables the JSON spill cache under `dir` (typically
-    /// `results/cache/`). Completed non-trace runs are written
+    /// `results/cache/`). Completed runs — except trace-capturing and
+    /// trace-exporting ones, which are uncacheable — are written
     /// atomically as `<runkey-hex>.json` with a checksum header;
     /// later executions (same or future process) load them instead of
     /// re-simulating. Corrupt entries are renamed to `*.json.corrupt`
@@ -596,14 +611,22 @@ impl Executor {
             let mut cache = self.lock_cache();
             let mut claimed: Vec<RunKey> = Vec::new();
             for sub in &subs {
-                if cache.contains_key(&sub.key) {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    continue;
-                }
-                if let Some(spilled) = self.load_spill(sub.key) {
-                    cache.insert(sub.key, Arc::new(spilled));
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    continue;
+                // An exporting run's deliverable is the trace *file*,
+                // which only an actual simulation writes: a memo or
+                // spill hit would skip `write_export` and silently
+                // produce no trace (e.g. after the user deleted the
+                // .uvmt). Exporting runs therefore always simulate.
+                let cacheable = sub.opts.trace_export.is_none();
+                if cacheable {
+                    if cache.contains_key(&sub.key) {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    if let Some(spilled) = self.load_spill(sub.key) {
+                        cache.insert(sub.key, Arc::new(spilled));
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
                 }
                 if claimed.contains(&sub.key) {
                     // Duplicate within this plan: simulated once.
@@ -772,8 +795,10 @@ impl Executor {
 
     fn store_spill(&self, key: RunKey, opts: &RunOptions, result: &RunResult) {
         // Traces are huge and figure-local; trace runs are memoized
-        // in-process only.
-        if opts.trace {
+        // in-process only. Exporting runs never spill at all — their
+        // point is the side-effect file, which a spill hit in a later
+        // process would silently skip.
+        if opts.trace || opts.trace_export.is_some() {
             return;
         }
         let Some(path) = self.spill_path(key) else {
@@ -1396,6 +1421,82 @@ mod tests {
         );
         assert_eq!(a.kernel_times, b.kernel_times);
         assert_eq!(a.capacity, b.capacity);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn runkey_canonicalizes_alias_specs() {
+        use uvm_core::PolicySpec;
+        let w = sweep();
+        let canonical =
+            RunOptions::default().with_prefetch("markov".parse::<PolicySpec>().unwrap());
+        let alias = RunOptions::default().with_prefetch("MKVp".parse::<PolicySpec>().unwrap());
+        assert_eq!(RunKey::new(&w, &canonical), RunKey::new(&w, &alias));
+
+        let canonical = RunOptions::default().with_evict("LRU-4KB".parse::<PolicySpec>().unwrap());
+        let alias = RunOptions::default().with_evict("lru".parse::<PolicySpec>().unwrap());
+        assert_eq!(RunKey::new(&w, &canonical), RunKey::new(&w, &alias));
+    }
+
+    #[test]
+    fn runkey_folds_table_bytes_for_learned_aliases() {
+        use uvm_core::PolicySpec;
+        let dir = std::env::temp_dir().join(format!(
+            "uvm-exec-alias-table-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let table = dir.join("t.tbl");
+        std::fs::write(&table, b"v1").unwrap();
+
+        let w = sweep();
+        let spec = |name: &str| {
+            format!("{name}:table={}", table.display())
+                .parse::<PolicySpec>()
+                .unwrap()
+        };
+        // Alias and canonical spellings name the same cache entry.
+        let canonical = RunKey::new(&w, &RunOptions::default().with_prefetch(spec("learned")));
+        let alias = RunKey::new(&w, &RunOptions::default().with_prefetch(spec("LRNp")));
+        assert_eq!(canonical, alias);
+
+        // Retraining the table re-keys the alias spelling too — a
+        // stale spill entry can never serve the new table.
+        std::fs::write(&table, b"v2-retrained").unwrap();
+        let retrained = RunKey::new(&w, &RunOptions::default().with_prefetch(spec("LRNp")));
+        assert_ne!(alias, retrained);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exporting_runs_always_resimulate_and_rewrite_the_trace() {
+        let dir = std::env::temp_dir().join(format!(
+            "uvm-exec-export-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let trace = dir.join("run.uvmt");
+        let w = sweep();
+        let opts = RunOptions::default().with_trace_export(&trace);
+        let exec = Executor::new(1).with_spill_dir(dir.join("cache"));
+
+        exec.run_one(&w, opts.clone());
+        assert!(trace.exists(), "first run writes the trace");
+        // The exporting run never spills: its deliverable is the file.
+        let key = RunKey::new(&w, &opts);
+        assert!(!dir
+            .join("cache")
+            .join(format!("{}.json", key.to_hex()))
+            .exists());
+
+        // Deleting the file and re-running must regenerate it — a
+        // memo/spill hit here would silently produce no trace.
+        std::fs::remove_file(&trace).unwrap();
+        exec.run_one(&w, opts.clone());
+        assert_eq!(exec.runs_executed(), 2, "exporting runs are uncacheable");
+        assert!(trace.exists(), "re-run rewrites the deleted trace");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
