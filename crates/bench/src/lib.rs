@@ -117,6 +117,16 @@ pub struct Config {
     /// the binary's default level(s). Validated against
     /// [`OVERSUB_RANGE`] at parse time.
     pub oversub: Option<f64>,
+    /// Checkpoint directory (`--checkpoint-dir DIR`): every run writes
+    /// durable `.uvmc` checkpoints under this directory at kernel
+    /// boundaries and resumes from them after a crash. Off by default.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Kernel launches between checkpoints (`--checkpoint-every N`,
+    /// default 1); only meaningful with `--checkpoint-dir`.
+    pub checkpoint_every: usize,
+    /// Run the GMMU invariant auditor at every checkpoint boundary
+    /// (`--audit`); equivalent to `UVM_AUDIT=1`.
+    pub audit: bool,
 }
 
 impl Default for Config {
@@ -130,6 +140,9 @@ impl Default for Config {
             fault_plan: None,
             fault_seed: None,
             oversub: None,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            audit: false,
         }
     }
 }
@@ -140,9 +153,32 @@ pub const OVERSUB_RANGE: std::ops::RangeInclusive<f64> = 1.0..=4.0;
 
 impl Config {
     /// Builds the shared executor for this invocation, spilling to
-    /// [`CACHE_DIR`].
+    /// [`CACHE_DIR`]. With `--checkpoint-dir` the executor also keeps
+    /// a write-ahead sweep journal next to the checkpoints, so an
+    /// interrupted invocation can be diagnosed and resumed.
     pub fn executor(&self) -> Executor {
-        Executor::new(self.jobs).with_spill_dir(CACHE_DIR)
+        let exec = Executor::new(self.jobs).with_spill_dir(CACHE_DIR);
+        match &self.checkpoint_dir {
+            Some(dir) => exec.with_journal(dir.join("sweep.journal")),
+            None => exec,
+        }
+    }
+
+    /// Installs the durability settings process-wide: experiments
+    /// build their own `RunOptions` deep inside each sweep, so
+    /// `--checkpoint-dir`, `--checkpoint-every`, and `--audit` travel
+    /// as the `UVM_CHECKPOINT_DIR`/`UVM_CHECKPOINT_EVERY`/`UVM_AUDIT`
+    /// environment switches the simulator honours for every run.
+    /// Called once by [`config_from_args`], before any worker thread
+    /// exists. Safe because none of these change simulation results.
+    pub fn install_durability(&self) {
+        if let Some(dir) = &self.checkpoint_dir {
+            std::env::set_var("UVM_CHECKPOINT_DIR", dir);
+            std::env::set_var("UVM_CHECKPOINT_EVERY", self.checkpoint_every.to_string());
+        }
+        if self.audit {
+            std::env::set_var("UVM_AUDIT", "1");
+        }
     }
 
     /// The fault plan this invocation asked for: `--fault-profile`
@@ -308,6 +344,42 @@ const FLAGS: &[FlagSpec] = &[
         },
     },
     FlagSpec {
+        name: "--checkpoint-dir",
+        metavar: Some("DIR"),
+        help: "write durable per-run checkpoints under DIR and resume from them",
+        apply: |ctx, v| {
+            if v.is_empty() {
+                return Err("bad --checkpoint-dir value: directory must be non-empty".into());
+            }
+            ctx.cfg.checkpoint_dir = Some(PathBuf::from(v));
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--checkpoint-every",
+        metavar: Some("N"),
+        help: "kernel launches between checkpoints (default 1)",
+        apply: |ctx, v| {
+            let every: usize = v
+                .parse()
+                .map_err(|_| format!("bad --checkpoint-every value {v:?}"))?;
+            if every == 0 {
+                return Err("bad --checkpoint-every value: must be at least 1".into());
+            }
+            ctx.cfg.checkpoint_every = every;
+            Ok(())
+        },
+    },
+    FlagSpec {
+        name: "--audit",
+        metavar: None,
+        help: "run the GMMU invariant auditor at every checkpoint boundary",
+        apply: |ctx, _| {
+            ctx.cfg.audit = true;
+            Ok(())
+        },
+    },
+    FlagSpec {
         name: "--list-policies",
         metavar: None,
         help: "print every registered policy (and its parameters) and exit",
@@ -337,7 +409,10 @@ const FLAGS: &[FlagSpec] = &[
 /// the accepted range.
 pub fn config_from_args() -> Config {
     match parse_args(std::env::args().skip(1)) {
-        Ok(Parsed::Run(cfg)) => *cfg,
+        Ok(Parsed::Run(cfg)) => {
+            cfg.install_durability();
+            *cfg
+        }
         Ok(Parsed::ListPolicies) => {
             print!("{}", render_policy_list());
             std::process::exit(0);
@@ -748,6 +823,37 @@ mod tests {
             assert!(err.contains("1.0..=4.0"), "error lists the range: {err}");
         }
         assert!(p(&["--oversub"]).is_err());
+    }
+
+    #[test]
+    fn args_parse_checkpoint_and_audit_flags() {
+        let p = |args: &[&str]| parse_args(args.iter().map(|s| s.to_string()));
+        let Parsed::Run(cfg) = p(&[
+            "--checkpoint-dir",
+            "results/ckpt",
+            "--checkpoint-every=3",
+            "--audit",
+        ])
+        .unwrap() else {
+            panic!("expected a runnable config");
+        };
+        assert_eq!(cfg.checkpoint_dir, Some(PathBuf::from("results/ckpt")));
+        assert_eq!(cfg.checkpoint_every, 3);
+        assert!(cfg.audit);
+
+        // Defaults: checkpointing off, interval 1, no audit.
+        let Parsed::Run(cfg) = p(&[]).unwrap() else {
+            panic!("expected a runnable config");
+        };
+        assert_eq!(cfg.checkpoint_dir, None);
+        assert_eq!(cfg.checkpoint_every, 1);
+        assert!(!cfg.audit);
+
+        assert!(p(&["--checkpoint-dir"]).is_err());
+        assert!(p(&["--checkpoint-dir="]).is_err());
+        assert!(p(&["--checkpoint-every", "0"]).is_err());
+        assert!(p(&["--checkpoint-every", "some"]).is_err());
+        assert!(p(&["--audit=1"]).is_err(), "bare switch takes no value");
     }
 
     #[test]

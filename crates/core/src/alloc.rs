@@ -207,6 +207,44 @@ impl Allocations {
     pub fn total_rounded(&self) -> Bytes {
         self.allocs.iter().map(|a| a.rounded()).sum()
     }
+
+    /// Serializes the registry for a checkpoint: each allocation's
+    /// requested size (bases and tree layout are a pure function of
+    /// the allocation sequence) plus every tree's valid counts.
+    pub fn save_state(&self, w: &mut uvm_types::codec::ByteWriter) {
+        w.put_usize(self.allocs.len());
+        for a in &self.allocs {
+            w.put_u64(a.requested.bytes());
+            for tree in &a.trees {
+                tree.save_state(w);
+            }
+        }
+    }
+
+    /// Rebuilds a registry from a [`save_state`](Self::save_state)
+    /// image by replaying [`allocate`](Self::allocate) (reproducing the
+    /// deterministic bump addresses and tree layout) and restoring each
+    /// tree's valid counts.
+    pub fn load_state(
+        r: &mut uvm_types::codec::ByteReader<'_>,
+    ) -> Result<Self, uvm_types::codec::CodecError> {
+        let n = r.get_usize()?;
+        let mut allocs = Allocations::new();
+        for _ in 0..n {
+            let requested = Bytes::new(r.get_u64()?);
+            if requested == Bytes::ZERO {
+                return Err(uvm_types::codec::CodecError::BadTag {
+                    what: "allocation size",
+                    value: 0,
+                });
+            }
+            let id = allocs.allocate(requested);
+            for tree in &mut allocs.allocs[id.index()].trees {
+                tree.load_state(r)?;
+            }
+        }
+        Ok(allocs)
+    }
 }
 
 #[cfg(test)]

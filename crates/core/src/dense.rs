@@ -91,6 +91,49 @@ impl<T: Copy> DensePageMap<T> {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// Iterates present `(page, value)` entries in ascending page
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (PageId, T)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.map(|v| (PageId::new(i as u64), v)))
+    }
+
+    /// Serializes the map for a checkpoint, delegating value encoding
+    /// to `put`. Entries are written in ascending page order (the only
+    /// order the dense representation has), so the encoding is
+    /// canonical.
+    pub fn save_state(
+        &self,
+        w: &mut uvm_types::codec::ByteWriter,
+        mut put: impl FnMut(&mut uvm_types::codec::ByteWriter, T),
+    ) {
+        w.put_usize(self.len);
+        for (page, value) in self.iter() {
+            w.put_u64(page.index());
+            put(w, value);
+        }
+    }
+
+    /// Rebuilds a map from a [`save_state`](Self::save_state) image,
+    /// delegating value decoding to `get`.
+    pub fn load_state<'a>(
+        r: &mut uvm_types::codec::ByteReader<'a>,
+        mut get: impl FnMut(
+            &mut uvm_types::codec::ByteReader<'a>,
+        ) -> Result<T, uvm_types::codec::CodecError>,
+    ) -> Result<Self, uvm_types::codec::CodecError> {
+        let n = r.get_usize()?;
+        let mut map = DensePageMap::new();
+        for _ in 0..n {
+            let page = PageId::new(r.get_u64()?);
+            let value = get(r)?;
+            map.insert(page, value);
+        }
+        Ok(map)
+    }
 }
 
 /// A set of pages backed by a dense bitset.
@@ -157,6 +200,27 @@ impl DensePageSet {
     /// `true` if the set has no members.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Serializes the set for a checkpoint (ascending member order —
+    /// the bitmap has no other observable order).
+    pub fn save_state(&self, w: &mut uvm_types::codec::ByteWriter) {
+        w.put_usize(self.len);
+        for page in self.iter_ascending() {
+            w.put_u64(page.index());
+        }
+    }
+
+    /// Rebuilds a set from a [`save_state`](Self::save_state) image.
+    pub fn load_state(
+        r: &mut uvm_types::codec::ByteReader<'_>,
+    ) -> Result<Self, uvm_types::codec::CodecError> {
+        let n = r.get_usize()?;
+        let mut set = DensePageSet::new();
+        for _ in 0..n {
+            set.insert(PageId::new(r.get_u64()?));
+        }
+        Ok(set)
     }
 
     /// Members in ascending page order: a word scan over the bitmap,

@@ -73,4 +73,16 @@ impl Evictor for FreqEvictor {
     fn box_clone(&self) -> Box<dyn Evictor> {
         Box::new(self.clone())
     }
+
+    fn save_state(&self, w: &mut uvm_types::codec::ByteWriter) {
+        self.counts.save_state(w, |w, v| w.put_u64(v));
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut uvm_types::codec::ByteReader<'_>,
+    ) -> Result<(), uvm_types::codec::CodecError> {
+        self.counts = DensePageMap::load_state(r, |r| r.get_u64())?;
+        Ok(())
+    }
 }

@@ -78,4 +78,16 @@ impl Evictor for LruPageEvictor {
     fn box_clone(&self) -> Box<dyn Evictor> {
         Box::new(self.clone())
     }
+
+    fn save_state(&self, w: &mut uvm_types::codec::ByteWriter) {
+        self.lru.save_state(w, |w, p| w.put_u64(p.index()));
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut uvm_types::codec::ByteReader<'_>,
+    ) -> Result<(), uvm_types::codec::CodecError> {
+        self.lru = LruQueue::load_state(r, |r| Ok(PageId::new(r.get_u64()?)))?;
+        Ok(())
+    }
 }

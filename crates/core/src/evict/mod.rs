@@ -118,6 +118,29 @@ pub trait Evictor: fmt::Debug + Send + Sync {
     fn snapshot_box(&self) -> Box<dyn Evictor> {
         self.box_clone()
     }
+
+    /// The durable-checkpoint seam, mirroring [`snapshot_box`]: writes
+    /// the policy's *mutable* recency/frequency bookkeeping
+    /// (configuration knobs come back for free when the policy is
+    /// rebuilt from its spec). After [`load_state`] on a freshly built
+    /// policy of the same spec, victim selection must be identical to
+    /// the original's. Stateless policies keep the no-op default.
+    ///
+    /// [`snapshot_box`]: Self::snapshot_box
+    /// [`load_state`]: Self::load_state
+    fn save_state(&self, w: &mut uvm_types::codec::ByteWriter) {
+        let _ = w;
+    }
+
+    /// Restores the state written by [`save_state`](Self::save_state)
+    /// into a freshly built policy of the same spec.
+    fn load_state(
+        &mut self,
+        r: &mut uvm_types::codec::ByteReader<'_>,
+    ) -> Result<(), uvm_types::codec::CodecError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 impl Clone for Box<dyn Evictor> {

@@ -95,4 +95,16 @@ impl Evictor for TbnEvictor {
     fn box_clone(&self) -> Box<dyn Evictor> {
         Box::new(self.clone())
     }
+
+    fn save_state(&self, w: &mut uvm_types::codec::ByteWriter) {
+        self.hier.save_state(w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut uvm_types::codec::ByteReader<'_>,
+    ) -> Result<(), uvm_types::codec::CodecError> {
+        self.hier = HierarchicalLru::load_state(r)?;
+        Ok(())
+    }
 }

@@ -1118,6 +1118,14 @@ impl Gmmu {
         self.huge_mapped.len()
     }
 
+    /// The current epoch of `lp`'s huge mapping regardless of
+    /// coalesced/splintered state, or `None` if `lp` has never been
+    /// promoted. The engine's audit uses this to bound cached huge-TLB
+    /// epochs.
+    pub fn huge_epoch(&self, lp: LargePageId) -> Option<u64> {
+        self.huge.get(&lp).map(|m| m.epoch)
+    }
+
     /// Folds the frame allocator's split/merge/region counters into the
     /// driver statistics (called after every migration entry point).
     fn sync_frame_stats(&mut self) {
@@ -1145,7 +1153,434 @@ impl Gmmu {
             self.prefetch_disabled = true;
         }
     }
+
+    // ------------------------------------------------------------------
+    // Durable checkpointing
+    // ------------------------------------------------------------------
+
+    /// Serializes every mutable driver field for a durable checkpoint.
+    ///
+    /// Configuration (the `UvmConfig`, PCI-e model, fault plan) is
+    /// *not* stored — the restore path rebuilds the driver from the
+    /// same `RunOptions` and overwrites mutable state, so anything
+    /// derivable stays derivable. The two policy specs *are* stored
+    /// (as strings) because a warm-up → measurement
+    /// [`swap_policies`](Self::swap_policies) changes them mid-run;
+    /// each policy's learning state rides in its own length-prefixed
+    /// sub-buffer via the [`Prefetcher::save_state`] /
+    /// [`Evictor::save_state`] seam.
+    pub fn save_state(&self, w: &mut uvm_types::codec::ByteWriter) {
+        for s in self.rng.state() {
+            w.put_u64(s);
+        }
+        for s in self.fault_rng.state() {
+            w.put_u64(s);
+        }
+        w.put_str(&self.cfg.prefetch.to_string());
+        w.put_str(&self.cfg.evict.to_string());
+        self.allocs.save_state(w);
+        self.page_table.save_state(w);
+        self.frames.save_state(w);
+        self.frame_of.save_state(w, |w, f| w.put_u64(f.index()));
+        {
+            let mut sub = uvm_types::codec::ByteWriter::new();
+            self.prefetcher.save_state(&mut sub);
+            w.put_bytes(sub.as_bytes());
+        }
+        {
+            let mut sub = uvm_types::codec::ByteWriter::new();
+            self.evictor.save_state(&mut sub);
+            w.put_bytes(sub.as_bytes());
+        }
+        self.resident.save_state(w);
+        self.read_chan.save_state(w);
+        self.write_chan.save_state(w);
+        w.put_usize(self.lanes.len());
+        for lane in &self.lanes {
+            w.put_u64(lane.index());
+        }
+        w.put_bool(self.prefetch_disabled);
+        self.ready_at.save_state(w, |w, t| w.put_u64(t.index()));
+        self.unaccessed_prefetch.save_state(w);
+        self.unaccessed_demand.save_state(w);
+        self.evicted_once.save_state(w);
+        let mut huge: Vec<(&LargePageId, &HugeMapping)> = self.huge.iter().collect();
+        huge.sort_unstable_by_key(|(lp, _)| **lp);
+        w.put_usize(huge.len());
+        for (lp, m) in huge {
+            w.put_u64(lp.index());
+            w.put_u64(m.epoch);
+            w.put_bool(m.mapped);
+            w.put_u64(m.active_from.index());
+        }
+        let mut lp_res: Vec<(&LargePageId, &u32)> = self.lp_resident.iter().collect();
+        lp_res.sort_unstable_by_key(|(lp, _)| **lp);
+        w.put_usize(lp_res.len());
+        for (lp, &count) in lp_res {
+            w.put_u64(lp.index());
+            w.put_u32(count);
+        }
+        let mut regions: Vec<(&LargePageId, &u64)> = self.region_of.iter().collect();
+        regions.sort_unstable_by_key(|(lp, _)| **lp);
+        w.put_usize(regions.len());
+        for (lp, &base) in regions {
+            w.put_u64(lp.index());
+            w.put_u64(base);
+        }
+        w.put_bool(self.huge_enabled);
+        match &self.fault_trace {
+            Some(trace) => {
+                w.put_bool(true);
+                w.put_usize(trace.len());
+                for &(t, p) in trace {
+                    w.put_u64(t.index());
+                    w.put_u64(p.index());
+                }
+            }
+            None => w.put_bool(false),
+        }
+        self.stats.save_state(w);
+    }
+
+    /// Restores a [`save_state`](Self::save_state) image into a driver
+    /// freshly built from the same configuration. The policy pair is
+    /// rebuilt from the *stored* specs (which may differ from the
+    /// construction-time specs after a warm-up swap) and then fed its
+    /// serialized learning state.
+    pub fn load_state(
+        &mut self,
+        r: &mut uvm_types::codec::ByteReader<'_>,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        use uvm_types::codec::CodecError;
+
+        let mut rng_state = [0u64; 4];
+        for s in &mut rng_state {
+            *s = r.get_u64()?;
+        }
+        self.rng = SmallRng::from_state(rng_state);
+        let mut fault_state = [0u64; 4];
+        for s in &mut fault_state {
+            *s = r.get_u64()?;
+        }
+        self.fault_rng = SmallRng::from_state(fault_state);
+        let prefetch_spec: PolicySpec = r.get_str()?.parse().map_err(|e| {
+            crate::checkpoint::CheckpointError::Incompatible(format!("stored prefetch spec: {e}"))
+        })?;
+        let evict_spec: PolicySpec = r.get_str()?.parse().map_err(|e| {
+            crate::checkpoint::CheckpointError::Incompatible(format!("stored evict spec: {e}"))
+        })?;
+        if prefetch_spec != self.cfg.prefetch || evict_spec != self.cfg.evict {
+            let registry = PolicyRegistry::global();
+            self.cfg.prefetch = prefetch_spec;
+            self.cfg.evict = evict_spec;
+            self.prefetcher = registry
+                .build_prefetcher_spec(&self.cfg.prefetch, &self.cfg)
+                .map_err(|e| {
+                    crate::checkpoint::CheckpointError::Incompatible(format!(
+                        "stored prefetch spec does not build: {e}"
+                    ))
+                })?;
+            self.evictor = registry
+                .build_evictor_spec(&self.cfg.evict, &self.cfg)
+                .map_err(|e| {
+                    crate::checkpoint::CheckpointError::Incompatible(format!(
+                        "stored evict spec does not build: {e}"
+                    ))
+                })?;
+        }
+        self.allocs = Allocations::load_state(r)?;
+        self.page_table = PageTable::load_state(r)?;
+        self.frames = FrameAllocator::load_state(r)?;
+        self.frame_of = DensePageMap::load_state(r, |r| Ok(FrameId::from_index(r.get_u64()?)))?;
+        {
+            let bytes = r.get_bytes()?;
+            let mut sub = uvm_types::codec::ByteReader::new(bytes);
+            self.prefetcher.load_state(&mut sub)?;
+            sub.finish()?;
+        }
+        {
+            let bytes = r.get_bytes()?;
+            let mut sub = uvm_types::codec::ByteReader::new(bytes);
+            self.evictor.load_state(&mut sub)?;
+            sub.finish()?;
+        }
+        self.resident = IndexedPageSet::load_state(r)?;
+        self.read_chan.load_state(r)?;
+        self.write_chan.load_state(r)?;
+        let lanes = r.get_usize()?;
+        if lanes == 0 {
+            return Err(CodecError::BadTag {
+                what: "fault lane count",
+                value: 0,
+            }
+            .into());
+        }
+        self.lanes = (0..lanes)
+            .map(|_| Ok(Cycle::new(r.get_u64()?)))
+            .collect::<Result<_, CodecError>>()?;
+        self.prefetch_disabled = r.get_bool()?;
+        self.ready_at = DensePageMap::load_state(r, |r| Ok(Cycle::new(r.get_u64()?)))?;
+        self.unaccessed_prefetch = DensePageSet::load_state(r)?;
+        self.unaccessed_demand = DensePageSet::load_state(r)?;
+        self.evicted_once = DensePageSet::load_state(r)?;
+        self.huge = HashMap::default();
+        self.huge_mapped = BTreeSet::new();
+        for _ in 0..r.get_usize()? {
+            let lp = LargePageId::new(r.get_u64()?);
+            let mapping = HugeMapping {
+                epoch: r.get_u64()?,
+                mapped: r.get_bool()?,
+                active_from: Cycle::new(r.get_u64()?),
+            };
+            if mapping.mapped {
+                self.huge_mapped.insert(lp);
+            }
+            if self.huge.insert(lp, mapping).is_some() {
+                return Err(CodecError::BadTag {
+                    what: "duplicate huge-mapping record",
+                    value: lp.index(),
+                }
+                .into());
+            }
+        }
+        self.lp_resident = HashMap::default();
+        for _ in 0..r.get_usize()? {
+            let lp = LargePageId::new(r.get_u64()?);
+            let count = r.get_u32()?;
+            if self.lp_resident.insert(lp, count).is_some() {
+                return Err(CodecError::BadTag {
+                    what: "duplicate lp-resident record",
+                    value: lp.index(),
+                }
+                .into());
+            }
+        }
+        self.region_of = HashMap::default();
+        for _ in 0..r.get_usize()? {
+            let lp = LargePageId::new(r.get_u64()?);
+            let base = r.get_u64()?;
+            if self.region_of.insert(lp, base).is_some() {
+                return Err(CodecError::BadTag {
+                    what: "duplicate region record",
+                    value: lp.index(),
+                }
+                .into());
+            }
+        }
+        self.huge_enabled = r.get_bool()?;
+        self.fault_trace = if r.get_bool()? {
+            let n = r.get_usize()?;
+            let mut trace = Vec::with_capacity(n);
+            for _ in 0..n {
+                let t = Cycle::new(r.get_u64()?);
+                trace.push((t, PageId::new(r.get_u64()?)));
+            }
+            Some(trace)
+        } else {
+            None
+        };
+        self.stats = UvmStats::load_state(r)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant auditing
+    // ------------------------------------------------------------------
+
+    /// Cross-checks the driver's redundant views of page state:
+    /// allocator occupancy ↔ resident set ↔ page-table entries ↔
+    /// frame table ↔ huge-mapping records ↔ soft-region reservations.
+    /// Read-only and schedule-inert — running it cannot perturb a
+    /// simulation. Returns every violation found, so a failing audit
+    /// reports the full inconsistency picture, not just the first
+    /// symptom.
+    pub fn audit(&self) -> Result<(), AuditError> {
+        let mut violations = Vec::new();
+        let resident_count = self.resident.len() as u64;
+        if self.page_table.valid_pages() != resident_count {
+            violations.push(format!(
+                "page table holds {} valid PTEs but the resident set holds {} pages",
+                self.page_table.valid_pages(),
+                resident_count
+            ));
+        }
+        if self.frames.used_frames() != resident_count {
+            violations.push(format!(
+                "allocator reports {} frames in use but {} pages are resident \
+                 (every resident page owns exactly one frame)",
+                self.frames.used_frames(),
+                resident_count
+            ));
+        }
+        let mut frames_seen: Vec<u64> = Vec::with_capacity(self.resident.len());
+        for page in self.resident.iter_ascending() {
+            if !self.page_table.is_valid(page) {
+                violations.push(format!("resident {page} has no valid PTE"));
+            }
+            match self.frame_of.get(page) {
+                Some(frame) => {
+                    if frame.index() >= self.frames.capacity_frames() {
+                        violations.push(format!(
+                            "resident {page} maps to frame {} beyond the {}-frame budget",
+                            frame.index(),
+                            self.frames.capacity_frames()
+                        ));
+                    }
+                    frames_seen.push(frame.index());
+                }
+                None => violations.push(format!("resident {page} has no backing frame")),
+            }
+        }
+        frames_seen.sort_unstable();
+        for pair in frames_seen.windows(2) {
+            if pair[0] == pair[1] {
+                violations.push(format!(
+                    "frame {} backs more than one resident page",
+                    pair[0]
+                ));
+            }
+        }
+        // Per-large-page residency counts (maintained only while a
+        // huge-page policy is or was recently active) must agree with a
+        // recount of the resident set.
+        if self.lp_tracking() {
+            let mut recount: HashMap<LargePageId, u32, FxBuildHasher> = HashMap::default();
+            for page in self.resident.iter_ascending() {
+                *recount.entry(page.large_page()).or_insert(0) += 1;
+            }
+            if recount != self.lp_resident {
+                let mut tracked: Vec<_> = self.lp_resident.keys().copied().collect();
+                tracked.sort_unstable();
+                for lp in tracked {
+                    let have = self.lp_resident.get(&lp).copied().unwrap_or(0);
+                    let want = recount.get(&lp).copied().unwrap_or(0);
+                    if have != want {
+                        violations.push(format!(
+                            "lp_resident[{lp}] = {have} but {want} of its pages are resident"
+                        ));
+                    }
+                }
+                let mut actual: Vec<_> = recount.keys().copied().collect();
+                actual.sort_unstable();
+                for lp in actual {
+                    if !self.lp_resident.contains_key(&lp) {
+                        violations
+                            .push(format!("{lp} has resident pages but no lp_resident record"));
+                    }
+                }
+            }
+        }
+        // Huge mappings: the ordered set and the record map must agree,
+        // and a coalesced large page must be fully resident on the
+        // aligned, contiguous frame range promotion verified.
+        for &lp in &self.huge_mapped {
+            match self.huge.get(&lp) {
+                Some(m) if m.mapped => {}
+                Some(_) => violations.push(format!(
+                    "{lp} is in huge_mapped but its record says splintered"
+                )),
+                None => violations.push(format!("{lp} is in huge_mapped with no record")),
+            }
+            let count = self.lp_resident.get(&lp).copied().unwrap_or(0);
+            if u64::from(count) != PAGES_PER_LARGE_PAGE {
+                violations.push(format!(
+                    "coalesced {lp} has only {count}/{PAGES_PER_LARGE_PAGE} resident pages"
+                ));
+                continue;
+            }
+            let first = lp.first_page();
+            let base = self.frame_of.get(first).map(FrameId::index);
+            match base {
+                Some(base) if base % PAGES_PER_LARGE_PAGE == 0 => {
+                    for k in 1..PAGES_PER_LARGE_PAGE {
+                        if self.frame_of.get(first.add(k)).map(FrameId::index) != Some(base + k) {
+                            violations.push(format!(
+                                "coalesced {lp} is not frame-contiguous at page offset {k}"
+                            ));
+                            break;
+                        }
+                    }
+                }
+                Some(base) => {
+                    violations.push(format!("coalesced {lp} starts at unaligned frame {base}"))
+                }
+                None => violations.push(format!("coalesced {lp} has no frame for its first page")),
+            }
+        }
+        for (lp, m) in &self.huge {
+            if m.mapped && !self.huge_mapped.contains(lp) {
+                violations.push(format!(
+                    "{lp} record says coalesced but it is missing from huge_mapped"
+                ));
+            }
+        }
+        // Soft-reserved frame regions must still exist in the allocator,
+        // and only large pages with resident pages may hold one.
+        let mut regions: Vec<(&LargePageId, &u64)> = self.region_of.iter().collect();
+        regions.sort_unstable_by_key(|(lp, _)| **lp);
+        for (lp, &base) in regions {
+            if !self.frames.is_region_reserved(base) {
+                violations.push(format!(
+                    "{lp} claims soft region at frame {base} but the allocator has none"
+                ));
+            }
+            if !self.lp_resident.contains_key(lp) {
+                violations.push(format!(
+                    "{lp} holds soft region at frame {base} with zero resident pages"
+                ));
+            }
+        }
+        // The shared allocation trees are residency metadata: each
+        // block's valid count must equal its valid-PTE population.
+        for alloc in self.allocs.iter() {
+            for tree in alloc.trees() {
+                let extent = tree.extent();
+                for b in 0..extent.num_blocks {
+                    let block = extent.first_block.add(b);
+                    let tracked = tree.block_valid_pages(block);
+                    let actual = (0..uvm_types::PAGES_PER_BASIC_BLOCK)
+                        .filter(|&k| self.page_table.is_valid(block.first_page().add(k)))
+                        .count() as u32;
+                    if tracked != actual {
+                        violations.push(format!(
+                            "tree block {} tracks {tracked} valid pages but the page \
+                             table holds {actual}",
+                            block.index()
+                        ));
+                    }
+                }
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(AuditError { violations })
+        }
+    }
 }
+
+/// One or more failed GMMU invariants, reported together.
+#[derive(Debug)]
+pub struct AuditError {
+    /// Human-readable description of each violated invariant.
+    pub violations: Vec<String>,
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "GMMU audit failed ({} violations):",
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for AuditError {}
 
 #[cfg(test)]
 mod tests {
@@ -2018,5 +2453,127 @@ mod tests {
         }
         assert_eq!(g.stats().fault_injection.emergency_evictions, 0);
         assert_eq!(g.stats().pages_evicted, 0);
+    }
+
+    /// Serializes `g`, restores the image into a fresh driver built
+    /// from `cfg`, and asserts the restored driver re-serializes to the
+    /// identical bytes (state equality through the codec's own lens).
+    fn assert_state_round_trips(g: &mut Gmmu, cfg: UvmConfig) -> Gmmu {
+        g.audit().unwrap();
+        let mut w = uvm_types::codec::ByteWriter::new();
+        g.save_state(&mut w);
+        let image = w.into_bytes();
+        let mut restored = Gmmu::new(cfg);
+        let mut r = uvm_types::codec::ByteReader::new(&image);
+        restored.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+        restored.audit().unwrap();
+        let mut w2 = uvm_types::codec::ByteWriter::new();
+        restored.save_state(&mut w2);
+        assert_eq!(image, w2.into_bytes(), "restored driver diverges");
+        restored
+    }
+
+    #[test]
+    fn checkpoint_round_trips_under_eviction_pressure() {
+        let cfg = UvmConfig::default()
+            .with_capacity(Bytes::mib(1))
+            .with_prefetch(PrefetchPolicy::TreeBasedNeighborhood)
+            .with_evict(EvictPolicy::TreeBasedNeighborhood);
+        let mut g = Gmmu::new(cfg.clone());
+        let base = g.malloc_managed(Bytes::mib(2));
+        let mut now = Cycle::ZERO;
+        for block in 0..32 {
+            now = touch(&mut g, first_page_of_block(base, block), now);
+        }
+        assert!(g.stats().pages_evicted > 0);
+        let mut restored = assert_state_round_trips(&mut g, cfg);
+        // The restored driver continues identically to the original.
+        let page = first_page_of_block(base, 7);
+        assert_eq!(g.is_resident(page), restored.is_resident(page));
+        let (a, b) = (touch(&mut g, page, now), touch(&mut restored, page, now));
+        assert_eq!(a, b);
+        assert_eq!(g.stats(), restored.stats());
+    }
+
+    #[test]
+    fn checkpoint_round_trips_with_huge_pages_and_chaos() {
+        let plan = FaultPlan::none()
+            .with_migration_faults(0.2, 3)
+            .with_pressure(0.1, 0.05);
+        let cfg = UvmConfig::default()
+            .with_capacity(Bytes::mib(4))
+            .with_prefetch(PrefetchPolicy::MosaicCoalesce)
+            .with_evict(EvictPolicy::MosaicSplinter)
+            .with_fault_plan(plan);
+        let mut g = Gmmu::new(cfg.clone());
+        let base = g.malloc_managed(Bytes::mib(8));
+        let mut now = Cycle::ZERO;
+        for i in 0..1024 {
+            now = touch(&mut g, base.page().add(i % 700), now);
+        }
+        let mut restored = assert_state_round_trips(&mut g, cfg);
+        for i in 0..32 {
+            let page = base.page().add(600 + i);
+            assert_eq!(
+                touch(&mut g, page, now),
+                touch(&mut restored, page, now),
+                "divergence at post-restore access {i}"
+            );
+        }
+        assert_eq!(g.stats(), restored.stats());
+        restored.audit().unwrap();
+    }
+
+    #[test]
+    fn checkpoint_restores_swapped_policies() {
+        // A warm-up → measurement swap leaves the live specs different
+        // from the construction-time config; the checkpoint must carry
+        // the live pair.
+        let cfg = UvmConfig::default()
+            .with_capacity(Bytes::mib(1))
+            .with_prefetch(PrefetchPolicy::None)
+            .with_evict(EvictPolicy::LruPage);
+        let mut g = Gmmu::new(cfg.clone());
+        let base = g.malloc_managed(Bytes::mib(2));
+        let mut now = Cycle::ZERO;
+        for i in 0..64 {
+            now = touch(&mut g, base.page().add(i), now);
+        }
+        g.swap_policies(
+            PrefetchPolicy::SequentialLocal,
+            EvictPolicy::SequentialLocal,
+        );
+        for i in 0..64 {
+            now = touch(&mut g, base.page().add(256 + i), now);
+        }
+        let mut restored = assert_state_round_trips(&mut g, cfg);
+        assert_eq!(
+            restored.config().prefetch,
+            PrefetchPolicy::SequentialLocal.into()
+        );
+        let page = base.page().add(400);
+        assert_eq!(touch(&mut g, page, now), touch(&mut restored, page, now));
+        assert_eq!(g.stats(), restored.stats());
+    }
+
+    #[test]
+    fn audit_catches_a_planted_inconsistency() {
+        let mut g = Gmmu::new(UvmConfig::default().with_capacity(Bytes::mib(1)));
+        let base = g.malloc_managed(Bytes::mib(1));
+        let mut now = Cycle::ZERO;
+        for i in 0..8 {
+            now = touch(&mut g, base.page().add(i), now);
+        }
+        g.audit().unwrap();
+        // Tear one page out of the resident set behind the page table's
+        // back: the cross-check must notice the disagreement.
+        let victim = base.page().add(3);
+        g.resident.remove(victim);
+        let err = g.audit().unwrap_err();
+        assert!(
+            err.violations.iter().any(|v| v.contains("valid PTEs")),
+            "{err}"
+        );
     }
 }

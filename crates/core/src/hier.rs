@@ -166,6 +166,59 @@ impl HierarchicalLru {
             .into_iter()
             .flat_map(|q| q.iter().copied())
     }
+
+    /// Serializes the hierarchy for a checkpoint: the large-page queue
+    /// in LRU→MRU order, each large page's block queue in LRU→MRU
+    /// order, and the per-block page counts (sorted, for a canonical
+    /// encoding).
+    pub fn save_state(&self, w: &mut uvm_types::codec::ByteWriter) {
+        w.put_usize(self.large_pages.len());
+        for &lp in self.large_pages.iter() {
+            w.put_u64(lp.index());
+            let blocks = self.blocks.get(&lp);
+            w.put_usize(blocks.map_or(0, |q| q.len()));
+            if let Some(q) = blocks {
+                for &bb in q.iter() {
+                    w.put_u64(bb.index());
+                }
+            }
+        }
+        let mut counts: Vec<(BasicBlockId, u32)> =
+            self.pages_per_block.iter().map(|(&b, &c)| (b, c)).collect();
+        counts.sort_unstable_by_key(|(b, _)| *b);
+        w.put_usize(counts.len());
+        for (bb, count) in counts {
+            w.put_u64(bb.index());
+            w.put_u32(count);
+        }
+        w.put_u64(self.total_pages);
+    }
+
+    /// Rebuilds a hierarchy from a [`save_state`](Self::save_state)
+    /// image.
+    pub fn load_state(
+        r: &mut uvm_types::codec::ByteReader<'_>,
+    ) -> Result<Self, uvm_types::codec::CodecError> {
+        let mut h = HierarchicalLru::new();
+        let lps = r.get_usize()?;
+        for _ in 0..lps {
+            let lp = LargePageId::new(r.get_u64()?);
+            h.large_pages.touch(lp);
+            let nb = r.get_usize()?;
+            let q = h.blocks.entry(lp).or_default();
+            for _ in 0..nb {
+                q.touch(BasicBlockId::new(r.get_u64()?));
+            }
+        }
+        let nc = r.get_usize()?;
+        for _ in 0..nc {
+            let bb = BasicBlockId::new(r.get_u64()?);
+            let count = r.get_u32()?;
+            h.pages_per_block.insert(bb, count);
+        }
+        h.total_pages = r.get_u64()?;
+        Ok(h)
+    }
 }
 
 #[cfg(test)]

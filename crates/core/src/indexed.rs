@@ -141,6 +141,38 @@ impl IndexedPageSet {
     pub fn iter_ascending(&self) -> impl Iterator<Item = PageId> + '_ {
         self.bits.iter_ascending()
     }
+
+    /// Serializes the set for a checkpoint. The `items` vector is
+    /// written *verbatim* — its insertion/swap order is what
+    /// [`sample`](Self::sample) indexes into, so it is
+    /// schedule-observable and must round-trip exactly.
+    pub fn save_state(&self, w: &mut uvm_types::codec::ByteWriter) {
+        w.put_usize(self.items.len());
+        for page in &self.items {
+            w.put_u64(page.index());
+        }
+    }
+
+    /// Rebuilds a set from a [`save_state`](Self::save_state) image by
+    /// replaying inserts in the recorded order (insert appends, so the
+    /// items vector — and with it the sampling order — is reproduced
+    /// exactly, and the position table and bitmap follow).
+    pub fn load_state(
+        r: &mut uvm_types::codec::ByteReader<'_>,
+    ) -> Result<Self, uvm_types::codec::CodecError> {
+        let n = r.get_usize()?;
+        let mut set = IndexedPageSet::new();
+        for _ in 0..n {
+            let page = PageId::new(r.get_u64()?);
+            if !set.insert(page) {
+                return Err(uvm_types::codec::CodecError::BadTag {
+                    what: "duplicate page in indexed set",
+                    value: page.index(),
+                });
+            }
+        }
+        Ok(set)
+    }
 }
 
 #[cfg(test)]

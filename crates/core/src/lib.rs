@@ -57,6 +57,7 @@
 //! ```
 
 mod alloc;
+pub mod checkpoint;
 mod config;
 mod dense;
 pub mod evict;
@@ -75,10 +76,14 @@ mod tree;
 mod view;
 
 pub use alloc::{AllocId, Allocation, Allocations};
+pub use checkpoint::{
+    read_checkpoint, write_checkpoint, CheckpointError, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
 pub use config::UvmConfig;
 pub use dense::{DensePageMap, DensePageSet};
 pub use evict::{Evictor, MosaicEvictor};
 pub use fault::{FaultPlan, ParseFaultProfileError, READ_CHANNEL_TAG, WRITE_CHANNEL_TAG};
+pub use gmmu::AuditError;
 pub use gmmu::{FaultResolution, Gmmu};
 pub use hier::HierarchicalLru;
 pub use indexed::IndexedPageSet;

@@ -112,6 +112,38 @@ impl<K: Clone + Eq + Hash> LruQueue<K> {
     pub fn is_empty(&self) -> bool {
         self.by_stamp.is_empty()
     }
+
+    /// Serializes the queue for a checkpoint: elements in LRU→MRU
+    /// order, key encoding delegated to `put`. Raw stamp values are
+    /// *not* stored — only their order is observable — so restore
+    /// replays [`touch`](Self::touch) and gets re-normalized stamps
+    /// with identical recency order.
+    pub fn save_state(
+        &self,
+        w: &mut uvm_types::codec::ByteWriter,
+        mut put: impl FnMut(&mut uvm_types::codec::ByteWriter, &K),
+    ) {
+        w.put_usize(self.by_stamp.len());
+        for key in self.by_stamp.values() {
+            put(w, key);
+        }
+    }
+
+    /// Rebuilds a queue from a [`save_state`](Self::save_state) image,
+    /// key decoding delegated to `get`.
+    pub fn load_state<'a>(
+        r: &mut uvm_types::codec::ByteReader<'a>,
+        mut get: impl FnMut(
+            &mut uvm_types::codec::ByteReader<'a>,
+        ) -> Result<K, uvm_types::codec::CodecError>,
+    ) -> Result<Self, uvm_types::codec::CodecError> {
+        let n = r.get_usize()?;
+        let mut q = LruQueue::new();
+        for _ in 0..n {
+            q.touch(get(r)?);
+        }
+        Ok(q)
+    }
 }
 
 #[cfg(test)]

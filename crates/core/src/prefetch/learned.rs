@@ -141,6 +141,39 @@ impl Prefetcher for LearnedPrefetcher {
     fn box_clone(&self) -> Box<dyn Prefetcher> {
         Box::new(self.clone())
     }
+
+    fn save_state(&self, w: &mut uvm_types::codec::ByteWriter) {
+        // The table is frozen (rebuilt from the spec's path); only the
+        // modeled fault stream is mutable state.
+        w.put_usize(self.history.len());
+        for &d in &self.history {
+            w.put_i64(d);
+        }
+        match self.last_fault {
+            Some(p) => {
+                w.put_bool(true);
+                w.put_u64(p);
+            }
+            None => w.put_bool(false),
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut uvm_types::codec::ByteReader<'_>,
+    ) -> Result<(), uvm_types::codec::CodecError> {
+        let n = r.get_usize()?;
+        self.history.clear();
+        for _ in 0..n {
+            self.history.push_back(r.get_i64()?);
+        }
+        self.last_fault = if r.get_bool()? {
+            Some(r.get_u64()?)
+        } else {
+            None
+        };
+        Ok(())
+    }
 }
 
 #[cfg(test)]

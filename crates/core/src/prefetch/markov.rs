@@ -184,6 +184,65 @@ impl Prefetcher for MarkovPrefetcher {
     fn box_clone(&self) -> Box<dyn Prefetcher> {
         Box::new(self.clone())
     }
+
+    fn save_state(&self, w: &mut uvm_types::codec::ByteWriter) {
+        w.put_usize(self.history.len());
+        for &d in &self.history {
+            w.put_i64(d);
+        }
+        match self.last_fault {
+            Some(p) => {
+                w.put_bool(true);
+                w.put_u64(p);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_usize(self.table.len());
+        for (context, nexts) in &self.table {
+            w.put_usize(context.len());
+            for &d in context {
+                w.put_i64(d);
+            }
+            w.put_usize(nexts.len());
+            for (&d, &c) in nexts {
+                w.put_i64(d);
+                w.put_u32(c);
+            }
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut uvm_types::codec::ByteReader<'_>,
+    ) -> Result<(), uvm_types::codec::CodecError> {
+        let n = r.get_usize()?;
+        self.history.clear();
+        for _ in 0..n {
+            self.history.push_back(r.get_i64()?);
+        }
+        self.last_fault = if r.get_bool()? {
+            Some(r.get_u64()?)
+        } else {
+            None
+        };
+        self.table.clear();
+        let contexts = r.get_usize()?;
+        for _ in 0..contexts {
+            let len = r.get_usize()?;
+            let mut context = Vec::with_capacity(len);
+            for _ in 0..len {
+                context.push(r.get_i64()?);
+            }
+            let mut nexts = BTreeMap::new();
+            let entries = r.get_usize()?;
+            for _ in 0..entries {
+                let d = r.get_i64()?;
+                nexts.insert(d, r.get_u32()?);
+            }
+            self.table.insert(context, nexts);
+        }
+        Ok(())
+    }
 }
 
 /// Expands a delta predictor into up to `degree` candidate page

@@ -130,6 +130,72 @@ impl UvmStats {
             self.prefetched_used as f64 / resolved as f64
         }
     }
+
+    /// Serializes all counters for a checkpoint.
+    pub fn save_state(&self, w: &mut uvm_types::codec::ByteWriter) {
+        for v in [
+            self.accesses,
+            self.far_faults,
+            self.pages_migrated,
+            self.pages_prefetched,
+            self.pages_evicted,
+            self.evictions,
+            self.pages_thrashed,
+            self.prefetched_used,
+            self.prefetched_wasted,
+            self.clean_pages_written_back,
+            self.fault_injection.transfer_retries,
+            self.fault_injection.transfer_giveups,
+            self.fault_injection.migration_retries,
+            self.fault_injection.migration_giveups,
+            self.fault_injection.emergency_evictions,
+            self.fault_injection.jitter_cycles,
+            self.huge_pages.coalesces,
+            self.huge_pages.splinters,
+            self.huge_pages.forced_splinters,
+            self.huge_pages.alloc_splits,
+            self.huge_pages.alloc_merges,
+            self.huge_pages.regions_reserved,
+            self.huge_pages.region_steals,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    /// Rebuilds counters from a [`save_state`](Self::save_state) image.
+    pub fn load_state(
+        r: &mut uvm_types::codec::ByteReader<'_>,
+    ) -> Result<Self, uvm_types::codec::CodecError> {
+        Ok(UvmStats {
+            accesses: r.get_u64()?,
+            far_faults: r.get_u64()?,
+            pages_migrated: r.get_u64()?,
+            pages_prefetched: r.get_u64()?,
+            pages_evicted: r.get_u64()?,
+            evictions: r.get_u64()?,
+            pages_thrashed: r.get_u64()?,
+            prefetched_used: r.get_u64()?,
+            prefetched_wasted: r.get_u64()?,
+            clean_pages_written_back: r.get_u64()?,
+            fault_injection: FaultInjectionStats {
+                transfer_retries: r.get_u64()?,
+                transfer_giveups: r.get_u64()?,
+                migration_retries: r.get_u64()?,
+                migration_giveups: r.get_u64()?,
+                emergency_evictions: r.get_u64()?,
+                jitter_cycles: r.get_u64()?,
+            },
+            huge_pages: HugePageStats {
+                coalesces: r.get_u64()?,
+                splinters: r.get_u64()?,
+                forced_splinters: r.get_u64()?,
+                alloc_splits: r.get_u64()?,
+                alloc_merges: r.get_u64()?,
+                regions_reserved: r.get_u64()?,
+                region_steals: r.get_u64()?,
+            },
+        })
+    }
 }
 
 #[cfg(test)]

@@ -69,7 +69,9 @@ pub enum TraceKind {
 }
 
 impl TraceKind {
-    fn tag(self) -> u8 {
+    /// The wire tag byte of this kind (stable across releases; the
+    /// checkpoint codec reuses it to freeze pending export records).
+    pub fn tag(self) -> u8 {
         match self {
             TraceKind::AccessRead => 0,
             TraceKind::AccessWrite => 1,
@@ -78,7 +80,8 @@ impl TraceKind {
         }
     }
 
-    fn from_tag(tag: u8) -> Option<Self> {
+    /// Decodes a wire tag byte back into a kind.
+    pub fn from_tag(tag: u8) -> Option<Self> {
         match tag {
             0 => Some(TraceKind::AccessRead),
             1 => Some(TraceKind::AccessWrite),
@@ -204,12 +207,14 @@ impl<'a> Reader<'a> {
 
     fn u64_le(&mut self) -> Result<u64, TraceError> {
         let b = self.bytes(8)?;
-        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+        let b: [u8; 8] = b.try_into().map_err(|_| TraceError::Truncated)?;
+        Ok(u64::from_le_bytes(b))
     }
 
     fn u128_le(&mut self) -> Result<u128, TraceError> {
         let b = self.bytes(16)?;
-        Ok(u128::from_le_bytes(b.try_into().unwrap()))
+        let b: [u8; 16] = b.try_into().map_err(|_| TraceError::Truncated)?;
+        Ok(u128::from_le_bytes(b))
     }
 
     fn uvarint(&mut self) -> Result<u64, TraceError> {

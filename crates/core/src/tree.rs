@@ -80,6 +80,37 @@ impl AllocTree {
         self.extent
     }
 
+    /// Serializes the per-node valid counts for a checkpoint. The
+    /// extent is *not* stored — it is derivable from the allocation's
+    /// requested size, which the checkpoint records separately.
+    pub fn save_state(&self, w: &mut uvm_types::codec::ByteWriter) {
+        w.put_usize(self.valid.len());
+        for &v in &self.valid {
+            w.put_u32(v);
+        }
+    }
+
+    /// Restores valid counts saved by [`save_state`](Self::save_state)
+    /// into this (freshly rebuilt) tree. Rejects a node-count mismatch
+    /// — that means the checkpoint belongs to a different allocation
+    /// layout.
+    pub fn load_state(
+        &mut self,
+        r: &mut uvm_types::codec::ByteReader<'_>,
+    ) -> Result<(), uvm_types::codec::CodecError> {
+        let n = r.get_usize()?;
+        if n != self.valid.len() {
+            return Err(uvm_types::codec::CodecError::BadTag {
+                what: "alloc tree node count",
+                value: n as u64,
+            });
+        }
+        for v in &mut self.valid {
+            *v = r.get_u32()?;
+        }
+        Ok(())
+    }
+
     /// Total resident pages under the root.
     pub fn root_valid_pages(&self) -> u32 {
         self.valid[1]

@@ -406,6 +406,190 @@ impl Engine {
         }
     }
 
+    /// Serializes the full engine state for a durable checkpoint.
+    ///
+    /// Only legal at a kernel boundary, like [`snapshot`](Self::snapshot):
+    /// per-warp cursors are kernel-local, so the event queue must be
+    /// drained. The GPU configuration is *not* stored — the restore
+    /// path rebuilds the engine from the same `RunOptions` — but
+    /// structural parameters (SM count, radix-walk presence) are
+    /// cross-checked on load so a checkpoint can never be restored
+    /// into a differently shaped machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-kernel (events still queued).
+    pub fn save_state(&self, w: &mut uvm_types::codec::ByteWriter) {
+        assert!(
+            self.queue.is_empty(),
+            "engine checkpoint mid-kernel: the event queue still holds warp events"
+        );
+        w.put_u64(self.now.index());
+        self.gmmu.save_state(w);
+        w.put_usize(self.tlbs.len());
+        for tlb in &self.tlbs {
+            tlb.save_state(w);
+        }
+        self.shootdown.save_state(w);
+        match &self.walker {
+            Some(walker) => {
+                w.put_bool(true);
+                walker.save_state(w);
+            }
+            None => w.put_bool(false),
+        }
+        match &self.trace {
+            Some(trace) => {
+                w.put_bool(true);
+                w.put_usize(trace.len());
+                for ev in trace {
+                    w.put_u64(ev.cycle.index());
+                    w.put_u64(ev.page.index());
+                    w.put_usize(ev.warp);
+                    w.put_bool(ev.write);
+                }
+            }
+            None => w.put_bool(false),
+        }
+    }
+
+    /// Restores a [`save_state`](Self::save_state) image into an engine
+    /// freshly built from the same configuration.
+    pub fn load_state(
+        &mut self,
+        r: &mut uvm_types::codec::ByteReader<'_>,
+    ) -> Result<(), uvm_core::CheckpointError> {
+        use uvm_core::CheckpointError;
+
+        self.now = Cycle::new(r.get_u64()?);
+        self.gmmu.load_state(r)?;
+        let num_tlbs = r.get_usize()?;
+        if num_tlbs != self.cfg.num_sms {
+            return Err(CheckpointError::Incompatible(format!(
+                "checkpoint has {num_tlbs} SM TLBs but this run is configured for {}",
+                self.cfg.num_sms
+            )));
+        }
+        self.tlbs = (0..num_tlbs)
+            .map(|_| Tlb::load_state(r))
+            .collect::<Result<_, _>>()?;
+        self.shootdown = ShootdownDirectory::load_state(r)?;
+        if self.shootdown.num_units() != self.cfg.num_sms {
+            return Err(CheckpointError::Incompatible(format!(
+                "checkpoint shootdown directory tracks {} units but this run has {} SMs",
+                self.shootdown.num_units(),
+                self.cfg.num_sms
+            )));
+        }
+        let has_walker = r.get_bool()?;
+        if has_walker != self.walker.is_some() {
+            return Err(CheckpointError::Incompatible(format!(
+                "checkpoint {} a radix-walk model but this run {}",
+                if has_walker { "carries" } else { "lacks" },
+                if self.walker.is_some() {
+                    "expects one"
+                } else {
+                    "does not"
+                },
+            )));
+        }
+        if has_walker {
+            self.walker = Some(RadixWalkModel::load_state(r)?);
+        }
+        self.trace = if r.get_bool()? {
+            let n = r.get_usize()?;
+            let mut trace = Vec::with_capacity(n);
+            for _ in 0..n {
+                trace.push(TraceEvent {
+                    cycle: Cycle::new(r.get_u64()?),
+                    page: PageId::new(r.get_u64()?),
+                    warp: r.get_usize()?,
+                    write: r.get_bool()?,
+                });
+            }
+            Some(trace)
+        } else {
+            None
+        };
+        Ok(())
+    }
+
+    /// Audits the engine-level invariants on top of
+    /// [`Gmmu::audit`]: every cached TLB translation must be
+    /// consistent with the shootdown directory's generation counters
+    /// and holder bits, both directions, and every cached huge-page
+    /// epoch must be bounded by the driver's current epoch.
+    ///
+    /// The strong form holds because the engine always pairs
+    /// `bump(evicted)` with an immediate `drain_holders`, so a stale
+    /// entry or dangling holder bit can never survive an eviction.
+    /// Read-only and schedule-inert.
+    pub fn audit(&self) -> Result<(), uvm_core::AuditError> {
+        let mut violations = match self.gmmu.audit() {
+            Ok(()) => Vec::new(),
+            Err(e) => e.violations,
+        };
+        // Per-SM maps of what each TLB currently caches, for O(1)
+        // cross-checks in both directions.
+        let held: Vec<std::collections::HashMap<PageId, u32>> = self
+            .tlbs
+            .iter()
+            .map(|tlb| tlb.iter_entries().collect())
+            .collect();
+        for (sm, entries) in held.iter().enumerate() {
+            for (&page, &gen) in entries {
+                let current = self.shootdown.generation(page);
+                if gen > current {
+                    violations.push(format!(
+                        "SM{sm} TLB caches {page} at generation {gen}, \
+                         ahead of the directory's {current}"
+                    ));
+                } else if gen == current {
+                    if !self.gmmu.is_resident(page) {
+                        violations.push(format!(
+                            "SM{sm} TLB holds a live translation for non-resident {page}"
+                        ));
+                    }
+                    if !self.shootdown.holders_of(page).contains(&sm) {
+                        violations.push(format!(
+                            "SM{sm} TLB holds {page} but its holder bit is clear"
+                        ));
+                    }
+                }
+            }
+        }
+        for (page, sm) in self.shootdown.iter_holders() {
+            match held.get(sm).and_then(|entries| entries.get(&page)) {
+                Some(&gen) if gen == self.shootdown.generation(page) => {}
+                Some(&gen) => violations.push(format!(
+                    "holder bit says SM{sm} caches {page} but its entry is stale \
+                     (generation {gen} vs {})",
+                    self.shootdown.generation(page)
+                )),
+                None => violations.push(format!(
+                    "holder bit says SM{sm} caches {page} but its TLB has no entry"
+                )),
+            }
+        }
+        for (sm, tlb) in self.tlbs.iter().enumerate() {
+            for (lp, epoch) in tlb.iter_huge() {
+                match self.gmmu.huge_epoch(lp) {
+                    Some(current) if epoch <= current => {}
+                    Some(current) => violations.push(format!(
+                        "SM{sm} huge TLB caches {lp} at epoch {epoch}, \
+                         ahead of the driver's {current}"
+                    )),
+                    None => violations.push(format!("SM{sm} huge TLB caches never-promoted {lp}")),
+                }
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(uvm_core::AuditError { violations })
+        }
+    }
+
     fn complete_access(&mut self, access: Access, done: Cycle, warp: usize) {
         self.gmmu.record_access(access.page(), access.write);
         if let Some(trace) = &mut self.trace {
@@ -445,6 +629,17 @@ impl EngineSnapshot {
     /// The frozen clock.
     pub fn now(&self) -> Cycle {
         self.inner.now
+    }
+
+    /// Serializes the frozen state (a snapshot is always at a kernel
+    /// boundary, so this cannot panic).
+    pub fn save_state(&self, w: &mut uvm_types::codec::ByteWriter) {
+        self.inner.save_state(w);
+    }
+
+    /// Audits the frozen state (see [`Engine::audit`]).
+    pub fn audit(&self) -> Result<(), uvm_core::AuditError> {
+        self.inner.audit()
     }
 }
 
@@ -681,6 +876,119 @@ mod tests {
         assert!(cap >= 64);
         e.run_kernel(KernelSpec::new("b").with_block(seq_reads(base, 32)));
         assert_eq!(e.arena.capacity(), cap, "smaller kernel reuses the arena");
+    }
+
+    /// Builds a fresh engine from `cfg`, restores `image` into it, and
+    /// checks the restored engine re-serializes identically.
+    fn restore(image: &[u8], cfg: UvmConfig, alloc: Bytes) -> Engine {
+        let mut gmmu = Gmmu::new(cfg);
+        gmmu.malloc_managed(alloc);
+        let mut e = Engine::new(gmmu, GpuConfig::default());
+        let mut r = uvm_types::codec::ByteReader::new(image);
+        e.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+        e.audit().unwrap();
+        let mut w = uvm_types::codec::ByteWriter::new();
+        e.save_state(&mut w);
+        assert_eq!(image, w.into_bytes(), "restored engine diverges");
+        e
+    }
+
+    #[test]
+    fn checkpoint_resume_is_byte_identical_under_thrashing() {
+        let cfg = UvmConfig::default()
+            .with_capacity(Bytes::kib(256))
+            .with_prefetch(PrefetchPolicy::SequentialLocal)
+            .with_evict(EvictPolicy::LruPage);
+        let (mut e, base) = engine_with(cfg.clone(), Bytes::mib(1));
+        e.run_kernel(KernelSpec::new("warm").with_block(seq_reads(base, 128)));
+        e.audit().unwrap();
+        let mut w = uvm_types::codec::ByteWriter::new();
+        e.save_state(&mut w);
+        let image = w.into_bytes();
+        let mut resumed = restore(&image, cfg, Bytes::mib(1));
+        // Both engines run the same second kernel: identical timing,
+        // stats, and a second checkpoint with identical bytes.
+        let t1 = e.run_kernel(KernelSpec::new("again").with_block(seq_reads(base, 128)));
+        let t2 = resumed.run_kernel(KernelSpec::new("again").with_block(seq_reads(base, 128)));
+        assert_eq!(t1, t2);
+        assert_eq!(e.gmmu().stats(), resumed.gmmu().stats());
+        let (mut w1, mut w2) = (
+            uvm_types::codec::ByteWriter::new(),
+            uvm_types::codec::ByteWriter::new(),
+        );
+        e.save_state(&mut w1);
+        resumed.save_state(&mut w2);
+        assert_eq!(w1.into_bytes(), w2.into_bytes());
+        e.audit().unwrap();
+        resumed.audit().unwrap();
+    }
+
+    #[test]
+    fn checkpoint_resume_replays_chaos_identically() {
+        use uvm_core::FaultPlan;
+        let cfg = UvmConfig::default()
+            .with_capacity(Bytes::kib(256))
+            .with_prefetch(PrefetchPolicy::None)
+            .with_evict(EvictPolicy::LruPage)
+            .with_fault_plan(FaultPlan::chaos().with_seed(0xfa11));
+        // Reference: uninterrupted two-kernel run.
+        let (mut reference, base) = engine_with(cfg.clone(), Bytes::mib(1));
+        reference.run_kernel(KernelSpec::new("a").with_block(seq_reads(base, 128)));
+        let t_ref = reference.run_kernel(KernelSpec::new("b").with_block(seq_reads(base, 96)));
+        // Checkpointed: same first kernel, save, restore, second kernel.
+        let (mut e, base) = engine_with(cfg.clone(), Bytes::mib(1));
+        e.run_kernel(KernelSpec::new("a").with_block(seq_reads(base, 128)));
+        e.audit().unwrap();
+        let mut w = uvm_types::codec::ByteWriter::new();
+        e.save_state(&mut w);
+        let mut resumed = restore(&w.into_bytes(), cfg, Bytes::mib(1));
+        let t = resumed.run_kernel(KernelSpec::new("b").with_block(seq_reads(base, 96)));
+        assert_eq!(t, t_ref, "resume diverged from the uninterrupted run");
+        assert_eq!(resumed.gmmu().stats(), reference.gmmu().stats());
+        assert!(!resumed.gmmu().stats().fault_injection.is_clean());
+    }
+
+    #[test]
+    fn checkpoint_rejects_mismatched_machine_shape() {
+        let (mut e, base) = engine_with(UvmConfig::default(), Bytes::mib(1));
+        e.run_kernel(KernelSpec::new("k").with_block(seq_reads(base, 8)));
+        let mut w = uvm_types::codec::ByteWriter::new();
+        e.save_state(&mut w);
+        let image = w.into_bytes();
+        let mut gmmu = Gmmu::new(UvmConfig::default());
+        gmmu.malloc_managed(Bytes::mib(1));
+        let mut other = Engine::new(
+            gmmu,
+            GpuConfig {
+                num_sms: 4,
+                ..GpuConfig::default()
+            },
+        );
+        let mut r = uvm_types::codec::ByteReader::new(&image);
+        let err = other.load_state(&mut r).unwrap_err();
+        assert!(
+            matches!(err, uvm_core::CheckpointError::Incompatible(_)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn audit_catches_a_stale_holder_bit() {
+        let (mut e, base) = engine_with(
+            UvmConfig::default().with_prefetch(PrefetchPolicy::None),
+            Bytes::mib(1),
+        );
+        e.run_kernel(KernelSpec::new("k").with_block(seq_reads(base, 4)));
+        e.audit().unwrap();
+        // Plant a holder bit for a page no TLB caches: the reverse
+        // cross-check must flag it.
+        e.shootdown.note_fill(base.page().add(100), 3);
+        let err = e.audit().unwrap_err();
+        assert!(
+            err.violations.iter().any(|v| v.contains("holder bit")),
+            "{err}"
+        );
     }
 
     #[test]

@@ -154,6 +154,51 @@ impl PcieChannel {
     pub fn model(&self) -> &PcieModel {
         &self.model
     }
+
+    /// Serializes the channel's mutable state for a checkpoint: the
+    /// link backlog, statistics, and (if armed) the fault-injector's
+    /// RNG position. The cost model and fault *config* are derivable
+    /// from run options and are not stored.
+    pub fn save_state(&self, w: &mut uvm_types::codec::ByteWriter) {
+        w.put_u64(self.next_free.index());
+        self.stats.save_state(w);
+        match &self.faults {
+            None => w.put_bool(false),
+            Some(f) => {
+                w.put_bool(true);
+                for word in f.rng.state() {
+                    w.put_u64(word);
+                }
+            }
+        }
+    }
+
+    /// Restores a [`save_state`](Self::save_state) image into this
+    /// channel. The channel must have been constructed with the same
+    /// model and fault arming as the one that saved — a mismatch in
+    /// fault arming is rejected as corrupt input.
+    pub fn load_state(
+        &mut self,
+        r: &mut uvm_types::codec::ByteReader<'_>,
+    ) -> Result<(), uvm_types::codec::CodecError> {
+        self.next_free = Cycle::new(r.get_u64()?);
+        self.stats = ChannelStats::load_state(r)?;
+        let armed = r.get_bool()?;
+        if armed != self.faults.is_some() {
+            return Err(uvm_types::codec::CodecError::BadTag {
+                what: "channel fault arming",
+                value: u64::from(armed),
+            });
+        }
+        if let Some(f) = &mut self.faults {
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                *word = r.get_u64()?;
+            }
+            f.rng = SmallRng::from_state(s);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -43,6 +43,31 @@ impl TransferSizeHistogram {
     pub fn iter(&self) -> impl Iterator<Item = (Bytes, u64)> + '_ {
         self.counts.iter().map(|(&s, &c)| (s, c))
     }
+
+    /// Serializes the histogram for a checkpoint (sizes ascending, so
+    /// the encoding is canonical).
+    pub fn save_state(&self, w: &mut uvm_types::codec::ByteWriter) {
+        w.put_usize(self.counts.len());
+        for (&size, &count) in &self.counts {
+            w.put_u64(size.bytes());
+            w.put_u64(count);
+        }
+    }
+
+    /// Rebuilds a histogram from a [`save_state`](Self::save_state)
+    /// image.
+    pub fn load_state(
+        r: &mut uvm_types::codec::ByteReader<'_>,
+    ) -> Result<Self, uvm_types::codec::CodecError> {
+        let n = r.get_usize()?;
+        let mut counts = BTreeMap::new();
+        for _ in 0..n {
+            let size = Bytes::new(r.get_u64()?);
+            let count = r.get_u64()?;
+            counts.insert(size, count);
+        }
+        Ok(TransferSizeHistogram { counts })
+    }
 }
 
 /// Aggregate statistics for one direction of the PCI-e link.
@@ -87,6 +112,29 @@ impl ChannelStats {
     /// Total number of transfers.
     pub fn transfers(&self) -> u64 {
         self.histogram.total()
+    }
+
+    /// Serializes the statistics for a checkpoint.
+    pub fn save_state(&self, w: &mut uvm_types::codec::ByteWriter) {
+        w.put_u64(self.bytes.bytes());
+        w.put_u64(self.busy.cycles());
+        self.histogram.save_state(w);
+        w.put_u64(self.retries);
+        w.put_u64(self.giveups);
+    }
+
+    /// Rebuilds statistics from a [`save_state`](Self::save_state)
+    /// image.
+    pub fn load_state(
+        r: &mut uvm_types::codec::ByteReader<'_>,
+    ) -> Result<Self, uvm_types::codec::CodecError> {
+        Ok(ChannelStats {
+            bytes: Bytes::new(r.get_u64()?),
+            busy: Duration::from_cycles(r.get_u64()?),
+            histogram: TransferSizeHistogram::load_state(r)?,
+            retries: r.get_u64()?,
+            giveups: r.get_u64()?,
+        })
     }
 }
 

@@ -87,6 +87,13 @@ impl FrameId {
     pub const fn index(self) -> u64 {
         self.0
     }
+
+    /// Rebuilds a frame id from a raw index. Exists solely so
+    /// checkpoint restore can re-materialize page→frame tables; new
+    /// frames must still come from a [`FrameAllocator`].
+    pub const fn from_index(index: u64) -> Self {
+        FrameId(index)
+    }
 }
 
 /// Split/merge/fragmentation counters for the buddy allocator.
@@ -472,6 +479,110 @@ impl FrameAllocator {
             self.stats.splits += 1;
         }
         Some(base)
+    }
+
+    /// Serializes the complete allocator state for a checkpoint. The
+    /// order-0 free list and per-order block lists are written in their
+    /// exact LIFO order — `allocate()` pops from the back, so list
+    /// order is schedule-observable and must round-trip verbatim.
+    pub fn save_state(&self, w: &mut uvm_types::codec::ByteWriter) {
+        w.put_u64(self.capacity);
+        w.put_usize(self.free_list.len());
+        for f in &self.free_list {
+            w.put_u64(f.0);
+        }
+        w.put_usize(self.free_blocks.len());
+        for list in &self.free_blocks {
+            w.put_usize(list.len());
+            for &base in list {
+                w.put_u64(base);
+            }
+        }
+        w.put_u64(self.next_unused);
+        w.put_u64(self.in_use);
+        w.put_usize(self.regions.len());
+        for (&base, region) in &self.regions {
+            w.put_u64(base);
+            for &word in &region.free_mask {
+                w.put_u64(word);
+            }
+            w.put_u64(u64::from(region.free_count));
+        }
+        w.put_u64(self.stats.splits);
+        w.put_u64(self.stats.merges);
+        w.put_u64(self.stats.regions_reserved);
+        w.put_u64(self.stats.region_steals);
+    }
+
+    /// Rebuilds an allocator from a [`save_state`](Self::save_state)
+    /// image.
+    pub fn load_state(
+        r: &mut uvm_types::codec::ByteReader<'_>,
+    ) -> Result<Self, uvm_types::codec::CodecError> {
+        use uvm_types::codec::CodecError;
+        let capacity = r.get_u64()?;
+        let n = r.get_usize()?;
+        let mut free_list = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            free_list.push(FrameId(r.get_u64()?));
+        }
+        let orders = r.get_usize()?;
+        if orders != MAX_FRAME_ORDER as usize + 1 {
+            return Err(CodecError::BadTag {
+                what: "frame-order count",
+                value: orders as u64,
+            });
+        }
+        let mut free_blocks = Vec::with_capacity(orders);
+        for _ in 0..orders {
+            let n = r.get_usize()?;
+            let mut list = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                list.push(r.get_u64()?);
+            }
+            free_blocks.push(list);
+        }
+        let next_unused = r.get_u64()?;
+        let in_use = r.get_u64()?;
+        let n = r.get_usize()?;
+        let mut regions = BTreeMap::new();
+        for _ in 0..n {
+            let base = r.get_u64()?;
+            let mut free_mask = [0u64; (REGION_FRAMES / 64) as usize];
+            for word in &mut free_mask {
+                *word = r.get_u64()?;
+            }
+            let free_count = r.get_u64()?;
+            let counted: u32 = free_mask.iter().map(|w| w.count_ones()).sum();
+            if free_count != u64::from(counted) || free_count > REGION_FRAMES {
+                return Err(CodecError::BadTag {
+                    what: "region free count",
+                    value: free_count,
+                });
+            }
+            regions.insert(
+                base,
+                Region {
+                    free_mask,
+                    free_count: free_count as u16,
+                },
+            );
+        }
+        let stats = FrameAllocStats {
+            splits: r.get_u64()?,
+            merges: r.get_u64()?,
+            regions_reserved: r.get_u64()?,
+            region_steals: r.get_u64()?,
+        };
+        Ok(FrameAllocator {
+            capacity,
+            free_list,
+            free_blocks,
+            next_unused,
+            in_use,
+            regions,
+            stats,
+        })
     }
 
     /// Last-resort single-frame source: steal the highest free slot of

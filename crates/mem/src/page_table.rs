@@ -124,6 +124,54 @@ impl PageTable {
             .filter(|(_, e)| e.valid)
             .map(|(&p, _)| p)
     }
+
+    /// Serializes the table for a checkpoint. Only valid entries are
+    /// written (an invalid PTE is indistinguishable from a missing
+    /// one — `invalidate` resets every flag), sorted by page index so
+    /// the encoding is canonical regardless of hash-map layout.
+    pub fn save_state(&self, w: &mut uvm_types::codec::ByteWriter) {
+        let mut valid: Vec<(PageId, PteFlags)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.valid)
+            .map(|(&p, &e)| (p, e))
+            .collect();
+        valid.sort_unstable_by_key(|(p, _)| *p);
+        w.put_usize(valid.len());
+        for (page, flags) in valid {
+            w.put_u64(page.index());
+            w.put_u8(u8::from(flags.accessed) | (u8::from(flags.dirty) << 1));
+        }
+    }
+
+    /// Rebuilds a table from a [`save_state`](Self::save_state) image.
+    pub fn load_state(
+        r: &mut uvm_types::codec::ByteReader<'_>,
+    ) -> Result<Self, uvm_types::codec::CodecError> {
+        let n = r.get_usize()?;
+        let mut pt = PageTable::new();
+        pt.entries.reserve(n.min(1 << 20));
+        for _ in 0..n {
+            let page = PageId::new(r.get_u64()?);
+            let bits = r.get_u8()?;
+            if bits > 0b11 {
+                return Err(uvm_types::codec::CodecError::BadTag {
+                    what: "pte flags",
+                    value: u64::from(bits),
+                });
+            }
+            pt.entries.insert(
+                page,
+                PteFlags {
+                    valid: true,
+                    accessed: bits & 1 != 0,
+                    dirty: bits & 2 != 0,
+                },
+            );
+            pt.valid_count += 1;
+        }
+        Ok(pt)
+    }
 }
 
 #[cfg(test)]

@@ -119,6 +119,80 @@ impl ShootdownDirectory {
         }
     }
 
+    /// Iterates every `(page, unit)` pair with a set holder bit, in
+    /// page order — the auditor's full read-only view of the holder
+    /// table.
+    pub fn iter_holders(&self) -> impl Iterator<Item = (PageId, usize)> + '_ {
+        (0..self.generations.len()).flat_map(move |i| {
+            let page = PageId::new(i as u64);
+            self.holders_of(page).into_iter().map(move |u| (page, u))
+        })
+    }
+
+    /// The units currently recorded as holding `page`, without
+    /// draining them — the auditor's read-only view.
+    pub fn holders_of(&self, page: PageId) -> Vec<usize> {
+        let i = page.index() as usize;
+        let base = i * self.words;
+        let mut units = Vec::new();
+        if base >= self.holders.len() {
+            return units;
+        }
+        for w in 0..self.words {
+            let mut word = self.holders[base + w];
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                units.push(w * 64 + bit);
+            }
+        }
+        units
+    }
+
+    /// Serializes the directory for a checkpoint: the dense generation
+    /// and holder tables verbatim (table *length* is growth history,
+    /// which `generation()` reads through, so it round-trips exactly).
+    pub fn save_state(&self, w: &mut uvm_types::codec::ByteWriter) {
+        w.put_usize(self.num_units);
+        w.put_usize(self.generations.len());
+        for &g in &self.generations {
+            w.put_u32(g);
+        }
+        for &word in &self.holders {
+            w.put_u64(word);
+        }
+    }
+
+    /// Rebuilds a directory from a [`save_state`](Self::save_state)
+    /// image.
+    pub fn load_state(
+        r: &mut uvm_types::codec::ByteReader<'_>,
+    ) -> Result<Self, uvm_types::codec::CodecError> {
+        let num_units = r.get_usize()?;
+        if num_units == 0 {
+            return Err(uvm_types::codec::CodecError::BadTag {
+                what: "shootdown units",
+                value: 0,
+            });
+        }
+        let words = num_units.div_ceil(64);
+        let pages = r.get_usize()?;
+        let mut generations = Vec::with_capacity(pages.min(1 << 24));
+        for _ in 0..pages {
+            generations.push(r.get_u32()?);
+        }
+        let mut holders = Vec::with_capacity((pages * words).min(1 << 24));
+        for _ in 0..pages * words {
+            holders.push(r.get_u64()?);
+        }
+        Ok(ShootdownDirectory {
+            generations,
+            holders,
+            words,
+            num_units,
+        })
+    }
+
     /// Grows the tables to cover page index `i`.
     fn grow_to(&mut self, i: usize) {
         if i >= self.generations.len() {

@@ -269,6 +269,91 @@ impl Tlb {
         (self.hits, self.misses)
     }
 
+    /// Serializes the TLB for a checkpoint: capacity, the live entries
+    /// in LRU→MRU order with their generation stamps, the lifetime
+    /// counters, and the huge-page side table (sorted by large page).
+    ///
+    /// Slot indices and the free list are *not* recorded — they are
+    /// implementation details no lookup can observe. Restore replays
+    /// the entries through [`fill_gen`](Self::fill_gen) in recency
+    /// order, which reproduces the observable state exactly.
+    pub fn save_state(&self, w: &mut uvm_types::codec::ByteWriter) {
+        w.put_usize(self.capacity);
+        w.put_usize(self.index.len());
+        let mut slot = self.lru;
+        while slot != NIL {
+            let s = &self.slots[slot as usize];
+            w.put_u64(s.page.index());
+            w.put_u32(s.generation);
+            slot = s.next;
+        }
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+        let mut huge: Vec<(LargePageId, u64)> = self.huge.iter().map(|(&l, &e)| (l, e)).collect();
+        huge.sort_unstable_by_key(|(l, _)| *l);
+        w.put_usize(huge.len());
+        for (lp, epoch) in huge {
+            w.put_u64(lp.index());
+            w.put_u64(epoch);
+        }
+    }
+
+    /// Rebuilds a TLB from a [`save_state`](Self::save_state) image.
+    pub fn load_state(
+        r: &mut uvm_types::codec::ByteReader<'_>,
+    ) -> Result<Self, uvm_types::codec::CodecError> {
+        let capacity = r.get_usize()?;
+        if capacity == 0 {
+            return Err(uvm_types::codec::CodecError::BadTag {
+                what: "tlb capacity",
+                value: 0,
+            });
+        }
+        let mut tlb = Tlb::new(capacity);
+        let n = r.get_usize()?;
+        if n > capacity {
+            return Err(uvm_types::codec::CodecError::BadTag {
+                what: "tlb entry count",
+                value: n as u64,
+            });
+        }
+        for _ in 0..n {
+            let page = PageId::new(r.get_u64()?);
+            let generation = r.get_u32()?;
+            tlb.fill_gen(page, generation);
+        }
+        tlb.hits = r.get_u64()?;
+        tlb.misses = r.get_u64()?;
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            let lp = LargePageId::new(r.get_u64()?);
+            let epoch = r.get_u64()?;
+            tlb.huge.insert(lp, epoch);
+        }
+        Ok(tlb)
+    }
+
+    /// Iterates the cached 4 KB translations in LRU→MRU order as
+    /// `(page, generation)` — the auditor's view of what each SM still
+    /// holds.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (PageId, u32)> + '_ {
+        let mut slot = self.lru;
+        std::iter::from_fn(move || {
+            if slot == NIL {
+                return None;
+            }
+            let s = &self.slots[slot as usize];
+            slot = s.next;
+            Some((s.page, s.generation))
+        })
+    }
+
+    /// Iterates the cached huge-page translations (arbitrary order) as
+    /// `(large page, epoch stamp)`.
+    pub fn iter_huge(&self) -> impl Iterator<Item = (LargePageId, u64)> + '_ {
+        self.huge.iter().map(|(&l, &e)| (l, e))
+    }
+
     /// Inserts a page known to be absent, evicting the LRU entry when
     /// at capacity.
     fn insert_new(&mut self, page: PageId, generation: u32) -> Option<PageId> {

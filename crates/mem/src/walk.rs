@@ -105,6 +105,59 @@ impl RadixWalkModel {
         self.cache.push_back((level, prefix));
     }
 
+    /// Serializes the walker for a checkpoint: configuration, the
+    /// walk cache in LRU order, and the lifetime counters.
+    pub fn save_state(&self, w: &mut uvm_types::codec::ByteWriter) {
+        w.put_u64(self.per_level.cycles());
+        w.put_u32(self.levels);
+        w.put_usize(self.capacity);
+        w.put_usize(self.cache.len());
+        for &(level, prefix) in &self.cache {
+            w.put_u32(level);
+            w.put_u64(prefix);
+        }
+        w.put_u64(self.walks);
+        w.put_u64(self.levels_touched);
+    }
+
+    /// Rebuilds a walker from a [`save_state`](Self::save_state) image.
+    pub fn load_state(
+        r: &mut uvm_types::codec::ByteReader<'_>,
+    ) -> Result<Self, uvm_types::codec::CodecError> {
+        let per_level = Duration::from_cycles(r.get_u64()?);
+        let levels = r.get_u32()?;
+        let capacity = r.get_usize()?;
+        if capacity == 0 {
+            return Err(uvm_types::codec::CodecError::BadTag {
+                what: "walk cache capacity",
+                value: 0,
+            });
+        }
+        let n = r.get_usize()?;
+        if n > capacity {
+            return Err(uvm_types::codec::CodecError::BadTag {
+                what: "walk cache entries",
+                value: n as u64,
+            });
+        }
+        let mut cache = VecDeque::with_capacity(capacity);
+        for _ in 0..n {
+            let level = r.get_u32()?;
+            let prefix = r.get_u64()?;
+            cache.push_back((level, prefix));
+        }
+        let walks = r.get_u64()?;
+        let levels_touched = r.get_u64()?;
+        Ok(RadixWalkModel {
+            per_level,
+            levels,
+            cache,
+            capacity,
+            walks,
+            levels_touched,
+        })
+    }
+
     /// Mean levels touched per walk over the model's lifetime
     /// (4.0 = every walk cold, 1.0 = perfect upper-level caching).
     pub fn mean_levels_per_walk(&self) -> f64 {

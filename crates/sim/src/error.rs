@@ -40,27 +40,48 @@ pub enum RunError {
         /// Attempts made.
         attempts: u32,
     },
+    /// The simulation finished but a durability side-effect failed —
+    /// trace export to a full or read-only disk, a checkpoint that
+    /// could not be written or belongs to a foreign revision, or an
+    /// invariant-audit violation (see
+    /// [`SimError`](crate::run::SimError)).
+    Failed {
+        /// Workload name of the failed run.
+        name: String,
+        /// Dedup key of the failed run.
+        key: RunKey,
+        /// The rendered [`SimError`](crate::run::SimError).
+        message: String,
+        /// Attempts made.
+        attempts: u32,
+    },
 }
 
 impl RunError {
     /// Workload name of the failed run.
     pub fn name(&self) -> &str {
         match self {
-            RunError::Panicked { name, .. } | RunError::TimedOut { name, .. } => name,
+            RunError::Panicked { name, .. }
+            | RunError::TimedOut { name, .. }
+            | RunError::Failed { name, .. } => name,
         }
     }
 
     /// Dedup key of the failed run.
     pub fn key(&self) -> RunKey {
         match self {
-            RunError::Panicked { key, .. } | RunError::TimedOut { key, .. } => *key,
+            RunError::Panicked { key, .. }
+            | RunError::TimedOut { key, .. }
+            | RunError::Failed { key, .. } => *key,
         }
     }
 
     /// Attempts made before giving up.
     pub fn attempts(&self) -> u32 {
         match self {
-            RunError::Panicked { attempts, .. } | RunError::TimedOut { attempts, .. } => *attempts,
+            RunError::Panicked { attempts, .. }
+            | RunError::TimedOut { attempts, .. }
+            | RunError::Failed { attempts, .. } => *attempts,
         }
     }
 }
@@ -90,6 +111,16 @@ impl fmt::Display for RunError {
                 key.to_hex(),
                 timeout
             ),
+            RunError::Failed {
+                name,
+                key,
+                message,
+                attempts,
+            } => write!(
+                f,
+                "run '{name}' ({}) failed after {attempts} attempt(s): {message}",
+                key.to_hex()
+            ),
         }
     }
 }
@@ -105,6 +136,15 @@ pub struct ExecutionReport {
     pub results: Vec<Option<Arc<RunResult>>>,
     /// Every distinct failed run of this sweep.
     pub failures: Vec<RunError>,
+    /// Unique runs the sweep journal recorded as completed before a
+    /// crash and that were satisfied from a verified spill-cache entry
+    /// instead of re-simulating (only non-zero under
+    /// [`Plan::resume`](crate::Plan::resume)).
+    pub recovered: usize,
+    /// Unique runs the journal recorded as submitted-but-unfinished
+    /// (interrupted by the crash) that this sweep restarted — from
+    /// their latest valid checkpoint when one exists.
+    pub resumed: usize,
 }
 
 impl ExecutionReport {
@@ -148,7 +188,7 @@ mod tests {
         assert!(ExecutionReport::default().is_complete());
         let partial = ExecutionReport {
             results: vec![None],
-            failures: Vec::new(),
+            ..ExecutionReport::default()
         };
         assert!(!partial.is_complete());
     }

@@ -28,7 +28,15 @@
 //! * spill entries carry a `uvmspill v3 crc=…` header and are
 //!   published atomically (temp file + rename), so a crash mid-write
 //!   or bit rot is detected, the entry quarantined as `*.corrupt`,
-//!   and the run recomputed instead of misread.
+//!   and the run recomputed instead of misread;
+//! * typed simulation failures (checkpoint I/O, trace export to a
+//!   dead disk, invariant-audit violations) surface as
+//!   [`RunError::Failed`] instead of panics;
+//! * an optional write-ahead sweep journal
+//!   ([`Executor::with_journal`]) records submit/complete per unique
+//!   run, and [`Plan::resume`] replays it after a crash — completed
+//!   runs are served from verified spill entries, interrupted ones
+//!   restart from their latest checkpoint.
 //!
 //! Results are returned in submission order, so a plan's output is
 //! byte-identical no matter how many workers execute it.
@@ -76,7 +84,10 @@ use uvm_types::{Bytes, Duration};
 use uvm_workloads::Workload;
 
 use crate::error::{ExecutionReport, RunError};
-use crate::run::{resume_run, run_workload, simulate_prefix, RunOptions, RunResult, SweepPrefix};
+use crate::journal::Journal;
+use crate::run::{
+    simulate_prefix, try_resume_run, try_run_workload, RunOptions, RunResult, SweepPrefix,
+};
 
 /// Spill-format version; bump when [`RunResult`] fields change so
 /// stale cache entries are ignored rather than misread.
@@ -93,16 +104,23 @@ const SIM_REVISION: u64 = 3;
 /// Two runs get the same key exactly when they simulate the same
 /// workload (same [`Workload::signature`]) under the same
 /// [`RunOptions`] — fault plan included — on the same simulator
-/// revision; any change produces a different key. The key also names
-/// the on-disk spill entry, so it must not depend on the process's
-/// hash seeds — it is built on the FNV-based [`StableHasher`].
+/// revision; any change produces a different key. Durability-only
+/// options (the checkpoint spec, the audit flag) are deliberately
+/// *excluded*: they must never change results, so a checkpointed run
+/// and a plain run share one cache entry — and the key doubles as the
+/// checkpoint file's name, letting a resumed sweep find the partial
+/// state of the exact run it is re-attempting. The key also names the
+/// on-disk spill entry, so it must not depend on the process's hash
+/// seeds — it is built on the FNV-based [`StableHasher`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RunKey(u128);
 
-/// Hashes every [`RunOptions`] field shared by a sweep's prefix —
-/// everything except the tail `prefetch`/`evict` pair. Both the run
-/// key and the prefix-group digest build on this, so the two can never
-/// silently disagree about what "same prefix" means.
+/// Hashes every behaviour-affecting [`RunOptions`] field shared by a
+/// sweep's prefix — everything except the tail `prefetch`/`evict`
+/// pair. Both the run key and the prefix-group digest build on this,
+/// so the two can never silently disagree about what "same prefix"
+/// means. The `checkpoint` and `audit` fields are intentionally NOT
+/// hashed: checkpointing off must be a strict no-op on identity.
 fn hash_shared_opts(h: &mut StableHasher, opts: &RunOptions) {
     h.write_opt_f64(opts.memory_frac);
     h.write_bool(opts.disable_prefetch_on_oversubscription);
@@ -208,9 +226,19 @@ impl RunKey {
         RunKey(digest)
     }
 
-    /// The key as a fixed-width hex string (the spill file stem).
+    /// The key as a fixed-width hex string (the spill file stem and
+    /// the checkpoint file stem).
     pub fn to_hex(self) -> String {
         format!("{:032x}", self.0)
+    }
+
+    /// Parses a key back from its [`to_hex`](Self::to_hex) rendering —
+    /// the form the sweep journal stores on disk.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(RunKey)
     }
 }
 
@@ -280,7 +308,7 @@ impl<'e, 'w> Plan<'e, 'w> {
     /// [`try_execute`](Self::try_execute) to keep the surviving
     /// results instead.
     pub fn execute(self) -> Vec<Arc<RunResult>> {
-        let report = self.exec.execute_report(self.subs);
+        let report = self.exec.execute_report(self.subs, false);
         if !report.failures.is_empty() {
             let mut msg = String::from("experiment sweep failed:\n");
             for f in &report.failures {
@@ -302,7 +330,20 @@ impl<'e, 'w> Plan<'e, 'w> {
     /// distinct failure is reported as a [`RunError`], and the sweep
     /// as a whole always returns.
     pub fn try_execute(self) -> ExecutionReport {
-        self.exec.execute_report(self.subs)
+        self.exec.execute_report(self.subs, false)
+    }
+
+    /// Executes the plan in crash-recovery mode: the executor's sweep
+    /// journal (see [`Executor::with_journal`]) is replayed first, so
+    /// spill-cache hits the journal vouches for count as `recovered`
+    /// and members the journal shows as interrupted are restarted and
+    /// counted as `resumed` — from their latest valid checkpoint when
+    /// [`RunOptions::with_checkpoint`] is on. Without a journal this
+    /// is identical to [`try_execute`](Self::try_execute).
+    ///
+    /// [`RunOptions::with_checkpoint`]: crate::RunOptions::with_checkpoint
+    pub fn resume(self) -> ExecutionReport {
+        self.exec.execute_report(self.subs, true)
     }
 }
 
@@ -319,6 +360,7 @@ pub struct Executor {
     run_timeout: Option<std::time::Duration>,
     run_retries: u32,
     prefix_forking: bool,
+    journal: Option<Journal>,
     cache: Mutex<HashMap<RunKey, Arc<RunResult>>>,
     failures: Mutex<Vec<RunError>>,
     executed: AtomicUsize,
@@ -343,6 +385,7 @@ impl Executor {
             run_timeout: None,
             run_retries: 0,
             prefix_forking: true,
+            journal: None,
             cache: Mutex::new(HashMap::new()),
             failures: Mutex::new(Vec::new()),
             executed: AtomicUsize::new(0),
@@ -379,6 +422,20 @@ impl Executor {
     /// timeout before it is reported as failed.
     pub fn with_run_retries(mut self, retries: u32) -> Self {
         self.run_retries = retries;
+        self
+    }
+
+    /// Enables the write-ahead sweep journal at `path` (see
+    /// [`crate::Journal`]). Each unique run appends a submit record
+    /// before simulating and a done record the moment its result is
+    /// durably stored, so a sweep re-run with [`Plan::resume`] after a
+    /// crash — SIGKILL included — skips journal-vouched spill hits and
+    /// restarts only the interrupted members. Pair with
+    /// [`with_spill_dir`](Self::with_spill_dir): without a spill cache
+    /// the journal still attributes interruptions but has no stored
+    /// results to recover.
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(Journal::new(path));
         self
     }
 
@@ -527,15 +584,18 @@ impl Executor {
     }
 
     /// Simulates `sub` cold (or warmed in place) with isolation and
-    /// the retry budget.
+    /// the retry budget. Typed simulation failures (I/O, checkpoint,
+    /// audit) share the retry budget with panics and timeouts — a
+    /// transient disk hiccup gets the same second chance.
     fn simulate(&self, sub: &Submission<'_>) -> Result<RunResult, RunError> {
         self.with_retries(|exec| {
             let workload = sub.workload.clone_box();
             let opts = sub.opts.clone();
             exec.isolated(
-                || run_workload(sub.workload, sub.opts.clone()),
-                move || run_workload(workload.as_ref(), opts),
+                || try_run_workload(sub.workload, sub.opts.clone()),
+                move || try_run_workload(workload.as_ref(), opts),
             )
+            .and_then(|res| res.map_err(|e| Failure::Sim(e.to_string())))
         })
         .map_err(|(failure, attempts)| failure.into_run_error(sub, attempts))
     }
@@ -568,9 +628,10 @@ impl Executor {
             let prefix_remote = Arc::clone(prefix);
             let opts = sub.opts.clone();
             exec.isolated(
-                || resume_run(prefix, &sub.opts),
-                move || resume_run(&prefix_remote, &opts),
+                || try_resume_run(prefix, &sub.opts),
+                move || try_resume_run(&prefix_remote, &opts),
             )
+            .and_then(|res| res.map_err(|e| Failure::Sim(e.to_string())))
         })
         .map_err(|(failure, attempts)| failure.into_run_error(sub, attempts))
     }
@@ -603,7 +664,16 @@ impl Executor {
             .collect()
     }
 
-    fn execute_report(&self, subs: Vec<Submission<'_>>) -> ExecutionReport {
+    fn execute_report(&self, subs: Vec<Submission<'_>>, resume: bool) -> ExecutionReport {
+        // Crash-recovery mode replays the sweep journal before
+        // touching the caches, so spill hits can be attributed to
+        // journal-vouched completions and re-runs to interruptions.
+        let replay = match (&self.journal, resume) {
+            (Some(j), true) => Some(j.replay()),
+            _ => None,
+        };
+        let mut recovered = 0usize;
+        let mut resumed = 0usize;
         // Resolve each submission against the caches; collect the
         // unique keys that still need simulating, in first-seen order.
         let mut todo: Vec<&Submission<'_>> = Vec::new();
@@ -623,6 +693,12 @@ impl Executor {
                         continue;
                     }
                     if let Some(spilled) = self.load_spill(sub.key) {
+                        // The spill entry passed its checksum AND the
+                        // journal saw this run complete: a genuine
+                        // crash recovery, not a routine warm cache.
+                        if replay.as_ref().is_some_and(|r| r.is_completed(sub.key)) {
+                            recovered += 1;
+                        }
                         cache.insert(sub.key, Arc::new(spilled));
                         self.hits.fetch_add(1, Ordering::Relaxed);
                         continue;
@@ -633,19 +709,33 @@ impl Executor {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
+                if replay.as_ref().is_some_and(|r| r.was_interrupted(sub.key)) {
+                    resumed += 1;
+                }
                 claimed.push(sub.key);
                 todo.push(sub);
             }
         }
 
+        // Write-ahead: journal every run we are about to simulate
+        // before any worker starts, so a crash at ANY later point
+        // leaves each of them attributable as interrupted.
+        if let Some(journal) = &self.journal {
+            for sub in &todo {
+                let _ = journal.record_submitted(sub.key, sub.workload.name());
+            }
+        }
+
         let mut failures: Vec<RunError> = Vec::new();
         if !todo.is_empty() {
+            // Workers publish each completed run durably (spill entry
+            // + journal done record) the moment it finishes — see
+            // `publish` — so only the memo insert happens here.
             let outcomes = self.execute_todo(&todo);
             let mut cache = self.lock_cache();
             for (sub, outcome) in todo.iter().zip(outcomes) {
                 match outcome {
                     Ok(result) => {
-                        self.store_spill(sub.key, &sub.opts, &result);
                         cache.insert(sub.key, Arc::new(result));
                     }
                     Err(err) => failures.push(err),
@@ -661,7 +751,24 @@ impl Executor {
             .iter()
             .map(|sub| cache.get(&sub.key).map(Arc::clone))
             .collect();
-        ExecutionReport { results, failures }
+        ExecutionReport {
+            results,
+            failures,
+            recovered,
+            resumed,
+        }
+    }
+
+    /// Durably publishes one completed run from a worker thread: the
+    /// spill entry first, then the journal `D` record that vouches for
+    /// it. Ordered so a crash between the two can only lose the
+    /// vouching, never fabricate it — `Plan::resume` then re-runs the
+    /// member, which is safe.
+    fn publish(&self, sub: &Submission<'_>, result: &RunResult) {
+        self.store_spill(sub.key, &sub.opts, result);
+        if let Some(journal) = &self.journal {
+            let _ = journal.record_done(sub.key);
+        }
     }
 
     /// Simulates the deduplicated `todo` list, forking shared warm-up
@@ -723,8 +830,9 @@ impl Executor {
         let phase_a = self.parallel_map(jobs.len(), |j| match jobs[j] {
             Job::Cold(i) => {
                 let outcome = self.simulate(todo[i]);
-                if outcome.is_ok() {
+                if let Ok(result) = &outcome {
                     self.executed.fetch_add(1, Ordering::Relaxed);
+                    self.publish(todo[i], result);
                 }
                 Done::Run(i, Box::new(outcome))
             }
@@ -757,8 +865,9 @@ impl Executor {
         let phase_b = self.parallel_map(tails.len(), |j| {
             let (i, ref prefix) = tails[j];
             let outcome = self.simulate_tail(prefix, todo[i]);
-            if outcome.is_ok() {
+            if let Ok(result) = &outcome {
                 self.executed.fetch_add(1, Ordering::Relaxed);
+                self.publish(todo[i], result);
             }
             (i, outcome)
         });
@@ -828,6 +937,10 @@ impl Executor {
 enum Failure {
     Panic(String),
     Timeout(std::time::Duration),
+    /// A typed [`SimError`](crate::run::SimError) — checkpoint I/O,
+    /// trace export to a dead disk, or an invariant-audit violation —
+    /// rendered to a string so it stays `Clone` for prefix fan-out.
+    Sim(String),
 }
 
 impl Failure {
@@ -844,6 +957,12 @@ impl Failure {
                 name,
                 key: sub.key,
                 timeout,
+                attempts,
+            },
+            Failure::Sim(message) => RunError::Failed {
+                name,
+                key: sub.key,
+                message,
                 attempts,
             },
         }
@@ -1357,6 +1476,170 @@ mod tests {
         keys.sort_unstable();
         keys.dedup();
         assert_eq!(keys.len(), PrefetchPolicy::ALL.len());
+    }
+
+    #[test]
+    fn runkey_hex_round_trips() {
+        let key = RunKey::new(&sweep(), &RunOptions::default());
+        assert_eq!(RunKey::from_hex(&key.to_hex()), Some(key));
+        assert_eq!(RunKey::from_hex("zzz"), None);
+        assert_eq!(RunKey::from_hex(""), None);
+        // Wrong width is rejected even when the digits parse.
+        assert_eq!(RunKey::from_hex("abc123"), None);
+    }
+
+    #[test]
+    fn checkpoint_and_audit_options_are_identity_inert() {
+        // Checkpointing off must be a strict no-op: a checkpointed or
+        // audited run names the same cache entry as a plain run.
+        let w = sweep();
+        let plain = RunKey::new(&w, &RunOptions::default());
+        let durable = RunKey::new(
+            &w,
+            &RunOptions::default()
+                .with_checkpoint(std::env::temp_dir().join("uvm-ckpt-inert"), 2)
+                .with_audit(true),
+        );
+        assert_eq!(plain, durable);
+    }
+
+    #[test]
+    fn hung_prefix_times_out_with_per_member_attribution() {
+        use crate::run::Warmup;
+
+        // A workload that hangs forever while building — the shared
+        // warm-up prefix never completes, so the watchdog must abandon
+        // it and attribute the timeout to every member of the group.
+        #[derive(Clone, Debug)]
+        struct Hung;
+        impl Workload for Hung {
+            fn name(&self) -> &'static str {
+                "hung"
+            }
+            fn build(
+                &self,
+                _malloc: &mut dyn FnMut(Bytes) -> uvm_types::VirtAddr,
+            ) -> Vec<uvm_gpu::KernelSpec> {
+                loop {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+            }
+        }
+
+        let exec = Executor::new(2).with_run_timeout(std::time::Duration::from_millis(200));
+        let mut plan = exec.plan();
+        for p in PrefetchPolicy::ALL {
+            plan.submit(
+                &Hung,
+                RunOptions::default()
+                    .with_prefetch(p)
+                    .with_warmup(Warmup::default()),
+            );
+        }
+        let report = plan.try_execute();
+        assert_eq!(report.failures.len(), PrefetchPolicy::ALL.len());
+        let mut keys: Vec<_> = report.failures.iter().map(|f| f.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), PrefetchPolicy::ALL.len());
+        for f in &report.failures {
+            assert_eq!(f.name(), "hung");
+            assert!(
+                matches!(f, RunError::TimedOut { .. }),
+                "expected a timeout, got: {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn unwritable_export_path_is_a_typed_failure_not_a_panic() {
+        let dir = std::env::temp_dir().join(format!(
+            "uvm-exec-badexport-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A regular file where the export's parent directory should
+        // be: `create_dir_all` fails with NotADirectory even for root,
+        // modelling a dead or misconfigured output disk.
+        let obstacle = dir.join("not-a-dir");
+        std::fs::write(&obstacle, b"occupied").unwrap();
+
+        let exec = Executor::new(1);
+        let w = sweep();
+        let mut plan = exec.plan();
+        plan.submit(
+            &w,
+            RunOptions::default().with_trace_export(obstacle.join("run.uvmt")),
+        );
+        let report = plan.try_execute();
+        assert_eq!(report.failures.len(), 1);
+        let f = &report.failures[0];
+        assert!(
+            matches!(f, RunError::Failed { .. }),
+            "expected a typed I/O failure, got: {f}"
+        );
+        assert!(
+            f.to_string().contains("trace-export"),
+            "message should name the failing operation: {f}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_counts_recovered_and_resumed_members() {
+        let dir = std::env::temp_dir().join(format!(
+            "uvm-exec-resume-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spill = dir.join("cache");
+        let journal_path = dir.join("sweep.journal");
+        let w = sweep();
+        let done_opts = RunOptions::default();
+        let interrupted_opts = RunOptions::default().with_prefetch(PrefetchPolicy::None);
+
+        // Session 1 completes one run (journal S+D, spill entry) and
+        // is "killed" before the second: fake the kill by journaling
+        // only the submit record, exactly what a SIGKILL mid-simulate
+        // leaves behind.
+        let first = Executor::new(1)
+            .with_spill_dir(&spill)
+            .with_journal(&journal_path);
+        first.run_one(&w, done_opts.clone());
+        Journal::new(&journal_path)
+            .record_submitted(RunKey::new(&w, &interrupted_opts), w.name())
+            .unwrap();
+
+        // Session 2 resumes the whole sweep.
+        let second = Executor::new(1)
+            .with_spill_dir(&spill)
+            .with_journal(&journal_path);
+        let mut plan = second.plan();
+        plan.submit(&w, done_opts.clone());
+        plan.submit(&w, interrupted_opts.clone());
+        let report = plan.resume();
+        assert!(report.is_complete());
+        assert_eq!(report.recovered, 1, "completed run served from spill");
+        assert_eq!(report.resumed, 1, "interrupted run restarted");
+        assert_eq!(second.runs_executed(), 1);
+
+        // A later, non-resume execution of the same sweep is a plain
+        // warm-cache run: no recovery bookkeeping.
+        let third = Executor::new(1)
+            .with_spill_dir(&spill)
+            .with_journal(&journal_path);
+        let mut plan = third.plan();
+        plan.submit(&w, done_opts);
+        plan.submit(&w, interrupted_opts);
+        let report = plan.try_execute();
+        assert!(report.is_complete());
+        assert_eq!(report.recovered, 0);
+        assert_eq!(report.resumed, 0);
+        assert_eq!(third.runs_executed(), 0, "both runs now spill hits");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 
 mod error;
 mod exec;
+mod journal;
 mod pattern;
 mod run;
 mod table;
@@ -38,9 +39,10 @@ pub mod experiments;
 
 pub use error::{ExecutionReport, RunError};
 pub use exec::{Executor, Plan, RunKey};
+pub use journal::{Journal, JournalReplay};
 pub use pattern::{PatternClass, PatternSummary};
 pub use run::{
-    measure_footprint, resume_run, run_workload, simulate_prefix, OptionsError, RunOptions,
-    RunResult, SweepPrefix, Warmup,
+    measure_footprint, resume_run, run_workload, simulate_prefix, try_resume_run, try_run_workload,
+    CheckpointSpec, OptionsError, RunOptions, RunResult, SimError, SweepPrefix, Warmup,
 };
 pub use table::Table;

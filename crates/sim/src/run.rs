@@ -2,16 +2,19 @@
 //! shared warm-up prefix machinery behind sweep forking.
 
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use uvm_core::trace::{encode_trace, TraceKind, TraceMeta, TraceRecord};
 use uvm_core::{
-    EvictPolicy, FaultPlan, Gmmu, HugePageStats, PolicyRegistry, PolicySpec, PrefetchPolicy,
-    UvmConfig,
+    read_checkpoint, write_checkpoint, CheckpointError, EvictPolicy, FaultPlan, Gmmu,
+    HugePageStats, PolicyRegistry, PolicySpec, PrefetchPolicy, UvmConfig,
 };
 use uvm_gpu::{Engine, EngineSnapshot, GpuConfig, KernelSpec, TraceEvent};
-use uvm_types::{Bytes, Duration};
+use uvm_types::codec::{ByteReader, ByteWriter};
+use uvm_types::{Bytes, Cycle, Duration, PageId};
 use uvm_workloads::Workload;
+
+use crate::exec::RunKey;
 
 /// A shared warm-up phase preceding the measured (tail) launches.
 ///
@@ -53,6 +56,24 @@ impl Warmup {
     pub fn effective_kernels(&self, total: usize) -> usize {
         self.kernels.min(total.saturating_sub(1))
     }
+}
+
+/// Durable-checkpoint settings for a run (DESIGN.md §12).
+///
+/// With a spec installed, [`run_workload`] writes a `UVMC` checkpoint
+/// of the full engine state into `dir` every `every_n_kernels`
+/// completed launches (always at a kernel-boundary quiescent point),
+/// and *resumes* from the latest valid checkpoint when one exists.
+/// The file is named after the run's [`RunKey`](crate::RunKey), which
+/// deliberately excludes the checkpoint settings themselves — a
+/// checkpointed run and a plain run are the same simulation, and a
+/// resumed run is byte-identical to an uninterrupted one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointSpec {
+    /// Directory the `<runkey>.uvmc` files live in.
+    pub dir: PathBuf,
+    /// Checkpoint every N completed kernel launches (must be ≥ 1).
+    pub every_n_kernels: usize,
 }
 
 /// Options for one simulation run.
@@ -102,6 +123,14 @@ pub struct RunOptions {
     /// (DESIGN.md §10). `None` (the default) records nothing and
     /// leaves the simulated run bit-identical.
     pub trace_export: Option<PathBuf>,
+    /// Durable checkpoint/resume settings (DESIGN.md §12). `None`
+    /// (the default) is a strict no-op: no files, no extra work, same
+    /// [`RunKey`](crate::RunKey).
+    pub checkpoint: Option<CheckpointSpec>,
+    /// Run the [`Engine::audit`] invariant auditor at every kernel
+    /// boundary. Schedule-inert (read-only cross-checks); also
+    /// enabled by the `UVM_AUDIT=1` environment variable.
+    pub audit: bool,
 }
 
 impl Default for RunOptions {
@@ -121,6 +150,8 @@ impl Default for RunOptions {
             fault_plan: FaultPlan::none(),
             warmup: None,
             trace_export: None,
+            checkpoint: None,
+            audit: false,
         }
     }
 }
@@ -216,6 +247,24 @@ impl RunOptions {
         self
     }
 
+    /// Enables durable checkpointing: a `UVMC` snapshot of the full
+    /// engine state lands in `dir` every `every_n_kernels` launches,
+    /// and the run resumes from the latest valid one when re-executed.
+    pub fn with_checkpoint(mut self, dir: impl Into<PathBuf>, every_n_kernels: usize) -> Self {
+        self.checkpoint = Some(CheckpointSpec {
+            dir: dir.into(),
+            every_n_kernels,
+        });
+        self
+    }
+
+    /// Enables the GMMU/engine invariant auditor at every kernel
+    /// boundary (also switched on globally by `UVM_AUDIT=1`).
+    pub fn with_audit(mut self, audit: bool) -> Self {
+        self.audit = audit;
+        self
+    }
+
     /// Checks every option for validity in one place: numeric ranges
     /// that were previously scattered asserts, plus policy-spec
     /// resolution through the global registry. Called by
@@ -238,6 +287,11 @@ impl RunOptions {
         }
         if self.fault_lanes == Some(0) {
             return Err(OptionsError::ZeroFaultLanes);
+        }
+        if let Some(spec) = &self.checkpoint {
+            if spec.every_n_kernels == 0 {
+                return Err(OptionsError::ZeroCheckpointInterval);
+            }
         }
         let registry = PolicyRegistry::global();
         registry
@@ -272,6 +326,8 @@ pub enum OptionsError {
     },
     /// `fault_lanes` must be at least 1 when overridden.
     ZeroFaultLanes,
+    /// `checkpoint.every_n_kernels` must be at least 1.
+    ZeroCheckpointInterval,
     /// A policy spec failed registry resolution (unknown name or
     /// parameter, bad value); carries the registry's message.
     BadPolicy(String),
@@ -287,12 +343,117 @@ impl fmt::Display for OptionsError {
                 write!(f, "{field} must lie in 0.0..1.0, got {value}")
             }
             OptionsError::ZeroFaultLanes => write!(f, "fault_lanes must be at least 1"),
+            OptionsError::ZeroCheckpointInterval => {
+                write!(f, "checkpoint.every_n_kernels must be at least 1")
+            }
             OptionsError::BadPolicy(msg) => f.write_str(msg),
         }
     }
 }
 
 impl std::error::Error for OptionsError {}
+
+/// Why a simulation run could not complete or deliver its artifacts.
+///
+/// Returned by [`try_run_workload`]/[`try_resume_run`]; the historical
+/// [`run_workload`]/[`resume_run`] entry points panic with the same
+/// message. The executor catches these as typed
+/// [`RunError`](crate::RunError)s so one full disk or unreadable
+/// checkpoint does not take a whole sweep down.
+#[derive(Debug)]
+pub enum SimError {
+    /// A filesystem side-effect failed (trace export, directory
+    /// creation): disk full, permissions, path shadowed by a file.
+    Io {
+        /// What the run was doing.
+        op: &'static str,
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// Writing or reading a durable checkpoint failed in a way a cold
+    /// start cannot paper over (I/O failure, version skew, or a
+    /// checkpoint from a different run at this run's path).
+    Checkpoint(CheckpointError),
+    /// The invariant auditor found the engine state inconsistent at a
+    /// kernel boundary — a simulator bug, surfaced instead of silently
+    /// checkpointing garbage.
+    Audit {
+        /// Launch index (0-based) after which the audit ran.
+        kernel: usize,
+        /// Every violated invariant.
+        error: uvm_core::AuditError,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Io { op, path, source } => {
+                write!(f, "{op} {}: {source}", path.display())
+            }
+            SimError::Checkpoint(e) => write!(f, "{e}"),
+            SimError::Audit { kernel, error } => {
+                write!(f, "invariant audit failed after kernel {kernel}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Io { source, .. } => Some(source),
+            SimError::Checkpoint(e) => Some(e),
+            SimError::Audit { error, .. } => Some(error),
+        }
+    }
+}
+
+impl From<CheckpointError> for SimError {
+    fn from(e: CheckpointError) -> Self {
+        SimError::Checkpoint(e)
+    }
+}
+
+impl From<uvm_types::codec::CodecError> for SimError {
+    fn from(e: uvm_types::codec::CodecError) -> Self {
+        SimError::Checkpoint(CheckpointError::Codec(e))
+    }
+}
+
+/// Whether the invariant auditor is in force for `opts`: the explicit
+/// flag, or the `UVM_AUDIT=1` environment switch (any value but `0`).
+fn audit_enabled(opts: &RunOptions) -> bool {
+    opts.audit || std::env::var("UVM_AUDIT").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The checkpoint spec in force for a run: the explicit
+/// [`RunOptions::with_checkpoint`] spec, else the process-wide
+/// `UVM_CHECKPOINT_DIR` / `UVM_CHECKPOINT_EVERY` environment override
+/// (set by the bench binaries' `--checkpoint-dir`/`--checkpoint-every`
+/// flags), else off. The environment route keeps every experiment
+/// runner durable without threading options through each sweep — safe
+/// because checkpointing never changes results or run identity.
+fn effective_checkpoint(opts: &RunOptions) -> Option<CheckpointSpec> {
+    if let Some(spec) = &opts.checkpoint {
+        return Some(spec.clone());
+    }
+    let dir = std::env::var_os("UVM_CHECKPOINT_DIR")?;
+    if dir.is_empty() {
+        return None;
+    }
+    let every_n_kernels = std::env::var("UVM_CHECKPOINT_EVERY")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1);
+    Some(CheckpointSpec {
+        dir: PathBuf::from(dir),
+        every_n_kernels,
+    })
+}
 
 /// Measurements from one simulation run — the raw material of every
 /// figure in the paper.
@@ -526,15 +687,13 @@ fn append_export_records(
     });
 }
 
-/// Writes the collected export stream to `opts.trace_export`.
-///
-/// # Panics
-///
-/// Panics if the file cannot be written — a run that was asked to
-/// export must never silently produce nothing.
-fn write_export(opts: &RunOptions, name: &str, records: &[TraceRecord]) {
+/// Writes the collected export stream to `opts.trace_export`. A run
+/// that was asked to export must never silently produce nothing, so
+/// every filesystem failure (disk full, read-only directory, a file
+/// shadowing the parent path) surfaces as a typed [`SimError::Io`].
+fn write_export(opts: &RunOptions, name: &str, records: &[TraceRecord]) -> Result<(), SimError> {
     let Some(path) = &opts.trace_export else {
-        return;
+        return Ok(());
     };
     let meta = TraceMeta {
         workload: name.to_owned(),
@@ -543,11 +702,17 @@ fn write_export(opts: &RunOptions, name: &str, records: &[TraceRecord]) {
         seed: opts.rng_seed,
     };
     if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)
-            .unwrap_or_else(|e| panic!("creating {}: {e}", parent.display()));
+        std::fs::create_dir_all(parent).map_err(|source| SimError::Io {
+            op: "creating trace-export dir",
+            path: parent.to_path_buf(),
+            source,
+        })?;
     }
-    std::fs::write(path, encode_trace(&meta, records))
-        .unwrap_or_else(|e| panic!("writing trace {}: {e}", path.display()));
+    std::fs::write(path, encode_trace(&meta, records)).map_err(|source| SimError::Io {
+        op: "writing trace export",
+        path: path.clone(),
+        source,
+    })
 }
 
 /// Assembles the [`RunResult`] from a finished engine.
@@ -595,6 +760,165 @@ fn collect_result(
     }
 }
 
+/// The on-disk location of a run's checkpoint: its [`RunKey`] (which
+/// excludes the checkpoint settings themselves) under the spec's dir.
+fn checkpoint_path(spec: &CheckpointSpec, workload: &dyn Workload, opts: &RunOptions) -> PathBuf {
+    spec.dir
+        .join(format!("{}.uvmc", RunKey::new(workload, opts).to_hex()))
+}
+
+/// Serializes everything a mid-run kernel boundary needs to resume:
+/// run identity, cursor, accumulated measurements, pending export
+/// records, and the full engine image as an opaque sub-buffer.
+fn encode_run_state(
+    workload: &dyn Workload,
+    total: usize,
+    next_kernel: usize,
+    kernel_times: &[Duration],
+    traces: &[Vec<TraceEvent>],
+    export: Option<&Vec<TraceRecord>>,
+    engine: &Engine,
+) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_str(workload.name());
+    w.put_str(&workload.signature());
+    w.put_usize(total);
+    w.put_usize(next_kernel);
+    w.put_usize(kernel_times.len());
+    for t in kernel_times {
+        w.put_u64(t.cycles());
+    }
+    w.put_usize(traces.len());
+    for trace in traces {
+        w.put_usize(trace.len());
+        for e in trace {
+            w.put_u64(e.cycle.index());
+            w.put_u64(e.page.index());
+            w.put_usize(e.warp);
+            w.put_bool(e.write);
+        }
+    }
+    match export {
+        None => w.put_bool(false),
+        Some(records) => {
+            w.put_bool(true);
+            w.put_usize(records.len());
+            for r in records {
+                w.put_u8(r.kind.tag());
+                w.put_u64(r.cycle);
+                w.put_u64(r.page);
+            }
+        }
+    }
+    let mut ew = ByteWriter::new();
+    engine.save_state(&mut ew);
+    w.put_bytes(&ew.into_bytes());
+    w.into_bytes()
+}
+
+/// Tries to resume from the checkpoint at `path`, restoring into the
+/// freshly built `engine` and the run's accumulators.
+///
+/// Returns `Ok(None)` for a cold start — no checkpoint on disk, or a
+/// corrupt one (already quarantined as `.corrupt` by the container
+/// reader). Version skew, I/O failures, and checkpoints belonging to
+/// a different run are hard errors: silently cold-starting over them
+/// would hide real damage.
+fn load_run_state(
+    path: &Path,
+    workload: &dyn Workload,
+    total: usize,
+    engine: &mut Engine,
+    kernel_times: &mut Vec<Duration>,
+    traces: &mut Vec<Vec<TraceEvent>>,
+    export: Option<&mut Vec<TraceRecord>>,
+) -> Result<Option<usize>, SimError> {
+    let payload = match read_checkpoint(path) {
+        Ok(p) => p,
+        Err(CheckpointError::Io { source, .. })
+            if source.kind() == std::io::ErrorKind::NotFound =>
+        {
+            return Ok(None)
+        }
+        Err(e) if e.is_corruption() => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut r = ByteReader::new(&payload);
+    let name = r.get_str()?.to_owned();
+    let signature = r.get_str()?.to_owned();
+    if name != workload.name() || signature != workload.signature() {
+        return Err(CheckpointError::Incompatible(format!(
+            "checkpoint is for workload '{name}' ({signature}), \
+             not '{}' ({})",
+            workload.name(),
+            workload.signature()
+        ))
+        .into());
+    }
+    let stored_total = r.get_usize()?;
+    if stored_total != total {
+        return Err(CheckpointError::Incompatible(format!(
+            "checkpoint covers a {stored_total}-launch run, this run has {total} launches"
+        ))
+        .into());
+    }
+    let next = r.get_usize()?;
+    let times = r.get_usize()?;
+    if next > total || times != next {
+        return Err(CheckpointError::Incompatible(format!(
+            "checkpoint cursor at kernel {next} with {times} recorded times"
+        ))
+        .into());
+    }
+    for _ in 0..times {
+        kernel_times.push(Duration::from_cycles(r.get_u64()?));
+    }
+    let trace_count = r.get_usize()?;
+    for _ in 0..trace_count {
+        let events = r.get_usize()?;
+        let mut trace = Vec::with_capacity(events.min(1 << 20));
+        for _ in 0..events {
+            trace.push(TraceEvent {
+                cycle: Cycle::new(r.get_u64()?),
+                page: PageId::new(r.get_u64()?),
+                warp: r.get_usize()?,
+                write: r.get_bool()?,
+            });
+        }
+        traces.push(trace);
+    }
+    let had_export = r.get_bool()?;
+    if had_export != export.is_some() {
+        return Err(CheckpointError::Incompatible(
+            "checkpoint and run disagree about trace export".into(),
+        )
+        .into());
+    }
+    if let Some(records) = export {
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            let tag = r.get_u8()?;
+            let kind = TraceKind::from_tag(tag).ok_or(CheckpointError::Codec(
+                uvm_types::codec::CodecError::BadTag {
+                    what: "export record kind",
+                    value: u64::from(tag),
+                },
+            ))?;
+            records.push(TraceRecord {
+                kind,
+                cycle: r.get_u64()?,
+                page: r.get_u64()?,
+            });
+        }
+    }
+    let image = r.get_bytes()?;
+    let mut er = ByteReader::new(image);
+    engine.load_state(&mut er)?;
+    er.finish()?;
+    r.finish()?;
+    Ok(Some(next))
+}
+
 /// Runs `workload` under `opts` and returns the measurements.
 ///
 /// The device-memory budget is derived from the workload's footprint
@@ -607,7 +931,30 @@ fn collect_result(
 /// launches; this in-place path is byte-identical to
 /// [`simulate_prefix`] + [`resume_run`], which the fork-equivalence
 /// suite asserts.
+///
+/// # Panics
+///
+/// Panics on the failures [`try_run_workload`] reports as typed
+/// [`SimError`]s (export I/O, checkpoint damage, audit violations).
 pub fn run_workload(workload: &dyn Workload, opts: RunOptions) -> RunResult {
+    match try_run_workload(workload, opts) {
+        Ok(result) => result,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`run_workload`] with every durability failure surfaced as a typed
+/// [`SimError`] instead of a panic.
+///
+/// With `opts.checkpoint` set, the run resumes from the latest valid
+/// `UVMC` checkpoint under the spec's directory (byte-identical to an
+/// uninterrupted run) and writes a fresh checkpoint every
+/// `every_n_kernels` completed launches. With auditing enabled
+/// ([`RunOptions::with_audit`] or `UVM_AUDIT=1`), the engine's
+/// invariant auditor runs at every kernel boundary — in particular at
+/// every checkpoint boundary — and an inconsistency fails the run
+/// rather than persisting damaged state.
+pub fn try_run_workload(workload: &dyn Workload, opts: RunOptions) -> Result<RunResult, SimError> {
     opts.assert_valid();
     let footprint = measure_footprint(workload);
     let capacity = derive_capacity(footprint, opts.memory_frac);
@@ -619,12 +966,42 @@ pub fn run_workload(workload: &dyn Workload, opts: RunOptions) -> RunResult {
 
     let (mut engine, kernels) =
         build_engine(workload, &opts, capacity, initial_prefetch, initial_evict);
-    let warm_launches = warm.map_or(0, |w| w.effective_kernels(kernels.len()));
+    let total = kernels.len();
+    let warm_launches = warm.map_or(0, |w| w.effective_kernels(total));
+    let audit = audit_enabled(&opts);
 
-    let mut kernel_times = Vec::with_capacity(kernels.len());
+    let mut kernel_times = Vec::with_capacity(total);
     let mut traces = Vec::new();
     let mut export = opts.trace_export.as_ref().map(|_| Vec::new());
-    for (i, kernel) in kernels.into_iter().enumerate() {
+
+    let ckpt = effective_checkpoint(&opts).map(|spec| {
+        (
+            spec.every_n_kernels,
+            checkpoint_path(&spec, workload, &opts),
+        )
+    });
+    let mut start = 0usize;
+    if let Some((_, path)) = &ckpt {
+        if let Some(resumed) = load_run_state(
+            path,
+            workload,
+            total,
+            &mut engine,
+            &mut kernel_times,
+            &mut traces,
+            export.as_mut(),
+        )? {
+            start = resumed;
+            if audit {
+                engine.audit().map_err(|error| SimError::Audit {
+                    kernel: resumed.saturating_sub(1),
+                    error,
+                })?;
+            }
+        }
+    }
+
+    for (i, kernel) in kernels.into_iter().enumerate().skip(start) {
         if warm.is_some() && i == warm_launches {
             engine
                 .gmmu_mut()
@@ -638,19 +1015,38 @@ pub fn run_workload(workload: &dyn Workload, opts: RunOptions) -> RunResult {
             &mut kernel_times,
             &mut traces,
         );
+        if audit {
+            engine
+                .audit()
+                .map_err(|error| SimError::Audit { kernel: i, error })?;
+        }
+        if let Some((every, path)) = &ckpt {
+            if (i + 1) % every == 0 && i + 1 < total {
+                let payload = encode_run_state(
+                    workload,
+                    total,
+                    i + 1,
+                    &kernel_times,
+                    &traces,
+                    export.as_ref(),
+                    &engine,
+                );
+                write_checkpoint(path, &payload)?;
+            }
+        }
     }
     if let Some(records) = &export {
-        write_export(&opts, workload.name(), records);
+        write_export(&opts, workload.name(), records)?;
     }
 
-    collect_result(
+    Ok(collect_result(
         &engine,
         workload.name(),
         footprint,
         capacity,
         kernel_times,
         traces,
-    )
+    ))
 }
 
 /// A simulated warm-up prefix, ready to be forked into per-policy
@@ -711,6 +1107,7 @@ pub fn simulate_prefix(workload: &dyn Workload, opts: &RunOptions) -> SweepPrefi
     );
     let warm_launches = warm.effective_kernels(kernels.len());
 
+    let audit = audit_enabled(opts);
     let mut warm_times = Vec::with_capacity(warm_launches);
     let mut warm_traces = Vec::new();
     let mut warm_export = opts.trace_export.as_ref().map(|_| Vec::new());
@@ -724,6 +1121,14 @@ pub fn simulate_prefix(workload: &dyn Workload, opts: &RunOptions) -> SweepPrefi
             &mut warm_times,
             &mut warm_traces,
         );
+        if audit {
+            if let Err(e) = engine.audit() {
+                panic!(
+                    "invariant audit failed in warm-up kernel {}: {e}",
+                    warm_times.len() - 1
+                );
+            }
+        }
     }
 
     SweepPrefix {
@@ -744,7 +1149,21 @@ pub fn simulate_prefix(workload: &dyn Workload, opts: &RunOptions) -> SweepPrefi
 /// `opts.prefetch`/`opts.evict`, and the remaining launches simulated.
 /// The result covers the whole run (warm-up included) and is
 /// byte-identical to a cold [`run_workload`] with the same options.
+///
+/// # Panics
+///
+/// Panics on the failures [`try_resume_run`] reports as typed
+/// [`SimError`]s (trace-export I/O).
 pub fn resume_run(prefix: &SweepPrefix, opts: &RunOptions) -> RunResult {
+    match try_resume_run(prefix, opts) {
+        Ok(result) => result,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`resume_run`] with export failures surfaced as typed
+/// [`SimError`]s instead of panics.
+pub fn try_resume_run(prefix: &SweepPrefix, opts: &RunOptions) -> Result<RunResult, SimError> {
     opts.assert_valid();
     debug_assert!(
         opts.warmup.is_some(),
@@ -763,6 +1182,7 @@ pub fn resume_run(prefix: &SweepPrefix, opts: &RunOptions) -> RunResult {
         prefix.warm_export.clone()
     });
 
+    let audit = audit_enabled(opts);
     let mut kernel_times = prefix.warm_times.clone();
     let mut traces = prefix.warm_traces.clone();
     for kernel in prefix.tail_kernels.iter().cloned() {
@@ -774,19 +1194,25 @@ pub fn resume_run(prefix: &SweepPrefix, opts: &RunOptions) -> RunResult {
             &mut kernel_times,
             &mut traces,
         );
+        if audit {
+            let kernel = kernel_times.len() - 1;
+            engine
+                .audit()
+                .map_err(|error| SimError::Audit { kernel, error })?;
+        }
     }
     if let Some(records) = &export {
-        write_export(opts, &prefix.name, records);
+        write_export(opts, &prefix.name, records)?;
     }
 
-    collect_result(
+    Ok(collect_result(
         &engine,
         &prefix.name,
         prefix.footprint,
         prefix.capacity,
         kernel_times,
         traces,
-    )
+    ))
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@
 //! ```
 
 mod addr;
+pub mod codec;
 mod geometry;
 pub mod hash;
 pub mod rng;

@@ -100,6 +100,19 @@ impl SmallRng {
         let s = [next(), next(), next(), next()];
         SmallRng { s }
     }
+
+    /// The raw xoshiro256++ state, for checkpointing. Restoring the
+    /// same words with [`SmallRng::from_state`] resumes the sequence
+    /// exactly where it left off.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator mid-sequence from a [`SmallRng::state`]
+    /// snapshot.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        SmallRng { s }
+    }
 }
 
 impl Rng for SmallRng {

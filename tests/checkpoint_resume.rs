@@ -1,0 +1,279 @@
+//! Crash-safety suite for durable checkpoint/resume (DESIGN.md §12).
+//!
+//! The contract under test: a run resumed from its latest `UVMC`
+//! checkpoint is **byte-identical** to the same run executed without
+//! interruption, for every paper policy pair and under chaos fault
+//! injection, with the GMMU invariant auditor enabled at every
+//! checkpoint boundary; checkpointing switched off changes nothing;
+//! damaged checkpoints are quarantined and the run restarts cold;
+//! checkpoints from a foreign format revision are rejected intact.
+//!
+//! Byte-identity is asserted against the same committed golden
+//! fixtures as `golden_fixtures.rs`, so a resume that drifts by even
+//! one cycle or one fault count fails loudly.
+
+use std::fs;
+use std::path::PathBuf;
+
+use uvm_core::{
+    CheckpointError, EvictPolicy, FaultPlan, PrefetchPolicy, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
+use uvm_sim::{try_run_workload, RunKey, RunOptions, RunResult, SimError};
+use uvm_types::codec::ByteWriter;
+use uvm_workloads::Hotspot;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures")
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "uvm-ckpt-resume-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The same smoke workload the golden fixtures pin down.
+fn workload() -> Hotspot {
+    Hotspot {
+        rows: 512,
+        iterations: 3,
+        rows_per_block: 16,
+    }
+}
+
+fn options(prefetch: PrefetchPolicy, evict: EvictPolicy) -> RunOptions {
+    RunOptions::default()
+        .with_prefetch(prefetch)
+        .with_evict(evict)
+        .with_memory_frac(1.10)
+}
+
+/// The golden fixtures' exact encoding (kept in lockstep with
+/// `golden_fixtures.rs`).
+fn encode(r: &RunResult) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"name\": \"{}\",\n", r.name));
+    s.push_str(&format!(
+        "  \"total_time_cycles\": {},\n",
+        r.total_time.cycles()
+    ));
+    let kt: Vec<String> = r
+        .kernel_times
+        .iter()
+        .map(|t| t.cycles().to_string())
+        .collect();
+    s.push_str(&format!(
+        "  \"kernel_times_cycles\": [{}],\n",
+        kt.join(", ")
+    ));
+    s.push_str(&format!("  \"far_faults\": {},\n", r.far_faults));
+    s.push_str(&format!("  \"pages_migrated\": {},\n", r.pages_migrated));
+    s.push_str(&format!(
+        "  \"pages_prefetched\": {},\n",
+        r.pages_prefetched
+    ));
+    s.push_str(&format!("  \"pages_evicted\": {},\n", r.pages_evicted));
+    s.push_str(&format!("  \"pages_thrashed\": {},\n", r.pages_thrashed));
+    s.push_str(&format!("  \"prefetched_used\": {},\n", r.prefetched_used));
+    s.push_str(&format!(
+        "  \"prefetched_wasted\": {},\n",
+        r.prefetched_wasted
+    ));
+    s.push_str(&format!(
+        "  \"clean_pages_written_back\": {},\n",
+        r.clean_pages_written_back
+    ));
+    s.push_str(&format!(
+        "  \"read_transfers_4k\": {},\n",
+        r.read_transfers_4k
+    ));
+    s.push_str(&format!("  \"read_transfers\": {},\n", r.read_transfers));
+    s.push_str(&format!("  \"read_bytes\": {},\n", r.read_bytes.bytes()));
+    s.push_str(&format!("  \"write_bytes\": {}\n", r.write_bytes.bytes()));
+    s.push_str("}\n");
+    s
+}
+
+/// The checkpoint file `try_run_workload` uses for `(workload, opts)`:
+/// the run key (durability options excluded) under the spec's dir.
+fn checkpoint_file(dir: &std::path::Path, opts: &RunOptions) -> PathBuf {
+    dir.join(format!("{}.uvmc", RunKey::new(&workload(), opts).to_hex()))
+}
+
+/// Resume byte-identity across every paper policy pair, with the
+/// invariant auditor enabled at every checkpoint boundary.
+///
+/// With `every_n_kernels = 1` a *completed* 3-kernel run leaves its
+/// last checkpoint at the final kernel boundary (the end-of-run
+/// checkpoint is elided), so re-running the same options resumes
+/// mid-run from durable state and replays only the tail — the
+/// strictest resume path there is. Both the checkpointed first run
+/// (checkpointing must be a strict no-op on results) and the resumed
+/// re-run must match the committed golden fixture byte-for-byte.
+#[test]
+fn resumed_runs_match_the_committed_fixtures_for_every_policy_pair() {
+    let dir = tempdir("golden");
+    let w = workload();
+    let mut checked = 0usize;
+    for prefetch in PrefetchPolicy::ALL {
+        for evict in EvictPolicy::ALL {
+            let opts = options(prefetch, evict)
+                .with_checkpoint(&dir, 1)
+                .with_audit(true);
+            let fixture = fixture_dir().join(format!("hotspot_{prefetch}_{evict}.json"));
+            let committed = fs::read_to_string(&fixture)
+                .unwrap_or_else(|e| panic!("missing fixture {}: {e}", fixture.display()));
+
+            let full = try_run_workload(&w, opts.clone()).expect("checkpointed run");
+            assert_eq!(
+                committed,
+                encode(&full),
+                "{prefetch}+{evict}: checkpointing+audit changed the result"
+            );
+            assert!(
+                checkpoint_file(&dir, &opts).exists(),
+                "{prefetch}+{evict}: completed run leaves its last checkpoint"
+            );
+
+            let resumed = try_run_workload(&w, opts.clone()).expect("resumed run");
+            assert_eq!(
+                committed,
+                encode(&resumed),
+                "{prefetch}+{evict}: resume from checkpoint drifted from the fixture"
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(
+        checked,
+        PrefetchPolicy::ALL.len() * EvictPolicy::ALL.len(),
+        "every paper pair covered"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Resume byte-identity under the chaos fault-injection profile: the
+/// injected stalls, duplicate faults, and jitter are part of the
+/// engine image, so a resumed run must replay them identically.
+#[test]
+fn chaos_profile_resume_is_byte_identical() {
+    let dir = tempdir("chaos");
+    let w = workload();
+    let plain = options(
+        PrefetchPolicy::TreeBasedNeighborhood,
+        EvictPolicy::TreeBasedNeighborhood,
+    )
+    .with_fault_plan(FaultPlan::chaos());
+    let durable = plain.clone().with_checkpoint(&dir, 1).with_audit(true);
+
+    let baseline = try_run_workload(&w, plain).expect("uninterrupted chaos run");
+    let full = try_run_workload(&w, durable.clone()).expect("checkpointed chaos run");
+    assert_eq!(
+        encode(&baseline),
+        encode(&full),
+        "checkpointing under chaos changed the result"
+    );
+    let resumed = try_run_workload(&w, durable).expect("resumed chaos run");
+    assert_eq!(
+        encode(&baseline),
+        encode(&resumed),
+        "chaos resume drifted from the uninterrupted run"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A damaged checkpoint is quarantined as `.uvmc.corrupt` and the run
+/// silently restarts cold — same result, no error, damage preserved
+/// for post-mortem.
+#[test]
+fn corrupt_checkpoint_is_quarantined_and_the_run_restarts_cold() {
+    let dir = tempdir("corrupt");
+    let w = workload();
+    let opts = options(PrefetchPolicy::Random, EvictPolicy::RandomPage)
+        .with_checkpoint(&dir, 1)
+        .with_audit(true);
+
+    let baseline = try_run_workload(&w, opts.clone()).expect("first run");
+    let path = checkpoint_file(&dir, &opts);
+    let mut bytes = fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    fs::write(&path, bytes).unwrap();
+
+    let rerun = try_run_workload(&w, opts.clone()).expect("cold restart");
+    assert_eq!(encode(&baseline), encode(&rerun));
+    let mut quarantined = path.as_os_str().to_os_string();
+    quarantined.push(".corrupt");
+    assert!(
+        PathBuf::from(quarantined).exists(),
+        "damaged checkpoint quarantined for post-mortem"
+    );
+    // The cold restart rewrote a fresh, valid checkpoint in place.
+    assert!(path.exists());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A checkpoint from a foreign format revision is a hard, typed error
+/// — not silent recomputation (the file may be from a newer build the
+/// user cares about) and not quarantine (the file is not damaged).
+#[test]
+fn foreign_version_checkpoint_is_rejected_intact() {
+    let dir = tempdir("version");
+    let w = workload();
+    let opts = options(
+        PrefetchPolicy::SequentialLocal,
+        EvictPolicy::SequentialLocal,
+    )
+    .with_checkpoint(&dir, 1);
+
+    let path = checkpoint_file(&dir, &opts);
+    let mut fw = ByteWriter::new();
+    fw.put_raw(CHECKPOINT_MAGIC);
+    fw.put_u32(CHECKPOINT_VERSION + 9);
+    fw.put_u64(0);
+    fw.put_u64(0);
+    fw.put_bytes(b"from the future");
+    fs::create_dir_all(&dir).unwrap();
+    fs::write(&path, fw.into_bytes()).unwrap();
+
+    let err = try_run_workload(&w, opts).expect_err("foreign version must not be ignored");
+    assert!(
+        matches!(
+            &err,
+            SimError::Checkpoint(CheckpointError::Version { found, .. })
+                if *found == CHECKPOINT_VERSION + 9
+        ),
+        "expected a version rejection, got: {err}"
+    );
+    assert!(path.exists(), "foreign checkpoint left intact");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Checkpointing off is a strict no-op: same results, same run
+/// identity, and no files written anywhere.
+#[test]
+fn checkpointing_off_is_a_strict_noop() {
+    let dir = tempdir("noop");
+    let w = workload();
+    let plain = options(PrefetchPolicy::TreeBasedNeighborhood, EvictPolicy::LruPage);
+    let durable = plain
+        .clone()
+        .with_checkpoint(dir.join("ckpt"), 2)
+        .with_audit(true);
+
+    assert_eq!(
+        RunKey::new(&w, &plain),
+        RunKey::new(&w, &durable),
+        "durability options must not change run identity"
+    );
+    let a = try_run_workload(&w, plain).expect("plain run");
+    let b = try_run_workload(&w, durable).expect("durable run");
+    assert_eq!(encode(&a), encode(&b));
+    let _ = fs::remove_dir_all(&dir);
+}
