@@ -90,46 +90,65 @@ fn bench_tlb(b: &Bench) {
         i += 1;
     });
 
+    // Shootdown steady state with a *representative* holder density.
+    // SM `s` caches the 64-page window starting at page 32*s, so every
+    // interior page is held by exactly two SMs — matching the ~0-2
+    // holders per evicted page the engine actually sees (each SM's
+    // 64-entry TLB covers a sliver of a multi-thousand-page working
+    // set; the previous setup filled the *same* 64 pages into all 28
+    // TLBs and therefore timed a 14-holder drain that never occurs in
+    // a run).
+    let windowed_tlbs = || -> Vec<Tlb> {
+        (0..NUM_SMS)
+            .map(|s| {
+                let mut tlb = Tlb::new(TLB_ENTRIES);
+                for p in 0..TLB_ENTRIES as u64 {
+                    tlb.fill(PageId::new(32 * s as u64 + p));
+                }
+                tlb
+            })
+            .collect()
+    };
+    // Interior pages (two holders): [64, 32 * NUM_SMS).
+    let span = 32 * NUM_SMS as u64 - 64;
+    let holders_of = |page: u64| [page / 32 - 1, page / 32];
+
     // The shootdown broadcast the engine used to perform per evicted
-    // page: one invalidate against each of the 28 SM TLBs (half of
-    // which actually hold the page, alternating so state stays in a
-    // steady cycle of invalidate + refill).
-    let mut tlbs: Vec<Tlb> = (0..NUM_SMS).map(|_| full_tlb()).collect();
+    // page: one invalidate against each of the 28 SM TLBs (26 of them
+    // cheap misses), then the true holders refill so state stays in a
+    // steady cycle.
+    let mut tlbs = windowed_tlbs();
     let mut i = 0u64;
     b.bench("tlb/shootdown_broadcast_28sms", || {
-        let page = PageId::new(i % TLB_ENTRIES as u64);
+        let page = 64 + i % span;
         for tlb in &mut tlbs {
-            tlb.invalidate(page);
+            tlb.invalidate(PageId::new(page));
         }
-        for (s, tlb) in tlbs.iter_mut().enumerate() {
-            if s % 2 == 0 {
-                tlb.fill(page);
-            }
+        for s in holders_of(page) {
+            tlbs[s as usize].fill(PageId::new(page));
         }
         i += 1;
     });
 
     // What the engine does now: generation bump + targeted drain over
-    // the holder set (same steady state — half the SMs hold the page).
-    let mut tlbs: Vec<Tlb> = (0..NUM_SMS).map(|_| full_tlb()).collect();
+    // the holder set (same steady state — two SMs hold the page).
+    let mut tlbs = windowed_tlbs();
     let mut dir = ShootdownDirectory::new(NUM_SMS);
-    for p in 0..TLB_ENTRIES as u64 {
-        for (s, _) in tlbs.iter().enumerate() {
-            dir.note_fill(PageId::new(p), s);
+    for (s, _) in tlbs.iter().enumerate() {
+        for p in 0..TLB_ENTRIES as u64 {
+            dir.note_fill(PageId::new(32 * s as u64 + p), s);
         }
     }
     let mut i = 0u64;
     b.bench("tlb/shootdown_directory_28sms", || {
-        let page = PageId::new(i % TLB_ENTRIES as u64);
-        dir.bump(page);
-        dir.drain_holders(page, |s| {
-            tlbs[s].invalidate(page);
+        let page = 64 + i % span;
+        dir.bump(PageId::new(page));
+        dir.drain_holders(PageId::new(page), |s| {
+            tlbs[s].invalidate(PageId::new(page));
         });
-        for (s, tlb) in tlbs.iter_mut().enumerate() {
-            if s % 2 == 0 {
-                tlb.fill(page);
-                dir.note_fill(page, s);
-            }
+        for s in holders_of(page) {
+            tlbs[s as usize].fill(PageId::new(page));
+            dir.note_fill(PageId::new(page), s as usize);
         }
         i += 1;
     });
@@ -162,17 +181,26 @@ fn bench_reference_tlb(b: &Bench) {
         i += 1;
     });
 
-    let mut tlbs: Vec<ReferenceTlb> = (0..NUM_SMS).map(|_| full_reference_tlb()).collect();
+    // Same windowed two-holder steady state as `tlb/shootdown_*`, so
+    // the reference row stays head-to-head comparable.
+    let mut tlbs: Vec<ReferenceTlb> = (0..NUM_SMS)
+        .map(|s| {
+            let mut tlb = ReferenceTlb::new(TLB_ENTRIES);
+            for p in 0..TLB_ENTRIES as u64 {
+                tlb.fill(PageId::new(32 * s as u64 + p));
+            }
+            tlb
+        })
+        .collect();
+    let span = 32 * NUM_SMS as u64 - 64;
     let mut i = 0u64;
     b.bench("tlb_ref/shootdown_broadcast_28sms", || {
-        let page = PageId::new(i % TLB_ENTRIES as u64);
+        let page = 64 + i % span;
         for tlb in &mut tlbs {
-            tlb.invalidate(page);
+            tlb.invalidate(PageId::new(page));
         }
-        for (s, tlb) in tlbs.iter_mut().enumerate() {
-            if s % 2 == 0 {
-                tlb.fill(page);
-            }
+        for s in [page / 32 - 1, page / 32] {
+            tlbs[s as usize].fill(PageId::new(page));
         }
         i += 1;
     });
@@ -334,6 +362,21 @@ fn bench_single_run(b: &Bench) {
     };
     b.bench("engine/single_run_hotspot_slp_sle", || {
         black_box(run_workload(&w, opts_slp()));
+    });
+
+    // The same runs through the sharded executor (DESIGN.md §13) at
+    // fixed widths, so the serial rows above stay head-to-head
+    // comparable with the barrier-synchronized schedule. The result is
+    // byte-identical by contract (`tests/shard_equivalence.rs`); these
+    // rows track the *cost* of that contract.
+    b.bench("engine/sharded_run_hotspot_tbnp_lru4k_2t", || {
+        black_box(run_workload(&w, opts().with_engine_threads(2)));
+    });
+    b.bench("engine/sharded_run_hotspot_tbnp_lru4k_4t", || {
+        black_box(run_workload(&w, opts().with_engine_threads(4)));
+    });
+    b.bench("engine/sharded_run_hotspot_slp_sle_4t", || {
+        black_box(run_workload(&w, opts_slp().with_engine_threads(4)));
     });
 }
 

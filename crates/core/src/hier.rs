@@ -39,6 +39,11 @@ pub struct HierarchicalLru {
     blocks: HashMap<LargePageId, LruQueue<BasicBlockId>>,
     /// Resident pages per basic block.
     pages_per_block: HashMap<BasicBlockId, u32>,
+    /// Resident pages per large page, maintained incrementally so the
+    /// candidate scans can skip a whole large page in O(1) instead of
+    /// re-summing its blocks (the TBN-family policies call
+    /// [`candidate`](Self::candidate) on every eviction).
+    lp_pages: HashMap<LargePageId, u64>,
     /// Total resident pages tracked.
     total_pages: u64,
 }
@@ -60,13 +65,23 @@ impl HierarchicalLru {
         self.large_pages.touch(lp);
         self.blocks.entry(lp).or_default().touch(bb);
         *self.pages_per_block.entry(bb).or_insert(0) += 1;
+        *self.lp_pages.entry(lp).or_insert(0) += 1;
         self.total_pages += 1;
     }
 
     /// Records an access to `page`: its large page and basic block move
-    /// to the MRU end of their respective orders.
+    /// to the MRU end of their respective orders. Accesses to pages not
+    /// tracked by [`on_validate`](Self::on_validate) are ignored (the
+    /// GMMU faults before accessing, so this cannot happen in a run) —
+    /// inserting them would create zero-page ghost blocks and break the
+    /// "every queued block holds at least one page" invariant that the
+    /// whole-large-page reservation skip in
+    /// [`candidate`](Self::candidate) relies on.
     pub fn on_access(&mut self, page: PageId) {
         let bb = page.basic_block();
+        if !self.pages_per_block.contains_key(&bb) {
+            return;
+        }
         let lp = page.large_page();
         self.large_pages.touch(lp);
         self.blocks.entry(lp).or_default().touch(bb);
@@ -83,9 +98,17 @@ impl HierarchicalLru {
             .expect("invalidate of untracked page");
         *count -= 1;
         self.total_pages -= 1;
+        let lp = bb.large_page();
+        let lp_count = self
+            .lp_pages
+            .get_mut(&lp)
+            .expect("invalidate of untracked large page");
+        *lp_count -= 1;
+        if *lp_count == 0 {
+            self.lp_pages.remove(&lp);
+        }
         if *count == 0 {
             self.pages_per_block.remove(&bb);
-            let lp = bb.large_page();
             if let Some(q) = self.blocks.get_mut(&lp) {
                 q.remove(&bb);
                 if q.is_empty() {
@@ -120,6 +143,17 @@ impl HierarchicalLru {
             let Some(blocks) = self.blocks.get(lp) else {
                 continue;
             };
+            // Whole-large-page skip: if even the last block of this
+            // large page falls inside the reservation, no block in it
+            // can be a candidate (every resident block holds >= 1 page,
+            // so the per-block walk below would skip each one). Exact,
+            // because the per-block walk only tests `eligible` once
+            // `skipped` reaches `reserve_pages`.
+            let lp_total = self.lp_pages.get(lp).copied().unwrap_or(0);
+            if skipped + lp_total <= reserve_pages {
+                skipped += lp_total;
+                continue;
+            }
             for &bb in blocks.iter() {
                 let pages = u64::from(self.block_pages(bb));
                 if skipped < reserve_pages {
@@ -143,11 +177,7 @@ impl HierarchicalLru {
     ) -> Option<LargePageId> {
         let mut skipped = 0u64;
         for &lp in self.large_pages.iter() {
-            let pages: u64 = self
-                .blocks
-                .get(&lp)
-                .map(|q| q.iter().map(|&b| u64::from(self.block_pages(b))).sum())
-                .unwrap_or(0);
+            let pages = self.lp_pages.get(&lp).copied().unwrap_or(0);
             if skipped < reserve_pages {
                 skipped += pages;
                 continue;
@@ -215,6 +245,9 @@ impl HierarchicalLru {
             let bb = BasicBlockId::new(r.get_u64()?);
             let count = r.get_u32()?;
             h.pages_per_block.insert(bb, count);
+            // `lp_pages` is derived data, rebuilt here rather than
+            // serialized so the checkpoint byte format is unchanged.
+            *h.lp_pages.entry(bb.large_page()).or_insert(0) += u64::from(count);
         }
         h.total_pages = r.get_u64()?;
         Ok(h)
@@ -360,5 +393,127 @@ mod tests {
     fn invalidate_untracked_page_panics() {
         let mut h = HierarchicalLru::new();
         h.on_invalidate_page(page(0));
+    }
+
+    /// Reference `candidate`: the pre-memoization implementation that
+    /// walks every block and re-derives per-large-page totals on each
+    /// call. The incremental `lp_pages` cache must never change what
+    /// either scan returns.
+    fn naive_candidate(h: &HierarchicalLru, reserve_pages: u64) -> Option<BasicBlockId> {
+        let mut skipped = 0u64;
+        for lp in h.large_pages.iter() {
+            let Some(blocks) = h.blocks.get(lp) else {
+                continue;
+            };
+            for &bb in blocks.iter() {
+                let pages = u64::from(h.block_pages(bb));
+                if skipped < reserve_pages {
+                    skipped += pages;
+                    continue;
+                }
+                return Some(bb);
+            }
+        }
+        None
+    }
+
+    fn naive_candidate_large_page(h: &HierarchicalLru, reserve_pages: u64) -> Option<LargePageId> {
+        let mut skipped = 0u64;
+        for &lp in h.large_pages.iter() {
+            let pages: u64 = h
+                .blocks
+                .get(&lp)
+                .map(|q| q.iter().map(|&b| u64::from(h.block_pages(b))).sum())
+                .unwrap_or(0);
+            if skipped < reserve_pages {
+                skipped += pages;
+                continue;
+            }
+            return Some(lp);
+        }
+        None
+    }
+
+    #[test]
+    fn candidate_matches_naive_rescan_differentially() {
+        // Pseudorandom validate/access/invalidate churn over 4 large
+        // pages, checking both candidate scans against the naive
+        // re-summing reference at every reservation depth after each
+        // step.
+        let mut h = HierarchicalLru::new();
+        let mut resident: Vec<u64> = Vec::new();
+        let mut rng = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for step in 0..2000u64 {
+            let r = next();
+            let p = r % 2048; // 4 large pages of 512 pages each
+            match r % 3 {
+                0 => {
+                    h.on_validate(page(p));
+                    resident.push(p);
+                }
+                1 => {
+                    // Access only resident pages, per the on_access
+                    // contract (the GMMU faults before accessing).
+                    if !resident.is_empty() {
+                        let idx = (r as usize / 11) % resident.len();
+                        h.on_access(page(resident[idx]));
+                    }
+                }
+                _ => {
+                    if !resident.is_empty() {
+                        let idx = (r as usize / 7) % resident.len();
+                        h.on_invalidate_page(page(resident.swap_remove(idx)));
+                    }
+                }
+            }
+            if step % 37 == 0 {
+                for reserve in [0, 1, 15, 16, 17, 100, h.total_pages(), h.total_pages() + 5] {
+                    assert_eq!(
+                        h.candidate(reserve, |_| true),
+                        naive_candidate(&h, reserve),
+                        "candidate diverged at step {step}, reserve {reserve}"
+                    );
+                    assert_eq!(
+                        h.candidate_large_page(reserve, |_| true),
+                        naive_candidate_large_page(&h, reserve),
+                        "candidate_large_page diverged at step {step}, reserve {reserve}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lp_pages_cache_survives_checkpoint_round_trip() {
+        let mut h = HierarchicalLru::new();
+        for i in 0..64 {
+            h.on_validate(page(i));
+            h.on_validate(page(512 + i));
+        }
+        h.on_access(page(5));
+        let mut w = uvm_types::codec::ByteWriter::new();
+        h.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let restored =
+            HierarchicalLru::load_state(&mut uvm_types::codec::ByteReader::new(&bytes)).unwrap();
+        for reserve in [0, 32, 64, 96, 128] {
+            assert_eq!(
+                restored.candidate(reserve, |_| true),
+                h.candidate(reserve, |_| true)
+            );
+            assert_eq!(
+                restored.candidate_large_page(reserve, |_| true),
+                h.candidate_large_page(reserve, |_| true)
+            );
+        }
+        let mut w2 = uvm_types::codec::ByteWriter::new();
+        restored.save_state(&mut w2);
+        assert_eq!(bytes, w2.into_bytes(), "round trip is byte-stable");
     }
 }

@@ -2,11 +2,33 @@
 //! (large-page → basic-block) ordering used by the pre-eviction
 //! policies (paper Sec. 5.3).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::hash::Hash;
 
-/// A recency-ordered set with O(log n) touch/insert/remove and ordered
+/// Sentinel slot index for "no neighbour".
+const NIL: u32 = u32::MAX;
+
+/// One element of the intrusive recency list.
+#[derive(Clone, Debug)]
+struct Slot<K> {
+    key: K,
+    prev: u32,
+    next: u32,
+}
+
+/// A recency-ordered set with O(1) touch/insert/remove and ordered
 /// traversal from least- to most-recently used.
+///
+/// Internally an intrusive doubly-linked list over a slab of slots,
+/// indexed by a `key -> slot` hash map — the same layout as the
+/// per-SM TLB. Every simulated memory access touches an evictor
+/// recency list (often two, for the hierarchical policies), so the
+/// earlier `BTreeMap`-by-stamp representation's O(log n) touch with
+/// its node allocations was one of the largest line items of the
+/// engine hot path. Recency order is the only observable: iteration,
+/// `peek_*`, and the checkpoint encoding are all defined purely by
+/// list position, so the two representations are drop-in
+/// schedule-identical.
 ///
 /// # Examples
 ///
@@ -21,20 +43,26 @@ use std::hash::Hash;
 /// ```
 #[derive(Clone, Debug)]
 pub struct LruQueue<K> {
-    /// Monotonic access stamp, incremented on every touch.
-    clock: u64,
-    /// stamp -> key, ordered; the smallest stamp is the LRU element.
-    by_stamp: BTreeMap<u64, K>,
-    /// key -> its current stamp.
-    stamps: HashMap<K, u64>,
+    /// Slab of list nodes; freed slots are recycled via `free`.
+    slots: Vec<Slot<K>>,
+    /// Indices of vacant slots in `slots`.
+    free: Vec<u32>,
+    /// key -> its slot index.
+    index: HashMap<K, u32>,
+    /// LRU end of the list (`NIL` when empty).
+    head: u32,
+    /// MRU end of the list (`NIL` when empty).
+    tail: u32,
 }
 
 impl<K: Clone + Eq + Hash> Default for LruQueue<K> {
     fn default() -> Self {
         LruQueue {
-            clock: 0,
-            by_stamp: BTreeMap::new(),
-            stamps: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            head: NIL,
+            tail: NIL,
         }
     }
 }
@@ -47,27 +75,48 @@ impl<K: Clone + Eq + Hash> LruQueue<K> {
 
     /// Inserts `key` at the MRU end, or refreshes it if present.
     pub fn touch(&mut self, key: K) {
-        if let Some(old) = self.stamps.get(&key) {
-            self.by_stamp.remove(old);
+        if let Some(&slot) = self.index.get(&key) {
+            self.unlink(slot);
+            self.link_tail(slot);
+            return;
         }
-        self.clock += 1;
-        self.by_stamp.insert(self.clock, key.clone());
-        self.stamps.insert(key, self.clock);
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Slot {
+                    key: key.clone(),
+                    prev: NIL,
+                    next: NIL,
+                };
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("LruQueue slot overflow");
+                self.slots.push(Slot {
+                    key: key.clone(),
+                    prev: NIL,
+                    next: NIL,
+                });
+                s
+            }
+        };
+        self.index.insert(key, slot);
+        self.link_tail(slot);
     }
 
     /// Inserts `key` at the MRU end only if absent (used for pages that
     /// become valid without being accessed — Sec. 5.3's design choice).
     pub fn insert_if_absent(&mut self, key: K) {
-        if !self.stamps.contains_key(&key) {
+        if !self.index.contains_key(&key) {
             self.touch(key);
         }
     }
 
     /// Removes `key`, returning `true` if it was present.
     pub fn remove(&mut self, key: &K) -> bool {
-        match self.stamps.remove(key) {
-            Some(stamp) => {
-                self.by_stamp.remove(&stamp);
+        match self.index.remove(key) {
+            Some(slot) => {
+                self.unlink(slot);
+                self.free.push(slot);
                 true
             }
             None => false,
@@ -76,55 +125,68 @@ impl<K: Clone + Eq + Hash> LruQueue<K> {
 
     /// `true` if `key` is in the queue.
     pub fn contains(&self, key: &K) -> bool {
-        self.stamps.contains_key(key)
+        self.index.contains_key(key)
     }
 
     /// The least-recently-used element.
     pub fn peek_lru(&self) -> Option<&K> {
-        self.by_stamp.values().next()
+        (self.head != NIL).then(|| &self.slots[self.head as usize].key)
     }
 
     /// Removes and returns the least-recently-used element.
     pub fn pop_lru(&mut self) -> Option<K> {
-        let (&stamp, _) = self.by_stamp.iter().next()?;
-        let key = self.by_stamp.remove(&stamp).expect("stamp exists");
-        self.stamps.remove(&key);
+        if self.head == NIL {
+            return None;
+        }
+        let slot = self.head;
+        let key = self.slots[slot as usize].key.clone();
+        self.unlink(slot);
+        self.free.push(slot);
+        self.index.remove(&key);
         Some(key)
     }
 
     /// Iterates from least- to most-recently used.
     pub fn iter(&self) -> impl Iterator<Item = &K> {
-        self.by_stamp.values()
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                return None;
+            }
+            let slot = &self.slots[cur as usize];
+            cur = slot.next;
+            Some(&slot.key)
+        })
     }
 
     /// The `skip`-th least-recently-used element (0 = the LRU), used to
     /// implement reservation of the top of the LRU list.
     pub fn peek_nth(&self, skip: usize) -> Option<&K> {
-        self.by_stamp.values().nth(skip)
+        self.iter().nth(skip)
     }
 
     /// Number of elements.
     pub fn len(&self) -> usize {
-        self.by_stamp.len()
+        self.index.len()
     }
 
     /// `true` if the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.by_stamp.is_empty()
+        self.index.is_empty()
     }
 
     /// Serializes the queue for a checkpoint: elements in LRU→MRU
-    /// order, key encoding delegated to `put`. Raw stamp values are
-    /// *not* stored — only their order is observable — so restore
-    /// replays [`touch`](Self::touch) and gets re-normalized stamps
-    /// with identical recency order.
+    /// order, key encoding delegated to `put`. Slot indices are *not*
+    /// stored — only recency order is observable — so restore replays
+    /// [`touch`](Self::touch) and gets a freshly packed slab with
+    /// identical recency order.
     pub fn save_state(
         &self,
         w: &mut uvm_types::codec::ByteWriter,
         mut put: impl FnMut(&mut uvm_types::codec::ByteWriter, &K),
     ) {
-        w.put_usize(self.by_stamp.len());
-        for key in self.by_stamp.values() {
+        w.put_usize(self.len());
+        for key in self.iter() {
             put(w, key);
         }
     }
@@ -143,6 +205,33 @@ impl<K: Clone + Eq + Hash> LruQueue<K> {
             q.touch(get(r)?);
         }
         Ok(q)
+    }
+
+    /// Detaches `slot` from the list, fixing up its neighbours.
+    fn unlink(&mut self, slot: u32) {
+        let Slot { prev, next, .. } = self.slots[slot as usize];
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Appends `slot` at the MRU end.
+    fn link_tail(&mut self, slot: u32) {
+        self.slots[slot as usize].prev = self.tail;
+        self.slots[slot as usize].next = NIL;
+        if self.tail != NIL {
+            self.slots[self.tail as usize].next = slot;
+        } else {
+            self.head = slot;
+        }
+        self.tail = slot;
     }
 }
 
@@ -208,5 +297,31 @@ mod tests {
         assert_eq!(q.peek_nth(0), Some(&0));
         assert_eq!(q.peek_nth(3), Some(&3));
         assert_eq!(q.peek_nth(10), None);
+    }
+
+    #[test]
+    fn slot_recycling_keeps_order_through_churn() {
+        // Interleaved removes and touches force slab reuse; order must
+        // stay exactly recency order throughout.
+        let mut q = LruQueue::new();
+        for i in 0..8 {
+            q.touch(i);
+        }
+        assert!(q.remove(&3));
+        assert!(q.remove(&0));
+        q.touch(9);
+        q.touch(1); // refresh
+        assert!(q.remove(&7));
+        q.touch(10);
+        let order: Vec<_> = q.iter().copied().collect();
+        assert_eq!(order, vec![2, 4, 5, 6, 9, 1, 10]);
+        assert_eq!(q.len(), 7);
+        // Drain fully via pop_lru in the same order.
+        let mut drained = Vec::new();
+        while let Some(k) = q.pop_lru() {
+            drained.push(k);
+        }
+        assert_eq!(drained, order);
+        assert!(q.is_empty());
     }
 }

@@ -48,11 +48,18 @@ impl Prefetcher for TbnPrefetcher {
         let mut groups = Vec::with_capacity(runs.len());
         for (start, len) in runs {
             let mut pages: Vec<PageId> = Vec::with_capacity((len * PAGES_PER_BASIC_BLOCK) as usize);
-            pages.extend(
-                (0..len)
-                    .flat_map(|i| start.add(i).pages())
-                    .filter(|&p| p != page && !view.is_valid(p)),
-            );
+            for i in 0..len {
+                let block = start.add(i);
+                // The tree's per-leaf counts mirror page-table validity
+                // exactly (maintained on admit/expel), so the common
+                // all-invalid and all-valid leaves resolve without the
+                // per-page PTE probes that used to dominate planning.
+                match tree.block_valid_pages(block) {
+                    0 => pages.extend(block.pages().filter(|&p| p != page)),
+                    v if v == PAGES_PER_BASIC_BLOCK as u32 => {}
+                    _ => pages.extend(block.pages().filter(|&p| p != page && !view.is_valid(p))),
+                }
+            }
             if !pages.is_empty() {
                 groups.push(pages);
             }

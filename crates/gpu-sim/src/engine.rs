@@ -9,12 +9,15 @@
 //! argument — the schedules produced are bit-identical to the original
 //! heap-and-scan implementation.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use uvm_core::Gmmu;
 use uvm_mem::{RadixWalkModel, ShootdownDirectory, Tlb, TlbLookup};
 use uvm_types::{Cycle, Duration, PageId};
 
 use crate::kernel::{Access, KernelSpec};
 use crate::queue::EventQueue;
+use crate::shard::{apply_log, DispatchedBlock, EpochCtx, LogEntry, PendingFault, Shard, Stop};
 
 /// One completed page access in a captured trace (the raw data of the
 /// paper's Fig. 12 scatter, with warp attribution for per-warp
@@ -89,6 +92,11 @@ struct WarpState {
     current: Option<Access>,
     /// SM this warp's thread block runs on.
     sm: usize,
+    /// Static same-cycle tiebreak: the warp's position in the SM-major
+    /// dispatch enumeration. Events at equal cycles pop in ascending
+    /// rank, making the schedule a pure function of `(cycle, warp)` —
+    /// see [`EventQueue::push_keyed`].
+    rank: u64,
     done: bool,
 }
 
@@ -120,6 +128,12 @@ pub struct Engine {
     trace: Option<Vec<TraceEvent>>,
     /// `UVM_DEBUG_FAULTS` presence, sampled once at construction.
     debug_faults: bool,
+    /// Sharded-execution width (see DESIGN.md §13): number of SM
+    /// shards kernels run across. `1` = the serial loop, `0` = size to
+    /// the host's parallelism at launch. Result-inert: every width
+    /// produces the byte-identical schedule, so this is *not* part of
+    /// checkpoints or snapshots.
+    engine_threads: usize,
 }
 
 impl Engine {
@@ -149,7 +163,23 @@ impl Engine {
             now: Cycle::ZERO,
             trace: None,
             debug_faults: std::env::var_os("UVM_DEBUG_FAULTS").is_some(),
+            engine_threads: 1,
         }
+    }
+
+    /// Sets the sharded-execution width: `n > 1` partitions the SMs
+    /// across `n` shards with deterministic epoch barriers, `1`
+    /// selects the serial loop, and `0` sizes to the host's available
+    /// parallelism at each launch. The schedule is byte-identical at
+    /// every width; kernels that sharding cannot cover (a radix-walk
+    /// model, a single SM, ≥ 2¹⁶ thread blocks) silently run serial.
+    pub fn set_engine_threads(&mut self, n: usize) {
+        self.engine_threads = n;
+    }
+
+    /// The configured sharded-execution width (`0` = auto).
+    pub fn engine_threads(&self) -> usize {
+        self.engine_threads
     }
 
     /// The driver model (shared, read-only).
@@ -221,10 +251,28 @@ impl Engine {
                 end,
                 current: None,
                 sm,
+                rank: 0,
                 done: false,
             });
             sm_queues[sm].push(i);
         }
+        // Same-cycle ranks follow the SM-major dispatch enumeration
+        // (all of SM0's blocks, then SM1's, ...), matching the order
+        // the initial pushes historically queued in.
+        let mut rank = 0u64;
+        for q in &sm_queues {
+            for &w in q {
+                warps[w].rank = rank;
+                rank += 1;
+            }
+        }
+        // Sharded execution covers every configuration the packed
+        // barrier key can express; anything else (and explicit width
+        // 1) takes the serial loop below.
+        if let Some(n) = self.shard_count(compiled.num_blocks(), start) {
+            return self.run_kernel_sharded(name, start, &warps, &sm_queues, n);
+        }
+
         // Queues were filled in dispatch order; pop from the front.
         for q in &mut sm_queues {
             q.reverse();
@@ -236,7 +284,7 @@ impl Engine {
             while active_per_sm[sm] < self.cfg.blocks_per_sm {
                 let Some(w) = sm_queues[sm].pop() else { break };
                 active_per_sm[sm] += 1;
-                self.queue.push(start, w);
+                self.queue.push_keyed(start, warps[w].rank, w);
             }
         }
 
@@ -281,13 +329,14 @@ impl Engine {
                 active_per_sm[sm] -= 1;
                 if let Some(next) = sm_queues[sm].pop() {
                     active_per_sm[sm] += 1;
-                    self.queue.push(t, next);
+                    self.queue.push_keyed(t, warps[next].rank, next);
                 }
                 continue;
             };
 
             let page = access.page();
             let sm = warp.sm;
+            let rank = warp.rank;
             // Huge-page fast path: a coalesced 2 MB mapping serves the
             // whole large page out of one side-table TLB entry. Entries
             // are epoch-stamped, so one splinter (epoch bump) stales
@@ -297,7 +346,8 @@ impl Engine {
                     let done = t + Duration::from_cycles(1) + self.cfg.mem_latency;
                     self.complete_access(access, done, w);
                     warps[w].current = None;
-                    self.queue.push(done + self.cfg.compute_delay, w);
+                    self.queue
+                        .push_keyed(done + self.cfg.compute_delay, rank, w);
                     continue;
                 }
             }
@@ -308,7 +358,8 @@ impl Engine {
                     let done = t + Duration::from_cycles(1) + self.cfg.mem_latency;
                     self.complete_access(access, done, w);
                     warps[w].current = None;
-                    self.queue.push(done + self.cfg.compute_delay, w);
+                    self.queue
+                        .push_keyed(done + self.cfg.compute_delay, rank, w);
                 }
                 TlbLookup::Miss => {
                     let walk_latency = match &mut self.walker {
@@ -340,12 +391,12 @@ impl Engine {
                                 tlbs[unit].invalidate(evicted);
                             });
                         }
-                        self.queue.push(res.fault_page_ready(), w);
+                        self.queue.push_keyed(res.fault_page_ready(), rank, w);
                     } else if let Some(ready) = self.gmmu.ready_time(page, walked) {
                         // In-flight prefetch: stall until the data lands
                         // (the MSHR-merge path — the migration already
                         // has an owner).
-                        self.queue.push(ready, w);
+                        self.queue.push_keyed(ready, rank, w);
                     } else if let Some(epoch) =
                         self.gmmu.huge_translation(page.large_page(), walked)
                     {
@@ -357,7 +408,8 @@ impl Engine {
                         let done = walked + self.cfg.mem_latency;
                         self.complete_access(access, done, w);
                         warps[w].current = None;
-                        self.queue.push(done + self.cfg.compute_delay, w);
+                        self.queue
+                            .push_keyed(done + self.cfg.compute_delay, rank, w);
                     } else {
                         // The lookup above just missed, so the page is
                         // certainly absent: take the no-reprobe fill.
@@ -368,7 +420,8 @@ impl Engine {
                         let done = walked + self.cfg.mem_latency;
                         self.complete_access(access, done, w);
                         warps[w].current = None;
-                        self.queue.push(done + self.cfg.compute_delay, w);
+                        self.queue
+                            .push_keyed(done + self.cfg.compute_delay, rank, w);
                     }
                 }
             }
@@ -590,6 +643,290 @@ impl Engine {
         }
     }
 
+    /// Resolves the configured sharded-execution width against this
+    /// kernel: `Some(n > 1)` selects sharded mode. Kernels the packed
+    /// barrier key cannot express (≥ 2¹⁶ blocks, astronomical clocks)
+    /// and configurations sharding does not model (a radix-walk
+    /// model's shared walk cache) fall back to the serial loop, as do
+    /// empty launches.
+    fn shard_count(&self, num_blocks: usize, start: Cycle) -> Option<usize> {
+        let n = match self.engine_threads {
+            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            n => n,
+        };
+        let n = n.min(self.cfg.num_sms);
+        (n > 1
+            && self.walker.is_none()
+            && num_blocks > 0
+            && num_blocks < (1 << crate::shard::RANK_BITS)
+            && start.index() < (1 << 47))
+            .then_some(n)
+    }
+
+    /// Sharded kernel execution (DESIGN.md §13): the SMs are
+    /// partitioned into `n` contiguous shards that simulate SM-local
+    /// epochs against frozen GMMU/directory views, rendezvousing at
+    /// every GMMU-serialized event. The schedule — fault order, RNG
+    /// draws, statistics, traces, final machine state — is
+    /// byte-identical to the serial loop at every `n`.
+    ///
+    /// `sm_queues` is still in dispatch order (not yet reversed) and
+    /// `warps` carries the initial cursors and global ranks.
+    fn run_kernel_sharded(
+        &mut self,
+        name: String,
+        start: Cycle,
+        warps: &[WarpState],
+        sm_queues: &[Vec<usize>],
+        n: usize,
+    ) -> KernelResult {
+        debug_assert!(self.queue.is_empty(), "previous kernel drained the queue");
+        let num_sms = self.cfg.num_sms;
+        // Contiguous SM partition; the first `num_sms % n` shards own
+        // one extra SM.
+        let (width, extra) = (num_sms / n, num_sms % n);
+        let mut shard_of_sm = Vec::with_capacity(num_sms);
+        let mut shards: Vec<Shard> = Vec::with_capacity(n);
+        let mut tlbs = std::mem::take(&mut self.tlbs).into_iter();
+        let mut sm = 0usize;
+        for si in 0..n {
+            let owned = width + usize::from(si < extra);
+            let sm_lo = sm;
+            let mut blocks: Vec<Vec<DispatchedBlock>> = Vec::with_capacity(owned);
+            let mut shard_tlbs = Vec::with_capacity(owned);
+            for _ in 0..owned {
+                shard_tlbs.push(tlbs.next().expect("one TLB per SM"));
+                blocks.push(
+                    sm_queues[sm]
+                        .iter()
+                        .map(|&w| DispatchedBlock {
+                            rank: warps[w].rank,
+                            id: w,
+                            cursor: warps[w].cursor,
+                            end: warps[w].end,
+                        })
+                        .collect(),
+                );
+                shard_of_sm.push(si);
+                sm += 1;
+            }
+            shards.push(Shard::new(
+                sm_lo,
+                shard_tlbs,
+                &blocks,
+                self.cfg.blocks_per_sm,
+                start,
+            ));
+        }
+        debug_assert!(tlbs.next().is_none(), "partition covered every SM");
+
+        let bound = AtomicU64::new(u64::MAX);
+        let walk_latency = self.gmmu.config().walk_latency;
+        let os_workers = resolve_os_workers(n);
+        macro_rules! epoch_ctx {
+            ($journal:expr, $budget:expr) => {
+                EpochCtx {
+                    gmmu: &self.gmmu,
+                    dir: &self.shootdown,
+                    arena: &self.arena,
+                    bound: &bound,
+                    start,
+                    mem_latency: self.cfg.mem_latency,
+                    compute_delay: self.cfg.compute_delay,
+                    walk_latency,
+                    max_kernel_cycles: self.cfg.max_kernel_cycles,
+                    journal: $journal,
+                    budget: $budget,
+                }
+            };
+        }
+
+        if os_workers <= 1 {
+            // Cooperative courier: always advance the shard owning the
+            // globally next event, one event at a time, committing its
+            // effects immediately. This is the exact serial interleave
+            // — no speculation, no journal, no rollback — so the
+            // single-worker overhead is one frontier scan per event.
+            let mut next: Vec<Option<u64>> = shards.iter_mut().map(Shard::frontier).collect();
+            loop {
+                let mut si = usize::MAX;
+                let mut best = u64::MAX;
+                for (i, k) in next.iter().enumerate() {
+                    if let Some(k) = *k {
+                        if k < best {
+                            best = k;
+                            si = i;
+                        }
+                    }
+                }
+                if si == usize::MAX {
+                    break;
+                }
+                let ctx = epoch_ctx!(false, Some(1));
+                let stop = shards[si].run_epoch(&ctx);
+                apply_log(
+                    &mut self.gmmu,
+                    &mut self.shootdown,
+                    &mut self.trace,
+                    shards[si].log_mut(),
+                );
+                match stop {
+                    Stop::Fault { fault, .. } => {
+                        self.fault_barrier(&mut shards, &shard_of_sm, si, &fault);
+                        // `run_epoch` published the fault key as the
+                        // speculation bound; with no sibling workers
+                        // the bound only wedges, so lift it.
+                        bound.store(u64::MAX, Ordering::Relaxed);
+                    }
+                    Stop::Watchdog { t, .. } => self.watchdog_panic(&name, t, start),
+                    Stop::Paused | Stop::Done => {}
+                }
+                next[si] = shards[si].frontier();
+            }
+        } else {
+            // Threaded courier: every epoch, all shards speculate in
+            // parallel (journaled, budgeted), then rendezvous. The
+            // barrier frontier `k` is the first event in canonical
+            // order not yet safely committed: the minimum over every
+            // fault/watchdog key and every paused/done shard's next
+            // event. Everything past `k` rolls back; everything below
+            // commits; if `k` itself is a fault or watchdog it is
+            // serviced exactly as the serial loop would.
+            const EPOCH_BUDGET: usize = 256;
+            loop {
+                bound.store(u64::MAX, Ordering::Relaxed);
+                let ctx = epoch_ctx!(true, Some(EPOCH_BUDGET));
+                let stops: Vec<Stop> = std::thread::scope(|scope| {
+                    let ctx = &ctx;
+                    let handles: Vec<_> = shards
+                        .iter_mut()
+                        .map(|shard| scope.spawn(move || shard.run_epoch(ctx)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("shard worker panicked"))
+                        .collect()
+                });
+                let mut k = u64::MAX;
+                let mut winner: Option<usize> = None;
+                for (i, stop) in stops.iter().enumerate() {
+                    let key = match stop {
+                        Stop::Paused | Stop::Done => shards[i].frontier().unwrap_or(u64::MAX),
+                        stopped => stopped.key(),
+                    };
+                    // Keys are globally unique (one outstanding event
+                    // per live warp), so strict `<` is total.
+                    if key < k {
+                        k = key;
+                        winner = match stop {
+                            Stop::Fault { .. } | Stop::Watchdog { .. } => Some(i),
+                            Stop::Paused | Stop::Done => None,
+                        };
+                    }
+                }
+                for shard in &mut shards {
+                    shard.rollback(k);
+                }
+                let mut entries: Vec<LogEntry> = Vec::new();
+                for shard in &mut shards {
+                    entries.append(shard.log_mut());
+                }
+                // Stable by packed key: within one event the entry
+                // order (drop before fill before access) is the push
+                // order, and keys never tie across shards.
+                entries.sort_by_key(|e| e.packed);
+                apply_log(
+                    &mut self.gmmu,
+                    &mut self.shootdown,
+                    &mut self.trace,
+                    &mut entries,
+                );
+                for shard in &mut shards {
+                    shard.commit();
+                }
+                match winner {
+                    Some(i) => match &stops[i] {
+                        Stop::Fault { fault, .. } => {
+                            let fault = *fault;
+                            self.fault_barrier(&mut shards, &shard_of_sm, i, &fault);
+                        }
+                        Stop::Watchdog { t, .. } => self.watchdog_panic(&name, *t, start),
+                        Stop::Paused | Stop::Done => unreachable!("winner is a stop key"),
+                    },
+                    None if k == u64::MAX => break,
+                    None => {}
+                }
+            }
+        }
+
+        let mut end = start;
+        for shard in &shards {
+            end = end.max(shard.end());
+        }
+        self.tlbs = shards.into_iter().flat_map(Shard::into_tlbs).collect();
+        self.now = end;
+        KernelResult {
+            name,
+            time: end.since(start),
+            end,
+        }
+    }
+
+    /// Services a far-fault at a barrier: exactly the serial loop's
+    /// fault block, with TLB shootdowns routed to the owning shards
+    /// and the replay wake queued on the faulting shard.
+    fn fault_barrier(
+        &mut self,
+        shards: &mut [Shard],
+        shard_of_sm: &[usize],
+        si: usize,
+        f: &PendingFault,
+    ) {
+        let res = self.gmmu.handle_fault(f.page, f.walked);
+        if self.debug_faults {
+            eprintln!(
+                "t={} w={} fault pg{} ready={} evicted={}",
+                f.t.index(),
+                f.warp_id,
+                f.page.index(),
+                res.fault_page_ready().index(),
+                res.evicted.len()
+            );
+        }
+        for &evicted in res.shootdowns() {
+            // New generation, then reclaim the holders' slots so TLB
+            // occupancy matches an eager broadcast exactly.
+            self.shootdown.bump(evicted);
+            self.shootdown.drain_holders(evicted, |unit| {
+                shards[shard_of_sm[unit]].invalidate(unit, evicted);
+            });
+        }
+        shards[si].push_wake(res.fault_page_ready(), f.local);
+    }
+
+    /// Trips the watchdog with the serial loop's exact panic message.
+    fn watchdog_panic(&self, name: &str, t: Cycle, start: Cycle) -> ! {
+        let cap = self
+            .cfg
+            .max_kernel_cycles
+            .expect("watchdog tripped without a cap");
+        debug_assert!(t.since(start).cycles() > cap);
+        let fi = &self.gmmu.stats().fault_injection;
+        panic!(
+            "watchdog: kernel {name} exceeded {cap} cycles \
+             (far-faults {}, evicted {}, thrashed {}; injected: \
+             transfer retries {}, migration retries {}, \
+             emergency evictions {}, jitter cycles {})",
+            self.gmmu.stats().far_faults,
+            self.gmmu.stats().pages_evicted,
+            self.gmmu.stats().pages_thrashed,
+            fi.transfer_retries,
+            fi.migration_retries,
+            fi.emergency_evictions,
+            fi.jitter_cycles,
+        );
+    }
+
     fn complete_access(&mut self, access: Access, done: Cycle, warp: usize) {
         self.gmmu.record_access(access.page(), access.write);
         if let Some(trace) = &mut self.trace {
@@ -601,6 +938,20 @@ impl Engine {
             });
         }
     }
+}
+
+/// OS worker threads for the sharded epoch executor:
+/// `UVM_ENGINE_OS_THREADS` when set (lenient — unparsable values fall
+/// back to 1), else the host's available parallelism, capped at the
+/// shard count. At one worker the courier runs the shards
+/// cooperatively inline, which needs no OS threads at all. Schedule-
+/// inert either way: this only picks the executor, never the result.
+fn resolve_os_workers(n: usize) -> usize {
+    let workers = match std::env::var("UVM_ENGINE_OS_THREADS") {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism().map_or(1, |p| p.get()),
+    };
+    workers.min(n)
 }
 
 /// A frozen engine state captured between kernel launches.
@@ -989,6 +1340,138 @@ mod tests {
             err.violations.iter().any(|v| v.contains("holder bit")),
             "{err}"
         );
+    }
+
+    /// Two kernels under eviction pressure (strided multi-block sweep,
+    /// then a thrashing linear re-scan), returning every observable:
+    /// times, stats, trace, and the serialized machine state.
+    fn thrashing_observables(
+        threads: usize,
+    ) -> (
+        Duration,
+        Duration,
+        uvm_core::UvmStats,
+        Vec<TraceEvent>,
+        Vec<u8>,
+    ) {
+        let cfg = UvmConfig::default()
+            .with_capacity(Bytes::kib(256))
+            .with_prefetch(PrefetchPolicy::SequentialLocal)
+            .with_evict(EvictPolicy::LruPage);
+        let mut gmmu = Gmmu::new(cfg);
+        let base = gmmu.malloc_managed(Bytes::mib(1));
+        let mut e = Engine::new(gmmu, GpuConfig::default());
+        e.set_engine_threads(threads);
+        e.enable_trace();
+        let mut k = KernelSpec::new("strided");
+        for b in 0..56u64 {
+            k.push_block(ThreadBlockSpec::from_accesses((0..24u64).map(move |i| {
+                Access::read(base.offset(Bytes::kib(4) * ((b * 4 + i * 3) % 256)))
+            })));
+        }
+        let t1 = e.run_kernel(k);
+        let t2 = e.run_kernel(KernelSpec::new("rescan").with_block(seq_reads(base, 200)));
+        e.audit().unwrap();
+        let trace = e.take_trace();
+        let mut w = uvm_types::codec::ByteWriter::new();
+        e.save_state(&mut w);
+        (t1, t2, e.gmmu().stats().clone(), trace, w.into_bytes())
+    }
+
+    #[test]
+    fn sharded_execution_is_byte_identical_to_serial() {
+        let serial = thrashing_observables(1);
+        assert!(serial.2.pages_evicted > 0, "scenario must evict");
+        for threads in [2, 3, 4, 8, 28, 0] {
+            let sharded = thrashing_observables(threads);
+            assert_eq!(serial.0, sharded.0, "kernel 1 time at {threads} shards");
+            assert_eq!(serial.1, sharded.1, "kernel 2 time at {threads} shards");
+            assert_eq!(serial.2, sharded.2, "stats at {threads} shards");
+            assert_eq!(serial.3, sharded.3, "trace at {threads} shards");
+            assert_eq!(serial.4, sharded.4, "state bytes at {threads} shards");
+        }
+    }
+
+    #[test]
+    fn sharded_threaded_executor_is_byte_identical_to_serial() {
+        // Force the journaled multi-worker executor (speculation,
+        // rollback, epoch barriers) even on a single-CPU host; width 1
+        // never consults the executor, so the serial baseline is
+        // unaffected by the env var.
+        std::env::set_var("UVM_ENGINE_OS_THREADS", "4");
+        let serial = thrashing_observables(1);
+        for threads in [2, 4, 28] {
+            let sharded = thrashing_observables(threads);
+            assert_eq!(serial.0, sharded.0, "kernel 1 time at {threads} shards");
+            assert_eq!(serial.1, sharded.1, "kernel 2 time at {threads} shards");
+            assert_eq!(serial.2, sharded.2, "stats at {threads} shards");
+            assert_eq!(serial.3, sharded.3, "trace at {threads} shards");
+            assert_eq!(serial.4, sharded.4, "state bytes at {threads} shards");
+        }
+        std::env::remove_var("UVM_ENGINE_OS_THREADS");
+    }
+
+    #[test]
+    fn sharded_replays_chaos_identically() {
+        use uvm_core::FaultPlan;
+        let run = |threads: usize| {
+            let cfg = UvmConfig::default()
+                .with_capacity(Bytes::kib(256))
+                .with_prefetch(PrefetchPolicy::None)
+                .with_evict(EvictPolicy::LruPage)
+                .with_fault_plan(FaultPlan::chaos().with_seed(0xfa11));
+            let mut gmmu = Gmmu::new(cfg);
+            let base = gmmu.malloc_managed(Bytes::mib(1));
+            let mut e = Engine::new(gmmu, GpuConfig::default());
+            e.set_engine_threads(threads);
+            let mut k = KernelSpec::new("chaos");
+            for b in 0..40u64 {
+                k.push_block(ThreadBlockSpec::from_accesses((0..16u64).map(move |i| {
+                    Access::read(base.offset(Bytes::kib(4) * ((b * 7 + i) % 128)))
+                })));
+            }
+            let t = e.run_kernel(k);
+            e.audit().unwrap();
+            let mut w = uvm_types::codec::ByteWriter::new();
+            e.save_state(&mut w);
+            (t, e.gmmu().stats().clone(), w.into_bytes())
+        };
+        let serial = run(1);
+        assert!(
+            !serial.1.fault_injection.is_clean(),
+            "chaos must inject something"
+        );
+        for threads in [2, 4, 28] {
+            assert_eq!(serial, run(threads), "chaos replay at {threads} shards");
+        }
+    }
+
+    #[test]
+    fn sharded_watchdog_trips_with_the_serial_message() {
+        let run = |threads: usize| {
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut gmmu = Gmmu::new(UvmConfig::default().with_prefetch(PrefetchPolicy::None));
+                let base = gmmu.malloc_managed(Bytes::mib(1));
+                let mut e = Engine::new(
+                    gmmu,
+                    GpuConfig {
+                        max_kernel_cycles: Some(50_000),
+                        ..GpuConfig::default()
+                    },
+                );
+                e.set_engine_threads(threads);
+                let mut k = KernelSpec::new("wd");
+                for b in 0..8u64 {
+                    k.push_block(seq_reads(base.offset(Bytes::kib(4) * (b * 16)), 16));
+                }
+                e.run_kernel(k);
+            }))
+            .expect_err("the watchdog must trip");
+            *err.downcast::<String>().expect("panic carries a message")
+        };
+        let serial = run(1);
+        assert!(serial.contains("watchdog: kernel wd exceeded"), "{serial}");
+        assert_eq!(serial, run(4), "sharded watchdog message diverged");
     }
 
     #[test]

@@ -155,12 +155,30 @@ impl<T> EventQueue<T> {
     pub fn push(&mut self, t: Cycle, payload: T) {
         let seq = self.seq;
         self.seq += 1;
+        self.push_with(t, seq, payload);
+    }
+
+    /// Queues `payload` at cycle `t` with a caller-supplied tiebreak
+    /// `key` in place of the internal FIFO sequence number: same-cycle
+    /// events pop in ascending key order regardless of push order.
+    ///
+    /// The engine uses the warp index as the key, which makes the
+    /// schedule a pure function of `(cycle, warp)` — re-pushing an
+    /// event after a speculative rollback reproduces its exact queue
+    /// position, which the internal sequence number cannot. Callers
+    /// must not queue two live events with equal `(t, key)`; their
+    /// relative order would fall back to insertion order.
+    pub fn push_keyed(&mut self, t: Cycle, key: u64, payload: T) {
+        self.push_with(t, key, payload);
+    }
+
+    fn push_with(&mut self, t: Cycle, seq: u64, payload: T) {
         self.len += 1;
         let bucket = t.index() >> self.shift;
         if bucket <= self.cur_bucket {
             // The bucket being drained (or, before any pop, the very
-            // first): keep `cur` sorted descending. A fresh seq is the
-            // largest among equal cycles, so it lands before them.
+            // first): keep `cur` sorted descending. Insert after equal
+            // `(t, seq)` entries so duplicates keep insertion order.
             let pos = self.cur.partition_point(|e| (e.0, e.1) > (t, seq));
             self.cur.insert(pos, (t, seq, payload));
         } else if bucket - self.cur_bucket <= self.buckets.len() as u64 {
@@ -168,6 +186,18 @@ impl<T> EventQueue<T> {
         } else {
             self.overflow.push(Parked { t, seq, payload });
         }
+    }
+
+    /// The `(cycle, key)` of the earliest queued event without
+    /// removing it (`&mut` because the calendar may need to advance to
+    /// the next occupied bucket — work the following [`pop`](Self::pop)
+    /// then skips). The sharded engine's cooperative scheduler peeks
+    /// every shard to find the globally earliest event.
+    pub fn peek_key(&mut self) -> Option<(Cycle, u64)> {
+        if self.cur.is_empty() && !self.refill() {
+            return None;
+        }
+        self.cur.last().map(|&(t, seq, _)| (t, seq))
     }
 
     /// Removes and returns the earliest `(cycle, payload)`.
@@ -344,6 +374,52 @@ mod tests {
         q.push(Cycle::new(1_000_000), 'c');
         assert_eq!(q.pop(), Some((Cycle::new(1_000_000), 'b')));
         assert_eq!(q.pop(), Some((Cycle::new(1_000_000), 'c')));
+    }
+
+    #[test]
+    fn keyed_pushes_pop_in_key_order_not_push_order() {
+        let mut q = EventQueue::new();
+        // Same cycle, keys out of push order: pops ascend by key.
+        q.push_keyed(Cycle::new(7), 5, 'e');
+        q.push_keyed(Cycle::new(7), 1, 'a');
+        q.push_keyed(Cycle::new(7), 3, 'c');
+        assert_eq!(q.pop(), Some((Cycle::new(7), 'a')));
+        assert_eq!(q.pop(), Some((Cycle::new(7), 'c')));
+        assert_eq!(q.pop(), Some((Cycle::new(7), 'e')));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn keyed_pushes_are_reproducible_across_draining_and_overflow() {
+        // The same (t, key) set pops identically no matter the push
+        // order or which structure (cur / ring / overflow) each entry
+        // landed in — the property the sharded engine's rollback
+        // re-pushes rely on.
+        let events: &[(u64, u64, u32)] = &[
+            (10, 2, 0),
+            (10, 0, 1),
+            (300, 1, 2),
+            (300, 0, 3),
+            (66_645, 3, 4),
+            (66_645, 1, 5),
+        ];
+        let drain = |order: &[usize]| {
+            let mut q = EventQueue::with_geometry(2, 64);
+            for &i in order {
+                let (t, k, v) = events[i];
+                q.push_keyed(Cycle::new(t), k, v);
+            }
+            let mut out = Vec::new();
+            while let Some(e) = q.pop() {
+                out.push(e);
+            }
+            out
+        };
+        let a = drain(&[0, 1, 2, 3, 4, 5]);
+        let b = drain(&[5, 3, 1, 0, 2, 4]);
+        assert_eq!(a, b);
+        let keys: Vec<u32> = a.iter().map(|&(_, v)| v).collect();
+        assert_eq!(keys, vec![1, 0, 3, 2, 5, 4]);
     }
 
     #[test]

@@ -1,7 +1,5 @@
 //! The GPU page table: per-4KB-page valid/dirty/accessed flags.
 
-use std::collections::HashMap;
-
 use uvm_types::PageId;
 
 /// Flags of one page-table entry.
@@ -20,12 +18,27 @@ pub struct PteFlags {
     pub dirty: bool,
 }
 
+/// Packed PTE bit: page is resident.
+const B_VALID: u8 = 1;
+/// Packed PTE bit: page was read or written since migration.
+const B_ACCESSED: u8 = 2;
+/// Packed PTE bit: page was written since migration.
+const B_DIRTY: u8 = 4;
+
 /// The GPU page table.
 ///
 /// Entries are created lazily: a page with no entry is simply invalid
 /// (the first touch of a `cudaMallocManaged` allocation has no PTE at
 /// all — paper Sec. 2.2). Validation and invalidation keep a running
 /// count of resident pages so capacity checks are O(1).
+///
+/// The table is a dense byte-per-page array of packed flags, grown to
+/// the highest page index validated. The simulator's 2 MB-aligned bump
+/// allocator keeps page indices dense, so the array stays proportional
+/// to the address-space footprint — and `is_valid`, which the engine
+/// consults on every TLB miss and the prefetch planner on every
+/// candidate page, becomes a single indexed load instead of a hash
+/// probe.
 ///
 /// # Examples
 ///
@@ -43,7 +56,9 @@ pub struct PteFlags {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct PageTable {
-    entries: HashMap<PageId, PteFlags>,
+    /// Packed `B_*` flag bits per page index; pages beyond the array
+    /// have no PTE.
+    bits: Vec<u8>,
     valid_count: u64,
 }
 
@@ -54,13 +69,22 @@ impl PageTable {
     }
 
     /// `true` if `page` is resident (valid flag set).
+    #[inline]
     pub fn is_valid(&self, page: PageId) -> bool {
-        self.entries.get(&page).is_some_and(|e| e.valid)
+        self.bits
+            .get(page.index() as usize)
+            .is_some_and(|&b| b & B_VALID != 0)
     }
 
     /// The flags of `page` (all-false if no PTE exists).
+    #[inline]
     pub fn flags(&self, page: PageId) -> PteFlags {
-        self.entries.get(&page).copied().unwrap_or_default()
+        let b = self.bits.get(page.index() as usize).copied().unwrap_or(0);
+        PteFlags {
+            valid: b & B_VALID != 0,
+            accessed: b & B_ACCESSED != 0,
+            dirty: b & B_DIRTY != 0,
+        }
     }
 
     /// Marks `page` resident, creating the PTE if needed. Migration
@@ -68,13 +92,12 @@ impl PageTable {
     ///
     /// Returns `true` if the page was previously invalid.
     pub fn validate(&mut self, page: PageId) -> bool {
-        let entry = self.entries.entry(page).or_default();
-        let was_invalid = !entry.valid;
-        *entry = PteFlags {
-            valid: true,
-            accessed: false,
-            dirty: false,
-        };
+        let i = page.index() as usize;
+        if i >= self.bits.len() {
+            self.bits.resize(i + 1, 0);
+        }
+        let was_invalid = self.bits[i] & B_VALID == 0;
+        self.bits[i] = B_VALID;
         if was_invalid {
             self.valid_count += 1;
         }
@@ -85,10 +108,14 @@ impl PageTable {
     ///
     /// The entry is retained (invalid), mirroring a cleared valid bit.
     pub fn invalidate(&mut self, page: PageId) -> PteFlags {
-        match self.entries.get_mut(&page) {
-            Some(entry) if entry.valid => {
-                let old = *entry;
-                *entry = PteFlags::default();
+        match self.bits.get_mut(page.index() as usize) {
+            Some(b) if *b & B_VALID != 0 => {
+                let old = PteFlags {
+                    valid: true,
+                    accessed: *b & B_ACCESSED != 0,
+                    dirty: *b & B_DIRTY != 0,
+                };
+                *b = 0;
                 self.valid_count -= 1;
                 old
             }
@@ -102,14 +129,14 @@ impl PageTable {
     /// # Panics
     ///
     /// Panics if `page` is not valid — the GMMU must fault first.
+    #[inline]
     pub fn mark_access(&mut self, page: PageId, write: bool) {
-        let entry = self
-            .entries
-            .get_mut(&page)
-            .filter(|e| e.valid)
+        let b = self
+            .bits
+            .get_mut(page.index() as usize)
+            .filter(|b| **b & B_VALID != 0)
             .expect("access to non-resident page must fault");
-        entry.accessed = true;
-        entry.dirty |= write;
+        *b |= B_ACCESSED | if write { B_DIRTY } else { 0 };
     }
 
     /// Number of resident pages.
@@ -117,30 +144,26 @@ impl PageTable {
         self.valid_count
     }
 
-    /// Iterates over resident pages (arbitrary order).
+    /// Iterates over resident pages (ascending page order).
     pub fn iter_valid(&self) -> impl Iterator<Item = PageId> + '_ {
-        self.entries
+        self.bits
             .iter()
-            .filter(|(_, e)| e.valid)
-            .map(|(&p, _)| p)
+            .enumerate()
+            .filter(|(_, &b)| b & B_VALID != 0)
+            .map(|(i, _)| PageId::new(i as u64))
     }
 
     /// Serializes the table for a checkpoint. Only valid entries are
     /// written (an invalid PTE is indistinguishable from a missing
     /// one — `invalidate` resets every flag), sorted by page index so
-    /// the encoding is canonical regardless of hash-map layout.
+    /// the encoding is canonical regardless of table growth history.
     pub fn save_state(&self, w: &mut uvm_types::codec::ByteWriter) {
-        let mut valid: Vec<(PageId, PteFlags)> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.valid)
-            .map(|(&p, &e)| (p, e))
-            .collect();
-        valid.sort_unstable_by_key(|(p, _)| *p);
-        w.put_usize(valid.len());
-        for (page, flags) in valid {
-            w.put_u64(page.index());
-            w.put_u8(u8::from(flags.accessed) | (u8::from(flags.dirty) << 1));
+        w.put_usize(self.valid_count as usize);
+        for (i, &b) in self.bits.iter().enumerate() {
+            if b & B_VALID != 0 {
+                w.put_u64(i as u64);
+                w.put_u8(u8::from(b & B_ACCESSED != 0) | (u8::from(b & B_DIRTY != 0) << 1));
+            }
         }
     }
 
@@ -150,7 +173,6 @@ impl PageTable {
     ) -> Result<Self, uvm_types::codec::CodecError> {
         let n = r.get_usize()?;
         let mut pt = PageTable::new();
-        pt.entries.reserve(n.min(1 << 20));
         for _ in 0..n {
             let page = PageId::new(r.get_u64()?);
             let bits = r.get_u8()?;
@@ -160,15 +182,9 @@ impl PageTable {
                     value: u64::from(bits),
                 });
             }
-            pt.entries.insert(
-                page,
-                PteFlags {
-                    valid: true,
-                    accessed: bits & 1 != 0,
-                    dirty: bits & 2 != 0,
-                },
-            );
-            pt.valid_count += 1;
+            pt.validate(page);
+            let i = page.index() as usize;
+            pt.bits[i] |= ((bits & 1) * B_ACCESSED) | (((bits >> 1) & 1) * B_DIRTY);
         }
         Ok(pt)
     }

@@ -109,6 +109,17 @@ impl ShootdownDirectory {
         if base >= self.holders.len() {
             return;
         }
+        // Fast path: up to 64 units fit one word (the paper-scale 28-SM
+        // config), so skip the word loop's bounds checks entirely.
+        if self.words == 1 {
+            let mut word = std::mem::take(&mut self.holders[base]);
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                f(bit);
+            }
+            return;
+        }
         for w in 0..self.words {
             let mut word = std::mem::take(&mut self.holders[base + w]);
             while word != 0 {

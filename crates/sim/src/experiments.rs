@@ -66,8 +66,8 @@ pub fn suite(scale: Scale) -> Vec<Box<dyn Workload>> {
                 rows_per_block: 16,
             }),
             Box::new(Hotspot {
-                rows: 512,
-                iterations: 3,
+                rows: 768,
+                iterations: 4,
                 rows_per_block: 16,
             }),
             Box::new(NeedlemanWunsch {

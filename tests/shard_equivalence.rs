@@ -1,0 +1,190 @@
+//! Equivalence suite for the sharded engine (DESIGN.md §13).
+//!
+//! The contract under test: `RunOptions::with_engine_threads(n)` — the
+//! SM-sharded executor with deterministic epoch barriers — produces
+//! **byte-identical** results to the serial event loop at every width,
+//! for every fixture configuration the golden suites pin down
+//! (4 paper prefetchers × 5 paper evictors, plus the 4 Mosaic
+//! huge-page cells), under chaos fault injection with the invariant
+//! auditor enabled, through the forced multi-worker speculation/
+//! rollback executor, and across checkpoint/resume with the width
+//! changed mid-lineage. Every sharded case runs twice so a hidden
+//! dependence on residual process state would also fail loudly.
+//!
+//! Identity is asserted on the full `Debug` projection of
+//! [`RunResult`] — every counter, every per-launch kernel time, the
+//! huge-page mechanism stats, and the fault-injection tallies.
+
+use std::fs;
+use std::path::PathBuf;
+
+use uvm_core::{EvictPolicy, FaultPlan, PrefetchPolicy};
+use uvm_sim::{run_workload, RunOptions, RunResult, Warmup};
+use uvm_workloads::Hotspot;
+
+/// The widths the suite sweeps against the serial baseline: the
+/// explicit serial width, even/odd shard counts, and one above the
+/// host's core count.
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// The same smoke workload the golden fixtures pin down.
+fn workload() -> Hotspot {
+    Hotspot {
+        rows: 512,
+        iterations: 3,
+        rows_per_block: 16,
+    }
+}
+
+fn options(prefetch: PrefetchPolicy, evict: EvictPolicy) -> RunOptions {
+    RunOptions::default()
+        .with_prefetch(prefetch)
+        .with_evict(evict)
+        .with_memory_frac(1.10)
+}
+
+/// Everything a run reports, rendered for byte comparison.
+fn observe(r: &RunResult) -> String {
+    format!("{r:?}")
+}
+
+/// Asserts `opts` at every sharded width — each width twice — against
+/// the serial result, labelling failures with `tag`.
+fn assert_width_invariant(tag: &str, opts: &RunOptions) {
+    let serial = observe(&run_workload(&workload(), opts.clone()));
+    for width in WIDTHS {
+        for rep in 1..=2 {
+            let sharded = observe(&run_workload(
+                &workload(),
+                opts.clone().with_engine_threads(width),
+            ));
+            assert_eq!(
+                serial, sharded,
+                "{tag}: width {width} (repeat {rep}) diverged from serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_paper_policy_pair_is_width_invariant() {
+    for prefetch in PrefetchPolicy::ALL {
+        for evict in EvictPolicy::ALL {
+            assert_width_invariant(&format!("{prefetch}+{evict}"), &options(prefetch, evict));
+        }
+    }
+}
+
+#[test]
+fn every_huge_page_cell_is_width_invariant() {
+    // The four Mosaic cells of `huge_page_fixtures.rs`: the pair cold
+    // and warmed, plus each cross-pairing with its paper counterpart.
+    let cells: [(PrefetchPolicy, EvictPolicy, Option<Warmup>); 4] = [
+        (
+            PrefetchPolicy::MosaicCoalesce,
+            EvictPolicy::MosaicSplinter,
+            None,
+        ),
+        (
+            PrefetchPolicy::MosaicCoalesce,
+            EvictPolicy::MosaicSplinter,
+            Some(Warmup::default()),
+        ),
+        (
+            PrefetchPolicy::MosaicCoalesce,
+            EvictPolicy::TreeBasedNeighborhood,
+            None,
+        ),
+        (
+            PrefetchPolicy::TreeBasedNeighborhood,
+            EvictPolicy::MosaicSplinter,
+            None,
+        ),
+    ];
+    for (prefetch, evict, warmup) in cells {
+        let mut opts = options(prefetch, evict);
+        let tag = match warmup {
+            Some(w) => {
+                opts = opts.with_warmup(w);
+                format!("{prefetch}+{evict} warmed")
+            }
+            None => format!("{prefetch}+{evict} cold"),
+        };
+        assert_width_invariant(&tag, &opts);
+    }
+}
+
+#[test]
+fn chaos_injection_with_audit_is_width_invariant() {
+    // Chaos fault injection draws from the GMMU's RNG streams at every
+    // serviced fault, so one out-of-order fault anywhere diverges the
+    // whole tail; the auditor cross-checks TLB/directory invariants at
+    // every kernel boundary on top.
+    let opts = options(PrefetchPolicy::TreeBasedNeighborhood, EvictPolicy::LruPage)
+        .with_fault_plan(FaultPlan::chaos().with_seed(0xfa11))
+        .with_audit(true);
+    assert_width_invariant("chaos+audit", &opts);
+}
+
+#[test]
+fn forced_threaded_executor_is_width_invariant() {
+    // `UVM_ENGINE_OS_THREADS` forces the journaled multi-worker epoch
+    // executor (speculation, rollback, frontier-capped commits) even
+    // on a single-CPU host. The serial baseline inside the helper is
+    // unaffected: width 1 never consults the executor. Concurrent
+    // tests in this binary at most also take the threaded executor,
+    // which is result-inert by the very contract under test.
+    std::env::set_var("UVM_ENGINE_OS_THREADS", "3");
+    let opts = options(
+        PrefetchPolicy::SequentialLocal,
+        EvictPolicy::SequentialLocal,
+    );
+    assert_width_invariant("forced-threaded", &opts);
+    std::env::remove_var("UVM_ENGINE_OS_THREADS");
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "uvm-shard-equiv-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn checkpoint_resume_survives_a_width_change() {
+    // Checkpoints are only taken at kernel boundaries — exactly the
+    // sharded engine's barrier-quiescent points — and the width is not
+    // part of a run's identity, so a lineage may change width at every
+    // resume and still replay byte-identically.
+    let opts =
+        options(PrefetchPolicy::TreeBasedNeighborhood, EvictPolicy::LruPage).with_audit(true);
+    let reference = observe(&run_workload(&workload(), opts.clone()));
+
+    let dir = tempdir("width-change");
+    // Full sharded run laying down checkpoints at every boundary.
+    let first = run_workload(
+        &workload(),
+        opts.clone().with_engine_threads(4).with_checkpoint(&dir, 1),
+    );
+    assert_eq!(reference, observe(&first), "checkpointed sharded run");
+    // Each subsequent run resumes from the latest surviving checkpoint
+    // (the last mid-run boundary) and finishes at a *different* width.
+    for width in [1, 8, 2] {
+        let resumed = run_workload(
+            &workload(),
+            opts.clone()
+                .with_engine_threads(width)
+                .with_checkpoint(&dir, 1),
+        );
+        assert_eq!(
+            reference,
+            observe(&resumed),
+            "resume at width {width} diverged"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
